@@ -1,0 +1,20 @@
+//! Compilation benchmark: DG -> ODE lowering time vs t-line length.
+
+use ark_core::CompiledSystem;
+use ark_paradigms::tln::{linear_tline, tln_language, TlineConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_compile(c: &mut Criterion) {
+    let lang = tln_language();
+    let mut group = c.benchmark_group("compile_tline");
+    for segments in [6usize, 26, 106] {
+        let graph = linear_tline(&lang, segments, &TlineConfig::default(), 0).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(segments), &graph, |b, g| {
+            b.iter(|| CompiledSystem::compile(&lang, g).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! End-to-end OBC max-cut solver benchmark (Table 1 inner loop).
+
+use ark_paradigms::maxcut::{solve, CouplingKind, MaxCutProblem};
+use ark_paradigms::obc::{obc_language, ofs_obc_language};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::f64::consts::PI;
+
+fn bench_maxcut(c: &mut Criterion) {
+    let base = obc_language();
+    let ofs = ofs_obc_language(&base);
+    let problem = MaxCutProblem::random(4, 7);
+
+    let mut group = c.benchmark_group("maxcut_solve");
+    group.sample_size(20);
+    group.bench_function("ideal_4v", |b| {
+        b.iter(|| solve(&ofs, &problem, CouplingKind::Ideal, 0.01 * PI, 7).unwrap())
+    });
+    group.bench_function("offset_4v", |b| {
+        b.iter(|| solve(&ofs, &problem, CouplingKind::Offset, 0.01 * PI, 7).unwrap())
+    });
+    let p8 = MaxCutProblem::random(8, 7);
+    group.bench_function("ideal_8v", |b| {
+        b.iter(|| solve(&ofs, &p8, CouplingKind::Ideal, 0.01 * PI, 7).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_maxcut);
+criterion_main!(benches);

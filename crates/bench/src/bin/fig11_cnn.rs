@@ -1,0 +1,69 @@
+//! Figure 11 reproduction: CNN edge detection under hardware nonidealities.
+//!
+//! Columns: A ideal, B 10% integrator-bias (z) mismatch, C 10% template
+//! weight (g) mismatch, D non-ideal saturation. Rows: output snapshots at
+//! t = 0, 0.25, 0.5, 0.75, 1.0 (unit time constants).
+//!
+//! Run: `cargo run --release -p ark-bench --bin fig11_cnn [size]`
+
+use ark_bench::trials_arg;
+use ark_paradigms::cnn::{
+    build_cnn, cnn_language, hw_cnn_language, run_cnn, NonIdeality, EDGE_TEMPLATE,
+};
+use ark_paradigms::image::Image;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let size = trials_arg(16);
+    let base = cnn_language();
+    let hw = hw_cnn_language(&base);
+    let input = Image::test_blob(size, size);
+    let expected = input.digital_edge_map();
+    let snap_times = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+    println!("== Figure 11: CNN edge detection with nonidealities ({size}x{size}) ==\n");
+    println!("input image:\n{}", input.to_ascii());
+    println!("digital reference edge map:\n{}", expected.to_ascii());
+
+    let columns = [
+        ("A: ideal", NonIdeality::Ideal),
+        ("B: z mismatch 10%", NonIdeality::ZMismatch),
+        ("C: g mismatch 10%", NonIdeality::GMismatch),
+        ("D: non-ideal saturation", NonIdeality::NonIdealSat),
+    ];
+
+    let mut summary = Vec::new();
+    for (label, kind) in columns {
+        let inst = build_cnn(&hw, &input, &EDGE_TEMPLATE, kind, 3)?;
+        let run = run_cnn(&hw, &inst, 5.0, &snap_times)?;
+        println!("---- column {label} ----");
+        for (t, img) in &run.snapshots {
+            println!("t = {t:.2}:");
+            println!("{}", img.binarized().to_ascii());
+        }
+        let wrong = run.final_output.diff_count(&expected);
+        let tc = run.convergence_time;
+        println!("final wrong pixels vs digital reference: {wrong}");
+        println!("binarized-output convergence time: {tc:?}\n");
+        summary.push((label, wrong, tc));
+    }
+
+    println!("== summary (paper shape check) ==");
+    println!("{:<26} {:>12} {:>18}", "variant", "wrong px", "convergence t");
+    for (label, wrong, tc) in &summary {
+        println!(
+            "{label:<26} {wrong:>12} {:>18}",
+            tc.map_or("never".to_string(), |t| format!("{t:.3}"))
+        );
+    }
+    let ideal_t = summary[0].2.unwrap_or(f64::INFINITY);
+    let z_t = summary[1].2.unwrap_or(f64::INFINITY);
+    let sat_t = summary[3].2.unwrap_or(f64::INFINITY);
+    println!("\nA correct: {}", summary[0].1 == &0 + 0);
+    println!("B slower than A: {} ({z_t:.3} vs {ideal_t:.3})", z_t >= ideal_t);
+    println!("C corrupts output: {}", summary[2].1 > 0);
+    println!(
+        "D correct and at least as fast as A: {} ({sat_t:.3} vs {ideal_t:.3})",
+        summary[3].1 == 0 && sat_t <= ideal_t + 1e-9
+    );
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Table 1 reproduction: probability of successful synchronization and of
+//! solving max-cut, for the ideal OBC solver and the integrator-offset
+//! variant, at readout tolerances d = 0.01π and d = 0.1π, over random
+//! unweighted 4-vertex graphs.
+//!
+//! Run: `cargo run --release -p ark-bench --bin table1_maxcut [trials]`
+//! (paper scale: 1000 trials).
+
+use ark_bench::trials_arg;
+use ark_paradigms::maxcut::{classify_phases, solve, CouplingKind, MaxCutProblem};
+use ark_paradigms::obc::{obc_language, ofs_obc_language};
+use std::f64::consts::PI;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trials = trials_arg(1000);
+    let base = obc_language();
+    let ofs = ofs_obc_language(&base);
+    let ds = [0.01 * PI, 0.1 * PI];
+
+    println!("== Table 1: OBC max-cut over {trials} random 4-vertex graphs ==\n");
+
+    // One simulation per (graph, variant); both tolerances reuse the final
+    // phases, mirroring the paper's external readout parameter.
+    let mut cells = [[(0usize, 0usize); 2]; 2]; // [variant][d] -> (sync, solved)
+    for t in 0..trials as u64 {
+        let problem = MaxCutProblem::random(4, t);
+        for (vi, coupling) in [CouplingKind::Ideal, CouplingKind::Offset].into_iter().enumerate() {
+            // d only affects classification; pass the loosest and re-classify.
+            let outcome = solve(&ofs, &problem, coupling, ds[1], t)?;
+            for (di, &d) in ds.iter().enumerate() {
+                let partition = classify_phases(&outcome.phases, d);
+                if let Some(p) = partition {
+                    cells[vi][di].0 += 1;
+                    if problem.cut_value(p) == outcome.optimum {
+                        cells[vi][di].1 += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let pct = |x: usize| 100.0 * x as f64 / trials as f64;
+    println!(
+        "{:>8} | {:>10} {:>10} | {:>10} {:>10}",
+        "", "obc sync%", "obc slvd%", "ofs sync%", "ofs slvd%"
+    );
+    for (di, label) in ["0.01*pi", "0.1*pi"].iter().enumerate() {
+        println!(
+            "{label:>8} | {:>10.1} {:>10.1} | {:>10.1} {:>10.1}",
+            pct(cells[0][di].0),
+            pct(cells[0][di].1),
+            pct(cells[1][di].0),
+            pct(cells[1][di].1),
+        );
+    }
+
+    println!("\npaper reference:");
+    println!("{:>8} | {:>10} {:>10} | {:>10} {:>10}", "", "94.1", "94.1", "54.1", "54.1");
+    println!("{:>8} | {:>10} {:>10} | {:>10} {:>10}", "", "94.2", "94.1", "94.8", "94.6");
+
+    let tight_gap = pct(cells[0][0].0) - pct(cells[1][0].0);
+    let recovered = pct(cells[1][1].0);
+    println!("\nshape checks:");
+    println!(
+        "  offset loses heavily at d=0.01*pi (gap {tight_gap:.1} points): {}",
+        if tight_gap > 15.0 { "REPRODUCED" } else { "NOT reproduced" }
+    );
+    println!(
+        "  widening d to 0.1*pi recovers the offset solver ({recovered:.1}%): {}",
+        if recovered > 85.0 { "REPRODUCED" } else { "NOT reproduced" }
+    );
+    Ok(())
+}

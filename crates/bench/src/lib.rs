@@ -1,0 +1,67 @@
+//! # ark-bench: benchmark harness and paper-figure regeneration
+//!
+//! One binary per table/figure of the paper's evaluation (see DESIGN.md §3
+//! for the experiment index):
+//!
+//! | target | reproduces |
+//! |--------|------------|
+//! | `fig2_validation` | Figure 2 — branched/linear valid, malformed rejected |
+//! | `fig4_tline` | Figure 4a–d — t-line transients and mismatch envelopes |
+//! | `fig11_cnn` | Figure 11 — CNN edge detection under nonidealities |
+//! | `table1_maxcut` | Table 1 — max-cut sync/solve probabilities |
+//! | `spice_validation` | §4.5 — 1000 random DGs vs SPICE netlists |
+//! | `fig_intercon_cost` | §7.2 — local/global interconnect cost trade-off |
+//!
+//! Run with `cargo run --release -p ark-bench --bin <target>`; pass a
+//! number as the first argument to scale trial counts down for quick runs.
+//! Criterion performance benchmarks live under `benches/`.
+
+#![warn(missing_docs)]
+
+use ark_ode::Trajectory;
+
+/// Read an optional trial-count override from the first CLI argument.
+pub fn trials_arg(default: usize) -> usize {
+    std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+/// Print a `(t, value)` series as CSV under a header comment.
+pub fn print_series(label: &str, tr: &Trajectory, var: usize, t0: f64, t1: f64, n: usize) {
+    println!("# series: {label}");
+    println!("t,{label}");
+    for i in 0..n {
+        let t = t0 + (t1 - t0) * i as f64 / (n - 1) as f64;
+        println!("{t:.4e},{:.6e}", tr.value_at(t, var));
+    }
+}
+
+/// A compact text sparkline of a series (for eyeballing pulse shapes in the
+/// terminal; the CSV output is the real artifact).
+pub fn sparkline(values: &[f64]) -> String {
+    const RAMP: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-300);
+    values
+        .iter()
+        .map(|v| RAMP[(((v - lo) / span) * 7.0).round().clamp(0.0, 7.0) as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_maps_extremes() {
+        let s = sparkline(&[0.0, 1.0, 0.5]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[1], '█');
+    }
+
+    #[test]
+    fn trials_arg_default() {
+        assert_eq!(trials_arg(42), 42);
+    }
+}

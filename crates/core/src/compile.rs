@@ -1,0 +1,947 @@
+//! The Ark dynamical-system compiler (paper §5, Algorithm 1).
+//!
+//! Lowers a validated dynamical graph to a first-order ODE system:
+//!
+//! 1. allocate `p` state variables per order-`p` node (`InitState`);
+//! 2. emit the chain equations `d nᵢ/dt = nᵢ₊₁` for `i < p-1` (`LowOrdEqs`);
+//! 3. for every node, look up the most specific production rule for each
+//!    incident edge (`LookUpProdRule`, with inheritance fallback), rewrite
+//!    the rule template with the concrete entity names (`Rewrite`), fold
+//!    attributes to constants and beta-reduce lambda-attribute calls;
+//! 4. aggregate per node with the node type's reduction operator (`FormEq`);
+//! 5. order-0 nodes become *algebraic* variables evaluated before the
+//!    derivatives each right-hand-side call (scheduled topologically;
+//!    algebraic cycles are rejected).
+//!
+//! The result, [`CompiledSystem`], implements [`ark_ode::OdeSystem`] with
+//! all expressions lowered to [`ark_expr::Tape`]s, and also retains
+//! human-readable equations for inspection (the paper's generated
+//! differential equations).
+
+use crate::dg::Graph;
+use crate::lang::{LangError, Language, Reduction, RuleTarget};
+use crate::types::Value;
+use ark_expr::{Expr, Tape, TapeError};
+use ark_ode::OdeSystem;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An error raised during compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// Rule dispatch was ambiguous (several equally specific rules).
+    Lang(LangError),
+    /// A node's type is not declared in the language.
+    UnknownNodeType {
+        /// Node name.
+        node: String,
+        /// Undeclared type.
+        ty: String,
+    },
+    /// An attribute referenced by a production rule was never assigned.
+    MissingAttr {
+        /// Entity name.
+        entity: String,
+        /// Attribute name.
+        attr: String,
+    },
+    /// An initial value was never assigned.
+    MissingInit {
+        /// Node name.
+        node: String,
+        /// Derivative index.
+        index: usize,
+    },
+    /// A numeric attribute was used where a lambda was expected, or vice
+    /// versa, or a lambda call had the wrong arity.
+    BadAttrUse {
+        /// Entity name.
+        entity: String,
+        /// Attribute name.
+        attr: String,
+        /// Explanation.
+        reason: String,
+    },
+    /// Order-0 (pure function) nodes form a dependency cycle.
+    AlgebraicLoop(Vec<String>),
+    /// Tape lowering failed (internal invariant; should not escape).
+    Tape(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Lang(e) => write!(f, "{e}"),
+            CompileError::UnknownNodeType { node, ty } => {
+                write!(f, "node `{node}` has undeclared type `{ty}`")
+            }
+            CompileError::MissingAttr { entity, attr } => {
+                write!(f, "attribute {entity}.{attr} required by a production rule is unset")
+            }
+            CompileError::MissingInit { node, index } => {
+                write!(f, "initial value init({index}) of `{node}` is unset")
+            }
+            CompileError::BadAttrUse { entity, attr, reason } => {
+                write!(f, "bad use of attribute {entity}.{attr}: {reason}")
+            }
+            CompileError::AlgebraicLoop(ns) => {
+                write!(f, "algebraic loop through order-0 nodes: {}", ns.join(" -> "))
+            }
+            CompileError::Tape(m) => write!(f, "tape lowering failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<LangError> for CompileError {
+    fn from(e: LangError) -> Self {
+        CompileError::Lang(e)
+    }
+}
+
+impl From<TapeError> for CompileError {
+    fn from(e: TapeError) -> Self {
+        CompileError::Tape(e.to_string())
+    }
+}
+
+/// A state variable of the compiled system: the `deriv`-th derivative of a
+/// node's quantity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateVar {
+    /// Node name.
+    pub node: String,
+    /// Derivative index (0 = the node quantity itself).
+    pub deriv: usize,
+}
+
+impl fmt::Display for StateVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.node, "'".repeat(self.deriv))
+    }
+}
+
+#[derive(Debug, Clone)]
+enum DerivKind {
+    /// `d state_i/dt = state_j` (the LowOrdEqs chain).
+    Chain(usize),
+    /// `d state_i/dt = tape_k`.
+    Tape(usize),
+}
+
+#[derive(Debug)]
+struct Scratch {
+    /// Combined variable buffer: `[states..., algebraics...]`.
+    buf: Vec<f64>,
+    /// Register file reused across tape evaluations.
+    regs: Vec<f64>,
+}
+
+/// A dynamical graph lowered to an executable first-order ODE system.
+pub struct CompiledSystem {
+    state_vars: Vec<StateVar>,
+    /// Node name → base state index (0th derivative).
+    state_of_node: BTreeMap<String, usize>,
+    /// Node name → algebraic slot (offset into the algebraic segment).
+    alg_of_node: BTreeMap<String, usize>,
+    /// Algebraic tapes in evaluation (topological) order: `(slot, tape)`.
+    alg_tapes: Vec<(usize, Tape)>,
+    deriv_kinds: Vec<DerivKind>,
+    deriv_tapes: Vec<Tape>,
+    init: Vec<f64>,
+    equations: Vec<String>,
+    scratch: RefCell<Scratch>,
+}
+
+impl fmt::Debug for CompiledSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompiledSystem")
+            .field("states", &self.state_vars.len())
+            .field("algebraics", &self.alg_of_node.len())
+            .finish()
+    }
+}
+
+impl CompiledSystem {
+    /// Names of the state variables, in state-vector order.
+    pub fn state_vars(&self) -> &[StateVar] {
+        &self.state_vars
+    }
+
+    /// State index of a node's 0th derivative (its `var(.)` value), if the
+    /// node is stateful.
+    pub fn state_index(&self, node: &str) -> Option<usize> {
+        self.state_of_node.get(node).copied()
+    }
+
+    /// True when the node is an order-0 (algebraic) variable.
+    pub fn is_algebraic(&self, node: &str) -> bool {
+        self.alg_of_node.contains_key(node)
+    }
+
+    /// The initial state vector assembled from the graph's initial values.
+    pub fn initial_state(&self) -> Vec<f64> {
+        self.init.clone()
+    }
+
+    /// Human-readable equations, one per state/algebraic variable — the
+    /// "system of differential equations" the paper's compiler emits.
+    pub fn equations(&self) -> &[String] {
+        &self.equations
+    }
+
+    /// Number of state variables.
+    pub fn num_states(&self) -> usize {
+        self.state_vars.len()
+    }
+
+    /// Slot index of an algebraic (order-0) node, usable with
+    /// [`CompiledSystem::eval_algebraics`].
+    pub fn algebraic_index(&self, node: &str) -> Option<usize> {
+        self.alg_of_node.get(node).copied()
+    }
+
+    /// Evaluate *all* algebraic (order-0) nodes at time `t` for state `y`,
+    /// returned indexed by [`CompiledSystem::algebraic_index`]. One pass in
+    /// topological order — much cheaper than repeated
+    /// [`CompiledSystem::eval_algebraic`] calls when observing many nodes
+    /// (e.g. every CNN output cell).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` has the wrong length.
+    pub fn eval_algebraics(&self, t: f64, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.num_states(), "state vector length mismatch");
+        let mut scratch = self.scratch.borrow_mut();
+        let Scratch { buf, regs } = &mut *scratch;
+        buf[..y.len()].copy_from_slice(y);
+        let n = y.len();
+        for (s, tape) in &self.alg_tapes {
+            buf[n + *s] = tape.eval(buf, t, regs);
+        }
+        buf[n..].to_vec()
+    }
+
+    /// Evaluate the algebraic (order-0) node `node` at time `t` for state
+    /// `y`. Useful for observing e.g. CNN output nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not algebraic or `y` has the wrong length.
+    pub fn eval_algebraic(&self, node: &str, t: f64, y: &[f64]) -> f64 {
+        assert_eq!(y.len(), self.num_states(), "state vector length mismatch");
+        let slot = self.alg_of_node[node];
+        let mut scratch = self.scratch.borrow_mut();
+        let Scratch { buf, regs } = &mut *scratch;
+        buf[..y.len()].copy_from_slice(y);
+        let n = y.len();
+        for (s, tape) in &self.alg_tapes {
+            buf[n + *s] = tape.eval(buf, t, regs);
+            if *s == slot {
+                return buf[n + *s];
+            }
+        }
+        buf[n + slot]
+    }
+
+    /// Compile a graph against its language (Algorithm 1).
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`]; notably ambiguous production rules, missing
+    /// attributes/initial values, and algebraic loops among order-0 nodes.
+    pub fn compile(lang: &Language, graph: &Graph) -> Result<CompiledSystem, CompileError> {
+        // --- State allocation (InitState). ---
+        let mut state_vars = Vec::new();
+        let mut state_of_node = BTreeMap::new();
+        let mut alg_of_node = BTreeMap::new();
+        let mut init = Vec::new();
+        for (_, node) in graph.nodes() {
+            let nt = lang.node_type(&node.ty).ok_or_else(|| CompileError::UnknownNodeType {
+                node: node.name.clone(),
+                ty: node.ty.clone(),
+            })?;
+            if nt.order == 0 {
+                let slot = alg_of_node.len();
+                alg_of_node.insert(node.name.clone(), slot);
+            } else {
+                state_of_node.insert(node.name.clone(), state_vars.len());
+                for d in 0..nt.order {
+                    state_vars.push(StateVar { node: node.name.clone(), deriv: d });
+                    init.push(node.inits[d].ok_or_else(|| CompileError::MissingInit {
+                        node: node.name.clone(),
+                        index: d,
+                    })?);
+                }
+            }
+        }
+        let n_states = state_vars.len();
+        let n_algs = alg_of_node.len();
+
+        // --- Per-node aggregated expressions. ---
+        let mut node_exprs: BTreeMap<String, Expr> = BTreeMap::new();
+        for (id, node) in graph.nodes() {
+            let nt = lang.node_type(&node.ty).expect("checked above");
+            let mut terms: Vec<Expr> = Vec::new();
+            for eid in graph.incident_edges(id) {
+                let edge = graph.edge(eid);
+                let src = graph.node(edge.src);
+                let dst = graph.node(edge.dst);
+                let off = !edge.on;
+                let (target, is_self) = if edge.is_self() {
+                    (RuleTarget::Source, true)
+                } else if edge.src == id {
+                    (RuleTarget::Source, false)
+                } else {
+                    (RuleTarget::Dest, false)
+                };
+                let rule = lang.lookup_rule(&edge.ty, &src.ty, &dst.ty, target, is_self, off)?;
+                let Some(rule) = rule else { continue };
+                // Rewrite: template variables → concrete entity names.
+                let edge_var = rule.edge_var.clone();
+                let src_var = rule.src_var.clone();
+                let dst_var = rule.dst_var.clone();
+                let renamed = rule.expr.rename_entities(&|n: &str| {
+                    if n == edge_var {
+                        Some(edge.name.clone())
+                    } else if n == src_var {
+                        Some(src.name.clone())
+                    } else if n == dst_var {
+                        Some(dst.name.clone())
+                    } else {
+                        None
+                    }
+                });
+                let folded = fold_attrs(graph, &renamed)?;
+                terms.push(folded);
+            }
+            let agg = aggregate(nt.reduction, terms);
+            node_exprs.insert(node.name.clone(), agg.simplify());
+        }
+
+        // --- Topologically order algebraic nodes. ---
+        let alg_order = topo_algebraics(&alg_of_node, &node_exprs)?;
+
+        // --- Lower to tapes. ---
+        let resolve = |name: &str| -> Option<usize> {
+            if let Some(&base) = state_of_node.get(name) {
+                Some(base)
+            } else {
+                alg_of_node.get(name).map(|&slot| n_states + slot)
+            }
+        };
+        let mut alg_tapes = Vec::with_capacity(n_algs);
+        let mut equations = Vec::new();
+        for name in &alg_order {
+            let expr = &node_exprs[name];
+            equations.push(format!("{name} = {expr}"));
+            alg_tapes.push((alg_of_node[name], Tape::compile(expr, &resolve)?));
+        }
+        let mut deriv_kinds = Vec::with_capacity(n_states);
+        let mut deriv_tapes = Vec::new();
+        for (i, sv) in state_vars.iter().enumerate() {
+            let nt = lang
+                .node_type(&graph.node(graph.node_id(&sv.node).expect("from graph")).ty)
+                .expect("checked");
+            if sv.deriv + 1 < nt.order {
+                deriv_kinds.push(DerivKind::Chain(i + 1));
+                equations.push(format!("d{sv}/dt = {}", state_vars[i + 1]));
+            } else {
+                let expr = &node_exprs[&sv.node];
+                equations.push(format!("d{sv}/dt = {expr}"));
+                deriv_tapes.push(Tape::compile(expr, &resolve)?);
+                deriv_kinds.push(DerivKind::Tape(deriv_tapes.len() - 1));
+            }
+        }
+
+        let max_regs = alg_tapes
+            .iter()
+            .map(|(_, t)| t.len())
+            .chain(deriv_tapes.iter().map(Tape::len))
+            .max()
+            .unwrap_or(1);
+        Ok(CompiledSystem {
+            state_vars,
+            state_of_node,
+            alg_of_node,
+            alg_tapes,
+            deriv_kinds,
+            deriv_tapes,
+            init,
+            equations,
+            scratch: RefCell::new(Scratch {
+                buf: vec![0.0; n_states + n_algs],
+                regs: vec![0.0; max_regs],
+            }),
+        })
+    }
+}
+
+/// Replace attribute references with graph-assigned constants and
+/// beta-reduce lambda-attribute calls.
+fn fold_attrs(graph: &Graph, expr: &Expr) -> Result<Expr, CompileError> {
+    // transform() cannot fail, so collect the first error on the side.
+    let err: RefCell<Option<CompileError>> = RefCell::new(None);
+    let out = expr.transform(&|e| match e {
+        Expr::Attr(entity, attr) => match graph.attr_value(entity, attr) {
+            Some(v) => match v.as_real() {
+                Some(x) => Some(Expr::Const(x)),
+                None => {
+                    store_err(&err, CompileError::BadAttrUse {
+                        entity: entity.clone(),
+                        attr: attr.clone(),
+                        reason: "lambda attribute used as a number".into(),
+                    });
+                    None
+                }
+            },
+            None => {
+                store_err(&err, CompileError::MissingAttr {
+                    entity: entity.clone(),
+                    attr: attr.clone(),
+                });
+                None
+            }
+        },
+        Expr::CallAttr(entity, attr, args) => match graph.attr_value(entity, attr) {
+            Some(Value::Lambda(lam)) => match lam.apply(args) {
+                Some(body) => Some(body),
+                None => {
+                    store_err(&err, CompileError::BadAttrUse {
+                        entity: entity.clone(),
+                        attr: attr.clone(),
+                        reason: format!(
+                            "lambda expects {} arguments, called with {}",
+                            lam.params.len(),
+                            args.len()
+                        ),
+                    });
+                    None
+                }
+            },
+            Some(_) => {
+                store_err(&err, CompileError::BadAttrUse {
+                    entity: entity.clone(),
+                    attr: attr.clone(),
+                    reason: "numeric attribute called as a lambda".into(),
+                });
+                None
+            }
+            None => {
+                store_err(&err, CompileError::MissingAttr {
+                    entity: entity.clone(),
+                    attr: attr.clone(),
+                });
+                None
+            }
+        },
+        _ => None,
+    });
+    match err.into_inner() {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
+}
+
+/// Record the first error encountered during attribute folding.
+fn store_err(slot: &RefCell<Option<CompileError>>, e: CompileError) {
+    let mut slot = slot.borrow_mut();
+    if slot.is_none() {
+        *slot = Some(e);
+    }
+}
+
+/// Combine per-edge terms with the node's reduction operator (FormEq).
+fn aggregate(reduction: Reduction, terms: Vec<Expr>) -> Expr {
+    let mut it = terms.into_iter();
+    let Some(first) = it.next() else {
+        return Expr::Const(reduction.identity());
+    };
+    it.fold(first, |acc, t| match reduction {
+        Reduction::Sum => acc.add(t),
+        Reduction::Mul => acc.mul(t),
+    })
+}
+
+/// Order algebraic nodes so dependencies evaluate first.
+fn topo_algebraics(
+    alg_of_node: &BTreeMap<String, usize>,
+    node_exprs: &BTreeMap<String, Expr>,
+) -> Result<Vec<String>, CompileError> {
+    let mut order: Vec<String> = Vec::with_capacity(alg_of_node.len());
+    let mut placed: std::collections::BTreeSet<&str> = Default::default();
+    let mut remaining: Vec<&String> = alg_of_node.keys().collect();
+    while !remaining.is_empty() {
+        let mut progressed = false;
+        remaining.retain(|name| {
+            let deps = node_exprs[name.as_str()].free_vars();
+            let ready = deps
+                .iter()
+                .all(|d| !alg_of_node.contains_key(d) || placed.contains(d.as_str()));
+            if ready {
+                order.push((*name).clone());
+                placed.insert(name.as_str());
+                progressed = true;
+                false
+            } else {
+                true
+            }
+        });
+        if !progressed {
+            return Err(CompileError::AlgebraicLoop(
+                remaining.into_iter().cloned().collect(),
+            ));
+        }
+    }
+    Ok(order)
+}
+
+impl OdeSystem for CompiledSystem {
+    fn dim(&self) -> usize {
+        self.state_vars.len()
+    }
+
+    fn rhs(&self, t: f64, y: &[f64], dydt: &mut [f64]) {
+        let mut scratch = self.scratch.borrow_mut();
+        let Scratch { buf, regs } = &mut *scratch;
+        let n = y.len();
+        buf[..n].copy_from_slice(y);
+        // Algebraic pass (order-0 nodes) in topological order.
+        for (slot, tape) in &self.alg_tapes {
+            let v = tape.eval(buf, t, regs);
+            buf[n + *slot] = v;
+        }
+        // Derivative pass.
+        for (i, kind) in self.deriv_kinds.iter().enumerate() {
+            dydt[i] = match kind {
+                DerivKind::Chain(j) => y[*j],
+                DerivKind::Tape(k) => self.deriv_tapes[*k].eval(buf, t, regs),
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::GraphBuilder;
+    use crate::lang::{EdgeType, LanguageBuilder, NodeType, ProdRule};
+    use crate::types::SigType;
+    use ark_expr::{parse_expr, Lambda};
+    use ark_ode::Rk4;
+
+    /// RC-decay language: dV/dt = -V/(r*c) via a self edge.
+    fn rc_lang() -> Language {
+        LanguageBuilder::new("rc")
+            .node_type(
+                NodeType::new("V", 1, Reduction::Sum)
+                    .attr("c", SigType::real(0.0, 10.0))
+                    .attr("r", SigType::real(0.0, 10.0))
+                    .init_default(SigType::real(-10.0, 10.0), 0.0),
+            )
+            .edge_type(EdgeType::new("E"))
+            .prod(ProdRule::new(
+                ("e", "E"),
+                ("s", "V"),
+                ("s", "V"),
+                "s",
+                parse_expr("-var(s)/(s.r*s.c)").unwrap(),
+            ))
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn compile_rc_decay_and_simulate() {
+        let lang = rc_lang();
+        let mut b = GraphBuilder::new(&lang, 0);
+        b.node("v0", "V").unwrap();
+        b.set_attr("v0", "c", 1.0).unwrap();
+        b.set_attr("v0", "r", 1.0).unwrap();
+        b.set_init("v0", 0, 1.0).unwrap();
+        b.edge("self", "E", "v0", "v0").unwrap();
+        let g = b.finish().unwrap();
+        let sys = CompiledSystem::compile(&lang, &g).unwrap();
+        assert_eq!(sys.num_states(), 1);
+        assert_eq!(sys.state_index("v0"), Some(0));
+        assert_eq!(sys.initial_state(), vec![1.0]);
+        let tr = Rk4 { dt: 1e-3 }.integrate(&sys, 0.0, &sys.initial_state(), 1.0, 10).unwrap();
+        let v_end = tr.last().unwrap().1[0];
+        assert!((v_end - (-1.0f64).exp()).abs() < 1e-8, "v_end {v_end}");
+        // The pretty-printed equation mentions the folded attribute values.
+        assert!(sys.equations()[0].starts_with("dv0/dt"));
+    }
+
+    /// Two-node coupled system exercising source/dest rule targets:
+    /// dA/dt = -B, dB/dt = A  (harmonic oscillator).
+    fn oscillator_lang() -> Language {
+        LanguageBuilder::new("osc")
+            .node_type(
+                NodeType::new("X", 1, Reduction::Sum)
+                    .init_default(SigType::real(-10.0, 10.0), 0.0),
+            )
+            .edge_type(EdgeType::new("C"))
+            .prod(ProdRule::new(
+                ("e", "C"),
+                ("s", "X"),
+                ("t", "X"),
+                "s",
+                parse_expr("-var(t)").unwrap(),
+            ))
+            .prod(ProdRule::new(
+                ("e", "C"),
+                ("s", "X"),
+                ("t", "X"),
+                "t",
+                parse_expr("var(s)").unwrap(),
+            ))
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn source_and_dest_rules_both_fire() {
+        let lang = oscillator_lang();
+        let mut b = GraphBuilder::new(&lang, 0);
+        b.node("a", "X").unwrap();
+        b.node("b", "X").unwrap();
+        b.set_init("a", 0, 1.0).unwrap();
+        b.edge("c", "C", "a", "b").unwrap();
+        let g = b.finish().unwrap();
+        let sys = CompiledSystem::compile(&lang, &g).unwrap();
+        // One period of the harmonic oscillator returns to the start.
+        let tr = Rk4 { dt: 1e-3 }
+            .integrate(&sys, 0.0, &sys.initial_state(), std::f64::consts::TAU, 100)
+            .unwrap();
+        let yf = tr.last().unwrap().1;
+        assert!((yf[sys.state_index("a").unwrap()] - 1.0).abs() < 1e-6);
+        assert!(yf[sys.state_index("b").unwrap()].abs() < 1e-6);
+    }
+
+    #[test]
+    fn order_zero_nodes_are_algebraic() {
+        // Out = 2 * V, and a sink S with dS/dt = var(Out).
+        let lang = LanguageBuilder::new("alg")
+            .node_type(
+                NodeType::new("V", 1, Reduction::Sum)
+                    .init_default(SigType::real(-10.0, 10.0), 1.0),
+            )
+            .node_type(NodeType::new("Out", 0, Reduction::Sum))
+            .node_type(
+                NodeType::new("S", 1, Reduction::Sum)
+                    .init_default(SigType::real(-100.0, 100.0), 0.0),
+            )
+            .edge_type(EdgeType::new("E"))
+            .prod(ProdRule::new(
+                ("e", "E"),
+                ("s", "V"),
+                ("t", "Out"),
+                "t",
+                parse_expr("2*var(s)").unwrap(),
+            ))
+            .prod(ProdRule::new(
+                ("e", "E"),
+                ("s", "Out"),
+                ("t", "S"),
+                "t",
+                parse_expr("var(s)").unwrap(),
+            ))
+            .finish()
+            .unwrap();
+        let mut b = GraphBuilder::new(&lang, 0);
+        b.node("v", "V").unwrap();
+        b.node("o", "Out").unwrap();
+        b.node("s", "S").unwrap();
+        b.edge("e0", "E", "v", "o").unwrap();
+        b.edge("e1", "E", "o", "s").unwrap();
+        let g = b.finish().unwrap();
+        let sys = CompiledSystem::compile(&lang, &g).unwrap();
+        assert!(sys.is_algebraic("o"));
+        assert_eq!(sys.num_states(), 2);
+        // V stays at 1 (no dynamics contributions), so dS/dt = 2 → S(1) = 2.
+        let tr = Rk4 { dt: 1e-3 }.integrate(&sys, 0.0, &sys.initial_state(), 1.0, 10).unwrap();
+        let s_end = tr.last().unwrap().1[sys.state_index("s").unwrap()];
+        assert!((s_end - 2.0).abs() < 1e-9);
+        // Observing the algebraic node directly.
+        assert_eq!(sys.eval_algebraic("o", 0.0, &sys.initial_state()), 2.0);
+    }
+
+    #[test]
+    fn algebraic_chain_evaluates_in_order() {
+        // A = var(v), B = 3*var(A): B depends on A.
+        let lang = LanguageBuilder::new("chain")
+            .node_type(
+                NodeType::new("V", 1, Reduction::Sum)
+                    .init_default(SigType::real(-10.0, 10.0), 2.0),
+            )
+            .node_type(NodeType::new("F", 0, Reduction::Sum))
+            .edge_type(EdgeType::new("E"))
+            .prod(ProdRule::new(
+                ("e", "E"),
+                ("s", "V"),
+                ("t", "F"),
+                "t",
+                parse_expr("var(s)").unwrap(),
+            ))
+            .prod(ProdRule::new(
+                ("e", "E"),
+                ("s", "F"),
+                ("t", "F"),
+                "t",
+                parse_expr("3*var(s)").unwrap(),
+            ))
+            .finish()
+            .unwrap();
+        let mut b = GraphBuilder::new(&lang, 0);
+        b.node("v", "V").unwrap();
+        b.node("fa", "F").unwrap();
+        b.node("fb", "F").unwrap();
+        b.edge("e0", "E", "v", "fa").unwrap();
+        b.edge("e1", "E", "fa", "fb").unwrap();
+        let g = b.finish().unwrap();
+        let sys = CompiledSystem::compile(&lang, &g).unwrap();
+        assert_eq!(sys.eval_algebraic("fb", 0.0, &sys.initial_state()), 6.0);
+    }
+
+    #[test]
+    fn algebraic_loop_rejected() {
+        let lang = LanguageBuilder::new("loopy")
+            .node_type(NodeType::new("F", 0, Reduction::Sum))
+            .edge_type(EdgeType::new("E"))
+            .prod(ProdRule::new(
+                ("e", "E"),
+                ("s", "F"),
+                ("t", "F"),
+                "t",
+                parse_expr("var(s)").unwrap(),
+            ))
+            .finish()
+            .unwrap();
+        let mut b = GraphBuilder::new(&lang, 0);
+        b.node("a", "F").unwrap();
+        b.node("b", "F").unwrap();
+        b.edge("e0", "E", "a", "b").unwrap();
+        b.edge("e1", "E", "b", "a").unwrap();
+        let g = b.finish().unwrap();
+        assert!(matches!(
+            CompiledSystem::compile(&lang, &g),
+            Err(CompileError::AlgebraicLoop(_))
+        ));
+    }
+
+    #[test]
+    fn switched_off_edge_contributes_nothing_without_off_rule() {
+        let lang = oscillator_lang();
+        let mut b = GraphBuilder::new(&lang, 0);
+        b.node("a", "X").unwrap();
+        b.node("b", "X").unwrap();
+        b.set_init("a", 0, 1.0).unwrap();
+        b.edge("c", "C", "a", "b").unwrap();
+        b.set_switch("c", false).unwrap();
+        let g = b.finish().unwrap();
+        let sys = CompiledSystem::compile(&lang, &g).unwrap();
+        let tr = Rk4 { dt: 1e-2 }.integrate(&sys, 0.0, &sys.initial_state(), 1.0, 10).unwrap();
+        let yf = tr.last().unwrap().1;
+        // Nothing moves.
+        assert_eq!(yf[0], 1.0);
+        assert_eq!(yf[1], 0.0);
+    }
+
+    #[test]
+    fn off_rule_models_leakage() {
+        // When the edge is off, a leakage term -0.1*var(s) applies to the
+        // source (an §4.3 off-state nonideality).
+        let lang = LanguageBuilder::new("leaky")
+            .node_type(
+                NodeType::new("X", 1, Reduction::Sum)
+                    .init_default(SigType::real(-10.0, 10.0), 1.0),
+            )
+            .edge_type(EdgeType::new("C"))
+            .prod(ProdRule::new(
+                ("e", "C"),
+                ("s", "X"),
+                ("t", "X"),
+                "t",
+                parse_expr("var(s)").unwrap(),
+            ))
+            .prod(
+                ProdRule::new(
+                    ("e", "C"),
+                    ("s", "X"),
+                    ("t", "X"),
+                    "s",
+                    parse_expr("-0.1*var(s)").unwrap(),
+                )
+                .off(),
+            )
+            .finish()
+            .unwrap();
+        let mut b = GraphBuilder::new(&lang, 0);
+        b.node("a", "X").unwrap();
+        b.node("b", "X").unwrap();
+        b.edge("c", "C", "a", "b").unwrap();
+        b.set_switch("c", false).unwrap();
+        let g = b.finish().unwrap();
+        let sys = CompiledSystem::compile(&lang, &g).unwrap();
+        let tr = Rk4 { dt: 1e-3 }.integrate(&sys, 0.0, &sys.initial_state(), 1.0, 10).unwrap();
+        let a_end = tr.last().unwrap().1[sys.state_index("a").unwrap()];
+        // a decays at rate 0.1; b receives nothing (its on-rule is inactive)
+        // and stays at its default initial value of 1.
+        assert!((a_end - (-0.1f64).exp()).abs() < 1e-9);
+        assert_eq!(tr.last().unwrap().1[sys.state_index("b").unwrap()], 1.0);
+    }
+
+    #[test]
+    fn second_order_node_chains_derivatives() {
+        // d²x/dt² = -x via a self edge on an order-2 node type.
+        let lang = LanguageBuilder::new("so")
+            .node_type(
+                NodeType::new("X", 2, Reduction::Sum)
+                    .init_default(SigType::real(-10.0, 10.0), 1.0)
+                    .init_default(SigType::real(-10.0, 10.0), 0.0),
+            )
+            .edge_type(EdgeType::new("E"))
+            .prod(ProdRule::new(
+                ("e", "E"),
+                ("s", "X"),
+                ("s", "X"),
+                "s",
+                parse_expr("-var(s)").unwrap(),
+            ))
+            .finish()
+            .unwrap();
+        let mut b = GraphBuilder::new(&lang, 0);
+        b.node("x", "X").unwrap();
+        b.edge("self", "E", "x", "x").unwrap();
+        let g = b.finish().unwrap();
+        let sys = CompiledSystem::compile(&lang, &g).unwrap();
+        assert_eq!(sys.num_states(), 2);
+        assert_eq!(sys.state_vars()[1].to_string(), "x'");
+        let tr = Rk4 { dt: 1e-3 }
+            .integrate(&sys, 0.0, &sys.initial_state(), std::f64::consts::TAU, 100)
+            .unwrap();
+        let yf = tr.last().unwrap().1;
+        // cos(t) returns to 1 after one period.
+        assert!((yf[0] - 1.0).abs() < 1e-6);
+        assert!(yf[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn lambda_attribute_call_folds_into_waveform() {
+        // An input node with a pulse waveform driving dV/dt = fn(time).
+        let lang = LanguageBuilder::new("inp")
+            .node_type(
+                NodeType::new("V", 1, Reduction::Sum)
+                    .init_default(SigType::real(-10.0, 10.0), 0.0),
+            )
+            .node_type(NodeType::new("Inp", 0, Reduction::Sum).attr("fn", SigType::lambda(1)))
+            .edge_type(EdgeType::new("E"))
+            .prod(ProdRule::new(
+                ("e", "E"),
+                ("s", "Inp"),
+                ("t", "V"),
+                "t",
+                parse_expr("s.fn(time)").unwrap(),
+            ))
+            .finish()
+            .unwrap();
+        let mut b = GraphBuilder::new(&lang, 0);
+        b.node("in", "Inp").unwrap();
+        b.node("v", "V").unwrap();
+        b.set_attr(
+            "in",
+            "fn",
+            Lambda::new(vec!["t"], parse_expr("square_pulse(t, 0, 0.5)").unwrap()),
+        )
+        .unwrap();
+        b.edge("e", "E", "in", "v").unwrap();
+        let g = b.finish().unwrap();
+        let sys = CompiledSystem::compile(&lang, &g).unwrap();
+        let tr = Rk4 { dt: 1e-3 }.integrate(&sys, 0.0, &sys.initial_state(), 1.0, 10).unwrap();
+        // v integrates a unit pulse of width 0.5 → 0.5 (up to O(dt) error
+        // from the waveform discontinuity landing mid-step).
+        let v_end = tr.last().unwrap().1[0];
+        assert!((v_end - 0.5).abs() < 5e-3, "v_end {v_end}");
+    }
+
+    #[test]
+    fn missing_attr_reported() {
+        let lang = rc_lang();
+        let mut g = Graph::new("rc");
+        let v = g.add_node("v0", "V", 1).unwrap();
+        g.node_mut(v).inits[0] = Some(1.0);
+        g.add_edge("self", "E", v, v).unwrap();
+        // attrs c/r never set and Graph built without the checked builder.
+        assert!(matches!(
+            CompiledSystem::compile(&lang, &g),
+            Err(CompileError::MissingAttr { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_init_reported() {
+        let lang = rc_lang();
+        let mut g = Graph::new("rc");
+        let v = g.add_node("v0", "V", 1).unwrap();
+        g.node_mut(v).attrs.insert("c".into(), Value::Real(1.0));
+        g.node_mut(v).attrs.insert("r".into(), Value::Real(1.0));
+        assert!(matches!(
+            CompiledSystem::compile(&lang, &g),
+            Err(CompileError::MissingInit { .. })
+        ));
+    }
+
+    #[test]
+    fn mul_reduction_multiplies_terms() {
+        // dV/dt = var(a) * var(b) with a=2, b=3 constant → slope 6.
+        let lang = LanguageBuilder::new("mul")
+            .node_type(
+                NodeType::new("K", 1, Reduction::Sum)
+                    .init_default(SigType::real(-10.0, 10.0), 0.0),
+            )
+            .node_type(
+                NodeType::new("P", 1, Reduction::Mul)
+                    .init_default(SigType::real(-100.0, 100.0), 0.0),
+            )
+            .edge_type(EdgeType::new("E"))
+            .prod(ProdRule::new(
+                ("e", "E"),
+                ("s", "K"),
+                ("t", "P"),
+                "t",
+                parse_expr("var(s)").unwrap(),
+            ))
+            .finish()
+            .unwrap();
+        let mut b = GraphBuilder::new(&lang, 0);
+        b.node("a", "K").unwrap();
+        b.node("b", "K").unwrap();
+        b.node("p", "P").unwrap();
+        b.set_init("a", 0, 2.0).unwrap();
+        b.set_init("b", 0, 3.0).unwrap();
+        b.edge("e0", "E", "a", "p").unwrap();
+        b.edge("e1", "E", "b", "p").unwrap();
+        let g = b.finish().unwrap();
+        let sys = CompiledSystem::compile(&lang, &g).unwrap();
+        let tr = Rk4 { dt: 1e-3 }.integrate(&sys, 0.0, &sys.initial_state(), 1.0, 10).unwrap();
+        let p_end = tr.last().unwrap().1[sys.state_index("p").unwrap()];
+        assert!((p_end - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_rule_means_no_contribution() {
+        // An isolated stateful node has identity dynamics (sum → 0).
+        let lang = rc_lang();
+        let mut b = GraphBuilder::new(&lang, 0);
+        b.node("v0", "V").unwrap();
+        b.set_attr("v0", "c", 1.0).unwrap();
+        b.set_attr("v0", "r", 1.0).unwrap();
+        b.set_init("v0", 0, 4.0).unwrap();
+        let g = b.finish().unwrap();
+        let sys = CompiledSystem::compile(&lang, &g).unwrap();
+        let tr = Rk4 { dt: 1e-2 }.integrate(&sys, 0.0, &sys.initial_state(), 1.0, 10).unwrap();
+        assert_eq!(tr.last().unwrap().1[0], 4.0);
+    }
+}

@@ -1,0 +1,383 @@
+//! The dynamical graph (DG): Ark's unified intermediate representation for
+//! analog computations and circuit descriptions (paper §3).
+//!
+//! A DG is a typed, directed graph. Nodes map to variables of the underlying
+//! dynamical system; edges contribute terms to the connected variables'
+//! dynamics via the language's production rules. [`Graph`] is pure data —
+//! the language-aware construction checks live in
+//! [`GraphBuilder`](crate::func::GraphBuilder), and interpretation lives in
+//! the compiler and validator.
+
+use crate::types::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Index of a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Index of an edge in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub usize);
+
+/// A typed node with attribute values and initial values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Unique node name.
+    pub name: String,
+    /// Node type name (declared in the language).
+    pub ty: String,
+    /// Assigned attribute values.
+    pub attrs: BTreeMap<String, Value>,
+    /// Initial values for derivatives `0..order` (`None` = not yet set).
+    pub inits: Vec<Option<f64>>,
+}
+
+/// A typed directed edge with attribute values and a switch state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Edge {
+    /// Unique edge name.
+    pub name: String,
+    /// Edge type name.
+    pub ty: String,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Assigned attribute values.
+    pub attrs: BTreeMap<String, Value>,
+    /// Switch state: `false` edges contribute only via `off` production
+    /// rules (§4.3).
+    pub on: bool,
+}
+
+impl Edge {
+    /// True for self-referencing edges (`src == dst`).
+    pub fn is_self(&self) -> bool {
+        self.src == self.dst
+    }
+}
+
+/// An error raised while constructing a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node or edge with this name already exists.
+    DuplicateName(String),
+    /// Reference to an unknown node.
+    UnknownNode(String),
+    /// Reference to an unknown edge.
+    UnknownEdge(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DuplicateName(n) => write!(f, "duplicate entity name `{n}`"),
+            GraphError::UnknownNode(n) => write!(f, "unknown node `{n}`"),
+            GraphError::UnknownEdge(n) => write!(f, "unknown edge `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A dynamical graph.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Graph {
+    lang: String,
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    node_idx: BTreeMap<String, NodeId>,
+    edge_idx: BTreeMap<String, EdgeId>,
+}
+
+impl Graph {
+    /// An empty graph tagged with the name of the language it is written in.
+    pub fn new(lang: impl Into<String>) -> Self {
+        Graph { lang: lang.into(), ..Graph::default() }
+    }
+
+    /// Name of the language the graph was built against.
+    pub fn lang_name(&self) -> &str {
+        &self.lang
+    }
+
+    /// Re-tag the graph with a (derived) language name. Used when casting a
+    /// parent-language program into a derived language (§4.1.1 guarantees
+    /// this is sound).
+    pub fn set_lang_name(&mut self, lang: impl Into<String>) {
+        self.lang = lang.into();
+    }
+
+    /// Add a node with the given type and order (the order determines the
+    /// number of initial-value slots).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::DuplicateName`] when the name is taken.
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        ty: impl Into<String>,
+        order: usize,
+    ) -> Result<NodeId, GraphError> {
+        let name = name.into();
+        if self.node_idx.contains_key(&name) || self.edge_idx.contains_key(&name) {
+            return Err(GraphError::DuplicateName(name));
+        }
+        let id = NodeId(self.nodes.len());
+        self.node_idx.insert(name.clone(), id);
+        self.nodes.push(Node {
+            name,
+            ty: ty.into(),
+            attrs: BTreeMap::new(),
+            inits: vec![None; order],
+        });
+        Ok(id)
+    }
+
+    /// Add an edge between existing nodes. Edges start switched on.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::DuplicateName`] when the name is taken.
+    pub fn add_edge(
+        &mut self,
+        name: impl Into<String>,
+        ty: impl Into<String>,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Result<EdgeId, GraphError> {
+        let name = name.into();
+        if self.node_idx.contains_key(&name) || self.edge_idx.contains_key(&name) {
+            return Err(GraphError::DuplicateName(name));
+        }
+        let id = EdgeId(self.edges.len());
+        self.edge_idx.insert(name.clone(), id);
+        self.edges.push(Edge {
+            name,
+            ty: ty.into(),
+            src,
+            dst,
+            attrs: BTreeMap::new(),
+            on: true,
+        });
+        Ok(id)
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Node by id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Mutable node by id.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.0]
+    }
+
+    /// Edge by id.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.0]
+    }
+
+    /// Mutable edge by id.
+    pub fn edge_mut(&mut self, id: EdgeId) -> &mut Edge {
+        &mut self.edges[id.0]
+    }
+
+    /// Look up a node id by name.
+    pub fn node_id(&self, name: &str) -> Result<NodeId, GraphError> {
+        self.node_idx.get(name).copied().ok_or_else(|| GraphError::UnknownNode(name.into()))
+    }
+
+    /// Look up an edge id by name.
+    pub fn edge_id(&self, name: &str) -> Result<EdgeId, GraphError> {
+        self.edge_idx.get(name).copied().ok_or_else(|| GraphError::UnknownEdge(name.into()))
+    }
+
+    /// Iterate nodes with their ids.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i), n))
+    }
+
+    /// Iterate edges with their ids.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> {
+        self.edges.iter().enumerate().map(|(i, e)| (EdgeId(i), e))
+    }
+
+    /// All edges incident to `n` (each edge listed once; self edges
+    /// included).
+    pub fn incident_edges(&self, n: NodeId) -> Vec<EdgeId> {
+        self.edges()
+            .filter(|(_, e)| e.src == n || e.dst == n)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Incoming non-self edges of `n`.
+    pub fn in_edges(&self, n: NodeId) -> Vec<EdgeId> {
+        self.edges()
+            .filter(|(_, e)| e.dst == n && !e.is_self())
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Outgoing non-self edges of `n`.
+    pub fn out_edges(&self, n: NodeId) -> Vec<EdgeId> {
+        self.edges()
+            .filter(|(_, e)| e.src == n && !e.is_self())
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Self-referencing edges of `n`.
+    pub fn self_edges(&self, n: NodeId) -> Vec<EdgeId> {
+        self.edges()
+            .filter(|(_, e)| e.src == n && e.dst == n)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Numeric attribute of a named entity (node or edge), if present.
+    pub fn attr_value(&self, entity: &str, attr: &str) -> Option<&Value> {
+        if let Some(&id) = self.node_idx.get(entity) {
+            return self.nodes[id.0].attrs.get(attr);
+        }
+        if let Some(&id) = self.edge_idx.get(entity) {
+            return self.edges[id.0].attrs.get(attr);
+        }
+        None
+    }
+
+    /// A GraphViz `dot` rendering of the topology (node types as labels),
+    /// handy for inspecting the Figure 2 style diagrams.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("digraph dg {\n  rankdir=LR;\n");
+        for n in &self.nodes {
+            let _ = writeln!(s, "  {} [label=\"{}:{}\"];", n.name, n.name, n.ty);
+        }
+        for e in &self.edges {
+            let style = if e.on { "solid" } else { "dashed" };
+            let _ = writeln!(
+                s,
+                "  {} -> {} [label=\"{}\", style={}];",
+                self.nodes[e.src.0].name, self.nodes[e.dst.0].name, e.name, style
+            );
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line3() -> Graph {
+        let mut g = Graph::new("tln");
+        let a = g.add_node("A", "V", 1).unwrap();
+        let b = g.add_node("B", "I", 1).unwrap();
+        let c = g.add_node("C", "V", 1).unwrap();
+        g.add_edge("E0", "E", a, b).unwrap();
+        g.add_edge("E1", "E", b, c).unwrap();
+        g.add_edge("E2", "E", a, a).unwrap();
+        g
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let g = line3();
+        assert_eq!(g.lang_name(), "tln");
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        let a = g.node_id("A").unwrap();
+        assert_eq!(g.node(a).ty, "V");
+        assert!(g.node_id("Z").is_err());
+        let e0 = g.edge_id("E0").unwrap();
+        assert_eq!(g.edge(e0).src, a);
+        assert!(g.edge_id("E9").is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut g = line3();
+        assert!(matches!(g.add_node("A", "V", 1), Err(GraphError::DuplicateName(_))));
+        let a = g.node_id("A").unwrap();
+        assert!(matches!(g.add_edge("E0", "E", a, a), Err(GraphError::DuplicateName(_))));
+        // Node/edge namespaces are shared.
+        assert!(matches!(g.add_node("E0", "V", 1), Err(GraphError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn adjacency_queries() {
+        let g = line3();
+        let a = g.node_id("A").unwrap();
+        let b = g.node_id("B").unwrap();
+        assert_eq!(g.out_edges(a).len(), 1);
+        assert_eq!(g.in_edges(a).len(), 0);
+        assert_eq!(g.self_edges(a).len(), 1);
+        assert_eq!(g.incident_edges(a).len(), 2);
+        assert_eq!(g.in_edges(b).len(), 1);
+        assert_eq!(g.out_edges(b).len(), 1);
+        assert!(g.self_edges(b).is_empty());
+    }
+
+    #[test]
+    fn self_edge_counted_once_in_incident() {
+        let g = line3();
+        let a = g.node_id("A").unwrap();
+        let inc = g.incident_edges(a);
+        let self_edge = g.edge_id("E2").unwrap();
+        assert_eq!(inc.iter().filter(|&&e| e == self_edge).count(), 1);
+    }
+
+    #[test]
+    fn attrs_and_inits() {
+        let mut g = line3();
+        let a = g.node_id("A").unwrap();
+        g.node_mut(a).attrs.insert("c".into(), Value::Real(1e-9));
+        g.node_mut(a).inits[0] = Some(0.5);
+        assert_eq!(g.attr_value("A", "c"), Some(&Value::Real(1e-9)));
+        assert_eq!(g.attr_value("A", "zz"), None);
+        assert_eq!(g.attr_value("nope", "c"), None);
+        let e0 = g.edge_id("E0").unwrap();
+        g.edge_mut(e0).attrs.insert("k".into(), Value::Real(2.0));
+        assert_eq!(g.attr_value("E0", "k"), Some(&Value::Real(2.0)));
+    }
+
+    #[test]
+    fn switch_state() {
+        let mut g = line3();
+        let e0 = g.edge_id("E0").unwrap();
+        assert!(g.edge(e0).on);
+        g.edge_mut(e0).on = false;
+        assert!(!g.edge(e0).on);
+    }
+
+    #[test]
+    fn dot_rendering_mentions_all_entities() {
+        let g = line3();
+        let dot = g.to_dot();
+        for name in ["A", "B", "C", "E0", "E1", "E2"] {
+            assert!(dot.contains(name), "missing {name} in dot output");
+        }
+    }
+
+    #[test]
+    fn lang_retag() {
+        let mut g = line3();
+        g.set_lang_name("gmc_tln");
+        assert_eq!(g.lang_name(), "gmc_tln");
+    }
+}

@@ -1,0 +1,567 @@
+//! The Ark function layer (paper §4.2): checked, procedural construction of
+//! dynamical graphs against a language definition.
+//!
+//! [`GraphBuilder`] is the programmatic equivalent of an Ark `func` body:
+//! `node`, `edge`, `set-attr`, `set-init`, and `set-switch` statements, with
+//! all the semantic checks of §4.2 (types declared, datatype admission,
+//! const / fixed restrictions) and the §4.3 hardware semantics (mismatch
+//! sampling seeded per invocation).
+
+use crate::dg::{EdgeId, Graph, GraphError, NodeId};
+use crate::lang::{AttrDef, Language};
+use crate::mismatch::MismatchSampler;
+use crate::types::Value;
+use std::fmt;
+
+/// An error raised by a function-layer statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FuncError {
+    /// Underlying graph error (duplicate/unknown names).
+    Graph(GraphError),
+    /// Reference to a type not declared in the language.
+    UnknownType(String),
+    /// Reference to an attribute not declared on the entity's type.
+    UnknownAttr {
+        /// Entity name.
+        entity: String,
+        /// Attribute name.
+        attr: String,
+    },
+    /// Assigned value does not inhabit the declared datatype.
+    TypeMismatch {
+        /// Entity name.
+        entity: String,
+        /// Attribute name (or `init(i)`).
+        attr: String,
+        /// The declared type, rendered.
+        expected: String,
+        /// The offending value, rendered.
+        got: String,
+    },
+    /// A `const` attribute was assigned from a function argument (§4.3).
+    ConstFromArg {
+        /// Entity name.
+        entity: String,
+        /// Attribute name.
+        attr: String,
+    },
+    /// `set-switch` applied to a `fixed` edge type (§4.3).
+    SwitchFixedEdge(String),
+    /// Initial-value index out of range for the node's order.
+    BadInitIndex {
+        /// Node name.
+        node: String,
+        /// Offending derivative index.
+        index: usize,
+        /// Node order.
+        order: usize,
+    },
+    /// An attribute or initial value was never assigned (and has no default).
+    Unassigned {
+        /// Entity name.
+        entity: String,
+        /// Attribute name (or `init(i)`).
+        attr: String,
+    },
+}
+
+impl fmt::Display for FuncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuncError::Graph(e) => write!(f, "{e}"),
+            FuncError::UnknownType(t) => write!(f, "unknown type `{t}`"),
+            FuncError::UnknownAttr { entity, attr } => {
+                write!(f, "no attribute `{attr}` on `{entity}`")
+            }
+            FuncError::TypeMismatch { entity, attr, expected, got } => {
+                write!(f, "value {got} does not inhabit {expected} for {entity}.{attr}")
+            }
+            FuncError::ConstFromArg { entity, attr } => {
+                write!(f, "const attribute {entity}.{attr} cannot be set from a function argument")
+            }
+            FuncError::SwitchFixedEdge(e) => {
+                write!(f, "edge `{e}` has a fixed type and cannot be switched")
+            }
+            FuncError::BadInitIndex { node, index, order } => {
+                write!(f, "init({index}) out of range for `{node}` of order {order}")
+            }
+            FuncError::Unassigned { entity, attr } => {
+                write!(f, "{entity}.{attr} was never assigned and has no default")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FuncError {}
+
+impl From<GraphError> for FuncError {
+    fn from(e: GraphError) -> Self {
+        FuncError::Graph(e)
+    }
+}
+
+/// Checked builder for dynamical graphs (one Ark function invocation).
+///
+/// # Examples
+///
+/// ```
+/// use ark_core::func::GraphBuilder;
+/// use ark_core::lang::{LanguageBuilder, NodeType, EdgeType, Reduction};
+/// use ark_core::types::SigType;
+///
+/// let lang = LanguageBuilder::new("demo")
+///     .node_type(
+///         ark_core::lang::NodeType::new("V", 1, Reduction::Sum)
+///             .attr("c", SigType::real(0.0, 1.0))
+///             .init_default(SigType::real(-1.0, 1.0), 0.0),
+///     )
+///     .edge_type(EdgeType::new("E"))
+///     .finish()?;
+/// let mut b = GraphBuilder::new(&lang, 0);
+/// b.node("n0", "V")?;
+/// b.set_attr("n0", "c", 0.5)?;
+/// let graph = b.finish()?;
+/// assert_eq!(graph.num_nodes(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder<'l> {
+    lang: &'l Language,
+    graph: Graph,
+    sampler: MismatchSampler,
+}
+
+impl<'l> GraphBuilder<'l> {
+    /// Start building a graph in `lang`. The `seed` selects the fabricated
+    /// instance: all mismatched attributes sampled by this builder derive
+    /// from it (§4.3).
+    pub fn new(lang: &'l Language, seed: u64) -> Self {
+        GraphBuilder {
+            lang,
+            graph: Graph::new(lang.name()),
+            sampler: MismatchSampler::new(seed),
+        }
+    }
+
+    /// The language this builder checks against.
+    pub fn lang(&self) -> &Language {
+        self.lang
+    }
+
+    /// `node v : T` — add a node of a declared node type.
+    ///
+    /// # Errors
+    ///
+    /// [`FuncError::UnknownType`] or a duplicate-name [`FuncError::Graph`].
+    pub fn node(&mut self, name: &str, ty: &str) -> Result<NodeId, FuncError> {
+        let nt = self.lang.node_type(ty).ok_or_else(|| FuncError::UnknownType(ty.into()))?;
+        Ok(self.graph.add_node(name, ty, nt.order)?)
+    }
+
+    /// `edge <src, dst> v : T` — add an edge of a declared edge type.
+    ///
+    /// # Errors
+    ///
+    /// [`FuncError::UnknownType`], unknown endpoints, or duplicate names.
+    pub fn edge(&mut self, name: &str, ty: &str, src: &str, dst: &str) -> Result<EdgeId, FuncError> {
+        self.lang.edge_type(ty).ok_or_else(|| FuncError::UnknownType(ty.into()))?;
+        let s = self.graph.node_id(src)?;
+        let d = self.graph.node_id(dst)?;
+        Ok(self.graph.add_edge(name, ty, s, d)?)
+    }
+
+    /// `set-attr v.a = value` — assign an attribute (constant provenance).
+    ///
+    /// Mismatch-annotated attributes store a sampled value; the *nominal*
+    /// value is range-checked.
+    ///
+    /// # Errors
+    ///
+    /// Unknown entity/attribute or [`FuncError::TypeMismatch`].
+    pub fn set_attr(&mut self, entity: &str, attr: &str, value: impl Into<Value>) -> Result<(), FuncError> {
+        self.set_attr_inner(entity, attr, value.into(), false)
+    }
+
+    /// `set-attr v.a = arg` — assign an attribute from a function argument.
+    /// Identical to [`GraphBuilder::set_attr`] but also enforces the `const`
+    /// restriction of §4.3.
+    ///
+    /// # Errors
+    ///
+    /// Additionally [`FuncError::ConstFromArg`] for `const` attributes.
+    pub fn set_attr_from_arg(
+        &mut self,
+        entity: &str,
+        attr: &str,
+        value: impl Into<Value>,
+    ) -> Result<(), FuncError> {
+        self.set_attr_inner(entity, attr, value.into(), true)
+    }
+
+    fn attr_def(&self, entity: &str, attr: &str) -> Result<(bool, AttrDef), FuncError> {
+        // Returns (is_node, def).
+        if let Ok(id) = self.graph.node_id(entity) {
+            let ty = &self.graph.node(id).ty;
+            let nt = self.lang.node_type(ty).expect("node type checked at insertion");
+            let def = nt
+                .attrs
+                .get(attr)
+                .ok_or_else(|| FuncError::UnknownAttr { entity: entity.into(), attr: attr.into() })?;
+            return Ok((true, def.clone()));
+        }
+        let id = self.graph.edge_id(entity).map_err(|_| GraphError::UnknownNode(entity.into()))?;
+        let ty = &self.graph.edge(id).ty;
+        let et = self.lang.edge_type(ty).expect("edge type checked at insertion");
+        let def = et
+            .attrs
+            .get(attr)
+            .ok_or_else(|| FuncError::UnknownAttr { entity: entity.into(), attr: attr.into() })?;
+        Ok((false, def.clone()))
+    }
+
+    fn set_attr_inner(
+        &mut self,
+        entity: &str,
+        attr: &str,
+        value: Value,
+        from_arg: bool,
+    ) -> Result<(), FuncError> {
+        let (is_node, def) = self.attr_def(entity, attr)?;
+        if def.ty.is_const && from_arg {
+            return Err(FuncError::ConstFromArg { entity: entity.into(), attr: attr.into() });
+        }
+        if !def.ty.admits(&value) {
+            return Err(FuncError::TypeMismatch {
+                entity: entity.into(),
+                attr: attr.into(),
+                expected: def.ty.to_string(),
+                got: value.to_string(),
+            });
+        }
+        let stored = self.apply_mismatch(&def, value);
+        if is_node {
+            let id = self.graph.node_id(entity)?;
+            self.graph.node_mut(id).attrs.insert(attr.into(), stored);
+        } else {
+            let id = self.graph.edge_id(entity)?;
+            self.graph.edge_mut(id).attrs.insert(attr.into(), stored);
+        }
+        Ok(())
+    }
+
+    fn apply_mismatch(&mut self, def: &AttrDef, value: Value) -> Value {
+        match (&def.ty.mismatch, &value) {
+            (Some(mm), Value::Real(x)) => Value::Real(self.sampler.sample(*x, mm)),
+            (Some(mm), Value::Int(i)) => Value::Real(self.sampler.sample(*i as f64, mm)),
+            _ => value,
+        }
+    }
+
+    /// `set-init v(i) = x` — set the initial value of the `i`-th derivative.
+    ///
+    /// # Errors
+    ///
+    /// Unknown node, out-of-range index, or a value outside the declared
+    /// initial-value type.
+    pub fn set_init(&mut self, node: &str, index: usize, value: f64) -> Result<(), FuncError> {
+        let id = self.graph.node_id(node)?;
+        let ty = self.graph.node(id).ty.clone();
+        let nt = self.lang.node_type(&ty).expect("checked at insertion");
+        if index >= nt.order {
+            return Err(FuncError::BadInitIndex { node: node.into(), index, order: nt.order });
+        }
+        let def = &nt.inits[index];
+        if !def.ty.admits(&Value::Real(value)) {
+            return Err(FuncError::TypeMismatch {
+                entity: node.into(),
+                attr: format!("init({index})"),
+                expected: def.ty.to_string(),
+                got: value.to_string(),
+            });
+        }
+        let stored = match &def.ty.mismatch {
+            Some(mm) => self.sampler.sample(value, mm),
+            None => value,
+        };
+        self.graph.node_mut(id).inits[index] = Some(stored);
+        Ok(())
+    }
+
+    /// `set-switch v when b` — set an edge's switch state (already-evaluated
+    /// condition).
+    ///
+    /// # Errors
+    ///
+    /// [`FuncError::SwitchFixedEdge`] for `fixed` edge types.
+    pub fn set_switch(&mut self, edge: &str, on: bool) -> Result<(), FuncError> {
+        let id = self.graph.edge_id(edge)?;
+        let ty = &self.graph.edge(id).ty;
+        let et = self.lang.edge_type(ty).expect("checked at insertion");
+        if et.fixed {
+            return Err(FuncError::SwitchFixedEdge(edge.into()));
+        }
+        self.graph.edge_mut(id).on = on;
+        Ok(())
+    }
+
+    /// Finish the invocation: fill unset attributes and initial values from
+    /// their declared defaults (sampling mismatch), then check completeness.
+    ///
+    /// # Errors
+    ///
+    /// [`FuncError::Unassigned`] for any attribute or initial value that was
+    /// neither set nor given a default.
+    pub fn finish(mut self) -> Result<Graph, FuncError> {
+        // Defaults for node attributes and inits.
+        for i in 0..self.graph.num_nodes() {
+            let id = NodeId(i);
+            let (name, ty) =
+                (self.graph.node(id).name.clone(), self.graph.node(id).ty.clone());
+            let nt = self.lang.node_type(&ty).expect("checked").clone();
+            for (an, def) in &nt.attrs {
+                if self.graph.node(id).attrs.contains_key(an) {
+                    continue;
+                }
+                match &def.default {
+                    Some(v) => {
+                        let stored = self.apply_mismatch(def, v.clone());
+                        self.graph.node_mut(id).attrs.insert(an.clone(), stored);
+                    }
+                    None => {
+                        return Err(FuncError::Unassigned { entity: name, attr: an.clone() })
+                    }
+                }
+            }
+            for (k, def) in nt.inits.iter().enumerate() {
+                if self.graph.node(id).inits[k].is_some() {
+                    continue;
+                }
+                match def.default.as_ref().and_then(Value::as_real) {
+                    Some(x) => {
+                        let stored = match &def.ty.mismatch {
+                            Some(mm) => self.sampler.sample(x, mm),
+                            None => x,
+                        };
+                        self.graph.node_mut(id).inits[k] = Some(stored);
+                    }
+                    None => {
+                        return Err(FuncError::Unassigned {
+                            entity: name,
+                            attr: format!("init({k})"),
+                        })
+                    }
+                }
+            }
+        }
+        // Defaults for edge attributes.
+        for i in 0..self.graph.num_edges() {
+            let id = EdgeId(i);
+            let (name, ty) =
+                (self.graph.edge(id).name.clone(), self.graph.edge(id).ty.clone());
+            let et = self.lang.edge_type(&ty).expect("checked").clone();
+            for (an, def) in &et.attrs {
+                if self.graph.edge(id).attrs.contains_key(an) {
+                    continue;
+                }
+                match &def.default {
+                    Some(v) => {
+                        let stored = self.apply_mismatch(def, v.clone());
+                        self.graph.edge_mut(id).attrs.insert(an.clone(), stored);
+                    }
+                    None => {
+                        return Err(FuncError::Unassigned { entity: name, attr: an.clone() })
+                    }
+                }
+            }
+        }
+        Ok(self.graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::{EdgeType, LanguageBuilder, NodeType, Reduction};
+    use crate::types::SigType;
+    use ark_expr::{Expr, Lambda};
+
+    fn lang() -> Language {
+        LanguageBuilder::new("t")
+            .node_type(
+                NodeType::new("V", 1, Reduction::Sum)
+                    .attr("c", SigType::real(1e-10, 1e-8))
+                    .attr_default("g", SigType::real(0.0, f64::INFINITY), 0.0)
+                    .init_default(SigType::real(-10.0, 10.0), 0.0),
+            )
+            .node_type(
+                NodeType::new("Vm", 1, Reduction::Sum)
+                    .inherit("V")
+                    .attr("c", SigType::real(1e-10, 1e-8).with_mismatch(0.0, 0.1)),
+            )
+            .node_type(
+                NodeType::new("Inp", 0, Reduction::Sum)
+                    .attr("fn", SigType::lambda(1))
+                    .attr_default("r", SigType::real(0.0, f64::INFINITY).constant(), 1.0),
+            )
+            .edge_type(EdgeType::new("E"))
+            .edge_type(EdgeType::new("F").fixed())
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_simple_graph() {
+        let l = lang();
+        let mut b = GraphBuilder::new(&l, 0);
+        b.node("a", "V").unwrap();
+        b.node("b", "V").unwrap();
+        b.edge("e", "E", "a", "b").unwrap();
+        b.set_attr("a", "c", 1e-9).unwrap();
+        b.set_attr("b", "c", 2e-9).unwrap();
+        let g = b.finish().unwrap();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.attr_value("a", "g"), Some(&Value::Real(0.0))); // default
+        assert_eq!(g.node(g.node_id("a").unwrap()).inits[0], Some(0.0)); // default init
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let l = lang();
+        let mut b = GraphBuilder::new(&l, 0);
+        assert!(matches!(b.node("a", "Zap"), Err(FuncError::UnknownType(_))));
+        b.node("a", "V").unwrap();
+        assert!(matches!(b.edge("e", "Zap", "a", "a"), Err(FuncError::UnknownType(_))));
+    }
+
+    #[test]
+    fn unknown_attr_rejected() {
+        let l = lang();
+        let mut b = GraphBuilder::new(&l, 0);
+        b.node("a", "V").unwrap();
+        assert!(matches!(
+            b.set_attr("a", "nope", 1.0),
+            Err(FuncError::UnknownAttr { .. })
+        ));
+    }
+
+    #[test]
+    fn range_violation_rejected() {
+        let l = lang();
+        let mut b = GraphBuilder::new(&l, 0);
+        b.node("a", "V").unwrap();
+        assert!(matches!(b.set_attr("a", "c", 1.0), Err(FuncError::TypeMismatch { .. })));
+        // Negative conductance out of [0, inf).
+        assert!(matches!(b.set_attr("a", "g", -1.0), Err(FuncError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn lambda_attr_assignment() {
+        let l = lang();
+        let mut b = GraphBuilder::new(&l, 0);
+        b.node("in", "Inp").unwrap();
+        let pulse = Lambda::new(
+            vec!["t"],
+            Expr::Call("pulse".into(), vec![Expr::arg("t"), 0.0.into(), 2e-8.into()]),
+        );
+        b.set_attr("in", "fn", pulse.clone()).unwrap();
+        // Wrong arity rejected.
+        let bad = Lambda::new(Vec::<String>::new(), Expr::constant(0.0));
+        assert!(matches!(b.set_attr("in", "fn", bad), Err(FuncError::TypeMismatch { .. })));
+        let g = b.finish().unwrap();
+        assert_eq!(g.attr_value("in", "fn").unwrap().as_lambda(), Some(&pulse));
+    }
+
+    #[test]
+    fn const_attr_from_arg_rejected_but_literal_ok() {
+        let l = lang();
+        let mut b = GraphBuilder::new(&l, 0);
+        b.node("in", "Inp").unwrap();
+        assert!(matches!(
+            b.set_attr_from_arg("in", "r", 2.0),
+            Err(FuncError::ConstFromArg { .. })
+        ));
+        b.set_attr("in", "r", 2.0).unwrap();
+    }
+
+    #[test]
+    fn mismatch_sampling_is_seeded() {
+        let l = lang();
+        let build = |seed| {
+            let mut b = GraphBuilder::new(&l, seed);
+            b.node("a", "Vm").unwrap();
+            b.set_attr("a", "c", 1e-9).unwrap();
+            b.finish().unwrap()
+        };
+        let g1 = build(1);
+        let g1b = build(1);
+        let g2 = build(2);
+        let c = |g: &Graph| g.attr_value("a", "c").unwrap().as_real().unwrap();
+        // Same seed → same instance; different seed → different instance.
+        assert_eq!(c(&g1), c(&g1b));
+        assert_ne!(c(&g1), c(&g2));
+        // Sampled value differs from nominal but is near it.
+        assert_ne!(c(&g1), 1e-9);
+        assert!((c(&g1) - 1e-9).abs() < 5e-10);
+    }
+
+    #[test]
+    fn non_mismatched_attr_stored_exactly() {
+        let l = lang();
+        let mut b = GraphBuilder::new(&l, 9);
+        b.node("a", "V").unwrap();
+        b.set_attr("a", "c", 1e-9).unwrap();
+        let g = b.finish().unwrap();
+        assert_eq!(g.attr_value("a", "c"), Some(&Value::Real(1e-9)));
+    }
+
+    #[test]
+    fn switch_rules() {
+        let l = lang();
+        let mut b = GraphBuilder::new(&l, 0);
+        b.node("a", "V").unwrap();
+        b.set_attr("a", "c", 1e-9).unwrap();
+        b.edge("e", "E", "a", "a").unwrap();
+        b.edge("f", "F", "a", "a").unwrap();
+        b.set_switch("e", false).unwrap();
+        assert!(matches!(b.set_switch("f", false), Err(FuncError::SwitchFixedEdge(_))));
+        let g = b.finish().unwrap();
+        assert!(!g.edge(g.edge_id("e").unwrap()).on);
+        assert!(g.edge(g.edge_id("f").unwrap()).on);
+    }
+
+    #[test]
+    fn set_init_checks() {
+        let l = lang();
+        let mut b = GraphBuilder::new(&l, 0);
+        b.node("a", "V").unwrap();
+        b.set_init("a", 0, 1.5).unwrap();
+        assert!(matches!(
+            b.set_init("a", 1, 0.0),
+            Err(FuncError::BadInitIndex { .. })
+        ));
+        assert!(matches!(
+            b.set_init("a", 0, 100.0), // outside real[-10,10]
+            Err(FuncError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_required_attr_detected_at_finish() {
+        let l = lang();
+        let mut b = GraphBuilder::new(&l, 0);
+        b.node("a", "V").unwrap(); // `c` has no default
+        assert!(matches!(b.finish(), Err(FuncError::Unassigned { .. })));
+    }
+
+    #[test]
+    fn derived_node_substitutable() {
+        // Vm can be used anywhere V was used: builder accepts it and the
+        // inherited default for `g` still applies.
+        let l = lang();
+        let mut b = GraphBuilder::new(&l, 5);
+        b.node("a", "Vm").unwrap();
+        b.set_attr("a", "c", 1e-9).unwrap();
+        let g = b.finish().unwrap();
+        assert_eq!(g.attr_value("a", "g"), Some(&Value::Real(0.0)));
+    }
+}

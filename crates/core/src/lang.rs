@@ -1,0 +1,1425 @@
+//! Ark language definitions (paper §4.1): node/edge types, production
+//! rules, validity rules, and single inheritance with the compatibility
+//! checks of §4.1.1.
+//!
+//! A [`Language`] specializes the dynamical-graph computational model to a
+//! particular analog compute paradigm. Languages are built with
+//! [`LanguageBuilder`], either programmatically (see `ark-paradigms`) or by
+//! the textual parser in [`crate::parse`]. Derived languages *flatten* their
+//! parent's definitions into a single table; each definition remembers the
+//! `layer` (position in the inheritance chain) that introduced it so the
+//! builder can enforce the paper's extension rules:
+//!
+//! * derived node/edge types keep the parent's order and reduction and may
+//!   only *narrow* attribute ranges;
+//! * parent production/validity rules cannot be overridden or removed;
+//! * new rules must mention at least one type introduced by the derived
+//!   language;
+//! * rule lookup picks the most specific matching rule, falling back to
+//!   parent types, and reports ambiguities.
+
+use crate::types::{SigType, Value};
+use ark_expr::Expr;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Reduction operator of a node type (`Λ` in the paper's Eq. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reduction {
+    /// Aggregate contributions by summation.
+    Sum,
+    /// Aggregate contributions by product.
+    Mul,
+}
+
+impl Reduction {
+    /// Identity element of the reduction.
+    pub fn identity(self) -> f64 {
+        match self {
+            Reduction::Sum => 0.0,
+            Reduction::Mul => 1.0,
+        }
+    }
+}
+
+/// An attribute (or initial-value) declaration: a signal type plus an
+/// optional default value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrDef {
+    /// The declared signal type.
+    pub ty: SigType,
+    /// Default value applied when a function does not set the attribute.
+    pub default: Option<Value>,
+}
+
+impl AttrDef {
+    /// Declaration without a default.
+    pub fn new(ty: SigType) -> Self {
+        AttrDef { ty, default: None }
+    }
+
+    /// Declaration with a default value.
+    pub fn with_default(ty: SigType, default: Value) -> Self {
+        AttrDef { ty, default: Some(default) }
+    }
+}
+
+/// A node type declaration (`node-type v(p, Reduc) {Attr*}`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeType {
+    /// Type name.
+    pub name: String,
+    /// Parent type for derived node types.
+    pub parent: Option<String>,
+    /// Variable order `p`: 0 = pure function, `p ≥ 1` = p-th order ODE.
+    pub order: usize,
+    /// Reduction operator for aggregating edge contributions.
+    pub reduction: Reduction,
+    /// Named attributes.
+    pub attrs: BTreeMap<String, AttrDef>,
+    /// Initial-value declarations for derivatives `0..order`.
+    pub inits: Vec<AttrDef>,
+    /// Index of the language in the inheritance chain that declared this
+    /// type (0 = root).
+    pub layer: usize,
+}
+
+impl NodeType {
+    /// Start a fresh node type.
+    pub fn new(name: impl Into<String>, order: usize, reduction: Reduction) -> Self {
+        NodeType {
+            name: name.into(),
+            parent: None,
+            order,
+            reduction,
+            attrs: BTreeMap::new(),
+            inits: Vec::new(),
+            layer: 0,
+        }
+    }
+
+    /// Declare this type as inheriting from `parent` (builder style).
+    /// The order and reduction must match the parent's; the builder checks.
+    pub fn inherit(mut self, parent: impl Into<String>) -> Self {
+        self.parent = Some(parent.into());
+        self
+    }
+
+    /// Add an attribute (builder style).
+    pub fn attr(mut self, name: impl Into<String>, ty: SigType) -> Self {
+        self.attrs.insert(name.into(), AttrDef::new(ty));
+        self
+    }
+
+    /// Add an attribute with a default value (builder style).
+    pub fn attr_default(
+        mut self,
+        name: impl Into<String>,
+        ty: SigType,
+        default: impl Into<Value>,
+    ) -> Self {
+        self.attrs.insert(name.into(), AttrDef::with_default(ty, default.into()));
+        self
+    }
+
+    /// Declare the initial value for the next derivative (builder style).
+    pub fn init(mut self, ty: SigType) -> Self {
+        self.inits.push(AttrDef::new(ty));
+        self
+    }
+
+    /// Declare the initial value for the next derivative with a default.
+    pub fn init_default(mut self, ty: SigType, default: impl Into<Value>) -> Self {
+        self.inits.push(AttrDef::with_default(ty, default.into()));
+        self
+    }
+}
+
+/// An edge type declaration (`edge-type [fixed] v {Attr*}`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeType {
+    /// Type name.
+    pub name: String,
+    /// Parent type for derived edge types.
+    pub parent: Option<String>,
+    /// `fixed`: non-switchable; always on (§4.3).
+    pub fixed: bool,
+    /// Named attributes.
+    pub attrs: BTreeMap<String, AttrDef>,
+    /// Layer that declared this type.
+    pub layer: usize,
+}
+
+impl EdgeType {
+    /// Start a fresh edge type.
+    pub fn new(name: impl Into<String>) -> Self {
+        EdgeType { name: name.into(), parent: None, fixed: false, attrs: BTreeMap::new(), layer: 0 }
+    }
+
+    /// Declare as inheriting from `parent` (builder style).
+    pub fn inherit(mut self, parent: impl Into<String>) -> Self {
+        self.parent = Some(parent.into());
+        self
+    }
+
+    /// Mark as fixed / non-switchable (builder style).
+    pub fn fixed(mut self) -> Self {
+        self.fixed = true;
+        self
+    }
+
+    /// Add an attribute (builder style).
+    pub fn attr(mut self, name: impl Into<String>, ty: SigType) -> Self {
+        self.attrs.insert(name.into(), AttrDef::new(ty));
+        self
+    }
+
+    /// Add an attribute with a default value (builder style).
+    pub fn attr_default(
+        mut self,
+        name: impl Into<String>,
+        ty: SigType,
+        default: impl Into<Value>,
+    ) -> Self {
+        self.attrs.insert(name.into(), AttrDef::with_default(ty, default.into()));
+        self
+    }
+}
+
+/// Which endpoint of the connection a production expression targets
+/// (`v <= e` with `v` the source or destination variable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleTarget {
+    /// The term applies to the source node's dynamics.
+    Source,
+    /// The term applies to the destination node's dynamics.
+    Dest,
+}
+
+/// A production rule
+/// `prod(e:ET, s:ST -> t:DT) v <= expr [off]` (grammar lines 8–9).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProdRule {
+    /// Edge variable name (`e`).
+    pub edge_var: String,
+    /// Edge type the rule matches.
+    pub edge_ty: String,
+    /// Source variable name (`s`).
+    pub src_var: String,
+    /// Source node type.
+    pub src_ty: String,
+    /// Destination variable name (`t`; equals `src_var` for self rules).
+    pub dst_var: String,
+    /// Destination node type.
+    pub dst_ty: String,
+    /// Which endpoint receives the term.
+    pub target: RuleTarget,
+    /// The term template, over `edge_var`/`src_var`/`dst_var` and `time`.
+    pub expr: Expr,
+    /// `off` rules model nonidealities of switched-off edges (§4.3).
+    pub off: bool,
+    /// Layer that declared this rule.
+    pub layer: usize,
+}
+
+impl ProdRule {
+    /// Build a rule. `target_var` must name either the source or the
+    /// destination variable (checked by the language builder).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        edge: (&str, &str),
+        src: (&str, &str),
+        dst: (&str, &str),
+        target_var: &str,
+        expr: Expr,
+    ) -> Self {
+        let target =
+            if target_var == src.0 { RuleTarget::Source } else { RuleTarget::Dest };
+        ProdRule {
+            edge_var: edge.0.into(),
+            edge_ty: edge.1.into(),
+            src_var: src.0.into(),
+            src_ty: src.1.into(),
+            dst_var: dst.0.into(),
+            dst_ty: dst.1.into(),
+            target,
+            expr,
+            off: false,
+            layer: 0,
+        }
+    }
+
+    /// Mark as an `off` rule (builder style).
+    pub fn off(mut self) -> Self {
+        self.off = true;
+        self
+    }
+
+    /// True for self-referencing rules (`src_var == dst_var`).
+    pub fn is_self(&self) -> bool {
+        self.src_var == self.dst_var
+    }
+
+    /// Rule signature used for duplicate detection.
+    fn signature(&self) -> (String, String, String, RuleTargetKey, bool, bool) {
+        (
+            self.edge_ty.clone(),
+            self.src_ty.clone(),
+            self.dst_ty.clone(),
+            match self.target {
+                RuleTarget::Source => RuleTargetKey::Source,
+                RuleTarget::Dest => RuleTargetKey::Dest,
+            },
+            self.off,
+            self.is_self(),
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum RuleTargetKey {
+    Source,
+    Dest,
+}
+
+impl fmt::Display for ProdRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tv = match self.target {
+            RuleTarget::Source => &self.src_var,
+            RuleTarget::Dest => &self.dst_var,
+        };
+        write!(
+            f,
+            "prod({}:{}, {}:{} -> {}:{}) {} <= {}{}",
+            self.edge_var,
+            self.edge_ty,
+            self.src_var,
+            self.src_ty,
+            self.dst_var,
+            self.dst_ty,
+            tv,
+            self.expr,
+            if self.off { " off" } else { "" }
+        )
+    }
+}
+
+/// Direction selector of a validity `match` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatchDir {
+    /// `match(a0,a1,ET, vn -> [vt*])`: outgoing edges to nodes of the listed
+    /// types.
+    Outgoing(Vec<String>),
+    /// `match(a0,a1,ET, [vt*] -> vn)`: incoming edges from the listed types.
+    Incoming(Vec<String>),
+    /// `match(a0,a1,ET, vn)` / `match(a0,a1,ET)`: self-referencing edges.
+    SelfLoop,
+}
+
+/// One clause of a validity pattern, with cardinality bounds
+/// (`VAtom ::= p | inf`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchClause {
+    /// Minimum number of edges assigned to this clause.
+    pub lo: u64,
+    /// Maximum number of edges (`None` = `inf`).
+    pub hi: Option<u64>,
+    /// Edge type the clause matches (derived edge types match too).
+    pub edge_ty: String,
+    /// Direction and endpoint-type filter.
+    pub dir: MatchDir,
+}
+
+impl MatchClause {
+    /// Clause over outgoing edges.
+    pub fn outgoing(lo: u64, hi: Option<u64>, edge_ty: &str, dst_tys: &[&str]) -> Self {
+        MatchClause {
+            lo,
+            hi,
+            edge_ty: edge_ty.into(),
+            dir: MatchDir::Outgoing(dst_tys.iter().map(|s| s.to_string()).collect()),
+        }
+    }
+
+    /// Clause over incoming edges.
+    pub fn incoming(lo: u64, hi: Option<u64>, edge_ty: &str, src_tys: &[&str]) -> Self {
+        MatchClause {
+            lo,
+            hi,
+            edge_ty: edge_ty.into(),
+            dir: MatchDir::Incoming(src_tys.iter().map(|s| s.to_string()).collect()),
+        }
+    }
+
+    /// Clause over self-referencing edges.
+    pub fn self_loop(lo: u64, hi: Option<u64>, edge_ty: &str) -> Self {
+        MatchClause { lo, hi, edge_ty: edge_ty.into(), dir: MatchDir::SelfLoop }
+    }
+}
+
+/// A validity pattern: a list of clauses (`V Match*`). A node is *described*
+/// by the pattern when its incident edges can be assigned to clauses such
+/// that every edge lands on exactly one matching clause and every clause's
+/// cardinality bounds hold (Algorithm 2).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Pattern {
+    /// The clauses of the pattern.
+    pub clauses: Vec<MatchClause>,
+}
+
+impl Pattern {
+    /// Build a pattern from clauses.
+    pub fn new(clauses: Vec<MatchClause>) -> Self {
+        Pattern { clauses }
+    }
+}
+
+/// A local validity rule `cstr vn:NT { acc [...]* rej [...]* }`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidityRule {
+    /// Node type the rule constrains.
+    pub node_ty: String,
+    /// Accepted patterns: the node must be described by at least one.
+    pub accept: Vec<Pattern>,
+    /// Rejected patterns: the node must be described by none.
+    pub reject: Vec<Pattern>,
+    /// Layer that declared this rule.
+    pub layer: usize,
+}
+
+impl ValidityRule {
+    /// Start a rule for a node type.
+    pub fn new(node_ty: impl Into<String>) -> Self {
+        ValidityRule { node_ty: node_ty.into(), accept: Vec::new(), reject: Vec::new(), layer: 0 }
+    }
+
+    /// Add an accepted pattern (builder style).
+    pub fn accept(mut self, pattern: Pattern) -> Self {
+        self.accept.push(pattern);
+        self
+    }
+
+    /// Add a rejected pattern (builder style).
+    pub fn reject(mut self, pattern: Pattern) -> Self {
+        self.reject.push(pattern);
+        self
+    }
+}
+
+/// An error in a language definition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LangError {
+    /// Duplicate node/edge type name.
+    DuplicateType(String),
+    /// Reference to an undeclared type.
+    UnknownType(String),
+    /// Inheritance cycle through the named type.
+    InheritanceCycle(String),
+    /// Derived type changes order or reduction.
+    IncompatibleOverride(String, String),
+    /// Overridden attribute does not refine the parent's declaration.
+    InvalidRefinement {
+        /// Type name.
+        ty: String,
+        /// Attribute name.
+        attr: String,
+    },
+    /// Node type is missing initial-value declarations for its order.
+    MissingInit(String),
+    /// Production rule problems (bad target variable, unknown attr, ...).
+    BadRule(String),
+    /// Two production rules share a signature (ambiguous dispatch).
+    DuplicateRule(String),
+    /// A rule or constraint added by a derived language mentions no type of
+    /// that language (violates §4.1.1).
+    RuleNotExtending(String),
+    /// A default value does not inhabit the declared type.
+    BadDefault {
+        /// Type name.
+        ty: String,
+        /// Attribute name.
+        attr: String,
+    },
+    /// Rule lookup found several equally specific rules.
+    AmbiguousRule(String),
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::DuplicateType(n) => write!(f, "duplicate type `{n}`"),
+            LangError::UnknownType(n) => write!(f, "unknown type `{n}`"),
+            LangError::InheritanceCycle(n) => write!(f, "inheritance cycle through `{n}`"),
+            LangError::IncompatibleOverride(t, why) => {
+                write!(f, "type `{t}` is incompatible with its parent: {why}")
+            }
+            LangError::InvalidRefinement { ty, attr } => {
+                write!(f, "attribute `{attr}` of `{ty}` does not refine the parent declaration")
+            }
+            LangError::MissingInit(t) => {
+                write!(f, "node type `{t}` lacks initial-value declarations for its order")
+            }
+            LangError::BadRule(m) => write!(f, "invalid production rule: {m}"),
+            LangError::DuplicateRule(m) => write!(f, "duplicate production rule: {m}"),
+            LangError::RuleNotExtending(m) => {
+                write!(f, "derived-language rule must mention a new type: {m}")
+            }
+            LangError::BadDefault { ty, attr } => {
+                write!(f, "default for `{ty}.{attr}` does not inhabit its type")
+            }
+            LangError::AmbiguousRule(m) => write!(f, "ambiguous production rules: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+/// A complete, checked Ark language definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Language {
+    name: String,
+    /// Chain of language names, root first (`self.name` last).
+    chain: Vec<String>,
+    node_types: BTreeMap<String, NodeType>,
+    edge_types: BTreeMap<String, EdgeType>,
+    prod_rules: Vec<ProdRule>,
+    validity: Vec<ValidityRule>,
+    extern_checks: Vec<String>,
+}
+
+impl Language {
+    /// The language name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Name of the direct parent language, if derived.
+    pub fn parent_name(&self) -> Option<&str> {
+        (self.chain.len() >= 2).then(|| self.chain[self.chain.len() - 2].as_str())
+    }
+
+    /// The inheritance chain of language names, root first.
+    pub fn chain(&self) -> &[String] {
+        &self.chain
+    }
+
+    /// Look up a node type.
+    pub fn node_type(&self, name: &str) -> Option<&NodeType> {
+        self.node_types.get(name)
+    }
+
+    /// Look up an edge type.
+    pub fn edge_type(&self, name: &str) -> Option<&EdgeType> {
+        self.edge_types.get(name)
+    }
+
+    /// All node types, in name order.
+    pub fn node_types(&self) -> impl Iterator<Item = &NodeType> {
+        self.node_types.values()
+    }
+
+    /// All edge types, in name order.
+    pub fn edge_types(&self) -> impl Iterator<Item = &EdgeType> {
+        self.edge_types.values()
+    }
+
+    /// All production rules.
+    pub fn prod_rules(&self) -> &[ProdRule] {
+        &self.prod_rules
+    }
+
+    /// All local validity rules.
+    pub fn validity_rules(&self) -> &[ValidityRule] {
+        &self.validity
+    }
+
+    /// Names of registered global validity checks (`extern-func`).
+    pub fn extern_checks(&self) -> &[String] {
+        &self.extern_checks
+    }
+
+    /// Inheritance distance from node type `child` up to `ancestor`
+    /// (0 when equal); `None` when `ancestor` is not an ancestor.
+    pub fn node_distance(&self, child: &str, ancestor: &str) -> Option<u32> {
+        let mut cur = child;
+        let mut d = 0;
+        loop {
+            if cur == ancestor {
+                return Some(d);
+            }
+            match self.node_types.get(cur).and_then(|t| t.parent.as_deref()) {
+                Some(p) => {
+                    cur = p;
+                    d += 1;
+                }
+                None => return None,
+            }
+        }
+    }
+
+    /// Inheritance distance between edge types, as [`Language::node_distance`].
+    pub fn edge_distance(&self, child: &str, ancestor: &str) -> Option<u32> {
+        let mut cur = child;
+        let mut d = 0;
+        loop {
+            if cur == ancestor {
+                return Some(d);
+            }
+            match self.edge_types.get(cur).and_then(|t| t.parent.as_deref()) {
+                Some(p) => {
+                    cur = p;
+                    d += 1;
+                }
+                None => return None,
+            }
+        }
+    }
+
+    /// True when node type `child` is `ancestor` or derives from it.
+    pub fn node_is_a(&self, child: &str, ancestor: &str) -> bool {
+        self.node_distance(child, ancestor).is_some()
+    }
+
+    /// True when edge type `child` is `ancestor` or derives from it.
+    pub fn edge_is_a(&self, child: &str, ancestor: &str) -> bool {
+        self.edge_distance(child, ancestor).is_some()
+    }
+
+    /// Most specific production rule for a connection, per §4.1.1: the rule
+    /// whose `(edge, src, dst)` types are the closest ancestors of the
+    /// concrete types. Falls back to parent types; `Ok(None)` when no rule
+    /// applies.
+    ///
+    /// # Errors
+    ///
+    /// [`LangError::AmbiguousRule`] when several distinct rules tie.
+    pub fn lookup_rule(
+        &self,
+        edge_ty: &str,
+        src_ty: &str,
+        dst_ty: &str,
+        target: RuleTarget,
+        is_self: bool,
+        off: bool,
+    ) -> Result<Option<&ProdRule>, LangError> {
+        let mut best: Vec<(&ProdRule, u32)> = Vec::new();
+        for r in &self.prod_rules {
+            if r.target != target || r.is_self() != is_self || r.off != off {
+                continue;
+            }
+            let (Some(de), Some(ds), Some(dd)) = (
+                self.edge_distance(edge_ty, &r.edge_ty),
+                self.node_distance(src_ty, &r.src_ty),
+                self.node_distance(dst_ty, &r.dst_ty),
+            ) else {
+                continue;
+            };
+            let d = de + ds + dd;
+            match best.first() {
+                None => best.push((r, d)),
+                Some(&(_, bd)) if d < bd => {
+                    best.clear();
+                    best.push((r, d));
+                }
+                Some(&(_, bd)) if d == bd => best.push((r, d)),
+                _ => {}
+            }
+        }
+        match best.len() {
+            0 => Ok(None),
+            1 => Ok(Some(best[0].0)),
+            _ => Err(LangError::AmbiguousRule(format!(
+                "connection ({edge_ty}, {src_ty} -> {dst_ty}) matches {} rules at equal specificity",
+                best.len()
+            ))),
+        }
+    }
+
+    /// The validity rules that apply to a node of the given type: every rule
+    /// declared for the type or one of its ancestors.
+    pub fn validity_rules_for(&self, node_ty: &str) -> Vec<&ValidityRule> {
+        self.validity.iter().filter(|r| self.node_is_a(node_ty, &r.node_ty)).collect()
+    }
+}
+
+/// Builder for [`Language`] values; performs the semantic checks of §4.1 at
+/// [`LanguageBuilder::finish`].
+#[derive(Debug, Clone)]
+pub struct LanguageBuilder {
+    name: String,
+    chain: Vec<String>,
+    layer: usize,
+    node_types: BTreeMap<String, NodeType>,
+    edge_types: BTreeMap<String, EdgeType>,
+    prod_rules: Vec<ProdRule>,
+    validity: Vec<ValidityRule>,
+    extern_checks: Vec<String>,
+    pending: Vec<LangError>,
+}
+
+impl LanguageBuilder {
+    /// Start a root language.
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        LanguageBuilder {
+            chain: vec![name.clone()],
+            name,
+            layer: 0,
+            node_types: BTreeMap::new(),
+            edge_types: BTreeMap::new(),
+            prod_rules: Vec::new(),
+            validity: Vec::new(),
+            extern_checks: Vec::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Start a language deriving from `parent` (`lang v inherits p`),
+    /// inheriting all of its types and rules.
+    pub fn derive(name: impl Into<String>, parent: &Language) -> Self {
+        let name = name.into();
+        let mut chain = parent.chain.clone();
+        chain.push(name.clone());
+        LanguageBuilder {
+            name,
+            layer: parent.chain.len(),
+            chain,
+            node_types: parent.node_types.clone(),
+            edge_types: parent.edge_types.clone(),
+            prod_rules: parent.prod_rules.clone(),
+            validity: parent.validity.clone(),
+            extern_checks: parent.extern_checks.clone(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Declare a node type.
+    pub fn node_type(mut self, mut nt: NodeType) -> Self {
+        nt.layer = self.layer;
+        if self.node_types.contains_key(&nt.name) || self.edge_types.contains_key(&nt.name) {
+            self.pending.push(LangError::DuplicateType(nt.name.clone()));
+            return self;
+        }
+        self.node_types.insert(nt.name.clone(), nt);
+        self
+    }
+
+    /// Declare an edge type.
+    pub fn edge_type(mut self, mut et: EdgeType) -> Self {
+        et.layer = self.layer;
+        if self.node_types.contains_key(&et.name) || self.edge_types.contains_key(&et.name) {
+            self.pending.push(LangError::DuplicateType(et.name.clone()));
+            return self;
+        }
+        self.edge_types.insert(et.name.clone(), et);
+        self
+    }
+
+    /// Declare a production rule.
+    pub fn prod(mut self, mut rule: ProdRule) -> Self {
+        rule.layer = self.layer;
+        self.prod_rules.push(rule);
+        self
+    }
+
+    /// Declare a local validity rule.
+    pub fn cstr(mut self, mut rule: ValidityRule) -> Self {
+        rule.layer = self.layer;
+        self.validity.push(rule);
+        self
+    }
+
+    /// Register a global validity check by name (`extern-func v`). The
+    /// implementation is looked up in an
+    /// [`ExternRegistry`](crate::validate::ExternRegistry) at validation.
+    pub fn extern_check(mut self, name: impl Into<String>) -> Self {
+        self.extern_checks.push(name.into());
+        self
+    }
+
+    /// Run all semantic checks and produce the language.
+    ///
+    /// # Errors
+    ///
+    /// The first [`LangError`] discovered, covering: duplicate/unknown
+    /// types, inheritance cycles, incompatible overrides, non-refining
+    /// attributes, missing initial values, malformed or duplicate
+    /// production rules, and derived rules that extend nothing.
+    pub fn finish(mut self) -> Result<Language, LangError> {
+        if let Some(e) = self.pending.first() {
+            return Err(e.clone());
+        }
+        self.check_inheritance()?;
+        self.resolve_inherited_members()?;
+        self.check_inits()?;
+        self.check_rules()?;
+        self.check_validity_rules()?;
+        Ok(Language {
+            name: self.name,
+            chain: self.chain,
+            node_types: self.node_types,
+            edge_types: self.edge_types,
+            prod_rules: self.prod_rules,
+            validity: self.validity,
+            extern_checks: self.extern_checks,
+        })
+    }
+
+    fn check_inheritance(&self) -> Result<(), LangError> {
+        for nt in self.node_types.values() {
+            if let Some(p) = &nt.parent {
+                let parent = self
+                    .node_types
+                    .get(p)
+                    .ok_or_else(|| LangError::UnknownType(p.clone()))?;
+                if parent.order != nt.order {
+                    return Err(LangError::IncompatibleOverride(
+                        nt.name.clone(),
+                        format!("order {} != parent order {}", nt.order, parent.order),
+                    ));
+                }
+                if parent.reduction != nt.reduction {
+                    return Err(LangError::IncompatibleOverride(
+                        nt.name.clone(),
+                        "reduction operator differs from parent".into(),
+                    ));
+                }
+            }
+            // Cycle detection.
+            let mut seen = BTreeSet::new();
+            let mut cur = nt.name.as_str();
+            while let Some(p) = self.node_types.get(cur).and_then(|t| t.parent.as_deref()) {
+                if !seen.insert(p.to_string()) || p == nt.name {
+                    return Err(LangError::InheritanceCycle(nt.name.clone()));
+                }
+                cur = p;
+            }
+        }
+        for et in self.edge_types.values() {
+            if let Some(p) = &et.parent {
+                self.edge_types.get(p).ok_or_else(|| LangError::UnknownType(p.clone()))?;
+            }
+            let mut seen = BTreeSet::new();
+            let mut cur = et.name.as_str();
+            while let Some(p) = self.edge_types.get(cur).and_then(|t| t.parent.as_deref()) {
+                if !seen.insert(p.to_string()) || p == et.name {
+                    return Err(LangError::InheritanceCycle(et.name.clone()));
+                }
+                cur = p;
+            }
+        }
+        Ok(())
+    }
+
+    /// Copy inherited attributes/inits into derived types and check that
+    /// overrides refine the parent declarations.
+    fn resolve_inherited_members(&mut self) -> Result<(), LangError> {
+        // Process node types in topological (parent-first) order.
+        let order = topo_types(
+            self.node_types.keys().cloned().collect(),
+            |n| self.node_types.get(n).and_then(|t| t.parent.clone()),
+        );
+        for name in order {
+            let Some(parent_name) = self.node_types[&name].parent.clone() else {
+                // Root type: check defaults.
+                for (an, ad) in &self.node_types[&name].attrs {
+                    if let Some(d) = &ad.default {
+                        if !ad.ty.admits(d) {
+                            return Err(LangError::BadDefault { ty: name.clone(), attr: an.clone() });
+                        }
+                    }
+                }
+                continue;
+            };
+            let parent = self.node_types[&parent_name].clone();
+            let child = self.node_types.get_mut(&name).expect("declared");
+            for (an, pad) in &parent.attrs {
+                match child.attrs.get(an) {
+                    None => {
+                        child.attrs.insert(an.clone(), pad.clone());
+                    }
+                    Some(cad) => {
+                        if !cad.ty.refines(&pad.ty) {
+                            return Err(LangError::InvalidRefinement {
+                                ty: name.clone(),
+                                attr: an.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+            // Inits: inherit wholesale when absent; otherwise refine index-wise.
+            if child.inits.is_empty() {
+                child.inits = parent.inits.clone();
+            } else {
+                if child.inits.len() != parent.inits.len() {
+                    return Err(LangError::IncompatibleOverride(
+                        name.clone(),
+                        "initial-value count differs from parent".into(),
+                    ));
+                }
+                for (i, (cad, pad)) in child.inits.iter().zip(&parent.inits).enumerate() {
+                    if !cad.ty.refines(&pad.ty) {
+                        return Err(LangError::InvalidRefinement {
+                            ty: name.clone(),
+                            attr: format!("init({i})"),
+                        });
+                    }
+                }
+            }
+            for (an, ad) in &child.attrs {
+                if let Some(d) = &ad.default {
+                    if !ad.ty.admits(d) {
+                        return Err(LangError::BadDefault { ty: name.clone(), attr: an.clone() });
+                    }
+                }
+            }
+        }
+        // Edge types.
+        let order = topo_types(
+            self.edge_types.keys().cloned().collect(),
+            |n| self.edge_types.get(n).and_then(|t| t.parent.clone()),
+        );
+        for name in order {
+            let Some(parent_name) = self.edge_types[&name].parent.clone() else {
+                for (an, ad) in &self.edge_types[&name].attrs {
+                    if let Some(d) = &ad.default {
+                        if !ad.ty.admits(d) {
+                            return Err(LangError::BadDefault { ty: name.clone(), attr: an.clone() });
+                        }
+                    }
+                }
+                continue;
+            };
+            let parent = self.edge_types[&parent_name].clone();
+            let child = self.edge_types.get_mut(&name).expect("declared");
+            // Fixedness is inherited; a derived edge may not un-fix.
+            if parent.fixed {
+                child.fixed = true;
+            }
+            for (an, pad) in &parent.attrs {
+                match child.attrs.get(an) {
+                    None => {
+                        child.attrs.insert(an.clone(), pad.clone());
+                    }
+                    Some(cad) => {
+                        if !cad.ty.refines(&pad.ty) {
+                            return Err(LangError::InvalidRefinement {
+                                ty: name.clone(),
+                                attr: an.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+            for (an, ad) in &child.attrs {
+                if let Some(d) = &ad.default {
+                    if !ad.ty.admits(d) {
+                        return Err(LangError::BadDefault { ty: name.clone(), attr: an.clone() });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_inits(&self) -> Result<(), LangError> {
+        for nt in self.node_types.values() {
+            if nt.order >= 1 && nt.inits.len() != nt.order {
+                return Err(LangError::MissingInit(nt.name.clone()));
+            }
+            if nt.order == 0 && !nt.inits.is_empty() {
+                return Err(LangError::IncompatibleOverride(
+                    nt.name.clone(),
+                    "order-0 node types cannot declare initial values".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_rules(&self) -> Result<(), LangError> {
+        let mut signatures = BTreeSet::new();
+        for r in &self.prod_rules {
+            self.edge_types
+                .get(&r.edge_ty)
+                .ok_or_else(|| LangError::UnknownType(r.edge_ty.clone()))?;
+            let src = self
+                .node_types
+                .get(&r.src_ty)
+                .ok_or_else(|| LangError::UnknownType(r.src_ty.clone()))?;
+            let dst = self
+                .node_types
+                .get(&r.dst_ty)
+                .ok_or_else(|| LangError::UnknownType(r.dst_ty.clone()))?;
+            if r.is_self() && r.src_ty != r.dst_ty {
+                return Err(LangError::BadRule(format!(
+                    "self rule `{r}` must use one node type"
+                )));
+            }
+            // The expression may only reference the rule's own variables.
+            let vars: BTreeSet<&str> = [&r.edge_var, &r.src_var, &r.dst_var]
+                .into_iter()
+                .map(String::as_str)
+                .collect();
+            for ent in r.expr.referenced_entities() {
+                if !vars.contains(ent.as_str()) {
+                    return Err(LangError::BadRule(format!(
+                        "rule `{r}` references `{ent}` not bound in the prod clause"
+                    )));
+                }
+            }
+            // Attribute references must exist on the respective type.
+            let mut bad: Option<String> = None;
+            r.expr.visit(&mut |e| {
+                let (ent, attr) = match e {
+                    Expr::Attr(n, a) => (n, a),
+                    Expr::CallAttr(n, a, _) => (n, a),
+                    _ => return,
+                };
+                let found = if ent == &r.edge_var {
+                    self.edge_types[&r.edge_ty].attrs.contains_key(attr)
+                } else if ent == &r.src_var {
+                    src.attrs.contains_key(attr)
+                } else if ent == &r.dst_var {
+                    dst.attrs.contains_key(attr)
+                } else {
+                    return;
+                };
+                if !found && bad.is_none() {
+                    bad = Some(format!("rule `{r}` references unknown attribute {ent}.{attr}"));
+                }
+            });
+            if let Some(m) = bad {
+                return Err(LangError::BadRule(m));
+            }
+            if !signatures.insert(r.signature()) {
+                return Err(LangError::DuplicateRule(r.to_string()));
+            }
+            // Extension check: rules declared by a derived layer must use at
+            // least one type introduced by that layer.
+            if r.layer > 0 {
+                let mentions_new = [&r.edge_ty]
+                    .into_iter()
+                    .map(|t| self.edge_types[t].layer)
+                    .chain([&r.src_ty, &r.dst_ty].into_iter().map(|t| self.node_types[t].layer))
+                    .any(|l| l == r.layer);
+                if !mentions_new {
+                    return Err(LangError::RuleNotExtending(r.to_string()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_validity_rules(&self) -> Result<(), LangError> {
+        let mut targets = BTreeSet::new();
+        for v in &self.validity {
+            let nt = self
+                .node_types
+                .get(&v.node_ty)
+                .ok_or_else(|| LangError::UnknownType(v.node_ty.clone()))?;
+            if !targets.insert(v.node_ty.clone()) {
+                return Err(LangError::DuplicateRule(format!("cstr {}", v.node_ty)));
+            }
+            if v.layer > 0 && nt.layer != v.layer {
+                return Err(LangError::RuleNotExtending(format!(
+                    "cstr {} declared by `{}` targets a type of an ancestor language",
+                    v.node_ty,
+                    self.chain[v.layer.min(self.chain.len() - 1)]
+                )));
+            }
+            for p in v.accept.iter().chain(&v.reject) {
+                for c in &p.clauses {
+                    self.edge_types
+                        .get(&c.edge_ty)
+                        .ok_or_else(|| LangError::UnknownType(c.edge_ty.clone()))?;
+                    let tys: &[String] = match &c.dir {
+                        MatchDir::Outgoing(t) | MatchDir::Incoming(t) => t,
+                        MatchDir::SelfLoop => &[],
+                    };
+                    for t in tys {
+                        self.node_types
+                            .get(t)
+                            .ok_or_else(|| LangError::UnknownType(t.clone()))?;
+                    }
+                    if let Some(hi) = c.hi {
+                        if hi < c.lo {
+                            return Err(LangError::BadRule(format!(
+                                "match cardinality [{}, {}] is empty",
+                                c.lo, hi
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Order type names parent-first. Parents outside the set (unknown types,
+/// reported separately) and cycles (also reported separately) do not block.
+fn topo_types(names: Vec<String>, parent_of: impl Fn(&str) -> Option<String>) -> Vec<String> {
+    let all: BTreeSet<String> = names.iter().cloned().collect();
+    let mut out: Vec<String> = Vec::with_capacity(names.len());
+    let mut placed: BTreeSet<String> = BTreeSet::new();
+    let mut remaining = names;
+    while !remaining.is_empty() {
+        let mut progressed = false;
+        remaining.retain(|n| {
+            let ready = match parent_of(n) {
+                None => true,
+                Some(p) => placed.contains(&p) || !all.contains(&p),
+            };
+            if ready {
+                out.push(n.clone());
+                placed.insert(n.clone());
+                progressed = true;
+                false
+            } else {
+                true
+            }
+        });
+        if !progressed {
+            // Cycle (reported separately); emit in arbitrary order.
+            out.append(&mut remaining);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ark_expr::parse_expr;
+
+    fn toy_lang() -> Language {
+        LanguageBuilder::new("toy")
+            .node_type(
+                NodeType::new("V", 1, Reduction::Sum)
+                    .attr("c", SigType::real(1e-10, 1e-8))
+                    .attr("g", SigType::real(0.0, f64::INFINITY))
+                    .init_default(SigType::real(-10.0, 10.0), 0.0),
+            )
+            .node_type(
+                NodeType::new("I", 1, Reduction::Sum)
+                    .attr("l", SigType::real(1e-10, 1e-8))
+                    .attr("r", SigType::real(0.0, f64::INFINITY))
+                    .init_default(SigType::real(-10.0, 10.0), 0.0),
+            )
+            .edge_type(EdgeType::new("E"))
+            .prod(ProdRule::new(
+                ("e", "E"),
+                ("s", "V"),
+                ("t", "I"),
+                "s",
+                parse_expr("-var(t)/s.c").unwrap(),
+            ))
+            .prod(ProdRule::new(
+                ("e", "E"),
+                ("s", "V"),
+                ("t", "I"),
+                "t",
+                parse_expr("var(s)/t.l").unwrap(),
+            ))
+            .cstr(
+                ValidityRule::new("V")
+                    .accept(Pattern::new(vec![
+                        MatchClause::outgoing(0, None, "E", &["I"]),
+                        MatchClause::incoming(0, None, "E", &["I"]),
+                        MatchClause::self_loop(1, Some(1), "E"),
+                    ])),
+            )
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_and_query_language() {
+        let lang = toy_lang();
+        assert_eq!(lang.name(), "toy");
+        assert!(lang.parent_name().is_none());
+        assert_eq!(lang.node_types().count(), 2);
+        assert!(lang.node_type("V").is_some());
+        assert!(lang.edge_type("E").is_some());
+        assert_eq!(lang.prod_rules().len(), 2);
+        assert_eq!(lang.validity_rules().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_type_rejected() {
+        let res = LanguageBuilder::new("bad")
+            .node_type(NodeType::new("V", 0, Reduction::Sum))
+            .node_type(NodeType::new("V", 0, Reduction::Sum))
+            .finish();
+        assert!(matches!(res, Err(LangError::DuplicateType(_))));
+        // Node/edge namespace collision.
+        let res = LanguageBuilder::new("bad")
+            .node_type(NodeType::new("X", 0, Reduction::Sum))
+            .edge_type(EdgeType::new("X"))
+            .finish();
+        assert!(matches!(res, Err(LangError::DuplicateType(_))));
+    }
+
+    #[test]
+    fn missing_init_rejected() {
+        let res = LanguageBuilder::new("bad")
+            .node_type(NodeType::new("V", 1, Reduction::Sum))
+            .finish();
+        assert!(matches!(res, Err(LangError::MissingInit(_))));
+        // Order-2 requires two init declarations.
+        let res = LanguageBuilder::new("bad")
+            .node_type(NodeType::new("W", 2, Reduction::Sum).init(SigType::real(-1.0, 1.0)))
+            .finish();
+        assert!(matches!(res, Err(LangError::MissingInit(_))));
+    }
+
+    #[test]
+    fn order_zero_with_init_rejected() {
+        let res = LanguageBuilder::new("bad")
+            .node_type(NodeType::new("F", 0, Reduction::Sum).init(SigType::real(-1.0, 1.0)))
+            .finish();
+        assert!(matches!(res, Err(LangError::IncompatibleOverride(_, _))));
+    }
+
+    #[test]
+    fn rule_target_must_be_bound() {
+        let res = LanguageBuilder::new("bad")
+            .node_type(
+                NodeType::new("V", 1, Reduction::Sum).init_default(SigType::real(-1.0, 1.0), 0.0),
+            )
+            .edge_type(EdgeType::new("E"))
+            .prod(ProdRule::new(
+                ("e", "E"),
+                ("s", "V"),
+                ("t", "V"),
+                "t",
+                parse_expr("var(q)").unwrap(), // q is unbound
+            ))
+            .finish();
+        assert!(matches!(res, Err(LangError::BadRule(_))));
+    }
+
+    #[test]
+    fn rule_unknown_attr_rejected() {
+        let res = LanguageBuilder::new("bad")
+            .node_type(
+                NodeType::new("V", 1, Reduction::Sum).init_default(SigType::real(-1.0, 1.0), 0.0),
+            )
+            .edge_type(EdgeType::new("E"))
+            .prod(ProdRule::new(
+                ("e", "E"),
+                ("s", "V"),
+                ("t", "V"),
+                "t",
+                parse_expr("var(s)/t.nope").unwrap(),
+            ))
+            .finish();
+        assert!(matches!(res, Err(LangError::BadRule(_))));
+    }
+
+    #[test]
+    fn duplicate_rule_signature_rejected() {
+        let res = LanguageBuilder::new("bad")
+            .node_type(
+                NodeType::new("V", 1, Reduction::Sum).init_default(SigType::real(-1.0, 1.0), 0.0),
+            )
+            .edge_type(EdgeType::new("E"))
+            .prod(ProdRule::new(("e", "E"), ("s", "V"), ("t", "V"), "t", parse_expr("1").unwrap()))
+            .prod(ProdRule::new(("e", "E"), ("s", "V"), ("t", "V"), "t", parse_expr("2").unwrap()))
+            .finish();
+        assert!(matches!(res, Err(LangError::DuplicateRule(_))));
+    }
+
+    #[test]
+    fn derived_language_inherits_and_narrows() {
+        let base = toy_lang();
+        let derived = LanguageBuilder::derive("toy_mm", &base)
+            .node_type(
+                NodeType::new("Vm", 1, Reduction::Sum)
+                    .inherit("V")
+                    .attr("c", SigType::real(1e-10, 1e-8).with_mismatch(0.0, 0.1)),
+            )
+            .finish()
+            .unwrap();
+        assert_eq!(derived.parent_name(), Some("toy"));
+        let vm = derived.node_type("Vm").unwrap();
+        // Inherited attribute g present; inherited init present.
+        assert!(vm.attrs.contains_key("g"));
+        assert_eq!(vm.inits.len(), 1);
+        assert!(derived.node_is_a("Vm", "V"));
+        assert!(!derived.node_is_a("V", "Vm"));
+        assert_eq!(derived.node_distance("Vm", "V"), Some(1));
+    }
+
+    #[test]
+    fn widening_override_rejected() {
+        let base = toy_lang();
+        let res = LanguageBuilder::derive("bad", &base)
+            .node_type(
+                NodeType::new("Vm", 1, Reduction::Sum)
+                    .inherit("V")
+                    .attr("c", SigType::real(0.0, 1.0)), // wider than [1e-10,1e-8]
+            )
+            .finish();
+        assert!(matches!(res, Err(LangError::InvalidRefinement { .. })));
+    }
+
+    #[test]
+    fn order_change_rejected() {
+        let base = toy_lang();
+        let res = LanguageBuilder::derive("bad", &base)
+            .node_type(
+                NodeType::new("Vm", 2, Reduction::Sum)
+                    .inherit("V")
+                    .init(SigType::real(-1.0, 1.0))
+                    .init(SigType::real(-1.0, 1.0)),
+            )
+            .finish();
+        assert!(matches!(res, Err(LangError::IncompatibleOverride(_, _))));
+    }
+
+    #[test]
+    fn derived_rule_must_mention_new_type() {
+        let base = toy_lang();
+        // A rule purely over parent types cannot be added by the extension.
+        let res = LanguageBuilder::derive("bad", &base)
+            .node_type(NodeType::new("Vm", 1, Reduction::Sum).inherit("V"))
+            .prod(ProdRule::new(
+                ("e", "E"),
+                ("s", "I"),
+                ("t", "V"),
+                "t",
+                parse_expr("var(s)").unwrap(),
+            ))
+            .finish();
+        assert!(matches!(res, Err(LangError::RuleNotExtending(_))));
+        // Mentioning the new type is fine.
+        let ok = LanguageBuilder::derive("good", &base)
+            .node_type(NodeType::new("Vm", 1, Reduction::Sum).inherit("V"))
+            .prod(ProdRule::new(
+                ("e", "E"),
+                ("s", "I"),
+                ("t", "Vm"),
+                "t",
+                parse_expr("var(s)").unwrap(),
+            ))
+            .finish();
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn rule_lookup_most_specific_wins() {
+        let base = toy_lang();
+        let derived = LanguageBuilder::derive("toy_mm", &base)
+            .node_type(NodeType::new("Vm", 1, Reduction::Sum).inherit("V"))
+            .edge_type(EdgeType::new("Em").inherit("E"))
+            .prod(ProdRule::new(
+                ("e", "Em"),
+                ("s", "V"),
+                ("t", "I"),
+                "s",
+                parse_expr("-var(t)*2/s.c").unwrap(),
+            ))
+            .finish()
+            .unwrap();
+        // Em edge from Vm to I: the Em-specific rule (distance 1+1+0=2)
+        // beats the base rule (distance via E: 1+1+0 with edge dist 1 → 3).
+        let r = derived
+            .lookup_rule("Em", "Vm", "I", RuleTarget::Source, false, false)
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.edge_ty, "Em");
+        // Plain E edge still dispatches to the base rule.
+        let r = derived
+            .lookup_rule("E", "Vm", "I", RuleTarget::Source, false, false)
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.edge_ty, "E");
+        // No rule for I -> I.
+        assert!(derived
+            .lookup_rule("E", "I", "I", RuleTarget::Source, false, false)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn validity_rules_for_derived_type_include_parent_rules() {
+        let base = toy_lang();
+        let derived = LanguageBuilder::derive("toy_mm", &base)
+            .node_type(NodeType::new("Vm", 1, Reduction::Sum).inherit("V"))
+            .finish()
+            .unwrap();
+        let rules = derived.validity_rules_for("Vm");
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].node_ty, "V");
+    }
+
+    #[test]
+    fn derived_cstr_on_parent_type_rejected() {
+        let base = toy_lang();
+        let res = LanguageBuilder::derive("bad", &base)
+            .node_type(NodeType::new("Vm", 1, Reduction::Sum).inherit("V"))
+            .cstr(ValidityRule::new("I").accept(Pattern::default()))
+            .finish();
+        assert!(matches!(res, Err(LangError::RuleNotExtending(_))));
+    }
+
+    #[test]
+    fn inheritance_cycle_detected() {
+        // a inherits b, b inherits a.
+        let res = LanguageBuilder::new("bad")
+            .node_type(NodeType::new("A", 0, Reduction::Sum).inherit("B"))
+            .node_type(NodeType::new("B", 0, Reduction::Sum).inherit("A"))
+            .finish();
+        assert!(matches!(res, Err(LangError::InheritanceCycle(_))));
+    }
+
+    #[test]
+    fn bad_default_rejected() {
+        let res = LanguageBuilder::new("bad")
+            .node_type(
+                NodeType::new("V", 1, Reduction::Sum)
+                    .attr_default("c", SigType::real(0.0, 1.0), 5.0)
+                    .init_default(SigType::real(-1.0, 1.0), 0.0),
+            )
+            .finish();
+        assert!(matches!(res, Err(LangError::BadDefault { .. })));
+    }
+
+    #[test]
+    fn fixed_edges_inherited() {
+        let base = LanguageBuilder::new("base")
+            .edge_type(EdgeType::new("F").fixed())
+            .finish()
+            .unwrap();
+        let derived = LanguageBuilder::derive("d", &base)
+            .edge_type(EdgeType::new("Fm").inherit("F"))
+            .finish()
+            .unwrap();
+        assert!(derived.edge_type("Fm").unwrap().fixed);
+    }
+
+    #[test]
+    fn reduction_identity() {
+        assert_eq!(Reduction::Sum.identity(), 0.0);
+        assert_eq!(Reduction::Mul.identity(), 1.0);
+    }
+
+    #[test]
+    fn empty_cardinality_window_rejected() {
+        let res = LanguageBuilder::new("bad")
+            .node_type(
+                NodeType::new("V", 1, Reduction::Sum).init_default(SigType::real(-1.0, 1.0), 0.0),
+            )
+            .edge_type(EdgeType::new("E"))
+            .cstr(ValidityRule::new("V").accept(Pattern::new(vec![MatchClause::self_loop(
+                3,
+                Some(1),
+                "E",
+            )])))
+            .finish();
+        assert!(matches!(res, Err(LangError::BadRule(_))));
+    }
+}

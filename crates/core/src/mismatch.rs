@@ -1,0 +1,127 @@
+//! Seeded mismatch sampling (paper §4.3).
+//!
+//! The `real[x0,x1] mm(s0,s1)` datatype models process variation: when a
+//! nominal value `x` is assigned, the stored value is drawn from
+//! `N(x, s0 + |x|·s1)`. Each Ark function invocation seeds the sampler so a
+//! given (design, seed) pair always produces the same "fabricated instance";
+//! varying the seed across invocations models multiple fabricated chips.
+
+use crate::types::Mismatch;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic Gaussian sampler for mismatch values.
+#[derive(Debug, Clone)]
+pub struct MismatchSampler {
+    rng: StdRng,
+    spare: Option<f64>,
+}
+
+impl MismatchSampler {
+    /// Create a sampler for one fabricated instance (one function
+    /// invocation).
+    pub fn new(seed: u64) -> Self {
+        MismatchSampler { rng: StdRng::seed_from_u64(seed), spare: None }
+    }
+
+    /// Draw a standard normal variate (Box–Muller; `rand` ships no Gaussian
+    /// distribution without `rand_distr`, which is out of our dependency
+    /// budget).
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        loop {
+            let u1: f64 = self.rng.gen::<f64>();
+            let u2: f64 = self.rng.gen::<f64>();
+            if u1 <= f64::MIN_POSITIVE {
+                continue;
+            }
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = std::f64::consts::TAU * u2;
+            self.spare = Some(r * theta.sin());
+            return r * theta.cos();
+        }
+    }
+
+    /// Sample a mismatched value for nominal `x` under model `mm`.
+    pub fn sample(&mut self, x: f64, mm: &Mismatch) -> f64 {
+        x + mm.sigma(x) * self.standard_normal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = MismatchSampler::new(42);
+        let mut b = MismatchSampler::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.standard_normal(), b.standard_normal());
+        }
+        let mut c = MismatchSampler::new(43);
+        assert_ne!(MismatchSampler::new(42).standard_normal(), c.standard_normal());
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut s = MismatchSampler::new(7);
+        let n = 200_000;
+        let (mut sum, mut sumsq) = (0.0, 0.0);
+        for _ in 0..n {
+            let z = s.standard_normal();
+            sum += z;
+            sumsq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn sample_scales_with_model() {
+        // 10% relative mismatch on 1e-9 (the GmC-TLN Cint model).
+        let mm = Mismatch { abs: 0.0, rel: 0.1 };
+        let mut s = MismatchSampler::new(1);
+        let n = 50_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let v = s.sample(1e-9, &mm);
+            sum += v;
+            sumsq += v * v;
+        }
+        let mean = sum / n as f64;
+        let std = (sumsq / n as f64 - mean * mean).sqrt();
+        assert!((mean - 1e-9).abs() < 1e-11);
+        assert!((std - 1e-10).abs() < 5e-12, "std {std}");
+    }
+
+    #[test]
+    fn absolute_mismatch_on_zero_nominal() {
+        // The ofs-OBC offset attribute: nominal 0, mm(0.02, 0).
+        let mm = Mismatch { abs: 0.02, rel: 0.0 };
+        let mut s = MismatchSampler::new(2);
+        let mut any_nonzero = false;
+        let mut sumsq = 0.0;
+        let n = 50_000;
+        for _ in 0..n {
+            let v = s.sample(0.0, &mm);
+            any_nonzero |= v != 0.0;
+            sumsq += v * v;
+        }
+        assert!(any_nonzero, "mm(0.02,0) must perturb a zero nominal");
+        let std = (sumsq / n as f64).sqrt();
+        assert!((std - 0.02).abs() < 0.001, "std {std}");
+    }
+
+    #[test]
+    fn zero_model_is_identity() {
+        let mm = Mismatch { abs: 0.0, rel: 0.0 };
+        let mut s = MismatchSampler::new(3);
+        assert_eq!(s.sample(1.5, &mm), 1.5);
+    }
+}

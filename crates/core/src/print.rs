@@ -1,0 +1,302 @@
+//! Pretty-printing of language definitions back to Ark source text.
+//!
+//! The paper positions Ark languages as the *interface artifact* exchanged
+//! between domain specialists and analog designers; being able to render a
+//! programmatically built [`Language`] as canonical source (and re-parse
+//! it) keeps both construction paths equivalent. Round-trip tests pin
+//! `parse(print(lang)) == lang`.
+
+use crate::lang::{AttrDef, Language, MatchDir, Pattern, Reduction, RuleTarget};
+use crate::types::{SigKind, Value};
+use std::fmt::Write as _;
+
+fn fmt_bound(x: f64) -> String {
+    if x == f64::INFINITY {
+        "inf".into()
+    } else if x == f64::NEG_INFINITY {
+        "-inf".into()
+    } else {
+        format!("{x}")
+    }
+}
+
+fn fmt_attr_def(def: &AttrDef) -> String {
+    let mut s = String::new();
+    match def.ty.kind {
+        SigKind::Real => {
+            let _ = write!(s, "real[{}, {}]", fmt_bound(def.ty.lo), fmt_bound(def.ty.hi));
+        }
+        SigKind::Int => {
+            let _ = write!(s, "int[{}, {}]", fmt_bound(def.ty.lo), fmt_bound(def.ty.hi));
+        }
+        SigKind::Lambda(n) => {
+            let params: Vec<String> = (0..n).map(|i| format!("a{i}")).collect();
+            let _ = write!(s, "lambd({})", params.join(", "));
+        }
+    }
+    if let Some(mm) = &def.ty.mismatch {
+        let _ = write!(s, " mm({}, {})", mm.abs, mm.rel);
+    }
+    if def.ty.is_const {
+        s.push_str(" const");
+    }
+    // Suppress defaults that the parser re-derives from singleton ranges.
+    let implied = matches!(def.ty.kind, SigKind::Real | SigKind::Int)
+        && def.ty.lo == def.ty.hi
+        && def.ty.lo.is_finite();
+    match &def.default {
+        Some(Value::Lambda(l)) => {
+            let _ = write!(s, " default {l}");
+        }
+        Some(v) if !implied => {
+            let _ = write!(s, " default {v}");
+        }
+        _ => {}
+    }
+    s
+}
+
+fn fmt_pattern(p: &Pattern, node_ty: &str) -> String {
+    let clauses: Vec<String> = p
+        .clauses
+        .iter()
+        .map(|c| {
+            let hi = c.hi.map_or_else(|| "inf".to_string(), |h| h.to_string());
+            match &c.dir {
+                MatchDir::SelfLoop => {
+                    format!("match({}, {}, {}, {})", c.lo, hi, c.edge_ty, node_ty)
+                }
+                MatchDir::Outgoing(tys) => format!(
+                    "match({}, {}, {}, {}->[{}])",
+                    c.lo,
+                    hi,
+                    c.edge_ty,
+                    node_ty,
+                    tys.join(", ")
+                ),
+                MatchDir::Incoming(tys) => format!(
+                    "match({}, {}, {}, [{}]->{})",
+                    c.lo,
+                    hi,
+                    c.edge_ty,
+                    tys.join(", "),
+                    node_ty
+                ),
+            }
+        })
+        .collect();
+    format!("[ {} ]", clauses.join(", "))
+}
+
+/// Render the *own layer* of a language as Ark source: for a root language
+/// this is the complete definition; for a derived language it is the
+/// extension block (`lang X inherits P { ... }`) containing only the types
+/// and rules the final layer introduced.
+pub fn language_to_source(lang: &Language) -> String {
+    let own_layer = lang.chain().len() - 1;
+    let mut s = String::new();
+    match lang.parent_name() {
+        None => {
+            let _ = writeln!(s, "lang {} {{", lang.name());
+        }
+        Some(p) => {
+            let _ = writeln!(s, "lang {} inherits {p} {{", lang.name());
+        }
+    }
+    for nt in lang.node_types().filter(|t| t.layer == own_layer) {
+        let red = match nt.reduction {
+            Reduction::Sum => "sum",
+            Reduction::Mul => "mul",
+        };
+        let _ = write!(s, "    ntyp({}, {red}) {}", nt.order, nt.name);
+        if let Some(p) = &nt.parent {
+            let _ = write!(s, " inherit {p}");
+        }
+        let _ = writeln!(s, " {{");
+        for (an, ad) in &nt.attrs {
+            // Inherited, unmodified attributes are re-derived by the parser;
+            // print everything for fidelity (overrides must refine anyway).
+            let _ = writeln!(s, "        attr {an} = {};", fmt_attr_def(ad));
+        }
+        for (i, ad) in nt.inits.iter().enumerate() {
+            let _ = writeln!(s, "        init({i}) = {};", fmt_attr_def(ad));
+        }
+        let _ = writeln!(s, "    }};");
+    }
+    for et in lang.edge_types().filter(|t| t.layer == own_layer) {
+        let _ = write!(s, "    etyp ");
+        if et.fixed {
+            let _ = write!(s, "fixed ");
+        }
+        let _ = write!(s, "{}", et.name);
+        if let Some(p) = &et.parent {
+            let _ = write!(s, " inherit {p}");
+        }
+        let _ = writeln!(s, " {{");
+        for (an, ad) in &et.attrs {
+            let _ = writeln!(s, "        attr {an} = {};", fmt_attr_def(ad));
+        }
+        let _ = writeln!(s, "    }};");
+    }
+    for r in lang.prod_rules().iter().filter(|r| r.layer == own_layer) {
+        let tv = match r.target {
+            RuleTarget::Source => &r.src_var,
+            RuleTarget::Dest => &r.dst_var,
+        };
+        let _ = writeln!(
+            s,
+            "    prod({}:{}, {}:{} -> {}:{}) {} <= {}{};",
+            r.edge_var,
+            r.edge_ty,
+            r.src_var,
+            r.src_ty,
+            r.dst_var,
+            r.dst_ty,
+            tv,
+            r.expr,
+            if r.off { " off" } else { "" }
+        );
+    }
+    for v in lang.validity_rules().iter().filter(|v| v.layer == own_layer) {
+        let _ = writeln!(s, "    cstr {} {{", v.node_ty);
+        for p in &v.accept {
+            let _ = writeln!(s, "        acc {}", fmt_pattern(p, &v.node_ty));
+        }
+        for p in &v.reject {
+            let _ = writeln!(s, "        rej {}", fmt_pattern(p, &v.node_ty));
+        }
+        let _ = writeln!(s, "    }};");
+    }
+    for x in lang.extern_checks() {
+        let _ = writeln!(s, "    extern-func {x};");
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::{EdgeType, LanguageBuilder, MatchClause, NodeType, ProdRule, ValidityRule};
+    use crate::program::Program;
+    use crate::types::SigType;
+    use ark_expr::parse_expr;
+
+    fn roundtrip_root(lang: &Language) -> Language {
+        let src = language_to_source(lang);
+        let prog = Program::parse(&src)
+            .unwrap_or_else(|e| panic!("cannot reparse printed language:\n{src}\n{e}"));
+        prog.language(lang.name()).expect("language present").clone()
+    }
+
+    #[test]
+    fn print_parse_roundtrip_simple() {
+        let lang = LanguageBuilder::new("rt")
+            .node_type(
+                NodeType::new("V", 1, Reduction::Sum)
+                    .attr("c", SigType::real(1e-10, 1e-8))
+                    .attr_default("g", SigType::real(0.0, f64::INFINITY), 0.0)
+                    .init_default(SigType::real(-100.0, 100.0), 0.0),
+            )
+            .node_type(NodeType::new("F", 0, Reduction::Mul))
+            .edge_type(EdgeType::new("E"))
+            .edge_type(EdgeType::new("Fx").fixed().attr("w", SigType::real(-1.0, 1.0)))
+            .prod(ProdRule::new(
+                ("e", "E"),
+                ("s", "V"),
+                ("s", "V"),
+                "s",
+                parse_expr("-s.g*var(s)/s.c").unwrap(),
+            ))
+            .prod(
+                ProdRule::new(
+                    ("e", "E"),
+                    ("s", "V"),
+                    ("t", "F"),
+                    "t",
+                    parse_expr("sin(var(s)) + 1").unwrap(),
+                )
+                .off(),
+            )
+            .cstr(
+                ValidityRule::new("V")
+                    .accept(Pattern::new(vec![
+                        MatchClause::outgoing(0, None, "E", &["F"]),
+                        MatchClause::self_loop(1, Some(1), "E"),
+                    ]))
+                    .reject(Pattern::new(vec![MatchClause::incoming(2, None, "E", &["V"])])),
+            )
+            .extern_check("grid")
+            .finish()
+            .unwrap();
+        let back = roundtrip_root(&lang);
+        assert_eq!(back, lang);
+    }
+
+    #[test]
+    fn print_parse_roundtrip_mismatch_and_lambda() {
+        let lang = LanguageBuilder::new("mm")
+            .node_type(
+                NodeType::new("Vm", 1, Reduction::Sum)
+                    .attr("c", SigType::real(1e-10, 1e-8).with_mismatch(0.0, 0.1))
+                    .attr_default("r", SigType::real(0.0, 10.0).constant(), 1.0)
+                    .init_default(SigType::real(-1.0, 1.0), 0.0),
+            )
+            .node_type(NodeType::new("Inp", 0, Reduction::Sum).attr("fn", SigType::lambda(1)))
+            // Singleton ranges auto-default in the textual frontend, so the
+            // programmatic side must carry the same default for round-trip.
+            .edge_type(EdgeType::new("E").attr_default("cost", SigType::int(1, 1), 1i64))
+            .finish()
+            .unwrap();
+        let back = roundtrip_root(&lang);
+        assert_eq!(back, lang);
+    }
+
+    #[test]
+    fn derived_language_roundtrip() {
+        let base = LanguageBuilder::new("base")
+            .node_type(
+                NodeType::new("V", 1, Reduction::Sum)
+                    .attr("c", SigType::real(0.0, 1.0))
+                    .init_default(SigType::real(-1.0, 1.0), 0.0),
+            )
+            .edge_type(EdgeType::new("E"))
+            .prod(ProdRule::new(
+                ("e", "E"),
+                ("s", "V"),
+                ("s", "V"),
+                "s",
+                parse_expr("-var(s)").unwrap(),
+            ))
+            .finish()
+            .unwrap();
+        let derived = LanguageBuilder::derive("hw", &base)
+            .node_type(
+                NodeType::new("Vm", 1, Reduction::Sum)
+                    .inherit("V")
+                    .attr("c", SigType::real(0.0, 1.0).with_mismatch(0.0, 0.1)),
+            )
+            .finish()
+            .unwrap();
+        // Print the chain: base source + extension source.
+        let src = format!("{}\n{}", language_to_source(&base), language_to_source(&derived));
+        let prog = Program::parse(&src).unwrap();
+        assert_eq!(prog.language("base").unwrap(), &base);
+        assert_eq!(prog.language("hw").unwrap(), &derived);
+    }
+
+    #[test]
+    fn printed_source_mentions_all_constructs() {
+        let lang = LanguageBuilder::new("x")
+            .node_type(NodeType::new("A", 0, Reduction::Sum))
+            .edge_type(EdgeType::new("E"))
+            .extern_check("check_me")
+            .finish()
+            .unwrap();
+        let src = language_to_source(&lang);
+        assert!(src.contains("lang x {"));
+        assert!(src.contains("ntyp(0, sum) A"));
+        assert!(src.contains("etyp E"));
+        assert!(src.contains("extern-func check_me;"));
+    }
+}

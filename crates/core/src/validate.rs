@@ -1,0 +1,686 @@
+//! The Ark dynamical-graph validator (paper §6, Algorithm 2).
+//!
+//! Local validity rules constrain the multiset of edges incident to each
+//! node. A node is *described* by a pattern when its edges can be assigned
+//! to the pattern's clauses so that (1) every edge lands on exactly one
+//! clause that matches it and (2) every clause receives a number of edges
+//! within its cardinality bounds. The paper formulates this as a 0/1 ILP —
+//! [`is_described`] builds exactly that model on [`ark_ilp::Model`]
+//! (`ZeroOrOne`/`Zero` domains, `UnityRowSum`, `RangedColSum`).
+//!
+//! Global validity rules (`extern-func`) are host callbacks resolved through
+//! an [`ExternRegistry`].
+
+use crate::dg::{Graph, NodeId};
+use crate::lang::{Language, MatchDir, Pattern};
+use ark_ilp::{Cmp, Model};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Signature of a global validity check: inspects the whole graph and
+/// reports a failure message when the topology is invalid.
+pub type GlobalCheck = Arc<dyn Fn(&Graph) -> Result<(), String> + Send + Sync>;
+
+/// Registry resolving `extern-func` names to host implementations.
+#[derive(Clone, Default)]
+pub struct ExternRegistry {
+    checks: BTreeMap<String, GlobalCheck>,
+}
+
+impl fmt::Debug for ExternRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExternRegistry")
+            .field("checks", &self.checks.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl ExternRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ExternRegistry::default()
+    }
+
+    /// Register a global check under a name (builder style).
+    pub fn with(
+        mut self,
+        name: impl Into<String>,
+        check: impl Fn(&Graph) -> Result<(), String> + Send + Sync + 'static,
+    ) -> Self {
+        self.checks.insert(name.into(), Arc::new(check));
+        self
+    }
+
+    /// Register a global check under a name.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        check: impl Fn(&Graph) -> Result<(), String> + Send + Sync + 'static,
+    ) {
+        self.checks.insert(name.into(), Arc::new(check));
+    }
+
+    /// Look up a check.
+    pub fn get(&self, name: &str) -> Option<&GlobalCheck> {
+        self.checks.get(name)
+    }
+}
+
+/// A single validity violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// The node matches none of the accepted patterns of a rule that
+    /// applies to its type.
+    NotAccepted {
+        /// Node name.
+        node: String,
+        /// The `cstr` rule's node type.
+        rule_ty: String,
+    },
+    /// The node matches a rejected pattern.
+    Rejected {
+        /// Node name.
+        node: String,
+        /// The `cstr` rule's node type.
+        rule_ty: String,
+        /// Index of the rejected pattern within the rule.
+        pattern: usize,
+    },
+    /// A global check failed.
+    Global {
+        /// The `extern-func` name.
+        check: String,
+        /// Failure message from the check.
+        message: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::NotAccepted { node, rule_ty } => {
+                write!(f, "node `{node}` matches no accepted pattern of cstr {rule_ty}")
+            }
+            Violation::Rejected { node, rule_ty, pattern } => {
+                write!(f, "node `{node}` matches rejected pattern {pattern} of cstr {rule_ty}")
+            }
+            Violation::Global { check, message } => {
+                write!(f, "global check `{check}` failed: {message}")
+            }
+        }
+    }
+}
+
+/// A hard error preventing validation from running at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A node's type is not declared in the language.
+    UnknownNodeType {
+        /// Node name.
+        node: String,
+        /// Undeclared type name.
+        ty: String,
+    },
+    /// An edge's type is not declared in the language.
+    UnknownEdgeType {
+        /// Edge name.
+        edge: String,
+        /// Undeclared type name.
+        ty: String,
+    },
+    /// An `extern-func` has no registered implementation.
+    MissingExtern(String),
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::UnknownNodeType { node, ty } => {
+                write!(f, "node `{node}` has undeclared type `{ty}`")
+            }
+            ValidateError::UnknownEdgeType { edge, ty } => {
+                write!(f, "edge `{edge}` has undeclared type `{ty}`")
+            }
+            ValidateError::MissingExtern(n) => {
+                write!(f, "no implementation registered for extern-func `{n}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// The outcome of validating a graph.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ValidationReport {
+    /// All violations found (empty = valid).
+    pub violations: Vec<Violation>,
+}
+
+impl ValidationReport {
+    /// True when the graph satisfies every rule.
+    pub fn is_valid(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_valid() {
+            write!(f, "valid")
+        } else {
+            writeln!(f, "{} violation(s):", self.violations.len())?;
+            for v in &self.violations {
+                writeln!(f, "  - {v}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Does edge `e` of the graph match clause `clause` for target node `n`?
+/// (`Matched` in Algorithm 2.) Type comparisons respect inheritance so a
+/// graph written with derived types still satisfies parent-language rules.
+fn edge_matches_clause(
+    lang: &Language,
+    graph: &Graph,
+    n: NodeId,
+    e: crate::dg::EdgeId,
+    clause: &crate::lang::MatchClause,
+) -> bool {
+    let edge = graph.edge(e);
+    if !lang.edge_is_a(&edge.ty, &clause.edge_ty) {
+        return false;
+    }
+    match &clause.dir {
+        MatchDir::SelfLoop => edge.is_self() && edge.src == n,
+        MatchDir::Outgoing(dst_tys) => {
+            !edge.is_self()
+                && edge.src == n
+                && dst_tys.iter().any(|t| lang.node_is_a(&graph.node(edge.dst).ty, t))
+        }
+        MatchDir::Incoming(src_tys) => {
+            !edge.is_self()
+                && edge.dst == n
+                && src_tys.iter().any(|t| lang.node_is_a(&graph.node(edge.src).ty, t))
+        }
+    }
+}
+
+/// ILP-based `described` relation (Algorithm 2): can the node's incident
+/// edges be assigned to the pattern's clauses respecting match compatibility,
+/// one-clause-per-edge, and clause cardinalities?
+pub fn is_described(lang: &Language, graph: &Graph, n: NodeId, pattern: &Pattern) -> bool {
+    let edges = graph.incident_edges(n);
+    let mut model = Model::new();
+    // vars[i][j]: edge i assigned to clause j.
+    let vars: Vec<Vec<ark_ilp::VarId>> =
+        (0..edges.len()).map(|_| model.add_vars(pattern.clauses.len())).collect();
+    for (i, &e) in edges.iter().enumerate() {
+        for (j, clause) in pattern.clauses.iter().enumerate() {
+            if !edge_matches_clause(lang, graph, n, e, clause) {
+                model.fix(vars[i][j], false); // Zero
+            }
+        }
+        // UnityRowSum: each edge on exactly one clause.
+        model.constrain(vars[i].iter().map(|&v| (v, 1)), Cmp::Eq, 1);
+    }
+    // RangedColSum: clause cardinalities.
+    for (j, clause) in pattern.clauses.iter().enumerate() {
+        let col = || vars.iter().map(move |row| (row[j], 1i64));
+        model.constrain(col(), Cmp::Ge, clause.lo as i64);
+        if let Some(hi) = clause.hi {
+            model.constrain(col(), Cmp::Le, hi as i64);
+        }
+    }
+    model.is_feasible()
+}
+
+/// Brute-force `described` by enumerating clause assignments. Used for
+/// differential testing of [`is_described`] and as the ablation baseline in
+/// the `validate` benchmark.
+pub fn is_described_brute(lang: &Language, graph: &Graph, n: NodeId, pattern: &Pattern) -> bool {
+    let edges = graph.incident_edges(n);
+    let k = pattern.clauses.len();
+    if edges.is_empty() {
+        return pattern.clauses.iter().all(|c| c.lo == 0);
+    }
+    if k == 0 {
+        return false;
+    }
+    let matchable: Vec<Vec<bool>> = edges
+        .iter()
+        .map(|&e| {
+            pattern
+                .clauses
+                .iter()
+                .map(|c| edge_matches_clause(lang, graph, n, e, c))
+                .collect()
+        })
+        .collect();
+    let mut counts = vec![0u64; k];
+    fn rec(i: usize, matchable: &[Vec<bool>], counts: &mut [u64], pattern: &Pattern) -> bool {
+        if i == matchable.len() {
+            return pattern
+                .clauses
+                .iter()
+                .zip(counts.iter())
+                .all(|(c, &cnt)| cnt >= c.lo && c.hi.map_or(true, |h| cnt <= h));
+        }
+        for j in 0..counts.len() {
+            if matchable[i][j] {
+                counts[j] += 1;
+                if rec(i + 1, matchable, counts, pattern) {
+                    counts[j] -= 1;
+                    return true;
+                }
+                counts[j] -= 1;
+            }
+        }
+        false
+    }
+    rec(0, &matchable, &mut counts, pattern)
+}
+
+/// Validate a graph against its language's local and global rules.
+///
+/// For every node, each `cstr` rule declared for the node's type *or any of
+/// its ancestors* applies: the node must be described by at least one of the
+/// rule's accepted patterns (vacuously true when the rule declares none) and
+/// by none of its rejected patterns. All `extern-func` global checks are
+/// then run through `externs`.
+///
+/// # Errors
+///
+/// [`ValidateError`] for undeclared types in the graph or unregistered
+/// extern checks. Rule *violations* are reported in the
+/// [`ValidationReport`], not as errors.
+pub fn validate(
+    lang: &Language,
+    graph: &Graph,
+    externs: &ExternRegistry,
+) -> Result<ValidationReport, ValidateError> {
+    let mut report = ValidationReport::default();
+    // Up-front type checks.
+    for (_, node) in graph.nodes() {
+        if lang.node_type(&node.ty).is_none() {
+            return Err(ValidateError::UnknownNodeType {
+                node: node.name.clone(),
+                ty: node.ty.clone(),
+            });
+        }
+    }
+    for (_, edge) in graph.edges() {
+        if lang.edge_type(&edge.ty).is_none() {
+            return Err(ValidateError::UnknownEdgeType {
+                edge: edge.name.clone(),
+                ty: edge.ty.clone(),
+            });
+        }
+    }
+    // Local rules.
+    for (id, node) in graph.nodes() {
+        for rule in lang.validity_rules_for(&node.ty) {
+            let accepted = rule.accept.is_empty()
+                || rule.accept.iter().any(|p| is_described(lang, graph, id, p));
+            if !accepted {
+                report.violations.push(Violation::NotAccepted {
+                    node: node.name.clone(),
+                    rule_ty: rule.node_ty.clone(),
+                });
+            }
+            for (pi, p) in rule.reject.iter().enumerate() {
+                if is_described(lang, graph, id, p) {
+                    report.violations.push(Violation::Rejected {
+                        node: node.name.clone(),
+                        rule_ty: rule.node_ty.clone(),
+                        pattern: pi,
+                    });
+                }
+            }
+        }
+    }
+    // Global rules.
+    for name in lang.extern_checks() {
+        let check = externs.get(name).ok_or_else(|| ValidateError::MissingExtern(name.clone()))?;
+        if let Err(message) = check(graph) {
+            report.violations.push(Violation::Global { check: name.clone(), message });
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::{
+        EdgeType, LanguageBuilder, MatchClause, NodeType, Pattern, ProdRule, Reduction,
+        ValidityRule,
+    };
+    use crate::types::SigType;
+    use ark_expr::parse_expr;
+
+    /// A miniature TLN-like language: V and I must alternate, each V needs
+    /// exactly one self edge.
+    fn tln_mini() -> Language {
+        LanguageBuilder::new("tln_mini")
+            .node_type(
+                NodeType::new("V", 1, Reduction::Sum)
+                    .attr_default("c", SigType::real(0.0, 1.0), 0.5)
+                    .init_default(SigType::real(-10.0, 10.0), 0.0),
+            )
+            .node_type(
+                NodeType::new("I", 1, Reduction::Sum)
+                    .attr_default("l", SigType::real(0.0, 1.0), 0.5)
+                    .init_default(SigType::real(-10.0, 10.0), 0.0),
+            )
+            .edge_type(EdgeType::new("E"))
+            .prod(ProdRule::new(
+                ("e", "E"),
+                ("s", "V"),
+                ("t", "I"),
+                "s",
+                parse_expr("-var(t)/s.c").unwrap(),
+            ))
+            .cstr(
+                ValidityRule::new("V").accept(Pattern::new(vec![
+                    MatchClause::outgoing(0, None, "E", &["I"]),
+                    MatchClause::incoming(0, None, "E", &["I"]),
+                    MatchClause::self_loop(1, Some(1), "E"),
+                ])),
+            )
+            .cstr(
+                ValidityRule::new("I").accept(Pattern::new(vec![
+                    MatchClause::outgoing(0, Some(1), "E", &["V"]),
+                    MatchClause::incoming(0, Some(1), "E", &["V"]),
+                ])),
+            )
+            .finish()
+            .unwrap()
+    }
+
+    fn valid_line(lang: &Language) -> Graph {
+        // V0 -> I0 -> V1, with self edges on the V nodes.
+        let mut b = crate::func::GraphBuilder::new(lang, 0);
+        b.node("V0", "V").unwrap();
+        b.node("I0", "I").unwrap();
+        b.node("V1", "V").unwrap();
+        b.edge("e0", "E", "V0", "I0").unwrap();
+        b.edge("e1", "E", "I0", "V1").unwrap();
+        b.edge("s0", "E", "V0", "V0").unwrap();
+        b.edge("s1", "E", "V1", "V1").unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn valid_topology_passes() {
+        let lang = tln_mini();
+        let g = valid_line(&lang);
+        let report = validate(&lang, &g, &ExternRegistry::new()).unwrap();
+        assert!(report.is_valid(), "{report}");
+    }
+
+    #[test]
+    fn malformed_v_to_v_rejected() {
+        // The Figure 2-(iii) scenario: a V–V connection matches no clause,
+        // so the V nodes are not described by any accepted pattern.
+        let lang = tln_mini();
+        let mut b = crate::func::GraphBuilder::new(&lang, 0);
+        b.node("V0", "V").unwrap();
+        b.node("V1", "V").unwrap();
+        b.edge("bad", "E", "V0", "V1").unwrap();
+        b.edge("s0", "E", "V0", "V0").unwrap();
+        b.edge("s1", "E", "V1", "V1").unwrap();
+        let g = b.finish().unwrap();
+        let report = validate(&lang, &g, &ExternRegistry::new()).unwrap();
+        assert!(!report.is_valid());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::NotAccepted { node, .. } if node == "V0")));
+    }
+
+    #[test]
+    fn missing_self_edge_rejected() {
+        let lang = tln_mini();
+        let mut b = crate::func::GraphBuilder::new(&lang, 0);
+        b.node("V0", "V").unwrap();
+        b.node("I0", "I").unwrap();
+        b.edge("e0", "E", "V0", "I0").unwrap();
+        // V0 lacks its mandatory self edge.
+        let g = b.finish().unwrap();
+        let report = validate(&lang, &g, &ExternRegistry::new()).unwrap();
+        assert!(!report.is_valid());
+    }
+
+    #[test]
+    fn cardinality_upper_bound_enforced() {
+        // I accepts at most one outgoing edge; give it two.
+        let lang = tln_mini();
+        let mut b = crate::func::GraphBuilder::new(&lang, 0);
+        b.node("I0", "I").unwrap();
+        b.node("V0", "V").unwrap();
+        b.node("V1", "V").unwrap();
+        b.edge("e0", "E", "I0", "V0").unwrap();
+        b.edge("e1", "E", "I0", "V1").unwrap();
+        b.edge("s0", "E", "V0", "V0").unwrap();
+        b.edge("s1", "E", "V1", "V1").unwrap();
+        let g = b.finish().unwrap();
+        let report = validate(&lang, &g, &ExternRegistry::new()).unwrap();
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::NotAccepted { node, .. } if node == "I0")));
+    }
+
+    #[test]
+    fn rejected_pattern_detected() {
+        // Forbid V nodes with ≥2 incoming edges via a reject pattern.
+        let lang = LanguageBuilder::new("rej")
+            .node_type(NodeType::new("V", 0, Reduction::Sum))
+            .edge_type(EdgeType::new("E"))
+            .cstr(
+                ValidityRule::new("V")
+                    .accept(Pattern::new(vec![
+                        MatchClause::incoming(0, None, "E", &["V"]),
+                        MatchClause::outgoing(0, None, "E", &["V"]),
+                    ]))
+                    .reject(Pattern::new(vec![
+                        MatchClause::incoming(2, None, "E", &["V"]),
+                        MatchClause::outgoing(0, None, "E", &["V"]),
+                    ])),
+            )
+            .finish()
+            .unwrap();
+        let mut b = crate::func::GraphBuilder::new(&lang, 0);
+        for n in ["a", "b", "c"] {
+            b.node(n, "V").unwrap();
+        }
+        b.edge("e0", "E", "a", "c").unwrap();
+        b.edge("e1", "E", "b", "c").unwrap();
+        let g = b.finish().unwrap();
+        let report = validate(&lang, &g, &ExternRegistry::new()).unwrap();
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::Rejected { node, .. } if node == "c")));
+    }
+
+    #[test]
+    fn derived_types_satisfy_parent_rules() {
+        let base = tln_mini();
+        let derived = LanguageBuilder::derive("mm", &base)
+            .node_type(NodeType::new("Vm", 1, Reduction::Sum).inherit("V"))
+            .edge_type(EdgeType::new("Em").inherit("E"))
+            .finish()
+            .unwrap();
+        // Build the valid line but with Vm and Em substituted in.
+        let mut b = crate::func::GraphBuilder::new(&derived, 0);
+        b.node("V0", "Vm").unwrap();
+        b.node("I0", "I").unwrap();
+        b.node("V1", "V").unwrap();
+        b.edge("e0", "Em", "V0", "I0").unwrap();
+        b.edge("e1", "E", "I0", "V1").unwrap();
+        b.edge("s0", "Em", "V0", "V0").unwrap();
+        b.edge("s1", "E", "V1", "V1").unwrap();
+        let g = b.finish().unwrap();
+        let report = validate(&derived, &g, &ExternRegistry::new()).unwrap();
+        assert!(report.is_valid(), "{report}");
+    }
+
+    #[test]
+    fn global_check_runs() {
+        let lang = LanguageBuilder::new("g")
+            .node_type(NodeType::new("V", 0, Reduction::Sum))
+            .edge_type(EdgeType::new("E"))
+            .extern_check("even_nodes")
+            .finish()
+            .unwrap();
+        let externs = ExternRegistry::new().with("even_nodes", |g: &Graph| {
+            if g.num_nodes() % 2 == 0 {
+                Ok(())
+            } else {
+                Err(format!("{} nodes is odd", g.num_nodes()))
+            }
+        });
+        let mut b = crate::func::GraphBuilder::new(&lang, 0);
+        b.node("a", "V").unwrap();
+        let g = b.finish().unwrap();
+        let report = validate(&lang, &g, &externs).unwrap();
+        assert!(matches!(&report.violations[..], [Violation::Global { .. }]));
+        // Missing registration is a hard error.
+        assert!(matches!(
+            validate(&lang, &g, &ExternRegistry::new()),
+            Err(ValidateError::MissingExtern(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_types_are_hard_errors() {
+        let lang = tln_mini();
+        let mut g = Graph::new("tln_mini");
+        g.add_node("x", "Ghost", 1).unwrap();
+        assert!(matches!(
+            validate(&lang, &g, &ExternRegistry::new()),
+            Err(ValidateError::UnknownNodeType { .. })
+        ));
+        let mut g = Graph::new("tln_mini");
+        let a = g.add_node("x", "V", 1).unwrap();
+        g.add_edge("e", "GhostE", a, a).unwrap();
+        assert!(matches!(
+            validate(&lang, &g, &ExternRegistry::new()),
+            Err(ValidateError::UnknownEdgeType { .. })
+        ));
+    }
+
+    #[test]
+    fn ilp_and_brute_force_agree_on_line() {
+        let lang = tln_mini();
+        let g = valid_line(&lang);
+        let rule_v = &lang.validity_rules_for("V")[0];
+        for (id, node) in g.nodes() {
+            for p in rule_v.accept.iter() {
+                if node.ty == "V" {
+                    assert_eq!(
+                        is_described(&lang, &g, id, p),
+                        is_described_brute(&lang, &g, id, p),
+                        "node {}",
+                        node.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_pattern_described_only_without_edges() {
+        let lang = tln_mini();
+        let mut g = Graph::new("tln_mini");
+        let a = g.add_node("a", "V", 1).unwrap();
+        let empty = Pattern::default();
+        assert!(is_described(&lang, &g, a, &empty));
+        assert!(is_described_brute(&lang, &g, a, &empty));
+        g.add_edge("s", "E", a, a).unwrap();
+        assert!(!is_described(&lang, &g, a, &empty));
+        assert!(!is_described_brute(&lang, &g, a, &empty));
+    }
+
+    #[test]
+    fn report_display() {
+        let ok = ValidationReport::default();
+        assert_eq!(ok.to_string(), "valid");
+        let bad = ValidationReport {
+            violations: vec![Violation::NotAccepted { node: "x".into(), rule_ty: "V".into() }],
+        };
+        assert!(bad.to_string().contains("violation"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::lang::{
+        EdgeType, LanguageBuilder, MatchClause, NodeType, Pattern, Reduction,
+    };
+    use proptest::prelude::*;
+
+    /// Random small graphs + random patterns: the ILP described-check always
+    /// agrees with brute-force enumeration.
+    fn two_type_lang() -> Language {
+        LanguageBuilder::new("p")
+            .node_type(NodeType::new("A", 0, Reduction::Sum))
+            .node_type(NodeType::new("B", 0, Reduction::Sum))
+            .edge_type(EdgeType::new("E"))
+            .edge_type(EdgeType::new("F"))
+            .finish()
+            .unwrap()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+        #[test]
+        fn ilp_matches_brute_force(
+            // Up to 6 edges around a hub node, each (etype, direction 0=out/1=in/2=self, endpoint type).
+            edges in proptest::collection::vec((0u8..2, 0u8..3, 0u8..2), 0..6),
+            // Up to 3 clauses: (lo, hi?, etype, dir, endpoint types bitmask 1..=3).
+            clauses in proptest::collection::vec(
+                (0u64..3, proptest::option::of(0u64..4), 0u8..2, 0u8..3, 1u8..4), 0..4),
+        ) {
+            let lang = two_type_lang();
+            let mut g = Graph::new("p");
+            let hub = g.add_node("hub", "A", 0).unwrap();
+            for (i, (et, dir, nt)) in edges.iter().enumerate() {
+                let ety = if *et == 0 { "E" } else { "F" };
+                let nty = if *nt == 0 { "A" } else { "B" };
+                let other = g.add_node(format!("n{i}"), nty, 0).unwrap();
+                match dir {
+                    0 => g.add_edge(format!("e{i}"), ety, hub, other).unwrap(),
+                    1 => g.add_edge(format!("e{i}"), ety, other, hub).unwrap(),
+                    _ => g.add_edge(format!("e{i}"), ety, hub, hub).unwrap(),
+                };
+            }
+            let pattern = Pattern::new(
+                clauses
+                    .iter()
+                    .map(|(lo, hi, et, dir, mask)| {
+                        let ety = if *et == 0 { "E" } else { "F" };
+                        let mut tys: Vec<&str> = Vec::new();
+                        if mask & 1 != 0 { tys.push("A"); }
+                        if mask & 2 != 0 { tys.push("B"); }
+                        let hi = hi.map(|h| lo + h);
+                        match dir {
+                            0 => MatchClause::outgoing(*lo, hi, ety, &tys),
+                            1 => MatchClause::incoming(*lo, hi, ety, &tys),
+                            _ => MatchClause::self_loop(*lo, hi, ety),
+                        }
+                    })
+                    .collect(),
+            );
+            prop_assert_eq!(
+                is_described(&lang, &g, hub, &pattern),
+                is_described_brute(&lang, &g, hub, &pattern)
+            );
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Error types for expression evaluation and parsing.
+
+use std::fmt;
+
+/// An error produced while evaluating an expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A `var(.)` reference to an unknown node.
+    UnknownVar(String),
+    /// An attribute reference to an unknown entity or attribute.
+    UnknownAttr(String, String),
+    /// A reference to an unbound function argument.
+    UnknownArg(String),
+    /// A call to an unknown builtin function.
+    UnknownFunction(String),
+    /// A function called with the wrong number of arguments.
+    ArityMismatch {
+        /// Function name.
+        name: String,
+        /// Number of arguments expected.
+        expected: usize,
+        /// Number of arguments provided.
+        got: usize,
+    },
+    /// An attribute used as a lambda is not a lambda (or vice versa).
+    NotALambda(String, String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownVar(n) => write!(f, "unknown variable var({n})"),
+            EvalError::UnknownAttr(n, a) => write!(f, "unknown attribute {n}.{a}"),
+            EvalError::UnknownArg(n) => write!(f, "unbound argument {n}"),
+            EvalError::UnknownFunction(n) => write!(f, "unknown function {n}"),
+            EvalError::ArityMismatch { name, expected, got } => {
+                write!(f, "function {name} expects {expected} arguments, got {got}")
+            }
+            EvalError::NotALambda(n, a) => write!(f, "attribute {n}.{a} is not a lambda"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// An error produced while parsing expression or Ark source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Line number (1-based) where the error occurred.
+    pub line: usize,
+    /// Column number (1-based) where the error occurred.
+    pub col: usize,
+}
+
+impl ParseError {
+    /// Create a parse error at a position.
+    pub fn new(message: impl Into<String>, line: usize, col: usize) -> Self {
+        ParseError { message: message.into(), line, col }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}

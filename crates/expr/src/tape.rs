@@ -1,0 +1,511 @@
+//! Flat "tape" compilation of expressions for fast repeated evaluation.
+//!
+//! ODE right-hand sides are evaluated millions of times during transient
+//! simulation, so the `ark-core` compiler lowers each node's aggregated
+//! expression into a [`Tape`]: a linear sequence of register instructions
+//! with all attribute references constant-folded and lambdas beta-reduced
+//! away. Only `var(.)` references (resolved to input slots) and `time`
+//! remain dynamic.
+//!
+//! The tree-walking evaluator in [`crate::eval()`](crate::eval()) serves as the reference
+//! semantics; property tests assert the two agree.
+
+use crate::ast::{BinaryOp, BoolExpr, CmpOp, Expr, UnaryOp};
+use crate::builtins;
+use std::fmt;
+
+/// Multi-argument builtins representable on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Builtin3 {
+    /// `pulse(t, t0, width)` trapezoidal pulse.
+    Pulse,
+    /// `square_pulse(t, t0, width)` rectangular pulse.
+    SquarePulse,
+    /// `smoothstep(t, t0, tau)` logistic step.
+    Smoothstep,
+}
+
+impl Builtin3 {
+    fn apply(self, a: f64, b: f64, c: f64) -> f64 {
+        match self {
+            Builtin3::Pulse => builtins::pulse(a, b, c),
+            Builtin3::SquarePulse => builtins::square_pulse(a, b, c),
+            Builtin3::Smoothstep => builtins::smoothstep(a, b, c),
+        }
+    }
+}
+
+/// A single tape instruction. Each instruction writes register `i` where `i`
+/// is its position in the instruction list (SSA-like layout).
+#[derive(Debug, Clone, PartialEq)]
+enum Instr {
+    /// Load a constant.
+    Const(f64),
+    /// Load the simulation time.
+    Time,
+    /// Load input slot `n` (a state or algebraic variable).
+    Load(u32),
+    /// Apply a unary operator to a register.
+    Un(UnaryOp, u32),
+    /// Apply a binary operator to two registers.
+    Bin(BinaryOp, u32, u32),
+    /// Compare two registers, producing 0.0 / 1.0.
+    Cmp(CmpOp, u32, u32),
+    /// Logical and of two 0/1 registers.
+    And(u32, u32),
+    /// Logical or of two 0/1 registers.
+    Or(u32, u32),
+    /// Logical not of a 0/1 register.
+    Not(u32),
+    /// `r_cond > 0.5 ? r_then : r_else` (both branches evaluated).
+    Select(u32, u32, u32),
+    /// Three-argument builtin call.
+    Call3(Builtin3, u32, u32, u32),
+}
+
+/// An error produced while compiling an expression to a tape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TapeError {
+    /// `var(.)` reference that the resolver could not map to a slot.
+    UnresolvedVar(String),
+    /// Attribute reference that survived constant folding.
+    UnresolvedAttr(String, String),
+    /// Argument reference that survived substitution.
+    UnresolvedArg(String),
+    /// A call that is not a tape-representable builtin.
+    UnsupportedCall(String),
+}
+
+impl fmt::Display for TapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TapeError::UnresolvedVar(n) => write!(f, "unresolved variable var({n})"),
+            TapeError::UnresolvedAttr(n, a) => {
+                write!(f, "attribute {n}.{a} not folded before tape compilation")
+            }
+            TapeError::UnresolvedArg(n) => {
+                write!(f, "argument {n} not substituted before tape compilation")
+            }
+            TapeError::UnsupportedCall(n) => write!(f, "call to `{n}` not supported on tape"),
+        }
+    }
+}
+
+impl std::error::Error for TapeError {}
+
+/// A compiled expression: a linear register program.
+///
+/// # Examples
+///
+/// ```
+/// use ark_expr::{parse_expr, Tape};
+/// let e = parse_expr("-var(x) * 2")?;
+/// let tape = Tape::compile(&e, &|name| (name == "x").then_some(0))?;
+/// let mut regs = tape.new_registers();
+/// assert_eq!(tape.eval(&[3.0], 0.0, &mut regs), -6.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tape {
+    instrs: Vec<Instr>,
+}
+
+impl Tape {
+    /// Compile an expression. `resolve` maps `var(.)` names to input-slot
+    /// indices. The expression must already be free of attributes, arguments,
+    /// and lambda calls (fold them with [`Expr::simplify`]/substitution
+    /// first); `time` and resolvable `var(.)` leaves are the only dynamic
+    /// inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TapeError`] for any leaf that cannot be lowered.
+    pub fn compile(
+        expr: &Expr,
+        resolve: &impl Fn(&str) -> Option<usize>,
+    ) -> Result<Tape, TapeError> {
+        let mut instrs = Vec::new();
+        Self::emit(expr, resolve, &mut instrs)?;
+        Ok(Tape { instrs })
+    }
+
+    /// A tape that always evaluates to the given constant.
+    pub fn constant(x: f64) -> Tape {
+        Tape { instrs: vec![Instr::Const(x)] }
+    }
+
+    /// Number of instructions (and registers) in the tape.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True when the tape has no instructions (never produced by `compile`).
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Allocate a register scratch buffer of the right size.
+    pub fn new_registers(&self) -> Vec<f64> {
+        vec![0.0; self.instrs.len()]
+    }
+
+    fn emit(
+        expr: &Expr,
+        resolve: &impl Fn(&str) -> Option<usize>,
+        instrs: &mut Vec<Instr>,
+    ) -> Result<u32, TapeError> {
+        let reg = |instrs: &mut Vec<Instr>, i: Instr| -> u32 {
+            instrs.push(i);
+            (instrs.len() - 1) as u32
+        };
+        Ok(match expr {
+            Expr::Const(x) => reg(instrs, Instr::Const(*x)),
+            Expr::Time => reg(instrs, Instr::Time),
+            Expr::Var(n) => {
+                let slot =
+                    resolve(n).ok_or_else(|| TapeError::UnresolvedVar(n.clone()))? as u32;
+                reg(instrs, Instr::Load(slot))
+            }
+            Expr::Attr(n, a) => return Err(TapeError::UnresolvedAttr(n.clone(), a.clone())),
+            Expr::Arg(n) => return Err(TapeError::UnresolvedArg(n.clone())),
+            Expr::CallAttr(n, a, _) => {
+                return Err(TapeError::UnresolvedAttr(n.clone(), a.clone()))
+            }
+            Expr::Unary(op, a) => {
+                let ra = Self::emit(a, resolve, instrs)?;
+                reg(instrs, Instr::Un(*op, ra))
+            }
+            Expr::Binary(op, a, b) => {
+                let ra = Self::emit(a, resolve, instrs)?;
+                let rb = Self::emit(b, resolve, instrs)?;
+                reg(instrs, Instr::Bin(*op, ra, rb))
+            }
+            Expr::Call(name, args) => {
+                let builtin = match name.as_str() {
+                    "pulse" => Some(Builtin3::Pulse),
+                    "square_pulse" => Some(Builtin3::SquarePulse),
+                    "smoothstep" => Some(Builtin3::Smoothstep),
+                    _ => None,
+                };
+                if let Some(b3) = builtin {
+                    if args.len() != 3 {
+                        return Err(TapeError::UnsupportedCall(name.clone()));
+                    }
+                    let ra = Self::emit(&args[0], resolve, instrs)?;
+                    let rb = Self::emit(&args[1], resolve, instrs)?;
+                    let rc = Self::emit(&args[2], resolve, instrs)?;
+                    reg(instrs, Instr::Call3(b3, ra, rb, rc))
+                } else {
+                    // Two-argument builtins lower to binary ops.
+                    let op = match name.as_str() {
+                        "min" => Some(BinaryOp::Min),
+                        "max" => Some(BinaryOp::Max),
+                        "pow" => Some(BinaryOp::Pow),
+                        _ => None,
+                    };
+                    match op {
+                        Some(op) if args.len() == 2 => {
+                            let ra = Self::emit(&args[0], resolve, instrs)?;
+                            let rb = Self::emit(&args[1], resolve, instrs)?;
+                            reg(instrs, Instr::Bin(op, ra, rb))
+                        }
+                        _ => return Err(TapeError::UnsupportedCall(name.clone())),
+                    }
+                }
+            }
+            Expr::If(c, t, e) => {
+                let rc = Self::emit_bool(c, resolve, instrs)?;
+                let rt = Self::emit(t, resolve, instrs)?;
+                let re = Self::emit(e, resolve, instrs)?;
+                reg(instrs, Instr::Select(rc, rt, re))
+            }
+        })
+    }
+
+    fn emit_bool(
+        expr: &BoolExpr,
+        resolve: &impl Fn(&str) -> Option<usize>,
+        instrs: &mut Vec<Instr>,
+    ) -> Result<u32, TapeError> {
+        let reg = |instrs: &mut Vec<Instr>, i: Instr| -> u32 {
+            instrs.push(i);
+            (instrs.len() - 1) as u32
+        };
+        Ok(match expr {
+            BoolExpr::Lit(b) => reg(instrs, Instr::Const(if *b { 1.0 } else { 0.0 })),
+            BoolExpr::Cmp(op, a, b) => {
+                let ra = Self::emit(a, resolve, instrs)?;
+                let rb = Self::emit(b, resolve, instrs)?;
+                reg(instrs, Instr::Cmp(*op, ra, rb))
+            }
+            BoolExpr::And(a, b) => {
+                let ra = Self::emit_bool(a, resolve, instrs)?;
+                let rb = Self::emit_bool(b, resolve, instrs)?;
+                reg(instrs, Instr::And(ra, rb))
+            }
+            BoolExpr::Or(a, b) => {
+                let ra = Self::emit_bool(a, resolve, instrs)?;
+                let rb = Self::emit_bool(b, resolve, instrs)?;
+                reg(instrs, Instr::Or(ra, rb))
+            }
+            BoolExpr::Not(a) => {
+                let ra = Self::emit_bool(a, resolve, instrs)?;
+                reg(instrs, Instr::Not(ra))
+            }
+            BoolExpr::Pred(e) => {
+                let re = Self::emit(e, resolve, instrs)?;
+                let zero = reg(instrs, Instr::Const(0.0));
+                reg(instrs, Instr::Cmp(CmpOp::Ne, re, zero))
+            }
+        })
+    }
+
+    /// Evaluate the tape. `slots` holds the input variables (indexed by the
+    /// slot numbers produced by the resolver at compile time), `time` is the
+    /// simulation time, and `regs` is a scratch buffer from
+    /// [`Tape::new_registers`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regs` is shorter than [`Tape::len`] or a `Load` slot is out
+    /// of bounds of `slots`.
+    #[inline]
+    pub fn eval(&self, slots: &[f64], time: f64, regs: &mut [f64]) -> f64 {
+        debug_assert!(regs.len() >= self.instrs.len());
+        for (i, instr) in self.instrs.iter().enumerate() {
+            let v = match instr {
+                Instr::Const(x) => *x,
+                Instr::Time => time,
+                Instr::Load(s) => slots[*s as usize],
+                Instr::Un(op, a) => op.apply(regs[*a as usize]),
+                Instr::Bin(op, a, b) => op.apply(regs[*a as usize], regs[*b as usize]),
+                Instr::Cmp(op, a, b) => {
+                    if op.apply(regs[*a as usize], regs[*b as usize]) {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+                Instr::And(a, b) => {
+                    if regs[*a as usize] > 0.5 && regs[*b as usize] > 0.5 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+                Instr::Or(a, b) => {
+                    if regs[*a as usize] > 0.5 || regs[*b as usize] > 0.5 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+                Instr::Not(a) => {
+                    if regs[*a as usize] > 0.5 {
+                        0.0
+                    } else {
+                        1.0
+                    }
+                }
+                Instr::Select(c, t, e) => {
+                    if regs[*c as usize] > 0.5 {
+                        regs[*t as usize]
+                    } else {
+                        regs[*e as usize]
+                    }
+                }
+                Instr::Call3(b3, a, b, c) => {
+                    b3.apply(regs[*a as usize], regs[*b as usize], regs[*c as usize])
+                }
+            };
+            regs[i] = v;
+        }
+        regs[self.instrs.len() - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval, MapContext};
+    use crate::parse::parse_expr;
+
+    fn roundtrip(src: &str, vars: &[(&str, f64)], time: f64) -> (f64, f64) {
+        let e = parse_expr(src).unwrap();
+        let mut ctx = MapContext::new().at_time(time);
+        for (n, v) in vars {
+            ctx.vars.insert((*n).into(), *v);
+        }
+        let reference = eval(&e, &ctx).unwrap();
+        let names: Vec<&str> = vars.iter().map(|(n, _)| *n).collect();
+        let tape =
+            Tape::compile(&e, &|n| names.iter().position(|m| *m == n)).unwrap();
+        let slots: Vec<f64> = vars.iter().map(|(_, v)| *v).collect();
+        let mut regs = tape.new_registers();
+        let tape_val = tape.eval(&slots, time, &mut regs);
+        (reference, tape_val)
+    }
+
+    #[test]
+    fn tape_matches_eval_arithmetic() {
+        let (a, b) = roundtrip("1 + 2*var(x) - var(y)/4", &[("x", 3.0), ("y", 8.0)], 0.0);
+        assert_eq!(a, b);
+        assert_eq!(a, 5.0);
+    }
+
+    #[test]
+    fn tape_matches_eval_transcendental() {
+        let (a, b) = roundtrip(
+            "sin(var(p)) + cos(var(p)) * tanh(var(p))",
+            &[("p", 0.7)],
+            0.0,
+        );
+        assert!((a - b).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tape_time_and_pulse() {
+        let (a, b) = roundtrip("pulse(time, 0, 2e-8)", &[], 1e-8);
+        assert_eq!(a, b);
+        assert_eq!(a, 1.0);
+    }
+
+    #[test]
+    fn tape_if_then_else() {
+        let (a, b) = roundtrip("if var(x) > 0 then 1 else -1", &[("x", -2.0)], 0.0);
+        assert_eq!(a, b);
+        assert_eq!(a, -1.0);
+    }
+
+    #[test]
+    fn tape_bool_connectives() {
+        let (a, b) = roundtrip(
+            "if var(x) > 0 and not (var(x) > 10) then 7 else 0",
+            &[("x", 5.0)],
+            0.0,
+        );
+        assert_eq!(a, b);
+        assert_eq!(a, 7.0);
+    }
+
+    #[test]
+    fn tape_constant() {
+        let t = Tape::constant(4.5);
+        let mut regs = t.new_registers();
+        assert_eq!(t.eval(&[], 0.0, &mut regs), 4.5);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn tape_unresolved_var_errors() {
+        let e = parse_expr("var(ghost)").unwrap();
+        assert_eq!(
+            Tape::compile(&e, &|_| None),
+            Err(TapeError::UnresolvedVar("ghost".into()))
+        );
+    }
+
+    #[test]
+    fn tape_unfolded_attr_errors() {
+        let e = parse_expr("s.c").unwrap();
+        assert!(matches!(
+            Tape::compile(&e, &|_| Some(0)),
+            Err(TapeError::UnresolvedAttr(_, _))
+        ));
+    }
+
+    #[test]
+    fn tape_unsupported_call_errors() {
+        let e = parse_expr("mystery(1)").unwrap();
+        assert!(matches!(
+            Tape::compile(&e, &|_| Some(0)),
+            Err(TapeError::UnsupportedCall(_))
+        ));
+    }
+
+    #[test]
+    fn tape_min_max_pow_lower_to_binops() {
+        let (a, b) = roundtrip("min(var(x), 2) + max(var(x), 5) + pow(2, 3)", &[("x", 4.0)], 0.0);
+        assert_eq!(a, b);
+        assert_eq!(a, 2.0 + 5.0 + 8.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::ast::Expr;
+    use crate::eval::{eval, MapContext};
+    use proptest::prelude::*;
+
+    /// Strategy for random expressions over vars x (slot 0) and y (slot 1).
+    fn arb_expr() -> impl Strategy<Value = Expr> {
+        let leaf = prop_oneof![
+            (-10.0..10.0f64).prop_map(Expr::Const),
+            Just(Expr::Time),
+            Just(Expr::var("x")),
+            Just(Expr::var("y")),
+        ];
+        leaf.prop_recursive(4, 64, 3, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a.sub(b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a.mul(b)),
+                inner.clone().prop_map(|a| a.neg()),
+                inner.clone().prop_map(|a| a.sin()),
+                inner.clone().prop_map(|a| a.unary(crate::ast::UnaryOp::Tanh)),
+                inner.prop_map(|a| a.unary(crate::ast::UnaryOp::Sat)),
+            ]
+        })
+    }
+
+    proptest! {
+        /// The tape compiler and the tree-walking evaluator agree.
+        #[test]
+        fn tape_agrees_with_eval(e in arb_expr(), x in -5.0..5.0f64, y in -5.0..5.0f64, t in 0.0..10.0f64) {
+            let ctx = MapContext::new().at_time(t).with_var("x", x).with_var("y", y);
+            let reference = eval(&e, &ctx).unwrap();
+            let tape = Tape::compile(&e, &|n| match n { "x" => Some(0), "y" => Some(1), _ => None }).unwrap();
+            let mut regs = tape.new_registers();
+            let got = tape.eval(&[x, y], t, &mut regs);
+            if reference.is_nan() {
+                prop_assert!(got.is_nan());
+            } else {
+                let scale = reference.abs().max(1.0);
+                prop_assert!((reference - got).abs() <= 1e-12 * scale,
+                    "expr {} gave {} vs {}", e, reference, got);
+            }
+        }
+
+        /// Simplification preserves semantics.
+        #[test]
+        fn simplify_preserves_semantics(e in arb_expr(), x in -5.0..5.0f64, y in -5.0..5.0f64, t in 0.0..10.0f64) {
+            let ctx = MapContext::new().at_time(t).with_var("x", x).with_var("y", y);
+            let reference = eval(&e, &ctx).unwrap();
+            let simplified = eval(&e.simplify(), &ctx).unwrap();
+            if reference.is_nan() {
+                prop_assert!(simplified.is_nan());
+            } else {
+                let scale = reference.abs().max(1.0);
+                prop_assert!((reference - simplified).abs() <= 1e-12 * scale);
+            }
+        }
+
+        /// Display → parse round-trips semantics for generated expressions.
+        #[test]
+        fn display_parse_roundtrip(e in arb_expr(), x in -5.0..5.0f64, y in -5.0..5.0f64) {
+            let printed = e.to_string();
+            let reparsed = crate::parse::parse_expr(&printed).unwrap();
+            let ctx = MapContext::new().with_var("x", x).with_var("y", y);
+            let a = eval(&e, &ctx).unwrap();
+            let b = eval(&reparsed, &ctx).unwrap();
+            if a.is_nan() {
+                prop_assert!(b.is_nan());
+            } else {
+                let scale = a.abs().max(1.0);
+                prop_assert!((a - b).abs() <= 1e-12 * scale, "printed: {}", printed);
+            }
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Trajectory analysis helpers used by the paper's experiments: steady-state
+//! and convergence detection (CNN edge detection, §7.1), phase readout
+//! support, and cross-trial statistics (mismatch studies, §2.4).
+
+use crate::trajectory::Trajectory;
+
+/// First time at which component `var` stays within `eps` of its final value
+/// for the remainder of the trajectory. This is the "convergence time" used
+/// to compare ideal and non-ideal CNN runs in Figure 11.
+///
+/// Returns `None` when the trajectory never settles (i.e. even the last
+/// sample pair differs by more than `eps`) or has fewer than two samples.
+pub fn convergence_time(tr: &Trajectory, var: usize, eps: f64) -> Option<f64> {
+    let n = tr.len();
+    if n < 2 {
+        return None;
+    }
+    let final_v = tr.state(n - 1)[var];
+    // Walk backwards to the first sample that violates the band.
+    let mut settle_idx = 0;
+    for i in (0..n).rev() {
+        if (tr.state(i)[var] - final_v).abs() > eps {
+            settle_idx = i + 1;
+            break;
+        }
+    }
+    if settle_idx >= n {
+        return None;
+    }
+    Some(tr.times()[settle_idx])
+}
+
+/// Worst-case convergence time across all components, or `None` if any
+/// component fails to settle.
+pub fn convergence_time_all(tr: &Trajectory, eps: f64) -> Option<f64> {
+    let mut worst: f64 = tr.times().first().copied()?;
+    for v in 0..tr.dim() {
+        worst = worst.max(convergence_time(tr, v, eps)?);
+    }
+    Some(worst)
+}
+
+/// True when every component of the last two samples changes by less than
+/// `tol` per unit time — a cheap steady-state check.
+pub fn is_steady(tr: &Trajectory, tol: f64) -> bool {
+    let n = tr.len();
+    if n < 2 {
+        return false;
+    }
+    let dt = tr.times()[n - 1] - tr.times()[n - 2];
+    if dt <= 0.0 {
+        return false;
+    }
+    tr.state(n - 1)
+        .iter()
+        .zip(tr.state(n - 2))
+        .all(|(a, b)| ((a - b) / dt).abs() < tol)
+}
+
+/// Per-time-point mean and standard deviation of component `var` across many
+/// trajectories, resampled on `n` points over `[t0, t1]`.
+///
+/// This is the statistic behind Figures 4c/4d: the Gm-mismatched t-line
+/// shows a much larger std-dev envelope than the Cint-mismatched one.
+///
+/// # Panics
+///
+/// Panics if `trials` is empty.
+pub fn ensemble_stats(
+    trials: &[Trajectory],
+    var: usize,
+    t0: f64,
+    t1: f64,
+    n: usize,
+) -> EnsembleStats {
+    assert!(!trials.is_empty(), "need at least one trajectory");
+    let m = trials.len() as f64;
+    let mut mean = vec![0.0; n];
+    let mut m2 = vec![0.0; n];
+    let samples: Vec<Vec<f64>> =
+        trials.iter().map(|tr| tr.resample(var, t0, t1, n)).collect();
+    for s in &samples {
+        for (i, v) in s.iter().enumerate() {
+            mean[i] += v / m;
+        }
+    }
+    for s in &samples {
+        for (i, v) in s.iter().enumerate() {
+            m2[i] += (v - mean[i]) * (v - mean[i]);
+        }
+    }
+    let std: Vec<f64> =
+        m2.iter().map(|x| (x / (m - 1.0).max(1.0)).sqrt()).collect();
+    let times: Vec<f64> =
+        (0..n).map(|i| t0 + (t1 - t0) * i as f64 / (n - 1) as f64).collect();
+    EnsembleStats { times, mean, std }
+}
+
+/// Result of [`ensemble_stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleStats {
+    /// Resample time points.
+    pub times: Vec<f64>,
+    /// Mean of the ensemble at each time point.
+    pub mean: Vec<f64>,
+    /// Sample standard deviation at each time point.
+    pub std: Vec<f64>,
+}
+
+impl EnsembleStats {
+    /// Mean of the per-time-point standard deviations — a scalar summary of
+    /// how much an ensemble of mismatched devices spreads.
+    pub fn mean_std(&self) -> f64 {
+        self.std.iter().sum::<f64>() / self.std.len() as f64
+    }
+
+    /// Maximum per-time-point standard deviation.
+    pub fn max_std(&self) -> f64 {
+        self.std.iter().fold(0.0_f64, |a, b| a.max(*b))
+    }
+}
+
+/// Wrap a phase angle into `[0, 2π)`. Oscillator readout (§7.2) bins wrapped
+/// phases against the partition centers 0 and π.
+pub fn wrap_phase(phi: f64) -> f64 {
+    let two_pi = std::f64::consts::TAU;
+    let mut p = phi % two_pi;
+    if p < 0.0 {
+        p += two_pi;
+    }
+    p
+}
+
+/// Absolute angular distance between two phases, in `[0, π]`.
+pub fn phase_distance(a: f64, b: f64) -> f64 {
+    let d = (wrap_phase(a) - wrap_phase(b)).abs();
+    d.min(std::f64::consts::TAU - d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn settling() -> Trajectory {
+        // Exponential settle to 1.0.
+        let mut tr = Trajectory::new();
+        for i in 0..=1000 {
+            let t = i as f64 / 100.0;
+            tr.push(t + 1e-12, vec![1.0 - (-t).exp()]);
+        }
+        tr
+    }
+
+    #[test]
+    fn convergence_time_of_exponential() {
+        let tr = settling();
+        let tc = convergence_time(&tr, 0, 0.01).unwrap();
+        // 1 - e^-t within 0.01 of final: t ≈ ln(1/0.01) ≈ 4.6
+        assert!((tc - 4.6).abs() < 0.2, "tc={tc}");
+        // Tighter band → later convergence.
+        let tc2 = convergence_time(&tr, 0, 0.001).unwrap();
+        assert!(tc2 > tc);
+    }
+
+    #[test]
+    fn convergence_time_none_for_oscillation() {
+        let mut tr = Trajectory::new();
+        for i in 0..=100 {
+            let t = i as f64 / 10.0;
+            tr.push(t + 1e-12, vec![t.sin()]);
+        }
+        // Never settles to within a tight band of the final sample forever;
+        // with eps tiny, the last violation is late, but the final pair jumps.
+        let tc = convergence_time(&tr, 0, 1e-6);
+        // The signal keeps moving right up to the end.
+        assert!(tc.is_none() || tc.unwrap() > 9.0);
+    }
+
+    #[test]
+    fn convergence_time_all_components() {
+        let mut tr = Trajectory::new();
+        for i in 0..=100 {
+            let t = i as f64 / 10.0;
+            tr.push(t + 1e-12, vec![1.0 - (-t).exp(), 1.0 - (-t / 2.0).exp()]);
+        }
+        let all = convergence_time_all(&tr, 0.05).unwrap();
+        let slow = convergence_time(&tr, 1, 0.05).unwrap();
+        assert_eq!(all, slow);
+    }
+
+    #[test]
+    fn is_steady_detects_flat_tail() {
+        let tr = settling();
+        assert!(is_steady(&tr, 0.01));
+        let mut moving = Trajectory::new();
+        moving.push(0.0, vec![0.0]);
+        moving.push(1.0, vec![10.0]);
+        assert!(!is_steady(&moving, 0.01));
+        assert!(!is_steady(&Trajectory::new(), 0.01));
+    }
+
+    #[test]
+    fn ensemble_stats_zero_spread_for_identical() {
+        let tr = settling();
+        let stats = ensemble_stats(&[tr.clone(), tr.clone(), tr], 0, 0.0, 10.0, 20);
+        assert!(stats.max_std() < 1e-12);
+    }
+
+    #[test]
+    fn ensemble_stats_measures_spread() {
+        let mut trials = Vec::new();
+        for k in 0..10 {
+            let scale = 1.0 + 0.1 * k as f64; // deterministic spread
+            let mut tr = Trajectory::new();
+            for i in 0..=100 {
+                let t = i as f64 / 10.0;
+                tr.push(t + 1e-12, vec![scale * t]);
+            }
+            trials.push(tr);
+        }
+        let stats = ensemble_stats(&trials, 0, 0.0, 10.0, 11);
+        // Spread grows with t.
+        assert!(stats.std[10] > stats.std[1]);
+        assert!(stats.mean_std() > 0.0);
+        // Mean at t=10 is avg(scale)*10 = 14.5.
+        assert!((stats.mean[10] - 14.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_helpers() {
+        use std::f64::consts::PI;
+        assert!((wrap_phase(-PI / 2.0) - 1.5 * PI).abs() < 1e-12);
+        assert!((wrap_phase(5.0 * PI) - PI).abs() < 1e-12);
+        assert!(phase_distance(0.1, -0.1) - 0.2 < 1e-12);
+        assert!((phase_distance(0.0, PI) - PI).abs() < 1e-12);
+        // Wrap-around distance.
+        assert!(phase_distance(0.05, std::f64::consts::TAU - 0.05) - 0.1 < 1e-12);
+    }
+}

@@ -1,0 +1,547 @@
+//! Fixed-step and adaptive integrators.
+//!
+//! The Ark compiler produces an [`OdeSystem`]; these integrators run the
+//! transient simulations behind every figure in the paper. Two families:
+//!
+//! * [`Rk4`] (and [`Euler`]) — fixed-step explicit methods, predictable cost,
+//!   used for the TLN/OBC simulations where the step is set by the signal
+//!   bandwidth;
+//! * [`DormandPrince`] — adaptive 5(4) embedded Runge–Kutta with PI step
+//!   control, used when stiffness varies across a run (CNN mismatch studies).
+
+use crate::system::OdeSystem;
+use crate::trajectory::Trajectory;
+use std::fmt;
+
+/// An error produced during integration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The state or derivative became non-finite at time `t`.
+    NonFinite {
+        /// Time at which the failure was detected.
+        t: f64,
+    },
+    /// The adaptive controller reduced the step below its minimum at time `t`.
+    StepSizeUnderflow {
+        /// Time at which the step underflowed.
+        t: f64,
+    },
+    /// Invalid solver configuration.
+    BadConfig(String),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::NonFinite { t } => write!(f, "non-finite state at t={t}"),
+            SolveError::StepSizeUnderflow { t } => write!(f, "step size underflow at t={t}"),
+            SolveError::BadConfig(m) => write!(f, "bad solver configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+fn check_finite(t: f64, y: &[f64]) -> Result<(), SolveError> {
+    if y.iter().all(|x| x.is_finite()) {
+        Ok(())
+    } else {
+        Err(SolveError::NonFinite { t })
+    }
+}
+
+/// Forward Euler with a fixed step. Mostly a baseline for convergence tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Euler {
+    /// Step size.
+    pub dt: f64,
+}
+
+impl Euler {
+    /// Integrate from `t0` to `t1`, recording every `stride`-th step (the
+    /// initial and final states are always recorded).
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::BadConfig`] for a non-positive step or empty interval,
+    /// [`SolveError::NonFinite`] if the state blows up.
+    pub fn integrate(
+        &self,
+        sys: &impl OdeSystem,
+        t0: f64,
+        y0: &[f64],
+        t1: f64,
+        stride: usize,
+    ) -> Result<Trajectory, SolveError> {
+        validate_fixed(self.dt, t0, t1, y0.len(), sys.dim())?;
+        let stride = stride.max(1);
+        let mut y = y0.to_vec();
+        let mut dydt = vec![0.0; y.len()];
+        let mut tr = Trajectory::new();
+        tr.push(t0, y.clone());
+        let steps = ((t1 - t0) / self.dt).ceil() as usize;
+        let dt = (t1 - t0) / steps as f64;
+        let mut t = t0;
+        for k in 0..steps {
+            sys.rhs(t, &y, &mut dydt);
+            for (yi, di) in y.iter_mut().zip(&dydt) {
+                *yi += dt * di;
+            }
+            t = t0 + (k + 1) as f64 * dt;
+            check_finite(t, &y)?;
+            if (k + 1) % stride == 0 || k + 1 == steps {
+                tr.push(t, y.clone());
+            }
+        }
+        Ok(tr)
+    }
+}
+
+/// Classical fourth-order Runge–Kutta with a fixed step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rk4 {
+    /// Step size.
+    pub dt: f64,
+}
+
+impl Rk4 {
+    /// Integrate from `t0` to `t1`, recording every `stride`-th step (the
+    /// initial and final states are always recorded).
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::BadConfig`] for a non-positive step or empty interval,
+    /// [`SolveError::NonFinite`] if the state blows up.
+    pub fn integrate(
+        &self,
+        sys: &impl OdeSystem,
+        t0: f64,
+        y0: &[f64],
+        t1: f64,
+        stride: usize,
+    ) -> Result<Trajectory, SolveError> {
+        validate_fixed(self.dt, t0, t1, y0.len(), sys.dim())?;
+        let stride = stride.max(1);
+        let n = y0.len();
+        let mut y = y0.to_vec();
+        let (mut k1, mut k2, mut k3, mut k4) =
+            (vec![0.0; n], vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+        let mut tmp = vec![0.0; n];
+        let mut tr = Trajectory::new();
+        tr.push(t0, y.clone());
+        let steps = ((t1 - t0) / self.dt).ceil() as usize;
+        let dt = (t1 - t0) / steps as f64;
+        let mut t = t0;
+        for step in 0..steps {
+            sys.rhs(t, &y, &mut k1);
+            for i in 0..n {
+                tmp[i] = y[i] + 0.5 * dt * k1[i];
+            }
+            sys.rhs(t + 0.5 * dt, &tmp, &mut k2);
+            for i in 0..n {
+                tmp[i] = y[i] + 0.5 * dt * k2[i];
+            }
+            sys.rhs(t + 0.5 * dt, &tmp, &mut k3);
+            for i in 0..n {
+                tmp[i] = y[i] + dt * k3[i];
+            }
+            sys.rhs(t + dt, &tmp, &mut k4);
+            for i in 0..n {
+                y[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+            }
+            t = t0 + (step + 1) as f64 * dt;
+            check_finite(t, &y)?;
+            if (step + 1) % stride == 0 || step + 1 == steps {
+                tr.push(t, y.clone());
+            }
+        }
+        Ok(tr)
+    }
+}
+
+fn validate_fixed(
+    dt: f64,
+    t0: f64,
+    t1: f64,
+    y_len: usize,
+    dim: usize,
+) -> Result<(), SolveError> {
+    if !(dt > 0.0) {
+        return Err(SolveError::BadConfig(format!("step dt={dt} must be positive")));
+    }
+    if !(t1 > t0) {
+        return Err(SolveError::BadConfig(format!("empty interval [{t0}, {t1}]")));
+    }
+    if y_len != dim {
+        return Err(SolveError::BadConfig(format!(
+            "initial state has {y_len} entries but the system dimension is {dim}"
+        )));
+    }
+    Ok(())
+}
+
+/// Adaptive Dormand–Prince 5(4) embedded Runge–Kutta pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DormandPrince {
+    /// Relative error tolerance.
+    pub rtol: f64,
+    /// Absolute error tolerance.
+    pub atol: f64,
+    /// Initial step (guessed from the interval when `None`).
+    pub h0: Option<f64>,
+    /// Smallest step before declaring failure.
+    pub h_min: f64,
+    /// Largest allowed step.
+    pub h_max: f64,
+}
+
+impl Default for DormandPrince {
+    fn default() -> Self {
+        DormandPrince { rtol: 1e-6, atol: 1e-9, h0: None, h_min: 1e-14, h_max: f64::INFINITY }
+    }
+}
+
+impl DormandPrince {
+    /// Construct with tolerances and defaults for the step bounds.
+    pub fn new(rtol: f64, atol: f64) -> Self {
+        DormandPrince { rtol, atol, ..Default::default() }
+    }
+
+    /// Integrate from `t0` to `t1`, recording every accepted step.
+    ///
+    /// Samples land on the accepted (possibly large) steps; if you need to
+    /// interpolate the result densely, bound `h_max` so linear interpolation
+    /// between samples stays accurate.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::StepSizeUnderflow`] when the error controller cannot
+    /// meet the tolerance, [`SolveError::NonFinite`] on blow-up, and
+    /// [`SolveError::BadConfig`] for invalid configuration.
+    pub fn integrate(
+        &self,
+        sys: &impl OdeSystem,
+        t0: f64,
+        y0: &[f64],
+        t1: f64,
+    ) -> Result<Trajectory, SolveError> {
+        if !(t1 > t0) {
+            return Err(SolveError::BadConfig(format!("empty interval [{t0}, {t1}]")));
+        }
+        if y0.len() != sys.dim() {
+            return Err(SolveError::BadConfig(format!(
+                "initial state has {} entries but the system dimension is {}",
+                y0.len(),
+                sys.dim()
+            )));
+        }
+        if !(self.rtol > 0.0) || !(self.atol >= 0.0) {
+            return Err(SolveError::BadConfig("tolerances must be positive".into()));
+        }
+
+        // Dormand–Prince coefficients.
+        const C: [f64; 7] = [0.0, 1.0 / 5.0, 3.0 / 10.0, 4.0 / 5.0, 8.0 / 9.0, 1.0, 1.0];
+        const A: [[f64; 6]; 7] = [
+            [0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            [1.0 / 5.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            [3.0 / 40.0, 9.0 / 40.0, 0.0, 0.0, 0.0, 0.0],
+            [44.0 / 45.0, -56.0 / 15.0, 32.0 / 9.0, 0.0, 0.0, 0.0],
+            [
+                19372.0 / 6561.0,
+                -25360.0 / 2187.0,
+                64448.0 / 6561.0,
+                -212.0 / 729.0,
+                0.0,
+                0.0,
+            ],
+            [
+                9017.0 / 3168.0,
+                -355.0 / 33.0,
+                46732.0 / 5247.0,
+                49.0 / 176.0,
+                -5103.0 / 18656.0,
+                0.0,
+            ],
+            [
+                35.0 / 384.0,
+                0.0,
+                500.0 / 1113.0,
+                125.0 / 192.0,
+                -2187.0 / 6784.0,
+                11.0 / 84.0,
+            ],
+        ];
+        // 5th-order solution weights (same as A[6]).
+        const B5: [f64; 7] =
+            [35.0 / 384.0, 0.0, 500.0 / 1113.0, 125.0 / 192.0, -2187.0 / 6784.0, 11.0 / 84.0, 0.0];
+        // 4th-order embedded weights.
+        const B4: [f64; 7] = [
+            5179.0 / 57600.0,
+            0.0,
+            7571.0 / 16695.0,
+            393.0 / 640.0,
+            -92097.0 / 339200.0,
+            187.0 / 2100.0,
+            1.0 / 40.0,
+        ];
+
+        let n = y0.len();
+        let mut y = y0.to_vec();
+        let mut t = t0;
+        let mut h = self.h0.unwrap_or((t1 - t0) / 100.0).min(self.h_max);
+        let mut k = vec![vec![0.0; n]; 7];
+        let mut ytmp = vec![0.0; n];
+        let mut tr = Trajectory::new();
+        tr.push(t0, y.clone());
+
+        // FSAL: k[0] of the next step reuses k[6] of the accepted step.
+        sys.rhs(t, &y, &mut k[0]);
+        let mut err_prev: f64 = 1.0;
+
+        while t < t1 {
+            if h < self.h_min {
+                return Err(SolveError::StepSizeUnderflow { t });
+            }
+            if t + h > t1 {
+                h = t1 - t;
+            }
+            for s in 1..7 {
+                for i in 0..n {
+                    let mut acc = 0.0;
+                    for (j, kj) in k.iter().enumerate().take(s) {
+                        let a = A[s][j];
+                        if a != 0.0 {
+                            acc += a * kj[i];
+                        }
+                    }
+                    ytmp[i] = y[i] + h * acc;
+                }
+                let (head, tail) = k.split_at_mut(s);
+                let _ = head;
+                sys.rhs(t + C[s] * h, &ytmp, &mut tail[0]);
+            }
+            // 5th-order candidate and embedded error estimate.
+            let mut err: f64 = 0.0;
+            for i in 0..n {
+                let mut y5 = y[i];
+                let mut e = 0.0;
+                for s in 0..7 {
+                    y5 += h * B5[s] * k[s][i];
+                    e += h * (B5[s] - B4[s]) * k[s][i];
+                }
+                ytmp[i] = y5;
+                let scale = self.atol + self.rtol * y[i].abs().max(y5.abs());
+                let r = e / scale;
+                err += r * r;
+            }
+            err = (err / n as f64).sqrt();
+
+            if err <= 1.0 || h <= self.h_min * 2.0 {
+                // Accept.
+                t += h;
+                y.copy_from_slice(&ytmp);
+                check_finite(t, &y)?;
+                tr.push(t, y.clone());
+                // FSAL: last stage evaluated at (t+h, y_new).
+                let last = k[6].clone();
+                k[0].copy_from_slice(&last);
+                // PI step controller.
+                let e = err.max(1e-10);
+                let fac = 0.9 * e.powf(-0.7 / 5.0) * err_prev.powf(0.4 / 5.0);
+                h = (h * fac.clamp(0.2, 5.0)).min(self.h_max);
+                err_prev = e;
+            } else {
+                h *= (0.9 * err.powf(-0.2)).clamp(0.1, 1.0);
+            }
+        }
+        Ok(tr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::FnSystem;
+
+    fn decay() -> FnSystem<impl Fn(f64, &[f64], &mut [f64])> {
+        FnSystem::new(1, |_t, y: &[f64], d: &mut [f64]| d[0] = -y[0])
+    }
+
+    #[test]
+    fn euler_decay_first_order() {
+        let sys = decay();
+        let tr = Euler { dt: 1e-3 }.integrate(&sys, 0.0, &[1.0], 1.0, 100).unwrap();
+        let (_, yf) = tr.last().unwrap();
+        assert!((yf[0] - (-1.0f64).exp()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rk4_decay_high_accuracy() {
+        let sys = decay();
+        let tr = Rk4 { dt: 1e-2 }.integrate(&sys, 0.0, &[1.0], 1.0, 10).unwrap();
+        let (_, yf) = tr.last().unwrap();
+        assert!((yf[0] - (-1.0f64).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rk4_fourth_order_convergence() {
+        let sys = decay();
+        let err = |dt: f64| {
+            let tr = Rk4 { dt }.integrate(&sys, 0.0, &[1.0], 1.0, usize::MAX).unwrap();
+            (tr.last().unwrap().1[0] - (-1.0f64).exp()).abs()
+        };
+        let e1 = err(0.1);
+        let e2 = err(0.05);
+        let ratio = e1 / e2;
+        // Fourth order: halving dt divides error by ~16.
+        assert!(ratio > 12.0 && ratio < 20.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn rk4_harmonic_oscillator_conserves_energy() {
+        let sys = FnSystem::new(2, |_t, y: &[f64], d: &mut [f64]| {
+            d[0] = y[1];
+            d[1] = -y[0];
+        });
+        let tr = Rk4 { dt: 1e-3 }
+            .integrate(&sys, 0.0, &[1.0, 0.0], 2.0 * std::f64::consts::PI, 100)
+            .unwrap();
+        let (_, yf) = tr.last().unwrap();
+        // One full period returns to the initial condition.
+        assert!((yf[0] - 1.0).abs() < 1e-8);
+        assert!(yf[1].abs() < 1e-8);
+        let energy = yf[0] * yf[0] + yf[1] * yf[1];
+        assert!((energy - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn dp45_decay_meets_tolerance() {
+        let sys = decay();
+        let tr = DormandPrince::new(1e-9, 1e-12).integrate(&sys, 0.0, &[1.0], 1.0).unwrap();
+        let (_, yf) = tr.last().unwrap();
+        assert!((yf[0] - (-1.0f64).exp()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn dp45_forced_system() {
+        // dy/dt = cos(t), y(0)=0 => y(t)=sin(t).
+        let sys = FnSystem::new(1, |t: f64, _y: &[f64], d: &mut [f64]| d[0] = t.cos());
+        // Bound the step so linear interpolation between accepted samples is
+        // accurate at the probe points.
+        let solver = DormandPrince { h_max: 1e-2, ..DormandPrince::new(1e-8, 1e-11) };
+        let tr = solver.integrate(&sys, 0.0, &[0.0], 3.0).unwrap();
+        for t in [0.5, 1.0, 2.0, 3.0] {
+            assert!((tr.value_at(t, 0) - t.sin()).abs() < 1e-5, "t={t}");
+        }
+    }
+
+    #[test]
+    fn dp45_adapts_step_count() {
+        // A stiff-ish decay needs more steps at tight tolerance.
+        let sys = FnSystem::new(1, |_t, y: &[f64], d: &mut [f64]| d[0] = -50.0 * y[0]);
+        let loose = DormandPrince::new(1e-3, 1e-6).integrate(&sys, 0.0, &[1.0], 1.0).unwrap();
+        let tight = DormandPrince::new(1e-10, 1e-13).integrate(&sys, 0.0, &[1.0], 1.0).unwrap();
+        assert!(tight.len() > loose.len());
+    }
+
+    #[test]
+    fn fixed_step_hits_end_exactly() {
+        let sys = decay();
+        // dt that does not divide the interval.
+        let tr = Rk4 { dt: 0.3 }.integrate(&sys, 0.0, &[1.0], 1.0, 1).unwrap();
+        assert!((tr.last().unwrap().0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_config_errors() {
+        let sys = decay();
+        assert!(matches!(
+            Rk4 { dt: 0.0 }.integrate(&sys, 0.0, &[1.0], 1.0, 1),
+            Err(SolveError::BadConfig(_))
+        ));
+        assert!(matches!(
+            Rk4 { dt: 0.1 }.integrate(&sys, 1.0, &[1.0], 0.0, 1),
+            Err(SolveError::BadConfig(_))
+        ));
+        assert!(matches!(
+            Rk4 { dt: 0.1 }.integrate(&sys, 0.0, &[1.0, 2.0], 1.0, 1),
+            Err(SolveError::BadConfig(_))
+        ));
+        assert!(matches!(
+            DormandPrince::new(-1.0, 0.0).integrate(&sys, 0.0, &[1.0], 1.0),
+            Err(SolveError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn nonfinite_detected() {
+        // dy/dt = y^2 blows up at t=1 for y0=1.
+        let sys = FnSystem::new(1, |_t, y: &[f64], d: &mut [f64]| d[0] = y[0] * y[0]);
+        let res = Rk4 { dt: 1e-3 }.integrate(&sys, 0.0, &[1.0], 2.0, 1);
+        assert!(matches!(res, Err(SolveError::NonFinite { .. })));
+    }
+
+    #[test]
+    fn stride_reduces_samples() {
+        let sys = decay();
+        let dense = Rk4 { dt: 1e-3 }.integrate(&sys, 0.0, &[1.0], 1.0, 1).unwrap();
+        let sparse = Rk4 { dt: 1e-3 }.integrate(&sys, 0.0, &[1.0], 1.0, 100).unwrap();
+        assert!(dense.len() > 900);
+        assert!(sparse.len() < 20);
+        // Endpoint recorded in both.
+        assert_eq!(dense.last().unwrap().0, sparse.last().unwrap().0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::system::FnSystem;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Constant derivative integrates to a straight line under all solvers.
+        #[test]
+        fn constant_rhs_linear(c in -5.0..5.0f64, t1 in 0.1..3.0f64) {
+            let sys = FnSystem::new(1, move |_t, _y: &[f64], d: &mut [f64]| d[0] = c);
+            let rk = Rk4 { dt: 0.01 }.integrate(&sys, 0.0, &[0.0], t1, 1).unwrap();
+            prop_assert!((rk.last().unwrap().1[0] - c * t1).abs() < 1e-9);
+            let dp = DormandPrince::default().integrate(&sys, 0.0, &[0.0], t1).unwrap();
+            prop_assert!((dp.last().unwrap().1[0] - c * t1).abs() < 1e-6);
+        }
+
+        /// Linear decay stays positive and monotone under RK4.
+        #[test]
+        fn decay_monotone(y0 in 0.1..10.0f64, rate in 0.1..5.0f64) {
+            let sys = FnSystem::new(1, move |_t, y: &[f64], d: &mut [f64]| d[0] = -rate * y[0]);
+            let tr = Rk4 { dt: 1e-3 }.integrate(&sys, 0.0, &[y0], 1.0, 10).unwrap();
+            let mut prev = f64::INFINITY;
+            for (_, s) in tr.iter() {
+                prop_assert!(s[0] > 0.0);
+                prop_assert!(s[0] <= prev + 1e-12);
+                prev = s[0];
+            }
+        }
+
+        /// RK4 and Dormand–Prince agree on a smooth nonlinear system.
+        #[test]
+        fn solvers_agree(a in 0.5..2.0f64) {
+            let sys = FnSystem::new(1, move |t: f64, y: &[f64], d: &mut [f64]| {
+                d[0] = -a * y[0] + (3.0 * t).sin()
+            });
+            let rk = Rk4 { dt: 1e-3 }.integrate(&sys, 0.0, &[1.0], 2.0, 1).unwrap();
+            let solver = DormandPrince { h_max: 1e-2, ..DormandPrince::new(1e-9, 1e-12) };
+            let dp = solver.integrate(&sys, 0.0, &[1.0], 2.0).unwrap();
+            // Endpoint: both solvers land exactly on t=2, so only solver
+            // error shows up.
+            let (r_end, d_end) = (rk.last().unwrap().1[0], dp.last().unwrap().1[0]);
+            prop_assert!((r_end - d_end).abs() < 1e-8, "end rk={} dp={}", r_end, d_end);
+            // Interior points additionally carry the linear-interpolation
+            // error of the adaptive trace (O(h_max^2) ≈ 1e-4 worst case).
+            for t in [0.5, 1.0, 1.5] {
+                let (r, d) = (rk.value_at(t, 0), dp.value_at(t, 0));
+                prop_assert!((r - d).abs() < 1e-4, "t={} rk={} dp={}", t, r, d);
+            }
+        }
+    }
+}

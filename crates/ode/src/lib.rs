@@ -1,0 +1,43 @@
+//! # ark-ode: transient simulation substrate for Ark
+//!
+//! The Ark dynamical-system compiler (paper §5) lowers a dynamical graph to
+//! a system of differential equations; this crate integrates those systems.
+//! It provides:
+//!
+//! * [`OdeSystem`] — the system interface ([`FnSystem`] and [`LinearSystem`]
+//!   adapters included);
+//! * [`Rk4`], [`Euler`] — fixed-step explicit integrators;
+//! * [`DormandPrince`] — adaptive 5(4) embedded pair with PI step control;
+//! * [`Trajectory`] — recorded solutions with interpolation, windows, and
+//!   resampling (observation windows for PUF responses, §2.2);
+//! * analysis helpers: [`convergence_time`], [`ensemble_stats`] (mismatch
+//!   envelopes, Fig. 4c/4d), [`relative_rmse`] (SPICE validation, §4.5),
+//!   and phase utilities for oscillator readout (§7.2).
+//!
+//! # Examples
+//!
+//! ```
+//! use ark_ode::{FnSystem, Rk4};
+//!
+//! // dV/dt = -V/RC with RC = 1.
+//! let sys = FnSystem::new(1, |_t, y, dydt| dydt[0] = -y[0]);
+//! let tr = Rk4 { dt: 1e-3 }.integrate(&sys, 0.0, &[1.0], 1.0, 10)?;
+//! let v_end = tr.last().unwrap().1[0];
+//! assert!((v_end - (-1.0f64).exp()).abs() < 1e-9);
+//! # Ok::<(), ark_ode::SolveError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod integrate;
+pub mod system;
+pub mod trajectory;
+
+pub use analysis::{
+    convergence_time, convergence_time_all, ensemble_stats, is_steady, phase_distance,
+    wrap_phase, EnsembleStats,
+};
+pub use integrate::{DormandPrince, Euler, Rk4, SolveError};
+pub use system::{FnSystem, LinearSystem, OdeSystem};
+pub use trajectory::{relative_rmse, Trajectory};

@@ -1,0 +1,153 @@
+//! The [`OdeSystem`] trait: what the Ark dynamical-system compiler produces
+//! and what the integrators consume.
+
+/// A first-order system of ordinary differential equations
+/// `dy/dt = f(t, y)` with `y ∈ R^dim`.
+///
+/// Higher-order Ark node types are reduced to first order by the compiler's
+/// `LowOrdEqs` step (paper Alg. 1), so first-order systems are the only
+/// interface the integrators need.
+pub trait OdeSystem {
+    /// Dimension of the state vector.
+    fn dim(&self) -> usize;
+
+    /// Evaluate the right-hand side `f(t, y)` into `dydt`.
+    ///
+    /// Implementations must write every element of `dydt`.
+    fn rhs(&self, t: f64, y: &[f64], dydt: &mut [f64]);
+}
+
+/// Adapter implementing [`OdeSystem`] from a closure.
+///
+/// # Examples
+///
+/// ```
+/// use ark_ode::{FnSystem, OdeSystem};
+/// // dy/dt = -y
+/// let sys = FnSystem::new(1, |_t, y, dydt| dydt[0] = -y[0]);
+/// let mut out = [0.0];
+/// sys.rhs(0.0, &[2.0], &mut out);
+/// assert_eq!(out[0], -2.0);
+/// ```
+pub struct FnSystem<F> {
+    dim: usize,
+    f: F,
+}
+
+impl<F: Fn(f64, &[f64], &mut [f64])> FnSystem<F> {
+    /// Wrap a closure as an ODE system of the given dimension.
+    pub fn new(dim: usize, f: F) -> Self {
+        FnSystem { dim, f }
+    }
+}
+
+impl<F: Fn(f64, &[f64], &mut [f64])> OdeSystem for FnSystem<F> {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn rhs(&self, t: f64, y: &[f64], dydt: &mut [f64]) {
+        (self.f)(t, y, dydt)
+    }
+}
+
+impl<S: OdeSystem + ?Sized> OdeSystem for &S {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+
+    fn rhs(&self, t: f64, y: &[f64], dydt: &mut [f64]) {
+        (**self).rhs(t, y, dydt)
+    }
+}
+
+/// A linear time-invariant system `dy/dt = A·y + b(t)` stored densely.
+///
+/// Used by `ark-spice` for GmC netlists and by tests as a reference system
+/// with a known solution.
+pub struct LinearSystem<B> {
+    /// Row-major `dim × dim` state matrix.
+    a: Vec<f64>,
+    dim: usize,
+    /// Forcing term `b(t)`, written into the provided buffer.
+    forcing: B,
+}
+
+impl<B: Fn(f64, &mut [f64])> LinearSystem<B> {
+    /// Create a linear system from a row-major matrix and a forcing closure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != dim * dim`.
+    pub fn new(dim: usize, a: Vec<f64>, forcing: B) -> Self {
+        assert_eq!(a.len(), dim * dim, "matrix must be dim*dim");
+        LinearSystem { a, dim, forcing }
+    }
+
+    /// The matrix entry `A[i][j]`.
+    pub fn a(&self, i: usize, j: usize) -> f64 {
+        self.a[i * self.dim + j]
+    }
+}
+
+impl<B: Fn(f64, &mut [f64])> OdeSystem for LinearSystem<B> {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn rhs(&self, t: f64, y: &[f64], dydt: &mut [f64]) {
+        (self.forcing)(t, dydt);
+        for i in 0..self.dim {
+            let row = &self.a[i * self.dim..(i + 1) * self.dim];
+            let mut acc = 0.0;
+            for (aij, yj) in row.iter().zip(y) {
+                acc += aij * yj;
+            }
+            dydt[i] += acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_system_wraps_closure() {
+        let sys = FnSystem::new(2, |_t, y: &[f64], d: &mut [f64]| {
+            d[0] = y[1];
+            d[1] = -y[0];
+        });
+        assert_eq!(sys.dim(), 2);
+        let mut d = [0.0; 2];
+        sys.rhs(0.0, &[1.0, 0.0], &mut d);
+        assert_eq!(d, [0.0, -1.0]);
+    }
+
+    #[test]
+    fn linear_system_matvec() {
+        // dy/dt = [[0,1],[-2,0]] y + [0, sin(t)]
+        let sys = LinearSystem::new(2, vec![0.0, 1.0, -2.0, 0.0], |t: f64, b: &mut [f64]| {
+            b[0] = 0.0;
+            b[1] = t.sin();
+        });
+        let mut d = [0.0; 2];
+        sys.rhs(std::f64::consts::FRAC_PI_2, &[3.0, 4.0], &mut d);
+        assert!((d[0] - 4.0).abs() < 1e-15);
+        assert!((d[1] - (-6.0 + 1.0)).abs() < 1e-12);
+        assert_eq!(sys.a(1, 0), -2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix must be dim*dim")]
+    fn linear_system_checks_shape() {
+        let _ = LinearSystem::new(2, vec![1.0; 3], |_t, _b: &mut [f64]| {});
+    }
+
+    #[test]
+    fn ref_forwarding() {
+        let sys = FnSystem::new(1, |_t, y: &[f64], d: &mut [f64]| d[0] = y[0]);
+        let r = &sys;
+        assert_eq!(OdeSystem::dim(&r), 1);
+    }
+}

@@ -1,0 +1,292 @@
+//! Recorded solution trajectories.
+
+/// A time-indexed record of the state vector produced by an integrator.
+///
+/// Rows are strictly increasing in time. Values between samples are
+/// recovered by linear interpolation, which is adequate for the dense
+/// outputs produced by the fixed-step and adaptive integrators here.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trajectory {
+    times: Vec<f64>,
+    states: Vec<Vec<f64>>,
+}
+
+impl Trajectory {
+    /// An empty trajectory.
+    pub fn new() -> Self {
+        Trajectory::default()
+    }
+
+    /// Append a sample. Times must arrive in strictly increasing order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not greater than the last recorded time, or if the
+    /// state dimension changes between samples.
+    pub fn push(&mut self, t: f64, state: Vec<f64>) {
+        if let Some(last) = self.times.last() {
+            assert!(t > *last, "trajectory times must be strictly increasing");
+            assert_eq!(
+                state.len(),
+                self.states[0].len(),
+                "state dimension changed mid-trajectory"
+            );
+        }
+        self.times.push(t);
+        self.states.push(state);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Dimension of the recorded state vectors (0 when empty).
+    pub fn dim(&self) -> usize {
+        self.states.first().map_or(0, Vec::len)
+    }
+
+    /// The recorded time stamps.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The state at sample index `i`.
+    pub fn state(&self, i: usize) -> &[f64] {
+        &self.states[i]
+    }
+
+    /// The final `(time, state)` sample, if any.
+    pub fn last(&self) -> Option<(f64, &[f64])> {
+        self.times.last().map(|t| (*t, self.states.last().expect("parallel arrays").as_slice()))
+    }
+
+    /// Time series of component `var` as `(t, value)` pairs.
+    pub fn series(&self, var: usize) -> Vec<(f64, f64)> {
+        self.times.iter().zip(&self.states).map(|(t, s)| (*t, s[var])).collect()
+    }
+
+    /// Linearly interpolated state at time `t`.
+    ///
+    /// Clamps to the first/last sample outside the recorded range.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty trajectory.
+    pub fn at(&self, t: f64) -> Vec<f64> {
+        assert!(!self.is_empty(), "cannot sample an empty trajectory");
+        if t <= self.times[0] {
+            return self.states[0].clone();
+        }
+        if t >= *self.times.last().expect("nonempty") {
+            return self.states.last().expect("nonempty").clone();
+        }
+        let idx = match self.times.binary_search_by(|x| x.partial_cmp(&t).expect("finite")) {
+            Ok(i) => return self.states[i].clone(),
+            Err(i) => i,
+        };
+        let (t0, t1) = (self.times[idx - 1], self.times[idx]);
+        let w = (t - t0) / (t1 - t0);
+        self.states[idx - 1]
+            .iter()
+            .zip(&self.states[idx])
+            .map(|(a, b)| a + w * (b - a))
+            .collect()
+    }
+
+    /// Linearly interpolated value of component `var` at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty trajectory or out-of-range `var`.
+    pub fn value_at(&self, t: f64, var: usize) -> f64 {
+        self.at(t)[var]
+    }
+
+    /// Maximum of component `var` over `[t0, t1]`, returned as `(t, value)`.
+    ///
+    /// Considers recorded samples inside the window plus the interpolated
+    /// endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty trajectory.
+    pub fn peak_in_window(&self, var: usize, t0: f64, t1: f64) -> (f64, f64) {
+        let mut best = (t0, self.value_at(t0, var));
+        for (t, s) in self.times.iter().zip(&self.states) {
+            if *t >= t0 && *t <= t1 && s[var] > best.1 {
+                best = (*t, s[var]);
+            }
+        }
+        let end = (t1, self.value_at(t1, var));
+        if end.1 > best.1 {
+            best = end;
+        }
+        best
+    }
+
+    /// Resample component `var` at `n` evenly spaced points across `[t0, t1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or the trajectory is empty.
+    pub fn resample(&self, var: usize, t0: f64, t1: f64, n: usize) -> Vec<f64> {
+        assert!(n >= 2, "need at least two sample points");
+        (0..n)
+            .map(|i| {
+                let t = t0 + (t1 - t0) * (i as f64) / ((n - 1) as f64);
+                self.value_at(t, var)
+            })
+            .collect()
+    }
+
+    /// Iterate over `(time, state)` samples.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, &[f64])> {
+        self.times.iter().copied().zip(self.states.iter().map(Vec::as_slice))
+    }
+}
+
+/// Root-mean-squared error between component `var_a` of `a` and `var_b` of
+/// `b`, resampled at `n` points over `[t0, t1]`, normalized by the RMS of
+/// the reference `a` (so 0.01 means 1% error, as in the paper's §4.5
+/// empirical validation).
+///
+/// # Panics
+///
+/// Panics if either trajectory is empty or `n < 2`.
+pub fn relative_rmse(
+    a: &Trajectory,
+    var_a: usize,
+    b: &Trajectory,
+    var_b: usize,
+    t0: f64,
+    t1: f64,
+    n: usize,
+) -> f64 {
+    let xs = a.resample(var_a, t0, t1, n);
+    let ys = b.resample(var_b, t0, t1, n);
+    let mut err = 0.0;
+    let mut norm = 0.0;
+    for (x, y) in xs.iter().zip(&ys) {
+        err += (x - y) * (x - y);
+        norm += x * x;
+    }
+    if norm == 0.0 {
+        return if err == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    (err / norm).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Trajectory {
+        let mut tr = Trajectory::new();
+        for i in 0..=10 {
+            let t = i as f64;
+            tr.push(t, vec![t * 2.0, -t]);
+        }
+        tr
+    }
+
+    #[test]
+    fn push_and_basic_accessors() {
+        let tr = ramp();
+        assert_eq!(tr.len(), 11);
+        assert_eq!(tr.dim(), 2);
+        assert!(!tr.is_empty());
+        assert_eq!(tr.state(1), &[2.0, -1.0]);
+        assert_eq!(tr.last().unwrap().0, 10.0);
+        assert_eq!(tr.times()[0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn push_rejects_nonmonotonic_time() {
+        let mut tr = ramp();
+        tr.push(5.0, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension changed")]
+    fn push_rejects_dim_change() {
+        let mut tr = ramp();
+        tr.push(11.0, vec![0.0]);
+    }
+
+    #[test]
+    fn interpolation_is_linear() {
+        let tr = ramp();
+        assert_eq!(tr.value_at(2.5, 0), 5.0);
+        assert_eq!(tr.value_at(2.5, 1), -2.5);
+        // Exact sample hit.
+        assert_eq!(tr.value_at(3.0, 0), 6.0);
+        // Clamping.
+        assert_eq!(tr.value_at(-1.0, 0), 0.0);
+        assert_eq!(tr.value_at(99.0, 0), 20.0);
+    }
+
+    #[test]
+    fn series_extracts_component() {
+        let tr = ramp();
+        let s = tr.series(1);
+        assert_eq!(s[3], (3.0, -3.0));
+    }
+
+    #[test]
+    fn peak_in_window_finds_max() {
+        let mut tr = Trajectory::new();
+        for i in 0..=100 {
+            let t = i as f64 / 100.0;
+            // Bump centered at 0.3.
+            let v = (-(t - 0.3) * (t - 0.3) * 100.0).exp();
+            tr.push(t + 1e-12, vec![v]);
+        }
+        let (t_peak, v_peak) = tr.peak_in_window(0, 0.0, 1.0);
+        assert!((t_peak - 0.3).abs() < 0.02);
+        assert!(v_peak > 0.99);
+        // Window excluding the bump.
+        let (_, v2) = tr.peak_in_window(0, 0.6, 1.0);
+        assert!(v2 < 0.5);
+    }
+
+    #[test]
+    fn resample_endpoints() {
+        let tr = ramp();
+        let r = tr.resample(0, 0.0, 10.0, 5);
+        assert_eq!(r, vec![0.0, 5.0, 10.0, 15.0, 20.0]);
+    }
+
+    #[test]
+    fn relative_rmse_zero_for_identical() {
+        let tr = ramp();
+        assert_eq!(relative_rmse(&tr, 0, &tr, 0, 0.0, 10.0, 50), 0.0);
+    }
+
+    #[test]
+    fn relative_rmse_scales() {
+        let a = ramp();
+        let mut b = Trajectory::new();
+        for i in 0..=10 {
+            let t = i as f64;
+            b.push(t, vec![t * 2.0 * 1.01]); // 1% off everywhere
+        }
+        let e = relative_rmse(&a, 0, &b, 0, 1.0, 10.0, 100);
+        assert!((e - 0.01).abs() < 1e-3, "rmse {e}");
+    }
+
+    #[test]
+    fn iter_yields_pairs() {
+        let tr = ramp();
+        let v: Vec<_> = tr.iter().collect();
+        assert_eq!(v.len(), 11);
+        assert_eq!(v[0].0, 0.0);
+        assert_eq!(v[10].1, &[20.0, -10.0]);
+    }
+}

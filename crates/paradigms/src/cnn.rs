@@ -1,0 +1,695 @@
+//! The cellular nonlinear network (CNN) compute paradigm (paper §7.1).
+//!
+//! A CNN is a grid of locally coupled cells with dynamics (paper Eq. 5):
+//!
+//! ```text
+//! dxᵢⱼ/dt = −xᵢⱼ + Σ_{kl ∈ N(i,j)} (A·f(x_kl) + B·u_kl) + z
+//! ```
+//!
+//! The `cnn` language maps cells to `V` nodes, outputs `y = sat(x)` to
+//! order-0 `Out` nodes, and external inputs to `Inp` nodes; `fE` edges carry
+//! the `A`/`B` template weights and `iE` edges wire the nonlinearity and the
+//! self term. The `hw_cnn` extension (paper Fig. 10b) adds:
+//!
+//! * `Vm` — integrator-bias (`z`) mismatch,
+//! * `fEm` — template-weight (`g`) mismatch,
+//! * `OutNL` — the non-ideal MOS saturation `sat_ni`.
+//!
+//! One documented deviation from Figure 10a: the paper never says how an
+//! `Inp` node acquires its pixel value, so `Inp` carries a `u` attribute and
+//! the B-template rule reads `s.u` instead of `var(s)` (see DESIGN.md).
+
+use crate::image::Image;
+use ark_core::func::GraphBuilder;
+use ark_core::lang::{
+    EdgeType, Language, LanguageBuilder, MatchClause, NodeType, Pattern, ProdRule, Reduction,
+    ValidityRule,
+};
+use ark_core::types::SigType;
+use ark_core::validate::ExternRegistry;
+use ark_core::{CompiledSystem, FuncError, Graph, LangError};
+use ark_expr::parse_expr;
+
+/// A 3×3 CNN template: feedback matrix `A`, control matrix `B`, bias `z`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Template {
+    /// Feedback weights applied to neighbor outputs `f(x)`.
+    pub a: [[f64; 3]; 3],
+    /// Control weights applied to neighbor inputs `u`.
+    pub b: [[f64; 3]; 3],
+    /// Constant bias `z`.
+    pub z: f64,
+}
+
+/// The classic Chua–Yang edge-detection template (paper §7.1 workload):
+/// `A` has a single center weight of 2, `B` is an 8-surround Laplacian, and
+/// `z = −0.5`.
+pub const EDGE_TEMPLATE: Template = Template {
+    a: [[0.0, 0.0, 0.0], [0.0, 2.0, 0.0], [0.0, 0.0, 0.0]],
+    b: [[-1.0, -1.0, -1.0], [-1.0, 8.0, -1.0], [-1.0, -1.0, -1.0]],
+    z: -0.5,
+};
+
+fn e(src: &str) -> ark_expr::Expr {
+    parse_expr(src).expect("static rule expression")
+}
+
+/// Build the base CNN language (paper Figure 10a).
+///
+/// # Panics
+///
+/// Panics only on an internal definition error (covered by tests).
+pub fn cnn_language() -> Language {
+    try_cnn_language().expect("CNN language definition is valid")
+}
+
+fn try_cnn_language() -> Result<Language, LangError> {
+    LanguageBuilder::new("cnn")
+        .node_type(
+            NodeType::new("V", 1, Reduction::Sum)
+                .attr_default("z", SigType::real(-10.0, 10.0), 0.0)
+                .init_default(SigType::real(-10.0, 10.0), 0.0),
+        )
+        .node_type(NodeType::new("Out", 0, Reduction::Sum))
+        .node_type(
+            NodeType::new("Inp", 0, Reduction::Sum)
+                .attr_default("u", SigType::real(-1.0, 1.0), 0.0),
+        )
+        .edge_type(EdgeType::new("iE"))
+        .edge_type(EdgeType::new("fE").attr("g", SigType::real(-10.0, 10.0)))
+        // B template: external inputs into the cell state.
+        .prod(ProdRule::new(("e", "fE"), ("s", "Inp"), ("t", "V"), "t", e("e.g*s.u")))
+        // Output nonlinearity y = sat(x).
+        .prod(ProdRule::new(("e", "iE"), ("s", "V"), ("t", "Out"), "t", e("sat(var(s))")))
+        // Cell leak and bias (self edge): z − x.
+        .prod(ProdRule::new(("e", "iE"), ("s", "V"), ("s", "V"), "s", e("s.z-var(s)")))
+        // A template: neighbor outputs into the cell state.
+        .prod(ProdRule::new(("e", "fE"), ("s", "Out"), ("t", "V"), "t", e("e.g*var(s)")))
+        .cstr(
+            ValidityRule::new("V").accept(Pattern::new(vec![
+                MatchClause::outgoing(1, Some(1), "iE", &["Out"]),
+                MatchClause::incoming(4, Some(9), "fE", &["Out"]),
+                MatchClause::incoming(4, Some(9), "fE", &["Inp"]),
+                MatchClause::self_loop(1, Some(1), "iE"),
+            ])),
+        )
+        .cstr(
+            ValidityRule::new("Out").accept(Pattern::new(vec![
+                MatchClause::outgoing(4, Some(9), "fE", &["V"]),
+                MatchClause::incoming(1, Some(1), "iE", &["V"]),
+            ])),
+        )
+        .cstr(
+            ValidityRule::new("Inp").accept(Pattern::new(vec![MatchClause::outgoing(
+                4,
+                Some(9),
+                "fE",
+                &["V"],
+            )])),
+        )
+        .extern_check("cnn_grid")
+        .finish()
+}
+
+/// Build the `hw_cnn` extension (paper Figure 10b): `Vm` (bias mismatch),
+/// `fEm` (template-weight mismatch), `OutNL` (non-ideal saturation).
+///
+/// # Panics
+///
+/// Panics only on an internal definition error (covered by tests).
+pub fn hw_cnn_language(base: &Language) -> Language {
+    try_hw_cnn_language(base).expect("hw-cnn language definition is valid")
+}
+
+fn try_hw_cnn_language(base: &Language) -> Result<Language, LangError> {
+    LanguageBuilder::derive("hw_cnn", base)
+        .node_type(
+            NodeType::new("Vm", 1, Reduction::Sum)
+                .inherit("V")
+                .attr_default("z", SigType::real(-10.0, 10.0).with_mismatch(0.0, 0.1), 0.0),
+        )
+        .node_type(NodeType::new("OutNL", 0, Reduction::Sum).inherit("Out"))
+        .edge_type(
+            EdgeType::new("fEm")
+                .inherit("fE")
+                .attr("g", SigType::real(-10.0, 10.0).with_mismatch(0.0, 0.1)),
+        )
+        // Non-ideal MOS-differential-pair saturation for OutNL.
+        .prod(ProdRule::new(("e", "iE"), ("s", "V"), ("t", "OutNL"), "t", e("sat_ni(var(s))")))
+        .finish()
+}
+
+
+/// The CNN language of Figure 10a expressed in Ark source text. Parsed by
+/// the textual frontend; tests assert it behaves identically to the
+/// programmatic [`cnn_language`].
+pub const CNN_SRC: &str = r#"
+lang cnn {
+    ntyp(1, sum) V {
+        attr z = real[-10, 10] default 0;
+        init(0) = real[-10, 10] default 0;
+    };
+    ntyp(0, sum) Out {};
+    ntyp(0, sum) Inp { attr u = real[-1, 1] default 0; };
+    etyp iE {};
+    etyp fE { attr g = real[-10, 10]; };
+    prod(e:fE, s:Inp -> t:V) t <= e.g*s.u;
+    prod(e:iE, s:V -> t:Out) t <= sat(var(s));
+    prod(e:iE, s:V -> s:V) s <= s.z-var(s);
+    prod(e:fE, s:Out -> t:V) t <= e.g*var(s);
+    cstr V {
+        acc [ match(1, 1, iE, V->[Out]),
+              match(4, 9, fE, [Out]->V),
+              match(4, 9, fE, [Inp]->V),
+              match(1, 1, iE, V) ]
+    };
+    cstr Out {
+        acc [ match(4, 9, fE, Out->[V]), match(1, 1, iE, [V]->Out) ]
+    };
+    cstr Inp { acc [ match(4, 9, fE, Inp->[V]) ] };
+    extern-func cnn_grid;
+}
+
+lang hw_cnn inherits cnn {
+    ntyp(1, sum) Vm inherit V {
+        attr z = real[-10, 10] mm(0, 0.1) default 0;
+    };
+    ntyp(0, sum) OutNL inherit Out {};
+    etyp fEm inherit fE { attr g = real[-10, 10] mm(0, 0.1); };
+    prod(e:iE, s:V -> t:OutNL) t <= sat_ni(var(s));
+}
+"#;
+
+/// Which hardware nonideality to instantiate (columns A–D of Figure 11c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NonIdeality {
+    /// Column A: ideal CNN.
+    Ideal,
+    /// Column B: 10% mismatch on the integrator bias `z` (`Vm`).
+    ZMismatch,
+    /// Column C: 10% mismatch on the template weights `g` (`fEm`).
+    GMismatch,
+    /// Column D: non-ideal saturation (`OutNL`).
+    NonIdealSat,
+}
+
+impl NonIdeality {
+    fn v_ty(self) -> &'static str {
+        if self == NonIdeality::ZMismatch {
+            "Vm"
+        } else {
+            "V"
+        }
+    }
+
+    fn out_ty(self) -> &'static str {
+        if self == NonIdeality::NonIdealSat {
+            "OutNL"
+        } else {
+            "Out"
+        }
+    }
+
+    fn fe_ty(self) -> &'static str {
+        if self == NonIdeality::GMismatch {
+            "fEm"
+        } else {
+            "fE"
+        }
+    }
+}
+
+
+/// Library of standard Chua–Yang CNN templates beyond edge detection —
+/// the image-processing application space the paper cites for CNNs
+/// (§7.1: "image processing, pattern recognition, PDE solving").
+pub mod templates {
+    use super::Template;
+
+    /// Re-export of the edge-detection template.
+    pub const EDGE: Template = super::EDGE_TEMPLATE;
+
+    /// Horizontal line detector: keeps black pixels whose left/right
+    /// neighbors are black too.
+    pub const HORIZONTAL_LINE: Template = Template {
+        a: [[0.0, 0.0, 0.0], [0.0, 2.0, 0.0], [0.0, 0.0, 0.0]],
+        b: [[0.0, 0.0, 0.0], [1.0, 2.0, 1.0], [0.0, 0.0, 0.0]],
+        z: -3.0,
+    };
+
+    /// Erosion with a plus-shaped structuring element: a pixel survives
+    /// only if itself and its 4-neighbors are black.
+    pub const ERODE: Template = Template {
+        a: [[0.0, 0.0, 0.0], [0.0, 2.0, 0.0], [0.0, 0.0, 0.0]],
+        b: [[0.0, 1.0, 0.0], [1.0, 1.0, 1.0], [0.0, 1.0, 0.0]],
+        z: -4.0,
+    };
+
+    /// Dilation with a plus-shaped structuring element: a pixel turns black
+    /// if any of itself/4-neighbors is black.
+    pub const DILATE: Template = Template {
+        a: [[0.0, 0.0, 0.0], [0.0, 2.0, 0.0], [0.0, 0.0, 0.0]],
+        b: [[0.0, 1.0, 0.0], [1.0, 1.0, 1.0], [0.0, 1.0, 0.0]],
+        z: 4.0,
+    };
+}
+
+/// Node-name helpers shared by the builder, the readout, and the grid check.
+fn v_name(r: usize, c: usize) -> String {
+    format!("V_{r}_{c}")
+}
+fn out_name(r: usize, c: usize) -> String {
+    format!("Out_{r}_{c}")
+}
+fn inp_name(r: usize, c: usize) -> String {
+    format!("Inp_{r}_{c}")
+}
+
+/// A CNN instance bound to an input image.
+#[derive(Debug)]
+pub struct CnnInstance {
+    /// The dynamical graph.
+    pub graph: Graph,
+    /// Grid width.
+    pub width: usize,
+    /// Grid height.
+    pub height: usize,
+}
+
+/// Build a CNN dynamical graph applying `template` to `input`
+/// (paper Fig. 10/11). Every in-bounds 3×3 neighbor contributes an `A` and
+/// a `B` edge (including zero-weight ones — the validity rules demand 4–9
+/// neighbors), so an `m×n` grid yields `3mn` nodes and roughly `18mn`
+/// edges.
+///
+/// # Errors
+///
+/// Propagates construction errors (e.g. non-ideal types missing from the
+/// base language).
+pub fn build_cnn(
+    lang: &Language,
+    input: &Image,
+    template: &Template,
+    nonideality: NonIdeality,
+    seed: u64,
+) -> Result<CnnInstance, FuncError> {
+    let (w, h) = (input.width(), input.height());
+    let mut b = GraphBuilder::new(lang, seed);
+    let (vt, ot, ft) = (nonideality.v_ty(), nonideality.out_ty(), nonideality.fe_ty());
+    for r in 0..h {
+        for c in 0..w {
+            b.node(&v_name(r, c), vt)?;
+            b.set_attr(&v_name(r, c), "z", template.z)?;
+            b.node(&out_name(r, c), ot)?;
+            b.node(&inp_name(r, c), "Inp")?;
+            b.set_attr(&inp_name(r, c), "u", input.get(r, c))?;
+            b.edge(&format!("iSelf_{r}_{c}"), "iE", &v_name(r, c), &v_name(r, c))?;
+            b.edge(&format!("iOut_{r}_{c}"), "iE", &v_name(r, c), &out_name(r, c))?;
+        }
+    }
+    for r in 0..h {
+        for c in 0..w {
+            for dr in -1i64..=1 {
+                for dc in -1i64..=1 {
+                    let (nr, nc) = (r as i64 + dr, c as i64 + dc);
+                    if nr < 0 || nc < 0 || nr >= h as i64 || nc >= w as i64 {
+                        continue;
+                    }
+                    let (nr, nc) = (nr as usize, nc as usize);
+                    let (ai, aj) = ((dr + 1) as usize, (dc + 1) as usize);
+                    // A: neighbor output (nr,nc) feeds cell (r,c).
+                    let ea = format!("fA_{r}_{c}_{ai}_{aj}");
+                    b.edge(&ea, ft, &out_name(nr, nc), &v_name(r, c))?;
+                    b.set_attr(&ea, "g", template.a[ai][aj])?;
+                    // B: neighbor input (nr,nc) feeds cell (r,c).
+                    let eb = format!("fB_{r}_{c}_{ai}_{aj}");
+                    b.edge(&eb, ft, &inp_name(nr, nc), &v_name(r, c))?;
+                    b.set_attr(&eb, "g", template.b[ai][aj])?;
+                }
+            }
+        }
+    }
+    Ok(CnnInstance { graph: b.finish()?, width: w, height: h })
+}
+
+/// The `cnn_grid` global validity check: verifies from node names that the
+/// graph forms a complete `m×n` grid with exact 3×3 neighborhood wiring —
+/// the kind of topology property local cardinality rules cannot express
+/// (paper §4.1, "Global Validity Rules").
+pub fn grid_extern_registry() -> ExternRegistry {
+    ExternRegistry::new().with("cnn_grid", |g: &Graph| {
+        // Collect declared cells.
+        let mut max_r = 0usize;
+        let mut max_c = 0usize;
+        let mut cells = 0usize;
+        for (_, node) in g.nodes() {
+            if let Some(rest) = node.name.strip_prefix("V_") {
+                let mut it = rest.split('_');
+                let r: usize = it
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| format!("malformed cell name {}", node.name))?;
+                let c: usize = it
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| format!("malformed cell name {}", node.name))?;
+                max_r = max_r.max(r);
+                max_c = max_c.max(c);
+                cells += 1;
+            }
+        }
+        if cells == 0 {
+            return Err("no cells found".into());
+        }
+        let (h, w) = (max_r + 1, max_c + 1);
+        if cells != h * w {
+            return Err(format!("{cells} cells do not tile a {h}x{w} grid"));
+        }
+        // Every cell must receive exactly one A edge from each in-bounds
+        // neighbor's Out node.
+        for r in 0..h {
+            for c in 0..w {
+                let v = g.node_id(&v_name(r, c)).map_err(|e| e.to_string())?;
+                let mut expected = 0;
+                for dr in -1i64..=1 {
+                    for dc in -1i64..=1 {
+                        let (nr, nc) = (r as i64 + dr, c as i64 + dc);
+                        if nr >= 0 && nc >= 0 && nr < h as i64 && nc < w as i64 {
+                            expected += 1;
+                        }
+                    }
+                }
+                let got = g
+                    .in_edges(v)
+                    .iter()
+                    .filter(|&&eid| {
+                        let edge = g.edge(eid);
+                        g.node(edge.src).name.starts_with("Out_")
+                    })
+                    .count();
+                if got != expected {
+                    return Err(format!(
+                        "cell ({r},{c}) has {got} feedback edges, expected {expected}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    })
+}
+
+/// Read the CNN output image at state `y` (time `t`) by evaluating the
+/// order-0 `Out` nodes — so `OutNL` cells automatically apply `sat_ni`.
+pub fn read_output(sys: &CompiledSystem, inst: &CnnInstance, t: f64, y: &[f64]) -> Image {
+    let algs = sys.eval_algebraics(t, y);
+    Image::from_fn(inst.width, inst.height, |r, c| {
+        algs[sys.algebraic_index(&out_name(r, c)).expect("Out node is algebraic")]
+    })
+}
+
+/// Simulation result of a CNN run: snapshots and the settled output.
+#[derive(Debug)]
+pub struct CnnRun {
+    /// `(time, output image)` snapshots.
+    pub snapshots: Vec<(f64, Image)>,
+    /// Output image at the end of the run.
+    pub final_output: Image,
+    /// First time the *analog* output stays within `0.02` of its final
+    /// value on every cell — the convergence measure behind the Figure 11
+    /// comparison (z mismatch converges slower, `sat_ni` faster).
+    pub convergence_time: Option<f64>,
+}
+
+/// Simulate a CNN to `t_end` (unit time constants), recording output
+/// snapshots at `snap_times`.
+///
+/// # Errors
+///
+/// Propagates compile/integration failures.
+pub fn run_cnn(
+    lang: &Language,
+    inst: &CnnInstance,
+    t_end: f64,
+    snap_times: &[f64],
+) -> Result<CnnRun, Box<dyn std::error::Error>> {
+    let sys = CompiledSystem::compile(lang, &inst.graph)?;
+    let tr = ark_ode::Rk4 { dt: 2e-3 }.integrate(&sys, 0.0, &sys.initial_state(), t_end, 5)?;
+    let snapshots: Vec<(f64, Image)> = snap_times
+        .iter()
+        .map(|&t| (t, read_output(&sys, inst, t, &tr.at(t))))
+        .collect();
+    let final_output = read_output(&sys, inst, t_end, &tr.at(t_end));
+    // Analog convergence: first probe time from which every cell's output
+    // stays within EPS of its final value.
+    const EPS: f64 = 0.02;
+    let mut convergence_time = None;
+    let probes = 400;
+    for k in (0..=probes).rev() {
+        let t = t_end * k as f64 / probes as f64;
+        let img = read_output(&sys, inst, t, &tr.at(t));
+        let worst = img
+            .iter()
+            .map(|(r, c, v)| (v - final_output.get(r, c)).abs())
+            .fold(0.0f64, f64::max);
+        if worst > EPS {
+            break;
+        }
+        convergence_time = Some(t);
+    }
+    Ok(CnnRun { snapshots, final_output, convergence_time })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ark_core::validate::validate;
+
+    fn small_input() -> Image {
+        Image::from_ascii(&[
+            "........",
+            "..####..",
+            "..####..",
+            "..####..",
+            "..####..",
+            "........",
+        ])
+    }
+
+    #[test]
+    fn languages_build() {
+        let base = cnn_language();
+        assert_eq!(base.name(), "cnn");
+        let hw = hw_cnn_language(&base);
+        assert!(hw.node_is_a("Vm", "V"));
+        assert!(hw.node_is_a("OutNL", "Out"));
+        assert!(hw.edge_is_a("fEm", "fE"));
+    }
+
+    #[test]
+    fn cnn_graph_is_valid_including_grid_check() {
+        let lang = cnn_language();
+        let inst =
+            build_cnn(&lang, &small_input(), &EDGE_TEMPLATE, NonIdeality::Ideal, 0).unwrap();
+        let report = validate(&lang, &inst.graph, &grid_extern_registry()).unwrap();
+        assert!(report.is_valid(), "{report}");
+        // 3 nodes per cell.
+        assert_eq!(inst.graph.num_nodes(), 3 * 48);
+    }
+
+    #[test]
+    fn grid_check_rejects_mutilated_grid() {
+        let lang = cnn_language();
+        let inst =
+            build_cnn(&lang, &small_input(), &EDGE_TEMPLATE, NonIdeality::Ideal, 0).unwrap();
+        let mut graph = inst.graph.clone();
+        // Drop one feedback edge: local rules may still pass (4..9 window)
+        // but the global grid check must catch it.
+        let victim = graph.edge_id("fA_2_2_0_0").unwrap();
+        // Reroute it to a far-away cell to break the neighborhood.
+        graph.edge_mut(victim).dst = graph.node_id("V_5_7").unwrap();
+        let report = validate(&lang, &graph, &grid_extern_registry()).unwrap();
+        assert!(!report.is_valid());
+    }
+
+    #[test]
+    fn ideal_edge_detection_matches_digital_baseline() {
+        let lang = cnn_language();
+        let input = small_input();
+        let inst = build_cnn(&lang, &input, &EDGE_TEMPLATE, NonIdeality::Ideal, 0).unwrap();
+        let run = run_cnn(&lang, &inst, 5.0, &[]).unwrap();
+        let expected = input.digital_edge_map();
+        assert_eq!(run.final_output.diff_count(&expected), 0, "\ngot:\n{}\nexpected:\n{}",
+            run.final_output.to_ascii(), expected.to_ascii());
+        assert!(run.convergence_time.is_some());
+    }
+
+    #[test]
+    fn non_ideal_sat_still_correct() {
+        let base = cnn_language();
+        let hw = hw_cnn_language(&base);
+        let input = small_input();
+        let inst = build_cnn(&hw, &input, &EDGE_TEMPLATE, NonIdeality::NonIdealSat, 0).unwrap();
+        let run = run_cnn(&hw, &inst, 5.0, &[]).unwrap();
+        assert_eq!(run.final_output.diff_count(&input.digital_edge_map()), 0);
+    }
+
+    #[test]
+    fn z_mismatch_correct_but_not_identical_trajectory() {
+        let base = cnn_language();
+        let hw = hw_cnn_language(&base);
+        let input = small_input();
+        let ideal = build_cnn(&hw, &input, &EDGE_TEMPLATE, NonIdeality::Ideal, 7).unwrap();
+        let zmm = build_cnn(&hw, &input, &EDGE_TEMPLATE, NonIdeality::ZMismatch, 7).unwrap();
+        // The sampled z differs from the nominal.
+        let z_ideal = ideal.graph.attr_value("V_2_2", "z").unwrap().as_real().unwrap();
+        let z_mm = zmm.graph.attr_value("V_2_2", "z").unwrap().as_real().unwrap();
+        assert_eq!(z_ideal, EDGE_TEMPLATE.z);
+        assert_ne!(z_mm, EDGE_TEMPLATE.z);
+        // Output still correct for this small case.
+        let run = run_cnn(&hw, &zmm, 5.0, &[]).unwrap();
+        assert_eq!(run.final_output.diff_count(&input.digital_edge_map()), 0);
+    }
+
+    #[test]
+    fn g_mismatch_perturbs_output_on_larger_image() {
+        let base = cnn_language();
+        let hw = hw_cnn_language(&base);
+        let input = Image::test_blob(12, 12);
+        let expected = input.digital_edge_map();
+        // Across a few seeds, g mismatch flips at least one pixel somewhere
+        // (the paper's column C shows a corrupted image).
+        let mut total_wrong = 0;
+        for seed in 0..3 {
+            let inst = build_cnn(&hw, &input, &EDGE_TEMPLATE, NonIdeality::GMismatch, seed).unwrap();
+            let run = run_cnn(&hw, &inst, 5.0, &[]).unwrap();
+            total_wrong += run.final_output.diff_count(&expected);
+        }
+        assert!(total_wrong > 0, "g mismatch should corrupt some pixels");
+    }
+
+    #[test]
+    fn snapshots_progress_towards_edges() {
+        let lang = cnn_language();
+        let input = small_input();
+        let inst = build_cnn(&lang, &input, &EDGE_TEMPLATE, NonIdeality::Ideal, 0).unwrap();
+        let run = run_cnn(&lang, &inst, 2.0, &[0.0, 0.5, 2.0]).unwrap();
+        assert_eq!(run.snapshots.len(), 3);
+        let expected = input.digital_edge_map();
+        let d0 = run.snapshots[0].1.diff_count(&expected);
+        let d2 = run.snapshots[2].1.diff_count(&expected);
+        assert!(d2 < d0, "later snapshots closer to the edge map ({d0} -> {d2})");
+    }
+
+    #[test]
+    fn textual_language_equivalent_to_programmatic() {
+        use ark_core::program::Program;
+        let prog = Program::parse(CNN_SRC).unwrap();
+        let text_hw = prog.language("hw_cnn").unwrap();
+        let code_hw = hw_cnn_language(&cnn_language());
+        // Same structure...
+        assert_eq!(text_hw.node_types().count(), code_hw.node_types().count());
+        assert_eq!(text_hw.prod_rules().len(), code_hw.prod_rules().len());
+        // ...and identical dynamics on the edge-detection workload.
+        let input = Image::from_ascii(&["....", ".##.", ".##.", "...."]);
+        let a = build_cnn(text_hw, &input, &EDGE_TEMPLATE, NonIdeality::NonIdealSat, 2).unwrap();
+        let b = build_cnn(&code_hw, &input, &EDGE_TEMPLATE, NonIdeality::NonIdealSat, 2).unwrap();
+        let ra = run_cnn(text_hw, &a, 2.0, &[]).unwrap();
+        let rb = run_cnn(&code_hw, &b, 2.0, &[]).unwrap();
+        for (r, c, v) in ra.final_output.iter() {
+            assert_eq!(v, rb.final_output.get(r, c), "cell ({r},{c})");
+        }
+    }
+
+    #[test]
+    fn erosion_template_matches_digital_morphology() {
+        let lang = cnn_language();
+        let input = Image::from_ascii(&[
+            "........",
+            ".#####..",
+            ".#####..",
+            ".#####..",
+            "........",
+            "........",
+        ]);
+        let inst =
+            build_cnn(&lang, &input, &templates::ERODE, NonIdeality::Ideal, 0).unwrap();
+        let run = run_cnn(&lang, &inst, 6.0, &[]).unwrap();
+        // Digital erosion baseline (plus-shaped SE; out-of-bounds = white).
+        let bin = input.binarized();
+        let expected = Image::from_fn(input.width(), input.height(), |r, c| {
+            let on = |rr: i64, cc: i64| {
+                rr >= 0
+                    && cc >= 0
+                    && rr < input.height() as i64
+                    && cc < input.width() as i64
+                    && bin.get(rr as usize, cc as usize) > 0.0
+            };
+            let (r, c) = (r as i64, c as i64);
+            if on(r, c) && on(r - 1, c) && on(r + 1, c) && on(r, c - 1) && on(r, c + 1) {
+                1.0
+            } else {
+                -1.0
+            }
+        });
+        assert_eq!(
+            run.final_output.diff_count(&expected),
+            0,
+            "\ngot:\n{}\nexpected:\n{}",
+            run.final_output.binarized().to_ascii(),
+            expected.to_ascii()
+        );
+    }
+
+    #[test]
+    fn dilation_template_matches_digital_morphology() {
+        let lang = cnn_language();
+        let input = Image::from_ascii(&["......", "..##..", "..#...", "......"]);
+        let inst =
+            build_cnn(&lang, &input, &templates::DILATE, NonIdeality::Ideal, 0).unwrap();
+        let run = run_cnn(&lang, &inst, 6.0, &[]).unwrap();
+        // Baseline with the CNN's actual boundary condition: out-of-bounds
+        // cells contribute nothing (zero padding), so a border pixel turns
+        // black iff k_on - k_off + z > 0 over its in-bounds plus-SE cells.
+        let bin = input.binarized();
+        let expected = Image::from_fn(input.width(), input.height(), |r, c| {
+            let mut score = 4.0; // z
+            for (dr, dc) in [(0i64, 0i64), (-1, 0), (1, 0), (0, -1), (0, 1)] {
+                let (rr, cc) = (r as i64 + dr, c as i64 + dc);
+                if rr >= 0 && cc >= 0 && rr < input.height() as i64 && cc < input.width() as i64 {
+                    score += bin.get(rr as usize, cc as usize);
+                }
+            }
+            if score > 0.0 {
+                1.0
+            } else {
+                -1.0
+            }
+        });
+        assert_eq!(run.final_output.diff_count(&expected), 0);
+        // Interior pixels still follow textbook dilation.
+        assert_eq!(run.final_output.binarized().get(1, 1), 1.0); // neighbor of (2,2)... 
+        assert_eq!(run.final_output.binarized().get(2, 3), 1.0);
+    }
+
+    #[test]
+    fn horizontal_line_template_selects_rows() {
+        let lang = cnn_language();
+        // One horizontal bar and one vertical bar.
+        let input = Image::from_ascii(&[
+            "........",
+            ".####...",
+            "......#.",
+            "......#.",
+            "......#.",
+            "........",
+        ]);
+        let inst = build_cnn(&lang, &input, &templates::HORIZONTAL_LINE, NonIdeality::Ideal, 0)
+            .unwrap();
+        let run = run_cnn(&lang, &inst, 6.0, &[]).unwrap();
+        let out = run.final_output.binarized();
+        // Interior of the horizontal bar survives...
+        assert_eq!(out.get(1, 2), 1.0);
+        // ...the isolated vertical bar does not.
+        assert_eq!(out.get(3, 6), -1.0);
+    }
+}

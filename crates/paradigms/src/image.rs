@@ -1,0 +1,257 @@
+//! Tiny bipolar image type for the CNN workloads (paper §7.1).
+//!
+//! CNN convention: pixel values live in `[-1, 1]` with `+1` = black and
+//! `-1` = white (Chua–Yang encoding).
+
+/// A grayscale image with bipolar pixel values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    data: Vec<f64>,
+}
+
+impl Image {
+    /// A `width × height` image filled with `fill`.
+    pub fn filled(width: usize, height: usize, fill: f64) -> Self {
+        Image { width, height, data: vec![fill; width * height] }
+    }
+
+    /// Build from a per-pixel function of `(row, col)`.
+    pub fn from_fn(width: usize, height: usize, f: impl Fn(usize, usize) -> f64) -> Self {
+        let mut img = Image::filled(width, height, 0.0);
+        for r in 0..height {
+            for c in 0..width {
+                img.set(r, c, f(r, c));
+            }
+        }
+        img
+    }
+
+    /// Parse from rows of `#` (black) and `.`/space (white).
+    ///
+    /// # Panics
+    ///
+    /// Panics when rows have uneven lengths.
+    pub fn from_ascii(rows: &[&str]) -> Self {
+        let height = rows.len();
+        let width = rows.first().map_or(0, |r| r.chars().count());
+        let mut img = Image::filled(width, height, -1.0);
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(row.chars().count(), width, "ragged ascii image");
+            for (c, ch) in row.chars().enumerate() {
+                img.set(r, c, if ch == '#' { 1.0 } else { -1.0 });
+            }
+        }
+        img
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel value at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.height && col < self.width, "pixel out of bounds");
+        self.data[row * self.width + col]
+    }
+
+    /// Set pixel value at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.height && col < self.width, "pixel out of bounds");
+        self.data[row * self.width + col] = value;
+    }
+
+    /// Threshold to ±1 (black iff value > 0).
+    pub fn binarized(&self) -> Image {
+        Image {
+            width: self.width,
+            height: self.height,
+            data: self.data.iter().map(|&v| if v > 0.0 { 1.0 } else { -1.0 }).collect(),
+        }
+    }
+
+    /// Number of pixels whose binarized value differs from `other`'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn diff_count(&self, other: &Image) -> usize {
+        assert_eq!((self.width, self.height), (other.width, other.height));
+        self.binarized()
+            .data
+            .iter()
+            .zip(&other.binarized().data)
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+
+    /// ASCII rendering: `#` black (v > 0.5), `+` gray-positive, `.` gray-
+    /// negative, ` ` white — the Figure 11c style snapshots.
+    pub fn to_ascii(&self) -> String {
+        let mut s = String::with_capacity((self.width + 1) * self.height);
+        for r in 0..self.height {
+            for c in 0..self.width {
+                let v = self.get(r, c);
+                s.push(if v > 0.5 {
+                    '#'
+                } else if v > 0.0 {
+                    '+'
+                } else if v > -0.5 {
+                    '.'
+                } else {
+                    ' '
+                });
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// The paper's Figure 11b style test input: a filled blob with a notch,
+    /// at the requested size (16×16 by default in the harness).
+    pub fn test_blob(width: usize, height: usize) -> Image {
+        let (cx, cy) = (width as f64 / 2.0 - 0.5, height as f64 / 2.0 - 0.5);
+        let r_out = (width.min(height) as f64) * 0.35;
+        Image::from_fn(width, height, |r, c| {
+            let dx = c as f64 - cx;
+            let dy = r as f64 - cy;
+            let d = (dx * dx + dy * dy).sqrt();
+            let in_circle = d <= r_out;
+            // Rectangular notch in the upper-right quadrant.
+            let in_notch = r < height / 2 && c > width / 2 && r > height / 8 && c < 7 * width / 8;
+            if in_circle && !in_notch {
+                1.0
+            } else {
+                -1.0
+            }
+        })
+    }
+
+    /// Digital reference edge detector: a black pixel is an edge iff at
+    /// least one of its 8 neighbors is white. This is the baseline the CNN
+    /// edge detector (and its non-ideal variants) is compared against.
+    pub fn digital_edge_map(&self) -> Image {
+        let bin = self.binarized();
+        Image::from_fn(self.width, self.height, |r, c| {
+            if bin.get(r, c) < 0.0 {
+                return -1.0;
+            }
+            let mut has_white_neighbor = false;
+            for dr in -1i64..=1 {
+                for dc in -1i64..=1 {
+                    if dr == 0 && dc == 0 {
+                        continue;
+                    }
+                    let (nr, nc) = (r as i64 + dr, c as i64 + dc);
+                    if nr < 0 || nc < 0 || nr >= self.height as i64 || nc >= self.width as i64 {
+                        continue; // outside counts as same-color (no edge)
+                    }
+                    if bin.get(nr as usize, nc as usize) < 0.0 {
+                        has_white_neighbor = true;
+                    }
+                }
+            }
+            if has_white_neighbor {
+                1.0
+            } else {
+                -1.0
+            }
+        })
+    }
+
+    /// Iterate `(row, col, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.height).flat_map(move |r| (0..self.width).map(move |c| (r, c, self.get(r, c))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut img = Image::filled(4, 3, -1.0);
+        assert_eq!((img.width(), img.height()), (4, 3));
+        img.set(2, 3, 1.0);
+        assert_eq!(img.get(2, 3), 1.0);
+        assert_eq!(img.get(0, 0), -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_panics() {
+        Image::filled(2, 2, 0.0).get(2, 0);
+    }
+
+    #[test]
+    fn ascii_roundtrip() {
+        let img = Image::from_ascii(&["##..", "..##"]);
+        assert_eq!(img.get(0, 0), 1.0);
+        assert_eq!(img.get(0, 2), -1.0);
+        assert_eq!(img.get(1, 3), 1.0);
+        let art = img.to_ascii();
+        assert_eq!(art, "##  \n  ##\n");
+    }
+
+    #[test]
+    fn binarize_and_diff() {
+        let a = Image::from_fn(3, 1, |_, c| c as f64 - 1.0); // -1, 0, 1
+        let b = a.binarized();
+        assert_eq!(b.get(0, 0), -1.0);
+        assert_eq!(b.get(0, 1), -1.0); // 0 is "not > 0" → white
+        assert_eq!(b.get(0, 2), 1.0);
+        assert_eq!(a.diff_count(&b), 0); // binarization is idempotent w.r.t. diff
+        let c = Image::filled(3, 1, 1.0);
+        assert_eq!(a.diff_count(&c), 2);
+    }
+
+    #[test]
+    fn digital_edge_of_square() {
+        // 5x5 with a 3x3 black square: the ring is edge, center is not.
+        let img = Image::from_ascii(&[".....", ".###.", ".###.", ".###.", "....."]);
+        let e = img.digital_edge_map();
+        assert_eq!(e.get(1, 1), 1.0); // corner of square: edge
+        assert_eq!(e.get(2, 2), -1.0); // center: surrounded by black
+        assert_eq!(e.get(0, 0), -1.0); // background stays white
+    }
+
+    #[test]
+    fn fully_black_image_has_no_interior_edges() {
+        let img = Image::filled(4, 4, 1.0);
+        let e = img.digital_edge_map();
+        // Borders have no white neighbors (outside ignored) → no edges at all.
+        assert_eq!(e.diff_count(&Image::filled(4, 4, -1.0)), 0);
+    }
+
+    #[test]
+    fn test_blob_has_both_colors_and_edges() {
+        let img = Image::test_blob(16, 16);
+        let blacks = img.iter().filter(|&(_, _, v)| v > 0.0).count();
+        assert!(blacks > 20 && blacks < 200, "blob size {blacks}");
+        let edges = img.digital_edge_map().iter().filter(|&(_, _, v)| v > 0.0).count();
+        assert!(edges > 10, "edge count {edges}");
+        assert!(edges < blacks, "edge must be a strict subset of black pixels");
+    }
+
+    #[test]
+    fn iter_covers_all_pixels() {
+        let img = Image::filled(3, 2, 0.5);
+        assert_eq!(img.iter().count(), 6);
+    }
+}

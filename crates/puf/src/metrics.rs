@@ -1,0 +1,231 @@
+//! Standard PUF quality metrics (Herder et al., "Physical Unclonable
+//! Functions and Applications: A Tutorial" — reference 22 of the paper).
+//!
+//! * **uniqueness** — mean normalized inter-chip Hamming distance for the
+//!   same challenge (ideal 0.5);
+//! * **reliability** — mean normalized intra-chip Hamming distance across
+//!   noisy re-measurements (ideal 0.0; often reported as 1 − this);
+//! * **uniformity** — fraction of 1-bits in responses (ideal 0.5).
+
+use crate::design::{challenge_bits, hamming, Challenge, PufDesign, PufError, Response};
+use ark_core::Language;
+
+/// Aggregate quality metrics of a PUF design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PufMetrics {
+    /// Mean normalized inter-chip Hamming distance (ideal 0.5).
+    pub uniqueness: f64,
+    /// Mean normalized intra-chip Hamming distance under noise (ideal 0.0).
+    pub intra_distance: f64,
+    /// Mean fraction of 1-bits (ideal 0.5).
+    pub uniformity: f64,
+}
+
+/// Evaluation configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalConfig {
+    /// Number of fabricated instances (mismatch seeds).
+    pub instances: usize,
+    /// Number of challenges evaluated.
+    pub challenges: usize,
+    /// Noisy re-measurements per (instance, challenge) for reliability.
+    pub remeasures: usize,
+    /// Measurement-noise standard deviation (volts).
+    pub noise_sigma: f64,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig { instances: 6, challenges: 4, remeasures: 3, noise_sigma: 1e-3 }
+    }
+}
+
+/// Evaluate a PUF design: simulate `instances × challenges` responses (plus
+/// noisy re-measurements) and compute the aggregate metrics.
+///
+/// # Errors
+///
+/// Propagates any simulation failure.
+pub fn evaluate(
+    lang: &Language,
+    design: &PufDesign,
+    cfg: &EvalConfig,
+) -> Result<PufMetrics, PufError> {
+    let mut inter_sum = 0.0;
+    let mut inter_n = 0usize;
+    let mut intra_sum = 0.0;
+    let mut intra_n = 0usize;
+    let mut ones = 0usize;
+    let mut bits_total = 0usize;
+
+    for ch in 0..cfg.challenges as u64 {
+        let challenge: Challenge = challenge_bits(ch, design.sites);
+        let (reference, ref_idx) = design.reference(lang, &challenge)?;
+        // Clean responses per instance.
+        let mut clean: Vec<Response> = Vec::with_capacity(cfg.instances);
+        for inst in 0..cfg.instances as u64 {
+            let r = design.respond(lang, &reference, ref_idx, &challenge, inst + 1, 0.0, 0)?;
+            ones += r.iter().filter(|&&b| b).count();
+            bits_total += r.len();
+            clean.push(r);
+        }
+        // Inter-chip distances.
+        for i in 0..clean.len() {
+            for j in (i + 1)..clean.len() {
+                inter_sum += hamming(&clean[i], &clean[j]) as f64 / clean[i].len() as f64;
+                inter_n += 1;
+            }
+        }
+        // Intra-chip distances under measurement noise.
+        for (inst, base) in clean.iter().enumerate() {
+            for m in 0..cfg.remeasures as u64 {
+                let noisy = design.respond(
+                    lang,
+                    &reference,
+                    ref_idx,
+                    &challenge,
+                    inst as u64 + 1,
+                    cfg.noise_sigma,
+                    1 + m,
+                )?;
+                intra_sum += hamming(base, &noisy) as f64 / base.len() as f64;
+                intra_n += 1;
+            }
+        }
+    }
+    Ok(PufMetrics {
+        uniqueness: inter_sum / inter_n.max(1) as f64,
+        intra_distance: intra_sum / intra_n.max(1) as f64,
+        uniformity: ones as f64 / bits_total.max(1) as f64,
+    })
+}
+
+
+/// Challenge-sensitivity ("avalanche") of a design: the mean normalized
+/// Hamming distance between responses to challenges differing in exactly
+/// one bit, for a fixed instance. A strong PUF wants this near 0.5 so
+/// single-bit challenge changes decorrelate the response.
+///
+/// # Errors
+///
+/// Propagates any simulation failure.
+pub fn challenge_sensitivity(
+    lang: &Language,
+    design: &PufDesign,
+    instance: u64,
+) -> Result<f64, PufError> {
+    let base_ch: Challenge = challenge_bits(0, design.sites);
+    let (base_ref, base_idx) = design.reference(lang, &base_ch)?;
+    let base = design.respond(lang, &base_ref, base_idx, &base_ch, instance, 0.0, 0)?;
+    let mut sum = 0.0;
+    for bit in 0..design.sites {
+        let mut flipped = base_ch.clone();
+        flipped[bit] = !flipped[bit];
+        let (fref, fidx) = design.reference(lang, &flipped)?;
+        let resp = design.respond(lang, &fref, fidx, &flipped, instance, 0.0, 0)?;
+        sum += hamming(&base, &resp) as f64 / base.len() as f64;
+    }
+    Ok(sum / design.sites as f64)
+}
+
+/// Per-bit aliasing: the fraction of instances producing a 1 at each
+/// response-bit position (ideal: 0.5 everywhere). Strongly biased
+/// positions leak design information rather than device entropy.
+///
+/// # Errors
+///
+/// Propagates any simulation failure.
+pub fn bit_aliasing(
+    lang: &Language,
+    design: &PufDesign,
+    instances: usize,
+    challenge_value: u64,
+) -> Result<Vec<f64>, PufError> {
+    let challenge: Challenge = challenge_bits(challenge_value, design.sites);
+    let (reference, ref_idx) = design.reference(lang, &challenge)?;
+    let mut ones = vec![0usize; design.response_bits];
+    for inst in 0..instances as u64 {
+        let r = design.respond(lang, &reference, ref_idx, &challenge, inst + 1, 0.0, 0)?;
+        for (i, &b) in r.iter().enumerate() {
+            if b {
+                ones[i] += 1;
+            }
+        }
+    }
+    Ok(ones.into_iter().map(|o| o as f64 / instances as f64).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ark_paradigms::tln::{gmc_tln_language, tln_language, MismatchKind, TlineConfig};
+
+    fn design() -> PufDesign {
+        PufDesign {
+            spacing: 1,
+            sites: 2,
+            stub_len: 2,
+            window_start: 0.5e-8,
+            window_end: 3e-8,
+            response_bits: 16,
+            ..PufDesign::default()
+        }
+    }
+
+    #[test]
+    fn metrics_in_sane_ranges() {
+        let base = tln_language();
+        let gmc = gmc_tln_language(&base);
+        let cfg = EvalConfig { instances: 4, challenges: 2, remeasures: 2, noise_sigma: 1e-4 };
+        let m = evaluate(&gmc, &design(), &cfg).unwrap();
+        // Uniqueness: chips should differ substantially but metrics are
+        // bounded in [0, 1].
+        assert!(m.uniqueness > 0.05 && m.uniqueness <= 1.0, "uniqueness {}", m.uniqueness);
+        // Reliability: small noise flips few bits.
+        assert!(m.intra_distance < 0.3, "intra {}", m.intra_distance);
+        assert!(m.uniformity > 0.0 && m.uniformity < 1.0);
+        // A useful PUF separates inter from intra distance.
+        assert!(m.uniqueness > m.intra_distance, "{m:?}");
+    }
+
+    #[test]
+    fn gm_mismatch_beats_cint_mismatch_for_uniqueness() {
+        // The §2.4 design conclusion: future TLN PUFs should use Gm
+        // mismatch, because it produces far more response variation.
+        let base = tln_language();
+        let gmc = gmc_tln_language(&base);
+        let cfg = EvalConfig { instances: 4, challenges: 2, remeasures: 0, noise_sigma: 0.0 };
+        let gm_design = design();
+        let cint_design = PufDesign {
+            cfg: TlineConfig { mismatch: MismatchKind::Cint, ..gm_design.cfg },
+            ..gm_design.clone()
+        };
+        let m_gm = evaluate(&gmc, &gm_design, &cfg).unwrap();
+        let m_cint = evaluate(&gmc, &cint_design, &cfg).unwrap();
+        assert!(
+            m_gm.uniqueness > m_cint.uniqueness,
+            "gm {} vs cint {}",
+            m_gm.uniqueness,
+            m_cint.uniqueness
+        );
+    }
+
+    #[test]
+    fn challenge_sensitivity_is_nonzero() {
+        let base = tln_language();
+        let gmc = gmc_tln_language(&base);
+        let s = challenge_sensitivity(&gmc, &design(), 3).unwrap();
+        assert!(s > 0.0 && s <= 1.0, "sensitivity {s}");
+    }
+
+    #[test]
+    fn bit_aliasing_bounded_and_informative() {
+        let base = tln_language();
+        let gmc = gmc_tln_language(&base);
+        let alias = bit_aliasing(&gmc, &design(), 6, 1).unwrap();
+        assert_eq!(alias.len(), design().response_bits);
+        assert!(alias.iter().all(|&a| (0.0..=1.0).contains(&a)));
+        // With Gm mismatch, at least some positions carry entropy.
+        assert!(alias.iter().any(|&a| a > 0.0 && a < 1.0), "{alias:?}");
+    }
+}

@@ -1,0 +1,42 @@
+//! The paper's §7.1 case study: CNN edge detection with analog
+//! nonidealities.
+//!
+//! Run: `cargo run --release --example cnn_edge_detection`
+
+use ark::paradigms::cnn::{
+    build_cnn, cnn_language, grid_extern_registry, hw_cnn_language, run_cnn, NonIdeality,
+    EDGE_TEMPLATE,
+};
+use ark::paradigms::image::Image;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = cnn_language();
+    let hw = hw_cnn_language(&base);
+    let input = Image::test_blob(14, 14);
+
+    println!("input image:\n{}", input.to_ascii());
+
+    // Ideal run, with validation (including the global grid check).
+    let inst = build_cnn(&base, &input, &EDGE_TEMPLATE, NonIdeality::Ideal, 0)?;
+    let report = ark::core::validate::validate(&base, &inst.graph, &grid_extern_registry())?;
+    println!("validation: {report}");
+
+    let run = run_cnn(&base, &inst, 5.0, &[0.25, 1.0])?;
+    println!("\nCNN output at t=0.25:\n{}", run.snapshots[0].1.binarized().to_ascii());
+    println!("CNN output (settled):\n{}", run.final_output.binarized().to_ascii());
+    let expected = input.digital_edge_map();
+    println!(
+        "pixels differing from the digital edge detector: {}",
+        run.final_output.diff_count(&expected)
+    );
+
+    // Non-ideal variant: template-weight mismatch corrupts the result.
+    let noisy = build_cnn(&hw, &input, &EDGE_TEMPLATE, NonIdeality::GMismatch, 1)?;
+    let run = run_cnn(&hw, &noisy, 5.0, &[])?;
+    println!(
+        "\nwith 10% template-weight mismatch: {} wrong pixels:\n{}",
+        run.final_output.diff_count(&expected),
+        run.final_output.binarized().to_ascii()
+    );
+    Ok(())
+}
