@@ -15,10 +15,18 @@ fn bench_simulate(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("simulate_tline_53");
     group.bench_function("rk4_1000_steps", |b| {
-        b.iter(|| Rk4 { dt: 2e-11 }.integrate(&sys, 0.0, &y0, 2e-8, usize::MAX).unwrap())
+        b.iter(|| {
+            Rk4 { dt: 2e-11 }
+                .integrate(&sys, 0.0, &y0, 2e-8, usize::MAX)
+                .unwrap()
+        })
     });
     group.bench_function("dp45_adaptive", |b| {
-        b.iter(|| DormandPrince::new(1e-6, 1e-9).integrate(&sys, 0.0, &y0, 2e-8).unwrap())
+        b.iter(|| {
+            DormandPrince::new(1e-6, 1e-9)
+                .integrate(&sys, 0.0, &y0, 2e-8)
+                .unwrap()
+        })
     });
     group.bench_function("rhs_only", |b| {
         let mut dydt = vec![0.0; sys.dim()];

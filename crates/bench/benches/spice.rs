@@ -15,12 +15,18 @@ fn bench_spice(c: &mut Criterion) {
     let y0 = sys.initial_state();
 
     let mut group = c.benchmark_group("spice_vs_dg");
-    group.bench_function("synthesize", |b| b.iter(|| synthesize(&lang, &graph).unwrap()));
+    group.bench_function("synthesize", |b| {
+        b.iter(|| synthesize(&lang, &graph).unwrap())
+    });
     group.bench_function("netlist_trapezoidal", |b| {
         b.iter(|| netlist.transient(2e-8, 4e-11, 10).unwrap())
     });
     group.bench_function("dg_rk4", |b| {
-        b.iter(|| Rk4 { dt: 4e-11 }.integrate(&sys, 0.0, &y0, 2e-8, 10).unwrap())
+        b.iter(|| {
+            Rk4 { dt: 4e-11 }
+                .integrate(&sys, 0.0, &y0, 2e-8, 10)
+                .unwrap()
+        })
     });
     group.finish();
 }

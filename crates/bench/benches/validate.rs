@@ -21,7 +21,9 @@ fn bench_validate(c: &mut Criterion) {
     let node = graph.node_id("V_10").unwrap();
     let pattern = &lang.validity_rules_for("V")[0].accept[0];
     let mut group = c.benchmark_group("described_check");
-    group.bench_function("ilp", |b| b.iter(|| is_described(&lang, &graph, node, pattern)));
+    group.bench_function("ilp", |b| {
+        b.iter(|| is_described(&lang, &graph, node, pattern))
+    });
     group.bench_function("brute_force", |b| {
         b.iter(|| is_described_brute(&lang, &graph, node, pattern))
     });

@@ -48,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("== summary (paper shape check) ==");
-    println!("{:<26} {:>12} {:>18}", "variant", "wrong px", "convergence t");
+    println!(
+        "{:<26} {:>12} {:>18}",
+        "variant", "wrong px", "convergence t"
+    );
     for (label, wrong, tc) in &summary {
         println!(
             "{label:<26} {wrong:>12} {:>18}",
@@ -58,8 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ideal_t = summary[0].2.unwrap_or(f64::INFINITY);
     let z_t = summary[1].2.unwrap_or(f64::INFINITY);
     let sat_t = summary[3].2.unwrap_or(f64::INFINITY);
-    println!("\nA correct: {}", summary[0].1 == &0 + 0);
-    println!("B slower than A: {} ({z_t:.3} vs {ideal_t:.3})", z_t >= ideal_t);
+    println!("\nA correct: {}", summary[0].1 == 0);
+    println!(
+        "B slower than A: {} ({z_t:.3} vs {ideal_t:.3})",
+        z_t >= ideal_t
+    );
     println!("C corrupts output: {}", summary[2].1 > 0);
     println!(
         "D correct and at least as fast as A: {} ({sat_t:.3} vs {ideal_t:.3})",

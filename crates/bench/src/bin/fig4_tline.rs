@@ -56,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let segments = 26;
     let out_name = linear_out_v(segments);
     let run_ensemble = |kind: MismatchKind| -> Result<Vec<Trajectory>, Box<dyn std::error::Error>> {
-        let cfg = TlineConfig { mismatch: kind, ..TlineConfig::default() };
+        let cfg = TlineConfig {
+            mismatch: kind,
+            ..TlineConfig::default()
+        };
         let mut trs = Vec::with_capacity(trials);
         for seed in 0..trials as u64 {
             let g = linear_tline(&gmc, segments, &cfg, seed)?;
@@ -72,15 +75,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (w0, w1) = (t_peak - 1e-8, t_peak + 1e-8);
     let cint_stats = ensemble_stats(&cint, li, w0, w1, 60);
     let gm_stats = ensemble_stats(&gm, li, w0, w1, 60);
-    println!("\n(c) Cint mismatch ({trials} devices): mean std {:.4e} V, max std {:.4e} V",
-        cint_stats.mean_std(), cint_stats.max_std());
-    println!("(d) Gm   mismatch ({trials} devices): mean std {:.4e} V, max std {:.4e} V",
-        gm_stats.mean_std(), gm_stats.max_std());
+    println!(
+        "\n(c) Cint mismatch ({trials} devices): mean std {:.4e} V, max std {:.4e} V",
+        cint_stats.mean_std(),
+        cint_stats.max_std()
+    );
+    println!(
+        "(d) Gm   mismatch ({trials} devices): mean std {:.4e} V, max std {:.4e} V",
+        gm_stats.mean_std(),
+        gm_stats.max_std()
+    );
     let ratio = gm_stats.mean_std() / cint_stats.mean_std();
     println!("\nGm/Cint variation ratio in the observation window: {ratio:.1}x");
     println!(
         "paper shape: Gm-mismatched line varies much more than Cint-mismatched -> {}",
-        if ratio > 1.5 { "REPRODUCED" } else { "NOT reproduced" }
+        if ratio > 1.5 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     Ok(())
 }

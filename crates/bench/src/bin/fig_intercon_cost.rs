@@ -30,11 +30,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for i in 0..n {
             let g = if i < n / 2 { "Osc_G0" } else { "Osc_G1" };
             b.node(&format!("o{i}"), g)?;
-            b.edge(&format!("s{i}"), "Cpl_l", &format!("o{i}"), &format!("o{i}"))?;
+            b.edge(
+                &format!("s{i}"),
+                "Cpl_l",
+                &format!("o{i}"),
+                &format!("o{i}"),
+            )?;
         }
         for i in 0..n {
             for j in (i + 1)..n {
-                b.edge(&format!("g{i}_{j}"), "Cpl_g", &format!("o{i}"), &format!("o{j}"))?;
+                b.edge(
+                    &format!("g{i}_{j}"),
+                    "Cpl_g",
+                    &format!("o{i}"),
+                    &format!("o{j}"),
+                )?;
             }
         }
         let all_to_all = b.finish()?;
@@ -49,7 +59,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for i in 0..n {
             let g = if i < half { "Osc_G0" } else { "Osc_G1" };
             b.node(&format!("o{i}"), g)?;
-            b.edge(&format!("s{i}"), "Cpl_l", &format!("o{i}"), &format!("o{i}"))?;
+            b.edge(
+                &format!("s{i}"),
+                "Cpl_l",
+                &format!("o{i}"),
+                &format!("o{i}"),
+            )?;
         }
         for grp in 0..2usize {
             let base_i = grp * half;
@@ -57,7 +72,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 let a = base_i + k;
                 let c = base_i + (k + 1) % half;
                 if a != c {
-                    b.edge(&format!("l{a}_{c}"), "Cpl_l", &format!("o{a}"), &format!("o{c}"))?;
+                    b.edge(
+                        &format!("l{a}_{c}"),
+                        "Cpl_l",
+                        &format!("o{a}"),
+                        &format!("o{c}"),
+                    )?;
                 }
             }
         }

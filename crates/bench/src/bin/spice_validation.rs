@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for seed in 0..trials as u64 {
         let graph = random_gmc_tline(&gmc, seed)?;
         let report = validate(&gmc, &graph, &externs)?;
-        assert!(report.is_valid(), "generator must produce valid DGs: {report}");
+        assert!(
+            report.is_valid(),
+            "generator must produce valid DGs: {report}"
+        );
         let rmse = dg_vs_netlist_rmse(&gmc, &graph, 2e-8, 4e-11)?;
         synthesized += 1;
         if rmse < 0.01 {
@@ -35,16 +38,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         worst = worst.max(rmse);
         sum += rmse;
         if seed < 5 {
-            println!("instance {seed:>4}: {} nodes, rmse {:.3e}", graph.num_nodes(), rmse);
+            println!(
+                "instance {seed:>4}: {} nodes, rmse {:.3e}",
+                graph.num_nodes(),
+                rmse
+            );
         }
     }
     println!("  ...");
     println!("\nsynthesized: {synthesized}/{trials} (paper: all valid DGs map to netlists)");
     println!("under 1% RMSE: {under_1pct}/{trials}");
-    println!("worst RMSE: {worst:.3e}, mean RMSE: {:.3e}", sum / trials as f64);
+    println!(
+        "worst RMSE: {worst:.3e}, mean RMSE: {:.3e}",
+        sum / trials as f64
+    );
     println!(
         "\npaper shape (100% synthesis, RMSE < 1%): {}",
-        if synthesized == trials && under_1pct == trials { "REPRODUCED" } else { "NOT reproduced" }
+        if synthesized == trials && under_1pct == trials {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     Ok(())
 }

@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cells = [[(0usize, 0usize); 2]; 2]; // [variant][d] -> (sync, solved)
     for t in 0..trials as u64 {
         let problem = MaxCutProblem::random(4, t);
-        for (vi, coupling) in [CouplingKind::Ideal, CouplingKind::Offset].into_iter().enumerate() {
+        for (vi, coupling) in [CouplingKind::Ideal, CouplingKind::Offset]
+            .into_iter()
+            .enumerate()
+        {
             // d only affects classification; pass the loosest and re-classify.
             let outcome = solve(&ofs, &problem, coupling, ds[1], t)?;
             for (di, &d) in ds.iter().enumerate() {
@@ -55,19 +58,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\npaper reference:");
-    println!("{:>8} | {:>10} {:>10} | {:>10} {:>10}", "", "94.1", "94.1", "54.1", "54.1");
-    println!("{:>8} | {:>10} {:>10} | {:>10} {:>10}", "", "94.2", "94.1", "94.8", "94.6");
+    println!(
+        "{:>8} | {:>10} {:>10} | {:>10} {:>10}",
+        "", "94.1", "94.1", "54.1", "54.1"
+    );
+    println!(
+        "{:>8} | {:>10} {:>10} | {:>10} {:>10}",
+        "", "94.2", "94.1", "94.8", "94.6"
+    );
 
     let tight_gap = pct(cells[0][0].0) - pct(cells[1][0].0);
     let recovered = pct(cells[1][1].0);
     println!("\nshape checks:");
     println!(
         "  offset loses heavily at d=0.01*pi (gap {tight_gap:.1} points): {}",
-        if tight_gap > 15.0 { "REPRODUCED" } else { "NOT reproduced" }
+        if tight_gap > 15.0 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     println!(
         "  widening d to 0.1*pi recovers the offset solver ({recovered:.1}%): {}",
-        if recovered > 85.0 { "REPRODUCED" } else { "NOT reproduced" }
+        if recovered > 85.0 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     Ok(())
 }

@@ -22,7 +22,10 @@ use ark_ode::Trajectory;
 
 /// Read an optional trial-count override from the first CLI argument.
 pub fn trials_arg(default: usize) -> usize {
-    std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(default)
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Print a `(t, value)` series as CSV under a header comment.

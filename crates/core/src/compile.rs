@@ -77,16 +77,27 @@ impl fmt::Display for CompileError {
                 write!(f, "node `{node}` has undeclared type `{ty}`")
             }
             CompileError::MissingAttr { entity, attr } => {
-                write!(f, "attribute {entity}.{attr} required by a production rule is unset")
+                write!(
+                    f,
+                    "attribute {entity}.{attr} required by a production rule is unset"
+                )
             }
             CompileError::MissingInit { node, index } => {
                 write!(f, "initial value init({index}) of `{node}` is unset")
             }
-            CompileError::BadAttrUse { entity, attr, reason } => {
+            CompileError::BadAttrUse {
+                entity,
+                attr,
+                reason,
+            } => {
                 write!(f, "bad use of attribute {entity}.{attr}: {reason}")
             }
             CompileError::AlgebraicLoop(ns) => {
-                write!(f, "algebraic loop through order-0 nodes: {}", ns.join(" -> "))
+                write!(
+                    f,
+                    "algebraic loop through order-0 nodes: {}",
+                    ns.join(" -> ")
+                )
             }
             CompileError::Tape(m) => write!(f, "tape lowering failed: {m}"),
         }
@@ -259,17 +270,22 @@ impl CompiledSystem {
         let mut alg_of_node = BTreeMap::new();
         let mut init = Vec::new();
         for (_, node) in graph.nodes() {
-            let nt = lang.node_type(&node.ty).ok_or_else(|| CompileError::UnknownNodeType {
-                node: node.name.clone(),
-                ty: node.ty.clone(),
-            })?;
+            let nt = lang
+                .node_type(&node.ty)
+                .ok_or_else(|| CompileError::UnknownNodeType {
+                    node: node.name.clone(),
+                    ty: node.ty.clone(),
+                })?;
             if nt.order == 0 {
                 let slot = alg_of_node.len();
                 alg_of_node.insert(node.name.clone(), slot);
             } else {
                 state_of_node.insert(node.name.clone(), state_vars.len());
                 for d in 0..nt.order {
-                    state_vars.push(StateVar { node: node.name.clone(), deriv: d });
+                    state_vars.push(StateVar {
+                        node: node.name.clone(),
+                        deriv: d,
+                    });
                     init.push(node.inits[d].ok_or_else(|| CompileError::MissingInit {
                         node: node.name.clone(),
                         index: d,
@@ -389,19 +405,25 @@ fn fold_attrs(graph: &Graph, expr: &Expr) -> Result<Expr, CompileError> {
             Some(v) => match v.as_real() {
                 Some(x) => Some(Expr::Const(x)),
                 None => {
-                    store_err(&err, CompileError::BadAttrUse {
-                        entity: entity.clone(),
-                        attr: attr.clone(),
-                        reason: "lambda attribute used as a number".into(),
-                    });
+                    store_err(
+                        &err,
+                        CompileError::BadAttrUse {
+                            entity: entity.clone(),
+                            attr: attr.clone(),
+                            reason: "lambda attribute used as a number".into(),
+                        },
+                    );
                     None
                 }
             },
             None => {
-                store_err(&err, CompileError::MissingAttr {
-                    entity: entity.clone(),
-                    attr: attr.clone(),
-                });
+                store_err(
+                    &err,
+                    CompileError::MissingAttr {
+                        entity: entity.clone(),
+                        attr: attr.clone(),
+                    },
+                );
                 None
             }
         },
@@ -409,31 +431,40 @@ fn fold_attrs(graph: &Graph, expr: &Expr) -> Result<Expr, CompileError> {
             Some(Value::Lambda(lam)) => match lam.apply(args) {
                 Some(body) => Some(body),
                 None => {
-                    store_err(&err, CompileError::BadAttrUse {
-                        entity: entity.clone(),
-                        attr: attr.clone(),
-                        reason: format!(
-                            "lambda expects {} arguments, called with {}",
-                            lam.params.len(),
-                            args.len()
-                        ),
-                    });
+                    store_err(
+                        &err,
+                        CompileError::BadAttrUse {
+                            entity: entity.clone(),
+                            attr: attr.clone(),
+                            reason: format!(
+                                "lambda expects {} arguments, called with {}",
+                                lam.params.len(),
+                                args.len()
+                            ),
+                        },
+                    );
                     None
                 }
             },
             Some(_) => {
-                store_err(&err, CompileError::BadAttrUse {
-                    entity: entity.clone(),
-                    attr: attr.clone(),
-                    reason: "numeric attribute called as a lambda".into(),
-                });
+                store_err(
+                    &err,
+                    CompileError::BadAttrUse {
+                        entity: entity.clone(),
+                        attr: attr.clone(),
+                        reason: "numeric attribute called as a lambda".into(),
+                    },
+                );
                 None
             }
             None => {
-                store_err(&err, CompileError::MissingAttr {
-                    entity: entity.clone(),
-                    attr: attr.clone(),
-                });
+                store_err(
+                    &err,
+                    CompileError::MissingAttr {
+                        entity: entity.clone(),
+                        attr: attr.clone(),
+                    },
+                );
                 None
             }
         },
@@ -567,7 +598,9 @@ mod tests {
         assert_eq!(sys.num_states(), 1);
         assert_eq!(sys.state_index("v0"), Some(0));
         assert_eq!(sys.initial_state(), vec![1.0]);
-        let tr = Rk4 { dt: 1e-3 }.integrate(&sys, 0.0, &sys.initial_state(), 1.0, 10).unwrap();
+        let tr = Rk4 { dt: 1e-3 }
+            .integrate(&sys, 0.0, &sys.initial_state(), 1.0, 10)
+            .unwrap();
         let v_end = tr.last().unwrap().1[0];
         assert!((v_end - (-1.0f64).exp()).abs() < 1e-8, "v_end {v_end}");
         // The pretty-printed equation mentions the folded attribute values.
@@ -579,8 +612,7 @@ mod tests {
     fn oscillator_lang() -> Language {
         LanguageBuilder::new("osc")
             .node_type(
-                NodeType::new("X", 1, Reduction::Sum)
-                    .init_default(SigType::real(-10.0, 10.0), 0.0),
+                NodeType::new("X", 1, Reduction::Sum).init_default(SigType::real(-10.0, 10.0), 0.0),
             )
             .edge_type(EdgeType::new("C"))
             .prod(ProdRule::new(
@@ -625,8 +657,7 @@ mod tests {
         // Out = 2 * V, and a sink S with dS/dt = var(Out).
         let lang = LanguageBuilder::new("alg")
             .node_type(
-                NodeType::new("V", 1, Reduction::Sum)
-                    .init_default(SigType::real(-10.0, 10.0), 1.0),
+                NodeType::new("V", 1, Reduction::Sum).init_default(SigType::real(-10.0, 10.0), 1.0),
             )
             .node_type(NodeType::new("Out", 0, Reduction::Sum))
             .node_type(
@@ -661,7 +692,9 @@ mod tests {
         assert!(sys.is_algebraic("o"));
         assert_eq!(sys.num_states(), 2);
         // V stays at 1 (no dynamics contributions), so dS/dt = 2 → S(1) = 2.
-        let tr = Rk4 { dt: 1e-3 }.integrate(&sys, 0.0, &sys.initial_state(), 1.0, 10).unwrap();
+        let tr = Rk4 { dt: 1e-3 }
+            .integrate(&sys, 0.0, &sys.initial_state(), 1.0, 10)
+            .unwrap();
         let s_end = tr.last().unwrap().1[sys.state_index("s").unwrap()];
         assert!((s_end - 2.0).abs() < 1e-9);
         // Observing the algebraic node directly.
@@ -673,8 +706,7 @@ mod tests {
         // A = var(v), B = 3*var(A): B depends on A.
         let lang = LanguageBuilder::new("chain")
             .node_type(
-                NodeType::new("V", 1, Reduction::Sum)
-                    .init_default(SigType::real(-10.0, 10.0), 2.0),
+                NodeType::new("V", 1, Reduction::Sum).init_default(SigType::real(-10.0, 10.0), 2.0),
             )
             .node_type(NodeType::new("F", 0, Reduction::Sum))
             .edge_type(EdgeType::new("E"))
@@ -742,7 +774,9 @@ mod tests {
         b.set_switch("c", false).unwrap();
         let g = b.finish().unwrap();
         let sys = CompiledSystem::compile(&lang, &g).unwrap();
-        let tr = Rk4 { dt: 1e-2 }.integrate(&sys, 0.0, &sys.initial_state(), 1.0, 10).unwrap();
+        let tr = Rk4 { dt: 1e-2 }
+            .integrate(&sys, 0.0, &sys.initial_state(), 1.0, 10)
+            .unwrap();
         let yf = tr.last().unwrap().1;
         // Nothing moves.
         assert_eq!(yf[0], 1.0);
@@ -755,8 +789,7 @@ mod tests {
         // source (an §4.3 off-state nonideality).
         let lang = LanguageBuilder::new("leaky")
             .node_type(
-                NodeType::new("X", 1, Reduction::Sum)
-                    .init_default(SigType::real(-10.0, 10.0), 1.0),
+                NodeType::new("X", 1, Reduction::Sum).init_default(SigType::real(-10.0, 10.0), 1.0),
             )
             .edge_type(EdgeType::new("C"))
             .prod(ProdRule::new(
@@ -785,7 +818,9 @@ mod tests {
         b.set_switch("c", false).unwrap();
         let g = b.finish().unwrap();
         let sys = CompiledSystem::compile(&lang, &g).unwrap();
-        let tr = Rk4 { dt: 1e-3 }.integrate(&sys, 0.0, &sys.initial_state(), 1.0, 10).unwrap();
+        let tr = Rk4 { dt: 1e-3 }
+            .integrate(&sys, 0.0, &sys.initial_state(), 1.0, 10)
+            .unwrap();
         let a_end = tr.last().unwrap().1[sys.state_index("a").unwrap()];
         // a decays at rate 0.1; b receives nothing (its on-rule is inactive)
         // and stays at its default initial value of 1.
@@ -833,8 +868,7 @@ mod tests {
         // An input node with a pulse waveform driving dV/dt = fn(time).
         let lang = LanguageBuilder::new("inp")
             .node_type(
-                NodeType::new("V", 1, Reduction::Sum)
-                    .init_default(SigType::real(-10.0, 10.0), 0.0),
+                NodeType::new("V", 1, Reduction::Sum).init_default(SigType::real(-10.0, 10.0), 0.0),
             )
             .node_type(NodeType::new("Inp", 0, Reduction::Sum).attr("fn", SigType::lambda(1)))
             .edge_type(EdgeType::new("E"))
@@ -859,7 +893,9 @@ mod tests {
         b.edge("e", "E", "in", "v").unwrap();
         let g = b.finish().unwrap();
         let sys = CompiledSystem::compile(&lang, &g).unwrap();
-        let tr = Rk4 { dt: 1e-3 }.integrate(&sys, 0.0, &sys.initial_state(), 1.0, 10).unwrap();
+        let tr = Rk4 { dt: 1e-3 }
+            .integrate(&sys, 0.0, &sys.initial_state(), 1.0, 10)
+            .unwrap();
         // v integrates a unit pulse of width 0.5 → 0.5 (up to O(dt) error
         // from the waveform discontinuity landing mid-step).
         let v_end = tr.last().unwrap().1[0];
@@ -898,8 +934,7 @@ mod tests {
         // dV/dt = var(a) * var(b) with a=2, b=3 constant → slope 6.
         let lang = LanguageBuilder::new("mul")
             .node_type(
-                NodeType::new("K", 1, Reduction::Sum)
-                    .init_default(SigType::real(-10.0, 10.0), 0.0),
+                NodeType::new("K", 1, Reduction::Sum).init_default(SigType::real(-10.0, 10.0), 0.0),
             )
             .node_type(
                 NodeType::new("P", 1, Reduction::Mul)
@@ -925,7 +960,9 @@ mod tests {
         b.edge("e1", "E", "b", "p").unwrap();
         let g = b.finish().unwrap();
         let sys = CompiledSystem::compile(&lang, &g).unwrap();
-        let tr = Rk4 { dt: 1e-3 }.integrate(&sys, 0.0, &sys.initial_state(), 1.0, 10).unwrap();
+        let tr = Rk4 { dt: 1e-3 }
+            .integrate(&sys, 0.0, &sys.initial_state(), 1.0, 10)
+            .unwrap();
         let p_end = tr.last().unwrap().1[sys.state_index("p").unwrap()];
         assert!((p_end - 6.0).abs() < 1e-9);
     }
@@ -941,7 +978,9 @@ mod tests {
         b.set_init("v0", 0, 4.0).unwrap();
         let g = b.finish().unwrap();
         let sys = CompiledSystem::compile(&lang, &g).unwrap();
-        let tr = Rk4 { dt: 1e-2 }.integrate(&sys, 0.0, &sys.initial_state(), 1.0, 10).unwrap();
+        let tr = Rk4 { dt: 1e-2 }
+            .integrate(&sys, 0.0, &sys.initial_state(), 1.0, 10)
+            .unwrap();
         assert_eq!(tr.last().unwrap().1[0], 4.0);
     }
 }

@@ -94,7 +94,10 @@ pub struct Graph {
 impl Graph {
     /// An empty graph tagged with the name of the language it is written in.
     pub fn new(lang: impl Into<String>) -> Self {
-        Graph { lang: lang.into(), ..Graph::default() }
+        Graph {
+            lang: lang.into(),
+            ..Graph::default()
+        }
     }
 
     /// Name of the language the graph was built against.
@@ -197,12 +200,18 @@ impl Graph {
 
     /// Look up a node id by name.
     pub fn node_id(&self, name: &str) -> Result<NodeId, GraphError> {
-        self.node_idx.get(name).copied().ok_or_else(|| GraphError::UnknownNode(name.into()))
+        self.node_idx
+            .get(name)
+            .copied()
+            .ok_or_else(|| GraphError::UnknownNode(name.into()))
     }
 
     /// Look up an edge id by name.
     pub fn edge_id(&self, name: &str) -> Result<EdgeId, GraphError> {
-        self.edge_idx.get(name).copied().ok_or_else(|| GraphError::UnknownEdge(name.into()))
+        self.edge_idx
+            .get(name)
+            .copied()
+            .ok_or_else(|| GraphError::UnknownEdge(name.into()))
     }
 
     /// Iterate nodes with their ids.
@@ -312,11 +321,20 @@ mod tests {
     #[test]
     fn duplicate_names_rejected() {
         let mut g = line3();
-        assert!(matches!(g.add_node("A", "V", 1), Err(GraphError::DuplicateName(_))));
+        assert!(matches!(
+            g.add_node("A", "V", 1),
+            Err(GraphError::DuplicateName(_))
+        ));
         let a = g.node_id("A").unwrap();
-        assert!(matches!(g.add_edge("E0", "E", a, a), Err(GraphError::DuplicateName(_))));
+        assert!(matches!(
+            g.add_edge("E0", "E", a, a),
+            Err(GraphError::DuplicateName(_))
+        ));
         // Node/edge namespaces are shared.
-        assert!(matches!(g.add_node("E0", "V", 1), Err(GraphError::DuplicateName(_))));
+        assert!(matches!(
+            g.add_node("E0", "V", 1),
+            Err(GraphError::DuplicateName(_))
+        ));
     }
 
     #[test]

@@ -73,17 +73,31 @@ impl fmt::Display for FuncError {
             FuncError::UnknownAttr { entity, attr } => {
                 write!(f, "no attribute `{attr}` on `{entity}`")
             }
-            FuncError::TypeMismatch { entity, attr, expected, got } => {
-                write!(f, "value {got} does not inhabit {expected} for {entity}.{attr}")
+            FuncError::TypeMismatch {
+                entity,
+                attr,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "value {got} does not inhabit {expected} for {entity}.{attr}"
+                )
             }
             FuncError::ConstFromArg { entity, attr } => {
-                write!(f, "const attribute {entity}.{attr} cannot be set from a function argument")
+                write!(
+                    f,
+                    "const attribute {entity}.{attr} cannot be set from a function argument"
+                )
             }
             FuncError::SwitchFixedEdge(e) => {
                 write!(f, "edge `{e}` has a fixed type and cannot be switched")
             }
             FuncError::BadInitIndex { node, index, order } => {
-                write!(f, "init({index}) out of range for `{node}` of order {order}")
+                write!(
+                    f,
+                    "init({index}) out of range for `{node}` of order {order}"
+                )
             }
             FuncError::Unassigned { entity, attr } => {
                 write!(f, "{entity}.{attr} was never assigned and has no default")
@@ -154,7 +168,10 @@ impl<'l> GraphBuilder<'l> {
     ///
     /// [`FuncError::UnknownType`] or a duplicate-name [`FuncError::Graph`].
     pub fn node(&mut self, name: &str, ty: &str) -> Result<NodeId, FuncError> {
-        let nt = self.lang.node_type(ty).ok_or_else(|| FuncError::UnknownType(ty.into()))?;
+        let nt = self
+            .lang
+            .node_type(ty)
+            .ok_or_else(|| FuncError::UnknownType(ty.into()))?;
         Ok(self.graph.add_node(name, ty, nt.order)?)
     }
 
@@ -163,8 +180,16 @@ impl<'l> GraphBuilder<'l> {
     /// # Errors
     ///
     /// [`FuncError::UnknownType`], unknown endpoints, or duplicate names.
-    pub fn edge(&mut self, name: &str, ty: &str, src: &str, dst: &str) -> Result<EdgeId, FuncError> {
-        self.lang.edge_type(ty).ok_or_else(|| FuncError::UnknownType(ty.into()))?;
+    pub fn edge(
+        &mut self,
+        name: &str,
+        ty: &str,
+        src: &str,
+        dst: &str,
+    ) -> Result<EdgeId, FuncError> {
+        self.lang
+            .edge_type(ty)
+            .ok_or_else(|| FuncError::UnknownType(ty.into()))?;
         let s = self.graph.node_id(src)?;
         let d = self.graph.node_id(dst)?;
         Ok(self.graph.add_edge(name, ty, s, d)?)
@@ -178,7 +203,12 @@ impl<'l> GraphBuilder<'l> {
     /// # Errors
     ///
     /// Unknown entity/attribute or [`FuncError::TypeMismatch`].
-    pub fn set_attr(&mut self, entity: &str, attr: &str, value: impl Into<Value>) -> Result<(), FuncError> {
+    pub fn set_attr(
+        &mut self,
+        entity: &str,
+        attr: &str,
+        value: impl Into<Value>,
+    ) -> Result<(), FuncError> {
         self.set_attr_inner(entity, attr, value.into(), false)
     }
 
@@ -202,20 +232,29 @@ impl<'l> GraphBuilder<'l> {
         // Returns (is_node, def).
         if let Ok(id) = self.graph.node_id(entity) {
             let ty = &self.graph.node(id).ty;
-            let nt = self.lang.node_type(ty).expect("node type checked at insertion");
-            let def = nt
-                .attrs
-                .get(attr)
-                .ok_or_else(|| FuncError::UnknownAttr { entity: entity.into(), attr: attr.into() })?;
+            let nt = self
+                .lang
+                .node_type(ty)
+                .expect("node type checked at insertion");
+            let def = nt.attrs.get(attr).ok_or_else(|| FuncError::UnknownAttr {
+                entity: entity.into(),
+                attr: attr.into(),
+            })?;
             return Ok((true, def.clone()));
         }
-        let id = self.graph.edge_id(entity).map_err(|_| GraphError::UnknownNode(entity.into()))?;
+        let id = self
+            .graph
+            .edge_id(entity)
+            .map_err(|_| GraphError::UnknownNode(entity.into()))?;
         let ty = &self.graph.edge(id).ty;
-        let et = self.lang.edge_type(ty).expect("edge type checked at insertion");
-        let def = et
-            .attrs
-            .get(attr)
-            .ok_or_else(|| FuncError::UnknownAttr { entity: entity.into(), attr: attr.into() })?;
+        let et = self
+            .lang
+            .edge_type(ty)
+            .expect("edge type checked at insertion");
+        let def = et.attrs.get(attr).ok_or_else(|| FuncError::UnknownAttr {
+            entity: entity.into(),
+            attr: attr.into(),
+        })?;
         Ok((false, def.clone()))
     }
 
@@ -228,7 +267,10 @@ impl<'l> GraphBuilder<'l> {
     ) -> Result<(), FuncError> {
         let (is_node, def) = self.attr_def(entity, attr)?;
         if def.ty.is_const && from_arg {
-            return Err(FuncError::ConstFromArg { entity: entity.into(), attr: attr.into() });
+            return Err(FuncError::ConstFromArg {
+                entity: entity.into(),
+                attr: attr.into(),
+            });
         }
         if !def.ty.admits(&value) {
             return Err(FuncError::TypeMismatch {
@@ -268,7 +310,11 @@ impl<'l> GraphBuilder<'l> {
         let ty = self.graph.node(id).ty.clone();
         let nt = self.lang.node_type(&ty).expect("checked at insertion");
         if index >= nt.order {
-            return Err(FuncError::BadInitIndex { node: node.into(), index, order: nt.order });
+            return Err(FuncError::BadInitIndex {
+                node: node.into(),
+                index,
+                order: nt.order,
+            });
         }
         let def = &nt.inits[index];
         if !def.ty.admits(&Value::Real(value)) {
@@ -315,8 +361,10 @@ impl<'l> GraphBuilder<'l> {
         // Defaults for node attributes and inits.
         for i in 0..self.graph.num_nodes() {
             let id = NodeId(i);
-            let (name, ty) =
-                (self.graph.node(id).name.clone(), self.graph.node(id).ty.clone());
+            let (name, ty) = (
+                self.graph.node(id).name.clone(),
+                self.graph.node(id).ty.clone(),
+            );
             let nt = self.lang.node_type(&ty).expect("checked").clone();
             for (an, def) in &nt.attrs {
                 if self.graph.node(id).attrs.contains_key(an) {
@@ -328,7 +376,10 @@ impl<'l> GraphBuilder<'l> {
                         self.graph.node_mut(id).attrs.insert(an.clone(), stored);
                     }
                     None => {
-                        return Err(FuncError::Unassigned { entity: name, attr: an.clone() })
+                        return Err(FuncError::Unassigned {
+                            entity: name,
+                            attr: an.clone(),
+                        })
                     }
                 }
             }
@@ -356,8 +407,10 @@ impl<'l> GraphBuilder<'l> {
         // Defaults for edge attributes.
         for i in 0..self.graph.num_edges() {
             let id = EdgeId(i);
-            let (name, ty) =
-                (self.graph.edge(id).name.clone(), self.graph.edge(id).ty.clone());
+            let (name, ty) = (
+                self.graph.edge(id).name.clone(),
+                self.graph.edge(id).ty.clone(),
+            );
             let et = self.lang.edge_type(&ty).expect("checked").clone();
             for (an, def) in &et.attrs {
                 if self.graph.edge(id).attrs.contains_key(an) {
@@ -369,7 +422,10 @@ impl<'l> GraphBuilder<'l> {
                         self.graph.edge_mut(id).attrs.insert(an.clone(), stored);
                     }
                     None => {
-                        return Err(FuncError::Unassigned { entity: name, attr: an.clone() })
+                        return Err(FuncError::Unassigned {
+                            entity: name,
+                            attr: an.clone(),
+                        })
                     }
                 }
             }
@@ -430,7 +486,10 @@ mod tests {
         let mut b = GraphBuilder::new(&l, 0);
         assert!(matches!(b.node("a", "Zap"), Err(FuncError::UnknownType(_))));
         b.node("a", "V").unwrap();
-        assert!(matches!(b.edge("e", "Zap", "a", "a"), Err(FuncError::UnknownType(_))));
+        assert!(matches!(
+            b.edge("e", "Zap", "a", "a"),
+            Err(FuncError::UnknownType(_))
+        ));
     }
 
     #[test]
@@ -449,9 +508,15 @@ mod tests {
         let l = lang();
         let mut b = GraphBuilder::new(&l, 0);
         b.node("a", "V").unwrap();
-        assert!(matches!(b.set_attr("a", "c", 1.0), Err(FuncError::TypeMismatch { .. })));
+        assert!(matches!(
+            b.set_attr("a", "c", 1.0),
+            Err(FuncError::TypeMismatch { .. })
+        ));
         // Negative conductance out of [0, inf).
-        assert!(matches!(b.set_attr("a", "g", -1.0), Err(FuncError::TypeMismatch { .. })));
+        assert!(matches!(
+            b.set_attr("a", "g", -1.0),
+            Err(FuncError::TypeMismatch { .. })
+        ));
     }
 
     #[test]
@@ -461,12 +526,18 @@ mod tests {
         b.node("in", "Inp").unwrap();
         let pulse = Lambda::new(
             vec!["t"],
-            Expr::Call("pulse".into(), vec![Expr::arg("t"), 0.0.into(), 2e-8.into()]),
+            Expr::Call(
+                "pulse".into(),
+                vec![Expr::arg("t"), 0.0.into(), 2e-8.into()],
+            ),
         );
         b.set_attr("in", "fn", pulse.clone()).unwrap();
         // Wrong arity rejected.
         let bad = Lambda::new(Vec::<String>::new(), Expr::constant(0.0));
-        assert!(matches!(b.set_attr("in", "fn", bad), Err(FuncError::TypeMismatch { .. })));
+        assert!(matches!(
+            b.set_attr("in", "fn", bad),
+            Err(FuncError::TypeMismatch { .. })
+        ));
         let g = b.finish().unwrap();
         assert_eq!(g.attr_value("in", "fn").unwrap().as_lambda(), Some(&pulse));
     }
@@ -523,7 +594,10 @@ mod tests {
         b.edge("e", "E", "a", "a").unwrap();
         b.edge("f", "F", "a", "a").unwrap();
         b.set_switch("e", false).unwrap();
-        assert!(matches!(b.set_switch("f", false), Err(FuncError::SwitchFixedEdge(_))));
+        assert!(matches!(
+            b.set_switch("f", false),
+            Err(FuncError::SwitchFixedEdge(_))
+        ));
         let g = b.finish().unwrap();
         assert!(!g.edge(g.edge_id("e").unwrap()).on);
         assert!(g.edge(g.edge_id("f").unwrap()).on);

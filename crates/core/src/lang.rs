@@ -60,7 +60,10 @@ impl AttrDef {
 
     /// Declaration with a default value.
     pub fn with_default(ty: SigType, default: Value) -> Self {
-        AttrDef { ty, default: Some(default) }
+        AttrDef {
+            ty,
+            default: Some(default),
+        }
     }
 }
 
@@ -118,7 +121,8 @@ impl NodeType {
         ty: SigType,
         default: impl Into<Value>,
     ) -> Self {
-        self.attrs.insert(name.into(), AttrDef::with_default(ty, default.into()));
+        self.attrs
+            .insert(name.into(), AttrDef::with_default(ty, default.into()));
         self
     }
 
@@ -153,7 +157,13 @@ pub struct EdgeType {
 impl EdgeType {
     /// Start a fresh edge type.
     pub fn new(name: impl Into<String>) -> Self {
-        EdgeType { name: name.into(), parent: None, fixed: false, attrs: BTreeMap::new(), layer: 0 }
+        EdgeType {
+            name: name.into(),
+            parent: None,
+            fixed: false,
+            attrs: BTreeMap::new(),
+            layer: 0,
+        }
     }
 
     /// Declare as inheriting from `parent` (builder style).
@@ -181,7 +191,8 @@ impl EdgeType {
         ty: SigType,
         default: impl Into<Value>,
     ) -> Self {
-        self.attrs.insert(name.into(), AttrDef::with_default(ty, default.into()));
+        self.attrs
+            .insert(name.into(), AttrDef::with_default(ty, default.into()));
         self
     }
 }
@@ -233,8 +244,11 @@ impl ProdRule {
         target_var: &str,
         expr: Expr,
     ) -> Self {
-        let target =
-            if target_var == src.0 { RuleTarget::Source } else { RuleTarget::Dest };
+        let target = if target_var == src.0 {
+            RuleTarget::Source
+        } else {
+            RuleTarget::Dest
+        };
         ProdRule {
             edge_var: edge.0.into(),
             edge_ty: edge.1.into(),
@@ -353,7 +367,12 @@ impl MatchClause {
 
     /// Clause over self-referencing edges.
     pub fn self_loop(lo: u64, hi: Option<u64>, edge_ty: &str) -> Self {
-        MatchClause { lo, hi, edge_ty: edge_ty.into(), dir: MatchDir::SelfLoop }
+        MatchClause {
+            lo,
+            hi,
+            edge_ty: edge_ty.into(),
+            dir: MatchDir::SelfLoop,
+        }
     }
 }
 
@@ -390,7 +409,12 @@ pub struct ValidityRule {
 impl ValidityRule {
     /// Start a rule for a node type.
     pub fn new(node_ty: impl Into<String>) -> Self {
-        ValidityRule { node_ty: node_ty.into(), accept: Vec::new(), reject: Vec::new(), layer: 0 }
+        ValidityRule {
+            node_ty: node_ty.into(),
+            accept: Vec::new(),
+            reject: Vec::new(),
+            layer: 0,
+        }
     }
 
     /// Add an accepted pattern (builder style).
@@ -454,10 +478,16 @@ impl fmt::Display for LangError {
                 write!(f, "type `{t}` is incompatible with its parent: {why}")
             }
             LangError::InvalidRefinement { ty, attr } => {
-                write!(f, "attribute `{attr}` of `{ty}` does not refine the parent declaration")
+                write!(
+                    f,
+                    "attribute `{attr}` of `{ty}` does not refine the parent declaration"
+                )
             }
             LangError::MissingInit(t) => {
-                write!(f, "node type `{t}` lacks initial-value declarations for its order")
+                write!(
+                    f,
+                    "node type `{t}` lacks initial-value declarations for its order"
+                )
             }
             LangError::BadRule(m) => write!(f, "invalid production rule: {m}"),
             LangError::DuplicateRule(m) => write!(f, "duplicate production rule: {m}"),
@@ -638,7 +668,10 @@ impl Language {
     /// The validity rules that apply to a node of the given type: every rule
     /// declared for the type or one of its ancestors.
     pub fn validity_rules_for(&self, node_ty: &str) -> Vec<&ValidityRule> {
-        self.validity.iter().filter(|r| self.node_is_a(node_ty, &r.node_ty)).collect()
+        self.validity
+            .iter()
+            .filter(|r| self.node_is_a(node_ty, &r.node_ty))
+            .collect()
     }
 }
 
@@ -797,7 +830,9 @@ impl LanguageBuilder {
         }
         for et in self.edge_types.values() {
             if let Some(p) = &et.parent {
-                self.edge_types.get(p).ok_or_else(|| LangError::UnknownType(p.clone()))?;
+                self.edge_types
+                    .get(p)
+                    .ok_or_else(|| LangError::UnknownType(p.clone()))?;
             }
             let mut seen = BTreeSet::new();
             let mut cur = et.name.as_str();
@@ -815,17 +850,19 @@ impl LanguageBuilder {
     /// overrides refine the parent declarations.
     fn resolve_inherited_members(&mut self) -> Result<(), LangError> {
         // Process node types in topological (parent-first) order.
-        let order = topo_types(
-            self.node_types.keys().cloned().collect(),
-            |n| self.node_types.get(n).and_then(|t| t.parent.clone()),
-        );
+        let order = topo_types(self.node_types.keys().cloned().collect(), |n| {
+            self.node_types.get(n).and_then(|t| t.parent.clone())
+        });
         for name in order {
             let Some(parent_name) = self.node_types[&name].parent.clone() else {
                 // Root type: check defaults.
                 for (an, ad) in &self.node_types[&name].attrs {
                     if let Some(d) = &ad.default {
                         if !ad.ty.admits(d) {
-                            return Err(LangError::BadDefault { ty: name.clone(), attr: an.clone() });
+                            return Err(LangError::BadDefault {
+                                ty: name.clone(),
+                                attr: an.clone(),
+                            });
                         }
                     }
                 }
@@ -870,22 +907,27 @@ impl LanguageBuilder {
             for (an, ad) in &child.attrs {
                 if let Some(d) = &ad.default {
                     if !ad.ty.admits(d) {
-                        return Err(LangError::BadDefault { ty: name.clone(), attr: an.clone() });
+                        return Err(LangError::BadDefault {
+                            ty: name.clone(),
+                            attr: an.clone(),
+                        });
                     }
                 }
             }
         }
         // Edge types.
-        let order = topo_types(
-            self.edge_types.keys().cloned().collect(),
-            |n| self.edge_types.get(n).and_then(|t| t.parent.clone()),
-        );
+        let order = topo_types(self.edge_types.keys().cloned().collect(), |n| {
+            self.edge_types.get(n).and_then(|t| t.parent.clone())
+        });
         for name in order {
             let Some(parent_name) = self.edge_types[&name].parent.clone() else {
                 for (an, ad) in &self.edge_types[&name].attrs {
                     if let Some(d) = &ad.default {
                         if !ad.ty.admits(d) {
-                            return Err(LangError::BadDefault { ty: name.clone(), attr: an.clone() });
+                            return Err(LangError::BadDefault {
+                                ty: name.clone(),
+                                attr: an.clone(),
+                            });
                         }
                     }
                 }
@@ -915,7 +957,10 @@ impl LanguageBuilder {
             for (an, ad) in &child.attrs {
                 if let Some(d) = &ad.default {
                     if !ad.ty.admits(d) {
-                        return Err(LangError::BadDefault { ty: name.clone(), attr: an.clone() });
+                        return Err(LangError::BadDefault {
+                            ty: name.clone(),
+                            attr: an.clone(),
+                        });
                     }
                 }
             }
@@ -987,7 +1032,9 @@ impl LanguageBuilder {
                     return;
                 };
                 if !found && bad.is_none() {
-                    bad = Some(format!("rule `{r}` references unknown attribute {ent}.{attr}"));
+                    bad = Some(format!(
+                        "rule `{r}` references unknown attribute {ent}.{attr}"
+                    ));
                 }
             });
             if let Some(m) = bad {
@@ -1002,7 +1049,11 @@ impl LanguageBuilder {
                 let mentions_new = [&r.edge_ty]
                     .into_iter()
                     .map(|t| self.edge_types[t].layer)
-                    .chain([&r.src_ty, &r.dst_ty].into_iter().map(|t| self.node_types[t].layer))
+                    .chain(
+                        [&r.src_ty, &r.dst_ty]
+                            .into_iter()
+                            .map(|t| self.node_types[t].layer),
+                    )
                     .any(|l| l == r.layer);
                 if !mentions_new {
                     return Err(LangError::RuleNotExtending(r.to_string()));
@@ -1123,14 +1174,11 @@ mod tests {
                 "t",
                 parse_expr("var(s)/t.l").unwrap(),
             ))
-            .cstr(
-                ValidityRule::new("V")
-                    .accept(Pattern::new(vec![
-                        MatchClause::outgoing(0, None, "E", &["I"]),
-                        MatchClause::incoming(0, None, "E", &["I"]),
-                        MatchClause::self_loop(1, Some(1), "E"),
-                    ])),
-            )
+            .cstr(ValidityRule::new("V").accept(Pattern::new(vec![
+                MatchClause::outgoing(0, None, "E", &["I"]),
+                MatchClause::incoming(0, None, "E", &["I"]),
+                MatchClause::self_loop(1, Some(1), "E"),
+            ])))
             .finish()
             .unwrap()
     }
@@ -1226,8 +1274,20 @@ mod tests {
                 NodeType::new("V", 1, Reduction::Sum).init_default(SigType::real(-1.0, 1.0), 0.0),
             )
             .edge_type(EdgeType::new("E"))
-            .prod(ProdRule::new(("e", "E"), ("s", "V"), ("t", "V"), "t", parse_expr("1").unwrap()))
-            .prod(ProdRule::new(("e", "E"), ("s", "V"), ("t", "V"), "t", parse_expr("2").unwrap()))
+            .prod(ProdRule::new(
+                ("e", "E"),
+                ("s", "V"),
+                ("t", "V"),
+                "t",
+                parse_expr("1").unwrap(),
+            ))
+            .prod(ProdRule::new(
+                ("e", "E"),
+                ("s", "V"),
+                ("t", "V"),
+                "t",
+                parse_expr("2").unwrap(),
+            ))
             .finish();
         assert!(matches!(res, Err(LangError::DuplicateRule(_))));
     }
@@ -1414,11 +1474,13 @@ mod tests {
                 NodeType::new("V", 1, Reduction::Sum).init_default(SigType::real(-1.0, 1.0), 0.0),
             )
             .edge_type(EdgeType::new("E"))
-            .cstr(ValidityRule::new("V").accept(Pattern::new(vec![MatchClause::self_loop(
-                3,
-                Some(1),
-                "E",
-            )])))
+            .cstr(
+                ValidityRule::new("V").accept(Pattern::new(vec![MatchClause::self_loop(
+                    3,
+                    Some(1),
+                    "E",
+                )])),
+            )
             .finish();
         assert!(matches!(res, Err(LangError::BadRule(_))));
     }

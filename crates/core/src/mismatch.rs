@@ -21,7 +21,10 @@ impl MismatchSampler {
     /// Create a sampler for one fabricated instance (one function
     /// invocation).
     pub fn new(seed: u64) -> Self {
-        MismatchSampler { rng: StdRng::seed_from_u64(seed), spare: None }
+        MismatchSampler {
+            rng: StdRng::seed_from_u64(seed),
+            spare: None,
+        }
     }
 
     /// Draw a standard normal variate (Box–Muller; `rand` ships no Gaussian
@@ -62,7 +65,10 @@ mod tests {
             assert_eq!(a.standard_normal(), b.standard_normal());
         }
         let mut c = MismatchSampler::new(43);
-        assert_ne!(MismatchSampler::new(42).standard_normal(), c.standard_normal());
+        assert_ne!(
+            MismatchSampler::new(42).standard_normal(),
+            c.standard_normal()
+        );
     }
 
     #[test]
@@ -103,7 +109,10 @@ mod tests {
     #[test]
     fn absolute_mismatch_on_zero_nominal() {
         // The ofs-OBC offset attribute: nominal 0, mm(0.02, 0).
-        let mm = Mismatch { abs: 0.02, rel: 0.0 };
+        let mm = Mismatch {
+            abs: 0.02,
+            rel: 0.0,
+        };
         let mut s = MismatchSampler::new(2);
         let mut any_nonzero = false;
         let mut sumsq = 0.0;

@@ -15,9 +15,7 @@
 //!   `lo == hi` default automatically (used by `int[1,1]`-style cost tags);
 //! * `fn(..)` is accepted as a synonym for `lambd(..)` as in Figure 7.
 
-use crate::lang::{
-    EdgeType, MatchClause, NodeType, Pattern, ProdRule, Reduction, ValidityRule,
-};
+use crate::lang::{EdgeType, MatchClause, NodeType, Pattern, ProdRule, Reduction, ValidityRule};
 use crate::types::{SigKind, SigType, Value};
 use ark_expr::lexer::{tokenize, Cursor, Tok};
 use ark_expr::{parse as eparse, BoolExpr, ParseError};
@@ -152,7 +150,11 @@ fn eat_separators(cur: &mut Cursor<'_>) {
 
 fn lang_def(cur: &mut Cursor<'_>) -> Result<LangDefAst, ParseError> {
     let name = cur.expect_ident()?;
-    let inherits = if cur.eat_kw("inherits") { Some(cur.expect_ident()?) } else { None };
+    let inherits = if cur.eat_kw("inherits") {
+        Some(cur.expect_ident()?)
+    } else {
+        None
+    };
     cur.expect(&Tok::LBrace)?;
     let mut def = LangDefAst {
         name,
@@ -219,10 +221,7 @@ fn node_type(cur: &mut Cursor<'_>) -> Result<NodeType, ParseError> {
             let aname = cur.expect_ident()?;
             cur.expect(&Tok::Assign)?;
             let (ty, default) = sig_type(cur)?;
-            nt.attrs.insert(
-                aname,
-                crate::lang::AttrDef { ty, default },
-            );
+            nt.attrs.insert(aname, crate::lang::AttrDef { ty, default });
         } else if cur.eat_kw("init") || cur.eat_kw("init-val") {
             cur.expect(&Tok::LParen)?;
             let idx = match cur.next().tok {
@@ -435,7 +434,12 @@ fn match_clause(cur: &mut Cursor<'_>, target_ty: &str) -> Result<MatchClause, Pa
     let edge_ty = cur.expect_ident()?;
     if cur.eat(&Tok::RParen) {
         // match(lo, hi, ET): self edges.
-        return Ok(MatchClause { lo, hi, edge_ty, dir: crate::lang::MatchDir::SelfLoop });
+        return Ok(MatchClause {
+            lo,
+            hi,
+            edge_ty,
+            dir: crate::lang::MatchDir::SelfLoop,
+        });
     }
     cur.expect(&Tok::Comma)?;
     // Tail: `vn -> [t*]`, `[t*] -> vn`, or `vn` (self).
@@ -464,7 +468,12 @@ fn match_clause(cur: &mut Cursor<'_>, target_ty: &str) -> Result<MatchClause, Pa
         }
         if cur.eat(&Tok::RParen) {
             // match(lo, hi, ET, vn): self edges.
-            return Ok(MatchClause { lo, hi, edge_ty, dir: crate::lang::MatchDir::SelfLoop });
+            return Ok(MatchClause {
+                lo,
+                hi,
+                edge_ty,
+                dir: crate::lang::MatchDir::SelfLoop,
+            });
         }
         cur.expect(&Tok::Arrow)?;
         let tys = ident_list(cur)?;
@@ -493,7 +502,10 @@ fn cstr_rule(cur: &mut Cursor<'_>) -> Result<ValidityRule, ParseError> {
         } else if cur.eat_kw("rej") {
             false
         } else {
-            return Err(cur.error(format!("expected `acc` or `rej`, found `{}`", cur.peek().tok)));
+            return Err(cur.error(format!(
+                "expected `acc` or `rej`, found `{}`",
+                cur.peek().tok
+            )));
         };
         cur.expect(&Tok::LBracket)?;
         let mut clauses = Vec::new();
@@ -581,14 +593,23 @@ fn func_def(cur: &mut Cursor<'_>) -> Result<FuncDef, ParseError> {
             let n = cur.expect_ident()?;
             cur.expect(&Tok::Colon)?;
             let ty = cur.expect_ident()?;
-            body.push(FuncStmt::Edge { name: n, ty, src, dst });
+            body.push(FuncStmt::Edge {
+                name: n,
+                ty,
+                src,
+                dst,
+            });
         } else if cur.eat_kw("set-attr") {
             let entity = cur.expect_ident()?;
             cur.expect(&Tok::Dot)?;
             let attr = cur.expect_ident()?;
             cur.expect(&Tok::Assign)?;
             let value = func_val(cur)?;
-            body.push(FuncStmt::SetAttr { entity, attr, value });
+            body.push(FuncStmt::SetAttr {
+                entity,
+                attr,
+                value,
+            });
         } else if cur.eat_kw("set-init") {
             let node = cur.expect_ident()?;
             cur.expect(&Tok::LParen)?;
@@ -612,7 +633,12 @@ fn func_def(cur: &mut Cursor<'_>) -> Result<FuncDef, ParseError> {
             )));
         }
     }
-    Ok(FuncDef { name, args, lang, body })
+    Ok(FuncDef {
+        name,
+        args,
+        lang,
+        body,
+    })
 }
 
 #[cfg(test)]
@@ -759,7 +785,10 @@ lang hw {
         assert_eq!(vm.attrs["r"].default, Some(Value::Real(1.0)));
         assert!(ast.langs[0].edge_types[0].fixed);
         // int[1,1] auto-defaults to 1.
-        assert_eq!(ast.langs[0].edge_types[1].attrs["cost"].default, Some(Value::Int(1)));
+        assert_eq!(
+            ast.langs[0].edge_types[1].attrs["cost"].default,
+            Some(Value::Int(1))
+        );
     }
 
     #[test]
@@ -789,7 +818,10 @@ func f() uses l {
         let ast = parse_program(src).unwrap();
         assert!(matches!(
             &ast.funcs[0].body[1],
-            FuncStmt::SetAttr { value: FuncVal::Lit(Value::Lambda(_)), .. }
+            FuncStmt::SetAttr {
+                value: FuncVal::Lit(Value::Lambda(_)),
+                ..
+            }
         ));
     }
 

@@ -24,7 +24,12 @@ fn fmt_attr_def(def: &AttrDef) -> String {
     let mut s = String::new();
     match def.ty.kind {
         SigKind::Real => {
-            let _ = write!(s, "real[{}, {}]", fmt_bound(def.ty.lo), fmt_bound(def.ty.hi));
+            let _ = write!(
+                s,
+                "real[{}, {}]",
+                fmt_bound(def.ty.lo),
+                fmt_bound(def.ty.hi)
+            );
         }
         SigKind::Int => {
             let _ = write!(s, "int[{}, {}]", fmt_bound(def.ty.lo), fmt_bound(def.ty.hi));
@@ -157,7 +162,11 @@ pub fn language_to_source(lang: &Language) -> String {
             if r.off { " off" } else { "" }
         );
     }
-    for v in lang.validity_rules().iter().filter(|v| v.layer == own_layer) {
+    for v in lang
+        .validity_rules()
+        .iter()
+        .filter(|v| v.layer == own_layer)
+    {
         let _ = writeln!(s, "    cstr {} {{", v.node_ty);
         for p in &v.accept {
             let _ = writeln!(s, "        acc {}", fmt_pattern(p, &v.node_ty));
@@ -186,7 +195,9 @@ mod tests {
         let src = language_to_source(lang);
         let prog = Program::parse(&src)
             .unwrap_or_else(|e| panic!("cannot reparse printed language:\n{src}\n{e}"));
-        prog.language(lang.name()).expect("language present").clone()
+        prog.language(lang.name())
+            .expect("language present")
+            .clone()
     }
 
     #[test]
@@ -200,7 +211,11 @@ mod tests {
             )
             .node_type(NodeType::new("F", 0, Reduction::Mul))
             .edge_type(EdgeType::new("E"))
-            .edge_type(EdgeType::new("Fx").fixed().attr("w", SigType::real(-1.0, 1.0)))
+            .edge_type(
+                EdgeType::new("Fx")
+                    .fixed()
+                    .attr("w", SigType::real(-1.0, 1.0)),
+            )
             .prod(ProdRule::new(
                 ("e", "E"),
                 ("s", "V"),
@@ -224,7 +239,12 @@ mod tests {
                         MatchClause::outgoing(0, None, "E", &["F"]),
                         MatchClause::self_loop(1, Some(1), "E"),
                     ]))
-                    .reject(Pattern::new(vec![MatchClause::incoming(2, None, "E", &["V"])])),
+                    .reject(Pattern::new(vec![MatchClause::incoming(
+                        2,
+                        None,
+                        "E",
+                        &["V"],
+                    )])),
             )
             .extern_check("grid")
             .finish()
@@ -279,7 +299,11 @@ mod tests {
             .finish()
             .unwrap();
         // Print the chain: base source + extension source.
-        let src = format!("{}\n{}", language_to_source(&base), language_to_source(&derived));
+        let src = format!(
+            "{}\n{}",
+            language_to_source(&base),
+            language_to_source(&derived)
+        );
         let prog = Program::parse(&src).unwrap();
         assert_eq!(prog.language("base").unwrap(), &base);
         assert_eq!(prog.language("hw").unwrap(), &derived);

@@ -81,10 +81,18 @@ impl fmt::Display for ProgramError {
             ProgramError::Lang(e) => write!(f, "{e}"),
             ProgramError::UnknownLanguage(l) => write!(f, "unknown language `{l}`"),
             ProgramError::UnknownFunction(x) => write!(f, "unknown function `{x}`"),
-            ProgramError::ArgCount { func, expected, got } => {
+            ProgramError::ArgCount {
+                func,
+                expected,
+                got,
+            } => {
                 write!(f, "function `{func}` takes {expected} arguments, got {got}")
             }
-            ProgramError::ArgType { func, arg, expected } => {
+            ProgramError::ArgType {
+                func,
+                arg,
+                expected,
+            } => {
                 write!(f, "argument `{arg}` of `{func}` must inhabit {expected}")
             }
             ProgramError::Func(e) => write!(f, "{e}"),
@@ -92,8 +100,14 @@ impl fmt::Display for ProgramError {
             ProgramError::Invalid(r) => write!(f, "graph failed validation: {r}"),
             ProgramError::Validate(e) => write!(f, "{e}"),
             ProgramError::Compile(e) => write!(f, "{e}"),
-            ProgramError::NotDerivedFrom { requested, declared } => {
-                write!(f, "language `{requested}` does not derive from `{declared}`")
+            ProgramError::NotDerivedFrom {
+                requested,
+                declared,
+            } => {
+                write!(
+                    f,
+                    "language `{requested}` does not derive from `{declared}`"
+                )
             }
             ProgramError::Duplicate(n) => write!(f, "duplicate definition `{n}`"),
         }
@@ -238,7 +252,10 @@ impl Program {
     ///
     /// Argument-binding errors and any function-statement failure.
     pub fn invoke(&self, func: &str, args: &[Value], seed: u64) -> Result<Graph, ProgramError> {
-        let f = self.funcs.get(func).ok_or_else(|| ProgramError::UnknownFunction(func.into()))?;
+        let f = self
+            .funcs
+            .get(func)
+            .ok_or_else(|| ProgramError::UnknownFunction(func.into()))?;
         let lang = self
             .langs
             .get(&f.lang)
@@ -262,9 +279,14 @@ impl Program {
         args: &[Value],
         seed: u64,
     ) -> Result<Graph, ProgramError> {
-        let f = self.funcs.get(func).ok_or_else(|| ProgramError::UnknownFunction(func.into()))?;
-        let target =
-            self.langs.get(lang).ok_or_else(|| ProgramError::UnknownLanguage(lang.into()))?;
+        let f = self
+            .funcs
+            .get(func)
+            .ok_or_else(|| ProgramError::UnknownFunction(func.into()))?;
+        let target = self
+            .langs
+            .get(lang)
+            .ok_or_else(|| ProgramError::UnknownLanguage(lang.into()))?;
         if !target.chain().iter().any(|l| l == &f.lang) {
             return Err(ProgramError::NotDerivedFrom {
                 requested: lang.into(),
@@ -288,7 +310,10 @@ impl Program {
         seed: u64,
         externs: &ExternRegistry,
     ) -> Result<(Graph, CompiledSystem), ProgramError> {
-        let f = self.funcs.get(func).ok_or_else(|| ProgramError::UnknownFunction(func.into()))?;
+        let f = self
+            .funcs
+            .get(func)
+            .ok_or_else(|| ProgramError::UnknownFunction(func.into()))?;
         let lang = self
             .langs
             .get(&f.lang)
@@ -337,7 +362,11 @@ impl Program {
                 FuncStmt::Edge { name, ty, src, dst } => {
                     b.edge(name, ty, src, dst)?;
                 }
-                FuncStmt::SetAttr { entity, attr, value } => match value {
+                FuncStmt::SetAttr {
+                    entity,
+                    attr,
+                    value,
+                } => match value {
                     FuncVal::Lit(v) => b.set_attr(entity, attr, v.clone())?,
                     FuncVal::Arg(a) => {
                         let v = bound
@@ -436,12 +465,19 @@ func pair(couple: int[0, 1], tau: real[0.1, 10]) uses rc {
         assert_eq!(prog.lang_names().count(), 2);
         assert_eq!(prog.func_names().count(), 1);
         let (graph, sys) = prog
-            .build("pair", &[Value::Int(0), Value::Real(1.0)], 0, &ExternRegistry::new())
+            .build(
+                "pair",
+                &[Value::Int(0), Value::Real(1.0)],
+                0,
+                &ExternRegistry::new(),
+            )
             .unwrap();
         assert_eq!(graph.num_nodes(), 2);
         assert_eq!(sys.num_states(), 2);
         // Uncoupled: a decays like e^-t, b stays 0.
-        let tr = Rk4 { dt: 1e-3 }.integrate(&sys, 0.0, &sys.initial_state(), 1.0, 10).unwrap();
+        let tr = Rk4 { dt: 1e-3 }
+            .integrate(&sys, 0.0, &sys.initial_state(), 1.0, 10)
+            .unwrap();
         let a = tr.last().unwrap().1[sys.state_index("a").unwrap()];
         let bb = tr.last().unwrap().1[sys.state_index("b").unwrap()];
         assert!((a - (-1.0f64).exp()).abs() < 1e-8);
@@ -451,8 +487,12 @@ func pair(couple: int[0, 1], tau: real[0.1, 10]) uses rc {
     #[test]
     fn switch_argument_changes_topology() {
         let prog = Program::parse(SRC).unwrap();
-        let g0 = prog.invoke("pair", &[Value::Int(0), Value::Real(1.0)], 0).unwrap();
-        let g1 = prog.invoke("pair", &[Value::Int(1), Value::Real(1.0)], 0).unwrap();
+        let g0 = prog
+            .invoke("pair", &[Value::Int(0), Value::Real(1.0)], 0)
+            .unwrap();
+        let g1 = prog
+            .invoke("pair", &[Value::Int(1), Value::Real(1.0)], 0)
+            .unwrap();
         let c0 = g0.edge(g0.edge_id("c").unwrap()).on;
         let c1 = g1.edge(g1.edge_id("c").unwrap()).on;
         assert!(!c0);
@@ -463,9 +503,16 @@ func pair(couple: int[0, 1], tau: real[0.1, 10]) uses rc {
     fn coupled_pair_transfers_charge() {
         let prog = Program::parse(SRC).unwrap();
         let (_, sys) = prog
-            .build("pair", &[Value::Int(1), Value::Real(1.0)], 0, &ExternRegistry::new())
+            .build(
+                "pair",
+                &[Value::Int(1), Value::Real(1.0)],
+                0,
+                &ExternRegistry::new(),
+            )
             .unwrap();
-        let tr = Rk4 { dt: 1e-3 }.integrate(&sys, 0.0, &sys.initial_state(), 1.0, 10).unwrap();
+        let tr = Rk4 { dt: 1e-3 }
+            .integrate(&sys, 0.0, &sys.initial_state(), 1.0, 10)
+            .unwrap();
         let b = tr.last().unwrap().1[sys.state_index("b").unwrap()];
         assert!(b > 0.1, "b should accumulate charge, got {b}");
     }
@@ -495,9 +542,13 @@ func pair(couple: int[0, 1], tau: real[0.1, 10]) uses rc {
     fn int_coercion_accepts_real_literals() {
         let prog = Program::parse(SRC).unwrap();
         // 1.0 coerces to Int(1) for the int[0,1] parameter.
-        assert!(prog.invoke("pair", &[Value::Real(1.0), Value::Real(1.0)], 0).is_ok());
+        assert!(prog
+            .invoke("pair", &[Value::Real(1.0), Value::Real(1.0)], 0)
+            .is_ok());
         // 0.5 does not.
-        assert!(prog.invoke("pair", &[Value::Real(0.5), Value::Real(1.0)], 0).is_err());
+        assert!(prog
+            .invoke("pair", &[Value::Real(0.5), Value::Real(1.0)], 0)
+            .is_err());
     }
 
     #[test]
@@ -505,31 +556,39 @@ func pair(couple: int[0, 1], tau: real[0.1, 10]) uses rc {
         // The §4.1.1 guarantee: running the parent-language function in the
         // derived language yields identical dynamics.
         let prog = Program::parse(SRC).unwrap();
-        let g_parent = prog.invoke("pair", &[Value::Int(1), Value::Real(1.0)], 0).unwrap();
-        let g_derived =
-            prog.invoke_in("pair", "rc_mm", &[Value::Int(1), Value::Real(1.0)], 0).unwrap();
+        let g_parent = prog
+            .invoke("pair", &[Value::Int(1), Value::Real(1.0)], 0)
+            .unwrap();
+        let g_derived = prog
+            .invoke_in("pair", "rc_mm", &[Value::Int(1), Value::Real(1.0)], 0)
+            .unwrap();
         let lang_parent = prog.language("rc").unwrap();
         let lang_derived = prog.language("rc_mm").unwrap();
         let sys_p = CompiledSystem::compile(lang_parent, &g_parent).unwrap();
         let sys_d = CompiledSystem::compile(lang_derived, &g_derived).unwrap();
-        let tp = Rk4 { dt: 1e-3 }.integrate(&sys_p, 0.0, &sys_p.initial_state(), 1.0, 10).unwrap();
-        let td = Rk4 { dt: 1e-3 }.integrate(&sys_d, 0.0, &sys_d.initial_state(), 1.0, 10).unwrap();
+        let tp = Rk4 { dt: 1e-3 }
+            .integrate(&sys_p, 0.0, &sys_p.initial_state(), 1.0, 10)
+            .unwrap();
+        let td = Rk4 { dt: 1e-3 }
+            .integrate(&sys_d, 0.0, &sys_d.initial_state(), 1.0, 10)
+            .unwrap();
         assert_eq!(tp.last().unwrap().1, td.last().unwrap().1);
     }
 
     #[test]
     fn invoke_in_requires_derivation() {
         let prog = Program::parse(SRC).unwrap();
-        assert!(matches!(
-            prog.invoke_in("pair", "rc", &[Value::Int(0), Value::Real(1.0)], 0),
-            Ok(_)
-        ));
+        assert!(prog
+            .invoke_in("pair", "rc", &[Value::Int(0), Value::Real(1.0)], 0)
+            .is_ok());
         // rc does not derive from rc_mm... but the function declares rc, so
         // asking for an unrelated language fails.
         let mut prog2 = Program::parse(SRC).unwrap();
         prog2
             .add_language(
-                crate::lang::LanguageBuilder::new("unrelated").finish().unwrap(),
+                crate::lang::LanguageBuilder::new("unrelated")
+                    .finish()
+                    .unwrap(),
             )
             .unwrap();
         assert!(matches!(
@@ -541,24 +600,40 @@ func pair(couple: int[0, 1], tau: real[0.1, 10]) uses rc {
     #[test]
     fn validation_failure_surfaces() {
         // A variant whose function omits the mandatory self edges.
-        let src = SRC.replace("edge <a, a> sa : E;", "").replace("edge <b, b> sb : E;", "");
+        let src = SRC
+            .replace("edge <a, a> sa : E;", "")
+            .replace("edge <b, b> sb : E;", "");
         let prog = Program::parse(&src).unwrap();
-        let res = prog.build("pair", &[Value::Int(1), Value::Real(1.0)], 0, &ExternRegistry::new());
+        let res = prog.build(
+            "pair",
+            &[Value::Int(1), Value::Real(1.0)],
+            0,
+            &ExternRegistry::new(),
+        );
         assert!(matches!(res, Err(ProgramError::Invalid(_))));
     }
 
     #[test]
     fn duplicate_definitions_rejected() {
         let src = "lang a {} lang a {}";
-        assert!(matches!(Program::parse(src), Err(ProgramError::Duplicate(_))));
+        assert!(matches!(
+            Program::parse(src),
+            Err(ProgramError::Duplicate(_))
+        ));
         let src = "lang a {} func f() uses a {} func f() uses a {}";
-        assert!(matches!(Program::parse(src), Err(ProgramError::Duplicate(_))));
+        assert!(matches!(
+            Program::parse(src),
+            Err(ProgramError::Duplicate(_))
+        ));
     }
 
     #[test]
     fn unknown_parent_language_rejected() {
         let src = "lang d inherits ghost {}";
-        assert!(matches!(Program::parse(src), Err(ProgramError::UnknownLanguage(_))));
+        assert!(matches!(
+            Program::parse(src),
+            Err(ProgramError::UnknownLanguage(_))
+        ));
     }
 
     #[test]

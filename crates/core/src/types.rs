@@ -62,12 +62,24 @@ pub struct SigType {
 impl SigType {
     /// `real[lo, hi]`.
     pub fn real(lo: f64, hi: f64) -> SigType {
-        SigType { kind: SigKind::Real, lo, hi, mismatch: None, is_const: false }
+        SigType {
+            kind: SigKind::Real,
+            lo,
+            hi,
+            mismatch: None,
+            is_const: false,
+        }
     }
 
     /// `int[lo, hi]`.
     pub fn int(lo: i64, hi: i64) -> SigType {
-        SigType { kind: SigKind::Int, lo: lo as f64, hi: hi as f64, mismatch: None, is_const: false }
+        SigType {
+            kind: SigKind::Int,
+            lo: lo as f64,
+            hi: hi as f64,
+            mismatch: None,
+            is_const: false,
+        }
     }
 
     /// `lambd(..)` with `arity` parameters.
@@ -210,7 +222,10 @@ mod tests {
     fn mismatch_sigma() {
         let mm = Mismatch { abs: 0.0, rel: 0.1 };
         assert!((mm.sigma(1e-9) - 1e-10).abs() < 1e-24);
-        let mm = Mismatch { abs: 0.02, rel: 0.0 };
+        let mm = Mismatch {
+            abs: 0.02,
+            rel: 0.0,
+        };
         assert_eq!(mm.sigma(0.0), 0.02);
         // Negative nominal uses |x|.
         let mm = Mismatch { abs: 0.0, rel: 0.5 };
@@ -256,7 +271,9 @@ mod tests {
         assert!(!SigType::int(0, 5).refines(&parent));
         // Mismatch annotations are allowed to differ (GmC-TLN overrides c
         // with a mismatched version of the same range).
-        assert!(SigType::real(0.0, 10.0).with_mismatch(0.0, 0.1).refines(&parent));
+        assert!(SigType::real(0.0, 10.0)
+            .with_mismatch(0.0, 0.1)
+            .refines(&parent));
         // Lambda arity must match.
         assert!(SigType::lambda(2).refines(&SigType::lambda(2)));
         assert!(!SigType::lambda(1).refines(&SigType::lambda(2)));

@@ -100,10 +100,20 @@ impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Violation::NotAccepted { node, rule_ty } => {
-                write!(f, "node `{node}` matches no accepted pattern of cstr {rule_ty}")
+                write!(
+                    f,
+                    "node `{node}` matches no accepted pattern of cstr {rule_ty}"
+                )
             }
-            Violation::Rejected { node, rule_ty, pattern } => {
-                write!(f, "node `{node}` matches rejected pattern {pattern} of cstr {rule_ty}")
+            Violation::Rejected {
+                node,
+                rule_ty,
+                pattern,
+            } => {
+                write!(
+                    f,
+                    "node `{node}` matches rejected pattern {pattern} of cstr {rule_ty}"
+                )
             }
             Violation::Global { check, message } => {
                 write!(f, "global check `{check}` failed: {message}")
@@ -198,12 +208,16 @@ fn edge_matches_clause(
         MatchDir::Outgoing(dst_tys) => {
             !edge.is_self()
                 && edge.src == n
-                && dst_tys.iter().any(|t| lang.node_is_a(&graph.node(edge.dst).ty, t))
+                && dst_tys
+                    .iter()
+                    .any(|t| lang.node_is_a(&graph.node(edge.dst).ty, t))
         }
         MatchDir::Incoming(src_tys) => {
             !edge.is_self()
                 && edge.dst == n
-                && src_tys.iter().any(|t| lang.node_is_a(&graph.node(edge.src).ty, t))
+                && src_tys
+                    .iter()
+                    .any(|t| lang.node_is_a(&graph.node(edge.src).ty, t))
         }
     }
 }
@@ -215,8 +229,9 @@ pub fn is_described(lang: &Language, graph: &Graph, n: NodeId, pattern: &Pattern
     let edges = graph.incident_edges(n);
     let mut model = Model::new();
     // vars[i][j]: edge i assigned to clause j.
-    let vars: Vec<Vec<ark_ilp::VarId>> =
-        (0..edges.len()).map(|_| model.add_vars(pattern.clauses.len())).collect();
+    let vars: Vec<Vec<ark_ilp::VarId>> = (0..edges.len())
+        .map(|_| model.add_vars(pattern.clauses.len()))
+        .collect();
     for (i, &e) in edges.iter().enumerate() {
         for (j, clause) in pattern.clauses.iter().enumerate() {
             if !edge_matches_clause(lang, graph, n, e, clause) {
@@ -343,9 +358,14 @@ pub fn validate(
     }
     // Global rules.
     for name in lang.extern_checks() {
-        let check = externs.get(name).ok_or_else(|| ValidateError::MissingExtern(name.clone()))?;
+        let check = externs
+            .get(name)
+            .ok_or_else(|| ValidateError::MissingExtern(name.clone()))?;
         if let Err(message) = check(graph) {
-            report.violations.push(Violation::Global { check: name.clone(), message });
+            report.violations.push(Violation::Global {
+                check: name.clone(),
+                message,
+            });
         }
     }
     Ok(report)
@@ -383,19 +403,15 @@ mod tests {
                 "s",
                 parse_expr("-var(t)/s.c").unwrap(),
             ))
-            .cstr(
-                ValidityRule::new("V").accept(Pattern::new(vec![
-                    MatchClause::outgoing(0, None, "E", &["I"]),
-                    MatchClause::incoming(0, None, "E", &["I"]),
-                    MatchClause::self_loop(1, Some(1), "E"),
-                ])),
-            )
-            .cstr(
-                ValidityRule::new("I").accept(Pattern::new(vec![
-                    MatchClause::outgoing(0, Some(1), "E", &["V"]),
-                    MatchClause::incoming(0, Some(1), "E", &["V"]),
-                ])),
-            )
+            .cstr(ValidityRule::new("V").accept(Pattern::new(vec![
+                MatchClause::outgoing(0, None, "E", &["I"]),
+                MatchClause::incoming(0, None, "E", &["I"]),
+                MatchClause::self_loop(1, Some(1), "E"),
+            ])))
+            .cstr(ValidityRule::new("I").accept(Pattern::new(vec![
+                MatchClause::outgoing(0, Some(1), "E", &["V"]),
+                MatchClause::incoming(0, Some(1), "E", &["V"]),
+            ])))
             .finish()
             .unwrap()
     }
@@ -611,7 +627,10 @@ mod tests {
         let ok = ValidationReport::default();
         assert_eq!(ok.to_string(), "valid");
         let bad = ValidationReport {
-            violations: vec![Violation::NotAccepted { node: "x".into(), rule_ty: "V".into() }],
+            violations: vec![Violation::NotAccepted {
+                node: "x".into(),
+                rule_ty: "V".into(),
+            }],
         };
         assert!(bad.to_string().contains("violation"));
     }
@@ -620,9 +639,7 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use crate::lang::{
-        EdgeType, LanguageBuilder, MatchClause, NodeType, Pattern, Reduction,
-    };
+    use crate::lang::{EdgeType, LanguageBuilder, MatchClause, NodeType, Pattern, Reduction};
     use proptest::prelude::*;
 
     /// Random small graphs + random patterns: the ILP described-check always

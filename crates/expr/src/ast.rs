@@ -248,7 +248,10 @@ pub struct Lambda {
 impl Lambda {
     /// Create a lambda from parameter names and a body.
     pub fn new<S: Into<String>>(params: Vec<S>, body: Expr) -> Self {
-        Lambda { params: params.into_iter().map(Into::into).collect(), body }
+        Lambda {
+            params: params.into_iter().map(Into::into).collect(),
+            body,
+        }
     }
 
     /// Beta-reduce: substitute `args` for the formal parameters in the body.
@@ -268,6 +271,9 @@ impl Lambda {
     }
 }
 
+// `add`/`sub`/`mul`/`div`/`neg` are consuming AST constructors, not
+// arithmetic on evaluated values, so the std ops traits don't apply.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// A real literal.
     pub fn constant(x: f64) -> Expr {
@@ -361,8 +367,7 @@ impl Expr {
             Expr::CallAttr(n, a, args) => {
                 // Arguments are rewritten by the surrounding traversal only if
                 // the head is untouched, so rewrite them here explicitly.
-                let new_args: Vec<Expr> =
-                    args.iter().map(|x| x.rename_entities(map)).collect();
+                let new_args: Vec<Expr> = args.iter().map(|x| x.rename_entities(map)).collect();
                 match map(n) {
                     Some(m) => Some(Expr::CallAttr(m, a.clone(), new_args)),
                     None if new_args != *args => {
@@ -482,24 +487,12 @@ impl Expr {
             },
             Expr::Binary(op, a, b) => match (a.as_ref(), b.as_ref()) {
                 (Expr::Const(x), Expr::Const(y)) => Some(Expr::Const(op.apply(*x, *y))),
-                (Expr::Const(x), other) if *x == 0.0 && *op == BinaryOp::Add => {
-                    Some(other.clone())
-                }
-                (other, Expr::Const(y)) if *y == 0.0 && *op == BinaryOp::Add => {
-                    Some(other.clone())
-                }
-                (other, Expr::Const(y)) if *y == 1.0 && *op == BinaryOp::Mul => {
-                    Some(other.clone())
-                }
-                (Expr::Const(x), other) if *x == 1.0 && *op == BinaryOp::Mul => {
-                    Some(other.clone())
-                }
-                (Expr::Const(x), _) if *x == 0.0 && *op == BinaryOp::Mul => {
-                    Some(Expr::Const(0.0))
-                }
-                (_, Expr::Const(y)) if *y == 0.0 && *op == BinaryOp::Mul => {
-                    Some(Expr::Const(0.0))
-                }
+                (Expr::Const(x), other) if *x == 0.0 && *op == BinaryOp::Add => Some(other.clone()),
+                (other, Expr::Const(y)) if *y == 0.0 && *op == BinaryOp::Add => Some(other.clone()),
+                (other, Expr::Const(y)) if *y == 1.0 && *op == BinaryOp::Mul => Some(other.clone()),
+                (Expr::Const(x), other) if *x == 1.0 && *op == BinaryOp::Mul => Some(other.clone()),
+                (Expr::Const(x), _) if *x == 0.0 && *op == BinaryOp::Mul => Some(Expr::Const(0.0)),
+                (_, Expr::Const(y)) if *y == 0.0 && *op == BinaryOp::Mul => Some(Expr::Const(0.0)),
                 _ => None,
             },
             Expr::If(c, t, e) => match c.as_ref() {
@@ -512,6 +505,8 @@ impl Expr {
     }
 }
 
+// `not` is a consuming AST constructor; see the note on `impl Expr`.
+#[allow(clippy::should_implement_trait)]
 impl BoolExpr {
     /// Comparison constructor.
     pub fn cmp(op: CmpOp, a: Expr, b: Expr) -> BoolExpr {
@@ -569,8 +564,13 @@ impl BoolExpr {
 
 fn fmt_paren(e: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
     match e {
-        Expr::Const(_) | Expr::Time | Expr::Var(_) | Expr::Attr(_, _) | Expr::Arg(_)
-        | Expr::Call(_, _) | Expr::CallAttr(_, _, _) => write!(f, "{e}"),
+        Expr::Const(_)
+        | Expr::Time
+        | Expr::Var(_)
+        | Expr::Attr(_, _)
+        | Expr::Arg(_)
+        | Expr::Call(_, _)
+        | Expr::CallAttr(_, _, _) => write!(f, "{e}"),
         _ => write!(f, "({e})"),
     }
 }
@@ -717,14 +717,13 @@ mod tests {
 
     #[test]
     fn rename_entities_rewrites_vars_attrs_and_calls() {
-        let e = Expr::var("s")
-            .mul(Expr::attr("s", "c"))
-            .add(Expr::CallAttr("s".into(), "fn".into(), vec![Expr::Time]));
+        let e = Expr::var("s").mul(Expr::attr("s", "c")).add(Expr::CallAttr(
+            "s".into(),
+            "fn".into(),
+            vec![Expr::Time],
+        ));
         let r = e.rename_entities(&|n| (n == "s").then(|| "IN_V".to_string()));
-        assert_eq!(
-            r.to_string(),
-            "(var(IN_V) * IN_V.c) + IN_V.fn(time)"
-        );
+        assert_eq!(r.to_string(), "(var(IN_V) * IN_V.c) + IN_V.fn(time)");
     }
 
     #[test]
@@ -735,7 +734,9 @@ mod tests {
 
     #[test]
     fn simplify_folds_constants() {
-        let e = Expr::constant(2.0).mul(Expr::constant(3.0)).add(Expr::constant(0.0));
+        let e = Expr::constant(2.0)
+            .mul(Expr::constant(3.0))
+            .add(Expr::constant(0.0));
         assert_eq!(e.simplify(), Expr::Const(6.0));
         let e = Expr::var("x").add(Expr::constant(0.0));
         assert_eq!(e.simplify(), Expr::var("x"));
@@ -763,8 +764,7 @@ mod tests {
 
     #[test]
     fn bool_display() {
-        let b = BoolExpr::cmp(CmpOp::Ge, Expr::Time, Expr::constant(0.0))
-            .and(BoolExpr::Lit(true));
+        let b = BoolExpr::cmp(CmpOp::Ge, Expr::Time, Expr::constant(0.0)).and(BoolExpr::Lit(true));
         assert_eq!(b.to_string(), "(time >= 0) and (true)");
     }
 }

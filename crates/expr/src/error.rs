@@ -33,7 +33,11 @@ impl fmt::Display for EvalError {
             EvalError::UnknownAttr(n, a) => write!(f, "unknown attribute {n}.{a}"),
             EvalError::UnknownArg(n) => write!(f, "unbound argument {n}"),
             EvalError::UnknownFunction(n) => write!(f, "unknown function {n}"),
-            EvalError::ArityMismatch { name, expected, got } => {
+            EvalError::ArityMismatch {
+                name,
+                expected,
+                got,
+            } => {
                 write!(f, "function {name} expects {expected} arguments, got {got}")
             }
             EvalError::NotALambda(n, a) => write!(f, "attribute {n}.{a} is not a lambda"),
@@ -57,13 +61,21 @@ pub struct ParseError {
 impl ParseError {
     /// Create a parse error at a position.
     pub fn new(message: impl Into<String>, line: usize, col: usize) -> Self {
-        ParseError { message: message.into(), line, col }
+        ParseError {
+            message: message.into(),
+            line,
+            col,
+        }
     }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 

@@ -89,7 +89,10 @@ impl EvalContext for MapContext {
     }
 
     fn var(&self, name: &str) -> Result<f64, EvalError> {
-        self.vars.get(name).copied().ok_or_else(|| EvalError::UnknownVar(name.into()))
+        self.vars
+            .get(name)
+            .copied()
+            .ok_or_else(|| EvalError::UnknownVar(name.into()))
     }
 
     fn attr(&self, entity: &str, attr: &str) -> Result<f64, EvalError> {
@@ -100,7 +103,10 @@ impl EvalContext for MapContext {
     }
 
     fn arg(&self, name: &str) -> Result<f64, EvalError> {
-        self.args.get(name).copied().ok_or_else(|| EvalError::UnknownArg(name.into()))
+        self.args
+            .get(name)
+            .copied()
+            .ok_or_else(|| EvalError::UnknownArg(name.into()))
     }
 
     fn lambda_attr(&self, entity: &str, attr: &str) -> Result<Lambda, EvalError> {
@@ -162,7 +168,11 @@ fn eval_dyn(expr: &Expr, ctx: &dyn EvalContext) -> Result<f64, EvalError> {
             for x in args {
                 vals.push(eval_dyn(x, ctx)?);
             }
-            let inner = LambdaFrame { base: ctx, params: &lambda.params, values: &vals };
+            let inner = LambdaFrame {
+                base: ctx,
+                params: &lambda.params,
+                values: &vals,
+            };
             eval_dyn(&lambda.body, &inner)
         }
         Expr::If(c, t, e) => {
@@ -249,18 +259,26 @@ mod tests {
     #[test]
     fn eval_unknown_references_error() {
         let ctx = MapContext::new();
-        assert_eq!(eval(&Expr::var("x"), &ctx), Err(EvalError::UnknownVar("x".into())));
+        assert_eq!(
+            eval(&Expr::var("x"), &ctx),
+            Err(EvalError::UnknownVar("x".into()))
+        );
         assert_eq!(
             eval(&Expr::attr("a", "b"), &ctx),
             Err(EvalError::UnknownAttr("a".into(), "b".into()))
         );
-        assert_eq!(eval(&Expr::arg("q"), &ctx), Err(EvalError::UnknownArg("q".into())));
+        assert_eq!(
+            eval(&Expr::arg("q"), &ctx),
+            Err(EvalError::UnknownArg("q".into()))
+        );
     }
 
     #[test]
     fn eval_telegrapher_term() {
         // -var(t)/s.c with var(t)=0.2, s.c=1e-9 => -2e8
-        let ctx = MapContext::new().with_var("t", 0.2).with_attr("s", "c", 1e-9);
+        let ctx = MapContext::new()
+            .with_var("t", 0.2)
+            .with_attr("s", "c", 1e-9);
         let e = Expr::var("t").neg().div(Expr::attr("s", "c"));
         assert!((eval(&e, &ctx).unwrap() + 2e8).abs() < 1.0);
     }
@@ -286,7 +304,9 @@ mod tests {
                 vec![Expr::arg("t"), Expr::constant(0.0), Expr::constant(2e-8)],
             ),
         );
-        let ctx = MapContext::new().at_time(1e-8).with_lambda("InpI_0", "fn", lam);
+        let ctx = MapContext::new()
+            .at_time(1e-8)
+            .with_lambda("InpI_0", "fn", lam);
         let e = Expr::CallAttr("InpI_0".into(), "fn".into(), vec![Expr::Time]);
         assert_eq!(eval(&e, &ctx).unwrap(), 1.0);
     }
@@ -294,7 +314,9 @@ mod tests {
     #[test]
     fn lambda_params_shadow_outer_args() {
         let lam = Lambda::new(vec!["t"], Expr::arg("t"));
-        let ctx = MapContext::new().with_arg("t", 99.0).with_lambda("n", "f", lam);
+        let ctx = MapContext::new()
+            .with_arg("t", 99.0)
+            .with_lambda("n", "f", lam);
         let e = Expr::CallAttr("n".into(), "f".into(), vec![Expr::constant(7.0)]);
         assert_eq!(eval(&e, &ctx).unwrap(), 7.0);
     }
@@ -304,14 +326,20 @@ mod tests {
         let lam = Lambda::new(vec!["t"], Expr::arg("t"));
         let ctx = MapContext::new().with_lambda("n", "f", lam);
         let e = Expr::CallAttr("n".into(), "f".into(), vec![]);
-        assert!(matches!(eval(&e, &ctx), Err(EvalError::ArityMismatch { .. })));
+        assert!(matches!(
+            eval(&e, &ctx),
+            Err(EvalError::ArityMismatch { .. })
+        ));
     }
 
     #[test]
     fn eval_bool_ops() {
         let ctx = MapContext::new().with_var("x", 2.0);
-        let b = BoolExpr::cmp(CmpOp::Gt, Expr::var("x"), Expr::constant(1.0))
-            .and(BoolExpr::cmp(CmpOp::Lt, Expr::var("x"), Expr::constant(3.0)));
+        let b = BoolExpr::cmp(CmpOp::Gt, Expr::var("x"), Expr::constant(1.0)).and(BoolExpr::cmp(
+            CmpOp::Lt,
+            Expr::var("x"),
+            Expr::constant(3.0),
+        ));
         assert!(eval_bool(&b, &ctx).unwrap());
         assert!(!eval_bool(&b.clone().not(), &ctx).unwrap());
         let p = BoolExpr::Pred(Box::new(Expr::var("x")));
@@ -321,7 +349,9 @@ mod tests {
     #[test]
     fn eval_nested_unary() {
         let ctx = MapContext::new().with_var("phi", std::f64::consts::PI / 4.0);
-        let e = Expr::var("phi").mul(Expr::constant(2.0)).unary(UnaryOp::Sin);
+        let e = Expr::var("phi")
+            .mul(Expr::constant(2.0))
+            .unary(UnaryOp::Sin);
         assert!((eval(&e, &ctx).unwrap() - 1.0).abs() < 1e-12);
     }
 }

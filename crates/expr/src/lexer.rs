@@ -153,7 +153,11 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
 
     macro_rules! push {
         ($t:expr, $l:expr, $c:expr) => {
-            toks.push(Token { tok: $t, line: $l, col: $c })
+            toks.push(Token {
+                tok: $t,
+                line: $l,
+                col: $c,
+            })
         };
     }
 
@@ -201,7 +205,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
             while i < chars.len() && chars[i].is_ascii_digit() {
                 advance(&mut i, &mut line, &mut col, 1);
             }
-            if i < chars.len() && chars[i] == '.' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit()
+            if i < chars.len()
+                && chars[i] == '.'
+                && i + 1 < chars.len()
+                && chars[i + 1].is_ascii_digit()
             {
                 advance(&mut i, &mut line, &mut col, 1);
                 while i < chars.len() && chars[i].is_ascii_digit() {
@@ -290,13 +297,21 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
             '/' => Tok::Slash,
             '^' => Tok::Caret,
             other => {
-                return Err(ParseError::new(format!("unexpected character `{other}`"), tline, tcol))
+                return Err(ParseError::new(
+                    format!("unexpected character `{other}`"),
+                    tline,
+                    tcol,
+                ))
             }
         };
         advance(&mut i, &mut line, &mut col, 1);
         push!(one, tline, tcol);
     }
-    toks.push(Token { tok: Tok::Eof, line, col });
+    toks.push(Token {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
     Ok(toks)
 }
 
@@ -324,6 +339,10 @@ impl<'a> Cursor<'a> {
     }
 
     /// Advance and return the consumed token.
+    ///
+    /// Not an `Iterator`: the cursor never ends (it sticks at EOF) and
+    /// supports save/restore, so `next` always yields a token.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Token {
         let t = self.peek().clone();
         if self.pos < self.toks.len() - 1 {
@@ -353,7 +372,11 @@ impl<'a> Cursor<'a> {
             Ok(self.next())
         } else {
             let t = self.peek();
-            Err(ParseError::new(format!("expected `{tok}`, found `{}`", t.tok), t.line, t.col))
+            Err(ParseError::new(
+                format!("expected `{tok}`, found `{}`", t.tok),
+                t.line,
+                t.col,
+            ))
         }
     }
 
@@ -384,7 +407,11 @@ impl<'a> Cursor<'a> {
             }
             other => {
                 let t = self.peek();
-                Err(ParseError::new(format!("expected `{kw}`, found `{other}`"), t.line, t.col))
+                Err(ParseError::new(
+                    format!("expected `{kw}`, found `{other}`"),
+                    t.line,
+                    t.col,
+                ))
             }
         }
     }
@@ -429,14 +456,21 @@ mod tests {
         assert_eq!(kinds("1e-9"), vec![Tok::Number(1e-9), Tok::Eof]);
         assert_eq!(kinds("1.5e+3"), vec![Tok::Number(1500.0), Tok::Eof]);
         // `1e` with no exponent digits lexes as number then ident.
-        assert_eq!(kinds("1e"), vec![Tok::Number(1.0), Tok::Ident("e".into()), Tok::Eof]);
+        assert_eq!(
+            kinds("1e"),
+            vec![Tok::Number(1.0), Tok::Ident("e".into()), Tok::Eof]
+        );
     }
 
     #[test]
     fn lex_hyphen_keywords() {
         assert_eq!(
             kinds("set-attr x"),
-            vec![Tok::Ident("set-attr".into()), Tok::Ident("x".into()), Tok::Eof]
+            vec![
+                Tok::Ident("set-attr".into()),
+                Tok::Ident("x".into()),
+                Tok::Eof
+            ]
         );
         assert_eq!(
             kinds("node-type edge-type extern-func"),
@@ -450,7 +484,12 @@ mod tests {
         // Non-keyword hyphens stay subtraction.
         assert_eq!(
             kinds("z-var"),
-            vec![Tok::Ident("z".into()), Tok::Minus, Tok::Ident("var".into()), Tok::Eof]
+            vec![
+                Tok::Ident("z".into()),
+                Tok::Minus,
+                Tok::Ident("var".into()),
+                Tok::Eof
+            ]
         );
     }
 
@@ -474,14 +513,23 @@ mod tests {
             ]
         );
         assert_eq!(kinds("->"), vec![Tok::Arrow, Tok::Eof]);
-        assert_eq!(kinds("== != >= <="), vec![Tok::EqEq, Tok::Ne, Tok::Ge, Tok::Le, Tok::Eof]);
+        assert_eq!(
+            kinds("== != >= <="),
+            vec![Tok::EqEq, Tok::Ne, Tok::Ge, Tok::Le, Tok::Eof]
+        );
     }
 
     #[test]
     fn lex_comments() {
-        assert_eq!(kinds("1 // trailing\n2"), vec![Tok::Number(1.0), Tok::Number(2.0), Tok::Eof]);
+        assert_eq!(
+            kinds("1 // trailing\n2"),
+            vec![Tok::Number(1.0), Tok::Number(2.0), Tok::Eof]
+        );
         assert_eq!(kinds("# full line\n3"), vec![Tok::Number(3.0), Tok::Eof]);
-        assert_eq!(kinds("1 /* x\ny */ 2"), vec![Tok::Number(1.0), Tok::Number(2.0), Tok::Eof]);
+        assert_eq!(
+            kinds("1 /* x\ny */ 2"),
+            vec![Tok::Number(1.0), Tok::Number(2.0), Tok::Eof]
+        );
     }
 
     #[test]

@@ -392,7 +392,9 @@ mod tests {
     fn parse_inf_and_pi() {
         assert_eq!(parse_expr("inf").unwrap(), Expr::Const(f64::INFINITY));
         let e = parse_expr("pi / 2").unwrap();
-        assert!((eval(&e, &MapContext::new()).unwrap() - std::f64::consts::FRAC_PI_2).abs() < 1e-15);
+        assert!(
+            (eval(&e, &MapContext::new()).unwrap() - std::f64::consts::FRAC_PI_2).abs() < 1e-15
+        );
     }
 
     #[test]

@@ -131,7 +131,9 @@ impl Tape {
 
     /// A tape that always evaluates to the given constant.
     pub fn constant(x: f64) -> Tape {
-        Tape { instrs: vec![Instr::Const(x)] }
+        Tape {
+            instrs: vec![Instr::Const(x)],
+        }
     }
 
     /// Number of instructions (and registers) in the tape.
@@ -162,15 +164,12 @@ impl Tape {
             Expr::Const(x) => reg(instrs, Instr::Const(*x)),
             Expr::Time => reg(instrs, Instr::Time),
             Expr::Var(n) => {
-                let slot =
-                    resolve(n).ok_or_else(|| TapeError::UnresolvedVar(n.clone()))? as u32;
+                let slot = resolve(n).ok_or_else(|| TapeError::UnresolvedVar(n.clone()))? as u32;
                 reg(instrs, Instr::Load(slot))
             }
             Expr::Attr(n, a) => return Err(TapeError::UnresolvedAttr(n.clone(), a.clone())),
             Expr::Arg(n) => return Err(TapeError::UnresolvedArg(n.clone())),
-            Expr::CallAttr(n, a, _) => {
-                return Err(TapeError::UnresolvedAttr(n.clone(), a.clone()))
-            }
+            Expr::CallAttr(n, a, _) => return Err(TapeError::UnresolvedAttr(n.clone(), a.clone())),
             Expr::Unary(op, a) => {
                 let ra = Self::emit(a, resolve, instrs)?;
                 reg(instrs, Instr::Un(*op, ra))
@@ -338,8 +337,7 @@ mod tests {
         }
         let reference = eval(&e, &ctx).unwrap();
         let names: Vec<&str> = vars.iter().map(|(n, _)| *n).collect();
-        let tape =
-            Tape::compile(&e, &|n| names.iter().position(|m| *m == n)).unwrap();
+        let tape = Tape::compile(&e, &|n| names.iter().position(|m| *m == n)).unwrap();
         let slots: Vec<f64> = vars.iter().map(|(_, v)| *v).collect();
         let mut regs = tape.new_registers();
         let tape_val = tape.eval(&slots, time, &mut regs);
@@ -426,7 +424,11 @@ mod tests {
 
     #[test]
     fn tape_min_max_pow_lower_to_binops() {
-        let (a, b) = roundtrip("min(var(x), 2) + max(var(x), 5) + pow(2, 3)", &[("x", 4.0)], 0.0);
+        let (a, b) = roundtrip(
+            "min(var(x), 2) + max(var(x), 5) + pow(2, 3)",
+            &[("x", 4.0)],
+            0.0,
+        );
         assert_eq!(a, b);
         assert_eq!(a, 2.0 + 5.0 + 8.0);
     }
@@ -454,7 +456,9 @@ mod proptests {
                 (inner.clone(), inner.clone()).prop_map(|(a, b)| a.mul(b)),
                 inner.clone().prop_map(|a| a.neg()),
                 inner.clone().prop_map(|a| a.sin()),
-                inner.clone().prop_map(|a| a.unary(crate::ast::UnaryOp::Tanh)),
+                inner
+                    .clone()
+                    .prop_map(|a| a.unary(crate::ast::UnaryOp::Tanh)),
                 inner.prop_map(|a| a.unary(crate::ast::UnaryOp::Sat)),
             ]
         })

@@ -89,7 +89,11 @@ impl Constraint {
     }
 
     fn satisfied(&self, values: &[bool]) -> bool {
-        let sum: i64 = self.terms.iter().map(|&(v, a)| if values[v] { a } else { 0 }).sum();
+        let sum: i64 = self
+            .terms
+            .iter()
+            .map(|&(v, a)| if values[v] { a } else { 0 })
+            .sum();
         match self.cmp {
             Cmp::Le => sum <= self.rhs,
             Cmp::Ge => sum >= self.rhs,
@@ -116,7 +120,11 @@ pub struct Stats {
 
 impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} nodes, {} propagations", self.nodes, self.propagations)
+        write!(
+            f,
+            "{} nodes, {} propagations",
+            self.nodes, self.propagations
+        )
     }
 }
 
@@ -161,7 +169,10 @@ impl Model {
         let terms: Vec<(usize, i64)> = terms
             .into_iter()
             .map(|(v, a)| {
-                assert!(v.0 < self.n_vars, "constraint references unknown variable {v:?}");
+                assert!(
+                    v.0 < self.n_vars,
+                    "constraint references unknown variable {v:?}"
+                );
                 (v.0, a)
             })
             .collect();
@@ -203,8 +214,10 @@ impl Model {
             match work.solve() {
                 None => return best,
                 Some(sol) => {
-                    let value: i64 =
-                        objective.iter().map(|&(v, c)| if sol[v.0] { c } else { 0 }).sum();
+                    let value: i64 = objective
+                        .iter()
+                        .map(|&(v, c)| if sol[v.0] { c } else { 0 })
+                        .sum();
                     let improved = best.as_ref().map_or(true, |(b, _)| value > *b);
                     if improved {
                         best = Some((value, sol));

@@ -77,8 +77,10 @@ pub fn ensemble_stats(
     let m = trials.len() as f64;
     let mut mean = vec![0.0; n];
     let mut m2 = vec![0.0; n];
-    let samples: Vec<Vec<f64>> =
-        trials.iter().map(|tr| tr.resample(var, t0, t1, n)).collect();
+    let samples: Vec<Vec<f64>> = trials
+        .iter()
+        .map(|tr| tr.resample(var, t0, t1, n))
+        .collect();
     for s in &samples {
         for (i, v) in s.iter().enumerate() {
             mean[i] += v / m;
@@ -89,10 +91,10 @@ pub fn ensemble_stats(
             m2[i] += (v - mean[i]) * (v - mean[i]);
         }
     }
-    let std: Vec<f64> =
-        m2.iter().map(|x| (x / (m - 1.0).max(1.0)).sqrt()).collect();
-    let times: Vec<f64> =
-        (0..n).map(|i| t0 + (t1 - t0) * i as f64 / (n - 1) as f64).collect();
+    let std: Vec<f64> = m2.iter().map(|x| (x / (m - 1.0).max(1.0)).sqrt()).collect();
+    let times: Vec<f64> = (0..n)
+        .map(|i| t0 + (t1 - t0) * i as f64 / (n - 1) as f64)
+        .collect();
     EnsembleStats { times, mean, std }
 }
 

@@ -159,18 +159,16 @@ impl Rk4 {
     }
 }
 
-fn validate_fixed(
-    dt: f64,
-    t0: f64,
-    t1: f64,
-    y_len: usize,
-    dim: usize,
-) -> Result<(), SolveError> {
-    if !(dt > 0.0) {
-        return Err(SolveError::BadConfig(format!("step dt={dt} must be positive")));
+fn validate_fixed(dt: f64, t0: f64, t1: f64, y_len: usize, dim: usize) -> Result<(), SolveError> {
+    if dt.is_nan() || dt <= 0.0 {
+        return Err(SolveError::BadConfig(format!(
+            "step dt={dt} must be positive"
+        )));
     }
-    if !(t1 > t0) {
-        return Err(SolveError::BadConfig(format!("empty interval [{t0}, {t1}]")));
+    if t0.is_nan() || t1.is_nan() || t1 <= t0 {
+        return Err(SolveError::BadConfig(format!(
+            "empty interval [{t0}, {t1}]"
+        )));
     }
     if y_len != dim {
         return Err(SolveError::BadConfig(format!(
@@ -197,14 +195,24 @@ pub struct DormandPrince {
 
 impl Default for DormandPrince {
     fn default() -> Self {
-        DormandPrince { rtol: 1e-6, atol: 1e-9, h0: None, h_min: 1e-14, h_max: f64::INFINITY }
+        DormandPrince {
+            rtol: 1e-6,
+            atol: 1e-9,
+            h0: None,
+            h_min: 1e-14,
+            h_max: f64::INFINITY,
+        }
     }
 }
 
 impl DormandPrince {
     /// Construct with tolerances and defaults for the step bounds.
     pub fn new(rtol: f64, atol: f64) -> Self {
-        DormandPrince { rtol, atol, ..Default::default() }
+        DormandPrince {
+            rtol,
+            atol,
+            ..Default::default()
+        }
     }
 
     /// Integrate from `t0` to `t1`, recording every accepted step.
@@ -225,8 +233,10 @@ impl DormandPrince {
         y0: &[f64],
         t1: f64,
     ) -> Result<Trajectory, SolveError> {
-        if !(t1 > t0) {
-            return Err(SolveError::BadConfig(format!("empty interval [{t0}, {t1}]")));
+        if t0.is_nan() || t1.is_nan() || t1 <= t0 {
+            return Err(SolveError::BadConfig(format!(
+                "empty interval [{t0}, {t1}]"
+            )));
         }
         if y0.len() != sys.dim() {
             return Err(SolveError::BadConfig(format!(
@@ -235,7 +245,7 @@ impl DormandPrince {
                 sys.dim()
             )));
         }
-        if !(self.rtol > 0.0) || !(self.atol >= 0.0) {
+        if self.rtol.is_nan() || self.rtol <= 0.0 || self.atol.is_nan() || self.atol < 0.0 {
             return Err(SolveError::BadConfig("tolerances must be positive".into()));
         }
 
@@ -272,8 +282,15 @@ impl DormandPrince {
             ],
         ];
         // 5th-order solution weights (same as A[6]).
-        const B5: [f64; 7] =
-            [35.0 / 384.0, 0.0, 500.0 / 1113.0, 125.0 / 192.0, -2187.0 / 6784.0, 11.0 / 84.0, 0.0];
+        const B5: [f64; 7] = [
+            35.0 / 384.0,
+            0.0,
+            500.0 / 1113.0,
+            125.0 / 192.0,
+            -2187.0 / 6784.0,
+            11.0 / 84.0,
+            0.0,
+        ];
         // 4th-order embedded weights.
         const B4: [f64; 7] = [
             5179.0 / 57600.0,
@@ -370,7 +387,9 @@ mod tests {
     #[test]
     fn euler_decay_first_order() {
         let sys = decay();
-        let tr = Euler { dt: 1e-3 }.integrate(&sys, 0.0, &[1.0], 1.0, 100).unwrap();
+        let tr = Euler { dt: 1e-3 }
+            .integrate(&sys, 0.0, &[1.0], 1.0, 100)
+            .unwrap();
         let (_, yf) = tr.last().unwrap();
         assert!((yf[0] - (-1.0f64).exp()).abs() < 1e-3);
     }
@@ -378,7 +397,9 @@ mod tests {
     #[test]
     fn rk4_decay_high_accuracy() {
         let sys = decay();
-        let tr = Rk4 { dt: 1e-2 }.integrate(&sys, 0.0, &[1.0], 1.0, 10).unwrap();
+        let tr = Rk4 { dt: 1e-2 }
+            .integrate(&sys, 0.0, &[1.0], 1.0, 10)
+            .unwrap();
         let (_, yf) = tr.last().unwrap();
         assert!((yf[0] - (-1.0f64).exp()).abs() < 1e-9);
     }
@@ -387,7 +408,9 @@ mod tests {
     fn rk4_fourth_order_convergence() {
         let sys = decay();
         let err = |dt: f64| {
-            let tr = Rk4 { dt }.integrate(&sys, 0.0, &[1.0], 1.0, usize::MAX).unwrap();
+            let tr = Rk4 { dt }
+                .integrate(&sys, 0.0, &[1.0], 1.0, usize::MAX)
+                .unwrap();
             (tr.last().unwrap().1[0] - (-1.0f64).exp()).abs()
         };
         let e1 = err(0.1);
@@ -417,7 +440,9 @@ mod tests {
     #[test]
     fn dp45_decay_meets_tolerance() {
         let sys = decay();
-        let tr = DormandPrince::new(1e-9, 1e-12).integrate(&sys, 0.0, &[1.0], 1.0).unwrap();
+        let tr = DormandPrince::new(1e-9, 1e-12)
+            .integrate(&sys, 0.0, &[1.0], 1.0)
+            .unwrap();
         let (_, yf) = tr.last().unwrap();
         assert!((yf[0] - (-1.0f64).exp()).abs() < 1e-8);
     }
@@ -428,7 +453,10 @@ mod tests {
         let sys = FnSystem::new(1, |t: f64, _y: &[f64], d: &mut [f64]| d[0] = t.cos());
         // Bound the step so linear interpolation between accepted samples is
         // accurate at the probe points.
-        let solver = DormandPrince { h_max: 1e-2, ..DormandPrince::new(1e-8, 1e-11) };
+        let solver = DormandPrince {
+            h_max: 1e-2,
+            ..DormandPrince::new(1e-8, 1e-11)
+        };
         let tr = solver.integrate(&sys, 0.0, &[0.0], 3.0).unwrap();
         for t in [0.5, 1.0, 2.0, 3.0] {
             assert!((tr.value_at(t, 0) - t.sin()).abs() < 1e-5, "t={t}");
@@ -439,8 +467,12 @@ mod tests {
     fn dp45_adapts_step_count() {
         // A stiff-ish decay needs more steps at tight tolerance.
         let sys = FnSystem::new(1, |_t, y: &[f64], d: &mut [f64]| d[0] = -50.0 * y[0]);
-        let loose = DormandPrince::new(1e-3, 1e-6).integrate(&sys, 0.0, &[1.0], 1.0).unwrap();
-        let tight = DormandPrince::new(1e-10, 1e-13).integrate(&sys, 0.0, &[1.0], 1.0).unwrap();
+        let loose = DormandPrince::new(1e-3, 1e-6)
+            .integrate(&sys, 0.0, &[1.0], 1.0)
+            .unwrap();
+        let tight = DormandPrince::new(1e-10, 1e-13)
+            .integrate(&sys, 0.0, &[1.0], 1.0)
+            .unwrap();
         assert!(tight.len() > loose.len());
     }
 
@@ -448,7 +480,9 @@ mod tests {
     fn fixed_step_hits_end_exactly() {
         let sys = decay();
         // dt that does not divide the interval.
-        let tr = Rk4 { dt: 0.3 }.integrate(&sys, 0.0, &[1.0], 1.0, 1).unwrap();
+        let tr = Rk4 { dt: 0.3 }
+            .integrate(&sys, 0.0, &[1.0], 1.0, 1)
+            .unwrap();
         assert!((tr.last().unwrap().0 - 1.0).abs() < 1e-12);
     }
 
@@ -484,8 +518,12 @@ mod tests {
     #[test]
     fn stride_reduces_samples() {
         let sys = decay();
-        let dense = Rk4 { dt: 1e-3 }.integrate(&sys, 0.0, &[1.0], 1.0, 1).unwrap();
-        let sparse = Rk4 { dt: 1e-3 }.integrate(&sys, 0.0, &[1.0], 1.0, 100).unwrap();
+        let dense = Rk4 { dt: 1e-3 }
+            .integrate(&sys, 0.0, &[1.0], 1.0, 1)
+            .unwrap();
+        let sparse = Rk4 { dt: 1e-3 }
+            .integrate(&sys, 0.0, &[1.0], 1.0, 100)
+            .unwrap();
         assert!(dense.len() > 900);
         assert!(sparse.len() < 20);
         // Endpoint recorded in both.

@@ -35,8 +35,8 @@ pub mod system;
 pub mod trajectory;
 
 pub use analysis::{
-    convergence_time, convergence_time_all, ensemble_stats, is_steady, phase_distance,
-    wrap_phase, EnsembleStats,
+    convergence_time, convergence_time_all, ensemble_stats, is_steady, phase_distance, wrap_phase,
+    EnsembleStats,
 };
 pub use integrate::{DormandPrince, Euler, Rk4, SolveError};
 pub use system::{FnSystem, LinearSystem, OdeSystem};

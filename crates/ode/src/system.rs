@@ -97,13 +97,13 @@ impl<B: Fn(f64, &mut [f64])> OdeSystem for LinearSystem<B> {
 
     fn rhs(&self, t: f64, y: &[f64], dydt: &mut [f64]) {
         (self.forcing)(t, dydt);
-        for i in 0..self.dim {
+        for (i, d) in dydt.iter_mut().enumerate().take(self.dim) {
             let row = &self.a[i * self.dim..(i + 1) * self.dim];
             let mut acc = 0.0;
             for (aij, yj) in row.iter().zip(y) {
                 acc += aij * yj;
             }
-            dydt[i] += acc;
+            *d += acc;
         }
     }
 }

@@ -63,12 +63,18 @@ impl Trajectory {
 
     /// The final `(time, state)` sample, if any.
     pub fn last(&self) -> Option<(f64, &[f64])> {
-        self.times.last().map(|t| (*t, self.states.last().expect("parallel arrays").as_slice()))
+        self.times
+            .last()
+            .map(|t| (*t, self.states.last().expect("parallel arrays").as_slice()))
     }
 
     /// Time series of component `var` as `(t, value)` pairs.
     pub fn series(&self, var: usize) -> Vec<(f64, f64)> {
-        self.times.iter().zip(&self.states).map(|(t, s)| (*t, s[var])).collect()
+        self.times
+            .iter()
+            .zip(&self.states)
+            .map(|(t, s)| (*t, s[var]))
+            .collect()
     }
 
     /// Linearly interpolated state at time `t`.
@@ -86,7 +92,10 @@ impl Trajectory {
         if t >= *self.times.last().expect("nonempty") {
             return self.states.last().expect("nonempty").clone();
         }
-        let idx = match self.times.binary_search_by(|x| x.partial_cmp(&t).expect("finite")) {
+        let idx = match self
+            .times
+            .binary_search_by(|x| x.partial_cmp(&t).expect("finite"))
+        {
             Ok(i) => return self.states[i].clone(),
             Err(i) => i,
         };
@@ -147,7 +156,10 @@ impl Trajectory {
 
     /// Iterate over `(time, state)` samples.
     pub fn iter(&self) -> impl Iterator<Item = (f64, &[f64])> {
-        self.times.iter().copied().zip(self.states.iter().map(Vec::as_slice))
+        self.times
+            .iter()
+            .copied()
+            .zip(self.states.iter().map(Vec::as_slice))
     }
 }
 

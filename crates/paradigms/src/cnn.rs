@@ -71,34 +71,55 @@ fn try_cnn_language() -> Result<Language, LangError> {
                 .init_default(SigType::real(-10.0, 10.0), 0.0),
         )
         .node_type(NodeType::new("Out", 0, Reduction::Sum))
-        .node_type(
-            NodeType::new("Inp", 0, Reduction::Sum)
-                .attr_default("u", SigType::real(-1.0, 1.0), 0.0),
-        )
+        .node_type(NodeType::new("Inp", 0, Reduction::Sum).attr_default(
+            "u",
+            SigType::real(-1.0, 1.0),
+            0.0,
+        ))
         .edge_type(EdgeType::new("iE"))
         .edge_type(EdgeType::new("fE").attr("g", SigType::real(-10.0, 10.0)))
         // B template: external inputs into the cell state.
-        .prod(ProdRule::new(("e", "fE"), ("s", "Inp"), ("t", "V"), "t", e("e.g*s.u")))
+        .prod(ProdRule::new(
+            ("e", "fE"),
+            ("s", "Inp"),
+            ("t", "V"),
+            "t",
+            e("e.g*s.u"),
+        ))
         // Output nonlinearity y = sat(x).
-        .prod(ProdRule::new(("e", "iE"), ("s", "V"), ("t", "Out"), "t", e("sat(var(s))")))
+        .prod(ProdRule::new(
+            ("e", "iE"),
+            ("s", "V"),
+            ("t", "Out"),
+            "t",
+            e("sat(var(s))"),
+        ))
         // Cell leak and bias (self edge): z − x.
-        .prod(ProdRule::new(("e", "iE"), ("s", "V"), ("s", "V"), "s", e("s.z-var(s)")))
+        .prod(ProdRule::new(
+            ("e", "iE"),
+            ("s", "V"),
+            ("s", "V"),
+            "s",
+            e("s.z-var(s)"),
+        ))
         // A template: neighbor outputs into the cell state.
-        .prod(ProdRule::new(("e", "fE"), ("s", "Out"), ("t", "V"), "t", e("e.g*var(s)")))
-        .cstr(
-            ValidityRule::new("V").accept(Pattern::new(vec![
-                MatchClause::outgoing(1, Some(1), "iE", &["Out"]),
-                MatchClause::incoming(4, Some(9), "fE", &["Out"]),
-                MatchClause::incoming(4, Some(9), "fE", &["Inp"]),
-                MatchClause::self_loop(1, Some(1), "iE"),
-            ])),
-        )
-        .cstr(
-            ValidityRule::new("Out").accept(Pattern::new(vec![
-                MatchClause::outgoing(4, Some(9), "fE", &["V"]),
-                MatchClause::incoming(1, Some(1), "iE", &["V"]),
-            ])),
-        )
+        .prod(ProdRule::new(
+            ("e", "fE"),
+            ("s", "Out"),
+            ("t", "V"),
+            "t",
+            e("e.g*var(s)"),
+        ))
+        .cstr(ValidityRule::new("V").accept(Pattern::new(vec![
+            MatchClause::outgoing(1, Some(1), "iE", &["Out"]),
+            MatchClause::incoming(4, Some(9), "fE", &["Out"]),
+            MatchClause::incoming(4, Some(9), "fE", &["Inp"]),
+            MatchClause::self_loop(1, Some(1), "iE"),
+        ])))
+        .cstr(ValidityRule::new("Out").accept(Pattern::new(vec![
+            MatchClause::outgoing(4, Some(9), "fE", &["V"]),
+            MatchClause::incoming(1, Some(1), "iE", &["V"]),
+        ])))
         .cstr(
             ValidityRule::new("Inp").accept(Pattern::new(vec![MatchClause::outgoing(
                 4,
@@ -135,10 +156,15 @@ fn try_hw_cnn_language(base: &Language) -> Result<Language, LangError> {
                 .attr("g", SigType::real(-10.0, 10.0).with_mismatch(0.0, 0.1)),
         )
         // Non-ideal MOS-differential-pair saturation for OutNL.
-        .prod(ProdRule::new(("e", "iE"), ("s", "V"), ("t", "OutNL"), "t", e("sat_ni(var(s))")))
+        .prod(ProdRule::new(
+            ("e", "iE"),
+            ("s", "V"),
+            ("t", "OutNL"),
+            "t",
+            e("sat_ni(var(s))"),
+        ))
         .finish()
 }
-
 
 /// The CNN language of Figure 10a expressed in Ark source text. Parsed by
 /// the textual frontend; tests assert it behaves identically to the
@@ -219,7 +245,6 @@ impl NonIdeality {
     }
 }
 
-
 /// Library of standard Chua–Yang CNN templates beyond edge detection —
 /// the image-processing application space the paper cites for CNNs
 /// (§7.1: "image processing, pattern recognition, PDE solving").
@@ -295,7 +320,11 @@ pub fn build_cnn(
 ) -> Result<CnnInstance, FuncError> {
     let (w, h) = (input.width(), input.height());
     let mut b = GraphBuilder::new(lang, seed);
-    let (vt, ot, ft) = (nonideality.v_ty(), nonideality.out_ty(), nonideality.fe_ty());
+    let (vt, ot, ft) = (
+        nonideality.v_ty(),
+        nonideality.out_ty(),
+        nonideality.fe_ty(),
+    );
     for r in 0..h {
         for c in 0..w {
             b.node(&v_name(r, c), vt)?;
@@ -303,8 +332,18 @@ pub fn build_cnn(
             b.node(&out_name(r, c), ot)?;
             b.node(&inp_name(r, c), "Inp")?;
             b.set_attr(&inp_name(r, c), "u", input.get(r, c))?;
-            b.edge(&format!("iSelf_{r}_{c}"), "iE", &v_name(r, c), &v_name(r, c))?;
-            b.edge(&format!("iOut_{r}_{c}"), "iE", &v_name(r, c), &out_name(r, c))?;
+            b.edge(
+                &format!("iSelf_{r}_{c}"),
+                "iE",
+                &v_name(r, c),
+                &v_name(r, c),
+            )?;
+            b.edge(
+                &format!("iOut_{r}_{c}"),
+                "iE",
+                &v_name(r, c),
+                &out_name(r, c),
+            )?;
         }
     }
     for r in 0..h {
@@ -329,7 +368,11 @@ pub fn build_cnn(
             }
         }
     }
-    Ok(CnnInstance { graph: b.finish()?, width: w, height: h })
+    Ok(CnnInstance {
+        graph: b.finish()?,
+        width: w,
+        height: h,
+    })
 }
 
 /// The `cnn_grid` global validity check: verifies from node names that the
@@ -403,7 +446,9 @@ pub fn grid_extern_registry() -> ExternRegistry {
 pub fn read_output(sys: &CompiledSystem, inst: &CnnInstance, t: f64, y: &[f64]) -> Image {
     let algs = sys.eval_algebraics(t, y);
     Image::from_fn(inst.width, inst.height, |r, c| {
-        algs[sys.algebraic_index(&out_name(r, c)).expect("Out node is algebraic")]
+        algs[sys
+            .algebraic_index(&out_name(r, c))
+            .expect("Out node is algebraic")]
     })
 }
 
@@ -456,7 +501,11 @@ pub fn run_cnn(
         }
         convergence_time = Some(t);
     }
-    Ok(CnnRun { snapshots, final_output, convergence_time })
+    Ok(CnnRun {
+        snapshots,
+        final_output,
+        convergence_time,
+    })
 }
 
 #[cfg(test)]
@@ -466,12 +515,7 @@ mod tests {
 
     fn small_input() -> Image {
         Image::from_ascii(&[
-            "........",
-            "..####..",
-            "..####..",
-            "..####..",
-            "..####..",
-            "........",
+            "........", "..####..", "..####..", "..####..", "..####..", "........",
         ])
     }
 
@@ -488,8 +532,7 @@ mod tests {
     #[test]
     fn cnn_graph_is_valid_including_grid_check() {
         let lang = cnn_language();
-        let inst =
-            build_cnn(&lang, &small_input(), &EDGE_TEMPLATE, NonIdeality::Ideal, 0).unwrap();
+        let inst = build_cnn(&lang, &small_input(), &EDGE_TEMPLATE, NonIdeality::Ideal, 0).unwrap();
         let report = validate(&lang, &inst.graph, &grid_extern_registry()).unwrap();
         assert!(report.is_valid(), "{report}");
         // 3 nodes per cell.
@@ -499,8 +542,7 @@ mod tests {
     #[test]
     fn grid_check_rejects_mutilated_grid() {
         let lang = cnn_language();
-        let inst =
-            build_cnn(&lang, &small_input(), &EDGE_TEMPLATE, NonIdeality::Ideal, 0).unwrap();
+        let inst = build_cnn(&lang, &small_input(), &EDGE_TEMPLATE, NonIdeality::Ideal, 0).unwrap();
         let mut graph = inst.graph.clone();
         // Drop one feedback edge: local rules may still pass (4..9 window)
         // but the global grid check must catch it.
@@ -518,8 +560,13 @@ mod tests {
         let inst = build_cnn(&lang, &input, &EDGE_TEMPLATE, NonIdeality::Ideal, 0).unwrap();
         let run = run_cnn(&lang, &inst, 5.0, &[]).unwrap();
         let expected = input.digital_edge_map();
-        assert_eq!(run.final_output.diff_count(&expected), 0, "\ngot:\n{}\nexpected:\n{}",
-            run.final_output.to_ascii(), expected.to_ascii());
+        assert_eq!(
+            run.final_output.diff_count(&expected),
+            0,
+            "\ngot:\n{}\nexpected:\n{}",
+            run.final_output.to_ascii(),
+            expected.to_ascii()
+        );
         assert!(run.convergence_time.is_some());
     }
 
@@ -541,8 +588,18 @@ mod tests {
         let ideal = build_cnn(&hw, &input, &EDGE_TEMPLATE, NonIdeality::Ideal, 7).unwrap();
         let zmm = build_cnn(&hw, &input, &EDGE_TEMPLATE, NonIdeality::ZMismatch, 7).unwrap();
         // The sampled z differs from the nominal.
-        let z_ideal = ideal.graph.attr_value("V_2_2", "z").unwrap().as_real().unwrap();
-        let z_mm = zmm.graph.attr_value("V_2_2", "z").unwrap().as_real().unwrap();
+        let z_ideal = ideal
+            .graph
+            .attr_value("V_2_2", "z")
+            .unwrap()
+            .as_real()
+            .unwrap();
+        let z_mm = zmm
+            .graph
+            .attr_value("V_2_2", "z")
+            .unwrap()
+            .as_real()
+            .unwrap();
         assert_eq!(z_ideal, EDGE_TEMPLATE.z);
         assert_ne!(z_mm, EDGE_TEMPLATE.z);
         // Output still correct for this small case.
@@ -560,7 +617,8 @@ mod tests {
         // (the paper's column C shows a corrupted image).
         let mut total_wrong = 0;
         for seed in 0..3 {
-            let inst = build_cnn(&hw, &input, &EDGE_TEMPLATE, NonIdeality::GMismatch, seed).unwrap();
+            let inst =
+                build_cnn(&hw, &input, &EDGE_TEMPLATE, NonIdeality::GMismatch, seed).unwrap();
             let run = run_cnn(&hw, &inst, 5.0, &[]).unwrap();
             total_wrong += run.final_output.diff_count(&expected);
         }
@@ -577,7 +635,10 @@ mod tests {
         let expected = input.digital_edge_map();
         let d0 = run.snapshots[0].1.diff_count(&expected);
         let d2 = run.snapshots[2].1.diff_count(&expected);
-        assert!(d2 < d0, "later snapshots closer to the edge map ({d0} -> {d2})");
+        assert!(
+            d2 < d0,
+            "later snapshots closer to the edge map ({d0} -> {d2})"
+        );
     }
 
     #[test]
@@ -592,7 +653,14 @@ mod tests {
         // ...and identical dynamics on the edge-detection workload.
         let input = Image::from_ascii(&["....", ".##.", ".##.", "...."]);
         let a = build_cnn(text_hw, &input, &EDGE_TEMPLATE, NonIdeality::NonIdealSat, 2).unwrap();
-        let b = build_cnn(&code_hw, &input, &EDGE_TEMPLATE, NonIdeality::NonIdealSat, 2).unwrap();
+        let b = build_cnn(
+            &code_hw,
+            &input,
+            &EDGE_TEMPLATE,
+            NonIdeality::NonIdealSat,
+            2,
+        )
+        .unwrap();
         let ra = run_cnn(text_hw, &a, 2.0, &[]).unwrap();
         let rb = run_cnn(&code_hw, &b, 2.0, &[]).unwrap();
         for (r, c, v) in ra.final_output.iter() {
@@ -604,15 +672,9 @@ mod tests {
     fn erosion_template_matches_digital_morphology() {
         let lang = cnn_language();
         let input = Image::from_ascii(&[
-            "........",
-            ".#####..",
-            ".#####..",
-            ".#####..",
-            "........",
-            "........",
+            "........", ".#####..", ".#####..", ".#####..", "........", "........",
         ]);
-        let inst =
-            build_cnn(&lang, &input, &templates::ERODE, NonIdeality::Ideal, 0).unwrap();
+        let inst = build_cnn(&lang, &input, &templates::ERODE, NonIdeality::Ideal, 0).unwrap();
         let run = run_cnn(&lang, &inst, 6.0, &[]).unwrap();
         // Digital erosion baseline (plus-shaped SE; out-of-bounds = white).
         let bin = input.binarized();
@@ -644,8 +706,7 @@ mod tests {
     fn dilation_template_matches_digital_morphology() {
         let lang = cnn_language();
         let input = Image::from_ascii(&["......", "..##..", "..#...", "......"]);
-        let inst =
-            build_cnn(&lang, &input, &templates::DILATE, NonIdeality::Ideal, 0).unwrap();
+        let inst = build_cnn(&lang, &input, &templates::DILATE, NonIdeality::Ideal, 0).unwrap();
         let run = run_cnn(&lang, &inst, 6.0, &[]).unwrap();
         // Baseline with the CNN's actual boundary condition: out-of-bounds
         // cells contribute nothing (zero padding), so a border pixel turns
@@ -667,7 +728,7 @@ mod tests {
         });
         assert_eq!(run.final_output.diff_count(&expected), 0);
         // Interior pixels still follow textbook dilation.
-        assert_eq!(run.final_output.binarized().get(1, 1), 1.0); // neighbor of (2,2)... 
+        assert_eq!(run.final_output.binarized().get(1, 1), 1.0); // neighbor of (2,2)...
         assert_eq!(run.final_output.binarized().get(2, 3), 1.0);
     }
 
@@ -676,15 +737,16 @@ mod tests {
         let lang = cnn_language();
         // One horizontal bar and one vertical bar.
         let input = Image::from_ascii(&[
-            "........",
-            ".####...",
-            "......#.",
-            "......#.",
-            "......#.",
-            "........",
+            "........", ".####...", "......#.", "......#.", "......#.", "........",
         ]);
-        let inst = build_cnn(&lang, &input, &templates::HORIZONTAL_LINE, NonIdeality::Ideal, 0)
-            .unwrap();
+        let inst = build_cnn(
+            &lang,
+            &input,
+            &templates::HORIZONTAL_LINE,
+            NonIdeality::Ideal,
+            0,
+        )
+        .unwrap();
         let run = run_cnn(&lang, &inst, 6.0, &[]).unwrap();
         let out = run.final_output.binarized();
         // Interior of the horizontal bar survives...

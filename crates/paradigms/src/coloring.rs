@@ -94,8 +94,11 @@ pub fn color_graph(
                 .expect("k >= 2")
         })
         .collect();
-    let conflicts =
-        problem.edges.iter().filter(|(u, v)| colors[*u] == colors[*v]).count();
+    let conflicts = problem
+        .edges
+        .iter()
+        .filter(|(u, v)| colors[*u] == colors[*v])
+        .count();
     Ok(ColoringOutcome { colors, conflicts })
 }
 
@@ -166,7 +169,9 @@ mod tests {
         b.edge("sa", "Cpl", "a", "a").unwrap();
         let g = b.finish().unwrap();
         let sys = CompiledSystem::compile(&l3, &g).unwrap();
-        let tr = Rk4 { dt: 1e-11 }.integrate(&sys, 0.0, &sys.initial_state(), 2e-8, 100).unwrap();
+        let tr = Rk4 { dt: 1e-11 }
+            .integrate(&sys, 0.0, &sys.initial_state(), 2e-8, 100)
+            .unwrap();
         let phi = wrap_phase(tr.last().unwrap().1[0]);
         let nearest = (0..3)
             .map(|a| phase_distance(phi, TAU * a as f64 / 3.0))
@@ -179,7 +184,10 @@ mod tests {
         // K3 needs exactly 3 colors; the 3-harmonic solver finds them.
         let base = obc_language();
         let l3 = korder_obc_language(&base, 3);
-        let triangle = MaxCutProblem { n: 3, edges: vec![(0, 1), (1, 2), (0, 2)] };
+        let triangle = MaxCutProblem {
+            n: 3,
+            edges: vec![(0, 1), (1, 2), (0, 2)],
+        };
         assert!(is_k_colorable(&triangle, 3));
         assert!(!is_k_colorable(&triangle, 2));
         let mut successes = 0;
@@ -191,14 +199,20 @@ mod tests {
                 assert_eq!(unique.len(), 3);
             }
         }
-        assert!(successes >= 3, "triangle should usually 3-color ({successes}/5)");
+        assert!(
+            successes >= 3,
+            "triangle should usually 3-color ({successes}/5)"
+        );
     }
 
     #[test]
     fn ring_of_four_two_colorable_graph_colors_with_three() {
         let base = obc_language();
         let l3 = korder_obc_language(&base, 3);
-        let ring = MaxCutProblem { n: 4, edges: vec![(0, 1), (1, 2), (2, 3), (3, 0)] };
+        let ring = MaxCutProblem {
+            n: 4,
+            edges: vec![(0, 1), (1, 2), (2, 3), (3, 0)],
+        };
         let mut best = usize::MAX;
         for seed in 0..5 {
             let out = color_graph(&l3, &ring, 3, seed).unwrap();
@@ -218,7 +232,10 @@ mod tests {
         assert!(is_k_colorable(&k4, 4));
         // Empty-ish graph is 1-colorable... but MaxCutProblem requires an
         // edge; a single edge is 2-colorable.
-        let e = MaxCutProblem { n: 2, edges: vec![(0, 1)] };
+        let e = MaxCutProblem {
+            n: 2,
+            edges: vec![(0, 1)],
+        };
         assert!(is_k_colorable(&e, 2));
         assert!(!is_k_colorable(&e, 1));
     }

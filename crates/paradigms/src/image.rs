@@ -14,7 +14,11 @@ pub struct Image {
 impl Image {
     /// A `width × height` image filled with `fill`.
     pub fn filled(width: usize, height: usize, fill: f64) -> Self {
-        Image { width, height, data: vec![fill; width * height] }
+        Image {
+            width,
+            height,
+            data: vec![fill; width * height],
+        }
     }
 
     /// Build from a per-pixel function of `(row, col)`.
@@ -81,7 +85,11 @@ impl Image {
         Image {
             width: self.width,
             height: self.height,
-            data: self.data.iter().map(|&v| if v > 0.0 { 1.0 } else { -1.0 }).collect(),
+            data: self
+                .data
+                .iter()
+                .map(|&v| if v > 0.0 { 1.0 } else { -1.0 })
+                .collect(),
         }
     }
 
@@ -244,9 +252,16 @@ mod tests {
         let img = Image::test_blob(16, 16);
         let blacks = img.iter().filter(|&(_, _, v)| v > 0.0).count();
         assert!(blacks > 20 && blacks < 200, "blob size {blacks}");
-        let edges = img.digital_edge_map().iter().filter(|&(_, _, v)| v > 0.0).count();
+        let edges = img
+            .digital_edge_map()
+            .iter()
+            .filter(|&(_, _, v)| v > 0.0)
+            .count();
         assert!(edges > 10, "edge count {edges}");
-        assert!(edges < blacks, "edge must be a strict subset of black pixels");
+        assert!(
+            edges < blacks,
+            "edge must be a strict subset of black pixels"
+        );
     }
 
     #[test]

@@ -61,7 +61,10 @@ impl MaxCutProblem {
     /// Panics for more than 24 vertices.
     pub fn max_cut_value(&self) -> u32 {
         assert!(self.n <= 24, "brute force limited to 24 vertices");
-        (0..(1u64 << self.n)).map(|p| self.cut_value(p)).max().unwrap_or(0)
+        (0..(1u64 << self.n))
+            .map(|p| self.cut_value(p))
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -108,7 +111,12 @@ pub fn build_maxcut_network(
     }
     for (idx, (u, v)) in problem.edges.iter().enumerate() {
         let ename = format!("cpl{idx}");
-        b.edge(&ename, coupling.edge_ty(), &format!("osc{u}"), &format!("osc{v}"))?;
+        b.edge(
+            &ename,
+            coupling.edge_ty(),
+            &format!("osc{u}"),
+            &format!("osc{v}"),
+        )?;
         b.set_attr(&ename, "k", -1.0)?;
     }
     b.finish()
@@ -178,12 +186,23 @@ pub fn solve(
     let tr = Rk4 { dt: SOLVE_DT }.integrate(&sys, 0.0, &sys.initial_state(), SOLVE_TIME, 50)?;
     let yf = tr.last().expect("nonempty trajectory").1;
     let phases: Vec<f64> = (0..problem.n)
-        .map(|i| wrap_phase(yf[sys.state_index(&format!("osc{i}")).expect("oscillator state")]))
+        .map(|i| {
+            wrap_phase(
+                yf[sys
+                    .state_index(&format!("osc{i}"))
+                    .expect("oscillator state")],
+            )
+        })
         .collect();
     let partition = classify_phases(&phases, d);
     let optimum = problem.max_cut_value();
     let cut = partition.map(|p| problem.cut_value(p));
-    Ok(MaxCutOutcome { phases, partition, cut, optimum })
+    Ok(MaxCutOutcome {
+        phases,
+        partition,
+        cut,
+        optimum,
+    })
 }
 
 /// One row of Table 1: synchronization and solve probabilities over
@@ -247,12 +266,18 @@ mod tests {
     #[test]
     fn cut_value_and_brute_force() {
         // Path 0-1-2: max cut = 2 (middle vs ends).
-        let p = MaxCutProblem { n: 3, edges: vec![(0, 1), (1, 2)] };
+        let p = MaxCutProblem {
+            n: 3,
+            edges: vec![(0, 1), (1, 2)],
+        };
         assert_eq!(p.cut_value(0b010), 2);
         assert_eq!(p.cut_value(0b001), 1);
         assert_eq!(p.max_cut_value(), 2);
         // Triangle: max cut = 2.
-        let t = MaxCutProblem { n: 3, edges: vec![(0, 1), (1, 2), (0, 2)] };
+        let t = MaxCutProblem {
+            n: 3,
+            edges: vec![(0, 1), (1, 2), (0, 2)],
+        };
         assert_eq!(t.max_cut_value(), 2);
         // K4: max cut = 4.
         let k4 = MaxCutProblem {
@@ -278,7 +303,10 @@ mod tests {
     #[test]
     fn solver_solves_a_path_graph() {
         let lang = obc_language();
-        let p = MaxCutProblem { n: 3, edges: vec![(0, 1), (1, 2)] };
+        let p = MaxCutProblem {
+            n: 3,
+            edges: vec![(0, 1), (1, 2)],
+        };
         let out = solve(&lang, &p, CouplingKind::Ideal, 0.01 * PI, 42).unwrap();
         assert!(out.synchronized(), "phases {:?}", out.phases);
         assert!(out.solved(), "cut {:?} vs optimum {}", out.cut, out.optimum);
@@ -298,10 +326,8 @@ mod tests {
         // The Table 1 shape, at reduced trial count.
         let base = obc_language();
         let ofs = ofs_obc_language(&base);
-        let tight_ideal =
-            table1_cell(&ofs, CouplingKind::Ideal, 0.01 * PI, 4, 30, 500).unwrap();
-        let tight_ofs =
-            table1_cell(&ofs, CouplingKind::Offset, 0.01 * PI, 4, 30, 500).unwrap();
+        let tight_ideal = table1_cell(&ofs, CouplingKind::Ideal, 0.01 * PI, 4, 30, 500).unwrap();
+        let tight_ofs = table1_cell(&ofs, CouplingKind::Offset, 0.01 * PI, 4, 30, 500).unwrap();
         let loose_ofs = table1_cell(&ofs, CouplingKind::Offset, 0.1 * PI, 4, 30, 500).unwrap();
         assert!(
             tight_ofs.sync_pct < tight_ideal.sync_pct - 15.0,

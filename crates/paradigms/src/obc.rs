@@ -49,12 +49,9 @@ pub fn obc_language() -> Language {
 fn try_obc_language() -> Result<Language, LangError> {
     LanguageBuilder::new("obc")
         .node_type(
-            NodeType::new("Osc", 1, Reduction::Sum)
-                .init_default(SigType::real(-100.0, 100.0), 0.0),
+            NodeType::new("Osc", 1, Reduction::Sum).init_default(SigType::real(-100.0, 100.0), 0.0),
         )
-        .edge_type(
-            EdgeType::new("Cpl").attr_default("k", SigType::real(-8.0, 8.0), 1.0),
-        )
+        .edge_type(EdgeType::new("Cpl").attr_default("k", SigType::real(-8.0, 8.0), 1.0))
         .prod(ProdRule::new(
             ("e", "Cpl"),
             ("s", "Osc"),
@@ -92,7 +89,11 @@ pub fn ofs_obc_language(base: &Language) -> Language {
             EdgeType::new("Cpl_ofs")
                 .inherit("Cpl")
                 // Nominal 0, absolute σ = 0.02 (paper `mm(0.02, 0)`).
-                .attr_default("offset", SigType::real(0.0, 0.0).with_mismatch(0.02, 0.0), 0.0),
+                .attr_default(
+                    "offset",
+                    SigType::real(0.0, 0.0).with_mismatch(0.02, 0.0),
+                    0.0,
+                ),
         )
         .prod(ProdRule::new(
             ("e", "Cpl_ofs"),
@@ -131,20 +132,21 @@ pub fn intercon_obc_language(base: &Language) -> Language {
     LanguageBuilder::derive("intercon_obc", base)
         .node_type(NodeType::new("Osc_G0", 1, Reduction::Sum).inherit("Osc"))
         .node_type(NodeType::new("Osc_G1", 1, Reduction::Sum).inherit("Osc"))
-        .edge_type(
-            EdgeType::new("Cpl_l").inherit("Cpl").attr_default("cost", SigType::int(1, 1), 1i64),
-        )
-        .edge_type(
-            EdgeType::new("Cpl_g")
-                .inherit("Cpl")
-                .attr_default("cost", SigType::int(10, 10), 10i64),
-        )
+        .edge_type(EdgeType::new("Cpl_l").inherit("Cpl").attr_default(
+            "cost",
+            SigType::int(1, 1),
+            1i64,
+        ))
+        .edge_type(EdgeType::new("Cpl_g").inherit("Cpl").attr_default(
+            "cost",
+            SigType::int(10, 10),
+            10i64,
+        ))
         .cstr(group_cstr("Osc_G0"))
         .cstr(group_cstr("Osc_G1"))
         .finish()
         .expect("intercon-obc language definition is valid")
 }
-
 
 /// The OBC language of Figure 12a (plus the Figure 12b offset extension)
 /// in Ark source text; tests assert equivalence with the programmatic
@@ -210,7 +212,9 @@ mod tests {
         b.set_attr("c", "k", -1.0).unwrap();
         let g = b.finish().unwrap();
         let sys = CompiledSystem::compile(&lang, &g).unwrap();
-        let tr = Rk4 { dt: 1e-11 }.integrate(&sys, 0.0, &sys.initial_state(), 3e-8, 100).unwrap();
+        let tr = Rk4 { dt: 1e-11 }
+            .integrate(&sys, 0.0, &sys.initial_state(), 3e-8, 100)
+            .unwrap();
         let yf = tr.last().unwrap().1;
         let pa = wrap_phase(yf[sys.state_index("a").unwrap()]);
         let pb = wrap_phase(yf[sys.state_index("b").unwrap()]);
@@ -238,7 +242,9 @@ mod tests {
         b.set_attr("c", "k", 1.0).unwrap();
         let g = b.finish().unwrap();
         let sys = CompiledSystem::compile(&lang, &g).unwrap();
-        let tr = Rk4 { dt: 1e-11 }.integrate(&sys, 0.0, &sys.initial_state(), 3e-8, 100).unwrap();
+        let tr = Rk4 { dt: 1e-11 }
+            .integrate(&sys, 0.0, &sys.initial_state(), 3e-8, 100)
+            .unwrap();
         let yf = tr.last().unwrap().1;
         let pa = wrap_phase(yf[0]);
         let pb = wrap_phase(yf[1]);
@@ -266,17 +272,16 @@ mod tests {
         let noisy = build("Cpl_ofs", 3);
         let run = |g: &Graph| {
             let sys = CompiledSystem::compile(&ofs, g).unwrap();
-            let tr =
-                Rk4 { dt: 1e-11 }.integrate(&sys, 0.0, &sys.initial_state(), 3e-8, 100).unwrap();
+            let tr = Rk4 { dt: 1e-11 }
+                .integrate(&sys, 0.0, &sys.initial_state(), 3e-8, 100)
+                .unwrap();
             wrap_phase(tr.last().unwrap().1[0])
         };
         let p_ideal = run(&ideal);
         let p_noisy = run(&noisy);
         // Ideal lands essentially exactly on a lattice point; the offset
         // variant is measurably displaced.
-        let dev = |p: f64| {
-            ark_ode::phase_distance(p, 0.0).min(ark_ode::phase_distance(p, PI))
-        };
+        let dev = |p: f64| ark_ode::phase_distance(p, 0.0).min(ark_ode::phase_distance(p, PI));
         assert!(dev(p_ideal) < 1e-4, "ideal deviation {}", dev(p_ideal));
         assert!(dev(p_noisy) > 1e-3, "offset deviation {}", dev(p_noisy));
     }
@@ -362,7 +367,9 @@ mod tests {
         b.set_attr("c", "k", -1.0).unwrap();
         let g = b.finish().unwrap();
         let sys = CompiledSystem::compile(&ic, &g).unwrap();
-        let tr = Rk4 { dt: 1e-11 }.integrate(&sys, 0.0, &sys.initial_state(), 3e-8, 100).unwrap();
+        let tr = Rk4 { dt: 1e-11 }
+            .integrate(&sys, 0.0, &sys.initial_state(), 3e-8, 100)
+            .unwrap();
         let yf = tr.last().unwrap().1;
         let d = ark_ode::phase_distance(wrap_phase(yf[0]), wrap_phase(yf[1]));
         assert!((d - PI).abs() < 0.01);
@@ -370,8 +377,8 @@ mod tests {
 
     #[test]
     fn textual_obc_equivalent_to_programmatic() {
-        use ark_core::program::Program;
         use crate::maxcut::{solve, CouplingKind, MaxCutProblem};
+        use ark_core::program::Program;
         let prog = Program::parse(OBC_SRC).unwrap();
         let text_ofs = prog.language("ofs_obc").unwrap();
         let code_ofs = ofs_obc_language(&obc_language());

@@ -68,13 +68,49 @@ fn try_tln_language() -> Result<Language, LangError> {
         )
         .edge_type(EdgeType::new("E"))
         // Telegrapher couplings (paper Eq. 1 / Figure 7).
-        .prod(ProdRule::new(("e", "E"), ("s", "V"), ("t", "I"), "s", e("-var(t)/s.c")))
-        .prod(ProdRule::new(("e", "E"), ("s", "V"), ("t", "I"), "t", e("var(s)/t.l")))
-        .prod(ProdRule::new(("e", "E"), ("s", "I"), ("t", "V"), "s", e("-var(t)/s.l")))
-        .prod(ProdRule::new(("e", "E"), ("s", "I"), ("t", "V"), "t", e("var(s)/t.c")))
+        .prod(ProdRule::new(
+            ("e", "E"),
+            ("s", "V"),
+            ("t", "I"),
+            "s",
+            e("-var(t)/s.c"),
+        ))
+        .prod(ProdRule::new(
+            ("e", "E"),
+            ("s", "V"),
+            ("t", "I"),
+            "t",
+            e("var(s)/t.l"),
+        ))
+        .prod(ProdRule::new(
+            ("e", "E"),
+            ("s", "I"),
+            ("t", "V"),
+            "s",
+            e("-var(t)/s.l"),
+        ))
+        .prod(ProdRule::new(
+            ("e", "E"),
+            ("s", "I"),
+            ("t", "V"),
+            "t",
+            e("var(s)/t.c"),
+        ))
         // Loss terms on self edges.
-        .prod(ProdRule::new(("e", "E"), ("s", "V"), ("s", "V"), "s", e("-s.g*var(s)/s.c")))
-        .prod(ProdRule::new(("e", "E"), ("s", "I"), ("s", "I"), "s", e("-s.r*var(s)/s.l")))
+        .prod(ProdRule::new(
+            ("e", "E"),
+            ("s", "V"),
+            ("s", "V"),
+            "s",
+            e("-s.g*var(s)/s.c"),
+        ))
+        .prod(ProdRule::new(
+            ("e", "E"),
+            ("s", "I"),
+            ("s", "I"),
+            "s",
+            e("-s.r*var(s)/s.l"),
+        ))
         // Source couplings (resistive/conductive sources, cf. Figure 14).
         .prod(ProdRule::new(
             ("e", "E"),
@@ -106,22 +142,18 @@ fn try_tln_language() -> Result<Language, LangError> {
         ))
         // Validity: V and I alternate; each V/I carries exactly one self
         // edge; inputs feed V or I nodes (Figure 7).
-        .cstr(
-            ValidityRule::new("V").accept(Pattern::new(vec![
-                MatchClause::outgoing(0, None, "E", &["I"]),
-                MatchClause::incoming(0, None, "E", &["I"]),
-                MatchClause::incoming(0, None, "E", &["InpV"]),
-                MatchClause::incoming(0, None, "E", &["InpI"]),
-                MatchClause::self_loop(1, Some(1), "E"),
-            ])),
-        )
-        .cstr(
-            ValidityRule::new("I").accept(Pattern::new(vec![
-                MatchClause::outgoing(0, Some(1), "E", &["V"]),
-                MatchClause::incoming(0, Some(1), "E", &["V", "InpV", "InpI"]),
-                MatchClause::self_loop(1, Some(1), "E"),
-            ])),
-        )
+        .cstr(ValidityRule::new("V").accept(Pattern::new(vec![
+            MatchClause::outgoing(0, None, "E", &["I"]),
+            MatchClause::incoming(0, None, "E", &["I"]),
+            MatchClause::incoming(0, None, "E", &["InpV"]),
+            MatchClause::incoming(0, None, "E", &["InpI"]),
+            MatchClause::self_loop(1, Some(1), "E"),
+        ])))
+        .cstr(ValidityRule::new("I").accept(Pattern::new(vec![
+            MatchClause::outgoing(0, Some(1), "E", &["V"]),
+            MatchClause::incoming(0, Some(1), "E", &["V", "InpV", "InpI"]),
+            MatchClause::self_loop(1, Some(1), "E"),
+        ])))
         .cstr(
             ValidityRule::new("InpV").accept(Pattern::new(vec![MatchClause::outgoing(
                 1,
@@ -171,10 +203,34 @@ fn try_gmc_tln_language(base: &Language) -> Result<Language, LangError> {
                 .attr_default("wt", SigType::real(0.5, 2.0).with_mismatch(0.0, 0.1), 1.0),
         )
         // Modified Telegrapher's equations (paper Eq. 3 / Figure 14).
-        .prod(ProdRule::new(("e", "Em"), ("s", "V"), ("t", "I"), "s", e("-e.ws*var(t)/s.c")))
-        .prod(ProdRule::new(("e", "Em"), ("s", "V"), ("t", "I"), "t", e("e.wt*var(s)/t.l")))
-        .prod(ProdRule::new(("e", "Em"), ("s", "I"), ("t", "V"), "s", e("-e.ws*var(t)/s.l")))
-        .prod(ProdRule::new(("e", "Em"), ("s", "I"), ("t", "V"), "t", e("e.wt*var(s)/t.c")))
+        .prod(ProdRule::new(
+            ("e", "Em"),
+            ("s", "V"),
+            ("t", "I"),
+            "s",
+            e("-e.ws*var(t)/s.c"),
+        ))
+        .prod(ProdRule::new(
+            ("e", "Em"),
+            ("s", "V"),
+            ("t", "I"),
+            "t",
+            e("e.wt*var(s)/t.l"),
+        ))
+        .prod(ProdRule::new(
+            ("e", "Em"),
+            ("s", "I"),
+            ("t", "V"),
+            "s",
+            e("-e.ws*var(t)/s.l"),
+        ))
+        .prod(ProdRule::new(
+            ("e", "Em"),
+            ("s", "I"),
+            ("t", "V"),
+            "t",
+            e("e.wt*var(s)/t.c"),
+        ))
         .prod(ProdRule::new(
             ("e", "Em"),
             ("s", "InpV"),
@@ -293,7 +349,11 @@ fn lay_segments(
     count: usize,
     last_g: f64,
 ) -> Result<String, FuncError> {
-    let (vt, it, et) = (cfg.mismatch.v_ty(), cfg.mismatch.i_ty(), cfg.mismatch.e_ty());
+    let (vt, it, et) = (
+        cfg.mismatch.v_ty(),
+        cfg.mismatch.i_ty(),
+        cfg.mismatch.e_ty(),
+    );
     let mut prev_v = from.to_string();
     for k in 0..count {
         let iname = format!("{prefix}I_{k}");
@@ -594,7 +654,10 @@ mod tests {
     fn mismatched_lines_vary_across_seeds() {
         let base = tln_language();
         let gmc = gmc_tln_language(&base);
-        let cfg = TlineConfig { mismatch: MismatchKind::Gm, ..TlineConfig::default() };
+        let cfg = TlineConfig {
+            mismatch: MismatchKind::Gm,
+            ..TlineConfig::default()
+        };
         let g1 = linear_tline(&gmc, 8, &cfg, 1).unwrap();
         let g2 = linear_tline(&gmc, 8, &cfg, 2).unwrap();
         let report = validate(&gmc, &g1, &ExternRegistry::new()).unwrap();
@@ -614,7 +677,10 @@ mod tests {
         let base = tln_language();
         let gmc = gmc_tln_language(&base);
         let run = |kind: MismatchKind, trials: usize| {
-            let cfg = TlineConfig { mismatch: kind, ..TlineConfig::default() };
+            let cfg = TlineConfig {
+                mismatch: kind,
+                ..TlineConfig::default()
+            };
             let mut out_series = Vec::new();
             for seed in 0..trials {
                 let g = linear_tline(&gmc, 8, &cfg, seed as u64).unwrap();

@@ -44,7 +44,10 @@ impl Default for PufDesign {
             spacing: 2,
             sites: 4,
             stub_len: 3,
-            cfg: TlineConfig { mismatch: MismatchKind::Gm, ..TlineConfig::default() },
+            cfg: TlineConfig {
+                mismatch: MismatchKind::Gm,
+                ..TlineConfig::default()
+            },
             window_start: 1e-8,
             window_end: 8e-8,
             response_bits: 32,
@@ -123,7 +126,10 @@ impl PufDesign {
         instance: u64,
     ) -> Result<Graph, PufError> {
         if challenge.len() != self.sites {
-            return Err(PufError::BadChallenge { expected: self.sites, got: challenge.len() });
+            return Err(PufError::BadChallenge {
+                expected: self.sites,
+                got: challenge.len(),
+            });
         }
         let mut b = GraphBuilder::new(lang, instance);
         let cfg = &self.cfg;
@@ -240,7 +246,9 @@ impl PufDesign {
         noise_seed: u64,
     ) -> Result<Response, PufError> {
         let (sys, tr) = self.observe(lang, challenge, instance)?;
-        let out = sys.state_index(&self.out_node()).expect("OUT_V is stateful");
+        let out = sys
+            .state_index(&self.out_node())
+            .expect("OUT_V is stateful");
         let mut noise = ark_core::MismatchSampler::new(noise_seed);
         let mut bits = Vec::with_capacity(self.response_bits);
         for i in 0..self.response_bits {
@@ -265,11 +273,16 @@ impl PufDesign {
         challenge: &Challenge,
     ) -> Result<(Trajectory, usize), PufError> {
         let nominal = PufDesign {
-            cfg: TlineConfig { mismatch: MismatchKind::None, ..self.cfg },
+            cfg: TlineConfig {
+                mismatch: MismatchKind::None,
+                ..self.cfg
+            },
             ..self.clone()
         };
         let (sys, tr) = nominal.observe(lang, challenge, 0)?;
-        let idx = sys.state_index(&nominal.out_node()).expect("OUT_V is stateful");
+        let idx = sys
+            .state_index(&nominal.out_node())
+            .expect("OUT_V is stateful");
         Ok((tr, idx))
     }
 }
@@ -330,7 +343,10 @@ mod tests {
         let d = small_design();
         assert!(matches!(
             d.build(&gmc, &vec![true], 0),
-            Err(PufError::BadChallenge { expected: 2, got: 1 })
+            Err(PufError::BadChallenge {
+                expected: 2,
+                got: 1
+            })
         ));
     }
 

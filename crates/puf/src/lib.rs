@@ -15,7 +15,7 @@
 //!
 //! # Examples
 //!
-//! ```no_run
+//! ```
 //! use ark_paradigms::tln::{tln_language, gmc_tln_language};
 //! use ark_puf::design::{PufDesign, challenge_bits};
 //!

@@ -36,7 +36,12 @@ pub struct EvalConfig {
 
 impl Default for EvalConfig {
     fn default() -> Self {
-        EvalConfig { instances: 6, challenges: 4, remeasures: 3, noise_sigma: 1e-3 }
+        EvalConfig {
+            instances: 6,
+            challenges: 4,
+            remeasures: 3,
+            noise_sigma: 1e-3,
+        }
     }
 }
 
@@ -100,7 +105,6 @@ pub fn evaluate(
     })
 }
 
-
 /// Challenge-sensitivity ("avalanche") of a design: the mean normalized
 /// Hamming distance between responses to challenges differing in exactly
 /// one bit, for a fixed instance. A strong PUF wants this near 0.5 so
@@ -152,7 +156,10 @@ pub fn bit_aliasing(
             }
         }
     }
-    Ok(ones.into_iter().map(|o| o as f64 / instances as f64).collect())
+    Ok(ones
+        .into_iter()
+        .map(|o| o as f64 / instances as f64)
+        .collect())
 }
 
 #[cfg(test)]
@@ -176,11 +183,20 @@ mod tests {
     fn metrics_in_sane_ranges() {
         let base = tln_language();
         let gmc = gmc_tln_language(&base);
-        let cfg = EvalConfig { instances: 4, challenges: 2, remeasures: 2, noise_sigma: 1e-4 };
+        let cfg = EvalConfig {
+            instances: 4,
+            challenges: 2,
+            remeasures: 2,
+            noise_sigma: 1e-4,
+        };
         let m = evaluate(&gmc, &design(), &cfg).unwrap();
         // Uniqueness: chips should differ substantially but metrics are
         // bounded in [0, 1].
-        assert!(m.uniqueness > 0.05 && m.uniqueness <= 1.0, "uniqueness {}", m.uniqueness);
+        assert!(
+            m.uniqueness > 0.05 && m.uniqueness <= 1.0,
+            "uniqueness {}",
+            m.uniqueness
+        );
         // Reliability: small noise flips few bits.
         assert!(m.intra_distance < 0.3, "intra {}", m.intra_distance);
         assert!(m.uniformity > 0.0 && m.uniformity < 1.0);
@@ -194,10 +210,18 @@ mod tests {
         // mismatch, because it produces far more response variation.
         let base = tln_language();
         let gmc = gmc_tln_language(&base);
-        let cfg = EvalConfig { instances: 4, challenges: 2, remeasures: 0, noise_sigma: 0.0 };
+        let cfg = EvalConfig {
+            instances: 4,
+            challenges: 2,
+            remeasures: 0,
+            noise_sigma: 0.0,
+        };
         let gm_design = design();
         let cint_design = PufDesign {
-            cfg: TlineConfig { mismatch: MismatchKind::Cint, ..gm_design.cfg },
+            cfg: TlineConfig {
+                mismatch: MismatchKind::Cint,
+                ..gm_design.cfg
+            },
             ..gm_design.clone()
         };
         let m_gm = evaluate(&gmc, &gm_design, &cfg).unwrap();

@@ -13,7 +13,10 @@ pub struct Matrix {
 impl Matrix {
     /// An `n × n` zero matrix.
     pub fn zeros(n: usize) -> Self {
-        Matrix { n, data: vec![0.0; n * n] }
+        Matrix {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     /// The identity matrix.
@@ -38,9 +41,9 @@ impl Matrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n, "dimension mismatch");
         let mut y = vec![0.0; self.n];
-        for i in 0..self.n {
+        for (i, yi) in y.iter_mut().enumerate() {
             let row = &self.data[i * self.n..(i + 1) * self.n];
-            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            *yi = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
         y
     }
@@ -54,7 +57,12 @@ impl Matrix {
         assert_eq!(self.n, other.n, "dimension mismatch");
         Matrix {
             n: self.n,
-            data: self.data.iter().zip(&other.data).map(|(a, b)| a + alpha * b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a + alpha * b)
+                .collect(),
         }
     }
 }
@@ -149,18 +157,20 @@ impl Lu {
         // Apply permutation, then forward/back substitution.
         let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
         for i in 1..n {
-            let mut acc = x[i];
-            for j in 0..i {
-                acc -= self.lu[i * n + j] * x[j];
-            }
-            x[i] = acc;
+            let dot: f64 = self.lu[i * n..i * n + i]
+                .iter()
+                .zip(&x)
+                .map(|(l, xj)| l * xj)
+                .sum();
+            x[i] -= dot;
         }
         for i in (0..n).rev() {
-            let mut acc = x[i];
-            for j in (i + 1)..n {
-                acc -= self.lu[i * n + j] * x[j];
-            }
-            x[i] = acc / self.lu[i * n + i];
+            let dot: f64 = self.lu[i * n + i + 1..(i + 1) * n]
+                .iter()
+                .zip(&x[i + 1..])
+                .map(|(l, xj)| l * xj)
+                .sum();
+            x[i] = (x[i] - dot) / self.lu[i * n + i];
         }
         x
     }
@@ -233,7 +243,9 @@ mod tests {
         let mut m = Matrix::zeros(n);
         let mut state = 0x1234_5678_u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         for i in 0..n {

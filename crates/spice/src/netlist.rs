@@ -16,6 +16,10 @@ use ark_ode::Trajectory;
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// Assembled MNA system: per-node capacitances, conductance matrix, and
+/// `(node, waveform)` current sources.
+type AssembledSystem = (Vec<f64>, Matrix, Vec<(usize, Waveform)>);
+
 /// A time-dependent source waveform, compiled to a closed tape over `time`.
 #[derive(Debug, Clone)]
 pub struct Waveform {
@@ -25,7 +29,9 @@ pub struct Waveform {
 impl Waveform {
     /// A constant current.
     pub fn constant(amp: f64) -> Self {
-        Waveform { tape: Tape::constant(amp) }
+        Waveform {
+            tape: Tape::constant(amp),
+        }
     }
 
     /// Compile an expression over `time` (no other free variables).
@@ -34,7 +40,9 @@ impl Waveform {
     ///
     /// Returns the tape error for expressions with unresolved references.
     pub fn from_expr(expr: &ark_expr::Expr) -> Result<Self, ark_expr::TapeError> {
-        Ok(Waveform { tape: Tape::compile(expr, &|_| None)? })
+        Ok(Waveform {
+            tape: Tape::compile(expr, &|_| None)?,
+        })
     }
 
     /// Evaluate at time `t`.
@@ -97,7 +105,10 @@ impl fmt::Display for NetlistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetlistError::NodeWithoutCapacitor(n) => {
-                write!(f, "node `{n}` has no capacitor; GmC netlists require one per node")
+                write!(
+                    f,
+                    "node `{n}` has no capacitor; GmC netlists require one per node"
+                )
             }
             NetlistError::BadNode(i) => write!(f, "element references unknown node {i}"),
             NetlistError::Singular(e) => write!(f, "{e}"),
@@ -195,12 +206,18 @@ impl Netlist {
         s
     }
 
-    fn assemble(&self) -> Result<(Vec<f64>, Matrix, Vec<(usize, Waveform)>), NetlistError> {
+    fn assemble(&self) -> Result<AssembledSystem, NetlistError> {
         let n = self.num_nodes();
         let mut cap = vec![0.0; n];
         let mut g = Matrix::zeros(n);
         let mut sources = Vec::new();
-        let check = |i: usize| if i < n { Ok(i) } else { Err(NetlistError::BadNode(i)) };
+        let check = |i: usize| {
+            if i < n {
+                Ok(i)
+            } else {
+                Err(NetlistError::BadNode(i))
+            }
+        };
         for e in &self.elements {
             match e {
                 Element::Capacitor { node, c } => cap[check(*node)?] += c,
@@ -239,7 +256,7 @@ impl Netlist {
         dt: f64,
         stride: usize,
     ) -> Result<Trajectory, NetlistError> {
-        if !(dt > 0.0) || !(t_end > 0.0) {
+        if dt.is_nan() || dt <= 0.0 || t_end.is_nan() || t_end <= 0.0 {
             return Err(NetlistError::BadConfig(format!("dt={dt}, t_end={t_end}")));
         }
         let stride = stride.max(1);
@@ -313,7 +330,10 @@ mod tests {
         let a = nl.node("a");
         nl.add(Element::Capacitor { node: a, c: 1.0 });
         nl.add(Element::Conductance { node: a, g: 1.0 });
-        nl.add(Element::CurrentSource { node: a, waveform: Waveform::constant(1.0) });
+        nl.add(Element::CurrentSource {
+            node: a,
+            waveform: Waveform::constant(1.0),
+        });
         let tr = nl.transient(10.0, 1e-3, 100).unwrap();
         let v = tr.last().unwrap().1[0];
         assert!((v - 1.0).abs() < 1e-4, "v {v}");
@@ -327,8 +347,16 @@ mod tests {
         let b = nl.node("b");
         nl.add(Element::Capacitor { node: a, c: 1.0 });
         nl.add(Element::Capacitor { node: b, c: 1.0 });
-        nl.add(Element::Vccs { out: a, ctrl: b, gm: 1.0 });
-        nl.add(Element::Vccs { out: b, ctrl: a, gm: -1.0 });
+        nl.add(Element::Vccs {
+            out: a,
+            ctrl: b,
+            gm: 1.0,
+        });
+        nl.add(Element::Vccs {
+            out: b,
+            ctrl: a,
+            gm: -1.0,
+        });
         nl.set_initial(a, 1.0);
         let tr = nl.transient(std::f64::consts::TAU, 1e-4, 1000).unwrap();
         let yf = tr.last().unwrap().1;
@@ -360,8 +388,14 @@ mod tests {
         let mut nl = Netlist::new();
         let a = nl.node("a");
         nl.add(Element::Capacitor { node: a, c: 1.0 });
-        assert!(matches!(nl.transient(1.0, 0.0, 1), Err(NetlistError::BadConfig(_))));
-        assert!(matches!(nl.transient(-1.0, 1e-3, 1), Err(NetlistError::BadConfig(_))));
+        assert!(matches!(
+            nl.transient(1.0, 0.0, 1),
+            Err(NetlistError::BadConfig(_))
+        ));
+        assert!(matches!(
+            nl.transient(-1.0, 1e-3, 1),
+            Err(NetlistError::BadConfig(_))
+        ));
     }
 
     #[test]
@@ -371,7 +405,11 @@ mod tests {
         let a2 = nl.node("vin");
         assert_eq!(a, a2);
         nl.add(Element::Capacitor { node: a, c: 1e-9 });
-        nl.add(Element::Vccs { out: a, ctrl: a, gm: 1e-3 });
+        nl.add(Element::Vccs {
+            out: a,
+            ctrl: a,
+            gm: 1e-3,
+        });
         let card = nl.to_spice();
         assert!(card.contains("C0 vin 0"));
         assert!(card.contains("G1 vin 0 vin 0"));

@@ -68,14 +68,20 @@ fn num_attr(graph: &Graph, entity: &str, attr: &str) -> Result<f64, SynthError> 
     graph
         .attr_value(entity, attr)
         .and_then(Value::as_real)
-        .ok_or_else(|| SynthError::BadAttr { entity: entity.into(), attr: attr.into() })
+        .ok_or_else(|| SynthError::BadAttr {
+            entity: entity.into(),
+            attr: attr.into(),
+        })
 }
 
 fn waveform(graph: &Graph, entity: &str) -> Result<Waveform, SynthError> {
     let lam = graph
         .attr_value(entity, "fn")
         .and_then(Value::as_lambda)
-        .ok_or_else(|| SynthError::BadAttr { entity: entity.into(), attr: "fn".into() })?;
+        .ok_or_else(|| SynthError::BadAttr {
+            entity: entity.into(),
+            attr: "fn".into(),
+        })?;
     let body = lam
         .apply(&[Expr::Time])
         .ok_or_else(|| SynthError::BadWaveform("waveform lambda must take one argument".into()))?;
@@ -84,8 +90,14 @@ fn waveform(graph: &Graph, entity: &str) -> Result<Waveform, SynthError> {
 
 /// Edge gains `ws`/`wt`: sampled attributes on `Em` edges, 1.0 on plain `E`.
 fn edge_gains(graph: &Graph, edge_name: &str) -> (f64, f64) {
-    let ws = graph.attr_value(edge_name, "ws").and_then(Value::as_real).unwrap_or(1.0);
-    let wt = graph.attr_value(edge_name, "wt").and_then(Value::as_real).unwrap_or(1.0);
+    let ws = graph
+        .attr_value(edge_name, "ws")
+        .and_then(Value::as_real)
+        .unwrap_or(1.0);
+    let wt = graph
+        .attr_value(edge_name, "wt")
+        .and_then(Value::as_real)
+        .unwrap_or(1.0);
     (ws, wt)
 }
 
@@ -102,14 +114,28 @@ pub fn synthesize(lang: &Language, graph: &Graph) -> Result<Netlist, SynthError>
     for (id, node) in graph.nodes() {
         if lang.node_is_a(&node.ty, "V") || lang.node_is_a(&node.ty, "I") {
             let n = nl.node(&node.name);
-            let cap_attr = if lang.node_is_a(&node.ty, "V") { "c" } else { "l" };
-            nl.add(Element::Capacitor { node: n, c: num_attr(graph, &node.name, cap_attr)? });
+            let cap_attr = if lang.node_is_a(&node.ty, "V") {
+                "c"
+            } else {
+                "l"
+            };
+            nl.add(Element::Capacitor {
+                node: n,
+                c: num_attr(graph, &node.name, cap_attr)?,
+            });
             let v0 = node.inits.first().copied().flatten();
-            nl.set_initial(n, v0.ok_or_else(|| SynthError::MissingInit(node.name.clone()))?);
+            nl.set_initial(
+                n,
+                v0.ok_or_else(|| SynthError::MissingInit(node.name.clone()))?,
+            );
             // Loss conductance applies when the node carries a self edge
             // (the self production rule's circuit realization).
             if !graph.self_edges(id).is_empty() {
-                let loss = if lang.node_is_a(&node.ty, "V") { "g" } else { "r" };
+                let loss = if lang.node_is_a(&node.ty, "V") {
+                    "g"
+                } else {
+                    "r"
+                };
                 let g = num_attr(graph, &node.name, loss)?;
                 if g != 0.0 {
                     nl.add(Element::Conductance { node: n, g });
@@ -143,15 +169,26 @@ pub fn synthesize(lang: &Language, graph: &Graph) -> Result<Netlist, SynthError>
             let s = nl.node(&src.name);
             let t = nl.node(&dst.name);
             // dQs/dt gets −ws·var(t); dQt/dt gets +wt·var(s).
-            nl.add(Element::Vccs { out: s, ctrl: t, gm: -ws });
-            nl.add(Element::Vccs { out: t, ctrl: s, gm: wt });
+            nl.add(Element::Vccs {
+                out: s,
+                ctrl: t,
+                gm: -ws,
+            });
+            nl.add(Element::Vccs {
+                out: t,
+                ctrl: s,
+                gm: wt,
+            });
         } else if lang.node_is_a(&src.ty, "InpI") {
             let t = nl.node(&dst.name);
             let g = num_attr(graph, &src.name, "g")?;
             let w = waveform(graph, &src.name)?;
             if lang.node_is_a(&dst.ty, "V") {
                 // wt·(fn − g·v_t): scaled source + source conductance.
-                nl.add(Element::CurrentSource { node: t, waveform: scale(&w, wt, graph, &src.name)? });
+                nl.add(Element::CurrentSource {
+                    node: t,
+                    waveform: scale(&w, wt, graph, &src.name)?,
+                });
                 nl.add(Element::Conductance { node: t, g: wt * g });
             } else {
                 // Into an I node: wt·(fn − v_t)/g on the l-capacitor.
@@ -174,7 +211,10 @@ pub fn synthesize(lang: &Language, graph: &Graph) -> Result<Netlist, SynthError>
                 nl.add(Element::Conductance { node: t, g: wt / r });
             } else {
                 // wt·(fn − r·v_t).
-                nl.add(Element::CurrentSource { node: t, waveform: scale(&w, wt, graph, &src.name)? });
+                nl.add(Element::CurrentSource {
+                    node: t,
+                    waveform: scale(&w, wt, graph, &src.name)?,
+                });
                 nl.add(Element::Conductance { node: t, g: wt * r });
             }
         } else {
@@ -188,16 +228,14 @@ pub fn synthesize(lang: &Language, graph: &Graph) -> Result<Netlist, SynthError>
 }
 
 /// Scale a waveform by a constant by recompiling `amp * fn(time)`.
-fn scale(
-    _w: &Waveform,
-    amp: f64,
-    graph: &Graph,
-    entity: &str,
-) -> Result<Waveform, SynthError> {
+fn scale(_w: &Waveform, amp: f64, graph: &Graph, entity: &str) -> Result<Waveform, SynthError> {
     let lam = graph
         .attr_value(entity, "fn")
         .and_then(Value::as_lambda)
-        .ok_or_else(|| SynthError::BadAttr { entity: entity.into(), attr: "fn".into() })?;
+        .ok_or_else(|| SynthError::BadAttr {
+            entity: entity.into(),
+            attr: "fn".into(),
+        })?;
     let body = lam
         .apply(&[Expr::Time])
         .ok_or_else(|| SynthError::BadWaveform("waveform lambda must take one argument".into()))?;
@@ -225,8 +263,8 @@ mod tests {
 
     #[test]
     fn unsupported_language_rejected() {
-        use ark_paradigms::obc::obc_language;
         use ark_core::func::GraphBuilder;
+        use ark_paradigms::obc::obc_language;
         let lang = obc_language();
         let mut b = GraphBuilder::new(&lang, 0);
         b.node("a", "Osc").unwrap();

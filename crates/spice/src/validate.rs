@@ -5,9 +5,7 @@
 use crate::synth::{synthesize, SynthError};
 use ark_core::{CompiledSystem, Graph, Language};
 use ark_ode::{relative_rmse, Rk4, Trajectory};
-use ark_paradigms::tln::{
-    branched_tline, linear_tline, MismatchKind, TlineConfig,
-};
+use ark_paradigms::tln::{branched_tline, linear_tline, MismatchKind, TlineConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
@@ -93,18 +91,24 @@ pub fn dg_vs_netlist_rmse(
     t_end: f64,
     dt: f64,
 ) -> Result<f64, CampaignError> {
-    let sys = CompiledSystem::compile(lang, graph)
-        .map_err(|e| CampaignError::Sim(e.to_string()))?;
+    let sys =
+        CompiledSystem::compile(lang, graph).map_err(|e| CampaignError::Sim(e.to_string()))?;
     let dg_tr: Trajectory = Rk4 { dt }
         .integrate(&sys, 0.0, &sys.initial_state(), t_end, 4)
         .map_err(|e| CampaignError::Sim(e.to_string()))?;
     let nl = synthesize(lang, graph).map_err(CampaignError::Synth)?;
-    let nl_tr = nl.transient(t_end, dt, 4).map_err(|e| CampaignError::Sim(e.to_string()))?;
+    let nl_tr = nl
+        .transient(t_end, dt, 4)
+        .map_err(|e| CampaignError::Sim(e.to_string()))?;
 
     let mut worst: f64 = 0.0;
     for (_, node) in graph.nodes() {
-        let Some(dg_idx) = sys.state_index(&node.name) else { continue };
-        let Some(nl_idx) = nl.node_index(&node.name) else { continue };
+        let Some(dg_idx) = sys.state_index(&node.name) else {
+            continue;
+        };
+        let Some(nl_idx) = nl.node_index(&node.name) else {
+            continue;
+        };
         // Skip states that never carry signal (reference RMS ~ 0).
         let ref_rms: f64 = {
             let s = dg_tr.resample(dg_idx, 0.0, t_end, 200);
@@ -136,7 +140,11 @@ pub fn validation_campaign(
     for seed in 0..trials as u64 {
         let graph = random_gmc_tline(lang, seed)?;
         let rmse = dg_vs_netlist_rmse(lang, &graph, t_end, dt)?;
-        reports.push(InstanceReport { seed, nodes: graph.num_nodes(), rmse });
+        reports.push(InstanceReport {
+            seed,
+            nodes: graph.num_nodes(),
+            rmse,
+        });
     }
     Ok(reports)
 }
@@ -160,7 +168,10 @@ mod tests {
         // must hold under mismatch too.
         let base = tln_language();
         let gmc = gmc_tln_language(&base);
-        let cfg = TlineConfig { mismatch: MismatchKind::Both, ..TlineConfig::default() };
+        let cfg = TlineConfig {
+            mismatch: MismatchKind::Both,
+            ..TlineConfig::default()
+        };
         let g = linear_tline(&gmc, 5, &cfg, 7).unwrap();
         let rmse = dg_vs_netlist_rmse(&gmc, &g, 3e-8, 2e-11).unwrap();
         assert!(rmse < 0.01, "rmse {rmse}");
@@ -170,7 +181,10 @@ mod tests {
     fn branched_line_matches_netlist() {
         let base = tln_language();
         let gmc = gmc_tln_language(&base);
-        let cfg = TlineConfig { mismatch: MismatchKind::Gm, ..TlineConfig::default() };
+        let cfg = TlineConfig {
+            mismatch: MismatchKind::Gm,
+            ..TlineConfig::default()
+        };
         let g = branched_tline(&gmc, 3, 3, 3, &cfg, 11).unwrap();
         let rmse = dg_vs_netlist_rmse(&gmc, &g, 3e-8, 2e-11).unwrap();
         assert!(rmse < 0.01, "rmse {rmse}");

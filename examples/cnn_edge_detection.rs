@@ -22,8 +22,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("validation: {report}");
 
     let run = run_cnn(&base, &inst, 5.0, &[0.25, 1.0])?;
-    println!("\nCNN output at t=0.25:\n{}", run.snapshots[0].1.binarized().to_ascii());
-    println!("CNN output (settled):\n{}", run.final_output.binarized().to_ascii());
+    println!(
+        "\nCNN output at t=0.25:\n{}",
+        run.snapshots[0].1.binarized().to_ascii()
+    );
+    println!(
+        "CNN output (settled):\n{}",
+        run.final_output.binarized().to_ascii()
+    );
     let expected = input.digital_edge_map();
     println!(
         "pixels differing from the digital edge detector: {}",

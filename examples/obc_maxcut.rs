@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The same instance on offset-afflicted hardware, read out at both
     // tolerances — the paper's Table 1 story in miniature.
     let noisy = solve(&ofs, &problem, CouplingKind::Offset, 0.01 * PI, 4)?;
-    println!("with integrator offset @ d=0.01π: synchronized = {}", noisy.synchronized());
+    println!(
+        "with integrator offset @ d=0.01π: synchronized = {}",
+        noisy.synchronized()
+    );
     let relaxed = ark::paradigms::maxcut::classify_phases(&noisy.phases, 0.1 * PI);
     println!(
         "same phases    @ d=0.10π: synchronized = {} (cut {:?})",

@@ -53,10 +53,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = Program::parse(SRC)?;
 
     // Invoke the function, validate the graph, compile to ODEs.
-    let (graph, system) =
-        program.build("chain", &[Value::Real(2.0)], /*seed*/ 0, &ExternRegistry::new())?;
-    println!("built `{}` graph: {} nodes, {} edges", graph.lang_name(), graph.num_nodes(),
-        graph.num_edges());
+    let (graph, system) = program.build(
+        "chain",
+        &[Value::Real(2.0)],
+        /*seed*/ 0,
+        &ExternRegistry::new(),
+    )?;
+    println!(
+        "built `{}` graph: {} nodes, {} edges",
+        graph.lang_name(),
+        graph.num_nodes(),
+        graph.num_edges()
+    );
     println!("\ngenerated differential equations:");
     for eq in system.equations() {
         println!("  {eq}");

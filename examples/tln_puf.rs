@@ -27,14 +27,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     println!("== TLN PUF (paper §2) ==");
-    println!("{} challenge bits, {} response bits\n", design.sites, design.response_bits);
+    println!(
+        "{} challenge bits, {} response bits\n",
+        design.sites, design.response_bits
+    );
 
     // Challenge-response pairs for two different chips.
     let challenge = challenge_bits(0b101, design.sites);
     let (reference, ref_idx) = design.reference(&gmc, &challenge)?;
     let chip1 = design.respond(&gmc, &reference, ref_idx, &challenge, 1, 0.0, 0)?;
     let chip2 = design.respond(&gmc, &reference, ref_idx, &challenge, 2, 0.0, 0)?;
-    let render = |r: &[bool]| r.iter().map(|&b| if b { '1' } else { '0' }).collect::<String>();
+    let render = |r: &[bool]| {
+        r.iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect::<String>()
+    };
     println!("challenge 101 -> chip 1: {}", render(&chip1));
     println!("challenge 101 -> chip 2: {}", render(&chip2));
     println!(
@@ -44,11 +51,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Quality metrics for both entropy sources.
-    let cfg = EvalConfig { instances: 5, challenges: 3, remeasures: 2, noise_sigma: 5e-4 };
-    for (label, kind) in [("Gm mismatch", MismatchKind::Gm), ("Cint mismatch", MismatchKind::Cint)]
-    {
+    let cfg = EvalConfig {
+        instances: 5,
+        challenges: 3,
+        remeasures: 2,
+        noise_sigma: 5e-4,
+    };
+    for (label, kind) in [
+        ("Gm mismatch", MismatchKind::Gm),
+        ("Cint mismatch", MismatchKind::Cint),
+    ] {
         let d = PufDesign {
-            cfg: TlineConfig { mismatch: kind, ..design.cfg },
+            cfg: TlineConfig {
+                mismatch: kind,
+                ..design.cfg
+            },
             ..design.clone()
         };
         let m = evaluate(&gmc, &d, &cfg)?;

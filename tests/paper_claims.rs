@@ -2,7 +2,7 @@
 //! reduced scale (the full-scale runs live in the `ark-bench` binaries and
 //! are recorded in EXPERIMENTS.md).
 
-use ark::core::validate::{validate, ExternRegistry};
+use ark::core::validate::validate;
 use ark::core::CompiledSystem;
 use ark::ode::{ensemble_stats, Rk4};
 use ark::paradigms::cnn::{
@@ -27,7 +27,9 @@ fn fig4_linear_vs_branched_shapes() {
 
     let linear = linear_tline(&lang, 12, &cfg, 0).unwrap();
     let sys = CompiledSystem::compile(&lang, &linear).unwrap();
-    let tr = Rk4 { dt: 2e-11 }.integrate(&sys, 0.0, &sys.initial_state(), 6e-8, 8).unwrap();
+    let tr = Rk4 { dt: 2e-11 }
+        .integrate(&sys, 0.0, &sys.initial_state(), 6e-8, 8)
+        .unwrap();
     let out = sys.state_index(&linear_out_v(12)).unwrap();
     let (t_main, v_main) = tr.peak_in_window(out, 0.0, 6e-8);
     assert!(v_main > 0.4 && v_main < 0.65, "linear peak {v_main}");
@@ -39,10 +41,15 @@ fn fig4_linear_vs_branched_shapes() {
     // main pulse (trunk delay 16 ns, echo +20 ns).
     let branched = branched_tline(&lang, 8, 10, 8, &cfg, 0).unwrap();
     let sys = CompiledSystem::compile(&lang, &branched).unwrap();
-    let tr = Rk4 { dt: 2e-11 }.integrate(&sys, 0.0, &sys.initial_state(), 1.2e-7, 8).unwrap();
+    let tr = Rk4 { dt: 2e-11 }
+        .integrate(&sys, 0.0, &sys.initial_state(), 1.2e-7, 8)
+        .unwrap();
     let out = sys.state_index(&branched_out_v(8)).unwrap();
     let (tb, vb) = tr.peak_in_window(out, 0.0, 4.5e-8);
-    assert!(vb < v_main, "branched peak {vb} must be attenuated vs {v_main}");
+    assert!(
+        vb < v_main,
+        "branched peak {vb} must be attenuated vs {v_main}"
+    );
     let (_, ve) = tr.peak_in_window(out, tb + 2.2e-8, 1.2e-7);
     assert!(ve > 0.25 * vb, "branched echo {ve} vs main {vb}");
 }
@@ -53,7 +60,10 @@ fn fig4_gm_variation_dominates_cint() {
     let base = tln_language();
     let gmc = gmc_tln_language(&base);
     let run = |kind: MismatchKind| {
-        let cfg = TlineConfig { mismatch: kind, ..TlineConfig::default() };
+        let cfg = TlineConfig {
+            mismatch: kind,
+            ..TlineConfig::default()
+        };
         (0..10u64)
             .map(|seed| {
                 let g = linear_tline(&gmc, 10, &cfg, seed).unwrap();
@@ -66,7 +76,10 @@ fn fig4_gm_variation_dominates_cint() {
     };
     let idx = {
         let g = linear_tline(&gmc, 10, &TlineConfig::default(), 0).unwrap();
-        CompiledSystem::compile(&gmc, &g).unwrap().state_index(&linear_out_v(10)).unwrap()
+        CompiledSystem::compile(&gmc, &g)
+            .unwrap()
+            .state_index(&linear_out_v(10))
+            .unwrap()
     };
     let cint = ensemble_stats(&run(MismatchKind::Cint), idx, 0.5e-8, 4e-8, 40);
     let gm = ensemble_stats(&run(MismatchKind::Gm), idx, 0.5e-8, 4e-8, 40);
@@ -94,7 +107,11 @@ fn fig11_nonideality_shapes() {
     };
 
     let ideal = run(NonIdeality::Ideal, 3);
-    assert_eq!(ideal.final_output.diff_count(&expected), 0, "A must be correct");
+    assert_eq!(
+        ideal.final_output.diff_count(&expected),
+        0,
+        "A must be correct"
+    );
     let t_ideal = ideal.convergence_time.unwrap();
 
     let zmm = run(NonIdeality::ZMismatch, 3);
@@ -105,12 +122,21 @@ fn fig11_nonideality_shapes() {
     );
 
     // C corrupts the output for at least one fabricated instance.
-    let wrong: usize =
-        (0..3).map(|s| run(NonIdeality::GMismatch, s).final_output.diff_count(&expected)).sum();
+    let wrong: usize = (0..3)
+        .map(|s| {
+            run(NonIdeality::GMismatch, s)
+                .final_output
+                .diff_count(&expected)
+        })
+        .sum();
     assert!(wrong > 0, "C must corrupt some output");
 
     let satni = run(NonIdeality::NonIdealSat, 3);
-    assert_eq!(satni.final_output.diff_count(&expected), 0, "D stays correct");
+    assert_eq!(
+        satni.final_output.diff_count(&expected),
+        0,
+        "D stays correct"
+    );
     assert!(
         satni.convergence_time.unwrap() <= t_ideal,
         "D must converge at least as fast as A ({:?} vs {t_ideal})",
@@ -128,7 +154,10 @@ fn table1_shape() {
     let mut sync = [[0u32; 2]; 2]; // [variant][d]
     for t in 0..trials {
         let problem = MaxCutProblem::random(4, 1000 + t);
-        for (vi, kind) in [CouplingKind::Ideal, CouplingKind::Offset].into_iter().enumerate() {
+        for (vi, kind) in [CouplingKind::Ideal, CouplingKind::Offset]
+            .into_iter()
+            .enumerate()
+        {
             let outcome = solve(&ofs, &problem, kind, 0.1 * PI, 1000 + t).unwrap();
             for (di, d) in [0.01 * PI, 0.1 * PI].into_iter().enumerate() {
                 if classify_phases(&outcome.phases, d).is_some() {
@@ -138,12 +167,20 @@ fn table1_shape() {
         }
     }
     let pct = |x: u32| f64::from(x) * 100.0 / trials as f64;
-    assert!(pct(sync[0][0]) > 80.0, "ideal tight sync {}", pct(sync[0][0]));
+    assert!(
+        pct(sync[0][0]) > 80.0,
+        "ideal tight sync {}",
+        pct(sync[0][0])
+    );
     assert!(
         pct(sync[1][0]) < pct(sync[0][0]) - 15.0,
         "offset must collapse: {} vs {}",
         pct(sync[1][0]),
         pct(sync[0][0])
     );
-    assert!(pct(sync[1][1]) > 85.0, "offset must recover at loose d: {}", pct(sync[1][1]));
+    assert!(
+        pct(sync[1][1]) > 85.0,
+        "offset must recover at loose d: {}",
+        pct(sync[1][1])
+    );
 }

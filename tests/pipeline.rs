@@ -37,12 +37,19 @@ fn textual_program_end_to_end() {
 fn dg_and_netlist_agree_across_crates() {
     let base = tln_language();
     let gmc = gmc_tln_language(&base);
-    let cfg = TlineConfig { mismatch: MismatchKind::Both, ..TlineConfig::default() };
+    let cfg = TlineConfig {
+        mismatch: MismatchKind::Both,
+        ..TlineConfig::default()
+    };
     let graph = linear_tline(&gmc, 6, &cfg, 99).unwrap();
-    assert!(validate(&gmc, &graph, &ExternRegistry::new()).unwrap().is_valid());
+    assert!(validate(&gmc, &graph, &ExternRegistry::new())
+        .unwrap()
+        .is_valid());
 
     let sys = CompiledSystem::compile(&gmc, &graph).unwrap();
-    let dg = Rk4 { dt: 2e-11 }.integrate(&sys, 0.0, &sys.initial_state(), 2e-8, 4).unwrap();
+    let dg = Rk4 { dt: 2e-11 }
+        .integrate(&sys, 0.0, &sys.initial_state(), 2e-8, 4)
+        .unwrap();
     let nl = synthesize(&gmc, &graph).unwrap();
     let nt = nl.transient(2e-8, 2e-11, 4).unwrap();
 
@@ -71,10 +78,12 @@ fn inheritance_preserves_dynamics_end_to_end() {
 
     let s_base = CompiledSystem::compile(&base, &g_base).unwrap();
     let s_gmc = CompiledSystem::compile(&gmc, &g_gmc).unwrap();
-    let t_base =
-        Rk4 { dt: 5e-11 }.integrate(&s_base, 0.0, &s_base.initial_state(), 1e-8, 8).unwrap();
-    let t_gmc =
-        Rk4 { dt: 5e-11 }.integrate(&s_gmc, 0.0, &s_gmc.initial_state(), 1e-8, 8).unwrap();
+    let t_base = Rk4 { dt: 5e-11 }
+        .integrate(&s_base, 0.0, &s_base.initial_state(), 1e-8, 8)
+        .unwrap();
+    let t_gmc = Rk4 { dt: 5e-11 }
+        .integrate(&s_gmc, 0.0, &s_gmc.initial_state(), 1e-8, 8)
+        .unwrap();
     // Bit-identical: the derived language falls back to exactly the parent
     // rules for base-type graphs.
     assert_eq!(t_base.last().unwrap().1, t_gmc.last().unwrap().1);
@@ -87,15 +96,24 @@ fn substitution_changes_dynamics_but_stays_valid() {
     let base = tln_language();
     let gmc = gmc_tln_language(&base);
     let ideal = linear_tline(&gmc, 6, &TlineConfig::default(), 5).unwrap();
-    let cfg = TlineConfig { mismatch: MismatchKind::Gm, ..TlineConfig::default() };
+    let cfg = TlineConfig {
+        mismatch: MismatchKind::Gm,
+        ..TlineConfig::default()
+    };
     let noisy = linear_tline(&gmc, 6, &cfg, 5).unwrap();
 
-    assert!(validate(&gmc, &noisy, &ExternRegistry::new()).unwrap().is_valid());
+    assert!(validate(&gmc, &noisy, &ExternRegistry::new())
+        .unwrap()
+        .is_valid());
 
     let si = CompiledSystem::compile(&gmc, &ideal).unwrap();
     let sn = CompiledSystem::compile(&gmc, &noisy).unwrap();
-    let ti = Rk4 { dt: 5e-11 }.integrate(&si, 0.0, &si.initial_state(), 2e-8, 8).unwrap();
-    let tn = Rk4 { dt: 5e-11 }.integrate(&sn, 0.0, &sn.initial_state(), 2e-8, 8).unwrap();
+    let ti = Rk4 { dt: 5e-11 }
+        .integrate(&si, 0.0, &si.initial_state(), 2e-8, 8)
+        .unwrap();
+    let tn = Rk4 { dt: 5e-11 }
+        .integrate(&sn, 0.0, &sn.initial_state(), 2e-8, 8)
+        .unwrap();
     let out = si.state_index(&linear_out_v(6)).unwrap();
     let diff: f64 = (1..20)
         .map(|k| {
@@ -103,7 +121,10 @@ fn substitution_changes_dynamics_but_stays_valid() {
             (ti.value_at(t, out) - tn.value_at(t, out)).abs()
         })
         .sum();
-    assert!(diff > 1e-3, "mismatch must perturb the trajectory, diff {diff}");
+    assert!(
+        diff > 1e-3,
+        "mismatch must perturb the trajectory, diff {diff}"
+    );
 }
 
 /// The compiler's pretty-printed equations are themselves parseable Ark
@@ -129,7 +150,11 @@ fn case_study_languages_roundtrip_through_source() {
 
     let base = tln_language();
     let gmc = gmc_tln_language(&base);
-    let src = format!("{}\n{}", language_to_source(&base), language_to_source(&gmc));
+    let src = format!(
+        "{}\n{}",
+        language_to_source(&base),
+        language_to_source(&gmc)
+    );
     let prog = Program::parse(&src).unwrap_or_else(|e| panic!("reparse failed: {e}\n{src}"));
     assert_eq!(prog.language("tln").unwrap(), &base);
     assert_eq!(prog.language("gmc_tln").unwrap(), &gmc);

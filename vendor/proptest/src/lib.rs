@@ -1,0 +1,115 @@
+//! Offline shim for the subset of the `proptest` 1.x API used by the Ark
+//! workspace. The build environment has no registry access, so this crate
+//! re-implements the pieces the test suites rely on:
+//!
+//! * the [`strategy::Strategy`] trait with `prop_map`, `prop_flat_map`,
+//!   `prop_recursive`, and `boxed`;
+//! * range and tuple strategies, [`strategy::Just`], and the
+//!   [`prop_oneof!`] union;
+//! * [`collection::vec`] and [`option::of`];
+//! * the [`proptest!`] macro with `#![proptest_config(..)]` support, plus
+//!   [`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assert_ne!`].
+//!
+//! Semantics differ from upstream in one deliberate way: there is **no
+//! shrinking**. Each test runs `cases` deterministic seeded samples (seeded
+//! from the test's name), and a failing case panics with the normal assert
+//! message. That keeps failures reproducible without the full shrinking
+//! machinery.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Everything a `use proptest::prelude::*;` is expected to bring in.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests over strategy-generated inputs.
+///
+/// Supports the upstream surface used in this workspace: an optional
+/// leading `#![proptest_config(expr)]`, then one or more `#[test]`
+/// functions whose arguments are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            (<$crate::test_runner::ProptestConfig as ::std::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+      )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __ark_config: $crate::test_runner::ProptestConfig = $config;
+                // Deterministic per-test seed derived from the test name.
+                let mut __ark_seed: u64 = 0xcbf2_9ce4_8422_2325;
+                for __ark_byte in stringify!($name).bytes() {
+                    __ark_seed =
+                        (__ark_seed ^ __ark_byte as u64).wrapping_mul(0x100_0000_01b3);
+                }
+                let mut __ark_rng =
+                    <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>
+                        ::seed_from_u64(__ark_seed);
+                for __ark_case in 0..__ark_config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strategy), &mut __ark_rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a [`proptest!`] body (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assert inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Inequality assert inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}

@@ -1,0 +1,22 @@
+//! Test-run configuration ([`ProptestConfig`]).
+
+/// Configuration for a [`proptest!`](crate::proptest!) block.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}

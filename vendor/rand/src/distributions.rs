@@ -1,0 +1,172 @@
+//! The [`Standard`] distribution and uniform range sampling.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can produce values of `T` from a generator.
+pub trait Distribution<T> {
+    /// Sample one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution for a type: uniform over its domain for
+/// integers and `bool`, uniform in `[0, 1)` for floats.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Marker for types sampleable uniformly from a range.
+pub trait SampleUniform: Sized {
+    /// Sample uniformly from `[lo, hi)`. Callers guarantee `lo < hi`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Sample uniformly from `[lo, hi]`. Callers guarantee `lo <= hi`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as $u).wrapping_sub(lo as $u);
+                lo.wrapping_add(uniform_u64(rng, span as u64) as $t)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as $u).wrapping_sub(lo as $u);
+                if span as u64 == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_u64(rng, span as u64 + 1) as $t)
+            }
+        }
+    )*};
+}
+uniform_int!(u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+             i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+/// Uniform value in `[0, span)` by widening multiply with rejection.
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Lemire's method: reject the biased low zone.
+    let threshold = span.wrapping_neg() % span;
+    loop {
+        let wide = rng.next_u64() as u128 * span as u128;
+        if (wide as u64) >= threshold {
+            return (wide >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let unit: $t = Standard.sample(rng);
+                lo + (hi - lo) * unit
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                Self::sample_half_open(rng, lo, hi)
+            }
+        }
+    )*};
+}
+uniform_float!(f32, f64);
+
+/// Ranges accepted by [`Rng::gen_range`](crate::Rng::gen_range).
+pub trait SampleRange<T> {
+    /// Sample one value; panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn int_ranges_cover_and_stay_inside() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let v = rng.gen_range(0..4);
+            assert!((0..4).contains(&v));
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..200 {
+            let v = rng.gen_range(-2i64..=2);
+            assert!((-2..=2).contains(&v));
+        }
+    }
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.4)).count();
+        assert!((3_500..4_500).contains(&hits), "hits = {hits}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Concrete generators: [`StdRng`] (xoshiro256++) and the [`SplitMix64`]
+//! seed expander.
+
+use crate::{RngCore, SeedableRng};
+
+/// SplitMix64, used to expand small seeds into full generator state.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A new expander starting from `state`.
+    pub fn new(state: u64) -> Self {
+        SplitMix64 { state }
+    }
+
+    /// The next word of the SplitMix64 sequence.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// The workspace's standard seeded generator (xoshiro256++).
+///
+/// Unlike upstream `rand`'s ChaCha12-backed `StdRng`, this shim uses
+/// xoshiro256++: deterministic per seed, fast, and adequate for simulation
+/// and test workloads (not cryptography).
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *word = u64::from_le_bytes(bytes);
+        }
+        // Xoshiro must not start from the all-zero state.
+        if s.iter().all(|&w| w == 0) {
+            s = [
+                0x9e37_79b9_7f4a_7c15,
+                0xbf58_476d_1ce4_e5b9,
+                0x94d0_49bb_1331_11eb,
+                1,
+            ];
+        }
+        StdRng { s }
+    }
+}
