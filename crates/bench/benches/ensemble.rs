@@ -1,0 +1,81 @@
+//! Serial-vs-parallel throughput of the `ark-sim` mismatch-ensemble engine.
+//!
+//! The workload is the §2.4 Monte Carlo: one fabricated GmC-TLN instance
+//! per seed (build → compile → RK4 transient). Two criterion benchmarks
+//! measure the same N-instance ensemble on one worker and on the full pool,
+//! and a direct wall-clock comparison prints the speedup (the acceptance
+//! bar for the engine is ≥ 2× at N = 64 on 4 workers).
+//!
+//! Smoke-mode knobs (used by CI so the parallel path runs on every push):
+//! `ARK_ENSEMBLE_N` overrides the instance count and
+//! `ARK_ENSEMBLE_WORKERS` the parallel worker count, e.g.
+//! `ARK_ENSEMBLE_N=4 ARK_ENSEMBLE_WORKERS=2 cargo bench -p ark-bench --bench ensemble`.
+
+use ark_paradigms::tln::{
+    gmc_tln_language, tline_mismatch_ensemble, tln_language, MismatchKind, TlineConfig,
+};
+use ark_sim::{seed_range, Ensemble};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+const SEGMENTS: usize = 8;
+const T_END: f64 = 2e-8;
+const DT: f64 = 5e-11;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn run(seeds: &[u64], ens: &Ensemble) -> Vec<ark_ode::Trajectory> {
+    let base = tln_language();
+    let gmc = gmc_tln_language(&base);
+    let cfg = TlineConfig {
+        mismatch: MismatchKind::Gm,
+        ..TlineConfig::default()
+    };
+    tline_mismatch_ensemble(&gmc, SEGMENTS, &cfg, T_END, DT, 16, seeds, ens).unwrap()
+}
+
+fn bench_ensemble(c: &mut Criterion) {
+    let n = env_usize("ARK_ENSEMBLE_N", 64);
+    let workers = env_usize("ARK_ENSEMBLE_WORKERS", 4);
+    let seeds = seed_range(0, n);
+
+    let mut group = c.benchmark_group(format!("ensemble/{n}-instances"));
+    group.bench_function("serial", |b| {
+        b.iter(|| black_box(run(&seeds, &Ensemble::serial())))
+    });
+    group.bench_function(format!("parallel-{workers}w"), |b| {
+        b.iter(|| black_box(run(&seeds, &Ensemble::new(workers))))
+    });
+    group.finish();
+
+    // Direct wall-clock comparison (single run each), with the determinism
+    // guarantee double-checked on the way: full trajectories (every sample
+    // value and the solver stats) must be bit-identical across worker
+    // counts, not just the same shape.
+    let t = Instant::now();
+    let serial = run(&seeds, &Ensemble::serial());
+    let t_serial = t.elapsed();
+    let t = Instant::now();
+    let parallel = run(&seeds, &Ensemble::new(workers));
+    let t_parallel = t.elapsed();
+    assert_eq!(
+        serial, parallel,
+        "ensemble trajectories must not depend on workers"
+    );
+    let cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    println!(
+        "ensemble {n} instances: serial {:.3}s, {workers} workers {:.3}s -> speedup {:.2}x \
+         ({cpus} CPU(s) available; speedup is bounded by the host core count)",
+        t_serial.as_secs_f64(),
+        t_parallel.as_secs_f64(),
+        t_serial.as_secs_f64() / t_parallel.as_secs_f64().max(1e-12),
+    );
+}
+
+criterion_group!(benches, bench_ensemble);
+criterion_main!(benches);

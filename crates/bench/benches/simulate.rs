@@ -17,20 +17,26 @@ fn bench_simulate(c: &mut Criterion) {
     group.bench_function("rk4_1000_steps", |b| {
         b.iter(|| {
             Rk4 { dt: 2e-11 }
-                .integrate(&sys, 0.0, &y0, 2e-8, usize::MAX)
+                .integrate(&sys.bind(), 0.0, &y0, 2e-8, usize::MAX)
                 .unwrap()
         })
     });
     group.bench_function("dp45_adaptive", |b| {
         b.iter(|| {
             DormandPrince::new(1e-6, 1e-9)
-                .integrate(&sys, 0.0, &y0, 2e-8)
+                .integrate(&sys.bind(), 0.0, &y0, 2e-8)
                 .unwrap()
         })
     });
     group.bench_function("rhs_only", |b| {
-        let mut dydt = vec![0.0; sys.dim()];
-        b.iter(|| sys.rhs(1e-9, &y0, &mut dydt))
+        let mut dydt = vec![0.0; sys.num_states()];
+        let mut scratch = sys.scratch();
+        b.iter(|| sys.rhs_with(1e-9, &y0, &mut dydt, &mut scratch))
+    });
+    group.bench_function("rhs_only_bound", |b| {
+        let bound = sys.bind();
+        let mut dydt = vec![0.0; bound.dim()];
+        b.iter(|| bound.rhs(1e-9, &y0, &mut dydt))
     });
     group.finish();
 

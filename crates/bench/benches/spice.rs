@@ -24,7 +24,7 @@ fn bench_spice(c: &mut Criterion) {
     group.bench_function("dg_rk4", |b| {
         b.iter(|| {
             Rk4 { dt: 4e-11 }
-                .integrate(&sys, 0.0, &y0, 2e-8, 10)
+                .integrate(&sys.bind(), 0.0, &y0, 2e-8, 10)
                 .unwrap()
         })
     });

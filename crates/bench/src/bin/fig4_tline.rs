@@ -23,7 +23,7 @@ fn simulate(
 ) -> Result<(usize, Trajectory), Box<dyn std::error::Error>> {
     let sys = CompiledSystem::compile(lang, graph)?;
     let idx = sys.state_index(out).expect("observation node is stateful");
-    let tr = Rk4 { dt: DT }.integrate(&sys, 0.0, &sys.initial_state(), T_END, 8)?;
+    let tr = Rk4 { dt: DT }.integrate(&sys.bind(), 0.0, &sys.initial_state(), T_END, 8)?;
     Ok((idx, tr))
 }
 

@@ -9,21 +9,26 @@
 use ark_bench::trials_arg;
 use ark_paradigms::maxcut::{classify_phases, solve, CouplingKind, MaxCutProblem};
 use ark_paradigms::obc::{obc_language, ofs_obc_language};
+use ark_sim::{seed_range, Ensemble};
 use std::f64::consts::PI;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let trials = trials_arg(1000);
     let base = obc_language();
     let ofs = ofs_obc_language(&base);
     let ds = [0.01 * PI, 0.1 * PI];
+    let ens = Ensemble::default();
 
-    println!("== Table 1: OBC max-cut over {trials} random 4-vertex graphs ==\n");
+    println!("== Table 1: OBC max-cut over {trials} random 4-vertex graphs ==");
+    println!("ensemble engine: {} workers\n", ens.workers());
 
     // One simulation per (graph, variant); both tolerances reuse the final
-    // phases, mirroring the paper's external readout parameter.
-    let mut cells = [[(0usize, 0usize); 2]; 2]; // [variant][d] -> (sync, solved)
-    for t in 0..trials as u64 {
+    // phases, mirroring the paper's external readout parameter. Each trial
+    // is one seeded `ark-sim` job, so the table is bit-identical for any
+    // worker count.
+    let per_trial = ens.try_map(&seed_range(0, trials), |t| {
         let problem = MaxCutProblem::random(4, t);
+        let mut cells = [[(0usize, 0usize); 2]; 2]; // [variant][d] -> (sync, solved)
         for (vi, coupling) in [CouplingKind::Ideal, CouplingKind::Offset]
             .into_iter()
             .enumerate()
@@ -38,6 +43,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         cells[vi][di].1 += 1;
                     }
                 }
+            }
+        }
+        Ok::<_, ark_paradigms::DynError>(cells)
+    })?;
+    let mut cells = [[(0usize, 0usize); 2]; 2];
+    for trial in per_trial {
+        for vi in 0..2 {
+            for di in 0..2 {
+                cells[vi][di].0 += trial[vi][di].0;
+                cells[vi][di].1 += trial[vi][di].1;
             }
         }
     }

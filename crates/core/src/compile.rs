@@ -13,10 +13,12 @@
 //!    derivatives each right-hand-side call (scheduled topologically;
 //!    algebraic cycles are rejected).
 //!
-//! The result, [`CompiledSystem`], implements [`ark_ode::OdeSystem`] with
-//! all expressions lowered to [`ark_expr::Tape`]s, and also retains
-//! human-readable equations for inspection (the paper's generated
-//! differential equations).
+//! The result, [`CompiledSystem`], has all expressions lowered to
+//! [`ark_expr::Tape`]s and retains human-readable equations for inspection
+//! (the paper's generated differential equations). It is immutable and
+//! `Send + Sync`: evaluation state lives in a separate per-worker
+//! [`EvalScratch`], and [`CompiledSystem::bind`] pairs the two into a
+//! [`BoundSystem`] implementing [`ark_ode::OdeSystem`] for the integrators.
 
 use crate::dg::Graph;
 use crate::lang::{LangError, Language, Reduction, RuleTarget};
@@ -142,15 +144,64 @@ enum DerivKind {
     Tape(usize),
 }
 
-#[derive(Debug)]
-struct Scratch {
+/// Per-worker evaluation buffers for a [`CompiledSystem`].
+///
+/// The compiled system itself is immutable (`Send + Sync`), so one compiled
+/// design can be shared by reference across a thread pool; each worker owns
+/// an `EvalScratch` and passes it to the `*_with` evaluation methods.
+/// Buffers are resized on demand, so one scratch also serves systems of
+/// different sizes. Obtain one with [`CompiledSystem::scratch`].
+#[derive(Debug, Clone, Default)]
+pub struct EvalScratch {
     /// Combined variable buffer: `[states..., algebraics...]`.
     buf: Vec<f64>,
     /// Register file reused across tape evaluations.
     regs: Vec<f64>,
 }
 
+impl EvalScratch {
+    fn ensure(&mut self, slots: usize, regs: usize) {
+        if self.buf.len() != slots {
+            self.buf.resize(slots, 0.0);
+        }
+        if self.regs.len() < regs {
+            self.regs.resize(regs, 0.0);
+        }
+    }
+}
+
+/// A [`CompiledSystem`] bound to one [`EvalScratch`], implementing
+/// [`ark_ode::OdeSystem`]. Create one per thread with
+/// [`CompiledSystem::bind`]; the binding is deliberately `!Sync` (interior
+/// mutability), while the compiled system it borrows stays shareable.
+pub struct BoundSystem<'a> {
+    sys: &'a CompiledSystem,
+    scratch: RefCell<EvalScratch>,
+}
+
+impl<'a> BoundSystem<'a> {
+    /// The underlying compiled system.
+    pub fn system(&self) -> &'a CompiledSystem {
+        self.sys
+    }
+}
+
+impl OdeSystem for BoundSystem<'_> {
+    fn dim(&self) -> usize {
+        self.sys.num_states()
+    }
+
+    fn rhs(&self, t: f64, y: &[f64], dydt: &mut [f64]) {
+        self.sys
+            .rhs_with(t, y, dydt, &mut self.scratch.borrow_mut());
+    }
+}
+
 /// A dynamical graph lowered to an executable first-order ODE system.
+///
+/// The compiled form is immutable and `Send + Sync`: compile once, then
+/// share it by reference across worker threads, giving each worker its own
+/// [`EvalScratch`] (or a [`BoundSystem`] via [`CompiledSystem::bind`]).
 pub struct CompiledSystem {
     state_vars: Vec<StateVar>,
     /// Node name → base state index (0th derivative).
@@ -163,7 +214,8 @@ pub struct CompiledSystem {
     deriv_tapes: Vec<Tape>,
     init: Vec<f64>,
     equations: Vec<String>,
-    scratch: RefCell<Scratch>,
+    /// Largest register file any tape needs (sizes [`EvalScratch`]).
+    max_regs: usize,
 }
 
 impl fmt::Debug for CompiledSystem {
@@ -214,25 +266,85 @@ impl CompiledSystem {
         self.alg_of_node.get(node).copied()
     }
 
+    /// A fresh evaluation scratch sized for this system (one per worker).
+    pub fn scratch(&self) -> EvalScratch {
+        let mut s = EvalScratch::default();
+        s.ensure(self.num_states() + self.alg_of_node.len(), self.max_regs);
+        s
+    }
+
+    /// Bind this system to a fresh scratch, yielding an
+    /// [`ark_ode::OdeSystem`] implementation for the integrators. Cheap;
+    /// create one per thread (or per integration call).
+    pub fn bind(&self) -> BoundSystem<'_> {
+        BoundSystem {
+            sys: self,
+            scratch: RefCell::new(self.scratch()),
+        }
+    }
+
+    /// Evaluate the right-hand side `f(t, y)` into `dydt` using the given
+    /// scratch — the re-entrant core behind [`BoundSystem`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` or `dydt` has the wrong length.
+    pub fn rhs_with(&self, t: f64, y: &[f64], dydt: &mut [f64], scratch: &mut EvalScratch) {
+        let n = self.num_states();
+        assert_eq!(y.len(), n, "state vector length mismatch");
+        scratch.ensure(n + self.alg_of_node.len(), self.max_regs);
+        let EvalScratch { buf, regs } = scratch;
+        buf[..n].copy_from_slice(y);
+        // Algebraic pass (order-0 nodes) in topological order.
+        for (slot, tape) in &self.alg_tapes {
+            let v = tape.eval(buf, t, regs);
+            buf[n + *slot] = v;
+        }
+        // Derivative pass.
+        for (i, kind) in self.deriv_kinds.iter().enumerate() {
+            dydt[i] = match kind {
+                DerivKind::Chain(j) => y[*j],
+                DerivKind::Tape(k) => self.deriv_tapes[*k].eval(buf, t, regs),
+            };
+        }
+    }
+
+    /// Evaluate *all* algebraic (order-0) nodes at time `t` for state `y`
+    /// through the given scratch, returning the algebraic segment indexed by
+    /// [`CompiledSystem::algebraic_index`]. One pass in topological order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` has the wrong length.
+    pub fn eval_algebraics_with<'s>(
+        &self,
+        t: f64,
+        y: &[f64],
+        scratch: &'s mut EvalScratch,
+    ) -> &'s [f64] {
+        let n = self.num_states();
+        assert_eq!(y.len(), n, "state vector length mismatch");
+        scratch.ensure(n + self.alg_of_node.len(), self.max_regs);
+        let EvalScratch { buf, regs } = scratch;
+        buf[..n].copy_from_slice(y);
+        for (s, tape) in &self.alg_tapes {
+            buf[n + *s] = tape.eval(buf, t, regs);
+        }
+        &buf[n..]
+    }
+
     /// Evaluate *all* algebraic (order-0) nodes at time `t` for state `y`,
-    /// returned indexed by [`CompiledSystem::algebraic_index`]. One pass in
-    /// topological order — much cheaper than repeated
-    /// [`CompiledSystem::eval_algebraic`] calls when observing many nodes
-    /// (e.g. every CNN output cell).
+    /// returned indexed by [`CompiledSystem::algebraic_index`]. Allocating
+    /// convenience wrapper over [`CompiledSystem::eval_algebraics_with`] —
+    /// much cheaper than repeated [`CompiledSystem::eval_algebraic`] calls
+    /// when observing many nodes (e.g. every CNN output cell).
     ///
     /// # Panics
     ///
     /// Panics if `y` has the wrong length.
     pub fn eval_algebraics(&self, t: f64, y: &[f64]) -> Vec<f64> {
-        assert_eq!(y.len(), self.num_states(), "state vector length mismatch");
-        let mut scratch = self.scratch.borrow_mut();
-        let Scratch { buf, regs } = &mut *scratch;
-        buf[..y.len()].copy_from_slice(y);
-        let n = y.len();
-        for (s, tape) in &self.alg_tapes {
-            buf[n + *s] = tape.eval(buf, t, regs);
-        }
-        buf[n..].to_vec()
+        self.eval_algebraics_with(t, y, &mut self.scratch())
+            .to_vec()
     }
 
     /// Evaluate the algebraic (order-0) node `node` at time `t` for state
@@ -242,19 +354,8 @@ impl CompiledSystem {
     ///
     /// Panics if `node` is not algebraic or `y` has the wrong length.
     pub fn eval_algebraic(&self, node: &str, t: f64, y: &[f64]) -> f64 {
-        assert_eq!(y.len(), self.num_states(), "state vector length mismatch");
         let slot = self.alg_of_node[node];
-        let mut scratch = self.scratch.borrow_mut();
-        let Scratch { buf, regs } = &mut *scratch;
-        buf[..y.len()].copy_from_slice(y);
-        let n = y.len();
-        for (s, tape) in &self.alg_tapes {
-            buf[n + *s] = tape.eval(buf, t, regs);
-            if *s == slot {
-                return buf[n + *s];
-            }
-        }
-        buf[n + slot]
+        self.eval_algebraics_with(t, y, &mut self.scratch())[slot]
     }
 
     /// Compile a graph against its language (Algorithm 1).
@@ -387,10 +488,7 @@ impl CompiledSystem {
             deriv_tapes,
             init,
             equations,
-            scratch: RefCell::new(Scratch {
-                buf: vec![0.0; n_states + n_algs],
-                regs: vec![0.0; max_regs],
-            }),
+            max_regs,
         })
     }
 }
@@ -529,31 +627,6 @@ fn topo_algebraics(
     Ok(order)
 }
 
-impl OdeSystem for CompiledSystem {
-    fn dim(&self) -> usize {
-        self.state_vars.len()
-    }
-
-    fn rhs(&self, t: f64, y: &[f64], dydt: &mut [f64]) {
-        let mut scratch = self.scratch.borrow_mut();
-        let Scratch { buf, regs } = &mut *scratch;
-        let n = y.len();
-        buf[..n].copy_from_slice(y);
-        // Algebraic pass (order-0 nodes) in topological order.
-        for (slot, tape) in &self.alg_tapes {
-            let v = tape.eval(buf, t, regs);
-            buf[n + *slot] = v;
-        }
-        // Derivative pass.
-        for (i, kind) in self.deriv_kinds.iter().enumerate() {
-            dydt[i] = match kind {
-                DerivKind::Chain(j) => y[*j],
-                DerivKind::Tape(k) => self.deriv_tapes[*k].eval(buf, t, regs),
-            };
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -584,6 +657,48 @@ mod tests {
             .unwrap()
     }
 
+    /// Compile-time guarantee behind the `ark-sim` ensemble engine: a
+    /// compiled system can be shared by reference across worker threads.
+    #[test]
+    fn compiled_system_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CompiledSystem>();
+        assert_send_sync::<EvalScratch>();
+    }
+
+    #[test]
+    fn rhs_with_shared_across_threads_matches_serial() {
+        let lang = rc_lang();
+        let mut b = GraphBuilder::new(&lang, 0);
+        b.node("v0", "V").unwrap();
+        b.set_attr("v0", "c", 1.0).unwrap();
+        b.set_attr("v0", "r", 0.5).unwrap();
+        b.set_init("v0", 0, 1.0).unwrap();
+        b.edge("self", "E", "v0", "v0").unwrap();
+        let g = b.finish().unwrap();
+        let sys = CompiledSystem::compile(&lang, &g).unwrap();
+        let mut serial = vec![0.0];
+        sys.rhs_with(0.0, &[1.0], &mut serial, &mut sys.scratch());
+        let results: Vec<f64> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut scratch = sys.scratch();
+                        let mut dydt = vec![0.0];
+                        sys.rhs_with(0.0, &[1.0], &mut dydt, &mut scratch);
+                        dydt[0]
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for r in results {
+            assert_eq!(r, serial[0]);
+        }
+    }
+
     #[test]
     fn compile_rc_decay_and_simulate() {
         let lang = rc_lang();
@@ -599,7 +714,7 @@ mod tests {
         assert_eq!(sys.state_index("v0"), Some(0));
         assert_eq!(sys.initial_state(), vec![1.0]);
         let tr = Rk4 { dt: 1e-3 }
-            .integrate(&sys, 0.0, &sys.initial_state(), 1.0, 10)
+            .integrate(&sys.bind(), 0.0, &sys.initial_state(), 1.0, 10)
             .unwrap();
         let v_end = tr.last().unwrap().1[0];
         assert!((v_end - (-1.0f64).exp()).abs() < 1e-8, "v_end {v_end}");
@@ -645,7 +760,13 @@ mod tests {
         let sys = CompiledSystem::compile(&lang, &g).unwrap();
         // One period of the harmonic oscillator returns to the start.
         let tr = Rk4 { dt: 1e-3 }
-            .integrate(&sys, 0.0, &sys.initial_state(), std::f64::consts::TAU, 100)
+            .integrate(
+                &sys.bind(),
+                0.0,
+                &sys.initial_state(),
+                std::f64::consts::TAU,
+                100,
+            )
             .unwrap();
         let yf = tr.last().unwrap().1;
         assert!((yf[sys.state_index("a").unwrap()] - 1.0).abs() < 1e-6);
@@ -693,7 +814,7 @@ mod tests {
         assert_eq!(sys.num_states(), 2);
         // V stays at 1 (no dynamics contributions), so dS/dt = 2 → S(1) = 2.
         let tr = Rk4 { dt: 1e-3 }
-            .integrate(&sys, 0.0, &sys.initial_state(), 1.0, 10)
+            .integrate(&sys.bind(), 0.0, &sys.initial_state(), 1.0, 10)
             .unwrap();
         let s_end = tr.last().unwrap().1[sys.state_index("s").unwrap()];
         assert!((s_end - 2.0).abs() < 1e-9);
@@ -775,7 +896,7 @@ mod tests {
         let g = b.finish().unwrap();
         let sys = CompiledSystem::compile(&lang, &g).unwrap();
         let tr = Rk4 { dt: 1e-2 }
-            .integrate(&sys, 0.0, &sys.initial_state(), 1.0, 10)
+            .integrate(&sys.bind(), 0.0, &sys.initial_state(), 1.0, 10)
             .unwrap();
         let yf = tr.last().unwrap().1;
         // Nothing moves.
@@ -819,7 +940,7 @@ mod tests {
         let g = b.finish().unwrap();
         let sys = CompiledSystem::compile(&lang, &g).unwrap();
         let tr = Rk4 { dt: 1e-3 }
-            .integrate(&sys, 0.0, &sys.initial_state(), 1.0, 10)
+            .integrate(&sys.bind(), 0.0, &sys.initial_state(), 1.0, 10)
             .unwrap();
         let a_end = tr.last().unwrap().1[sys.state_index("a").unwrap()];
         // a decays at rate 0.1; b receives nothing (its on-rule is inactive)
@@ -855,7 +976,13 @@ mod tests {
         assert_eq!(sys.num_states(), 2);
         assert_eq!(sys.state_vars()[1].to_string(), "x'");
         let tr = Rk4 { dt: 1e-3 }
-            .integrate(&sys, 0.0, &sys.initial_state(), std::f64::consts::TAU, 100)
+            .integrate(
+                &sys.bind(),
+                0.0,
+                &sys.initial_state(),
+                std::f64::consts::TAU,
+                100,
+            )
             .unwrap();
         let yf = tr.last().unwrap().1;
         // cos(t) returns to 1 after one period.
@@ -894,7 +1021,7 @@ mod tests {
         let g = b.finish().unwrap();
         let sys = CompiledSystem::compile(&lang, &g).unwrap();
         let tr = Rk4 { dt: 1e-3 }
-            .integrate(&sys, 0.0, &sys.initial_state(), 1.0, 10)
+            .integrate(&sys.bind(), 0.0, &sys.initial_state(), 1.0, 10)
             .unwrap();
         // v integrates a unit pulse of width 0.5 → 0.5 (up to O(dt) error
         // from the waveform discontinuity landing mid-step).
@@ -961,7 +1088,7 @@ mod tests {
         let g = b.finish().unwrap();
         let sys = CompiledSystem::compile(&lang, &g).unwrap();
         let tr = Rk4 { dt: 1e-3 }
-            .integrate(&sys, 0.0, &sys.initial_state(), 1.0, 10)
+            .integrate(&sys.bind(), 0.0, &sys.initial_state(), 1.0, 10)
             .unwrap();
         let p_end = tr.last().unwrap().1[sys.state_index("p").unwrap()];
         assert!((p_end - 6.0).abs() < 1e-9);
@@ -979,7 +1106,7 @@ mod tests {
         let g = b.finish().unwrap();
         let sys = CompiledSystem::compile(&lang, &g).unwrap();
         let tr = Rk4 { dt: 1e-2 }
-            .integrate(&sys, 0.0, &sys.initial_state(), 1.0, 10)
+            .integrate(&sys.bind(), 0.0, &sys.initial_state(), 1.0, 10)
             .unwrap();
         assert_eq!(tr.last().unwrap().1[0], 4.0);
     }

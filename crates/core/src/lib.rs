@@ -54,7 +54,7 @@
 //! let graph = b.finish()?;
 //!
 //! let sys = CompiledSystem::compile(&lang, &graph)?;
-//! let tr = Rk4 { dt: 1e-3 }.integrate(&sys, 0.0, &sys.initial_state(), 1.0, 10)?;
+//! let tr = Rk4 { dt: 1e-3 }.integrate(&sys.bind(), 0.0, &sys.initial_state(), 1.0, 10)?;
 //! assert!((tr.last().unwrap().1[0] - (-1.0f64).exp()).abs() < 1e-8);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -72,7 +72,7 @@ pub mod program;
 pub mod types;
 pub mod validate;
 
-pub use compile::{CompileError, CompiledSystem, StateVar};
+pub use compile::{BoundSystem, CompileError, CompiledSystem, EvalScratch, StateVar};
 pub use dg::{Edge, EdgeId, Graph, GraphError, Node, NodeId};
 pub use func::{FuncError, GraphBuilder};
 pub use lang::{

@@ -476,7 +476,7 @@ func pair(couple: int[0, 1], tau: real[0.1, 10]) uses rc {
         assert_eq!(sys.num_states(), 2);
         // Uncoupled: a decays like e^-t, b stays 0.
         let tr = Rk4 { dt: 1e-3 }
-            .integrate(&sys, 0.0, &sys.initial_state(), 1.0, 10)
+            .integrate(&sys.bind(), 0.0, &sys.initial_state(), 1.0, 10)
             .unwrap();
         let a = tr.last().unwrap().1[sys.state_index("a").unwrap()];
         let bb = tr.last().unwrap().1[sys.state_index("b").unwrap()];
@@ -511,7 +511,7 @@ func pair(couple: int[0, 1], tau: real[0.1, 10]) uses rc {
             )
             .unwrap();
         let tr = Rk4 { dt: 1e-3 }
-            .integrate(&sys, 0.0, &sys.initial_state(), 1.0, 10)
+            .integrate(&sys.bind(), 0.0, &sys.initial_state(), 1.0, 10)
             .unwrap();
         let b = tr.last().unwrap().1[sys.state_index("b").unwrap()];
         assert!(b > 0.1, "b should accumulate charge, got {b}");
@@ -567,10 +567,10 @@ func pair(couple: int[0, 1], tau: real[0.1, 10]) uses rc {
         let sys_p = CompiledSystem::compile(lang_parent, &g_parent).unwrap();
         let sys_d = CompiledSystem::compile(lang_derived, &g_derived).unwrap();
         let tp = Rk4 { dt: 1e-3 }
-            .integrate(&sys_p, 0.0, &sys_p.initial_state(), 1.0, 10)
+            .integrate(&sys_p.bind(), 0.0, &sys_p.initial_state(), 1.0, 10)
             .unwrap();
         let td = Rk4 { dt: 1e-3 }
-            .integrate(&sys_d, 0.0, &sys_d.initial_state(), 1.0, 10)
+            .integrate(&sys_d.bind(), 0.0, &sys_d.initial_state(), 1.0, 10)
             .unwrap();
         assert_eq!(tp.last().unwrap().1, td.last().unwrap().1);
     }

@@ -8,9 +8,16 @@
 //!   bandwidth;
 //! * [`DormandPrince`] — adaptive 5(4) embedded Runge–Kutta with PI step
 //!   control, used when stiffness varies across a run (CNN mismatch studies).
+//!
+//! Every solver has two entry points: `integrate`, which allocates its work
+//! buffers internally (the historical API), and `integrate_with`, which
+//! steps through a caller-provided [`OdeWorkspace`] so the hot loop performs
+//! **zero per-step allocations** — the form the `ark-sim` ensemble engine
+//! uses to reuse buffers across thousands of fabricated instances. Both
+//! produce bit-identical trajectories.
 
 use crate::system::OdeSystem;
-use crate::trajectory::Trajectory;
+use crate::trajectory::{SolveStats, Trajectory};
 use std::fmt;
 
 /// An error produced during integration.
@@ -50,6 +57,42 @@ fn check_finite(t: f64, y: &[f64]) -> Result<(), SolveError> {
     }
 }
 
+/// Reusable work buffers for the integrators: the current state, a stage
+/// scratch vector, and up to seven stage-derivative vectors (the
+/// Dormand–Prince tableau needs all seven; Euler uses one, RK4 four).
+///
+/// Create one per worker/thread, then pass it to any number of
+/// `integrate_with` calls — buffers are resized on demand, so one workspace
+/// serves systems of different dimensions. Contents are fully overwritten
+/// by each call; nothing leaks between runs.
+#[derive(Debug, Clone, Default)]
+pub struct OdeWorkspace {
+    y: Vec<f64>,
+    tmp: Vec<f64>,
+    k: Vec<Vec<f64>>,
+}
+
+impl OdeWorkspace {
+    /// A workspace pre-sized for systems of dimension `dim`.
+    pub fn new(dim: usize) -> Self {
+        let mut ws = OdeWorkspace::default();
+        ws.ensure(dim);
+        ws
+    }
+
+    /// Resize all buffers to dimension `dim` (no-op when already sized).
+    fn ensure(&mut self, dim: usize) {
+        self.y.resize(dim, 0.0);
+        self.tmp.resize(dim, 0.0);
+        if self.k.len() < 7 {
+            self.k.resize_with(7, Vec::new);
+        }
+        for k in &mut self.k {
+            k.resize(dim, 0.0);
+        }
+    }
+}
+
 /// Forward Euler with a fixed step. Mostly a baseline for convergence tests.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Euler {
@@ -59,7 +102,9 @@ pub struct Euler {
 
 impl Euler {
     /// Integrate from `t0` to `t1`, recording every `stride`-th step (the
-    /// initial and final states are always recorded).
+    /// initial and final states are always recorded). Allocates work buffers
+    /// internally; see [`Euler::integrate_with`] for the reusable-buffer
+    /// form.
     ///
     /// # Errors
     ///
@@ -73,26 +118,54 @@ impl Euler {
         t1: f64,
         stride: usize,
     ) -> Result<Trajectory, SolveError> {
+        self.integrate_with(sys, t0, y0, t1, stride, &mut OdeWorkspace::new(y0.len()))
+    }
+
+    /// Like [`Euler::integrate`], but stepping through the caller-provided
+    /// workspace: the hot loop performs no allocations beyond amortized
+    /// trajectory growth.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Euler::integrate`].
+    pub fn integrate_with(
+        &self,
+        sys: &impl OdeSystem,
+        t0: f64,
+        y0: &[f64],
+        t1: f64,
+        stride: usize,
+        ws: &mut OdeWorkspace,
+    ) -> Result<Trajectory, SolveError> {
         validate_fixed(self.dt, t0, t1, y0.len(), sys.dim())?;
         let stride = stride.max(1);
-        let mut y = y0.to_vec();
-        let mut dydt = vec![0.0; y.len()];
-        let mut tr = Trajectory::new();
-        tr.push(t0, y.clone());
+        let n = y0.len();
+        ws.ensure(n);
+        let OdeWorkspace { y, k, .. } = ws;
+        let y = &mut y[..n];
+        y.copy_from_slice(y0);
+        let dydt = &mut k[0][..];
         let steps = ((t1 - t0) / self.dt).ceil() as usize;
+        let mut tr = Trajectory::with_capacity(n, steps / stride + 2);
+        tr.push_slice(t0, y);
         let dt = (t1 - t0) / steps as f64;
         let mut t = t0;
         for k in 0..steps {
-            sys.rhs(t, &y, &mut dydt);
-            for (yi, di) in y.iter_mut().zip(&dydt) {
+            sys.rhs(t, y, dydt);
+            for (yi, di) in y.iter_mut().zip(dydt.iter()) {
                 *yi += dt * di;
             }
             t = t0 + (k + 1) as f64 * dt;
-            check_finite(t, &y)?;
+            check_finite(t, y)?;
             if (k + 1) % stride == 0 || k + 1 == steps {
-                tr.push(t, y.clone());
+                tr.push_slice(t, y);
             }
         }
+        tr.set_stats(SolveStats {
+            accepted: steps,
+            rejected: 0,
+            rhs_evals: steps,
+        });
         Ok(tr)
     }
 }
@@ -106,7 +179,8 @@ pub struct Rk4 {
 
 impl Rk4 {
     /// Integrate from `t0` to `t1`, recording every `stride`-th step (the
-    /// initial and final states are always recorded).
+    /// initial and final states are always recorded). Allocates work buffers
+    /// internally; see [`Rk4::integrate_with`] for the reusable-buffer form.
     ///
     /// # Errors
     ///
@@ -120,41 +194,74 @@ impl Rk4 {
         t1: f64,
         stride: usize,
     ) -> Result<Trajectory, SolveError> {
+        self.integrate_with(sys, t0, y0, t1, stride, &mut OdeWorkspace::new(y0.len()))
+    }
+
+    /// Like [`Rk4::integrate`], but stepping through the caller-provided
+    /// workspace: the hot loop performs no allocations beyond amortized
+    /// trajectory growth.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Rk4::integrate`].
+    pub fn integrate_with(
+        &self,
+        sys: &impl OdeSystem,
+        t0: f64,
+        y0: &[f64],
+        t1: f64,
+        stride: usize,
+        ws: &mut OdeWorkspace,
+    ) -> Result<Trajectory, SolveError> {
         validate_fixed(self.dt, t0, t1, y0.len(), sys.dim())?;
         let stride = stride.max(1);
         let n = y0.len();
-        let mut y = y0.to_vec();
-        let (mut k1, mut k2, mut k3, mut k4) =
-            (vec![0.0; n], vec![0.0; n], vec![0.0; n], vec![0.0; n]);
-        let mut tmp = vec![0.0; n];
-        let mut tr = Trajectory::new();
-        tr.push(t0, y.clone());
+        ws.ensure(n);
+        let OdeWorkspace { y, tmp, k } = ws;
+        let y = &mut y[..n];
+        y.copy_from_slice(y0);
+        let (ka, rest) = k.split_at_mut(1);
+        let (kb, rest) = rest.split_at_mut(1);
+        let (kc, rest) = rest.split_at_mut(1);
+        let (k1, k2, k3, k4) = (
+            &mut ka[0][..],
+            &mut kb[0][..],
+            &mut kc[0][..],
+            &mut rest[0][..],
+        );
         let steps = ((t1 - t0) / self.dt).ceil() as usize;
+        let mut tr = Trajectory::with_capacity(n, steps / stride + 2);
+        tr.push_slice(t0, y);
         let dt = (t1 - t0) / steps as f64;
         let mut t = t0;
         for step in 0..steps {
-            sys.rhs(t, &y, &mut k1);
+            sys.rhs(t, y, k1);
             for i in 0..n {
                 tmp[i] = y[i] + 0.5 * dt * k1[i];
             }
-            sys.rhs(t + 0.5 * dt, &tmp, &mut k2);
+            sys.rhs(t + 0.5 * dt, tmp, k2);
             for i in 0..n {
                 tmp[i] = y[i] + 0.5 * dt * k2[i];
             }
-            sys.rhs(t + 0.5 * dt, &tmp, &mut k3);
+            sys.rhs(t + 0.5 * dt, tmp, k3);
             for i in 0..n {
                 tmp[i] = y[i] + dt * k3[i];
             }
-            sys.rhs(t + dt, &tmp, &mut k4);
+            sys.rhs(t + dt, tmp, k4);
             for i in 0..n {
                 y[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
             }
             t = t0 + (step + 1) as f64 * dt;
-            check_finite(t, &y)?;
+            check_finite(t, y)?;
             if (step + 1) % stride == 0 || step + 1 == steps {
-                tr.push(t, y.clone());
+                tr.push_slice(t, y);
             }
         }
+        tr.set_stats(SolveStats {
+            accepted: steps,
+            rejected: 0,
+            rhs_evals: 4 * steps,
+        });
         Ok(tr)
     }
 }
@@ -215,11 +322,17 @@ impl DormandPrince {
         }
     }
 
-    /// Integrate from `t0` to `t1`, recording every accepted step.
+    /// Integrate from `t0` to `t1`, recording every accepted step. Allocates
+    /// work buffers internally; see [`DormandPrince::integrate_with`] for
+    /// the reusable-buffer form.
     ///
     /// Samples land on the accepted (possibly large) steps; if you need to
     /// interpolate the result densely, bound `h_max` so linear interpolation
     /// between samples stays accurate.
+    ///
+    /// The returned trajectory's [`SolveStats`](crate::SolveStats) report
+    /// accepted *and* rejected step counts — rejections are where the PI
+    /// controller earned its keep.
     ///
     /// # Errors
     ///
@@ -232,6 +345,24 @@ impl DormandPrince {
         t0: f64,
         y0: &[f64],
         t1: f64,
+    ) -> Result<Trajectory, SolveError> {
+        self.integrate_with(sys, t0, y0, t1, &mut OdeWorkspace::new(y0.len()))
+    }
+
+    /// Like [`DormandPrince::integrate`], but stepping through the
+    /// caller-provided workspace: the hot loop performs no allocations
+    /// beyond amortized trajectory growth.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DormandPrince::integrate`].
+    pub fn integrate_with(
+        &self,
+        sys: &impl OdeSystem,
+        t0: f64,
+        y0: &[f64],
+        t1: f64,
+        ws: &mut OdeWorkspace,
     ) -> Result<Trajectory, SolveError> {
         if t0.is_nan() || t1.is_nan() || t1 <= t0 {
             return Err(SolveError::BadConfig(format!(
@@ -303,16 +434,20 @@ impl DormandPrince {
         ];
 
         let n = y0.len();
-        let mut y = y0.to_vec();
+        ws.ensure(n);
+        let OdeWorkspace { y, tmp, k } = ws;
+        let y = &mut y[..n];
+        y.copy_from_slice(y0);
+        let ytmp = &mut tmp[..n];
         let mut t = t0;
         let mut h = self.h0.unwrap_or((t1 - t0) / 100.0).min(self.h_max);
-        let mut k = vec![vec![0.0; n]; 7];
-        let mut ytmp = vec![0.0; n];
-        let mut tr = Trajectory::new();
-        tr.push(t0, y.clone());
+        let mut tr = Trajectory::with_capacity(n, 128);
+        tr.push_slice(t0, y);
+        let mut stats = SolveStats::default();
 
         // FSAL: k[0] of the next step reuses k[6] of the accepted step.
-        sys.rhs(t, &y, &mut k[0]);
+        sys.rhs(t, y, &mut k[0]);
+        stats.rhs_evals += 1;
         let mut err_prev: f64 = 1.0;
 
         while t < t1 {
@@ -335,7 +470,8 @@ impl DormandPrince {
                 }
                 let (head, tail) = k.split_at_mut(s);
                 let _ = head;
-                sys.rhs(t + C[s] * h, &ytmp, &mut tail[0]);
+                sys.rhs(t + C[s] * h, ytmp, &mut tail[0]);
+                stats.rhs_evals += 1;
             }
             // 5th-order candidate and embedded error estimate.
             let mut err: f64 = 0.0;
@@ -356,21 +492,23 @@ impl DormandPrince {
             if err <= 1.0 || h <= self.h_min * 2.0 {
                 // Accept.
                 t += h;
-                y.copy_from_slice(&ytmp);
-                check_finite(t, &y)?;
-                tr.push(t, y.clone());
+                y.copy_from_slice(ytmp);
+                check_finite(t, y)?;
+                tr.push_slice(t, y);
+                stats.accepted += 1;
                 // FSAL: last stage evaluated at (t+h, y_new).
-                let last = k[6].clone();
-                k[0].copy_from_slice(&last);
+                k.swap(0, 6);
                 // PI step controller.
                 let e = err.max(1e-10);
                 let fac = 0.9 * e.powf(-0.7 / 5.0) * err_prev.powf(0.4 / 5.0);
                 h = (h * fac.clamp(0.2, 5.0)).min(self.h_max);
                 err_prev = e;
             } else {
+                stats.rejected += 1;
                 h *= (0.9 * err.powf(-0.2)).clamp(0.1, 1.0);
             }
         }
+        tr.set_stats(stats);
         Ok(tr)
     }
 }
@@ -392,6 +530,20 @@ mod tests {
             .unwrap();
         let (_, yf) = tr.last().unwrap();
         assert!((yf[0] - (-1.0f64).exp()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn euler_first_order_convergence() {
+        // Halving dt halves the global error on y' = -y.
+        let sys = decay();
+        let err = |dt: f64| {
+            let tr = Euler { dt }
+                .integrate(&sys, 0.0, &[1.0], 1.0, usize::MAX)
+                .unwrap();
+            (tr.last().unwrap().1[0] - (-1.0f64).exp()).abs()
+        };
+        let ratio = err(0.01) / err(0.005);
+        assert!(ratio > 1.8 && ratio < 2.2, "ratio {ratio}");
     }
 
     #[test]
@@ -477,6 +629,66 @@ mod tests {
     }
 
     #[test]
+    fn dp45_reports_rejected_steps() {
+        // Force the controller to overreach: a stiff decay attacked with a
+        // huge initial step must reject at least once before settling.
+        let sys = FnSystem::new(1, |_t, y: &[f64], d: &mut [f64]| d[0] = -50.0 * y[0]);
+        let solver = DormandPrince {
+            h0: Some(0.5),
+            ..DormandPrince::new(1e-8, 1e-11)
+        };
+        let tr = solver.integrate(&sys, 0.0, &[1.0], 1.0).unwrap();
+        let stats = tr.stats();
+        assert!(stats.rejected >= 1, "stats {stats:?}");
+        assert_eq!(stats.accepted, tr.len() - 1);
+        // 6 fresh stages per attempt (FSAL) plus the priming evaluation.
+        assert_eq!(
+            stats.rhs_evals,
+            1 + 6 * (stats.accepted + stats.rejected),
+            "stats {stats:?}"
+        );
+    }
+
+    #[test]
+    fn fixed_step_stats_count_steps() {
+        let sys = decay();
+        let tr = Rk4 { dt: 0.1 }
+            .integrate(&sys, 0.0, &[1.0], 1.0, 1)
+            .unwrap();
+        let stats = tr.stats();
+        assert_eq!(stats.accepted, 10);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.rhs_evals, 40);
+        let tr = Euler { dt: 0.1 }
+            .integrate(&sys, 0.0, &[1.0], 1.0, 1)
+            .unwrap();
+        assert_eq!(tr.stats().rhs_evals, 10);
+    }
+
+    #[test]
+    fn workspace_is_reusable_across_dims_and_solvers() {
+        let mut ws = OdeWorkspace::new(1);
+        let sys1 = decay();
+        let a = Rk4 { dt: 1e-2 }
+            .integrate_with(&sys1, 0.0, &[1.0], 1.0, 10, &mut ws)
+            .unwrap();
+        // Same workspace, larger system.
+        let sys2 = FnSystem::new(2, |_t, y: &[f64], d: &mut [f64]| {
+            d[0] = y[1];
+            d[1] = -y[0];
+        });
+        let b = DormandPrince::default()
+            .integrate_with(&sys2, 0.0, &[1.0, 0.0], 1.0, &mut ws)
+            .unwrap();
+        // And back down again, matching the fresh-buffer path exactly.
+        let c = Rk4 { dt: 1e-2 }
+            .integrate_with(&sys1, 0.0, &[1.0], 1.0, 10, &mut ws)
+            .unwrap();
+        assert_eq!(a, c);
+        assert_eq!(b.dim(), 2);
+    }
+
+    #[test]
     fn fixed_step_hits_end_exactly() {
         let sys = decay();
         // dt that does not divide the interval.
@@ -534,7 +746,7 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use crate::system::FnSystem;
+    use crate::system::{FnSystem, LinearSystem};
     use proptest::prelude::*;
 
     proptest! {
@@ -580,6 +792,35 @@ mod proptests {
                 let (r, d) = (rk.value_at(t, 0), dp.value_at(t, 0));
                 prop_assert!((r - d).abs() < 1e-4, "t={} rk={} dp={}", t, r, d);
             }
+        }
+
+        /// The in-place (`integrate_with`) API is bit-identical to the
+        /// legacy allocating API on random linear systems, for every solver
+        /// — including when the workspace is dirty from a previous run.
+        #[test]
+        fn inplace_matches_allocating(
+            a in proptest::collection::vec(-2.0..2.0f64, 9),
+            y0 in proptest::collection::vec(-1.0..1.0f64, 3),
+            f in -1.0..1.0f64,
+        ) {
+            let sys = LinearSystem::new(3, a, move |t: f64, b: &mut [f64]| {
+                b[0] = f * t.sin();
+                b[1] = 0.0;
+                b[2] = -f;
+            });
+            let mut ws = OdeWorkspace::new(1); // deliberately undersized
+            for dt in [0.05, 0.01] {
+                let legacy = Euler { dt }.integrate(&sys, 0.0, &y0, 1.0, 3);
+                let inplace = Euler { dt }.integrate_with(&sys, 0.0, &y0, 1.0, 3, &mut ws);
+                prop_assert_eq!(legacy, inplace);
+                let legacy = Rk4 { dt }.integrate(&sys, 0.0, &y0, 1.0, 3);
+                let inplace = Rk4 { dt }.integrate_with(&sys, 0.0, &y0, 1.0, 3, &mut ws);
+                prop_assert_eq!(legacy, inplace);
+            }
+            let dp = DormandPrince::new(1e-7, 1e-10);
+            let legacy = dp.integrate(&sys, 0.0, &y0, 1.0);
+            let inplace = dp.integrate_with(&sys, 0.0, &y0, 1.0, &mut ws);
+            prop_assert_eq!(legacy, inplace);
         }
     }
 }

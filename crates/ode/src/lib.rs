@@ -7,9 +7,14 @@
 //! * [`OdeSystem`] — the system interface ([`FnSystem`] and [`LinearSystem`]
 //!   adapters included);
 //! * [`Rk4`], [`Euler`] — fixed-step explicit integrators;
-//! * [`DormandPrince`] — adaptive 5(4) embedded pair with PI step control;
-//! * [`Trajectory`] — recorded solutions with interpolation, windows, and
-//!   resampling (observation windows for PUF responses, §2.2);
+//! * [`DormandPrince`] — adaptive 5(4) embedded pair with PI step control
+//!   and rejected-step accounting ([`SolveStats`]);
+//! * [`OdeWorkspace`] — reusable integration buffers: every solver offers an
+//!   `integrate_with` variant whose hot loop performs zero per-step
+//!   allocations, the form the `ark-sim` ensemble engine runs per worker;
+//! * [`Trajectory`] — recorded solutions (flat sample storage) with
+//!   interpolation, windows, and resampling (observation windows for PUF
+//!   responses, §2.2);
 //! * analysis helpers: [`convergence_time`], [`ensemble_stats`] (mismatch
 //!   envelopes, Fig. 4c/4d), [`relative_rmse`] (SPICE validation, §4.5),
 //!   and phase utilities for oscillator readout (§7.2).
@@ -38,6 +43,6 @@ pub use analysis::{
     convergence_time, convergence_time_all, ensemble_stats, is_steady, phase_distance, wrap_phase,
     EnsembleStats,
 };
-pub use integrate::{DormandPrince, Euler, Rk4, SolveError};
+pub use integrate::{DormandPrince, Euler, OdeWorkspace, Rk4, SolveError};
 pub use system::{FnSystem, LinearSystem, OdeSystem};
-pub use trajectory::{relative_rmse, Trajectory};
+pub use trajectory::{relative_rmse, SolveStats, Trajectory};

@@ -1,20 +1,53 @@
 //! Recorded solution trajectories.
 
+/// Counters describing how an integrator produced a [`Trajectory`].
+///
+/// Fixed-step methods only ever accept steps; the adaptive
+/// [`DormandPrince`](crate::DormandPrince) controller additionally reports
+/// how many trial steps its PI controller rejected, which is the direct
+/// measure of how hard the tolerance was to meet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolveStats {
+    /// Number of accepted integration steps.
+    pub accepted: usize,
+    /// Number of rejected (retried) steps — always 0 for fixed-step methods.
+    pub rejected: usize,
+    /// Number of right-hand-side evaluations performed.
+    pub rhs_evals: usize,
+}
+
 /// A time-indexed record of the state vector produced by an integrator.
 ///
 /// Rows are strictly increasing in time. Values between samples are
 /// recovered by linear interpolation, which is adequate for the dense
 /// outputs produced by the fixed-step and adaptive integrators here.
+///
+/// Samples are stored in one flat `times.len() × dim` buffer so recording a
+/// sample never allocates a fresh per-row `Vec` (amortized growth only) —
+/// part of the allocation-free integrator hot path.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Trajectory {
     times: Vec<f64>,
-    states: Vec<Vec<f64>>,
+    /// Row-major `len × dim` sample matrix.
+    data: Vec<f64>,
+    dim: usize,
+    stats: SolveStats,
 }
 
 impl Trajectory {
     /// An empty trajectory.
     pub fn new() -> Self {
         Trajectory::default()
+    }
+
+    /// An empty trajectory with room for `samples` rows of width `dim`.
+    pub fn with_capacity(dim: usize, samples: usize) -> Self {
+        Trajectory {
+            times: Vec::with_capacity(samples),
+            data: Vec::with_capacity(samples * dim),
+            dim: 0,
+            stats: SolveStats::default(),
+        }
     }
 
     /// Append a sample. Times must arrive in strictly increasing order.
@@ -24,16 +57,40 @@ impl Trajectory {
     /// Panics if `t` is not greater than the last recorded time, or if the
     /// state dimension changes between samples.
     pub fn push(&mut self, t: f64, state: Vec<f64>) {
+        self.push_slice(t, &state);
+    }
+
+    /// Append a sample from a borrowed state — the allocation-free variant
+    /// of [`Trajectory::push`] used by the integrators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not greater than the last recorded time, or if the
+    /// state dimension changes between samples.
+    pub fn push_slice(&mut self, t: f64, state: &[f64]) {
         if let Some(last) = self.times.last() {
             assert!(t > *last, "trajectory times must be strictly increasing");
             assert_eq!(
                 state.len(),
-                self.states[0].len(),
+                self.dim,
                 "state dimension changed mid-trajectory"
             );
+        } else {
+            self.dim = state.len();
         }
         self.times.push(t);
-        self.states.push(state);
+        self.data.extend_from_slice(state);
+    }
+
+    /// Integration statistics recorded by the producing solver (all zero for
+    /// hand-built trajectories).
+    pub fn stats(&self) -> SolveStats {
+        self.stats
+    }
+
+    /// Attach integration statistics (used by the solvers).
+    pub fn set_stats(&mut self, stats: SolveStats) {
+        self.stats = stats;
     }
 
     /// Number of recorded samples.
@@ -48,7 +105,7 @@ impl Trajectory {
 
     /// Dimension of the recorded state vectors (0 when empty).
     pub fn dim(&self) -> usize {
-        self.states.first().map_or(0, Vec::len)
+        self.dim
     }
 
     /// The recorded time stamps.
@@ -58,22 +115,20 @@ impl Trajectory {
 
     /// The state at sample index `i`.
     pub fn state(&self, i: usize) -> &[f64] {
-        &self.states[i]
+        &self.data[i * self.dim..(i + 1) * self.dim]
     }
 
     /// The final `(time, state)` sample, if any.
     pub fn last(&self) -> Option<(f64, &[f64])> {
-        self.times
-            .last()
-            .map(|t| (*t, self.states.last().expect("parallel arrays").as_slice()))
+        self.times.last().map(|t| (*t, self.state(self.len() - 1)))
     }
 
     /// Time series of component `var` as `(t, value)` pairs.
     pub fn series(&self, var: usize) -> Vec<(f64, f64)> {
         self.times
             .iter()
-            .zip(&self.states)
-            .map(|(t, s)| (*t, s[var]))
+            .enumerate()
+            .map(|(i, t)| (*t, self.state(i)[var]))
             .collect()
     }
 
@@ -87,23 +142,23 @@ impl Trajectory {
     pub fn at(&self, t: f64) -> Vec<f64> {
         assert!(!self.is_empty(), "cannot sample an empty trajectory");
         if t <= self.times[0] {
-            return self.states[0].clone();
+            return self.state(0).to_vec();
         }
         if t >= *self.times.last().expect("nonempty") {
-            return self.states.last().expect("nonempty").clone();
+            return self.state(self.len() - 1).to_vec();
         }
         let idx = match self
             .times
             .binary_search_by(|x| x.partial_cmp(&t).expect("finite"))
         {
-            Ok(i) => return self.states[i].clone(),
+            Ok(i) => return self.state(i).to_vec(),
             Err(i) => i,
         };
         let (t0, t1) = (self.times[idx - 1], self.times[idx]);
         let w = (t - t0) / (t1 - t0);
-        self.states[idx - 1]
+        self.state(idx - 1)
             .iter()
-            .zip(&self.states[idx])
+            .zip(self.state(idx))
             .map(|(a, b)| a + w * (b - a))
             .collect()
     }
@@ -127,9 +182,10 @@ impl Trajectory {
     /// Panics on an empty trajectory.
     pub fn peak_in_window(&self, var: usize, t0: f64, t1: f64) -> (f64, f64) {
         let mut best = (t0, self.value_at(t0, var));
-        for (t, s) in self.times.iter().zip(&self.states) {
-            if *t >= t0 && *t <= t1 && s[var] > best.1 {
-                best = (*t, s[var]);
+        for (i, t) in self.times.iter().enumerate() {
+            let v = self.state(i)[var];
+            if *t >= t0 && *t <= t1 && v > best.1 {
+                best = (*t, v);
             }
         }
         let end = (t1, self.value_at(t1, var));
@@ -159,7 +215,7 @@ impl Trajectory {
         self.times
             .iter()
             .copied()
-            .zip(self.states.iter().map(Vec::as_slice))
+            .zip(self.data.chunks_exact(self.dim.max(1)))
     }
 }
 
@@ -216,6 +272,30 @@ mod tests {
         assert_eq!(tr.state(1), &[2.0, -1.0]);
         assert_eq!(tr.last().unwrap().0, 10.0);
         assert_eq!(tr.times()[0], 0.0);
+    }
+
+    #[test]
+    fn push_slice_matches_push() {
+        let mut a = Trajectory::new();
+        let mut b = Trajectory::new();
+        for i in 0..5 {
+            let t = i as f64;
+            a.push(t, vec![t, 2.0 * t]);
+            b.push_slice(t, &[t, 2.0 * t]);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stats_default_zero_and_settable() {
+        let mut tr = ramp();
+        assert_eq!(tr.stats(), SolveStats::default());
+        tr.set_stats(SolveStats {
+            accepted: 3,
+            rejected: 1,
+            rhs_evals: 12,
+        });
+        assert_eq!(tr.stats().rejected, 1);
     }
 
     #[test]

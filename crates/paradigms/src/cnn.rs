@@ -444,7 +444,20 @@ pub fn grid_extern_registry() -> ExternRegistry {
 /// Read the CNN output image at state `y` (time `t`) by evaluating the
 /// order-0 `Out` nodes — so `OutNL` cells automatically apply `sat_ni`.
 pub fn read_output(sys: &CompiledSystem, inst: &CnnInstance, t: f64, y: &[f64]) -> Image {
-    let algs = sys.eval_algebraics(t, y);
+    read_output_with(sys, inst, t, y, &mut sys.scratch())
+}
+
+/// [`read_output`] through a caller-provided scratch, for hot readout loops
+/// (the convergence scan probes hundreds of points per instance; reusing
+/// one scratch avoids a buffer allocation per probe).
+pub fn read_output_with(
+    sys: &CompiledSystem,
+    inst: &CnnInstance,
+    t: f64,
+    y: &[f64],
+    scratch: &mut ark_core::EvalScratch,
+) -> Image {
+    let algs = sys.eval_algebraics_with(t, y, scratch);
     Image::from_fn(inst.width, inst.height, |r, c| {
         algs[sys
             .algebraic_index(&out_name(r, c))
@@ -476,14 +489,16 @@ pub fn run_cnn(
     inst: &CnnInstance,
     t_end: f64,
     snap_times: &[f64],
-) -> Result<CnnRun, Box<dyn std::error::Error>> {
+) -> Result<CnnRun, crate::DynError> {
     let sys = CompiledSystem::compile(lang, &inst.graph)?;
-    let tr = ark_ode::Rk4 { dt: 2e-3 }.integrate(&sys, 0.0, &sys.initial_state(), t_end, 5)?;
+    let tr =
+        ark_ode::Rk4 { dt: 2e-3 }.integrate(&sys.bind(), 0.0, &sys.initial_state(), t_end, 5)?;
+    let mut scratch = sys.scratch();
     let snapshots: Vec<(f64, Image)> = snap_times
         .iter()
-        .map(|&t| (t, read_output(&sys, inst, t, &tr.at(t))))
+        .map(|&t| (t, read_output_with(&sys, inst, t, &tr.at(t), &mut scratch)))
         .collect();
-    let final_output = read_output(&sys, inst, t_end, &tr.at(t_end));
+    let final_output = read_output_with(&sys, inst, t_end, &tr.at(t_end), &mut scratch);
     // Analog convergence: first probe time from which every cell's output
     // stays within EPS of its final value.
     const EPS: f64 = 0.02;
@@ -491,7 +506,7 @@ pub fn run_cnn(
     let probes = 400;
     for k in (0..=probes).rev() {
         let t = t_end * k as f64 / probes as f64;
-        let img = read_output(&sys, inst, t, &tr.at(t));
+        let img = read_output_with(&sys, inst, t, &tr.at(t), &mut scratch);
         let worst = img
             .iter()
             .map(|(r, c, v)| (v - final_output.get(r, c)).abs())
@@ -505,6 +520,33 @@ pub fn run_cnn(
         snapshots,
         final_output,
         convergence_time,
+    })
+}
+
+/// The Figure 11 / §7.1 Monte Carlo entry point on the `ark-sim` engine:
+/// build, compile, and simulate one fabricated CNN instance per seed across
+/// the ensemble's worker pool.
+///
+/// Results come back in `seeds` order and are bit-identical for any worker
+/// count (each instance depends only on its seed).
+///
+/// # Errors
+///
+/// The first (by seed order) build/compile/integration failure.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cnn_ensemble(
+    lang: &Language,
+    input: &Image,
+    template: &Template,
+    nonideality: NonIdeality,
+    t_end: f64,
+    snap_times: &[f64],
+    seeds: &[u64],
+    ens: &ark_sim::Ensemble,
+) -> Result<Vec<CnnRun>, crate::DynError> {
+    ens.try_map(seeds, |seed| {
+        let inst = build_cnn(lang, input, template, nonideality, seed)?;
+        run_cnn(lang, &inst, t_end, snap_times)
     })
 }
 
@@ -666,6 +708,59 @@ mod tests {
         for (r, c, v) in ra.final_output.iter() {
             assert_eq!(v, rb.final_output.get(r, c), "cell ({r},{c})");
         }
+    }
+
+    #[test]
+    fn ensemble_matches_serial_per_seed() {
+        let base = cnn_language();
+        let hw = hw_cnn_language(&base);
+        let input = Image::from_ascii(&["....", ".##.", ".##.", "...."]);
+        let seeds = [3u64, 4, 5, 6];
+        let ens = ark_sim::Ensemble::new(2);
+        let runs = run_cnn_ensemble(
+            &hw,
+            &input,
+            &EDGE_TEMPLATE,
+            NonIdeality::GMismatch,
+            2.0,
+            &[1.0],
+            &seeds,
+            &ens,
+        )
+        .unwrap();
+        for (seed, run) in seeds.iter().zip(&runs) {
+            let inst =
+                build_cnn(&hw, &input, &EDGE_TEMPLATE, NonIdeality::GMismatch, *seed).unwrap();
+            let serial = run_cnn(&hw, &inst, 2.0, &[1.0]).unwrap();
+            for (r, c, v) in serial.final_output.iter() {
+                assert_eq!(v, run.final_output.get(r, c), "seed {seed} cell ({r},{c})");
+            }
+            assert_eq!(serial.convergence_time, run.convergence_time);
+            assert_eq!(serial.snapshots.len(), run.snapshots.len());
+        }
+    }
+
+    #[test]
+    fn dormand_prince_rejects_steps_on_stiff_cnn() {
+        // An aggressive initial step on the CNN's switching dynamics forces
+        // the PI controller through its rejection path (previously
+        // uncovered) while still landing on the right image.
+        let lang = cnn_language();
+        let input = Image::from_ascii(&["....", ".##.", ".##.", "...."]);
+        let inst = build_cnn(&lang, &input, &EDGE_TEMPLATE, NonIdeality::Ideal, 0).unwrap();
+        let sys = CompiledSystem::compile(&lang, &inst.graph).unwrap();
+        let solver = ark_ode::DormandPrince {
+            h0: Some(2.0),
+            ..ark_ode::DormandPrince::new(1e-8, 1e-10)
+        };
+        let tr = solver
+            .integrate(&sys.bind(), 0.0, &sys.initial_state(), 5.0)
+            .unwrap();
+        let stats = tr.stats();
+        assert!(stats.rejected >= 1, "stats {stats:?}");
+        assert_eq!(stats.accepted, tr.len() - 1);
+        let out = read_output(&sys, &inst, 5.0, &tr.at(5.0));
+        assert_eq!(out.diff_count(&input.digital_edge_map()), 0);
     }
 
     #[test]

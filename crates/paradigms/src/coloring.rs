@@ -79,7 +79,7 @@ pub fn color_graph(
 ) -> Result<ColoringOutcome, Box<dyn std::error::Error>> {
     let graph = build_coloring_network(lang, problem, seed)?;
     let sys = CompiledSystem::compile(lang, &graph)?;
-    let tr = Rk4 { dt: 1e-10 }.integrate(&sys, 0.0, &sys.initial_state(), 8e-8, 100)?;
+    let tr = Rk4 { dt: 1e-10 }.integrate(&sys.bind(), 0.0, &sys.initial_state(), 8e-8, 100)?;
     let yf = tr.last().expect("nonempty").1;
     let colors: Vec<usize> = (0..problem.n)
         .map(|i| {
@@ -170,7 +170,7 @@ mod tests {
         let g = b.finish().unwrap();
         let sys = CompiledSystem::compile(&l3, &g).unwrap();
         let tr = Rk4 { dt: 1e-11 }
-            .integrate(&sys, 0.0, &sys.initial_state(), 2e-8, 100)
+            .integrate(&sys.bind(), 0.0, &sys.initial_state(), 2e-8, 100)
             .unwrap();
         let phi = wrap_phase(tr.last().unwrap().1[0]);
         let nearest = (0..3)

@@ -31,6 +31,11 @@
 
 #![warn(missing_docs)]
 
+/// Thread-safe boxed error used by the workload entry points, so whole runs
+/// can fan out across the `ark-sim` ensemble engine (whose jobs must be
+/// `Send`). Converts into `Box<dyn Error>` at `main`-level `?` as before.
+pub type DynError = Box<dyn std::error::Error + Send + Sync>;
+
 pub mod cnn;
 pub mod coloring;
 pub mod image;

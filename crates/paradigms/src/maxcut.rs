@@ -180,10 +180,11 @@ pub fn solve(
     coupling: CouplingKind,
     d: f64,
     seed: u64,
-) -> Result<MaxCutOutcome, Box<dyn std::error::Error>> {
+) -> Result<MaxCutOutcome, crate::DynError> {
     let graph = build_maxcut_network(lang, problem, coupling, seed)?;
     let sys = CompiledSystem::compile(lang, &graph)?;
-    let tr = Rk4 { dt: SOLVE_DT }.integrate(&sys, 0.0, &sys.initial_state(), SOLVE_TIME, 50)?;
+    let tr =
+        Rk4 { dt: SOLVE_DT }.integrate(&sys.bind(), 0.0, &sys.initial_state(), SOLVE_TIME, 50)?;
     let yf = tr.last().expect("nonempty trajectory").1;
     let phases: Vec<f64> = (0..problem.n)
         .map(|i| {
@@ -215,7 +216,9 @@ pub struct Table1Row {
     pub solved_pct: f64,
 }
 
-/// Run a Table 1 cell: `trials` random `n`-vertex instances of the solver.
+/// Run a Table 1 cell: `trials` random `n`-vertex instances of the solver,
+/// serially. Thin wrapper over [`table1_cell_with`] — results are identical
+/// for any worker count.
 ///
 /// # Errors
 ///
@@ -227,20 +230,42 @@ pub fn table1_cell(
     n: usize,
     trials: usize,
     base_seed: u64,
-) -> Result<Table1Row, Box<dyn std::error::Error>> {
-    let mut synced = 0usize;
-    let mut solved = 0usize;
-    for t in 0..trials {
-        let seed = base_seed + t as u64;
+) -> Result<Table1Row, crate::DynError> {
+    table1_cell_with(
+        lang,
+        coupling,
+        d,
+        n,
+        trials,
+        base_seed,
+        &ark_sim::Ensemble::serial(),
+    )
+}
+
+/// The Table 1 Monte Carlo on the `ark-sim` engine: each trial (one random
+/// graph, one fabricated solver instance) is an independent seeded job, so
+/// the cell's probabilities are bit-identical for any worker count.
+///
+/// # Errors
+///
+/// The first (by trial order) solve failure.
+pub fn table1_cell_with(
+    lang: &Language,
+    coupling: CouplingKind,
+    d: f64,
+    n: usize,
+    trials: usize,
+    base_seed: u64,
+    ens: &ark_sim::Ensemble,
+) -> Result<Table1Row, crate::DynError> {
+    let seeds = ark_sim::seed_range(base_seed, trials);
+    let outcomes = ens.try_map(&seeds, |seed| {
         let problem = MaxCutProblem::random(n, seed);
         let outcome = solve(lang, &problem, coupling, d, seed)?;
-        if outcome.synchronized() {
-            synced += 1;
-        }
-        if outcome.solved() {
-            solved += 1;
-        }
-    }
+        Ok::<_, crate::DynError>((outcome.synchronized(), outcome.solved()))
+    })?;
+    let synced = outcomes.iter().filter(|(s, _)| *s).count();
+    let solved = outcomes.iter().filter(|(_, s)| *s).count();
     Ok(Table1Row {
         sync_pct: 100.0 * synced as f64 / trials as f64,
         solved_pct: 100.0 * solved as f64 / trials as f64,
@@ -341,6 +366,25 @@ mod tests {
             tight_ofs.sync_pct,
             loose_ofs.sync_pct
         );
+    }
+
+    #[test]
+    fn parallel_cell_matches_serial() {
+        let lang = obc_language();
+        let serial = table1_cell(&lang, CouplingKind::Ideal, 0.01 * PI, 4, 12, 77).unwrap();
+        for workers in [2, 4] {
+            let par = table1_cell_with(
+                &lang,
+                CouplingKind::Ideal,
+                0.01 * PI,
+                4,
+                12,
+                77,
+                &ark_sim::Ensemble::new(workers),
+            )
+            .unwrap();
+            assert_eq!(serial, par, "workers {workers}");
+        }
     }
 
     #[test]

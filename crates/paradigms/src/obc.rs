@@ -213,7 +213,7 @@ mod tests {
         let g = b.finish().unwrap();
         let sys = CompiledSystem::compile(&lang, &g).unwrap();
         let tr = Rk4 { dt: 1e-11 }
-            .integrate(&sys, 0.0, &sys.initial_state(), 3e-8, 100)
+            .integrate(&sys.bind(), 0.0, &sys.initial_state(), 3e-8, 100)
             .unwrap();
         let yf = tr.last().unwrap().1;
         let pa = wrap_phase(yf[sys.state_index("a").unwrap()]);
@@ -243,7 +243,7 @@ mod tests {
         let g = b.finish().unwrap();
         let sys = CompiledSystem::compile(&lang, &g).unwrap();
         let tr = Rk4 { dt: 1e-11 }
-            .integrate(&sys, 0.0, &sys.initial_state(), 3e-8, 100)
+            .integrate(&sys.bind(), 0.0, &sys.initial_state(), 3e-8, 100)
             .unwrap();
         let yf = tr.last().unwrap().1;
         let pa = wrap_phase(yf[0]);
@@ -273,7 +273,7 @@ mod tests {
         let run = |g: &Graph| {
             let sys = CompiledSystem::compile(&ofs, g).unwrap();
             let tr = Rk4 { dt: 1e-11 }
-                .integrate(&sys, 0.0, &sys.initial_state(), 3e-8, 100)
+                .integrate(&sys.bind(), 0.0, &sys.initial_state(), 3e-8, 100)
                 .unwrap();
             wrap_phase(tr.last().unwrap().1[0])
         };
@@ -368,7 +368,7 @@ mod tests {
         let g = b.finish().unwrap();
         let sys = CompiledSystem::compile(&ic, &g).unwrap();
         let tr = Rk4 { dt: 1e-11 }
-            .integrate(&sys, 0.0, &sys.initial_state(), 3e-8, 100)
+            .integrate(&sys.bind(), 0.0, &sys.initial_state(), 3e-8, 100)
             .unwrap();
         let yf = tr.last().unwrap().1;
         let d = ark_ode::phase_distance(wrap_phase(yf[0]), wrap_phase(yf[1]));

@@ -450,6 +450,43 @@ pub fn branched_out_v(after: usize) -> String {
     format!("o_V_{}", after - 1)
 }
 
+/// The §2.4 mismatch Monte Carlo (Figure 4c/4d envelopes) on the `ark-sim`
+/// engine: one fabricated linear t-line per seed, built, compiled, and
+/// integrated (RK4, recording every `stride`-th step) across the ensemble's
+/// worker pool. Trajectories come back in `seeds` order, bit-identical for
+/// any worker count.
+///
+/// # Errors
+///
+/// The first (by seed order) build/compile/integration failure.
+#[allow(clippy::too_many_arguments)]
+pub fn tline_mismatch_ensemble(
+    lang: &Language,
+    segments: usize,
+    cfg: &TlineConfig,
+    t_end: f64,
+    dt: f64,
+    stride: usize,
+    seeds: &[u64],
+    ens: &ark_sim::Ensemble,
+) -> Result<Vec<ark_ode::Trajectory>, crate::DynError> {
+    use ark_core::CompiledSystem;
+    use ark_ode::OdeWorkspace;
+    ens.try_map_init(seeds, OdeWorkspace::default, |ws, seed| {
+        let graph = linear_tline(lang, segments, cfg, seed)?;
+        let sys = CompiledSystem::compile(lang, &graph)?;
+        let tr = ark_ode::Rk4 { dt }.integrate_with(
+            &sys.bind(),
+            0.0,
+            &sys.initial_state(),
+            t_end,
+            stride,
+            ws,
+        )?;
+        Ok(tr)
+    })
+}
+
 /// The paper's `br_func` (Figure 8) expressed in Ark source text: a
 /// programmable 2-segment line with a switchable branch stub.
 pub const BR_FUNC_SRC: &str = r#"
@@ -530,7 +567,9 @@ mod tests {
     ) -> (CompiledSystem, ark_ode::Trajectory) {
         let sys = CompiledSystem::compile(lang, graph).unwrap();
         let y0 = sys.initial_state();
-        let tr = Rk4 { dt }.integrate(&sys, 0.0, &y0, t_end, 8).unwrap();
+        let tr = Rk4 { dt }
+            .integrate(&sys.bind(), 0.0, &y0, t_end, 8)
+            .unwrap();
         (sys, tr)
     }
 
@@ -676,20 +715,14 @@ mod tests {
         // per-time std-dev envelope under Gm mismatch dominates Cint's.
         let base = tln_language();
         let gmc = gmc_tln_language(&base);
+        let ens = ark_sim::Ensemble::new(2);
         let run = |kind: MismatchKind, trials: usize| {
             let cfg = TlineConfig {
                 mismatch: kind,
                 ..TlineConfig::default()
             };
-            let mut out_series = Vec::new();
-            for seed in 0..trials {
-                let g = linear_tline(&gmc, 8, &cfg, seed as u64).unwrap();
-                let (sys, tr) = simulate(&gmc, &g, 3e-8, 5e-11);
-                let out = sys.state_index(&linear_out_v(8)).unwrap();
-                let _ = out;
-                out_series.push(tr);
-            }
-            out_series
+            let seeds: Vec<u64> = (0..trials as u64).collect();
+            tline_mismatch_ensemble(&gmc, 8, &cfg, 3e-8, 5e-11, 8, &seeds, &ens).unwrap()
         };
         let sys_idx = {
             let g = linear_tline(&gmc, 8, &TlineConfig::default(), 0).unwrap();

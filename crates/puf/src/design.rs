@@ -214,7 +214,7 @@ impl PufDesign {
         let graph = self.build(lang, challenge, instance)?;
         let sys = CompiledSystem::compile(lang, &graph)?;
         let tr = Rk4 { dt: 5e-11 }.integrate(
-            &sys,
+            &sys.bind(),
             0.0,
             &sys.initial_state(),
             self.window_end * 1.05,

@@ -9,6 +9,8 @@
 
 use crate::design::{challenge_bits, hamming, Challenge, PufDesign, PufError, Response};
 use ark_core::Language;
+use ark_ode::Trajectory;
+use ark_sim::{seed_range, Ensemble};
 
 /// Aggregate quality metrics of a PUF design.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,7 +48,8 @@ impl Default for EvalConfig {
 }
 
 /// Evaluate a PUF design: simulate `instances × challenges` responses (plus
-/// noisy re-measurements) and compute the aggregate metrics.
+/// noisy re-measurements) and compute the aggregate metrics. Runs on the
+/// default (all-cores) ensemble engine; see [`evaluate_with`].
 ///
 /// # Errors
 ///
@@ -56,44 +59,83 @@ pub fn evaluate(
     design: &PufDesign,
     cfg: &EvalConfig,
 ) -> Result<PufMetrics, PufError> {
+    evaluate_with(lang, design, cfg, &Ensemble::default())
+}
+
+/// [`evaluate`] on an explicit `ark-sim` [`Ensemble`]: every
+/// (challenge, instance[, re-measurement]) simulation is an independent
+/// seeded job fanned across the worker pool, and the metrics are aggregated
+/// in a fixed order afterwards — so the result is bit-identical for any
+/// worker count, including the serial engine.
+///
+/// # Errors
+///
+/// The first (by job order) simulation failure.
+pub fn evaluate_with(
+    lang: &Language,
+    design: &PufDesign,
+    cfg: &EvalConfig,
+    ens: &Ensemble,
+) -> Result<PufMetrics, PufError> {
+    let challenges: Vec<Challenge> = (0..cfg.challenges as u64)
+        .map(|ch| challenge_bits(ch, design.sites))
+        .collect();
+    // Phase 1: nominal reference trajectories, one per challenge.
+    let refs: Vec<(Trajectory, usize)> = ens.try_map(&seed_range(0, cfg.challenges), |ch| {
+        design.reference(lang, &challenges[ch as usize])
+    })?;
+    // Phase 2: clean responses, one per (challenge, instance).
+    let clean: Vec<Response> =
+        ens.try_map(&seed_range(0, cfg.challenges * cfg.instances), |job| {
+            let (ch, inst) = (
+                job as usize / cfg.instances,
+                (job as usize % cfg.instances) as u64,
+            );
+            let (reference, ref_idx) = &refs[ch];
+            design.respond(lang, reference, *ref_idx, &challenges[ch], inst + 1, 0.0, 0)
+        })?;
+    // Phase 3: noisy re-measurements, one per (challenge, instance, m).
+    let per_ch = cfg.instances * cfg.remeasures;
+    let noisy: Vec<Response> = ens.try_map(&seed_range(0, cfg.challenges * per_ch), |job| {
+        let job = job as usize;
+        let ch = job / per_ch;
+        let inst = (job % per_ch) / cfg.remeasures;
+        let m = (job % cfg.remeasures) as u64;
+        let (reference, ref_idx) = &refs[ch];
+        design.respond(
+            lang,
+            reference,
+            *ref_idx,
+            &challenges[ch],
+            inst as u64 + 1,
+            cfg.noise_sigma,
+            1 + m,
+        )
+    })?;
+    // Aggregate in the same nested order as the historical serial loop, so
+    // floating-point sums match it exactly.
     let mut inter_sum = 0.0;
     let mut inter_n = 0usize;
     let mut intra_sum = 0.0;
     let mut intra_n = 0usize;
     let mut ones = 0usize;
     let mut bits_total = 0usize;
-
-    for ch in 0..cfg.challenges as u64 {
-        let challenge: Challenge = challenge_bits(ch, design.sites);
-        let (reference, ref_idx) = design.reference(lang, &challenge)?;
-        // Clean responses per instance.
-        let mut clean: Vec<Response> = Vec::with_capacity(cfg.instances);
-        for inst in 0..cfg.instances as u64 {
-            let r = design.respond(lang, &reference, ref_idx, &challenge, inst + 1, 0.0, 0)?;
+    for ch in 0..cfg.challenges {
+        let clean = &clean[ch * cfg.instances..(ch + 1) * cfg.instances];
+        for r in clean {
             ones += r.iter().filter(|&&b| b).count();
             bits_total += r.len();
-            clean.push(r);
         }
-        // Inter-chip distances.
         for i in 0..clean.len() {
             for j in (i + 1)..clean.len() {
                 inter_sum += hamming(&clean[i], &clean[j]) as f64 / clean[i].len() as f64;
                 inter_n += 1;
             }
         }
-        // Intra-chip distances under measurement noise.
         for (inst, base) in clean.iter().enumerate() {
-            for m in 0..cfg.remeasures as u64 {
-                let noisy = design.respond(
-                    lang,
-                    &reference,
-                    ref_idx,
-                    &challenge,
-                    inst as u64 + 1,
-                    cfg.noise_sigma,
-                    1 + m,
-                )?;
-                intra_sum += hamming(base, &noisy) as f64 / base.len() as f64;
+            for m in 0..cfg.remeasures {
+                let noisy = &noisy[ch * per_ch + inst * cfg.remeasures + m];
+                intra_sum += hamming(base, noisy) as f64 / base.len() as f64;
                 intra_n += 1;
             }
         }
@@ -202,6 +244,23 @@ mod tests {
         assert!(m.uniformity > 0.0 && m.uniformity < 1.0);
         // A useful PUF separates inter from intra distance.
         assert!(m.uniqueness > m.intra_distance, "{m:?}");
+    }
+
+    #[test]
+    fn parallel_evaluation_is_worker_count_independent() {
+        let base = tln_language();
+        let gmc = gmc_tln_language(&base);
+        let cfg = EvalConfig {
+            instances: 3,
+            challenges: 2,
+            remeasures: 1,
+            noise_sigma: 1e-4,
+        };
+        let serial = evaluate_with(&gmc, &design(), &cfg, &Ensemble::serial()).unwrap();
+        for workers in [2, 4] {
+            let par = evaluate_with(&gmc, &design(), &cfg, &Ensemble::new(workers)).unwrap();
+            assert_eq!(serial, par, "workers {workers}");
+        }
     }
 
     #[test]

@@ -1,0 +1,434 @@
+//! # ark-sim: the parallel mismatch-ensemble engine
+//!
+//! Every headline result in the Ark paper is an *ensemble*: the CNN
+//! mismatch studies (§7.1), the TLN PUF metrics (§2.2/§6), and the OBC
+//! max-cut Monte Carlo (Table 1) all simulate many fabricated instances of
+//! one design, differing only in their mismatch seed. This crate turns that
+//! pattern into a first-class engine:
+//!
+//! * [`Ensemble`] — a `std::thread` worker pool that fans seeded jobs out
+//!   and returns results **in seed order**, so the output is deterministic
+//!   and *independent of the worker count*;
+//! * [`Ensemble::integrate_states`] — the compile-once/simulate-many fast
+//!   path: one [`CompiledSystem`] (which is `Send + Sync`) shared by
+//!   reference across the pool, with each worker reusing its own
+//!   [`EvalScratch`](ark_core::EvalScratch) and
+//!   [`OdeWorkspace`](ark_ode::OdeWorkspace), so the hot loop allocates
+//!   nothing per step;
+//! * [`Solver`] — a value-level solver choice (Euler / RK4 /
+//!   Dormand–Prince) for ensemble configuration.
+//!
+//! # Determinism guarantee
+//!
+//! Results depend **only on the seeds** (and the job closure), never on the
+//! number of workers or on OS scheduling: jobs are self-contained, workers
+//! only pick *which* job to run next from a shared counter, and results are
+//! written back by job index. Running the same ensemble with 1, 2, or 64
+//! workers produces bit-identical output — the property the determinism
+//! suite in `tests/ensemble_determinism.rs` locks in.
+//!
+//! # Examples
+//!
+//! Fan a seeded computation across the pool; output order follows the seed
+//! slice, not completion order:
+//!
+//! ```
+//! use ark_sim::Ensemble;
+//!
+//! let ens = Ensemble::new(4);
+//! let squares = ens.map(&[1, 2, 3, 4, 5], |seed| seed * seed);
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+//! ```
+//!
+//! Compile an Ark design once and simulate many instances in parallel:
+//!
+//! ```
+//! use ark_core::func::GraphBuilder;
+//! use ark_core::lang::{EdgeType, LanguageBuilder, NodeType, ProdRule, Reduction};
+//! use ark_core::types::SigType;
+//! use ark_core::CompiledSystem;
+//! use ark_expr::parse_expr;
+//! use ark_sim::{Ensemble, Solver};
+//!
+//! // dV/dt = -V/tau, compiled once...
+//! let lang = LanguageBuilder::new("rc")
+//!     .node_type(
+//!         NodeType::new("V", 1, Reduction::Sum)
+//!             .attr("tau", SigType::real(0.0, 10.0))
+//!             .init_default(SigType::real(-10.0, 10.0), 1.0),
+//!     )
+//!     .edge_type(EdgeType::new("E"))
+//!     .prod(ProdRule::new(("e", "E"), ("s", "V"), ("s", "V"), "s",
+//!         parse_expr("-var(s)/s.tau")?))
+//!     .finish()?;
+//! let mut b = GraphBuilder::new(&lang, 0);
+//! b.node("v", "V")?;
+//! b.set_attr("v", "tau", 1.0)?;
+//! b.edge("self", "E", "v", "v")?;
+//! let graph = b.finish()?;
+//! let sys = CompiledSystem::compile(&lang, &graph)?;
+//!
+//! // ...then shared by reference across the pool for many initial states.
+//! let inits: Vec<Vec<f64>> = (1..=8).map(|i| vec![i as f64]).collect();
+//! let ens = Ensemble::new(4);
+//! let runs = ens.integrate_states(&sys, &Solver::Rk4 { dt: 1e-3 }, &inits, 0.0, 1.0, 10)?;
+//! for (y0, tr) in inits.iter().zip(&runs) {
+//!     let expect = y0[0] * (-1.0f64).exp();
+//!     assert!((tr.last().unwrap().1[0] - expect).abs() < 1e-8);
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+use ark_core::CompiledSystem;
+use ark_ode::{DormandPrince, Euler, OdeWorkspace, Rk4, SolveError, Trajectory};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Value-level solver selection for ensemble runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Solver {
+    /// Forward Euler with a fixed step.
+    Euler {
+        /// Step size.
+        dt: f64,
+    },
+    /// Classical fixed-step RK4.
+    Rk4 {
+        /// Step size.
+        dt: f64,
+    },
+    /// Adaptive Dormand–Prince 5(4).
+    DormandPrince(DormandPrince),
+}
+
+impl Solver {
+    /// Integrate `sys` from `y0` over `[t0, t1]` through the given
+    /// workspace. `stride` applies to the fixed-step methods only (the
+    /// adaptive method records every accepted step).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying solver error.
+    pub fn integrate_with(
+        &self,
+        sys: &impl ark_ode::OdeSystem,
+        t0: f64,
+        y0: &[f64],
+        t1: f64,
+        stride: usize,
+        ws: &mut OdeWorkspace,
+    ) -> Result<Trajectory, SolveError> {
+        match self {
+            Solver::Euler { dt } => Euler { dt: *dt }.integrate_with(sys, t0, y0, t1, stride, ws),
+            Solver::Rk4 { dt } => Rk4 { dt: *dt }.integrate_with(sys, t0, y0, t1, stride, ws),
+            Solver::DormandPrince(dp) => dp.integrate_with(sys, t0, y0, t1, ws),
+        }
+    }
+}
+
+/// A deterministic worker pool for seeded ensemble jobs.
+///
+/// See the [crate docs](crate) for the determinism guarantee. The pool is
+/// created per call (`std::thread::scope`), so an `Ensemble` is just a
+/// worker-count configuration — cheap to copy around and embed in APIs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ensemble {
+    workers: usize,
+}
+
+impl Default for Ensemble {
+    /// One worker per available CPU.
+    fn default() -> Self {
+        Ensemble::new(0)
+    }
+}
+
+impl Ensemble {
+    /// An ensemble engine with the given worker count; `0` means one worker
+    /// per available CPU.
+    pub fn new(workers: usize) -> Self {
+        let workers = if workers == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            workers
+        };
+        Ensemble { workers }
+    }
+
+    /// A single-worker engine: runs jobs inline on the calling thread — the
+    /// serial baseline the parallel paths are benchmarked (and tested for
+    /// bit-identity) against.
+    pub fn serial() -> Self {
+        Ensemble { workers: 1 }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run `job` once per seed across the pool, returning results in seed
+    /// order.
+    pub fn map<T, F>(&self, seeds: &[u64], job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(u64) -> T + Sync,
+    {
+        match self.try_map(seeds, |seed| Ok::<T, Unreachable>(job(seed))) {
+            Ok(v) => v,
+            Err(e) => match e {},
+        }
+    }
+
+    /// Run a fallible `job` once per seed. On failure, the error of the
+    /// *lowest-indexed* failing seed is returned (again independent of the
+    /// worker count); jobs above an already-failed index are skipped, so a
+    /// failure early in a large ensemble does not pay for the whole run.
+    ///
+    /// # Errors
+    ///
+    /// The first (by seed order) job error.
+    pub fn try_map<T, E, F>(&self, seeds: &[u64], job: F) -> Result<Vec<T>, E>
+    where
+        T: Send,
+        E: Send,
+        F: Fn(u64) -> Result<T, E> + Sync,
+    {
+        self.try_map_init(seeds, || (), |(), seed| job(seed))
+    }
+
+    /// Like [`Ensemble::try_map`], but each worker first builds a private
+    /// state with `init` and threads it through its jobs — the hook for
+    /// reusing expensive per-worker resources (an
+    /// [`EvalScratch`](ark_core::EvalScratch), an [`OdeWorkspace`], a
+    /// bound system) across many instances.
+    ///
+    /// Worker state must not influence results (buffers, caches): the
+    /// engine's determinism guarantee assumes `job(state, seed)` depends
+    /// only on `seed`.
+    ///
+    /// # Errors
+    ///
+    /// The first (by seed order) job error.
+    pub fn try_map_init<S, T, E, I, F>(&self, seeds: &[u64], init: I, job: F) -> Result<Vec<T>, E>
+    where
+        T: Send,
+        E: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, u64) -> Result<T, E> + Sync,
+    {
+        let n = seeds.len();
+        if self.workers <= 1 || n <= 1 {
+            // Inline serial path: no threads, short-circuits on the first
+            // error like the historical per-experiment loops did.
+            let mut state = init();
+            let mut out = Vec::with_capacity(n);
+            for &seed in seeds {
+                out.push(job(&mut state, seed)?);
+            }
+            return Ok(out);
+        }
+        let next = AtomicUsize::new(0);
+        // Lowest failing index seen so far; jobs above it are skipped.
+        // Indices *below* it are always still run, so the final value is the
+        // true lowest failure regardless of scheduling.
+        let failed_at = AtomicUsize::new(usize::MAX);
+        let parts: Vec<Vec<(usize, Result<T, E>)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.workers.min(n))
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut state = init();
+                        let mut done = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            if i >= failed_at.load(Ordering::Relaxed) {
+                                continue;
+                            }
+                            let r = job(&mut state, seeds[i]);
+                            if r.is_err() {
+                                failed_at.fetch_min(i, Ordering::Relaxed);
+                            }
+                            done.push((i, r));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(part) => part,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+        let mut slots: Vec<Option<Result<T, E>>> = Vec::new();
+        slots.resize_with(n, || None);
+        for part in parts {
+            for (i, r) in part {
+                slots[i] = Some(r);
+            }
+        }
+        // Everything below the lowest failing index ran to completion, so
+        // in-order assembly hits that error (if any) before any skipped
+        // `None` slot.
+        let mut out = Vec::with_capacity(n);
+        for slot in slots {
+            match slot {
+                Some(r) => out.push(r?),
+                None => unreachable!("job skipped below the lowest failing index"),
+            }
+        }
+        Ok(out)
+    }
+
+    /// The compile-once/simulate-many fast path: integrate one shared
+    /// [`CompiledSystem`] from each initial state in `inits`, reusing one
+    /// [`EvalScratch`](ark_core::EvalScratch) and one [`OdeWorkspace`] per
+    /// worker so the integration loop performs zero per-step allocations.
+    ///
+    /// Trajectories come back in `inits` order, bit-identical for any
+    /// worker count.
+    ///
+    /// # Errors
+    ///
+    /// The first (by `inits` order) solver error.
+    pub fn integrate_states(
+        &self,
+        sys: &CompiledSystem,
+        solver: &Solver,
+        inits: &[Vec<f64>],
+        t0: f64,
+        t1: f64,
+        stride: usize,
+    ) -> Result<Vec<Trajectory>, SolveError> {
+        let idx: Vec<u64> = (0..inits.len() as u64).collect();
+        self.try_map_init(
+            &idx,
+            || (sys.bind(), OdeWorkspace::new(sys.num_states())),
+            |(bound, ws), i| solver.integrate_with(bound, t0, &inits[i as usize], t1, stride, ws),
+        )
+    }
+}
+
+/// A local stand-in for the unstable `!` type, so [`Ensemble::map`] can
+/// reuse the fallible plumbing without an error branch at runtime.
+enum Unreachable {}
+
+/// Consecutive seeds `base..base + n` — the conventional way the paper's
+/// experiments enumerate fabricated instances.
+pub fn seed_range(base: u64, n: usize) -> Vec<u64> {
+    (0..n as u64).map(|k| base + k).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn map_preserves_seed_order() {
+        let ens = Ensemble::new(4);
+        let out = ens.map(&seed_range(10, 100), |s| s * 2);
+        assert_eq!(out.len(), 100);
+        for (k, v) in out.iter().enumerate() {
+            assert_eq!(*v, (10 + k as u64) * 2);
+        }
+    }
+
+    #[test]
+    fn results_independent_of_worker_count() {
+        let seeds = seed_range(0, 57);
+        let job = |s: u64| {
+            // A little arithmetic noise so bugs in ordering show up.
+            let mut x = s.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            x ^= x >> 31;
+            x
+        };
+        let one = Ensemble::serial().map(&seeds, job);
+        for workers in [2, 3, 8, 64] {
+            assert_eq!(Ensemble::new(workers).map(&seeds, job), one);
+        }
+    }
+
+    #[test]
+    fn try_map_returns_lowest_index_error() {
+        let ens = Ensemble::new(8);
+        let seeds = seed_range(0, 64);
+        let r: Result<Vec<u64>, u64> =
+            ens.try_map(&seeds, |s| if s % 7 == 3 { Err(s) } else { Ok(s) });
+        // Failing seeds are 3, 10, 17, ... — the report must be seed 3
+        // regardless of which worker hit which seed first.
+        assert_eq!(r.unwrap_err(), 3);
+    }
+
+    #[test]
+    fn failure_skips_remaining_jobs() {
+        let executed = AtomicUsize::new(0);
+        let ens = Ensemble::new(2);
+        let seeds = seed_range(0, 64);
+        let r: Result<Vec<u64>, &'static str> = ens.try_map(&seeds, |s| {
+            executed.fetch_add(1, Ordering::Relaxed);
+            if s == 0 {
+                Err("boom")
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                Ok(s)
+            }
+        });
+        assert_eq!(r.unwrap_err(), "boom");
+        // Seed 0 fails almost instantly, so the pool must abandon most of
+        // the remaining (slower) jobs instead of running all 64.
+        assert!(
+            executed.load(Ordering::Relaxed) < 32,
+            "executed {} of 64 jobs after an index-0 failure",
+            executed.load(Ordering::Relaxed)
+        );
+    }
+
+    #[test]
+    fn empty_and_single_seed_inputs() {
+        let ens = Ensemble::new(4);
+        assert_eq!(ens.map(&[], |s| s), Vec::<u64>::new());
+        assert_eq!(ens.map(&[9], |s| s + 1), vec![10]);
+    }
+
+    #[test]
+    fn worker_state_is_reused_within_a_worker() {
+        let created = AtomicUsize::new(0);
+        let ens = Ensemble::new(2);
+        let out: Result<Vec<u64>, Unreachable2> = ens.try_map_init(
+            &seed_range(0, 32),
+            || {
+                created.fetch_add(1, Ordering::Relaxed);
+            },
+            |_state, s| Ok(s),
+        );
+        assert_eq!(out.unwrap().len(), 32);
+        // At most one state per worker, not one per job.
+        assert!(created.load(Ordering::Relaxed) <= 2);
+    }
+
+    enum Unreachable2 {}
+    impl std::fmt::Debug for Unreachable2 {
+        fn fmt(&self, _: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match *self {}
+        }
+    }
+
+    #[test]
+    fn zero_workers_resolves_to_cpu_count() {
+        assert!(Ensemble::new(0).workers() >= 1);
+        assert_eq!(Ensemble::serial().workers(), 1);
+    }
+
+    #[test]
+    fn seed_range_is_consecutive() {
+        assert_eq!(seed_range(5, 3), vec![5, 6, 7]);
+        assert!(seed_range(0, 0).is_empty());
+    }
+}

@@ -94,7 +94,7 @@ pub fn dg_vs_netlist_rmse(
     let sys =
         CompiledSystem::compile(lang, graph).map_err(|e| CampaignError::Sim(e.to_string()))?;
     let dg_tr: Trajectory = Rk4 { dt }
-        .integrate(&sys, 0.0, &sys.initial_state(), t_end, 4)
+        .integrate(&sys.bind(), 0.0, &sys.initial_state(), t_end, 4)
         .map_err(|e| CampaignError::Sim(e.to_string()))?;
     let nl = synthesize(lang, graph).map_err(CampaignError::Synth)?;
     let nl_tr = nl

@@ -9,7 +9,7 @@ use ark::paradigms::cnn::{
 };
 use ark::paradigms::image::Image;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let base = cnn_language();
     let hw = hw_cnn_language(&base);
     let input = Image::test_blob(14, 14);

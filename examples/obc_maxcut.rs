@@ -6,7 +6,7 @@ use ark::paradigms::maxcut::{solve, CouplingKind, MaxCutProblem};
 use ark::paradigms::obc::{obc_language, ofs_obc_language};
 use std::f64::consts::PI;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let base = obc_language();
     let ofs = ofs_obc_language(&base);
 

@@ -71,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Transient simulation.
-    let tr = Rk4 { dt: 1e-3 }.integrate(&system, 0.0, &system.initial_state(), 2.0, 100)?;
+    let tr = Rk4 { dt: 1e-3 }.integrate(&system.bind(), 0.0, &system.initial_state(), 2.0, 100)?;
     println!("\n t      a       b       c");
     for &t in &[0.0, 0.5, 1.0, 1.5, 2.0] {
         let y = tr.at(t);

@@ -21,7 +21,7 @@
 //! func cell() uses rc { node v : V; edge <v, v> sv : E; set-attr v.tau = 1.0; }
 //! "#)?;
 //! let (_graph, system) = program.build("cell", &[], 0, &ExternRegistry::new())?;
-//! let tr = Rk4 { dt: 1e-3 }.integrate(&system, 0.0, &system.initial_state(), 1.0, 10)?;
+//! let tr = Rk4 { dt: 1e-3 }.integrate(&system.bind(), 0.0, &system.initial_state(), 1.0, 10)?;
 //! assert!((tr.last().unwrap().1[0] - (-1.0f64).exp()).abs() < 1e-8);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -34,4 +34,5 @@ pub use ark_ilp as ilp;
 pub use ark_ode as ode;
 pub use ark_paradigms as paradigms;
 pub use ark_puf as puf;
+pub use ark_sim as sim;
 pub use ark_spice as spice;

@@ -1,0 +1,133 @@
+//! Determinism suite for the `ark-sim` mismatch-ensemble engine: results
+//! are keyed only by seed — never by worker count, scheduling, or the
+//! in-place-buffer refactor of the integrator core.
+
+use ark::core::CompiledSystem;
+use ark::paradigms::cnn::{
+    build_cnn, cnn_language, hw_cnn_language, run_cnn, run_cnn_ensemble, CnnRun, NonIdeality,
+    EDGE_TEMPLATE,
+};
+use ark::paradigms::image::Image;
+use ark::sim::{seed_range, Ensemble, Solver};
+
+/// The engine's foundational compile-time guarantee: one compiled system is
+/// shareable by reference across the worker pool.
+#[test]
+fn compiled_system_is_send_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CompiledSystem>();
+    assert_send_sync::<ark::core::EvalScratch>();
+    assert_send_sync::<Ensemble>();
+}
+
+fn cnn_input() -> Image {
+    Image::from_ascii(&["....", ".##.", ".##.", "...."])
+}
+
+fn runs_equal(a: &CnnRun, b: &CnnRun) {
+    for (r, c, v) in a.final_output.iter() {
+        assert_eq!(v, b.final_output.get(r, c), "final output cell ({r},{c})");
+    }
+    assert_eq!(a.snapshots.len(), b.snapshots.len());
+    for ((ta, ia), (tb, ib)) in a.snapshots.iter().zip(&b.snapshots) {
+        assert_eq!(ta, tb);
+        for (r, c, v) in ia.iter() {
+            assert_eq!(v, ib.get(r, c), "snapshot t={ta} cell ({r},{c})");
+        }
+    }
+    assert_eq!(a.convergence_time, b.convergence_time);
+}
+
+/// A 32-instance mismatched-CNN ensemble produces bit-identical
+/// trajectories for worker counts 1, 2, and 8, and every per-seed result
+/// matches the plain serial path (`build_cnn` + `run_cnn`), i.e. the
+/// pre-ensemble way of computing the same instance.
+#[test]
+fn cnn_ensemble_bit_identical_across_worker_counts() {
+    let base = cnn_language();
+    let hw = hw_cnn_language(&base);
+    let input = cnn_input();
+    let seeds = seed_range(0, 32);
+    let snap_times = [0.5, 1.0];
+
+    let reference: Vec<CnnRun> = seeds
+        .iter()
+        .map(|&seed| {
+            let inst =
+                build_cnn(&hw, &input, &EDGE_TEMPLATE, NonIdeality::ZMismatch, seed).unwrap();
+            run_cnn(&hw, &inst, 1.0, &snap_times).unwrap()
+        })
+        .collect();
+
+    for workers in [1usize, 2, 8] {
+        let runs = run_cnn_ensemble(
+            &hw,
+            &input,
+            &EDGE_TEMPLATE,
+            NonIdeality::ZMismatch,
+            1.0,
+            &snap_times,
+            &seeds,
+            &Ensemble::new(workers),
+        )
+        .unwrap();
+        assert_eq!(runs.len(), reference.len());
+        for (serial, parallel) in reference.iter().zip(&runs) {
+            runs_equal(serial, parallel);
+        }
+    }
+}
+
+/// The compile-once/simulate-many fast path shares one `CompiledSystem`
+/// across the pool and still reproduces the one-at-a-time results exactly.
+#[test]
+fn shared_system_integration_matches_serial() {
+    let lang = cnn_language();
+    let inst = build_cnn(&lang, &cnn_input(), &EDGE_TEMPLATE, NonIdeality::Ideal, 0).unwrap();
+    let sys = CompiledSystem::compile(&lang, &inst.graph).unwrap();
+    // Perturb the initial state per instance (the mismatch-free analogue of
+    // fabricated-instance variation).
+    let inits: Vec<Vec<f64>> = (0..16)
+        .map(|i| {
+            let mut y = sys.initial_state();
+            let slot = i % y.len();
+            y[slot] += 0.01 * (i as f64 + 1.0);
+            y
+        })
+        .collect();
+    let solver = Solver::Rk4 { dt: 5e-3 };
+    let serial = Ensemble::serial()
+        .integrate_states(&sys, &solver, &inits, 0.0, 1.0, 10)
+        .unwrap();
+    for workers in [2usize, 8] {
+        let parallel = Ensemble::new(workers)
+            .integrate_states(&sys, &solver, &inits, 0.0, 1.0, 10)
+            .unwrap();
+        assert_eq!(serial, parallel, "workers {workers}");
+    }
+}
+
+/// The adaptive integrator keeps its PI-controller accounting under the
+/// ensemble engine: a stiff-ish CNN run rejects at least one step on every
+/// instance, identically across worker counts.
+#[test]
+fn adaptive_cnn_ensemble_reports_rejections_deterministically() {
+    let lang = cnn_language();
+    let inst = build_cnn(&lang, &cnn_input(), &EDGE_TEMPLATE, NonIdeality::Ideal, 0).unwrap();
+    let sys = CompiledSystem::compile(&lang, &inst.graph).unwrap();
+    let solver = Solver::DormandPrince(ark::ode::DormandPrince {
+        h0: Some(2.0),
+        ..ark::ode::DormandPrince::new(1e-8, 1e-10)
+    });
+    let inits = vec![sys.initial_state(); 4];
+    let serial = Ensemble::serial()
+        .integrate_states(&sys, &solver, &inits, 0.0, 3.0, 1)
+        .unwrap();
+    let parallel = Ensemble::new(4)
+        .integrate_states(&sys, &solver, &inits, 0.0, 3.0, 1)
+        .unwrap();
+    assert_eq!(serial, parallel);
+    for tr in &serial {
+        assert!(tr.stats().rejected >= 1, "stats {:?}", tr.stats());
+    }
+}

@@ -28,7 +28,7 @@ fn fig4_linear_vs_branched_shapes() {
     let linear = linear_tline(&lang, 12, &cfg, 0).unwrap();
     let sys = CompiledSystem::compile(&lang, &linear).unwrap();
     let tr = Rk4 { dt: 2e-11 }
-        .integrate(&sys, 0.0, &sys.initial_state(), 6e-8, 8)
+        .integrate(&sys.bind(), 0.0, &sys.initial_state(), 6e-8, 8)
         .unwrap();
     let out = sys.state_index(&linear_out_v(12)).unwrap();
     let (t_main, v_main) = tr.peak_in_window(out, 0.0, 6e-8);
@@ -42,7 +42,7 @@ fn fig4_linear_vs_branched_shapes() {
     let branched = branched_tline(&lang, 8, 10, 8, &cfg, 0).unwrap();
     let sys = CompiledSystem::compile(&lang, &branched).unwrap();
     let tr = Rk4 { dt: 2e-11 }
-        .integrate(&sys, 0.0, &sys.initial_state(), 1.2e-7, 8)
+        .integrate(&sys.bind(), 0.0, &sys.initial_state(), 1.2e-7, 8)
         .unwrap();
     let out = sys.state_index(&branched_out_v(8)).unwrap();
     let (tb, vb) = tr.peak_in_window(out, 0.0, 4.5e-8);
@@ -69,7 +69,7 @@ fn fig4_gm_variation_dominates_cint() {
                 let g = linear_tline(&gmc, 10, &cfg, seed).unwrap();
                 let sys = CompiledSystem::compile(&gmc, &g).unwrap();
                 Rk4 { dt: 5e-11 }
-                    .integrate(&sys, 0.0, &sys.initial_state(), 4e-8, 8)
+                    .integrate(&sys.bind(), 0.0, &sys.initial_state(), 4e-8, 8)
                     .unwrap()
             })
             .collect::<Vec<_>>()

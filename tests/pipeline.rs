@@ -21,7 +21,7 @@ fn textual_program_end_to_end() {
         let graph = prog.invoke("br_func", &[Value::Int(br)], 0).unwrap();
         let sys = CompiledSystem::compile(lang, &graph).unwrap();
         let tr = Rk4 { dt: 2e-11 }
-            .integrate(&sys, 0.0, &sys.initial_state(), 2e-8, 16)
+            .integrate(&sys.bind(), 0.0, &sys.initial_state(), 2e-8, 16)
             .unwrap();
         // Signal reaches OUT_V in both configurations.
         let out = sys.state_index("OUT_V").unwrap();
@@ -48,7 +48,7 @@ fn dg_and_netlist_agree_across_crates() {
 
     let sys = CompiledSystem::compile(&gmc, &graph).unwrap();
     let dg = Rk4 { dt: 2e-11 }
-        .integrate(&sys, 0.0, &sys.initial_state(), 2e-8, 4)
+        .integrate(&sys.bind(), 0.0, &sys.initial_state(), 2e-8, 4)
         .unwrap();
     let nl = synthesize(&gmc, &graph).unwrap();
     let nt = nl.transient(2e-8, 2e-11, 4).unwrap();
@@ -79,10 +79,10 @@ fn inheritance_preserves_dynamics_end_to_end() {
     let s_base = CompiledSystem::compile(&base, &g_base).unwrap();
     let s_gmc = CompiledSystem::compile(&gmc, &g_gmc).unwrap();
     let t_base = Rk4 { dt: 5e-11 }
-        .integrate(&s_base, 0.0, &s_base.initial_state(), 1e-8, 8)
+        .integrate(&s_base.bind(), 0.0, &s_base.initial_state(), 1e-8, 8)
         .unwrap();
     let t_gmc = Rk4 { dt: 5e-11 }
-        .integrate(&s_gmc, 0.0, &s_gmc.initial_state(), 1e-8, 8)
+        .integrate(&s_gmc.bind(), 0.0, &s_gmc.initial_state(), 1e-8, 8)
         .unwrap();
     // Bit-identical: the derived language falls back to exactly the parent
     // rules for base-type graphs.
@@ -109,10 +109,10 @@ fn substitution_changes_dynamics_but_stays_valid() {
     let si = CompiledSystem::compile(&gmc, &ideal).unwrap();
     let sn = CompiledSystem::compile(&gmc, &noisy).unwrap();
     let ti = Rk4 { dt: 5e-11 }
-        .integrate(&si, 0.0, &si.initial_state(), 2e-8, 8)
+        .integrate(&si.bind(), 0.0, &si.initial_state(), 2e-8, 8)
         .unwrap();
     let tn = Rk4 { dt: 5e-11 }
-        .integrate(&sn, 0.0, &sn.initial_state(), 2e-8, 8)
+        .integrate(&sn.bind(), 0.0, &sn.initial_state(), 2e-8, 8)
         .unwrap();
     let out = si.state_index(&linear_out_v(6)).unwrap();
     let diff: f64 = (1..20)
