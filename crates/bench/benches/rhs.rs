@@ -1,0 +1,347 @@
+//! Right-hand-side microbenchmark: the fused `SystemProgram` path vs the
+//! legacy per-node tape path, on the three paper workloads (Figure 11 CNN,
+//! Figure 4 GmC-TLN, Table 1 OBC max-cut), plus the compile-once parametric
+//! ensembles vs the historical recompile-per-instance loops.
+//!
+//! Besides the criterion timings, the bench writes `BENCH_rhs.json` at the
+//! repo root — interpreted-instruction counts, register-file sizes, ns/RHS,
+//! and ensemble wall times — so future PRs have a perf trajectory to
+//! compare against.
+//!
+//! Smoke-mode knobs (used by CI): `ARK_RHS_EVALS` overrides the number of
+//! timed RHS evaluations, `ARK_RHS_ENSEMBLE_N` the ensemble instance count.
+
+use ark_core::CompiledSystem;
+use ark_ode::Rk4;
+use ark_paradigms::cnn::{
+    build_cnn, cnn_language, hw_cnn_language, run_cnn, run_cnn_ensemble, NonIdeality, EDGE_TEMPLATE,
+};
+use ark_paradigms::image::Image;
+use ark_paradigms::maxcut::{solve, table1_cell_with, CouplingKind, MaxCutProblem};
+use ark_paradigms::obc::{obc_language, ofs_obc_language};
+use ark_paradigms::tln::{
+    gmc_tln_language, linear_tline, tline_mismatch_ensemble, tln_language, MismatchKind,
+    TlineConfig,
+};
+use ark_sim::{seed_range, Ensemble};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::f64::consts::PI;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Mean ns per RHS evaluation. The time grid cycles, so the fused path's
+/// prologue cache almost never hits — this is its *conservative* cost.
+fn time_rhs(sys: &CompiledSystem, legacy: bool, evals: usize) -> f64 {
+    let n = sys.num_states();
+    let mut y = sys.initial_state();
+    let mut dydt = vec![0.0; n];
+    let mut scratch = sys.scratch();
+    for k in 0..32 {
+        // Warm caches and buffers.
+        sys.rhs_with(k as f64 * 1e-3, &y, &mut dydt, &mut scratch);
+    }
+    let start = Instant::now();
+    for k in 0..evals {
+        let t = (k % 1024) as f64 * 1e-3;
+        if legacy {
+            sys.rhs_legacy_with(t, &y, &mut dydt, &mut scratch);
+        } else {
+            sys.rhs_with(t, &y, &mut dydt, &mut scratch);
+        }
+        // Keep the state moving so values are not trivially constant.
+        y[k % n] += dydt[k % n] * 1e-6;
+    }
+    black_box(&dydt);
+    start.elapsed().as_nanos() as f64 / evals as f64
+}
+
+struct Workload {
+    name: &'static str,
+    sys: CompiledSystem,
+}
+
+struct WorkloadReport {
+    name: &'static str,
+    states: usize,
+    algebraics: usize,
+    legacy_instrs: usize,
+    fused_instrs: usize,
+    fused_prologue: usize,
+    fused_regs: usize,
+    fused_consts: usize,
+    legacy_ns: f64,
+    fused_ns: f64,
+}
+
+struct EnsembleReport {
+    name: &'static str,
+    instances: usize,
+    recompile_ms: f64,
+    parametric_ms: f64,
+}
+
+fn workloads() -> Vec<Workload> {
+    let base = cnn_language();
+    let hw = hw_cnn_language(&base);
+    let input = Image::test_blob(8, 6);
+    let cnn = build_cnn(&hw, &input, &EDGE_TEMPLATE, NonIdeality::GMismatch, 1).unwrap();
+    let cnn_sys = CompiledSystem::compile(&hw, &cnn.graph).unwrap();
+
+    let tbase = tln_language();
+    let gmc = gmc_tln_language(&tbase);
+    let cfg = TlineConfig {
+        mismatch: MismatchKind::Gm,
+        ..TlineConfig::default()
+    };
+    let tln = linear_tline(&gmc, 26, &cfg, 1).unwrap();
+    let tln_sys = CompiledSystem::compile(&gmc, &tln).unwrap();
+
+    let obase = obc_language();
+    let ofs = ofs_obc_language(&obase);
+    let problem = MaxCutProblem::random(6, 3);
+    let obc = ark_paradigms::maxcut::build_maxcut_network(&ofs, &problem, CouplingKind::Offset, 3)
+        .unwrap();
+    let obc_sys = CompiledSystem::compile(&ofs, &obc).unwrap();
+
+    vec![
+        Workload {
+            name: "cnn_fig11",
+            sys: cnn_sys,
+        },
+        Workload {
+            name: "tln_fig4",
+            sys: tln_sys,
+        },
+        Workload {
+            name: "obc_table1",
+            sys: obc_sys,
+        },
+    ]
+}
+
+fn measure_ensembles(n: usize) -> Vec<EnsembleReport> {
+    let mut out = Vec::new();
+    let seeds = seed_range(0, n);
+    let ens = Ensemble::serial();
+
+    // CNN: recompile-per-instance vs compile-once parametric.
+    let base = cnn_language();
+    let hw = hw_cnn_language(&base);
+    let input = Image::from_ascii(&["....", ".##.", ".##.", "...."]);
+    let t = Instant::now();
+    for &seed in &seeds {
+        let inst = build_cnn(&hw, &input, &EDGE_TEMPLATE, NonIdeality::GMismatch, seed).unwrap();
+        black_box(run_cnn(&hw, &inst, 1.0, &[]).unwrap());
+    }
+    let recompile_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    black_box(
+        run_cnn_ensemble(
+            &hw,
+            &input,
+            &EDGE_TEMPLATE,
+            NonIdeality::GMismatch,
+            1.0,
+            &[],
+            &seeds,
+            &ens,
+        )
+        .unwrap(),
+    );
+    let parametric_ms = t.elapsed().as_secs_f64() * 1e3;
+    out.push(EnsembleReport {
+        name: "cnn_fig11",
+        instances: n,
+        recompile_ms,
+        parametric_ms,
+    });
+
+    // TLN: recompile-per-instance vs compile-once parametric.
+    let tbase = tln_language();
+    let gmc = gmc_tln_language(&tbase);
+    let cfg = TlineConfig {
+        mismatch: MismatchKind::Gm,
+        ..TlineConfig::default()
+    };
+    let (segments, t_end, dt, stride) = (8, 2e-8, 5e-11, 16);
+    let t = Instant::now();
+    for &seed in &seeds {
+        let g = linear_tline(&gmc, segments, &cfg, seed).unwrap();
+        let sys = CompiledSystem::compile(&gmc, &g).unwrap();
+        black_box(
+            Rk4 { dt }
+                .integrate(&sys.bind(), 0.0, &sys.initial_state(), t_end, stride)
+                .unwrap(),
+        );
+    }
+    let recompile_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    black_box(
+        tline_mismatch_ensemble(&gmc, segments, &cfg, t_end, dt, stride, &seeds, &ens).unwrap(),
+    );
+    let parametric_ms = t.elapsed().as_secs_f64() * 1e3;
+    out.push(EnsembleReport {
+        name: "tln_fig4",
+        instances: n,
+        recompile_ms,
+        parametric_ms,
+    });
+
+    // OBC Table 1 cell: per-trial solve (rebuild + recompile) vs the
+    // compile-once K_n template.
+    let obase = obc_language();
+    let ofs = ofs_obc_language(&obase);
+    let d = 0.1 * PI;
+    let t = Instant::now();
+    for &seed in &seeds {
+        let problem = MaxCutProblem::random(4, seed);
+        black_box(solve(&ofs, &problem, CouplingKind::Offset, d, seed).unwrap());
+    }
+    let recompile_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    black_box(table1_cell_with(&ofs, CouplingKind::Offset, d, 4, n, 0, &ens).unwrap());
+    let parametric_ms = t.elapsed().as_secs_f64() * 1e3;
+    out.push(EnsembleReport {
+        name: "obc_table1",
+        instances: n,
+        recompile_ms,
+        parametric_ms,
+    });
+
+    out
+}
+
+fn write_json(reports: &[WorkloadReport], ensembles: &[EnsembleReport]) {
+    let mut j = String::from("{\n");
+    let _ = writeln!(
+        j,
+        "  \"generated_by\": \"cargo bench -p ark-bench --bench rhs\","
+    );
+    let _ = writeln!(j, "  \"workloads\": {{");
+    for (i, r) in reports.iter().enumerate() {
+        let comma = if i + 1 < reports.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    \"{}\": {{\n      \"states\": {},\n      \"algebraics\": {},\n      \
+             \"legacy_instructions_per_rhs\": {},\n      \"fused_instructions_per_rhs\": {},\n      \
+             \"fused_prologue_instructions\": {},\n      \"instruction_reduction\": {:.2},\n      \
+             \"fused_registers\": {},\n      \"fused_pooled_consts\": {},\n      \
+             \"legacy_ns_per_rhs\": {:.1},\n      \"fused_ns_per_rhs\": {:.1},\n      \
+             \"rhs_speedup\": {:.2}\n    }}{}",
+            r.name,
+            r.states,
+            r.algebraics,
+            r.legacy_instrs,
+            r.fused_instrs,
+            r.fused_prologue,
+            r.legacy_instrs as f64 / r.fused_instrs.max(1) as f64,
+            r.fused_regs,
+            r.fused_consts,
+            r.legacy_ns,
+            r.fused_ns,
+            r.legacy_ns / r.fused_ns.max(1e-9),
+            comma
+        );
+    }
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"ensembles\": {{");
+    for (i, e) in ensembles.iter().enumerate() {
+        let comma = if i + 1 < ensembles.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    \"{}\": {{\n      \"instances\": {},\n      \"recompile_per_instance_ms\": {:.1},\n      \
+             \"compile_once_parametric_ms\": {:.1},\n      \"ensemble_speedup\": {:.2}\n    }}{}",
+            e.name,
+            e.instances,
+            e.recompile_ms,
+            e.parametric_ms,
+            e.recompile_ms / e.parametric_ms.max(1e-9),
+            comma
+        );
+    }
+    let _ = writeln!(j, "  }}\n}}");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_rhs.json");
+    std::fs::write(path, j).expect("write BENCH_rhs.json");
+    println!("wrote {path}");
+}
+
+fn bench_rhs(c: &mut Criterion) {
+    let evals = env_usize("ARK_RHS_EVALS", 20_000);
+    let ensemble_n = env_usize("ARK_RHS_ENSEMBLE_N", 8);
+
+    let mut reports = Vec::new();
+    for w in workloads() {
+        let legacy_instrs = w
+            .sys
+            .legacy_rhs_instruction_count()
+            .expect("non-parametric workload");
+        let legacy_ns = time_rhs(&w.sys, true, evals);
+        let fused_ns = time_rhs(&w.sys, false, evals);
+        println!(
+            "{}: {} legacy instrs -> {} fused ({} prologue), {:.0} ns -> {:.0} ns per rhs",
+            w.name,
+            legacy_instrs,
+            w.sys.rhs_instruction_count(),
+            w.sys.rhs_prologue_len(),
+            legacy_ns,
+            fused_ns,
+        );
+        reports.push(WorkloadReport {
+            name: w.name,
+            states: w.sys.num_states(),
+            algebraics: w.sys.num_algebraics(),
+            legacy_instrs,
+            fused_instrs: w.sys.rhs_instruction_count(),
+            fused_prologue: w.sys.rhs_prologue_len(),
+            fused_regs: w.sys.rhs_register_count(),
+            fused_consts: w.sys.rhs_const_count(),
+            legacy_ns,
+            fused_ns,
+        });
+        let mut group = c.benchmark_group(format!("rhs/{}", w.name));
+        let sys = &w.sys;
+        group.bench_function("legacy", |b| {
+            let n = sys.num_states();
+            let y = sys.initial_state();
+            let mut dydt = vec![0.0; n];
+            let mut scratch = sys.scratch();
+            b.iter(|| {
+                sys.rhs_legacy_with(black_box(0.5), &y, &mut dydt, &mut scratch);
+                black_box(dydt[0])
+            })
+        });
+        group.bench_function("fused", |b| {
+            let n = sys.num_states();
+            let y = sys.initial_state();
+            let mut dydt = vec![0.0; n];
+            let mut scratch = sys.scratch();
+            b.iter(|| {
+                sys.rhs_with(black_box(0.5), &y, &mut dydt, &mut scratch);
+                black_box(dydt[0])
+            })
+        });
+        group.finish();
+    }
+    let ensembles = measure_ensembles(ensemble_n);
+    for e in &ensembles {
+        println!(
+            "{} ensemble x{}: recompile {:.1} ms, parametric {:.1} ms ({:.2}x)",
+            e.name,
+            e.instances,
+            e.recompile_ms,
+            e.parametric_ms,
+            e.recompile_ms / e.parametric_ms.max(1e-9)
+        );
+    }
+    write_json(&reports, &ensembles);
+}
+
+criterion_group!(benches, bench_rhs);
+criterion_main!(benches);

@@ -21,13 +21,17 @@
 //! [`BoundSystem`] implementing [`ark_ode::OdeSystem`] for the integrators.
 
 use crate::dg::Graph;
+use crate::func::ParametricGraph;
 use crate::lang::{LangError, Language, Reduction, RuleTarget};
+use crate::mismatch::{sample_param_vector, ParamSite, ParamTarget};
 use crate::types::Value;
+use ark_expr::program::{ProgScratch, ProgramBuilder, ProgramResolver, SystemProgram, VarRef};
 use ark_expr::{Expr, Tape, TapeError};
 use ark_ode::OdeSystem;
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// An error raised during compilation.
 #[derive(Debug, Clone, PartialEq)]
@@ -149,33 +153,63 @@ enum DerivKind {
 /// The compiled system itself is immutable (`Send + Sync`), so one compiled
 /// design can be shared by reference across a thread pool; each worker owns
 /// an `EvalScratch` and passes it to the `*_with` evaluation methods.
-/// Buffers are resized on demand, so one scratch also serves systems of
-/// different sizes. Obtain one with [`CompiledSystem::scratch`].
+/// All buffers are grow-only, so one scratch genuinely serves systems of
+/// different sizes without reallocation churn. Obtain one with
+/// [`CompiledSystem::scratch`].
 #[derive(Debug, Clone, Default)]
 pub struct EvalScratch {
-    /// Combined variable buffer: `[states..., algebraics...]`.
+    /// Combined variable buffer: `[states..., algebraics...]` for the legacy
+    /// tape path, and the observation output buffer for the fused path.
     buf: Vec<f64>,
-    /// Register file reused across tape evaluations.
+    /// Register file reused across legacy tape evaluations.
     regs: Vec<f64>,
+    /// Register files for fused [`SystemProgram`]s, keyed by program id
+    /// (one per program so constant pools stay primed).
+    progs: Vec<ProgScratch>,
 }
 
 impl EvalScratch {
+    /// Grow (never shrink) the legacy buffers.
     fn ensure(&mut self, slots: usize, regs: usize) {
-        if self.buf.len() != slots {
+        if self.buf.len() < slots {
             self.buf.resize(slots, 0.0);
         }
         if self.regs.len() < regs {
             self.regs.resize(regs, 0.0);
         }
     }
+
+    /// The program scratch primed for `id` (or a fresh one that the next
+    /// evaluation will prime).
+    fn prog_state(&mut self, id: u64) -> &mut ProgScratch {
+        let i = self.prog_state_index(id);
+        &mut self.progs[i]
+    }
+
+    /// Index form of [`EvalScratch::prog_state`], for callers that need to
+    /// borrow other scratch fields alongside the program state.
+    fn prog_state_index(&mut self, id: u64) -> usize {
+        if let Some(i) = self
+            .progs
+            .iter()
+            .position(|p| p.program_id() == Some(id) || p.program_id().is_none())
+        {
+            return i;
+        }
+        self.progs.push(ProgScratch::default());
+        self.progs.len() - 1
+    }
 }
 
-/// A [`CompiledSystem`] bound to one [`EvalScratch`], implementing
-/// [`ark_ode::OdeSystem`]. Create one per thread with
-/// [`CompiledSystem::bind`]; the binding is deliberately `!Sync` (interior
-/// mutability), while the compiled system it borrows stays shareable.
+/// A [`CompiledSystem`] bound to one [`EvalScratch`] (and, for parametric
+/// systems, one parameter vector), implementing [`ark_ode::OdeSystem`].
+/// Create one per thread with [`CompiledSystem::bind`] /
+/// [`CompiledSystem::bind_with_params`]; the binding is deliberately `!Sync`
+/// (interior mutability), while the compiled system it borrows stays
+/// shareable.
 pub struct BoundSystem<'a> {
     sys: &'a CompiledSystem,
+    params: Vec<f64>,
     scratch: RefCell<EvalScratch>,
 }
 
@@ -183,6 +217,11 @@ impl<'a> BoundSystem<'a> {
     /// The underlying compiled system.
     pub fn system(&self) -> &'a CompiledSystem {
         self.sys
+    }
+
+    /// The bound parameter vector (empty for non-parametric systems).
+    pub fn params(&self) -> &[f64] {
+        &self.params
     }
 }
 
@@ -192,30 +231,80 @@ impl OdeSystem for BoundSystem<'_> {
     }
 
     fn rhs(&self, t: f64, y: &[f64], dydt: &mut [f64]) {
+        // Parameters were bound at construction; the scratch is private to
+        // this binding, so they cannot have changed since.
         self.sys
-            .rhs_with(t, y, dydt, &mut self.scratch.borrow_mut());
+            .rhs_bound(t, y, dydt, &mut self.scratch.borrow_mut());
     }
+}
+
+/// A borrowing sibling of [`BoundSystem`] for hot ensemble loops: the
+/// parameter vector and the [`EvalScratch`] are owned by the caller (and
+/// reused across instances), the binding is a cheap view. Create with
+/// [`CompiledSystem::bind_ref`].
+pub struct BoundSystemRef<'a> {
+    sys: &'a CompiledSystem,
+    scratch: RefCell<&'a mut EvalScratch>,
+}
+
+impl OdeSystem for BoundSystemRef<'_> {
+    fn dim(&self) -> usize {
+        self.sys.num_states()
+    }
+
+    fn rhs(&self, t: f64, y: &[f64], dydt: &mut [f64]) {
+        // Parameters were bound at construction; the exclusive &mut borrow
+        // of the scratch guarantees no interleaved rebinding.
+        self.sys
+            .rhs_bound(t, y, dydt, &mut self.scratch.borrow_mut());
+    }
+}
+
+/// The legacy per-node tape evaluator, kept as the reference semantics the
+/// fused [`SystemProgram`] path is property-tested against.
+#[derive(Debug)]
+struct LegacyTapes {
+    /// Algebraic tapes in evaluation (topological) order: `(slot, tape)`.
+    alg_tapes: Vec<(usize, Tape)>,
+    deriv_kinds: Vec<DerivKind>,
+    deriv_tapes: Vec<Tape>,
+    /// Largest register file any tape needs.
+    max_regs: usize,
 }
 
 /// A dynamical graph lowered to an executable first-order ODE system.
 ///
+/// The hot path is a pair of fused [`SystemProgram`]s (one for the
+/// right-hand side, one for observing algebraic nodes) produced by the
+/// optimizer pipeline in [`ark_expr::program`]; the legacy per-node tape
+/// evaluator is retained as reference semantics
+/// ([`CompiledSystem::rhs_legacy_with`]).
+///
 /// The compiled form is immutable and `Send + Sync`: compile once, then
 /// share it by reference across worker threads, giving each worker its own
 /// [`EvalScratch`] (or a [`BoundSystem`] via [`CompiledSystem::bind`]).
+/// Systems compiled with [`CompiledSystem::compile_parametric`] additionally
+/// carry *parameter slots*: one compile serves a whole mismatch ensemble,
+/// each instance supplying a parameter vector
+/// ([`CompiledSystem::sample_params`]) instead of a recompilation.
 pub struct CompiledSystem {
     state_vars: Vec<StateVar>,
     /// Node name → base state index (0th derivative).
     state_of_node: BTreeMap<String, usize>,
     /// Node name → algebraic slot (offset into the algebraic segment).
     alg_of_node: BTreeMap<String, usize>,
-    /// Algebraic tapes in evaluation (topological) order: `(slot, tape)`.
-    alg_tapes: Vec<(usize, Tape)>,
-    deriv_kinds: Vec<DerivKind>,
-    deriv_tapes: Vec<Tape>,
+    /// Fused program computing all `dydt` outputs.
+    rhs_prog: SystemProgram,
+    /// Fused program computing all algebraic outputs (slot order).
+    obs_prog: SystemProgram,
+    /// Parameter sites, in slot order (empty for non-parametric compiles).
+    param_sites: Vec<ParamSite>,
+    /// State-index → parameter-slot overrides for the initial state.
+    init_params: Vec<(usize, usize)>,
+    /// Reference per-tape evaluator (non-parametric compiles only).
+    legacy: Option<LegacyTapes>,
     init: Vec<f64>,
     equations: Vec<String>,
-    /// Largest register file any tape needs (sizes [`EvalScratch`]).
-    max_regs: usize,
 }
 
 impl fmt::Debug for CompiledSystem {
@@ -223,9 +312,15 @@ impl fmt::Debug for CompiledSystem {
         f.debug_struct("CompiledSystem")
             .field("states", &self.state_vars.len())
             .field("algebraics", &self.alg_of_node.len())
+            .field("params", &self.param_sites.len())
+            .field("rhs_instrs", &self.rhs_prog.len())
             .finish()
     }
 }
+
+/// Global count of [`CompiledSystem`] compilations (both entry points), for
+/// asserting compile-once behavior of ensemble drivers in tests/benches.
+static COMPILE_COUNT: AtomicU64 = AtomicU64::new(0);
 
 impl CompiledSystem {
     /// Names of the state variables, in state-vector order.
@@ -260,6 +355,11 @@ impl CompiledSystem {
         self.state_vars.len()
     }
 
+    /// Number of algebraic (order-0) variables.
+    pub fn num_algebraics(&self) -> usize {
+        self.alg_of_node.len()
+    }
+
     /// Slot index of an algebraic (order-0) node, usable with
     /// [`CompiledSystem::eval_algebraics`].
     pub fn algebraic_index(&self, node: &str) -> Option<usize> {
@@ -269,68 +369,352 @@ impl CompiledSystem {
     /// A fresh evaluation scratch sized for this system (one per worker).
     pub fn scratch(&self) -> EvalScratch {
         let mut s = EvalScratch::default();
-        s.ensure(self.num_states() + self.alg_of_node.len(), self.max_regs);
+        let legacy_regs = self.legacy.as_ref().map_or(1, |l| l.max_regs);
+        s.ensure(self.num_states() + self.alg_of_node.len(), legacy_regs);
         s
+    }
+
+    /// Number of parameter slots (zero for non-parametric compiles).
+    pub fn num_params(&self) -> usize {
+        self.param_sites.len()
+    }
+
+    /// The parameter sites, in slot order.
+    pub fn param_sites(&self) -> &[ParamSite] {
+        &self.param_sites
+    }
+
+    /// Slot of the *last* parameter site backing `entity.attr`, if any.
+    pub fn param_index(&self, entity: &str, attr: &str) -> Option<usize> {
+        self.param_sites.iter().rposition(|s| {
+            s.entity == entity && matches!(&s.target, ParamTarget::Attr(a) if a == attr)
+        })
+    }
+
+    /// Slot of the *last* parameter site backing `node`'s `deriv`-th initial
+    /// value, if any.
+    pub fn param_index_init(&self, node: &str, deriv: usize) -> Option<usize> {
+        self.param_sites.iter().rposition(|s| {
+            s.entity == node && matches!(&s.target, ParamTarget::Init(i) if *i == deriv)
+        })
+    }
+
+    /// The nominal parameter vector (every slot at its design value).
+    pub fn nominal_params(&self) -> Vec<f64> {
+        self.param_sites.iter().map(|s| s.nominal).collect()
+    }
+
+    /// The parameter vector of fabricated instance `seed`: replays the
+    /// mismatch draws a seeded [`crate::GraphBuilder`] would have made while
+    /// building this design, so running with this vector is bit-identical
+    /// to rebuilding + recompiling with that seed. Explicit sites keep
+    /// their nominal value (override them via [`CompiledSystem::param_index`]
+    /// / [`CompiledSystem::param_index_init`]).
+    pub fn sample_params(&self, seed: u64) -> Vec<f64> {
+        sample_param_vector(&self.param_sites, seed)
+    }
+
+    /// The initial state for one instance: nominal initial values with any
+    /// parameter-backed entries overridden from `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` has the wrong length.
+    pub fn initial_state_for(&self, params: &[f64]) -> Vec<f64> {
+        assert_eq!(params.len(), self.num_params(), "parameter length");
+        let mut init = self.init.clone();
+        for &(state, slot) in &self.init_params {
+            init[state] = params[slot];
+        }
+        init
     }
 
     /// Bind this system to a fresh scratch, yielding an
     /// [`ark_ode::OdeSystem`] implementation for the integrators. Cheap;
     /// create one per thread (or per integration call).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a parametric system — use
+    /// [`CompiledSystem::bind_with_params`] or [`CompiledSystem::bind_ref`].
     pub fn bind(&self) -> BoundSystem<'_> {
+        assert_eq!(
+            self.num_params(),
+            0,
+            "parametric system: bind_with_params/bind_ref must supply a parameter vector"
+        );
         BoundSystem {
             sys: self,
+            params: Vec::new(),
             scratch: RefCell::new(self.scratch()),
         }
     }
 
-    /// Evaluate the right-hand side `f(t, y)` into `dydt` using the given
-    /// scratch — the re-entrant core behind [`BoundSystem`].
+    /// Bind one fabricated instance of a parametric system (owning its
+    /// parameter vector and a fresh scratch). Parameters are bound into the
+    /// scratch up front, so the integration hot loop never re-validates
+    /// them.
     ///
     /// # Panics
     ///
-    /// Panics if `y` or `dydt` has the wrong length.
+    /// Panics if `params` has the wrong length.
+    pub fn bind_with_params(&self, params: Vec<f64>) -> BoundSystem<'_> {
+        assert_eq!(params.len(), self.num_params(), "parameter length");
+        let mut scratch = self.scratch();
+        self.prebind(&params, &mut scratch);
+        BoundSystem {
+            sys: self,
+            params,
+            scratch: RefCell::new(scratch),
+        }
+    }
+
+    /// Borrowing bind for hot ensemble loops: the caller owns (and reuses)
+    /// the parameter vector and scratch across instances. Parameters are
+    /// bound once here (a bitwise compare against the previous instance),
+    /// and the exclusive borrow guarantees they stay bound for the
+    /// binding's lifetime — each RHS call is re-validation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` has the wrong length.
+    pub fn bind_ref<'a>(
+        &'a self,
+        params: &'a [f64],
+        scratch: &'a mut EvalScratch,
+    ) -> BoundSystemRef<'a> {
+        assert_eq!(params.len(), self.num_params(), "parameter length");
+        self.prebind(params, scratch);
+        BoundSystemRef {
+            sys: self,
+            scratch: RefCell::new(scratch),
+        }
+    }
+
+    /// Bind `params` into the scratch's register file for the rhs program.
+    fn prebind(&self, params: &[f64], scratch: &mut EvalScratch) {
+        if self.num_params() > 0 {
+            let ps = scratch.prog_state(self.rhs_prog.id());
+            self.rhs_prog.set_params(ps, params);
+        }
+    }
+
+    /// Evaluate the right-hand side `f(t, y)` into `dydt` using the given
+    /// scratch — the re-entrant core behind [`BoundSystem`], running the
+    /// fused [`SystemProgram`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` or `dydt` has the wrong length, or on a parametric
+    /// system (which needs [`CompiledSystem::rhs_with_params`]).
     pub fn rhs_with(&self, t: f64, y: &[f64], dydt: &mut [f64], scratch: &mut EvalScratch) {
+        assert_eq!(
+            self.num_params(),
+            0,
+            "parametric system: use rhs_with_params"
+        );
+        self.rhs_impl(t, y, dydt, &[], scratch);
+    }
+
+    /// [`CompiledSystem::rhs_with`] for one fabricated instance of a
+    /// parametric system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y`, `dydt`, or `params` has the wrong length.
+    pub fn rhs_with_params(
+        &self,
+        t: f64,
+        y: &[f64],
+        dydt: &mut [f64],
+        params: &[f64],
+        scratch: &mut EvalScratch,
+    ) {
+        self.rhs_impl(t, y, dydt, params, scratch);
+    }
+
+    fn rhs_impl(&self, t: f64, y: &[f64], dydt: &mut [f64], params: &[f64], s: &mut EvalScratch) {
         let n = self.num_states();
         assert_eq!(y.len(), n, "state vector length mismatch");
-        scratch.ensure(n + self.alg_of_node.len(), self.max_regs);
-        let EvalScratch { buf, regs } = scratch;
+        assert_eq!(dydt.len(), n, "derivative vector length mismatch");
+        let ps = s.prog_state(self.rhs_prog.id());
+        self.rhs_prog.eval_into(ps, y, t, params, dydt);
+    }
+
+    /// RHS evaluation behind a [`BoundSystem`]/[`BoundSystemRef`]: the
+    /// parameters were bound at bind time and cannot have changed (the
+    /// binding holds the scratch exclusively), so no per-call re-validation.
+    fn rhs_bound(&self, t: f64, y: &[f64], dydt: &mut [f64], s: &mut EvalScratch) {
+        let n = self.num_states();
+        assert_eq!(y.len(), n, "state vector length mismatch");
+        assert_eq!(dydt.len(), n, "derivative vector length mismatch");
+        let ps = s.prog_state(self.rhs_prog.id());
+        self.rhs_prog.eval_bound(ps, y, t, dydt);
+    }
+
+    /// Evaluate the right-hand side through the *legacy per-node tape*
+    /// evaluator — the reference semantics the fused program is tested
+    /// against (and the baseline the `rhs` microbenchmark measures).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` has the wrong length, or on a parametric system (the
+    /// legacy evaluator cannot represent parameter slots).
+    pub fn rhs_legacy_with(&self, t: f64, y: &[f64], dydt: &mut [f64], scratch: &mut EvalScratch) {
+        let legacy = self
+            .legacy
+            .as_ref()
+            .expect("legacy tapes exist only for non-parametric compiles");
+        let n = self.num_states();
+        let n_algs = self.alg_of_node.len();
+        assert_eq!(y.len(), n, "state vector length mismatch");
+        scratch.ensure(n + n_algs, legacy.max_regs);
+        let EvalScratch { buf, regs, .. } = scratch;
         buf[..n].copy_from_slice(y);
         // Algebraic pass (order-0 nodes) in topological order.
-        for (slot, tape) in &self.alg_tapes {
+        for (slot, tape) in &legacy.alg_tapes {
             let v = tape.eval(buf, t, regs);
             buf[n + *slot] = v;
         }
         // Derivative pass.
-        for (i, kind) in self.deriv_kinds.iter().enumerate() {
+        for (i, kind) in legacy.deriv_kinds.iter().enumerate() {
             dydt[i] = match kind {
                 DerivKind::Chain(j) => y[*j],
-                DerivKind::Tape(k) => self.deriv_tapes[*k].eval(buf, t, regs),
+                DerivKind::Tape(k) => legacy.deriv_tapes[*k].eval(buf, t, regs),
             };
         }
     }
 
     /// Evaluate *all* algebraic (order-0) nodes at time `t` for state `y`
     /// through the given scratch, returning the algebraic segment indexed by
-    /// [`CompiledSystem::algebraic_index`]. One pass in topological order.
+    /// [`CompiledSystem::algebraic_index`]. Runs the fused observation
+    /// program.
     ///
     /// # Panics
     ///
-    /// Panics if `y` has the wrong length.
+    /// Panics if `y` has the wrong length, or on a parametric system (use
+    /// [`CompiledSystem::eval_algebraics_with_params`]).
     pub fn eval_algebraics_with<'s>(
         &self,
         t: f64,
         y: &[f64],
         scratch: &'s mut EvalScratch,
     ) -> &'s [f64] {
+        assert_eq!(
+            self.num_params(),
+            0,
+            "parametric system: use eval_algebraics_with_params"
+        );
+        self.eval_algebraics_impl(t, y, &[], scratch)
+    }
+
+    /// [`CompiledSystem::eval_algebraics_with`] for one fabricated instance
+    /// of a parametric system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` or `params` has the wrong length.
+    pub fn eval_algebraics_with_params<'s>(
+        &self,
+        t: f64,
+        y: &[f64],
+        params: &[f64],
+        scratch: &'s mut EvalScratch,
+    ) -> &'s [f64] {
+        self.eval_algebraics_impl(t, y, params, scratch)
+    }
+
+    fn eval_algebraics_impl<'s>(
+        &self,
+        t: f64,
+        y: &[f64],
+        params: &[f64],
+        scratch: &'s mut EvalScratch,
+    ) -> &'s [f64] {
         let n = self.num_states();
+        let n_algs = self.alg_of_node.len();
         assert_eq!(y.len(), n, "state vector length mismatch");
-        scratch.ensure(n + self.alg_of_node.len(), self.max_regs);
-        let EvalScratch { buf, regs } = scratch;
+        if scratch.buf.len() < n_algs {
+            scratch.buf.resize(n_algs, 0.0);
+        }
+        let i = scratch.prog_state_index(self.obs_prog.id());
+        self.obs_prog.eval_into(
+            &mut scratch.progs[i],
+            y,
+            t,
+            params,
+            &mut scratch.buf[..n_algs],
+        );
+        &scratch.buf[..n_algs]
+    }
+
+    /// Evaluate all algebraic nodes through the *legacy per-node tape*
+    /// evaluator — reference semantics for the fused observation program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` has the wrong length or on a parametric system.
+    pub fn eval_algebraics_legacy_with<'s>(
+        &self,
+        t: f64,
+        y: &[f64],
+        scratch: &'s mut EvalScratch,
+    ) -> &'s [f64] {
+        let legacy = self
+            .legacy
+            .as_ref()
+            .expect("legacy tapes exist only for non-parametric compiles");
+        let n = self.num_states();
+        let n_algs = self.alg_of_node.len();
+        assert_eq!(y.len(), n, "state vector length mismatch");
+        scratch.ensure(n + n_algs, legacy.max_regs);
+        let EvalScratch { buf, regs, .. } = scratch;
         buf[..n].copy_from_slice(y);
-        for (s, tape) in &self.alg_tapes {
+        for (s, tape) in &legacy.alg_tapes {
             buf[n + *s] = tape.eval(buf, t, regs);
         }
-        &buf[n..]
+        &scratch.buf[n..n + n_algs]
+    }
+
+    /// Interpreted instructions executed by one (cold) right-hand-side call
+    /// on the fused path. Constants cost nothing; warm calls at a repeated
+    /// `time` also skip the prologue ([`CompiledSystem::rhs_prologue_len`]).
+    pub fn rhs_instruction_count(&self) -> usize {
+        self.rhs_prog.len()
+    }
+
+    /// Prologue instructions of the fused right-hand side (run only when
+    /// `time` or the parameters change).
+    pub fn rhs_prologue_len(&self) -> usize {
+        self.rhs_prog.prologue_len()
+    }
+
+    /// Register-file size of the fused right-hand side (constant pool +
+    /// parameters + prologue + reused body registers).
+    pub fn rhs_register_count(&self) -> usize {
+        self.rhs_prog.register_count()
+    }
+
+    /// Pooled constants of the fused right-hand side.
+    pub fn rhs_const_count(&self) -> usize {
+        self.rhs_prog.const_count()
+    }
+
+    /// Interpreted instructions executed by one right-hand-side call on the
+    /// legacy per-node tape path (`None` for parametric compiles, which
+    /// have no legacy form).
+    pub fn legacy_rhs_instruction_count(&self) -> Option<usize> {
+        self.legacy.as_ref().map(|l| {
+            l.alg_tapes.iter().map(|(_, t)| t.len()).sum::<usize>()
+                + l.deriv_tapes.iter().map(Tape::len).sum::<usize>()
+        })
+    }
+
+    /// Total [`CompiledSystem`] compilations performed by this process so
+    /// far. Ensemble drivers are expected to move this by exactly one per
+    /// design, not one per instance; tests assert it.
+    pub fn compile_count() -> u64 {
+        COMPILE_COUNT.load(Ordering::Relaxed)
     }
 
     /// Evaluate *all* algebraic (order-0) nodes at time `t` for state `y`,
@@ -365,6 +749,44 @@ impl CompiledSystem {
     /// See [`CompileError`]; notably ambiguous production rules, missing
     /// attributes/initial values, and algebraic loops among order-0 nodes.
     pub fn compile(lang: &Language, graph: &Graph) -> Result<CompiledSystem, CompileError> {
+        Self::compile_impl(lang, graph, &[])
+    }
+
+    /// Compile a [`ParametricGraph`] **once** for a whole mismatch ensemble:
+    /// every parameter site stays a symbolic slot in the fused programs and
+    /// the initial state, so each fabricated instance is just a parameter
+    /// vector ([`CompiledSystem::sample_params`]) — no per-instance
+    /// recompilation, and results bit-identical to rebuilding + recompiling
+    /// with the matching seed.
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledSystem::compile`].
+    pub fn compile_parametric(
+        lang: &Language,
+        pgraph: &ParametricGraph,
+    ) -> Result<CompiledSystem, CompileError> {
+        Self::compile_impl(lang, &pgraph.graph, &pgraph.sites)
+    }
+
+    fn compile_impl(
+        lang: &Language,
+        graph: &Graph,
+        sites: &[ParamSite],
+    ) -> Result<CompiledSystem, CompileError> {
+        COMPILE_COUNT.fetch_add(1, Ordering::Relaxed);
+        // Attribute/init references that stay symbolic (parameter slots);
+        // the *last* site for a target wins, matching assignment order.
+        let mut attr_param: HashMap<(String, String), usize> = HashMap::new();
+        let mut init_sites: Vec<(String, usize, usize)> = Vec::new();
+        for (slot, site) in sites.iter().enumerate() {
+            match &site.target {
+                ParamTarget::Attr(a) => {
+                    attr_param.insert((site.entity.clone(), a.clone()), slot);
+                }
+                ParamTarget::Init(k) => init_sites.push((site.entity.clone(), *k, slot)),
+            }
+        }
         // --- State allocation (InitState). ---
         let mut state_vars = Vec::new();
         let mut state_of_node = BTreeMap::new();
@@ -431,17 +853,19 @@ impl CompiledSystem {
                         None
                     }
                 });
-                let folded = fold_attrs(graph, &renamed)?;
+                let folded = fold_attrs(graph, &renamed, &attr_param)?;
                 terms.push(folded);
             }
             let agg = aggregate(nt.reduction, terms);
             node_exprs.insert(node.name.clone(), agg.simplify());
         }
 
-        // --- Topologically order algebraic nodes. ---
+        // --- Topologically order algebraic nodes (Kahn's algorithm). ---
         let alg_order = topo_algebraics(&alg_of_node, &node_exprs)?;
 
-        // --- Lower to tapes. ---
+        // --- Legacy reference lowering (per-node tapes). Parameter slots
+        // cannot be represented on a tape, so parametric compiles carry the
+        // fused programs only. ---
         let resolve = |name: &str| -> Option<usize> {
             if let Some(&base) = state_of_node.get(name) {
                 Some(base)
@@ -449,56 +873,173 @@ impl CompiledSystem {
                 alg_of_node.get(name).map(|&slot| n_states + slot)
             }
         };
-        let mut alg_tapes = Vec::with_capacity(n_algs);
         let mut equations = Vec::new();
         for name in &alg_order {
-            let expr = &node_exprs[name];
-            equations.push(format!("{name} = {expr}"));
-            alg_tapes.push((alg_of_node[name], Tape::compile(expr, &resolve)?));
+            equations.push(format!("{name} = {}", node_exprs[name]));
         }
-        let mut deriv_kinds = Vec::with_capacity(n_states);
-        let mut deriv_tapes = Vec::new();
+        let mut chain_of_state: Vec<Option<usize>> = Vec::with_capacity(n_states);
         for (i, sv) in state_vars.iter().enumerate() {
             let nt = lang
                 .node_type(&graph.node(graph.node_id(&sv.node).expect("from graph")).ty)
                 .expect("checked");
             if sv.deriv + 1 < nt.order {
-                deriv_kinds.push(DerivKind::Chain(i + 1));
+                chain_of_state.push(Some(i + 1));
                 equations.push(format!("d{sv}/dt = {}", state_vars[i + 1]));
             } else {
-                let expr = &node_exprs[&sv.node];
-                equations.push(format!("d{sv}/dt = {expr}"));
-                deriv_tapes.push(Tape::compile(expr, &resolve)?);
-                deriv_kinds.push(DerivKind::Tape(deriv_tapes.len() - 1));
+                chain_of_state.push(None);
+                equations.push(format!("d{sv}/dt = {}", node_exprs[&sv.node]));
+            }
+        }
+        let legacy = if sites.is_empty() {
+            let mut alg_tapes = Vec::with_capacity(n_algs);
+            for name in &alg_order {
+                alg_tapes.push((
+                    alg_of_node[name],
+                    Tape::compile(&node_exprs[name], &resolve)?,
+                ));
+            }
+            let mut deriv_kinds = Vec::with_capacity(n_states);
+            let mut deriv_tapes = Vec::new();
+            for (i, sv) in state_vars.iter().enumerate() {
+                match chain_of_state[i] {
+                    Some(j) => deriv_kinds.push(DerivKind::Chain(j)),
+                    None => {
+                        deriv_tapes.push(Tape::compile(&node_exprs[&sv.node], &resolve)?);
+                        deriv_kinds.push(DerivKind::Tape(deriv_tapes.len() - 1));
+                    }
+                }
+            }
+            let max_regs = alg_tapes
+                .iter()
+                .map(|(_, t)| t.len())
+                .chain(deriv_tapes.iter().map(Tape::len))
+                .max()
+                .unwrap_or(1);
+            Some(LegacyTapes {
+                alg_tapes,
+                deriv_kinds,
+                deriv_tapes,
+                max_regs,
+            })
+        } else {
+            None
+        };
+
+        // --- Fused lowering: one hash-consed value DAG for the whole
+        // system. Algebraic `var(.)` references inline as DAG values, so
+        // neighbor terms shared across nodes are computed once (CSE), and
+        // per-node dispatch overhead disappears. ---
+        struct SysResolver<'a> {
+            state_of_node: &'a BTreeMap<String, usize>,
+            alg_value: &'a BTreeMap<String, ark_expr::program::ValueId>,
+            attr_param: &'a HashMap<(String, String), usize>,
+        }
+        impl ProgramResolver for SysResolver<'_> {
+            fn var(&self, name: &str) -> Option<VarRef> {
+                if let Some(&base) = self.state_of_node.get(name) {
+                    Some(VarRef::Slot(base))
+                } else {
+                    self.alg_value.get(name).copied().map(VarRef::Value)
+                }
+            }
+            fn attr(&self, entity: &str, attr: &str) -> Option<usize> {
+                self.attr_param
+                    .get(&(entity.to_string(), attr.to_string()))
+                    .copied()
+            }
+        }
+        let mut pb = ProgramBuilder::new();
+        let mut alg_value: BTreeMap<String, ark_expr::program::ValueId> = BTreeMap::new();
+        for name in &alg_order {
+            let v = {
+                let resolver = SysResolver {
+                    state_of_node: &state_of_node,
+                    alg_value: &alg_value,
+                    attr_param: &attr_param,
+                };
+                pb.add_expr(&node_exprs[name], &resolver)?
+            };
+            alg_value.insert(name.clone(), v);
+        }
+        let mut rhs_outputs = Vec::with_capacity(n_states);
+        let mut node_value: BTreeMap<&str, ark_expr::program::ValueId> = BTreeMap::new();
+        for (i, sv) in state_vars.iter().enumerate() {
+            match chain_of_state[i] {
+                Some(j) => rhs_outputs.push(pb.load(j)),
+                None => {
+                    let v = match node_value.get(sv.node.as_str()) {
+                        Some(&v) => v,
+                        None => {
+                            let resolver = SysResolver {
+                                state_of_node: &state_of_node,
+                                alg_value: &alg_value,
+                                attr_param: &attr_param,
+                            };
+                            let v = pb.add_expr(&node_exprs[&sv.node], &resolver)?;
+                            node_value.insert(sv.node.as_str(), v);
+                            v
+                        }
+                    };
+                    rhs_outputs.push(v);
+                }
+            }
+        }
+        let mut obs_outputs = vec![
+            rhs_outputs
+                .first()
+                .copied()
+                .unwrap_or_else(|| pb.constant(0.0));
+            n_algs
+        ];
+        for (name, &slot) in &alg_of_node {
+            obs_outputs[slot] = alg_value[name];
+        }
+        let rhs_prog = pb.finish(&rhs_outputs, sites.len());
+        let obs_prog = pb.finish(&obs_outputs, sites.len());
+
+        // --- Initial-state parameter overrides. ---
+        let mut init_params = Vec::new();
+        for (node, deriv, slot) in init_sites {
+            if let Some(&base) = state_of_node.get(&node) {
+                init_params.push((base + deriv, slot));
             }
         }
 
-        let max_regs = alg_tapes
-            .iter()
-            .map(|(_, t)| t.len())
-            .chain(deriv_tapes.iter().map(Tape::len))
-            .max()
-            .unwrap_or(1);
         Ok(CompiledSystem {
             state_vars,
             state_of_node,
             alg_of_node,
-            alg_tapes,
-            deriv_kinds,
-            deriv_tapes,
+            rhs_prog,
+            obs_prog,
+            param_sites: sites.to_vec(),
+            init_params,
+            legacy,
             init,
             equations,
-            max_regs,
         })
     }
 }
 
 /// Replace attribute references with graph-assigned constants and
-/// beta-reduce lambda-attribute calls.
-fn fold_attrs(graph: &Graph, expr: &Expr) -> Result<Expr, CompileError> {
+/// beta-reduce lambda-attribute calls. References listed in `params` are
+/// *parameter slots*: they stay symbolic for the program lowering to resolve
+/// into per-instance parameter loads.
+fn fold_attrs(
+    graph: &Graph,
+    expr: &Expr,
+    params: &HashMap<(String, String), usize>,
+) -> Result<Expr, CompileError> {
     // transform() cannot fail, so collect the first error on the side.
     let err: RefCell<Option<CompileError>> = RefCell::new(None);
     let out = expr.transform(&|e| match e {
+        // The empty-map guard keeps the common non-parametric path free of
+        // the (String, String) key allocation.
+        Expr::Attr(entity, attr)
+            if !params.is_empty() && params.contains_key(&(entity.clone(), attr.clone())) =>
+        {
+            // Parameter slot: leave symbolic.
+            None
+        }
         Expr::Attr(entity, attr) => match graph.attr_value(entity, attr) {
             Some(v) => match v.as_real() {
                 Some(x) => Some(Expr::Const(x)),
@@ -582,47 +1123,79 @@ fn store_err(slot: &RefCell<Option<CompileError>>, e: CompileError) {
     }
 }
 
-/// Combine per-edge terms with the node's reduction operator (FormEq).
+/// Combine per-edge terms with the node's reduction operator (FormEq),
+/// pairing terms into a balanced tree so expression depth — and with it
+/// `Tape::emit`/`Display` recursion — is O(log terms) for high-degree nodes
+/// instead of O(terms) from a left-nested fold.
 fn aggregate(reduction: Reduction, terms: Vec<Expr>) -> Expr {
-    let mut it = terms.into_iter();
-    let Some(first) = it.next() else {
+    if terms.is_empty() {
         return Expr::Const(reduction.identity());
-    };
-    it.fold(first, |acc, t| match reduction {
-        Reduction::Sum => acc.add(t),
-        Reduction::Mul => acc.mul(t),
-    })
+    }
+    let mut layer = terms;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        let mut it = layer.into_iter();
+        while let Some(a) = it.next() {
+            next.push(match it.next() {
+                Some(b) => match reduction {
+                    Reduction::Sum => a.add(b),
+                    Reduction::Mul => a.mul(b),
+                },
+                None => a,
+            });
+        }
+        layer = next;
+    }
+    layer.pop().expect("nonempty by construction")
 }
 
-/// Order algebraic nodes so dependencies evaluate first.
+/// Order algebraic nodes so dependencies evaluate first — Kahn's algorithm
+/// over a precomputed dependency index, O(nodes + deps) where the old
+/// retain-loop was O(nodes²) (CNN-sized graphs have hundreds of algebraic
+/// nodes). Deterministic: ready nodes are processed in name order per wave.
 fn topo_algebraics(
     alg_of_node: &BTreeMap<String, usize>,
     node_exprs: &BTreeMap<String, Expr>,
 ) -> Result<Vec<String>, CompileError> {
-    let mut order: Vec<String> = Vec::with_capacity(alg_of_node.len());
-    let mut placed: std::collections::BTreeSet<&str> = Default::default();
-    let mut remaining: Vec<&String> = alg_of_node.keys().collect();
-    while !remaining.is_empty() {
-        let mut progressed = false;
-        remaining.retain(|name| {
-            let deps = node_exprs[name.as_str()].free_vars();
-            let ready = deps
-                .iter()
-                .all(|d| !alg_of_node.contains_key(d) || placed.contains(d.as_str()));
-            if ready {
-                order.push((*name).clone());
-                placed.insert(name.as_str());
-                progressed = true;
-                false
-            } else {
-                true
+    let names: Vec<&String> = alg_of_node.keys().collect();
+    let idx_of: HashMap<&str, usize> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); names.len()];
+    let mut indegree = vec![0usize; names.len()];
+    for (i, name) in names.iter().enumerate() {
+        for dep in node_exprs[name.as_str()].free_vars() {
+            let Some(&j) = idx_of.get(dep.as_str()) else {
+                continue; // state variable, always available
+            };
+            indegree[i] += 1;
+            if j != i {
+                dependents[j].push(i);
             }
-        });
-        if !progressed {
-            return Err(CompileError::AlgebraicLoop(
-                remaining.into_iter().cloned().collect(),
-            ));
+            // A self-dependency has no resolver: the node stays at nonzero
+            // indegree and is reported as an algebraic loop below.
         }
+    }
+    let mut queue: VecDeque<usize> = (0..names.len()).filter(|&i| indegree[i] == 0).collect();
+    let mut order = Vec::with_capacity(names.len());
+    while let Some(i) = queue.pop_front() {
+        order.push(names[i].clone());
+        for &k in &dependents[i] {
+            indegree[k] -= 1;
+            if indegree[k] == 0 {
+                queue.push_back(k);
+            }
+        }
+    }
+    if order.len() < names.len() {
+        return Err(CompileError::AlgebraicLoop(
+            (0..names.len())
+                .filter(|&i| indegree[i] > 0)
+                .map(|i| names[i].clone())
+                .collect(),
+        ));
     }
     Ok(order)
 }

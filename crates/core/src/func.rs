@@ -9,8 +9,8 @@
 
 use crate::dg::{EdgeId, Graph, GraphError, NodeId};
 use crate::lang::{AttrDef, Language};
-use crate::mismatch::MismatchSampler;
-use crate::types::Value;
+use crate::mismatch::{MismatchSampler, ParamKind, ParamSite, ParamTarget};
+use crate::types::{Mismatch, Value};
 use std::fmt;
 
 /// An error raised by a function-layer statement.
@@ -63,6 +63,13 @@ pub enum FuncError {
         /// Attribute name (or `init(i)`).
         attr: String,
     },
+    /// A `set_*_param` statement was issued on a non-parametric builder.
+    NotParametric {
+        /// Entity name.
+        entity: String,
+        /// Attribute name (or `init(i)`).
+        attr: String,
+    },
 }
 
 impl fmt::Display for FuncError {
@@ -101,6 +108,13 @@ impl fmt::Display for FuncError {
             }
             FuncError::Unassigned { entity, attr } => {
                 write!(f, "{entity}.{attr} was never assigned and has no default")
+            }
+            FuncError::NotParametric { entity, attr } => {
+                write!(
+                    f,
+                    "{entity}.{attr}: parameter slots require a parametric builder \
+                     (GraphBuilder::new_parametric)"
+                )
             }
         }
     }
@@ -142,7 +156,32 @@ impl From<GraphError> for FuncError {
 pub struct GraphBuilder<'l> {
     lang: &'l Language,
     graph: Graph,
-    sampler: MismatchSampler,
+    mode: SampleMode,
+}
+
+/// How the builder handles mismatch-annotated (and explicitly designated)
+/// values: sample them now for one fabricated instance, or record them as
+/// parameter sites for a compile-once/parameterize-many workflow.
+#[derive(Debug, Clone)]
+enum SampleMode {
+    /// Sample mismatched values eagerly (one fabricated instance).
+    Seeded(MismatchSampler),
+    /// Store nominal values and record a [`ParamSite`] per draw, in the
+    /// exact order a seeded builder would have drawn them.
+    Record(Vec<ParamSite>),
+}
+
+/// A graph whose mismatch-perturbed (and explicitly designated) values are
+/// *parameter slots* instead of baked-in samples: build once with
+/// [`GraphBuilder::finish_parametric`], compile once with
+/// [`crate::CompiledSystem::compile_parametric`], then run each fabricated
+/// instance with a fresh parameter vector — no recompilation.
+#[derive(Debug, Clone)]
+pub struct ParametricGraph {
+    /// The graph, holding nominal values at every parameter site.
+    pub graph: Graph,
+    /// The parameter sites, in sampling order (site `i` = slot `i`).
+    pub sites: Vec<ParamSite>,
 }
 
 impl<'l> GraphBuilder<'l> {
@@ -153,7 +192,20 @@ impl<'l> GraphBuilder<'l> {
         GraphBuilder {
             lang,
             graph: Graph::new(lang.name()),
-            sampler: MismatchSampler::new(seed),
+            mode: SampleMode::Seeded(MismatchSampler::new(seed)),
+        }
+    }
+
+    /// Start building a *parametric* graph: mismatch-annotated assignments
+    /// store their nominal value and record a parameter site instead of
+    /// sampling, and [`GraphBuilder::set_attr_param`] /
+    /// [`GraphBuilder::set_init_param`] designate further explicit slots.
+    /// Finish with [`GraphBuilder::finish_parametric`].
+    pub fn new_parametric(lang: &'l Language) -> Self {
+        GraphBuilder {
+            lang,
+            graph: Graph::new(lang.name()),
+            mode: SampleMode::Record(Vec::new()),
         }
     }
 
@@ -280,7 +332,7 @@ impl<'l> GraphBuilder<'l> {
                 got: value.to_string(),
             });
         }
-        let stored = self.apply_mismatch(&def, value);
+        let stored = self.apply_mismatch(entity, attr, &def, value);
         if is_node {
             let id = self.graph.node_id(entity)?;
             self.graph.node_mut(id).attrs.insert(attr.into(), stored);
@@ -291,12 +343,149 @@ impl<'l> GraphBuilder<'l> {
         Ok(())
     }
 
-    fn apply_mismatch(&mut self, def: &AttrDef, value: Value) -> Value {
-        match (&def.ty.mismatch, &value) {
-            (Some(mm), Value::Real(x)) => Value::Real(self.sampler.sample(*x, mm)),
-            (Some(mm), Value::Int(i)) => Value::Real(self.sampler.sample(*i as f64, mm)),
+    fn apply_mismatch(&mut self, entity: &str, attr: &str, def: &AttrDef, value: Value) -> Value {
+        // `Mismatch` is `Copy`: take it by value so `self` stays free for
+        // the mutable sampling call.
+        match (def.ty.mismatch, &value) {
+            (Some(mm), Value::Real(x)) => {
+                Value::Real(self.sample_or_record(entity, ParamTarget::Attr(attr.into()), *x, &mm))
+            }
+            (Some(mm), Value::Int(i)) => Value::Real(self.sample_or_record(
+                entity,
+                ParamTarget::Attr(attr.into()),
+                *i as f64,
+                &mm,
+            )),
             _ => value,
         }
+    }
+
+    /// Sample a mismatched value (seeded mode) or record a parameter site
+    /// and keep the nominal (parametric mode). Draw order is identical in
+    /// both modes, which is what lets [`crate::mismatch::sample_param_vector`]
+    /// replay a seeded builder exactly.
+    fn sample_or_record(
+        &mut self,
+        entity: &str,
+        target: ParamTarget,
+        nominal: f64,
+        mm: &Mismatch,
+    ) -> f64 {
+        match &mut self.mode {
+            SampleMode::Seeded(sampler) => sampler.sample(nominal, mm),
+            SampleMode::Record(sites) => {
+                sites.push(ParamSite {
+                    entity: entity.into(),
+                    target,
+                    nominal,
+                    kind: ParamKind::Mismatch(*mm),
+                });
+                nominal
+            }
+        }
+    }
+
+    /// Record an *explicit* parameter site (parametric mode only): the slot
+    /// holds `nominal` until the caller overrides it per instance.
+    fn record_explicit(
+        &mut self,
+        entity: &str,
+        target: ParamTarget,
+        nominal: f64,
+    ) -> Result<(), FuncError> {
+        match &mut self.mode {
+            SampleMode::Record(sites) => {
+                sites.push(ParamSite {
+                    entity: entity.into(),
+                    target: target.clone(),
+                    nominal,
+                    kind: ParamKind::Explicit,
+                });
+                Ok(())
+            }
+            SampleMode::Seeded(_) => Err(FuncError::NotParametric {
+                entity: entity.into(),
+                attr: target.to_string(),
+            }),
+        }
+    }
+
+    /// `set-attr v.a = param(nominal)` — designate the attribute as an
+    /// explicit parameter slot holding `nominal` (range-checked). Requires a
+    /// [`GraphBuilder::new_parametric`] builder; per-instance values are
+    /// supplied through the compiled system's parameter vector.
+    ///
+    /// # Errors
+    ///
+    /// [`FuncError::NotParametric`] on a seeded builder, plus all the errors
+    /// of [`GraphBuilder::set_attr`].
+    pub fn set_attr_param(
+        &mut self,
+        entity: &str,
+        attr: &str,
+        nominal: f64,
+    ) -> Result<(), FuncError> {
+        let (is_node, def) = self.attr_def(entity, attr)?;
+        if !def.ty.admits(&Value::Real(nominal)) {
+            return Err(FuncError::TypeMismatch {
+                entity: entity.into(),
+                attr: attr.into(),
+                expected: def.ty.to_string(),
+                got: nominal.to_string(),
+            });
+        }
+        self.record_explicit(entity, ParamTarget::Attr(attr.into()), nominal)?;
+        if is_node {
+            let id = self.graph.node_id(entity)?;
+            self.graph
+                .node_mut(id)
+                .attrs
+                .insert(attr.into(), Value::Real(nominal));
+        } else {
+            let id = self.graph.edge_id(entity)?;
+            self.graph
+                .edge_mut(id)
+                .attrs
+                .insert(attr.into(), Value::Real(nominal));
+        }
+        Ok(())
+    }
+
+    /// `set-init v(i) = param(nominal)` — designate an initial value as an
+    /// explicit parameter slot (see [`GraphBuilder::set_attr_param`]).
+    ///
+    /// # Errors
+    ///
+    /// [`FuncError::NotParametric`] on a seeded builder, plus all the errors
+    /// of [`GraphBuilder::set_init`].
+    pub fn set_init_param(
+        &mut self,
+        node: &str,
+        index: usize,
+        nominal: f64,
+    ) -> Result<(), FuncError> {
+        let id = self.graph.node_id(node)?;
+        let ty = self.graph.node(id).ty.clone();
+        let nt = self.lang.node_type(&ty).expect("checked at insertion");
+        if index >= nt.order {
+            return Err(FuncError::BadInitIndex {
+                node: node.into(),
+                index,
+                order: nt.order,
+            });
+        }
+        let def = &nt.inits[index];
+        if !def.ty.admits(&Value::Real(nominal)) {
+            return Err(FuncError::TypeMismatch {
+                entity: node.into(),
+                attr: format!("init({index})"),
+                expected: def.ty.to_string(),
+                got: nominal.to_string(),
+            });
+        }
+        self.record_explicit(node, ParamTarget::Init(index), nominal)?;
+        self.graph.node_mut(id).inits[index] = Some(nominal);
+        Ok(())
     }
 
     /// `set-init v(i) = x` — set the initial value of the `i`-th derivative.
@@ -325,8 +514,8 @@ impl<'l> GraphBuilder<'l> {
                 got: value.to_string(),
             });
         }
-        let stored = match &def.ty.mismatch {
-            Some(mm) => self.sampler.sample(value, mm),
+        let stored = match def.ty.mismatch {
+            Some(mm) => self.sample_or_record(node, ParamTarget::Init(index), value, &mm),
             None => value,
         };
         self.graph.node_mut(id).inits[index] = Some(stored);
@@ -358,6 +547,36 @@ impl<'l> GraphBuilder<'l> {
     /// [`FuncError::Unassigned`] for any attribute or initial value that was
     /// neither set nor given a default.
     pub fn finish(mut self) -> Result<Graph, FuncError> {
+        self.fill_defaults()?;
+        Ok(self.graph)
+    }
+
+    /// Finish a [`GraphBuilder::new_parametric`] invocation: fill defaults
+    /// (recording parameter sites for mismatch-annotated ones) and return
+    /// the graph together with its ordered parameter sites.
+    ///
+    /// # Errors
+    ///
+    /// [`FuncError::NotParametric`] on a seeded builder, otherwise as
+    /// [`GraphBuilder::finish`].
+    pub fn finish_parametric(mut self) -> Result<ParametricGraph, FuncError> {
+        if matches!(self.mode, SampleMode::Seeded(_)) {
+            return Err(FuncError::NotParametric {
+                entity: self.graph.lang_name().to_string(),
+                attr: "finish_parametric".into(),
+            });
+        }
+        self.fill_defaults()?;
+        let SampleMode::Record(sites) = self.mode else {
+            unreachable!("checked above");
+        };
+        Ok(ParametricGraph {
+            graph: self.graph,
+            sites,
+        })
+    }
+
+    fn fill_defaults(&mut self) -> Result<(), FuncError> {
         // Defaults for node attributes and inits.
         for i in 0..self.graph.num_nodes() {
             let id = NodeId(i);
@@ -372,7 +591,7 @@ impl<'l> GraphBuilder<'l> {
                 }
                 match &def.default {
                     Some(v) => {
-                        let stored = self.apply_mismatch(def, v.clone());
+                        let stored = self.apply_mismatch(&name, an, def, v.clone());
                         self.graph.node_mut(id).attrs.insert(an.clone(), stored);
                     }
                     None => {
@@ -389,8 +608,8 @@ impl<'l> GraphBuilder<'l> {
                 }
                 match def.default.as_ref().and_then(Value::as_real) {
                     Some(x) => {
-                        let stored = match &def.ty.mismatch {
-                            Some(mm) => self.sampler.sample(x, mm),
+                        let stored = match def.ty.mismatch {
+                            Some(mm) => self.sample_or_record(&name, ParamTarget::Init(k), x, &mm),
                             None => x,
                         };
                         self.graph.node_mut(id).inits[k] = Some(stored);
@@ -418,7 +637,7 @@ impl<'l> GraphBuilder<'l> {
                 }
                 match &def.default {
                     Some(v) => {
-                        let stored = self.apply_mismatch(def, v.clone());
+                        let stored = self.apply_mismatch(&name, an, def, v.clone());
                         self.graph.edge_mut(id).attrs.insert(an.clone(), stored);
                     }
                     None => {
@@ -430,7 +649,7 @@ impl<'l> GraphBuilder<'l> {
                 }
             }
         }
-        Ok(self.graph)
+        Ok(())
     }
 }
 

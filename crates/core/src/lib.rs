@@ -72,14 +72,16 @@ pub mod program;
 pub mod types;
 pub mod validate;
 
-pub use compile::{BoundSystem, CompileError, CompiledSystem, EvalScratch, StateVar};
+pub use compile::{
+    BoundSystem, BoundSystemRef, CompileError, CompiledSystem, EvalScratch, StateVar,
+};
 pub use dg::{Edge, EdgeId, Graph, GraphError, Node, NodeId};
-pub use func::{FuncError, GraphBuilder};
+pub use func::{FuncError, GraphBuilder, ParametricGraph};
 pub use lang::{
     AttrDef, EdgeType, LangError, Language, LanguageBuilder, MatchClause, MatchDir, NodeType,
     Pattern, ProdRule, Reduction, RuleTarget, ValidityRule,
 };
-pub use mismatch::MismatchSampler;
+pub use mismatch::{sample_param_vector, MismatchSampler, ParamKind, ParamSite, ParamTarget};
 pub use print::language_to_source;
 pub use program::{Program, ProgramError};
 pub use types::{Mismatch, SigKind, SigType, Value};

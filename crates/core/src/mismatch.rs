@@ -9,6 +9,7 @@
 use crate::types::Mismatch;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::fmt;
 
 /// A deterministic Gaussian sampler for mismatch values.
 #[derive(Debug, Clone)]
@@ -53,9 +54,108 @@ impl MismatchSampler {
     }
 }
 
+/// What a parameter slot stands in for in a parametric graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamTarget {
+    /// An attribute of the entity.
+    Attr(String),
+    /// The initial value of the entity's `i`-th derivative.
+    Init(usize),
+}
+
+impl fmt::Display for ParamTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamTarget::Attr(a) => write!(f, "{a}"),
+            ParamTarget::Init(i) => write!(f, "init({i})"),
+        }
+    }
+}
+
+/// How a parameter slot is filled per fabricated instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParamKind {
+    /// Sampled from the attribute's mismatch model by
+    /// [`sample_param_vector`] — one Gaussian draw per site, in site order,
+    /// exactly replaying the draws a seeded [`crate::GraphBuilder`] would
+    /// have made while constructing the same graph.
+    Mismatch(Mismatch),
+    /// Left at the nominal value; the caller overrides the slot explicitly
+    /// (e.g. per-instance coupling weights or initial phases).
+    Explicit,
+}
+
+/// One parameter slot of a parametric graph: which entity attribute (or
+/// initial value) it backs, its nominal value, and how instances fill it.
+///
+/// Sites are ordered: site `i` is parameter slot `i`, and mismatch sites
+/// draw from the seeded sampler in exactly this order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSite {
+    /// Node or edge name.
+    pub entity: String,
+    /// Attribute or initial value the slot backs.
+    pub target: ParamTarget,
+    /// The nominal (design) value.
+    pub nominal: f64,
+    /// How instances fill the slot.
+    pub kind: ParamKind,
+}
+
+/// Assemble the parameter vector of one fabricated instance: replay the
+/// mismatch draws of [`MismatchSampler::new`]`(seed)` over the sites in
+/// order (explicit sites keep their nominal value and consume no draw).
+///
+/// Because a seeded [`crate::GraphBuilder`] samples in statement order, the
+/// vector produced here makes a parametric compile behave *bit-identically*
+/// to rebuilding and recompiling the same graph with that seed.
+pub fn sample_param_vector(sites: &[ParamSite], seed: u64) -> Vec<f64> {
+    let mut sampler = MismatchSampler::new(seed);
+    sites
+        .iter()
+        .map(|site| match &site.kind {
+            ParamKind::Mismatch(mm) => sampler.sample(site.nominal, mm),
+            ParamKind::Explicit => site.nominal,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn param_vector_replays_builder_draws() {
+        let mm = Mismatch { abs: 0.0, rel: 0.1 };
+        let sites = vec![
+            ParamSite {
+                entity: "a".into(),
+                target: ParamTarget::Attr("c".into()),
+                nominal: 1.0,
+                kind: ParamKind::Mismatch(mm),
+            },
+            ParamSite {
+                entity: "b".into(),
+                target: ParamTarget::Init(0),
+                nominal: 5.0,
+                kind: ParamKind::Explicit,
+            },
+            ParamSite {
+                entity: "c".into(),
+                target: ParamTarget::Attr("c".into()),
+                nominal: 2.0,
+                kind: ParamKind::Mismatch(mm),
+            },
+        ];
+        let v = sample_param_vector(&sites, 42);
+        let mut s = MismatchSampler::new(42);
+        assert_eq!(v[0], s.sample(1.0, &mm));
+        assert_eq!(v[1], 5.0, "explicit sites keep nominal and skip draws");
+        assert_eq!(v[2], s.sample(2.0, &mm));
+        // Same seed, same vector; different seed, different draws.
+        assert_eq!(v, sample_param_vector(&sites, 42));
+        assert_ne!(v[0], sample_param_vector(&sites, 43)[0]);
+    }
 
     #[test]
     fn deterministic_per_seed() {

@@ -1,0 +1,207 @@
+//! Property tests pinning the bit-identity guarantee of the fused
+//! [`SystemProgram`](ark_expr::SystemProgram) path: on randomized dynamical
+//! graphs — mixed node orders (0/1/2), sum and product reductions,
+//! algebraic dependency chains, switched-off edges with `off` rules — the
+//! fused right-hand side and observation program agree *bit for bit* with
+//! the legacy per-node tape evaluator at arbitrary states and times.
+
+use ark_core::func::GraphBuilder;
+use ark_core::lang::{EdgeType, LanguageBuilder, NodeType, ProdRule, Reduction};
+use ark_core::types::SigType;
+use ark_core::{CompiledSystem, Language};
+use ark_expr::parse_expr;
+use proptest::prelude::*;
+
+/// Node-type menu: index 0..4 → (name, order, reduction).
+const TYPES: [&str; 4] = ["S1", "S2", "A", "M"];
+
+fn is_algebraic(ty: usize) -> bool {
+    TYPES[ty] == "A"
+}
+
+/// A language with one production rule per (src type, dst type, target),
+/// crafted so algebraic (`A`) nodes only ever depend on their edge
+/// *sources* — making forward-directed `A → A` edges an acyclic chain.
+fn ptest_language() -> Language {
+    let e = |src: &str| parse_expr(src).expect("static test rule");
+    let mut lb = LanguageBuilder::new("ptest")
+        .node_type(
+            NodeType::new("S1", 1, Reduction::Sum).init_default(SigType::real(-10.0, 10.0), 0.5),
+        )
+        .node_type(
+            NodeType::new("S2", 2, Reduction::Sum)
+                .init_default(SigType::real(-10.0, 10.0), 1.0)
+                .init_default(SigType::real(-10.0, 10.0), -0.25),
+        )
+        .node_type(NodeType::new("A", 0, Reduction::Sum))
+        .node_type(
+            NodeType::new("M", 1, Reduction::Mul).init_default(SigType::real(-10.0, 10.0), 0.75),
+        )
+        .edge_type(EdgeType::new("E").attr_default("w", SigType::real(-2.0, 2.0), 1.0));
+    for src in TYPES {
+        for dst in TYPES {
+            let src_alg = src == "A";
+            let dst_alg = dst == "A";
+            // Source-target rule: must not self-reference when the source is
+            // algebraic (that would be an algebraic loop by construction).
+            let s_rule = match (src_alg, dst_alg) {
+                (false, _) => "e.w*sin(var(s)) - 0.25*var(t)",
+                (true, false) => "0.5*cos(var(t))*e.w",
+                (true, true) => "e.w*0.125",
+            };
+            // Dest-target rule: the destination depends on the source only.
+            let t_rule = if dst_alg {
+                "e.w*tanh(var(s)) + 0.25"
+            } else {
+                "e.w*tanh(var(s)) - 0.125*var(t)"
+            };
+            // Off rule (switched-off nonideality) on the source.
+            let off_rule = if src_alg {
+                "0.0625*e.w"
+            } else {
+                "-0.0625*var(s)"
+            };
+            lb = lb
+                .prod(ProdRule::new(
+                    ("e", "E"),
+                    ("s", src),
+                    ("t", dst),
+                    "s",
+                    e(s_rule),
+                ))
+                .prod(ProdRule::new(
+                    ("e", "E"),
+                    ("s", src),
+                    ("t", dst),
+                    "t",
+                    e(t_rule),
+                ))
+                .prod(ProdRule::new(("e", "E"), ("s", src), ("t", dst), "s", e(off_rule)).off());
+        }
+        if src != "A" {
+            lb = lb.prod(ProdRule::new(
+                ("e", "E"),
+                ("s", src),
+                ("s", src),
+                "s",
+                e("-0.5*var(s) + 0.1*sin(time)"),
+            ));
+        }
+    }
+    lb.finish().expect("ptest language is valid")
+}
+
+#[derive(Debug, Clone)]
+struct GraphSpec {
+    /// Node type indices into [`TYPES`].
+    types: Vec<usize>,
+    /// Candidate edges `(u, v, on, w)`; invalid combinations are skipped.
+    edges: Vec<(usize, usize, bool, f64)>,
+}
+
+fn arb_spec() -> impl Strategy<Value = GraphSpec> {
+    (2..7usize).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0..TYPES.len(), n),
+            proptest::collection::vec((0..n, 0..n, 0..2usize, -2.0..2.0f64), 1..12usize),
+        )
+            .prop_map(|(types, edges)| GraphSpec {
+                types,
+                edges: edges
+                    .into_iter()
+                    .map(|(u, v, on, w)| (u, v, on == 1, w))
+                    .collect(),
+            })
+    })
+}
+
+/// Build the spec's graph (skipping self-pairs and orienting `A → A` edges
+/// forward so the algebraic dependencies stay acyclic) and compile it.
+fn compile_spec(lang: &Language, spec: &GraphSpec) -> CompiledSystem {
+    let mut b = GraphBuilder::new(lang, 0);
+    for (i, &ty) in spec.types.iter().enumerate() {
+        b.node(&format!("n{i}"), TYPES[ty]).unwrap();
+        if !is_algebraic(ty) {
+            b.edge(&format!("self{i}"), "E", &format!("n{i}"), &format!("n{i}"))
+                .unwrap();
+        }
+    }
+    for (k, &(u, v, on, w)) in spec.edges.iter().enumerate() {
+        if u == v {
+            continue;
+        }
+        let (u, v) = if is_algebraic(spec.types[u]) && is_algebraic(spec.types[v]) && u > v {
+            (v, u)
+        } else {
+            (u, v)
+        };
+        let name = format!("e{k}");
+        b.edge(&name, "E", &format!("n{u}"), &format!("n{v}"))
+            .unwrap();
+        b.set_attr(&name, "w", w).unwrap();
+        b.set_switch(&name, on).unwrap();
+    }
+    let graph = b.finish().unwrap();
+    CompiledSystem::compile(lang, &graph).unwrap()
+}
+
+proptest! {
+    /// Fused rhs == legacy per-tape rhs, bit for bit.
+    #[test]
+    fn fused_rhs_bit_identical_to_legacy(
+        spec in arb_spec(),
+        t in 0.0..10.0f64,
+        scale in -2.0..2.0f64,
+    ) {
+        let lang = ptest_language();
+        let sys = compile_spec(&lang, &spec);
+        let n = sys.num_states();
+        let y: Vec<f64> = (0..n).map(|k| scale * (0.3 + 0.37 * k as f64).sin()).collect();
+        let mut scratch = sys.scratch();
+        let mut fused = vec![0.0; n];
+        sys.rhs_with(t, &y, &mut fused, &mut scratch);
+        let mut legacy = vec![0.0; n];
+        sys.rhs_legacy_with(t, &y, &mut legacy, &mut scratch);
+        for (i, (a, b)) in fused.iter().zip(&legacy).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(),
+                "dydt[{}] fused {} vs legacy {}", i, a, b);
+        }
+    }
+
+    /// Fused observation program == legacy algebraic tapes, bit for bit,
+    /// and repeated evaluation through one scratch (prologue cache warm)
+    /// stays stable.
+    #[test]
+    fn fused_algebraics_bit_identical_to_legacy(
+        spec in arb_spec(),
+        t in 0.0..10.0f64,
+        scale in -2.0..2.0f64,
+    ) {
+        let lang = ptest_language();
+        let sys = compile_spec(&lang, &spec);
+        let n = sys.num_states();
+        let y: Vec<f64> = (0..n).map(|k| scale * (0.7 + 0.11 * k as f64).cos()).collect();
+        let mut scratch = sys.scratch();
+        let legacy: Vec<f64> = sys.eval_algebraics_legacy_with(t, &y, &mut scratch).to_vec();
+        let fused: Vec<f64> = sys.eval_algebraics_with(t, &y, &mut scratch).to_vec();
+        prop_assert_eq!(legacy.len(), fused.len());
+        for (i, (a, b)) in fused.iter().zip(&legacy).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(),
+                "alg[{}] fused {} vs legacy {}", i, a, b);
+        }
+        // Second call through the same scratch (warm prologue/time cache).
+        let again: Vec<f64> = sys.eval_algebraics_with(t, &y, &mut scratch).to_vec();
+        prop_assert_eq!(fused, again);
+    }
+
+    /// The fused path strictly reduces the interpreted instruction count.
+    #[test]
+    fn fused_path_never_exceeds_legacy_instruction_count(spec in arb_spec()) {
+        let lang = ptest_language();
+        let sys = compile_spec(&lang, &spec);
+        if let Some(legacy) = sys.legacy_rhs_instruction_count() {
+            prop_assert!(sys.rhs_instruction_count() <= legacy,
+                "fused {} vs legacy {}", sys.rhs_instruction_count(), legacy);
+        }
+    }
+}

@@ -37,10 +37,14 @@ pub mod error;
 pub mod eval;
 pub mod lexer;
 pub mod parse;
+pub mod program;
 pub mod tape;
 
 pub use ast::{BinaryOp, BoolExpr, CmpOp, Expr, Lambda, UnaryOp};
 pub use error::{EvalError, ParseError};
 pub use eval::{eval, eval_bool, EvalContext, MapContext};
 pub use parse::{parse_bool_expr, parse_expr, parse_lambda};
+pub use program::{
+    ProgScratch, ProgramBuilder, ProgramResolver, SlotResolver, SystemProgram, ValueId, VarRef,
+};
 pub use tape::{Tape, TapeError};

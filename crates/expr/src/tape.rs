@@ -15,7 +15,7 @@ use crate::builtins;
 use std::fmt;
 
 /// Multi-argument builtins representable on the tape.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Builtin3 {
     /// `pulse(t, t0, width)` trapezoidal pulse.
     Pulse,
@@ -26,7 +26,8 @@ pub enum Builtin3 {
 }
 
 impl Builtin3 {
-    fn apply(self, a: f64, b: f64, c: f64) -> f64 {
+    /// Apply the builtin to its three arguments.
+    pub fn apply(self, a: f64, b: f64, c: f64) -> f64 {
         match self {
             Builtin3::Pulse => builtins::pulse(a, b, c),
             Builtin3::SquarePulse => builtins::square_pulse(a, b, c),

@@ -20,15 +20,16 @@
 //! the B-template rule reads `s.u` instead of `var(s)` (see DESIGN.md).
 
 use crate::image::Image;
-use ark_core::func::GraphBuilder;
+use ark_core::func::{GraphBuilder, ParametricGraph};
 use ark_core::lang::{
     EdgeType, Language, LanguageBuilder, MatchClause, NodeType, Pattern, ProdRule, Reduction,
     ValidityRule,
 };
 use ark_core::types::SigType;
 use ark_core::validate::ExternRegistry;
-use ark_core::{CompiledSystem, FuncError, Graph, LangError};
+use ark_core::{CompiledSystem, EvalScratch, FuncError, Graph, LangError};
 use ark_expr::parse_expr;
+use ark_ode::OdeWorkspace;
 
 /// A 3×3 CNN template: feedback matrix `A`, control matrix `B`, bias `z`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -320,6 +321,59 @@ pub fn build_cnn(
 ) -> Result<CnnInstance, FuncError> {
     let (w, h) = (input.width(), input.height());
     let mut b = GraphBuilder::new(lang, seed);
+    build_cnn_into(&mut b, input, template, nonideality)?;
+    Ok(CnnInstance {
+        graph: b.finish()?,
+        width: w,
+        height: h,
+    })
+}
+
+/// A CNN design with parameter slots instead of baked-in mismatch samples:
+/// build once, [`CompiledSystem::compile_parametric`] once, then run every
+/// fabricated instance with
+/// [`CompiledSystem::sample_params`]`(seed)` — no per-seed rebuild or
+/// recompile. Instances are bit-identical to [`build_cnn`] with the same
+/// seed.
+#[derive(Debug)]
+pub struct ParametricCnn {
+    /// The parametric dynamical graph.
+    pub pgraph: ParametricGraph,
+    /// Grid width.
+    pub width: usize,
+    /// Grid height.
+    pub height: usize,
+}
+
+/// Parametric sibling of [`build_cnn`] (same statement order, so parameter
+/// replay matches seeded builds exactly).
+///
+/// # Errors
+///
+/// Propagates construction errors.
+pub fn build_cnn_parametric(
+    lang: &Language,
+    input: &Image,
+    template: &Template,
+    nonideality: NonIdeality,
+) -> Result<ParametricCnn, FuncError> {
+    let (w, h) = (input.width(), input.height());
+    let mut b = GraphBuilder::new_parametric(lang);
+    build_cnn_into(&mut b, input, template, nonideality)?;
+    Ok(ParametricCnn {
+        pgraph: b.finish_parametric()?,
+        width: w,
+        height: h,
+    })
+}
+
+fn build_cnn_into(
+    b: &mut GraphBuilder<'_>,
+    input: &Image,
+    template: &Template,
+    nonideality: NonIdeality,
+) -> Result<(), FuncError> {
+    let (w, h) = (input.width(), input.height());
     let (vt, ot, ft) = (
         nonideality.v_ty(),
         nonideality.out_ty(),
@@ -368,11 +422,7 @@ pub fn build_cnn(
             }
         }
     }
-    Ok(CnnInstance {
-        graph: b.finish()?,
-        width: w,
-        height: h,
-    })
+    Ok(())
 }
 
 /// The `cnn_grid` global validity check: verifies from node names that the
@@ -455,10 +505,24 @@ pub fn read_output_with(
     inst: &CnnInstance,
     t: f64,
     y: &[f64],
-    scratch: &mut ark_core::EvalScratch,
+    scratch: &mut EvalScratch,
 ) -> Image {
-    let algs = sys.eval_algebraics_with(t, y, scratch);
-    Image::from_fn(inst.width, inst.height, |r, c| {
+    read_output_dims(sys, inst.width, inst.height, t, y, &[], scratch)
+}
+
+/// Dimension/parameter-explicit readout core shared by the instance-based
+/// and parametric paths.
+fn read_output_dims(
+    sys: &CompiledSystem,
+    width: usize,
+    height: usize,
+    t: f64,
+    y: &[f64],
+    params: &[f64],
+    scratch: &mut EvalScratch,
+) -> Image {
+    let algs = sys.eval_algebraics_with_params(t, y, params, scratch);
+    Image::from_fn(width, height, |r, c| {
         algs[sys
             .algebraic_index(&out_name(r, c))
             .expect("Out node is algebraic")]
@@ -491,14 +555,49 @@ pub fn run_cnn(
     snap_times: &[f64],
 ) -> Result<CnnRun, crate::DynError> {
     let sys = CompiledSystem::compile(lang, &inst.graph)?;
-    let tr =
-        ark_ode::Rk4 { dt: 2e-3 }.integrate(&sys.bind(), 0.0, &sys.initial_state(), t_end, 5)?;
     let mut scratch = sys.scratch();
+    let mut ws = OdeWorkspace::new(sys.num_states());
+    run_cnn_core(
+        &sys,
+        inst.width,
+        inst.height,
+        &[],
+        t_end,
+        snap_times,
+        &mut scratch,
+        &mut ws,
+    )
+}
+
+/// Integrate + read out one CNN instance of an already-compiled system —
+/// the shared core behind [`run_cnn`] and the parametric
+/// [`run_cnn_ensemble`]. `params` is empty for non-parametric systems.
+#[allow(clippy::too_many_arguments)]
+fn run_cnn_core(
+    sys: &CompiledSystem,
+    width: usize,
+    height: usize,
+    params: &[f64],
+    t_end: f64,
+    snap_times: &[f64],
+    scratch: &mut EvalScratch,
+    ws: &mut OdeWorkspace,
+) -> Result<CnnRun, crate::DynError> {
+    let y0 = sys.initial_state_for(params);
+    let tr = {
+        let bound = sys.bind_ref(params, scratch);
+        ark_ode::Rk4 { dt: 2e-3 }.integrate_with(&bound, 0.0, &y0, t_end, 5, ws)?
+    };
     let snapshots: Vec<(f64, Image)> = snap_times
         .iter()
-        .map(|&t| (t, read_output_with(&sys, inst, t, &tr.at(t), &mut scratch)))
+        .map(|&t| {
+            (
+                t,
+                read_output_dims(sys, width, height, t, &tr.at(t), params, scratch),
+            )
+        })
         .collect();
-    let final_output = read_output_with(&sys, inst, t_end, &tr.at(t_end), &mut scratch);
+    let final_output = read_output_dims(sys, width, height, t_end, &tr.at(t_end), params, scratch);
     // Analog convergence: first probe time from which every cell's output
     // stays within EPS of its final value.
     const EPS: f64 = 0.02;
@@ -506,7 +605,7 @@ pub fn run_cnn(
     let probes = 400;
     for k in (0..=probes).rev() {
         let t = t_end * k as f64 / probes as f64;
-        let img = read_output_with(&sys, inst, t, &tr.at(t), &mut scratch);
+        let img = read_output_dims(sys, width, height, t, &tr.at(t), params, scratch);
         let worst = img
             .iter()
             .map(|(r, c, v)| (v - final_output.get(r, c)).abs())
@@ -523,16 +622,21 @@ pub fn run_cnn(
     })
 }
 
-/// The Figure 11 / §7.1 Monte Carlo entry point on the `ark-sim` engine:
-/// build, compile, and simulate one fabricated CNN instance per seed across
-/// the ensemble's worker pool.
+/// The Figure 11 / §7.1 Monte Carlo entry point on the `ark-sim` engine,
+/// compile-once edition: the design is built and compiled **one time**
+/// ([`build_cnn_parametric`] + [`CompiledSystem::compile_parametric`]); each
+/// fabricated instance then runs with just a sampled parameter vector,
+/// reusing one scratch and one ODE workspace per worker.
 ///
 /// Results come back in `seeds` order and are bit-identical for any worker
-/// count (each instance depends only on its seed).
+/// count *and* to the historical rebuild-per-seed path
+/// ([`build_cnn`] + [`run_cnn`]); the golden test in
+/// `tests/parametric_golden.rs` pins this.
 ///
 /// # Errors
 ///
-/// The first (by seed order) build/compile/integration failure.
+/// The build/compile failure of the design, or the first (by seed order)
+/// integration failure.
 #[allow(clippy::too_many_arguments)]
 pub fn run_cnn_ensemble(
     lang: &Language,
@@ -544,10 +648,17 @@ pub fn run_cnn_ensemble(
     seeds: &[u64],
     ens: &ark_sim::Ensemble,
 ) -> Result<Vec<CnnRun>, crate::DynError> {
-    ens.try_map(seeds, |seed| {
-        let inst = build_cnn(lang, input, template, nonideality, seed)?;
-        run_cnn(lang, &inst, t_end, snap_times)
-    })
+    let pcnn = build_cnn_parametric(lang, input, template, nonideality)?;
+    let sys = CompiledSystem::compile_parametric(lang, &pcnn.pgraph)?;
+    let (width, height) = (pcnn.width, pcnn.height);
+    ens.try_map_init(
+        seeds,
+        || (sys.scratch(), OdeWorkspace::new(sys.num_states())),
+        |(scratch, ws), seed| {
+            let params = sys.sample_params(seed);
+            run_cnn_core(&sys, width, height, &params, t_end, snap_times, scratch, ws)
+        },
+    )
 }
 
 #[cfg(test)]

@@ -7,9 +7,9 @@
 //! `0.01π` to `0.1π` is the paper's compensation technique that recovers
 //! the offset-afflicted solver without touching the hardware.
 
-use ark_core::func::GraphBuilder;
-use ark_core::{CompiledSystem, FuncError, Graph, Language};
-use ark_ode::{phase_distance, wrap_phase, Rk4};
+use ark_core::func::{GraphBuilder, ParametricGraph};
+use ark_core::{CompiledSystem, EvalScratch, FuncError, Graph, Language};
+use ark_ode::{phase_distance, wrap_phase, OdeWorkspace, Rk4};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::f64::consts::PI;
@@ -120,6 +120,105 @@ pub fn build_maxcut_network(
         b.set_attr(&ename, "k", -1.0)?;
     }
     b.finish()
+}
+
+/// Build the *parametric solver template* for `n`-vertex max-cut instances:
+/// the complete graph `K_n` with every candidate coupling weight `k` and
+/// every initial phase left as an explicit parameter slot (plus the
+/// mismatch slots of `Cpl_ofs` offsets, when the offset coupling is
+/// selected). Compile it **once** with
+/// [`CompiledSystem::compile_parametric`]; any `n`-vertex problem instance
+/// is then just a parameter vector — `k = -1` on its edges, `k = 0` on the
+/// rest — so a whole Table 1 Monte Carlo performs exactly one compile.
+///
+/// # Errors
+///
+/// Propagates construction errors (e.g. `Cpl_ofs` without the ofs-obc
+/// language).
+pub fn build_maxcut_template(
+    lang: &Language,
+    n: usize,
+    coupling: CouplingKind,
+) -> Result<ParametricGraph, FuncError> {
+    let mut b = GraphBuilder::new_parametric(lang);
+    for i in 0..n {
+        let name = format!("osc{i}");
+        b.node(&name, "Osc")?;
+        b.set_init_param(&name, 0, 0.0)?;
+        b.edge(&format!("shil{i}"), "Cpl", &name, &name)?;
+    }
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let ename = cand_edge_name(u, v);
+            b.edge(
+                &ename,
+                coupling.edge_ty(),
+                &format!("osc{u}"),
+                &format!("osc{v}"),
+            )?;
+            b.set_attr_param(&ename, "k", 0.0)?;
+        }
+    }
+    b.finish_parametric()
+}
+
+fn cand_edge_name(u: usize, v: usize) -> String {
+    format!("cpl_{u}_{v}")
+}
+
+/// Solve one problem instance on an already-compiled `K_n` template:
+/// sample the instance's mismatch parameters, overwrite the explicit slots
+/// (edge weights from the problem, seeded random initial phases), integrate,
+/// and read out at tolerance `d`.
+#[allow(clippy::too_many_arguments)]
+fn solve_on_template(
+    sys: &CompiledSystem,
+    init_slots: &[usize],
+    cand_slots: &[(usize, usize, usize)],
+    problem: &MaxCutProblem,
+    d: f64,
+    seed: u64,
+    scratch: &mut EvalScratch,
+    ws: &mut OdeWorkspace,
+) -> Result<MaxCutOutcome, crate::DynError> {
+    let mut params = sys.sample_params(seed);
+    // Identical phase draws to `build_maxcut_network` (same rng, same
+    // oscillator order).
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    for &slot in init_slots.iter().take(problem.n) {
+        params[slot] = rng.gen_range(0.0..(2.0 * PI));
+    }
+    for &(u, v, slot) in cand_slots {
+        params[slot] = if problem.edges.contains(&(u, v)) {
+            -1.0
+        } else {
+            0.0
+        };
+    }
+    let y0 = sys.initial_state_for(&params);
+    let tr = {
+        let bound = sys.bind_ref(&params, scratch);
+        Rk4 { dt: SOLVE_DT }.integrate_with(&bound, 0.0, &y0, SOLVE_TIME, 50, ws)?
+    };
+    let yf = tr.last().expect("nonempty trajectory").1;
+    let phases: Vec<f64> = (0..problem.n)
+        .map(|i| {
+            wrap_phase(
+                yf[sys
+                    .state_index(&format!("osc{i}"))
+                    .expect("oscillator state")],
+            )
+        })
+        .collect();
+    let partition = classify_phases(&phases, d);
+    let optimum = problem.max_cut_value();
+    let cut = partition.map(|p| problem.cut_value(p));
+    Ok(MaxCutOutcome {
+        phases,
+        partition,
+        cut,
+        optimum,
+    })
 }
 
 /// Outcome of one max-cut solve.
@@ -242,13 +341,17 @@ pub fn table1_cell(
     )
 }
 
-/// The Table 1 Monte Carlo on the `ark-sim` engine: each trial (one random
-/// graph, one fabricated solver instance) is an independent seeded job, so
-/// the cell's probabilities are bit-identical for any worker count.
+/// The Table 1 Monte Carlo on the `ark-sim` engine, compile-once edition:
+/// the `K_n` solver template ([`build_maxcut_template`]) is compiled exactly
+/// **once** per cell; each trial (one random graph, one fabricated solver
+/// instance) then runs as an independent seeded job supplying only a
+/// parameter vector, so the cell's probabilities are bit-identical for any
+/// worker count.
 ///
 /// # Errors
 ///
-/// The first (by trial order) solve failure.
+/// The template build/compile failure, or the first (by trial order) solve
+/// failure.
 pub fn table1_cell_with(
     lang: &Language,
     coupling: CouplingKind,
@@ -258,12 +361,42 @@ pub fn table1_cell_with(
     base_seed: u64,
     ens: &ark_sim::Ensemble,
 ) -> Result<Table1Row, crate::DynError> {
+    let pg = build_maxcut_template(lang, n, coupling)?;
+    let sys = CompiledSystem::compile_parametric(lang, &pg)?;
+    let init_slots: Vec<usize> = (0..n)
+        .map(|i| {
+            sys.param_index_init(&format!("osc{i}"), 0)
+                .expect("template records an init slot per oscillator")
+        })
+        .collect();
+    let mut cand_slots = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let slot = sys
+                .param_index(&cand_edge_name(u, v), "k")
+                .expect("template records a k slot per candidate edge");
+            cand_slots.push((u, v, slot));
+        }
+    }
     let seeds = ark_sim::seed_range(base_seed, trials);
-    let outcomes = ens.try_map(&seeds, |seed| {
-        let problem = MaxCutProblem::random(n, seed);
-        let outcome = solve(lang, &problem, coupling, d, seed)?;
-        Ok::<_, crate::DynError>((outcome.synchronized(), outcome.solved()))
-    })?;
+    let outcomes = ens.try_map_init(
+        &seeds,
+        || (sys.scratch(), OdeWorkspace::new(sys.num_states())),
+        |(scratch, ws), seed| {
+            let problem = MaxCutProblem::random(n, seed);
+            let outcome = solve_on_template(
+                &sys,
+                &init_slots,
+                &cand_slots,
+                &problem,
+                d,
+                seed,
+                scratch,
+                ws,
+            )?;
+            Ok::<_, crate::DynError>((outcome.synchronized(), outcome.solved()))
+        },
+    )?;
     let synced = outcomes.iter().filter(|(s, _)| *s).count();
     let solved = outcomes.iter().filter(|(_, s)| *s).count();
     Ok(Table1Row {

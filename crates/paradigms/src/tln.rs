@@ -15,7 +15,7 @@
 //! `ws`/`wt` gain attributes (the `Gm` device parameters), implementing the
 //! modified Telegrapher's equations (paper Eq. 3).
 
-use ark_core::func::GraphBuilder;
+use ark_core::func::{GraphBuilder, ParametricGraph};
 use ark_core::lang::{
     EdgeType, Language, LanguageBuilder, MatchClause, NodeType, Pattern, ProdRule, Reduction,
     ValidityRule,
@@ -389,6 +389,35 @@ pub fn linear_tline(
     seed: u64,
 ) -> Result<Graph, FuncError> {
     let mut b = GraphBuilder::new(lang, seed);
+    build_linear_tline(&mut b, segments, cfg)?;
+    b.finish()
+}
+
+/// [`linear_tline`] as a *parametric* graph: the mismatch-annotated device
+/// attributes (`Cint`, `Gm`) become parameter slots, so one
+/// [`ark_core::CompiledSystem::compile_parametric`] serves every fabricated
+/// instance of the §2.4 Monte Carlo without recompiling.
+///
+/// # Errors
+///
+/// Propagates construction errors.
+pub fn linear_tline_parametric(
+    lang: &Language,
+    segments: usize,
+    cfg: &TlineConfig,
+) -> Result<ParametricGraph, FuncError> {
+    let mut b = GraphBuilder::new_parametric(lang);
+    build_linear_tline(&mut b, segments, cfg)?;
+    b.finish_parametric()
+}
+
+/// Shared statement body of [`linear_tline`]/[`linear_tline_parametric`]
+/// (identical statement order is what keeps parametric replay exact).
+fn build_linear_tline(
+    b: &mut GraphBuilder<'_>,
+    segments: usize,
+    cfg: &TlineConfig,
+) -> Result<(), FuncError> {
     let (vt, et) = (cfg.mismatch.v_ty(), cfg.mismatch.e_ty());
     b.node("InpI_0", "InpI")?;
     b.set_attr("InpI_0", "fn", pulse_fn(cfg.pulse_width))?;
@@ -398,12 +427,8 @@ pub fn linear_tline(
     b.set_attr("IN_V", "g", 0.0)?;
     b.edge("eInp", et, "InpI_0", "IN_V")?;
     b.edge("eInVs", et, "IN_V", "IN_V")?;
-    let last = lay_segments(&mut b, cfg, "", "IN_V", segments, cfg.load_g)?;
-    // Rename-by-convention: the final V is the observation point OUT_V; we
-    // simply record its name for callers via the conventional alias edge —
-    // instead, expose it through `out_v_name`.
-    let _ = last;
-    b.finish()
+    lay_segments(b, cfg, "", "IN_V", segments, cfg.load_g)?;
+    Ok(())
 }
 
 /// Name of the observation node for a line built with [`linear_tline`].
@@ -451,14 +476,17 @@ pub fn branched_out_v(after: usize) -> String {
 }
 
 /// The §2.4 mismatch Monte Carlo (Figure 4c/4d envelopes) on the `ark-sim`
-/// engine: one fabricated linear t-line per seed, built, compiled, and
-/// integrated (RK4, recording every `stride`-th step) across the ensemble's
-/// worker pool. Trajectories come back in `seeds` order, bit-identical for
-/// any worker count.
+/// engine, compile-once edition: the design is built and compiled
+/// **one time** ([`linear_tline_parametric`]); each fabricated instance is
+/// just a parameter vector sampled from its seed, integrated (RK4,
+/// recording every `stride`-th step) across the ensemble's worker pool.
+/// Trajectories come back in `seeds` order, bit-identical for any worker
+/// count *and* to the historical rebuild-per-seed path.
 ///
 /// # Errors
 ///
-/// The first (by seed order) build/compile/integration failure.
+/// The build/compile failure of the design, or the first (by seed order)
+/// integration failure.
 #[allow(clippy::too_many_arguments)]
 pub fn tline_mismatch_ensemble(
     lang: &Language,
@@ -470,21 +498,16 @@ pub fn tline_mismatch_ensemble(
     seeds: &[u64],
     ens: &ark_sim::Ensemble,
 ) -> Result<Vec<ark_ode::Trajectory>, crate::DynError> {
-    use ark_core::CompiledSystem;
-    use ark_ode::OdeWorkspace;
-    ens.try_map_init(seeds, OdeWorkspace::default, |ws, seed| {
-        let graph = linear_tline(lang, segments, cfg, seed)?;
-        let sys = CompiledSystem::compile(lang, &graph)?;
-        let tr = ark_ode::Rk4 { dt }.integrate_with(
-            &sys.bind(),
-            0.0,
-            &sys.initial_state(),
-            t_end,
-            stride,
-            ws,
-        )?;
-        Ok(tr)
-    })
+    let pg = linear_tline_parametric(lang, segments, cfg)?;
+    let sys = ark_core::CompiledSystem::compile_parametric(lang, &pg)?;
+    Ok(ens.integrate_sampled(
+        &sys,
+        &ark_sim::Solver::Rk4 { dt },
+        seeds,
+        0.0,
+        t_end,
+        stride,
+    )?)
 }
 
 /// The paper's `br_func` (Figure 8) expressed in Ark source text: a

@@ -6,9 +6,9 @@
 //! mismatch (via the GmC-TLN language) makes each fabricated instance
 //! respond differently — the property a PUF exploits.
 
-use ark_core::func::GraphBuilder;
-use ark_core::{CompiledSystem, FuncError, Graph, Language};
-use ark_ode::{Rk4, SolveError, Trajectory};
+use ark_core::func::{GraphBuilder, ParametricGraph};
+use ark_core::{CompiledSystem, EvalScratch, FuncError, Graph, Language};
+use ark_ode::{OdeWorkspace, Rk4, SolveError, Trajectory};
 use ark_paradigms::tln::{pulse_fn, MismatchKind, TlineConfig};
 use std::fmt;
 
@@ -125,13 +125,41 @@ impl PufDesign {
         challenge: &Challenge,
         instance: u64,
     ) -> Result<Graph, PufError> {
+        let mut b = GraphBuilder::new(lang, instance);
+        self.build_into(&mut b, challenge)?;
+        Ok(b.finish()?)
+    }
+
+    /// [`PufDesign::build`] as a *parametric* graph: fabrication mismatch
+    /// (the PUF's entropy source) becomes parameter slots, so one
+    /// [`CompiledSystem::compile_parametric`] per challenge serves every
+    /// fabricated instance — the compile-once fast path behind
+    /// [`crate::metrics::evaluate_with`]. Instance `i`'s parameter vector is
+    /// [`CompiledSystem::sample_params`]`(i)`, bit-identical to building
+    /// with seed `i`.
+    ///
+    /// # Errors
+    ///
+    /// As [`PufDesign::build`].
+    pub fn build_parametric(
+        &self,
+        lang: &Language,
+        challenge: &Challenge,
+    ) -> Result<ParametricGraph, PufError> {
+        let mut b = GraphBuilder::new_parametric(lang);
+        self.build_into(&mut b, challenge)?;
+        Ok(b.finish_parametric()?)
+    }
+
+    /// Shared statement body of the seeded and parametric builds (identical
+    /// statement order keeps parameter replay exact).
+    fn build_into(&self, b: &mut GraphBuilder<'_>, challenge: &Challenge) -> Result<(), PufError> {
         if challenge.len() != self.sites {
             return Err(PufError::BadChallenge {
                 expected: self.sites,
                 got: challenge.len(),
             });
         }
-        let mut b = GraphBuilder::new(lang, instance);
         let cfg = &self.cfg;
         let (vt, it, et) = match cfg.mismatch {
             MismatchKind::None => ("V", "I", "E"),
@@ -191,7 +219,7 @@ impl PufDesign {
                 stub_prev = vname;
             }
         }
-        Ok(b.finish()?)
+        Ok(())
     }
 
     /// Name of the observation node.
@@ -221,6 +249,63 @@ impl PufDesign {
             4,
         )?;
         Ok((sys, tr))
+    }
+
+    /// Integrate one fabricated instance of an already-compiled
+    /// (per-challenge) system — the compile-once sibling of
+    /// [`PufDesign::observe`]. `params` is the instance's parameter vector
+    /// (empty for nominal systems); scratch and workspace are reused across
+    /// instances by the ensemble engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn observe_compiled(
+        &self,
+        sys: &CompiledSystem,
+        params: &[f64],
+        scratch: &mut EvalScratch,
+        ws: &mut OdeWorkspace,
+    ) -> Result<Trajectory, PufError> {
+        let y0 = sys.initial_state_for(params);
+        let bound = sys.bind_ref(params, scratch);
+        Ok(Rk4 { dt: 5e-11 }.integrate_with(&bound, 0.0, &y0, self.window_end * 1.05, 4, ws)?)
+    }
+
+    /// Extract a response from an already-compiled (per-challenge) system —
+    /// the compile-once sibling of [`PufDesign::respond`]. Bit semantics are
+    /// identical; only the compilation strategy differs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    #[allow(clippy::too_many_arguments)]
+    pub fn respond_compiled(
+        &self,
+        sys: &CompiledSystem,
+        params: &[f64],
+        reference: &Trajectory,
+        ref_out_idx: usize,
+        noise_sigma: f64,
+        noise_seed: u64,
+        scratch: &mut EvalScratch,
+        ws: &mut OdeWorkspace,
+    ) -> Result<Response, PufError> {
+        let tr = self.observe_compiled(sys, params, scratch, ws)?;
+        let out = sys
+            .state_index(&self.out_node())
+            .expect("OUT_V is stateful");
+        let mut noise = ark_core::MismatchSampler::new(noise_seed);
+        let mut bits = Vec::with_capacity(self.response_bits);
+        for i in 0..self.response_bits {
+            let t = self.window_start
+                + (self.window_end - self.window_start) * (i as f64)
+                    / (self.response_bits.max(2) - 1) as f64;
+            let v = tr.value_at(t, out) + noise_sigma * noise.standard_normal();
+            let r = reference.value_at(t, ref_out_idx);
+            bits.push(v > r);
+        }
+        Ok(bits)
     }
 
     /// Extract the response: sample `OUT_V` at `response_bits` points in the

@@ -35,4 +35,6 @@ pub mod design;
 pub mod metrics;
 
 pub use design::{challenge_bits, hamming, Challenge, PufDesign, PufError, Response};
-pub use metrics::{bit_aliasing, challenge_sensitivity, evaluate, EvalConfig, PufMetrics};
+pub use metrics::{
+    bit_aliasing, challenge_sensitivity, evaluate, evaluate_with, EvalConfig, PufMetrics,
+};

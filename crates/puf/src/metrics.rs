@@ -8,8 +8,9 @@
 //! * **uniformity** — fraction of 1-bits in responses (ideal 0.5).
 
 use crate::design::{challenge_bits, hamming, Challenge, PufDesign, PufError, Response};
-use ark_core::Language;
-use ark_ode::Trajectory;
+use ark_core::{CompiledSystem, EvalScratch, Language};
+use ark_ode::{OdeWorkspace, Trajectory};
+use ark_paradigms::tln::{MismatchKind, TlineConfig};
 use ark_sim::{seed_range, Ensemble};
 
 /// Aggregate quality metrics of a PUF design.
@@ -68,6 +69,12 @@ pub fn evaluate(
 /// in a fixed order afterwards — so the result is bit-identical for any
 /// worker count, including the serial engine.
 ///
+/// Compilation is **per challenge, not per job**: each challenge's
+/// fabricated design is compiled once parametrically
+/// ([`PufDesign::build_parametric`]) and its nominal reference once plainly
+/// (2 × `challenges` compiles total); every instance and re-measurement is
+/// then just a sampled parameter vector on a shared compiled system.
+///
 /// # Errors
 ///
 /// The first (by job order) simulation failure.
@@ -80,38 +87,75 @@ pub fn evaluate_with(
     let challenges: Vec<Challenge> = (0..cfg.challenges as u64)
         .map(|ch| challenge_bits(ch, design.sites))
         .collect();
+    let nominal = PufDesign {
+        cfg: TlineConfig {
+            mismatch: MismatchKind::None,
+            ..design.cfg
+        },
+        ..design.clone()
+    };
+    let mut fab_sys: Vec<CompiledSystem> = Vec::with_capacity(challenges.len());
+    let mut ref_sys: Vec<CompiledSystem> = Vec::with_capacity(challenges.len());
+    for ch in &challenges {
+        let pg = design.build_parametric(lang, ch)?;
+        fab_sys.push(CompiledSystem::compile_parametric(lang, &pg)?);
+        let rg = nominal.build(lang, ch, 0)?;
+        ref_sys.push(CompiledSystem::compile(lang, &rg)?);
+    }
+    let worker_state = || (EvalScratch::default(), OdeWorkspace::default());
     // Phase 1: nominal reference trajectories, one per challenge.
-    let refs: Vec<(Trajectory, usize)> = ens.try_map(&seed_range(0, cfg.challenges), |ch| {
-        design.reference(lang, &challenges[ch as usize])
-    })?;
+    let refs: Vec<(Trajectory, usize)> = ens.try_map_init(
+        &seed_range(0, cfg.challenges),
+        worker_state,
+        |(s, ws), ch| {
+            let sys = &ref_sys[ch as usize];
+            let tr = nominal.observe_compiled(sys, &[], s, ws)?;
+            let idx = sys
+                .state_index(&nominal.out_node())
+                .expect("OUT_V is stateful");
+            Ok::<_, PufError>((tr, idx))
+        },
+    )?;
     // Phase 2: clean responses, one per (challenge, instance).
-    let clean: Vec<Response> =
-        ens.try_map(&seed_range(0, cfg.challenges * cfg.instances), |job| {
+    let clean: Vec<Response> = ens.try_map_init(
+        &seed_range(0, cfg.challenges * cfg.instances),
+        worker_state,
+        |(s, ws), job| {
             let (ch, inst) = (
                 job as usize / cfg.instances,
                 (job as usize % cfg.instances) as u64,
             );
+            let sys = &fab_sys[ch];
+            let params = sys.sample_params(inst + 1);
             let (reference, ref_idx) = &refs[ch];
-            design.respond(lang, reference, *ref_idx, &challenges[ch], inst + 1, 0.0, 0)
-        })?;
+            design.respond_compiled(sys, &params, reference, *ref_idx, 0.0, 0, s, ws)
+        },
+    )?;
     // Phase 3: noisy re-measurements, one per (challenge, instance, m).
     let per_ch = cfg.instances * cfg.remeasures;
-    let noisy: Vec<Response> = ens.try_map(&seed_range(0, cfg.challenges * per_ch), |job| {
-        let job = job as usize;
-        let ch = job / per_ch;
-        let inst = (job % per_ch) / cfg.remeasures;
-        let m = (job % cfg.remeasures) as u64;
-        let (reference, ref_idx) = &refs[ch];
-        design.respond(
-            lang,
-            reference,
-            *ref_idx,
-            &challenges[ch],
-            inst as u64 + 1,
-            cfg.noise_sigma,
-            1 + m,
-        )
-    })?;
+    let noisy: Vec<Response> = ens.try_map_init(
+        &seed_range(0, cfg.challenges * per_ch),
+        worker_state,
+        |(s, ws), job| {
+            let job = job as usize;
+            let ch = job / per_ch;
+            let inst = (job % per_ch) / cfg.remeasures;
+            let m = (job % cfg.remeasures) as u64;
+            let sys = &fab_sys[ch];
+            let params = sys.sample_params(inst as u64 + 1);
+            let (reference, ref_idx) = &refs[ch];
+            design.respond_compiled(
+                sys,
+                &params,
+                reference,
+                *ref_idx,
+                cfg.noise_sigma,
+                1 + m,
+                s,
+                ws,
+            )
+        },
+    )?;
     // Aggregate in the same nested order as the historical serial loop, so
     // floating-point sums match it exactly.
     let mut inter_sum = 0.0;

@@ -313,6 +313,72 @@ impl Ensemble {
             |(bound, ws), i| solver.integrate_with(bound, t0, &inits[i as usize], t1, stride, ws),
         )
     }
+
+    /// The compile-once *parametric* ensemble: one shared
+    /// [`CompiledSystem`] (from
+    /// [`CompiledSystem::compile_parametric`](ark_core::CompiledSystem::compile_parametric)),
+    /// one job per seed, each supplying the parameter vector returned by
+    /// `params_for(seed)` — no per-instance rebuild or recompile anywhere.
+    /// Per worker, one [`EvalScratch`](ark_core::EvalScratch) and one
+    /// [`OdeWorkspace`] are reused across instances.
+    ///
+    /// Trajectories come back in seed order, bit-identical for any worker
+    /// count (results depend only on the seed through `params_for`).
+    ///
+    /// # Errors
+    ///
+    /// The first (by seed order) solver error.
+    ///
+    /// # Panics
+    ///
+    /// Panics (inside the jobs) if `params_for` returns a vector of the
+    /// wrong length.
+    #[allow(clippy::too_many_arguments)]
+    pub fn integrate_params<F>(
+        &self,
+        sys: &CompiledSystem,
+        solver: &Solver,
+        seeds: &[u64],
+        params_for: F,
+        t0: f64,
+        t1: f64,
+        stride: usize,
+    ) -> Result<Vec<Trajectory>, SolveError>
+    where
+        F: Fn(u64) -> Vec<f64> + Sync,
+    {
+        self.try_map_init(
+            seeds,
+            || (sys.scratch(), OdeWorkspace::new(sys.num_states())),
+            |(scratch, ws), seed| {
+                let params = params_for(seed);
+                let y0 = sys.initial_state_for(&params);
+                let bound = sys.bind_ref(&params, scratch);
+                solver.integrate_with(&bound, t0, &y0, t1, stride, ws)
+            },
+        )
+    }
+
+    /// [`Ensemble::integrate_params`] with the canonical mismatch sampler:
+    /// instance `seed` runs with
+    /// [`CompiledSystem::sample_params`](ark_core::CompiledSystem::sample_params)`(seed)`,
+    /// reproducing exactly what rebuilding the graph with that seed would
+    /// have produced.
+    ///
+    /// # Errors
+    ///
+    /// The first (by seed order) solver error.
+    pub fn integrate_sampled(
+        &self,
+        sys: &CompiledSystem,
+        solver: &Solver,
+        seeds: &[u64],
+        t0: f64,
+        t1: f64,
+        stride: usize,
+    ) -> Result<Vec<Trajectory>, SolveError> {
+        self.integrate_params(sys, solver, seeds, |s| sys.sample_params(s), t0, t1, stride)
+    }
 }
 
 /// A local stand-in for the unstable `!` type, so [`Ensemble::map`] can

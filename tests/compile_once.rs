@@ -1,0 +1,102 @@
+//! Compile-counter assertions: every ensemble entry point performs exactly
+//! one compilation per *design* (per challenge configuration for the PUF),
+//! never one per fabricated instance — the contract behind the
+//! compile-once/parameterize-many engine.
+//!
+//! All assertions live in ONE test function: the counter is process-global
+//! and `cargo test` runs tests within a binary concurrently.
+
+use ark::core::CompiledSystem;
+use ark::paradigms::cnn::{
+    cnn_language, hw_cnn_language, run_cnn_ensemble, NonIdeality, EDGE_TEMPLATE,
+};
+use ark::paradigms::image::Image;
+use ark::paradigms::maxcut::{table1_cell_with, CouplingKind};
+use ark::paradigms::obc::{obc_language, ofs_obc_language};
+use ark::paradigms::tln::{
+    gmc_tln_language, tline_mismatch_ensemble, tln_language, MismatchKind, TlineConfig,
+};
+use ark::puf::{evaluate_with, EvalConfig, PufDesign};
+use ark::sim::{seed_range, Ensemble};
+use std::f64::consts::PI;
+
+#[test]
+fn ensemble_entry_points_compile_once_per_design() {
+    let ens = Ensemble::new(2);
+    let seeds = seed_range(0, 6);
+
+    // §7.1 CNN Monte Carlo: 6 fabricated instances, 1 compile.
+    let base = cnn_language();
+    let hw = hw_cnn_language(&base);
+    let input = Image::from_ascii(&["....", ".##.", ".##.", "...."]);
+    let before = CompiledSystem::compile_count();
+    run_cnn_ensemble(
+        &hw,
+        &input,
+        &EDGE_TEMPLATE,
+        NonIdeality::GMismatch,
+        1.0,
+        &[],
+        &seeds,
+        &ens,
+    )
+    .unwrap();
+    assert_eq!(
+        CompiledSystem::compile_count() - before,
+        1,
+        "run_cnn_ensemble must compile exactly once per design"
+    );
+
+    // §2.4 GmC-TLN Monte Carlo: 6 instances, 1 compile.
+    let tbase = tln_language();
+    let gmc = gmc_tln_language(&tbase);
+    let cfg = TlineConfig {
+        mismatch: MismatchKind::Gm,
+        ..TlineConfig::default()
+    };
+    let before = CompiledSystem::compile_count();
+    tline_mismatch_ensemble(&gmc, 6, &cfg, 1e-8, 1e-10, 8, &seeds, &ens).unwrap();
+    assert_eq!(
+        CompiledSystem::compile_count() - before,
+        1,
+        "tline_mismatch_ensemble must compile exactly once per design"
+    );
+
+    // Table 1 max-cut Monte Carlo: 6 trials (6 random problem graphs, 6
+    // fabricated solvers), 1 compile of the K_n template.
+    let obase = obc_language();
+    let ofs = ofs_obc_language(&obase);
+    let before = CompiledSystem::compile_count();
+    table1_cell_with(&ofs, CouplingKind::Offset, 0.1 * PI, 4, 6, 100, &ens).unwrap();
+    assert_eq!(
+        CompiledSystem::compile_count() - before,
+        1,
+        "table1_cell_with must compile exactly once per cell"
+    );
+
+    // TLN PUF evaluation: instances × challenges × (1 + remeasures)
+    // simulations, but only 2 compiles per challenge (fabricated design
+    // parametrically + nominal reference).
+    let design = PufDesign {
+        spacing: 1,
+        sites: 2,
+        stub_len: 2,
+        window_start: 0.5e-8,
+        window_end: 2e-8,
+        response_bits: 8,
+        ..PufDesign::default()
+    };
+    let pcfg = EvalConfig {
+        instances: 3,
+        challenges: 2,
+        remeasures: 1,
+        noise_sigma: 1e-4,
+    };
+    let before = CompiledSystem::compile_count();
+    evaluate_with(&gmc, &design, &pcfg, &ens).unwrap();
+    assert_eq!(
+        CompiledSystem::compile_count() - before,
+        2 * pcfg.challenges as u64,
+        "puf::evaluate_with must compile exactly twice per challenge"
+    );
+}
