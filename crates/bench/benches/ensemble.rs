@@ -1,10 +1,12 @@
-//! Serial-vs-parallel throughput of the `ark-sim` mismatch-ensemble engine.
+//! Serial-vs-parallel (and scalar-vs-laned) throughput of the `ark-sim`
+//! mismatch-ensemble engine.
 //!
 //! The workload is the §2.4 Monte Carlo: one fabricated GmC-TLN instance
-//! per seed (build → compile → RK4 transient). Two criterion benchmarks
-//! measure the same N-instance ensemble on one worker and on the full pool,
-//! and a direct wall-clock comparison prints the speedup (the acceptance
-//! bar for the engine is ≥ 2× at N = 64 on 4 workers).
+//! per seed on the compile-once parametric path. Criterion benchmarks
+//! measure the same N-instance ensemble on one worker at lane widths 1, 4,
+//! and 8, and on the full pool; a direct wall-clock comparison prints both
+//! speedups (workers and lanes compose) after asserting all configurations
+//! produce bit-identical trajectories.
 //!
 //! Smoke-mode knobs (used by CI so the parallel path runs on every push):
 //! `ARK_ENSEMBLE_N` overrides the instance count and
@@ -45,33 +47,50 @@ fn bench_ensemble(c: &mut Criterion) {
     let seeds = seed_range(0, n);
 
     let mut group = c.benchmark_group(format!("ensemble/{n}-instances"));
-    group.bench_function("serial", |b| {
-        b.iter(|| black_box(run(&seeds, &Ensemble::serial())))
+    group.bench_function("serial-scalar", |b| {
+        b.iter(|| black_box(run(&seeds, &Ensemble::serial().with_lanes(1))))
     });
-    group.bench_function(format!("parallel-{workers}w"), |b| {
-        b.iter(|| black_box(run(&seeds, &Ensemble::new(workers))))
+    group.bench_function("serial-4lane", |b| {
+        b.iter(|| black_box(run(&seeds, &Ensemble::serial().with_lanes(4))))
+    });
+    group.bench_function("serial-8lane", |b| {
+        b.iter(|| black_box(run(&seeds, &Ensemble::serial().with_lanes(8))))
+    });
+    group.bench_function(format!("parallel-{workers}w-4lane"), |b| {
+        b.iter(|| black_box(run(&seeds, &Ensemble::new(workers).with_lanes(4))))
     });
     group.finish();
 
     // Direct wall-clock comparison (single run each), with the determinism
     // guarantee double-checked on the way: full trajectories (every sample
     // value and the solver stats) must be bit-identical across worker
-    // counts, not just the same shape.
+    // counts *and* lane widths, not just the same shape.
     let t = Instant::now();
-    let serial = run(&seeds, &Ensemble::serial());
+    let serial = run(&seeds, &Ensemble::serial().with_lanes(1));
     let t_serial = t.elapsed();
     let t = Instant::now();
-    let parallel = run(&seeds, &Ensemble::new(workers));
+    let laned = run(&seeds, &Ensemble::serial().with_lanes(4));
+    let t_laned = t.elapsed();
+    let t = Instant::now();
+    let parallel = run(&seeds, &Ensemble::new(workers).with_lanes(4));
     let t_parallel = t.elapsed();
     assert_eq!(
-        serial, parallel,
+        serial, laned,
+        "ensemble trajectories must not depend on lane width"
+    );
+    assert_eq!(
+        laned, parallel,
         "ensemble trajectories must not depend on workers"
     );
     let cpus = std::thread::available_parallelism().map_or(1, usize::from);
     println!(
-        "ensemble {n} instances: serial {:.3}s, {workers} workers {:.3}s -> speedup {:.2}x \
-         ({cpus} CPU(s) available; speedup is bounded by the host core count)",
+        "ensemble {n} instances: scalar serial {:.3}s, 4-lane serial {:.3}s \
+         ({:.2}x, worker-independent), {workers} workers x 4 lanes {:.3}s \
+         ({:.2}x total; {cpus} CPU(s) available, thread speedup is bounded \
+         by the host core count)",
         t_serial.as_secs_f64(),
+        t_laned.as_secs_f64(),
+        t_serial.as_secs_f64() / t_laned.as_secs_f64().max(1e-12),
         t_parallel.as_secs_f64(),
         t_serial.as_secs_f64() / t_parallel.as_secs_f64().max(1e-12),
     );

@@ -3,10 +3,14 @@
 //! Figure 4 GmC-TLN, Table 1 OBC max-cut), plus the compile-once parametric
 //! ensembles vs the historical recompile-per-instance loops.
 //!
-//! Besides the criterion timings, the bench writes `BENCH_rhs.json` at the
-//! repo root — interpreted-instruction counts, register-file sizes, ns/RHS,
-//! and ensemble wall times — so future PRs have a perf trajectory to
-//! compare against.
+//! Besides the criterion timings, the bench writes `BENCH_rhs.json` —
+//! interpreted-instruction counts, register-file sizes, ns/RHS, and
+//! ensemble wall times (scalar and lane-parallel) — so future PRs have a
+//! perf trajectory to compare against. At full scale it refreshes the
+//! committed baseline at the repo root; in smoke mode (any of the env
+//! overrides below set) it writes `target/BENCH_rhs.json` instead, and it
+//! refuses to overwrite a larger-scale baseline unless `ARK_BENCH_FORCE=1`
+//! — so CI's tiny smoke numbers can never clobber the paper-scale file.
 //!
 //! Smoke-mode knobs (used by CI): `ARK_RHS_EVALS` overrides the number of
 //! timed RHS evaluations, `ARK_RHS_ENSEMBLE_N` the ensemble instance count.
@@ -85,6 +89,8 @@ struct EnsembleReport {
     instances: usize,
     recompile_ms: f64,
     parametric_ms: f64,
+    /// Same compile-once pipeline with 4-lane integration (single worker).
+    laned4_ms: f64,
 }
 
 fn workloads() -> Vec<Workload> {
@@ -129,9 +135,13 @@ fn workloads() -> Vec<Workload> {
 fn measure_ensembles(n: usize) -> Vec<EnsembleReport> {
     let mut out = Vec::new();
     let seeds = seed_range(0, n);
-    let ens = Ensemble::serial();
+    // All rows are single-worker so the laned column isolates the
+    // lane-parallel interpreter's speedup from thread parallelism.
+    let scalar = Ensemble::serial().with_lanes(1);
+    let laned = Ensemble::serial().with_lanes(4);
 
-    // CNN: recompile-per-instance vs compile-once parametric.
+    // CNN: recompile-per-instance vs compile-once parametric (scalar and
+    // 4-lane integration).
     let base = cnn_language();
     let hw = hw_cnn_language(&base);
     let input = Image::from_ascii(&["....", ".##.", ".##.", "...."]);
@@ -141,26 +151,30 @@ fn measure_ensembles(n: usize) -> Vec<EnsembleReport> {
         black_box(run_cnn(&hw, &inst, 1.0, &[]).unwrap());
     }
     let recompile_ms = t.elapsed().as_secs_f64() * 1e3;
-    let t = Instant::now();
-    black_box(
-        run_cnn_ensemble(
-            &hw,
-            &input,
-            &EDGE_TEMPLATE,
-            NonIdeality::GMismatch,
-            1.0,
-            &[],
-            &seeds,
-            &ens,
-        )
-        .unwrap(),
-    );
-    let parametric_ms = t.elapsed().as_secs_f64() * 1e3;
+    let mut cnn_ms = [0.0f64; 2];
+    for (slot, ens) in [(0usize, &scalar), (1usize, &laned)] {
+        let t = Instant::now();
+        black_box(
+            run_cnn_ensemble(
+                &hw,
+                &input,
+                &EDGE_TEMPLATE,
+                NonIdeality::GMismatch,
+                1.0,
+                &[],
+                &seeds,
+                ens,
+            )
+            .unwrap(),
+        );
+        cnn_ms[slot] = t.elapsed().as_secs_f64() * 1e3;
+    }
     out.push(EnsembleReport {
         name: "cnn_fig11",
         instances: n,
         recompile_ms,
-        parametric_ms,
+        parametric_ms: cnn_ms[0],
+        laned4_ms: cnn_ms[1],
     });
 
     // TLN: recompile-per-instance vs compile-once parametric.
@@ -182,16 +196,20 @@ fn measure_ensembles(n: usize) -> Vec<EnsembleReport> {
         );
     }
     let recompile_ms = t.elapsed().as_secs_f64() * 1e3;
-    let t = Instant::now();
-    black_box(
-        tline_mismatch_ensemble(&gmc, segments, &cfg, t_end, dt, stride, &seeds, &ens).unwrap(),
-    );
-    let parametric_ms = t.elapsed().as_secs_f64() * 1e3;
+    let mut tln_ms = [0.0f64; 2];
+    for (slot, ens) in [(0usize, &scalar), (1usize, &laned)] {
+        let t = Instant::now();
+        black_box(
+            tline_mismatch_ensemble(&gmc, segments, &cfg, t_end, dt, stride, &seeds, ens).unwrap(),
+        );
+        tln_ms[slot] = t.elapsed().as_secs_f64() * 1e3;
+    }
     out.push(EnsembleReport {
         name: "tln_fig4",
         instances: n,
         recompile_ms,
-        parametric_ms,
+        parametric_ms: tln_ms[0],
+        laned4_ms: tln_ms[1],
     });
 
     // OBC Table 1 cell: per-trial solve (rebuild + recompile) vs the
@@ -205,24 +223,78 @@ fn measure_ensembles(n: usize) -> Vec<EnsembleReport> {
         black_box(solve(&ofs, &problem, CouplingKind::Offset, d, seed).unwrap());
     }
     let recompile_ms = t.elapsed().as_secs_f64() * 1e3;
-    let t = Instant::now();
-    black_box(table1_cell_with(&ofs, CouplingKind::Offset, d, 4, n, 0, &ens).unwrap());
-    let parametric_ms = t.elapsed().as_secs_f64() * 1e3;
+    let mut obc_ms = [0.0f64; 2];
+    for (slot, ens) in [(0usize, &scalar), (1usize, &laned)] {
+        let t = Instant::now();
+        black_box(table1_cell_with(&ofs, CouplingKind::Offset, d, 4, n, 0, ens).unwrap());
+        obc_ms[slot] = t.elapsed().as_secs_f64() * 1e3;
+    }
     out.push(EnsembleReport {
         name: "obc_table1",
         instances: n,
         recompile_ms,
-        parametric_ms,
+        parametric_ms: obc_ms[0],
+        laned4_ms: obc_ms[1],
     });
 
     out
 }
 
-fn write_json(reports: &[WorkloadReport], ensembles: &[EnsembleReport]) {
+/// The first unsigned integer following `key` in `text` (tiny scan over
+/// our own generated JSON; no parser needed).
+fn scan_u64(text: &str, key: &str) -> Option<u64> {
+    let at = text.find(key)? + key.len();
+    let digits: String = text[at..]
+        .chars()
+        .skip_while(|c| !c.is_ascii_digit())
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Where this run's report may be written. Smoke mode (any env override
+/// set) always goes to `target/BENCH_rhs.json`; a full-scale run refreshes
+/// the committed repo-root baseline unless the existing file records a
+/// *larger* scale (more timed evaluations or more ensemble instances), in
+/// which case the run is diverted to `target/` too — set
+/// `ARK_BENCH_FORCE=1` to overwrite anyway.
+fn report_path(root: &str, smoke: bool, evals: usize, instances: usize) -> String {
+    let committed = format!("{root}/BENCH_rhs.json");
+    let diverted = format!("{root}/target/BENCH_rhs.json");
+    if smoke {
+        println!("smoke mode: writing {diverted} (committed baseline untouched)");
+        return diverted;
+    }
+    if std::env::var("ARK_BENCH_FORCE").as_deref() == Ok("1") {
+        return committed;
+    }
+    if let Ok(existing) = std::fs::read_to_string(&committed) {
+        let old_evals = scan_u64(&existing, "\"rhs_evals\":");
+        let old_inst = scan_u64(&existing, "\"instances\":");
+        if old_evals.is_some_and(|e| e > evals as u64)
+            || old_inst.is_some_and(|i| i > instances as u64)
+        {
+            println!(
+                "refusing to overwrite larger-scale {committed} \
+                 (set ARK_BENCH_FORCE=1 to force); writing {diverted}"
+            );
+            return diverted;
+        }
+    }
+    committed
+}
+
+fn write_json(reports: &[WorkloadReport], ensembles: &[EnsembleReport], evals: usize, smoke: bool) {
     let mut j = String::from("{\n");
     let _ = writeln!(
         j,
         "  \"generated_by\": \"cargo bench -p ark-bench --bench rhs\","
+    );
+    let instances = ensembles.first().map_or(0, |e| e.instances);
+    let _ = writeln!(
+        j,
+        "  \"config\": {{\n    \"rhs_evals\": {evals},\n    \"ensemble_instances\": {instances},\n    \
+         \"smoke\": {smoke}\n  }},"
     );
     let _ = writeln!(j, "  \"workloads\": {{");
     for (i, r) in reports.iter().enumerate() {
@@ -257,22 +329,33 @@ fn write_json(reports: &[WorkloadReport], ensembles: &[EnsembleReport]) {
         let _ = writeln!(
             j,
             "    \"{}\": {{\n      \"instances\": {},\n      \"recompile_per_instance_ms\": {:.1},\n      \
-             \"compile_once_parametric_ms\": {:.1},\n      \"ensemble_speedup\": {:.2}\n    }}{}",
+             \"compile_once_parametric_ms\": {:.1},\n      \"ensemble_speedup\": {:.2},\n      \
+             \"laned4_ms\": {:.1},\n      \"laned_speedup\": {:.2}\n    }}{}",
             e.name,
             e.instances,
             e.recompile_ms,
             e.parametric_ms,
             e.recompile_ms / e.parametric_ms.max(1e-9),
+            e.laned4_ms,
+            e.parametric_ms / e.laned4_ms.max(1e-9),
             comma
         );
     }
     let _ = writeln!(j, "  }}\n}}");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_rhs.json");
-    std::fs::write(path, j).expect("write BENCH_rhs.json");
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = report_path(root, smoke, evals, instances);
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&path, j).expect("write BENCH_rhs.json");
     println!("wrote {path}");
 }
 
 fn bench_rhs(c: &mut Criterion) {
+    // Smoke mode = any scale override present in the environment; the
+    // report then goes to target/ instead of the committed baseline.
+    let smoke =
+        std::env::var("ARK_RHS_EVALS").is_ok() || std::env::var("ARK_RHS_ENSEMBLE_N").is_ok();
     let evals = env_usize("ARK_RHS_EVALS", 20_000);
     let ensemble_n = env_usize("ARK_RHS_ENSEMBLE_N", 8);
 
@@ -332,15 +415,18 @@ fn bench_rhs(c: &mut Criterion) {
     let ensembles = measure_ensembles(ensemble_n);
     for e in &ensembles {
         println!(
-            "{} ensemble x{}: recompile {:.1} ms, parametric {:.1} ms ({:.2}x)",
+            "{} ensemble x{}: recompile {:.1} ms, parametric {:.1} ms ({:.2}x), \
+             4-lane {:.1} ms ({:.2}x over scalar parametric)",
             e.name,
             e.instances,
             e.recompile_ms,
             e.parametric_ms,
-            e.recompile_ms / e.parametric_ms.max(1e-9)
+            e.recompile_ms / e.parametric_ms.max(1e-9),
+            e.laned4_ms,
+            e.parametric_ms / e.laned4_ms.max(1e-9),
         );
     }
-    write_json(&reports, &ensembles);
+    write_json(&reports, &ensembles, evals, smoke);
 }
 
 criterion_group!(benches, bench_rhs);

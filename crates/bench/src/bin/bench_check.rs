@@ -1,0 +1,123 @@
+//! Bench-regression gate: compare a fresh `BENCH_rhs.json` against the
+//! committed baseline and fail if any fused program's instruction count
+//! grew more than the allowed percentage.
+//!
+//! Instruction counts are *deterministic* compiler outputs (unlike ns/RHS
+//! timings, which depend on the host), so this check is flake-free and can
+//! run on every push — it catches optimizer regressions (lost CSE, broken
+//! fusion, prologue hoisting failures) the moment they land.
+//!
+//! ```text
+//! bench_check <baseline.json> <candidate.json> [max-growth-pct]
+//! ```
+//!
+//! Default allowance is 5%. Exit code 1 on regression or malformed input.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Instruction-count keys checked for growth (all deterministic).
+const CHECKED_KEYS: [&str; 2] = ["fused_instructions_per_rhs", "legacy_instructions_per_rhs"];
+
+/// Parse the `"workloads"` section of a `BENCH_rhs.json`: workload name →
+/// (field → integer value). A tiny line scanner over our own generated
+/// format, not a general JSON parser.
+fn parse_workloads(text: &str) -> BTreeMap<String, BTreeMap<String, u64>> {
+    let mut out = BTreeMap::new();
+    let mut in_section = false;
+    let mut current: Option<String> = None;
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if !in_section {
+            in_section = trimmed.starts_with("\"workloads\"");
+            continue;
+        }
+        if let Some(name) = trimmed
+            .strip_suffix('{')
+            .and_then(|s| s.trim().strip_suffix(':'))
+            .and_then(|s| s.trim().strip_prefix('"'))
+            .and_then(|s| s.strip_suffix('"'))
+        {
+            current = Some(name.to_string());
+            out.entry(name.to_string()).or_insert_with(BTreeMap::new);
+            continue;
+        }
+        if trimmed.starts_with('}') {
+            match current.take() {
+                Some(_) => continue,        // end of one workload object
+                None => in_section = false, // end of the workloads section
+            }
+            continue;
+        }
+        if let (Some(name), Some((key, value))) = (&current, trimmed.split_once(':')) {
+            let key = key.trim().trim_matches('"').to_string();
+            let value = value.trim().trim_end_matches(',');
+            if let Ok(v) = value.parse::<u64>() {
+                out.get_mut(name)
+                    .expect("entry inserted above")
+                    .insert(key, v);
+            }
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(baseline_path), Some(candidate_path)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: bench_check <baseline.json> <candidate.json> [max-growth-pct]");
+        return ExitCode::FAILURE;
+    };
+    let max_growth_pct: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5.0);
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(text) => Some(text),
+        Err(e) => {
+            eprintln!("bench_check: cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(baseline), Some(candidate)) = (read(baseline_path), read(candidate_path)) else {
+        return ExitCode::FAILURE;
+    };
+    let base = parse_workloads(&baseline);
+    let cand = parse_workloads(&candidate);
+    if base.is_empty() {
+        eprintln!("bench_check: no workloads found in baseline {baseline_path}");
+        return ExitCode::FAILURE;
+    }
+    let mut failures = 0usize;
+    let mut checked = 0usize;
+    for (name, base_fields) in &base {
+        let Some(cand_fields) = cand.get(name) else {
+            eprintln!("FAIL {name}: workload missing from candidate report");
+            failures += 1;
+            continue;
+        };
+        for key in CHECKED_KEYS {
+            let (Some(&b), Some(&c)) = (base_fields.get(key), cand_fields.get(key)) else {
+                continue;
+            };
+            checked += 1;
+            let allowed = (b as f64 * (1.0 + max_growth_pct / 100.0)).floor() as u64;
+            let growth = 100.0 * (c as f64 - b as f64) / (b as f64).max(1.0);
+            if c > allowed {
+                eprintln!(
+                    "FAIL {name}/{key}: {b} -> {c} ({growth:+.1}%, allowed +{max_growth_pct}%)"
+                );
+                failures += 1;
+            } else {
+                println!("ok   {name}/{key}: {b} -> {c} ({growth:+.1}%)");
+            }
+        }
+    }
+    if checked == 0 {
+        eprintln!("bench_check: no comparable instruction counts found");
+        return ExitCode::FAILURE;
+    }
+    if failures > 0 {
+        eprintln!("bench_check: {failures} regression(s) beyond +{max_growth_pct}%");
+        return ExitCode::FAILURE;
+    }
+    println!("bench_check: {checked} instruction counts within +{max_growth_pct}% of baseline");
+    ExitCode::SUCCESS
+}

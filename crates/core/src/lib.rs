@@ -73,8 +73,12 @@ pub mod types;
 pub mod validate;
 
 pub use compile::{
-    BoundSystem, BoundSystemRef, CompileError, CompiledSystem, EvalScratch, StateVar,
+    BoundSystem, BoundSystemRef, CompileError, CompiledSystem, EvalScratch, LanedBoundSystem,
+    StateVar,
 };
+// Re-exported so `CompiledSystem::bind_lanes` callers (notably `ark-sim`)
+// can name the lane scratch without depending on `ark-expr` directly.
+pub use ark_expr::LaneScratch;
 pub use dg::{Edge, EdgeId, Graph, GraphError, Node, NodeId};
 pub use func::{FuncError, GraphBuilder, ParametricGraph};
 pub use lang::{

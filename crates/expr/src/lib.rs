@@ -45,6 +45,7 @@ pub use error::{EvalError, ParseError};
 pub use eval::{eval, eval_bool, EvalContext, MapContext};
 pub use parse::{parse_bool_expr, parse_expr, parse_lambda};
 pub use program::{
-    ProgScratch, ProgramBuilder, ProgramResolver, SlotResolver, SystemProgram, ValueId, VarRef,
+    LaneScratch, ProgScratch, ProgramBuilder, ProgramResolver, SlotResolver, SystemProgram,
+    ValueId, VarRef,
 };
 pub use tape::{Tape, TapeError};

@@ -93,6 +93,122 @@ impl OdeWorkspace {
     }
 }
 
+/// Reusable work buffers for the lane-batched integrators: the
+/// struct-of-arrays twin of [`OdeWorkspace`], holding `[f64; L]` per state
+/// component plus an AoS staging row for trajectory recording.
+///
+/// Create one per worker, then pass it to any number of
+/// `integrate_lanes_with` calls; buffers grow on demand and are fully
+/// overwritten by each call.
+#[derive(Debug, Clone)]
+pub struct LaneWorkspace<const L: usize> {
+    y: Vec<[f64; L]>,
+    tmp: Vec<[f64; L]>,
+    k: Vec<Vec<[f64; L]>>,
+    /// AoS staging buffer for pushing one lane's state into its trajectory.
+    row: Vec<f64>,
+}
+
+impl<const L: usize> Default for LaneWorkspace<L> {
+    fn default() -> Self {
+        LaneWorkspace {
+            y: Vec::new(),
+            tmp: Vec::new(),
+            k: Vec::new(),
+            row: Vec::new(),
+        }
+    }
+}
+
+impl<const L: usize> LaneWorkspace<L> {
+    /// A workspace pre-sized for systems of dimension `dim`.
+    pub fn new(dim: usize) -> Self {
+        let mut ws = LaneWorkspace::default();
+        ws.ensure(dim);
+        ws
+    }
+
+    /// Resize all buffers to dimension `dim` (no-op when already sized).
+    fn ensure(&mut self, dim: usize) {
+        self.y.resize(dim, [0.0; L]);
+        self.tmp.resize(dim, [0.0; L]);
+        if self.k.len() < 4 {
+            self.k.resize_with(4, Vec::new);
+        }
+        for k in &mut self.k {
+            k.resize(dim, [0.0; L]);
+        }
+        self.row.resize(dim, 0.0);
+    }
+}
+
+/// Book-keeping for the lane-batched steppers: per-lane trajectories plus
+/// per-lane first-failure masks (a failed lane keeps stepping — its NaNs
+/// stay in its own lane — but stops recording, and its error is reported
+/// with the same `t` the scalar path would have detected it at).
+struct LaneRun<const L: usize> {
+    trs: Vec<Trajectory>,
+    failed: [Option<SolveError>; L],
+}
+
+impl<const L: usize> LaneRun<L> {
+    fn start(n: usize, capacity: usize, t0: f64, y: &[[f64; L]], row: &mut [f64]) -> Self {
+        let mut trs = Vec::with_capacity(L);
+        for l in 0..L {
+            let mut tr = Trajectory::with_capacity(n, capacity);
+            for (r, yi) in row.iter_mut().zip(y) {
+                *r = yi[l];
+            }
+            tr.push_slice(t0, &row[..n]);
+            trs.push(tr);
+        }
+        LaneRun {
+            trs,
+            failed: std::array::from_fn(|_| None),
+        }
+    }
+
+    /// Check finiteness per live lane, record `y` into live lanes'
+    /// trajectories when `record` is set. Returns `false` once every lane
+    /// has failed (nothing left to step for).
+    fn check_and_record(&mut self, t: f64, y: &[[f64; L]], row: &mut [f64], record: bool) -> bool {
+        let n = row.len();
+        let mut live = false;
+        for l in 0..L {
+            if self.failed[l].is_some() {
+                continue;
+            }
+            if !y.iter().all(|yi| yi[l].is_finite()) {
+                self.failed[l] = Some(SolveError::NonFinite { t });
+                continue;
+            }
+            live = true;
+            if record {
+                for (r, yi) in row.iter_mut().zip(y) {
+                    *r = yi[l];
+                }
+                self.trs[l].push_slice(t, &row[..n]);
+            }
+        }
+        live
+    }
+
+    /// Finish the run: the lowest failed lane's error (matching the
+    /// lowest-seed-order error the scalar ensemble path reports), or all
+    /// lanes' trajectories.
+    fn finish(mut self, stats: SolveStats) -> Result<Vec<Trajectory>, SolveError> {
+        for f in &mut self.failed {
+            if let Some(e) = f.take() {
+                return Err(e);
+            }
+        }
+        for tr in &mut self.trs {
+            tr.set_stats(stats);
+        }
+        Ok(self.trs)
+    }
+}
+
 /// Forward Euler with a fixed step. Mostly a baseline for convergence tests.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Euler {
@@ -167,6 +283,61 @@ impl Euler {
             rhs_evals: steps,
         });
         Ok(tr)
+    }
+
+    /// Lane-batched [`Euler::integrate_with`]: steps `L` independent
+    /// instances in lockstep, producing one trajectory per lane. Each
+    /// lane's trajectory (samples *and* stats) is bit-identical to a scalar
+    /// [`Euler::integrate_with`] of that lane alone — the update arithmetic
+    /// is elementwise and ordered exactly like the scalar loop.
+    ///
+    /// `y0` is struct-of-arrays: `y0[i][l]` is state component `i` of lane
+    /// `l`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Euler::integrate_with`]; when lanes fail, the *lowest* failed
+    /// lane's error is reported (lanes keep stepping after another lane
+    /// fails, so the reported lane and time match the scalar path).
+    pub fn integrate_lanes_with<const L: usize>(
+        &self,
+        sys: &impl crate::system::LanedOdeSystem<L>,
+        t0: f64,
+        y0: &[[f64; L]],
+        t1: f64,
+        stride: usize,
+        ws: &mut LaneWorkspace<L>,
+    ) -> Result<Vec<Trajectory>, SolveError> {
+        validate_fixed(self.dt, t0, t1, y0.len(), sys.dim())?;
+        let stride = stride.max(1);
+        let n = y0.len();
+        ws.ensure(n);
+        let LaneWorkspace { y, k, row, .. } = ws;
+        let y = &mut y[..n];
+        y.copy_from_slice(y0);
+        let dydt = &mut k[0][..];
+        let steps = ((t1 - t0) / self.dt).ceil() as usize;
+        let mut run = LaneRun::start(n, steps / stride + 2, t0, y, row);
+        let dt = (t1 - t0) / steps as f64;
+        let mut t = t0;
+        for step in 0..steps {
+            sys.rhs(t, y, dydt);
+            for (yi, di) in y.iter_mut().zip(dydt.iter()) {
+                for l in 0..L {
+                    yi[l] += dt * di[l];
+                }
+            }
+            t = t0 + (step + 1) as f64 * dt;
+            let record = (step + 1) % stride == 0 || step + 1 == steps;
+            if !run.check_and_record(t, y, row, record) {
+                break;
+            }
+        }
+        run.finish(SolveStats {
+            accepted: steps,
+            rejected: 0,
+            rhs_evals: steps,
+        })
     }
 }
 
@@ -264,6 +435,93 @@ impl Rk4 {
         });
         Ok(tr)
     }
+
+    /// Lane-batched [`Rk4::integrate_with`]: steps `L` independent
+    /// instances in lockstep, producing one trajectory per lane. Each
+    /// lane's trajectory (samples *and* stats) is bit-identical to a scalar
+    /// [`Rk4::integrate_with`] of that lane alone: every stage update is
+    /// elementwise with the same operation order as the scalar loop, and
+    /// fixed-step lockstep means all lanes share the exact `t` grid (which
+    /// also keeps the laned interpreter's time-prologue cache shared).
+    ///
+    /// This is the workhorse of the `ark-sim` laned ensembles. The adaptive
+    /// [`DormandPrince`] deliberately has **no** laned form — see its type
+    /// docs for the lockstep-fixed-step-only policy.
+    ///
+    /// `y0` is struct-of-arrays: `y0[i][l]` is state component `i` of lane
+    /// `l`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Rk4::integrate_with`]; when lanes fail, the *lowest* failed
+    /// lane's error is reported (lanes keep stepping after another lane
+    /// fails, so the reported lane and time match the scalar path).
+    pub fn integrate_lanes_with<const L: usize>(
+        &self,
+        sys: &impl crate::system::LanedOdeSystem<L>,
+        t0: f64,
+        y0: &[[f64; L]],
+        t1: f64,
+        stride: usize,
+        ws: &mut LaneWorkspace<L>,
+    ) -> Result<Vec<Trajectory>, SolveError> {
+        validate_fixed(self.dt, t0, t1, y0.len(), sys.dim())?;
+        let stride = stride.max(1);
+        let n = y0.len();
+        ws.ensure(n);
+        let LaneWorkspace { y, tmp, k, row } = ws;
+        let y = &mut y[..n];
+        y.copy_from_slice(y0);
+        let (ka, rest) = k.split_at_mut(1);
+        let (kb, rest) = rest.split_at_mut(1);
+        let (kc, rest) = rest.split_at_mut(1);
+        let (k1, k2, k3, k4) = (
+            &mut ka[0][..],
+            &mut kb[0][..],
+            &mut kc[0][..],
+            &mut rest[0][..],
+        );
+        let steps = ((t1 - t0) / self.dt).ceil() as usize;
+        let mut run = LaneRun::start(n, steps / stride + 2, t0, y, row);
+        let dt = (t1 - t0) / steps as f64;
+        let mut t = t0;
+        for step in 0..steps {
+            sys.rhs(t, y, k1);
+            for i in 0..n {
+                for l in 0..L {
+                    tmp[i][l] = y[i][l] + 0.5 * dt * k1[i][l];
+                }
+            }
+            sys.rhs(t + 0.5 * dt, tmp, k2);
+            for i in 0..n {
+                for l in 0..L {
+                    tmp[i][l] = y[i][l] + 0.5 * dt * k2[i][l];
+                }
+            }
+            sys.rhs(t + 0.5 * dt, tmp, k3);
+            for i in 0..n {
+                for l in 0..L {
+                    tmp[i][l] = y[i][l] + dt * k3[i][l];
+                }
+            }
+            sys.rhs(t + dt, tmp, k4);
+            for i in 0..n {
+                for l in 0..L {
+                    y[i][l] += dt / 6.0 * (k1[i][l] + 2.0 * k2[i][l] + 2.0 * k3[i][l] + k4[i][l]);
+                }
+            }
+            t = t0 + (step + 1) as f64 * dt;
+            let record = (step + 1) % stride == 0 || step + 1 == steps;
+            if !run.check_and_record(t, y, row, record) {
+                break;
+            }
+        }
+        run.finish(SolveStats {
+            accepted: steps,
+            rejected: 0,
+            rhs_evals: 4 * steps,
+        })
+    }
 }
 
 fn validate_fixed(dt: f64, t0: f64, t1: f64, y_len: usize, dim: usize) -> Result<(), SolveError> {
@@ -286,6 +544,20 @@ fn validate_fixed(dt: f64, t0: f64, t1: f64, y_len: usize, dim: usize) -> Result
 }
 
 /// Adaptive Dormand–Prince 5(4) embedded Runge–Kutta pair.
+///
+/// # No laned form (lockstep fixed-step-only policy)
+///
+/// The lane-batched ensemble path ([`Rk4::integrate_lanes_with`] /
+/// [`Euler::integrate_lanes_with`]) deliberately does **not** extend to
+/// this solver. Lockstep lanes must share one step sequence, but the PI
+/// controller derives each step from the error norm of *one* instance:
+/// any shared policy (min/vote across lanes) changes the accepted-step grid
+/// and therefore breaks the bit-identity guarantee against the scalar
+/// path, while per-lane step sequences are no longer lanes at all.
+/// Adaptive ensembles in `ark-sim` simply fall back to the scalar path per
+/// instance; a step-size *voting* mode with per-lane early-exit masks is
+/// recorded as a ROADMAP follow-on for workloads that can trade
+/// bit-identity for throughput.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DormandPrince {
     /// Relative error tolerance.
@@ -330,7 +602,7 @@ impl DormandPrince {
     /// interpolate the result densely, bound `h_max` so linear interpolation
     /// between samples stays accurate.
     ///
-    /// The returned trajectory's [`SolveStats`](crate::SolveStats) report
+    /// The returned trajectory's [`SolveStats`] report
     /// accepted *and* rejected step counts — rejections are where the PI
     /// controller earned its keep.
     ///
@@ -727,6 +999,128 @@ mod tests {
         assert!(matches!(res, Err(SolveError::NonFinite { .. })));
     }
 
+    /// A laned wrapper around independent per-lane scalar closures.
+    #[allow(clippy::type_complexity)]
+    fn laned_decay<const L: usize>(
+        rates: [f64; L],
+    ) -> crate::system::FnLanedSystem<L, impl Fn(f64, &[[f64; L]], &mut [[f64; L]])> {
+        crate::system::FnLanedSystem::new(1, move |_t, y: &[[f64; L]], d: &mut [[f64; L]]| {
+            for l in 0..L {
+                d[0][l] = -rates[l] * y[0][l];
+            }
+        })
+    }
+
+    #[test]
+    fn laned_rk4_matches_scalar_bit_for_bit() {
+        const L: usize = 4;
+        let rates = [0.5, 1.0, 2.0, 3.25];
+        let y0s = [1.0, -2.0, 0.125, 7.5];
+        let laned = Rk4 { dt: 1e-2 }
+            .integrate_lanes_with(
+                &laned_decay(rates),
+                0.0,
+                &[y0s],
+                1.0,
+                7,
+                &mut LaneWorkspace::new(1),
+            )
+            .unwrap();
+        for l in 0..L {
+            let sys = FnSystem::new(1, move |_t, y: &[f64], d: &mut [f64]| {
+                d[0] = -rates[l] * y[0]
+            });
+            let scalar = Rk4 { dt: 1e-2 }
+                .integrate(&sys, 0.0, &[y0s[l]], 1.0, 7)
+                .unwrap();
+            assert_eq!(scalar, laned[l], "lane {l}");
+        }
+    }
+
+    #[test]
+    fn laned_euler_matches_scalar_bit_for_bit() {
+        const L: usize = 2;
+        let rates = [0.5, 4.0];
+        let laned = Euler { dt: 1e-2 }
+            .integrate_lanes_with(
+                &laned_decay(rates),
+                0.0,
+                &[[1.0; L]],
+                1.0,
+                3,
+                &mut LaneWorkspace::new(1),
+            )
+            .unwrap();
+        for l in 0..L {
+            let sys = FnSystem::new(1, move |_t, y: &[f64], d: &mut [f64]| {
+                d[0] = -rates[l] * y[0]
+            });
+            let scalar = Euler { dt: 1e-2 }
+                .integrate(&sys, 0.0, &[1.0], 1.0, 3)
+                .unwrap();
+            assert_eq!(scalar, laned[l], "lane {l}");
+        }
+    }
+
+    #[test]
+    fn laned_failure_reports_lowest_lane_at_scalar_time() {
+        // Lane 1 blows up (dy/dt = y², y0 = 1 → blow-up at t = 1); lane 0 is
+        // a benign decay. The group reports lane 1's NonFinite at the same t
+        // a scalar run of lane 1 alone detects it.
+        const L: usize = 2;
+        let sys = crate::system::FnLanedSystem::new(1, |_t, y: &[[f64; L]], d: &mut [[f64; L]]| {
+            d[0][0] = -y[0][0];
+            d[0][1] = y[0][1] * y[0][1];
+        });
+        let got = Rk4 { dt: 1e-3 }
+            .integrate_lanes_with(&sys, 0.0, &[[1.0, 1.0]], 2.0, 1, &mut LaneWorkspace::new(1))
+            .unwrap_err();
+        let scalar_sys = FnSystem::new(1, |_t, y: &[f64], d: &mut [f64]| d[0] = y[0] * y[0]);
+        let want = Rk4 { dt: 1e-3 }
+            .integrate(&scalar_sys, 0.0, &[1.0], 2.0, 1)
+            .unwrap_err();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn laned_workspace_is_reusable_across_dims() {
+        let mut ws = LaneWorkspace::<2>::new(1);
+        let a = Rk4 { dt: 1e-2 }
+            .integrate_lanes_with(
+                &laned_decay([1.0, 2.0]),
+                0.0,
+                &[[1.0, 1.0]],
+                1.0,
+                5,
+                &mut ws,
+            )
+            .unwrap();
+        // Same workspace, larger system (two state components).
+        let sys2 =
+            crate::system::FnLanedSystem::new(2, |_t, y: &[[f64; 2]], d: &mut [[f64; 2]]| {
+                for l in 0..2 {
+                    d[0][l] = y[1][l];
+                    d[1][l] = -y[0][l];
+                }
+            });
+        let b = Rk4 { dt: 1e-2 }
+            .integrate_lanes_with(&sys2, 0.0, &[[1.0, 1.0], [0.0, 0.0]], 1.0, 5, &mut ws)
+            .unwrap();
+        // And back down, matching the fresh-buffer path exactly.
+        let c = Rk4 { dt: 1e-2 }
+            .integrate_lanes_with(
+                &laned_decay([1.0, 2.0]),
+                0.0,
+                &[[1.0, 1.0]],
+                1.0,
+                5,
+                &mut LaneWorkspace::new(1),
+            )
+            .unwrap();
+        assert_eq!(a, c);
+        assert_eq!(b[0].dim(), 2);
+    }
+
     #[test]
     fn stride_reduces_samples() {
         let sys = decay();
@@ -791,6 +1185,43 @@ mod proptests {
             for t in [0.5, 1.0, 1.5] {
                 let (r, d) = (rk.value_at(t, 0), dp.value_at(t, 0));
                 prop_assert!((r - d).abs() < 1e-4, "t={} rk={} dp={}", t, r, d);
+            }
+        }
+
+        /// Lane-batched RK4/Euler over random linear-decay lanes is
+        /// bit-identical to integrating each lane through the scalar path,
+        /// for awkward strides and intervals.
+        #[test]
+        fn laned_matches_scalar_on_random_decays(
+            rates in proptest::collection::vec(0.05..4.0f64, 4),
+            y0 in proptest::collection::vec(-2.0..2.0f64, 4),
+            t1 in 0.3..1.5f64,
+            stride in 1usize..9,
+        ) {
+            const L: usize = 4;
+            let rs: [f64; L] = [rates[0], rates[1], rates[2], rates[3]];
+            let sys = crate::system::FnLanedSystem::new(1, move |_t, y: &[[f64; L]], d: &mut [[f64; L]]| {
+                for l in 0..L {
+                    d[0][l] = -rs[l] * y[0][l] + (2.0 * y[0][l]).sin() * 0.1;
+                }
+            });
+            let y0s = [[y0[0], y0[1], y0[2], y0[3]]];
+            for dt in [0.05, 0.013] {
+                let laned = Rk4 { dt }
+                    .integrate_lanes_with(&sys, 0.0, &y0s, t1, stride, &mut LaneWorkspace::new(1))
+                    .unwrap();
+                let laned_e = Euler { dt }
+                    .integrate_lanes_with(&sys, 0.0, &y0s, t1, stride, &mut LaneWorkspace::new(1))
+                    .unwrap();
+                for l in 0..L {
+                    let scalar_sys = FnSystem::new(1, move |_t, y: &[f64], d: &mut [f64]| {
+                        d[0] = -rs[l] * y[0] + (2.0 * y[0]).sin() * 0.1;
+                    });
+                    let rk = Rk4 { dt }.integrate(&scalar_sys, 0.0, &[y0[l]], t1, stride).unwrap();
+                    prop_assert_eq!(&rk, &laned[l]);
+                    let eu = Euler { dt }.integrate(&scalar_sys, 0.0, &[y0[l]], t1, stride).unwrap();
+                    prop_assert_eq!(&eu, &laned_e[l]);
+                }
             }
         }
 

@@ -12,6 +12,11 @@
 //! * [`OdeWorkspace`] — reusable integration buffers: every solver offers an
 //!   `integrate_with` variant whose hot loop performs zero per-step
 //!   allocations, the form the `ark-sim` ensemble engine runs per worker;
+//! * [`LanedOdeSystem`] / [`LaneWorkspace`] — the lane-batched
+//!   (struct-of-arrays) siblings: [`Rk4::integrate_lanes_with`] and
+//!   [`Euler::integrate_lanes_with`] step `L` ensemble instances in
+//!   lockstep, bit-identical per lane to the scalar path (the adaptive
+//!   solver deliberately has no laned form — see [`DormandPrince`]);
 //! * [`Trajectory`] — recorded solutions (flat sample storage) with
 //!   interpolation, windows, and resampling (observation windows for PUF
 //!   responses, §2.2);
@@ -43,6 +48,6 @@ pub use analysis::{
     convergence_time, convergence_time_all, ensemble_stats, is_steady, phase_distance, wrap_phase,
     EnsembleStats,
 };
-pub use integrate::{DormandPrince, Euler, OdeWorkspace, Rk4, SolveError};
-pub use system::{FnSystem, LinearSystem, OdeSystem};
+pub use integrate::{DormandPrince, Euler, LaneWorkspace, OdeWorkspace, Rk4, SolveError};
+pub use system::{FnLanedSystem, FnSystem, LanedOdeSystem, LinearSystem, OdeSystem};
 pub use trajectory::{relative_rmse, SolveStats, Trajectory};

@@ -17,6 +17,61 @@ pub trait OdeSystem {
     fn rhs(&self, t: f64, y: &[f64], dydt: &mut [f64]);
 }
 
+/// A lane-batched first-order ODE system: `L` independent instances of one
+/// system evaluated together, `dyₗ/dt = fₗ(t, yₗ)` for lanes `l = 0..L`.
+///
+/// State is struct-of-arrays: `y[i][l]` is state component `i` of lane `l`,
+/// which is what lets implementations (notably the fused laned interpreter
+/// in `ark-expr`) apply each operation elementwise across lanes and have
+/// the compiler auto-vectorize. Implementations must keep lanes
+/// *independent* — lane `l`'s derivatives may depend only on lane `l`'s
+/// state — and bit-identical to evaluating each lane through a scalar
+/// [`OdeSystem`]; the lane-batched integrators rely on both.
+pub trait LanedOdeSystem<const L: usize> {
+    /// Dimension of each lane's state vector.
+    fn dim(&self) -> usize;
+
+    /// Evaluate all lanes' right-hand sides at time `t`.
+    ///
+    /// Implementations must write every element of `dydt`.
+    fn rhs(&self, t: f64, y: &[[f64; L]], dydt: &mut [[f64; L]]);
+}
+
+impl<const L: usize, S: LanedOdeSystem<L> + ?Sized> LanedOdeSystem<L> for &S {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+
+    fn rhs(&self, t: f64, y: &[[f64; L]], dydt: &mut [[f64; L]]) {
+        (**self).rhs(t, y, dydt)
+    }
+}
+
+/// Adapter implementing [`LanedOdeSystem`] from a closure (testing aid).
+pub struct FnLanedSystem<const L: usize, F> {
+    dim: usize,
+    f: F,
+}
+
+impl<const L: usize, F: Fn(f64, &[[f64; L]], &mut [[f64; L]])> FnLanedSystem<L, F> {
+    /// Wrap a closure as a lane-batched ODE system of the given dimension.
+    pub fn new(dim: usize, f: F) -> Self {
+        FnLanedSystem { dim, f }
+    }
+}
+
+impl<const L: usize, F: Fn(f64, &[[f64; L]], &mut [[f64; L]])> LanedOdeSystem<L>
+    for FnLanedSystem<L, F>
+{
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn rhs(&self, t: f64, y: &[[f64; L]], dydt: &mut [[f64; L]]) {
+        (self.f)(t, y, dydt)
+    }
+}
+
 /// Adapter implementing [`OdeSystem`] from a closure.
 ///
 /// # Examples

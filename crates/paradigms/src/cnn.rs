@@ -569,6 +569,11 @@ pub fn run_cnn(
     )
 }
 
+/// The CNN transient solver configuration, shared by the scalar and laned
+/// ensemble paths so they integrate on the identical grid.
+const CNN_SOLVER_DT: f64 = 2e-3;
+const CNN_SOLVER_STRIDE: usize = 5;
+
 /// Integrate + read out one CNN instance of an already-compiled system —
 /// the shared core behind [`run_cnn`] and the parametric
 /// [`run_cnn_ensemble`]. `params` is empty for non-parametric systems.
@@ -586,8 +591,31 @@ fn run_cnn_core(
     let y0 = sys.initial_state_for(params);
     let tr = {
         let bound = sys.bind_ref(params, scratch);
-        ark_ode::Rk4 { dt: 2e-3 }.integrate_with(&bound, 0.0, &y0, t_end, 5, ws)?
+        ark_ode::Rk4 { dt: CNN_SOLVER_DT }.integrate_with(
+            &bound,
+            0.0,
+            &y0,
+            t_end,
+            CNN_SOLVER_STRIDE,
+            ws,
+        )?
     };
+    read_cnn_run(sys, width, height, params, t_end, snap_times, &tr, scratch)
+}
+
+/// The observation half of a CNN run: output snapshots, the final image,
+/// and the analog convergence probe over an already-integrated trajectory.
+#[allow(clippy::too_many_arguments)]
+fn read_cnn_run(
+    sys: &CompiledSystem,
+    width: usize,
+    height: usize,
+    params: &[f64],
+    t_end: f64,
+    snap_times: &[f64],
+    tr: &ark_ode::Trajectory,
+    scratch: &mut EvalScratch,
+) -> Result<CnnRun, crate::DynError> {
     let snapshots: Vec<(f64, Image)> = snap_times
         .iter()
         .map(|&t| {
@@ -651,12 +679,19 @@ pub fn run_cnn_ensemble(
     let pcnn = build_cnn_parametric(lang, input, template, nonideality)?;
     let sys = CompiledSystem::compile_parametric(lang, &pcnn.pgraph)?;
     let (width, height) = (pcnn.width, pcnn.height);
-    ens.try_map_init(
+    // Integration runs lane-batched (groups of `ens.lanes()` instances per
+    // interpreted instruction); the snapshot/convergence readout runs
+    // scalar per lane on the recorded trajectory.
+    ens.map_integrated(
+        &sys,
+        &ark_sim::Solver::Rk4 { dt: CNN_SOLVER_DT },
         seeds,
-        || (sys.scratch(), OdeWorkspace::new(sys.num_states())),
-        |(scratch, ws), seed| {
-            let params = sys.sample_params(seed);
-            run_cnn_core(&sys, width, height, &params, t_end, snap_times, scratch, ws)
+        |seed| sys.sample_params(seed),
+        0.0,
+        t_end,
+        CNN_SOLVER_STRIDE,
+        |_seed, params, tr, scratch| {
+            read_cnn_run(&sys, width, height, params, t_end, snap_times, &tr, scratch)
         },
     )
 }

@@ -8,8 +8,8 @@
 //! the offset-afflicted solver without touching the hardware.
 
 use ark_core::func::{GraphBuilder, ParametricGraph};
-use ark_core::{CompiledSystem, EvalScratch, FuncError, Graph, Language};
-use ark_ode::{phase_distance, wrap_phase, OdeWorkspace, Rk4};
+use ark_core::{CompiledSystem, FuncError, Graph, Language};
+use ark_ode::{phase_distance, wrap_phase, Rk4};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::f64::consts::PI;
@@ -166,24 +166,18 @@ fn cand_edge_name(u: usize, v: usize) -> String {
     format!("cpl_{u}_{v}")
 }
 
-/// Solve one problem instance on an already-compiled `K_n` template:
-/// sample the instance's mismatch parameters, overwrite the explicit slots
-/// (edge weights from the problem, seeded random initial phases), integrate,
-/// and read out at tolerance `d`.
-#[allow(clippy::too_many_arguments)]
-fn solve_on_template(
+/// One instance's parameter vector on the `K_n` template: the seed's
+/// mismatch draws with the explicit slots overwritten — seeded random
+/// initial phases (identical draws to `build_maxcut_network`: same rng,
+/// same oscillator order) and the problem's edge weights.
+fn template_params(
     sys: &CompiledSystem,
     init_slots: &[usize],
     cand_slots: &[(usize, usize, usize)],
     problem: &MaxCutProblem,
-    d: f64,
     seed: u64,
-    scratch: &mut EvalScratch,
-    ws: &mut OdeWorkspace,
-) -> Result<MaxCutOutcome, crate::DynError> {
+) -> Vec<f64> {
     let mut params = sys.sample_params(seed);
-    // Identical phase draws to `build_maxcut_network` (same rng, same
-    // oscillator order).
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
     for &slot in init_slots.iter().take(problem.n) {
         params[slot] = rng.gen_range(0.0..(2.0 * PI));
@@ -195,11 +189,17 @@ fn solve_on_template(
             0.0
         };
     }
-    let y0 = sys.initial_state_for(&params);
-    let tr = {
-        let bound = sys.bind_ref(&params, scratch);
-        Rk4 { dt: SOLVE_DT }.integrate_with(&bound, 0.0, &y0, SOLVE_TIME, 50, ws)?
-    };
+    params
+}
+
+/// Read a solve outcome (phases → partition → cut) off a finished
+/// trajectory at tolerance `d`.
+fn read_outcome(
+    sys: &CompiledSystem,
+    problem: &MaxCutProblem,
+    d: f64,
+    tr: &ark_ode::Trajectory,
+) -> MaxCutOutcome {
     let yf = tr.last().expect("nonempty trajectory").1;
     let phases: Vec<f64> = (0..problem.n)
         .map(|i| {
@@ -213,12 +213,12 @@ fn solve_on_template(
     let partition = classify_phases(&phases, d);
     let optimum = problem.max_cut_value();
     let cut = partition.map(|p| problem.cut_value(p));
-    Ok(MaxCutOutcome {
+    MaxCutOutcome {
         phases,
         partition,
         cut,
         optimum,
-    })
+    }
 }
 
 /// Outcome of one max-cut solve.
@@ -379,21 +379,23 @@ pub fn table1_cell_with(
         }
     }
     let seeds = ark_sim::seed_range(base_seed, trials);
-    let outcomes = ens.try_map_init(
+    // Integration is lane-batched (`ens.lanes()` trials per interpreted
+    // instruction); the problem instance is regenerated from the seed in
+    // the readout closure — cheap next to the transient solve.
+    let outcomes = ens.map_integrated(
+        &sys,
+        &ark_sim::Solver::Rk4 { dt: SOLVE_DT },
         &seeds,
-        || (sys.scratch(), OdeWorkspace::new(sys.num_states())),
-        |(scratch, ws), seed| {
+        |seed| {
             let problem = MaxCutProblem::random(n, seed);
-            let outcome = solve_on_template(
-                &sys,
-                &init_slots,
-                &cand_slots,
-                &problem,
-                d,
-                seed,
-                scratch,
-                ws,
-            )?;
+            template_params(&sys, &init_slots, &cand_slots, &problem, seed)
+        },
+        0.0,
+        SOLVE_TIME,
+        50,
+        |seed, _params, tr, _scratch| {
+            let problem = MaxCutProblem::random(n, seed);
+            let outcome = read_outcome(&sys, &problem, d, &tr);
             Ok::<_, crate::DynError>((outcome.synchronized(), outcome.solved()))
         },
     )?;

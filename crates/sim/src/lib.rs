@@ -12,8 +12,8 @@
 //! * [`Ensemble::integrate_states`] — the compile-once/simulate-many fast
 //!   path: one [`CompiledSystem`] (which is `Send + Sync`) shared by
 //!   reference across the pool, with each worker reusing its own
-//!   [`EvalScratch`](ark_core::EvalScratch) and
-//!   [`OdeWorkspace`](ark_ode::OdeWorkspace), so the hot loop allocates
+//!   [`EvalScratch`] and
+//!   [`OdeWorkspace`], so the hot loop allocates
 //!   nothing per step;
 //! * [`Solver`] — a value-level solver choice (Euler / RK4 /
 //!   Dormand–Prince) for ensemble configuration.
@@ -81,9 +81,31 @@
 
 #![warn(missing_docs)]
 
-use ark_core::CompiledSystem;
-use ark_ode::{DormandPrince, Euler, OdeWorkspace, Rk4, SolveError, Trajectory};
+use ark_core::{CompiledSystem, EvalScratch, LaneScratch};
+use ark_ode::{
+    DormandPrince, Euler, LaneWorkspace, LanedOdeSystem, OdeWorkspace, Rk4, SolveError, Trajectory,
+};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default lane width of the laned ensemble fast path (see
+/// [`Ensemble::with_lanes`]).
+pub const DEFAULT_LANES: usize = 4;
+
+/// Lane width from the `ARK_LANES` environment override: `1` (scalar), `4`,
+/// or `8`; unset falls back to [`DEFAULT_LANES`]. Read at [`Ensemble`]
+/// construction. Any *other* set value panics — silently coercing a typo'd
+/// width to the default would make e.g. a CI lane-matrix entry pass while
+/// testing a width it never ran, the same reason
+/// [`Ensemble::with_lanes`] rejects unsupported widths.
+fn lanes_from_env() -> usize {
+    match std::env::var("ARK_LANES") {
+        Err(_) => DEFAULT_LANES,
+        Ok(v) => match v.parse::<usize>() {
+            Ok(l @ (1 | 4 | 8)) => l,
+            _ => panic!("ARK_LANES must be 1, 4, or 8 (got {v:?})"),
+        },
+    }
+}
 
 /// Value-level solver selection for ensemble runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -125,16 +147,66 @@ impl Solver {
             Solver::DormandPrince(dp) => dp.integrate_with(sys, t0, y0, t1, ws),
         }
     }
+
+    /// Lane-batched form of [`Solver::integrate_with`] for the fixed-step
+    /// methods: `L` instances stepped in lockstep, one trajectory per lane,
+    /// each bit-identical to the scalar path.
+    ///
+    /// # Errors
+    ///
+    /// The underlying solver error; [`SolveError::BadConfig`] for the
+    /// adaptive solver, which has no laned form (see
+    /// [`DormandPrince`] — the engine falls back to
+    /// the scalar path instead of calling this).
+    pub fn integrate_lanes_with<const L: usize>(
+        &self,
+        sys: &impl LanedOdeSystem<L>,
+        t0: f64,
+        y0: &[[f64; L]],
+        t1: f64,
+        stride: usize,
+        ws: &mut LaneWorkspace<L>,
+    ) -> Result<Vec<Trajectory>, SolveError> {
+        match self {
+            Solver::Euler { dt } => {
+                Euler { dt: *dt }.integrate_lanes_with(sys, t0, y0, t1, stride, ws)
+            }
+            Solver::Rk4 { dt } => Rk4 { dt: *dt }.integrate_lanes_with(sys, t0, y0, t1, stride, ws),
+            Solver::DormandPrince(_) => Err(SolveError::BadConfig(
+                "the adaptive Dormand-Prince solver has no laned form (lockstep \
+                 fixed-step-only policy); integrate instances through the scalar path"
+                    .into(),
+            )),
+        }
+    }
 }
 
 /// A deterministic worker pool for seeded ensemble jobs.
 ///
 /// See the [crate docs](crate) for the determinism guarantee. The pool is
 /// created per call (`std::thread::scope`), so an `Ensemble` is just a
-/// worker-count configuration — cheap to copy around and embed in APIs.
+/// worker-count + lane-width configuration — cheap to copy around and embed
+/// in APIs.
+///
+/// # Lane width
+///
+/// The compile-once integration entry points ([`Ensemble::integrate_params`]
+/// and friends) batch instances into *lane groups* of `lanes` (1, 4, or 8)
+/// and step each group through the lane-parallel interpreter
+/// ([`CompiledSystem::bind_lanes`]): one interpreted instruction advances
+/// the whole group, which is a single-core ensemble speedup on top of the
+/// worker-pool parallelism. Per-instance results are **bit-identical for
+/// every lane width** (each lane performs exactly the scalar operation
+/// sequence), so the width is purely a throughput knob; CI's lane-matrix
+/// job pins this. The default is [`DEFAULT_LANES`], overridable with the
+/// `ARK_LANES` environment variable (`1`/`4`/`8`) or explicitly with
+/// [`Ensemble::with_lanes`]. Adaptive (Dormand–Prince) ensembles always
+/// run the scalar path — see
+/// [`DormandPrince`] for the policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Ensemble {
     workers: usize,
+    lanes: usize,
 }
 
 impl Default for Ensemble {
@@ -146,26 +218,57 @@ impl Default for Ensemble {
 
 impl Ensemble {
     /// An ensemble engine with the given worker count; `0` means one worker
-    /// per available CPU.
+    /// per available CPU. The lane width comes from `ARK_LANES` (default
+    /// [`DEFAULT_LANES`]); see [`Ensemble::with_lanes`].
     pub fn new(workers: usize) -> Self {
         let workers = if workers == 0 {
             std::thread::available_parallelism().map_or(1, usize::from)
         } else {
             workers
         };
-        Ensemble { workers }
+        Ensemble {
+            workers,
+            lanes: lanes_from_env(),
+        }
     }
 
     /// A single-worker engine: runs jobs inline on the calling thread — the
     /// serial baseline the parallel paths are benchmarked (and tested for
-    /// bit-identity) against.
+    /// bit-identity) against. Lane width still applies (set it to 1 via
+    /// [`Ensemble::with_lanes`] or `ARK_LANES=1` for the fully scalar
+    /// baseline).
     pub fn serial() -> Self {
-        Ensemble { workers: 1 }
+        Ensemble {
+            workers: 1,
+            lanes: lanes_from_env(),
+        }
+    }
+
+    /// This engine with an explicit lane width for the integration entry
+    /// points: `1` (scalar), `4`, or `8` lanes. Results are bit-identical
+    /// across widths; wider lanes amortize interpreter dispatch over more
+    /// instances per instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any other width (the laned interpreter is compiled for
+    /// widths 4 and 8 only).
+    pub fn with_lanes(self, lanes: usize) -> Self {
+        assert!(
+            matches!(lanes, 1 | 4 | 8),
+            "lane width must be 1, 4, or 8 (got {lanes})"
+        );
+        Ensemble { lanes, ..self }
     }
 
     /// The configured worker count.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The configured lane width (1 = scalar integration).
+    pub fn lanes(&self) -> usize {
+        self.lanes
     }
 
     /// Run `job` once per seed across the pool, returning results in seed
@@ -201,7 +304,7 @@ impl Ensemble {
     /// Like [`Ensemble::try_map`], but each worker first builds a private
     /// state with `init` and threads it through its jobs — the hook for
     /// reusing expensive per-worker resources (an
-    /// [`EvalScratch`](ark_core::EvalScratch), an [`OdeWorkspace`], a
+    /// [`EvalScratch`], an [`OdeWorkspace`], a
     /// bound system) across many instances.
     ///
     /// Worker state must not influence results (buffers, caches): the
@@ -288,15 +391,20 @@ impl Ensemble {
 
     /// The compile-once/simulate-many fast path: integrate one shared
     /// [`CompiledSystem`] from each initial state in `inits`, reusing one
-    /// [`EvalScratch`](ark_core::EvalScratch) and one [`OdeWorkspace`] per
+    /// [`EvalScratch`] and one [`OdeWorkspace`] per
     /// worker so the integration loop performs zero per-step allocations.
+    /// Fixed-step runs are lane-batched (see [`Ensemble::with_lanes`]).
     ///
     /// Trajectories come back in `inits` order, bit-identical for any
-    /// worker count.
+    /// worker count and lane width.
     ///
     /// # Errors
     ///
     /// The first (by `inits` order) solver error.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a parametric system — use [`Ensemble::integrate_params`].
     pub fn integrate_states(
         &self,
         sys: &CompiledSystem,
@@ -306,24 +414,38 @@ impl Ensemble {
         t1: f64,
         stride: usize,
     ) -> Result<Vec<Trajectory>, SolveError> {
+        assert_eq!(
+            sys.num_params(),
+            0,
+            "parametric system: integrate_params must supply parameter vectors"
+        );
         let idx: Vec<u64> = (0..inits.len() as u64).collect();
-        self.try_map_init(
+        self.dispatch_lanes(
+            sys,
+            solver,
             &idx,
-            || (sys.bind(), OdeWorkspace::new(sys.num_states())),
-            |(bound, ws), i| solver.integrate_with(bound, t0, &inits[i as usize], t1, stride, ws),
+            &|i| (Vec::new(), inits[i as usize].clone()),
+            t0,
+            t1,
+            stride,
+            &|_, _, tr, _| Ok::<_, SolveError>(tr),
         )
     }
 
     /// The compile-once *parametric* ensemble: one shared
     /// [`CompiledSystem`] (from
     /// [`CompiledSystem::compile_parametric`](ark_core::CompiledSystem::compile_parametric)),
-    /// one job per seed, each supplying the parameter vector returned by
+    /// each instance supplying the parameter vector returned by
     /// `params_for(seed)` — no per-instance rebuild or recompile anywhere.
-    /// Per worker, one [`EvalScratch`](ark_core::EvalScratch) and one
-    /// [`OdeWorkspace`] are reused across instances.
+    /// Per worker, one [`EvalScratch`] and one
+    /// [`OdeWorkspace`] are reused across instances, and fixed-step runs
+    /// are lane-batched into groups of [`Ensemble::lanes`] instances that
+    /// advance together through the laned interpreter (scalar fallback for
+    /// the `N % lanes` tail and for the adaptive solver).
     ///
     /// Trajectories come back in seed order, bit-identical for any worker
-    /// count (results depend only on the seed through `params_for`).
+    /// count and lane width (results depend only on the seed through
+    /// `params_for`).
     ///
     /// # Errors
     ///
@@ -347,16 +469,180 @@ impl Ensemble {
     where
         F: Fn(u64) -> Vec<f64> + Sync,
     {
-        self.try_map_init(
+        self.map_integrated(
+            sys,
+            solver,
             seeds,
-            || (sys.scratch(), OdeWorkspace::new(sys.num_states())),
-            |(scratch, ws), seed| {
+            params_for,
+            t0,
+            t1,
+            stride,
+            |_, _, tr, _| Ok(tr),
+        )
+    }
+
+    /// The general laned-ensemble primitive behind
+    /// [`Ensemble::integrate_params`] and the paradigm entry points
+    /// (CNN Monte Carlo, max-cut cells): integrate one instance per seed —
+    /// lane-batched like [`Ensemble::integrate_params`] — then map each
+    /// trajectory through `finish` (readout, metrics) on the same worker.
+    ///
+    /// `finish(seed, params, trajectory, scratch)` runs scalar, in lane
+    /// order within a group, with a worker-private
+    /// [`EvalScratch`] for observation-program
+    /// evaluation. Results come back in seed order, bit-identical for any
+    /// worker count and lane width.
+    ///
+    /// # Errors
+    ///
+    /// The first (by seed order) integration or `finish` error. (In the
+    /// rare case where one lane group contains both a later-lane
+    /// integration failure and an earlier-lane `finish` failure, the
+    /// integration error wins — `finish` never runs for a group whose
+    /// integration failed.)
+    #[allow(clippy::too_many_arguments)]
+    pub fn map_integrated<T, E, F, G>(
+        &self,
+        sys: &CompiledSystem,
+        solver: &Solver,
+        seeds: &[u64],
+        params_for: F,
+        t0: f64,
+        t1: f64,
+        stride: usize,
+        finish: G,
+    ) -> Result<Vec<T>, E>
+    where
+        T: Send,
+        E: Send + From<SolveError>,
+        F: Fn(u64) -> Vec<f64> + Sync,
+        G: Fn(u64, &[f64], Trajectory, &mut EvalScratch) -> Result<T, E> + Sync,
+    {
+        self.dispatch_lanes(
+            sys,
+            solver,
+            seeds,
+            &|seed| {
                 let params = params_for(seed);
                 let y0 = sys.initial_state_for(&params);
-                let bound = sys.bind_ref(&params, scratch);
-                solver.integrate_with(&bound, t0, &y0, t1, stride, ws)
+                (params, y0)
             },
+            t0,
+            t1,
+            stride,
+            &finish,
         )
+    }
+
+    /// Pick the lane width (adaptive solvers force the scalar path) and
+    /// monomorphize the group runner.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_lanes<T, E, P, G>(
+        &self,
+        sys: &CompiledSystem,
+        solver: &Solver,
+        seeds: &[u64],
+        prep: &P,
+        t0: f64,
+        t1: f64,
+        stride: usize,
+        finish: &G,
+    ) -> Result<Vec<T>, E>
+    where
+        T: Send,
+        E: Send + From<SolveError>,
+        P: Fn(u64) -> (Vec<f64>, Vec<f64>) + Sync,
+        G: Fn(u64, &[f64], Trajectory, &mut EvalScratch) -> Result<T, E> + Sync,
+    {
+        let lanes = if matches!(solver, Solver::DormandPrince(_)) {
+            1
+        } else {
+            self.lanes
+        };
+        match lanes {
+            4 => self
+                .run_lane_groups::<4, _, _, _, _>(sys, solver, seeds, prep, t0, t1, stride, finish),
+            8 => self
+                .run_lane_groups::<8, _, _, _, _>(sys, solver, seeds, prep, t0, t1, stride, finish),
+            _ => self.try_map_init(
+                seeds,
+                || (sys.scratch(), OdeWorkspace::new(sys.num_states())),
+                |(scratch, ws), seed| {
+                    let (params, y0) = prep(seed);
+                    let tr = {
+                        let bound = sys.bind_ref(&params, scratch);
+                        solver.integrate_with(&bound, t0, &y0, t1, stride, ws)
+                    }
+                    .map_err(E::from)?;
+                    finish(seed, &params, tr, scratch)
+                },
+            ),
+        }
+    }
+
+    /// The laned group runner: partition seeds into lane groups of `L`
+    /// *before* distributing to workers (groups are the unit of work, so
+    /// grouping is independent of the worker count), integrate full groups
+    /// through the laned interpreter, and run the `N % L` tail — and any
+    /// group whose initial states are malformed — through the scalar path.
+    #[allow(clippy::too_many_arguments)]
+    fn run_lane_groups<const L: usize, T, E, P, G>(
+        &self,
+        sys: &CompiledSystem,
+        solver: &Solver,
+        seeds: &[u64],
+        prep: &P,
+        t0: f64,
+        t1: f64,
+        stride: usize,
+        finish: &G,
+    ) -> Result<Vec<T>, E>
+    where
+        T: Send,
+        E: Send + From<SolveError>,
+        P: Fn(u64) -> (Vec<f64>, Vec<f64>) + Sync,
+        G: Fn(u64, &[f64], Trajectory, &mut EvalScratch) -> Result<T, E> + Sync,
+    {
+        let n = sys.num_states();
+        let groups: Vec<&[u64]> = seeds.chunks(L).collect();
+        let idx: Vec<u64> = (0..groups.len() as u64).collect();
+        let job = |bufs: &mut LaneBufs<L>, gi: u64| -> Result<Vec<T>, E> {
+            let group = groups[gi as usize];
+            let prepped: Vec<(Vec<f64>, Vec<f64>)> = group.iter().map(|&s| prep(s)).collect();
+            let mut out = Vec::with_capacity(group.len());
+            if group.len() == L && prepped.iter().all(|(_, y0)| y0.len() == n) {
+                // Full group: struct-of-arrays initial state, laned bind.
+                bufs.y0.clear();
+                bufs.y0.resize(n, [0.0; L]);
+                for (l, (_, y0)) in prepped.iter().enumerate() {
+                    for (i, &v) in y0.iter().enumerate() {
+                        bufs.y0[i][l] = v;
+                    }
+                }
+                let params: Vec<&[f64]> = prepped.iter().map(|(p, _)| p.as_slice()).collect();
+                let trs = {
+                    let bound = sys.bind_lanes::<L>(&params, &mut bufs.lscratch);
+                    solver.integrate_lanes_with(&bound, t0, &bufs.y0, t1, stride, &mut bufs.lws)
+                }
+                .map_err(E::from)?;
+                for ((&seed, (params, _)), tr) in group.iter().zip(&prepped).zip(trs) {
+                    out.push(finish(seed, params, tr, &mut bufs.scratch)?);
+                }
+            } else {
+                // Scalar tail (N % L != 0, including N < L).
+                for (&seed, (params, y0)) in group.iter().zip(&prepped) {
+                    let tr = {
+                        let bound = sys.bind_ref(params, &mut bufs.scratch);
+                        solver.integrate_with(&bound, t0, y0, t1, stride, &mut bufs.ws)
+                    }
+                    .map_err(E::from)?;
+                    out.push(finish(seed, params, tr, &mut bufs.scratch)?);
+                }
+            }
+            Ok(out)
+        };
+        let nested: Vec<Vec<T>> = self.try_map_init(&idx, LaneBufs::<L>::default, job)?;
+        Ok(nested.into_iter().flatten().collect())
     }
 
     /// [`Ensemble::integrate_params`] with the canonical mismatch sampler:
@@ -378,6 +664,30 @@ impl Ensemble {
         stride: usize,
     ) -> Result<Vec<Trajectory>, SolveError> {
         self.integrate_params(sys, solver, seeds, |s| sys.sample_params(s), t0, t1, stride)
+    }
+}
+
+/// Per-worker buffers of the laned group runner: scalar scratches for the
+/// tail/readout paths plus the lane scratch and workspace for full groups.
+/// All grow on demand and are reused across a worker's groups.
+struct LaneBufs<const L: usize> {
+    scratch: EvalScratch,
+    ws: OdeWorkspace,
+    lscratch: LaneScratch<L>,
+    lws: LaneWorkspace<L>,
+    /// Struct-of-arrays staging for the group's initial states.
+    y0: Vec<[f64; L]>,
+}
+
+impl<const L: usize> Default for LaneBufs<L> {
+    fn default() -> Self {
+        LaneBufs {
+            scratch: EvalScratch::default(),
+            ws: OdeWorkspace::default(),
+            lscratch: LaneScratch::default(),
+            lws: LaneWorkspace::default(),
+            y0: Vec::new(),
+        }
     }
 }
 
@@ -490,6 +800,163 @@ mod tests {
     fn zero_workers_resolves_to_cpu_count() {
         assert!(Ensemble::new(0).workers() >= 1);
         assert_eq!(Ensemble::serial().workers(), 1);
+    }
+
+    #[test]
+    fn with_lanes_configures_width() {
+        assert_eq!(Ensemble::serial().with_lanes(8).lanes(), 8);
+        assert_eq!(Ensemble::new(2).with_lanes(1).lanes(), 1);
+        assert!(matches!(Ensemble::serial().lanes(), 1 | 4 | 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "lane width must be 1, 4, or 8")]
+    fn with_lanes_rejects_unsupported_widths() {
+        let _ = Ensemble::serial().with_lanes(3);
+    }
+
+    /// One small parametric design for the lane tests below.
+    fn decay_parametric() -> (ark_core::lang::Language, CompiledSystem) {
+        use ark_core::func::GraphBuilder;
+        use ark_core::lang::{EdgeType, LanguageBuilder, NodeType, ProdRule, Reduction};
+        use ark_core::types::SigType;
+        use ark_expr::parse_expr;
+        let lang = LanguageBuilder::new("rc")
+            .node_type(
+                NodeType::new("V", 1, Reduction::Sum)
+                    .attr("tau", SigType::real(0.0, 100.0))
+                    .init_default(SigType::real(-100.0, 100.0), 1.0),
+            )
+            .edge_type(EdgeType::new("E"))
+            .prod(ProdRule::new(
+                ("e", "E"),
+                ("s", "V"),
+                ("s", "V"),
+                "s",
+                parse_expr("-var(s)/s.tau").unwrap(),
+            ))
+            .finish()
+            .unwrap();
+        let mut b = GraphBuilder::new_parametric(&lang);
+        b.node("v", "V").unwrap();
+        b.set_attr_param("v", "tau", 1.0).unwrap();
+        b.set_init_param("v", 0, 1.0).unwrap();
+        b.edge("self", "E", "v", "v").unwrap();
+        let pg = b.finish_parametric().unwrap();
+        let sys = CompiledSystem::compile_parametric(&lang, &pg).unwrap();
+        (lang, sys)
+    }
+
+    fn lane_test_params(sys: &CompiledSystem, seed: u64) -> Vec<f64> {
+        let mut p = sys.nominal_params();
+        p[sys.param_index("v", "tau").unwrap()] = 0.5 + 0.125 * seed as f64;
+        p[sys.param_index_init("v", 0).unwrap()] = 1.0 + 0.25 * seed as f64;
+        p
+    }
+
+    /// Laned ensembles are bit-identical to the scalar path for every lane
+    /// width, every worker count, and ensemble sizes exercising full
+    /// groups, tails, and N < L.
+    #[test]
+    fn lane_widths_are_bit_identical() {
+        let (_lang, sys) = decay_parametric();
+        let solver = Solver::Rk4 { dt: 1e-3 };
+        for n in [1usize, 3, 4, 5, 8, 11] {
+            let seeds = seed_range(0, n);
+            let reference = Ensemble::serial()
+                .with_lanes(1)
+                .integrate_params(
+                    &sys,
+                    &solver,
+                    &seeds,
+                    |s| lane_test_params(&sys, s),
+                    0.0,
+                    1.0,
+                    10,
+                )
+                .unwrap();
+            for lanes in [4usize, 8] {
+                for workers in [1usize, 3] {
+                    let got = Ensemble::new(workers)
+                        .with_lanes(lanes)
+                        .integrate_params(
+                            &sys,
+                            &solver,
+                            &seeds,
+                            |s| lane_test_params(&sys, s),
+                            0.0,
+                            1.0,
+                            10,
+                        )
+                        .unwrap();
+                    assert_eq!(reference, got, "n={n} lanes={lanes} workers={workers}");
+                }
+            }
+        }
+    }
+
+    /// The adaptive solver has no laned form: the engine silently runs the
+    /// scalar path, still bit-identical across lane settings.
+    #[test]
+    fn adaptive_solver_falls_back_to_scalar() {
+        let (_lang, sys) = decay_parametric();
+        let solver = Solver::DormandPrince(DormandPrince::new(1e-8, 1e-11));
+        let seeds = seed_range(0, 5);
+        let scalar = Ensemble::serial()
+            .with_lanes(1)
+            .integrate_params(
+                &sys,
+                &solver,
+                &seeds,
+                |s| lane_test_params(&sys, s),
+                0.0,
+                1.0,
+                1,
+            )
+            .unwrap();
+        let laned = Ensemble::serial()
+            .with_lanes(4)
+            .integrate_params(
+                &sys,
+                &solver,
+                &seeds,
+                |s| lane_test_params(&sys, s),
+                0.0,
+                1.0,
+                1,
+            )
+            .unwrap();
+        assert_eq!(scalar, laned);
+    }
+
+    /// `map_integrated` runs the readout (`finish`) per lane with results
+    /// in seed order.
+    #[test]
+    fn map_integrated_preserves_seed_order_and_params() {
+        let (_lang, sys) = decay_parametric();
+        let solver = Solver::Rk4 { dt: 1e-2 };
+        let seeds = seed_range(0, 7);
+        let got: Vec<(u64, f64, f64)> = Ensemble::new(2)
+            .with_lanes(4)
+            .map_integrated(
+                &sys,
+                &solver,
+                &seeds,
+                |s| lane_test_params(&sys, s),
+                0.0,
+                1.0,
+                10,
+                |seed, params, tr, _scratch| {
+                    Ok::<_, SolveError>((seed, params[0], tr.last().unwrap().1[0]))
+                },
+            )
+            .unwrap();
+        for (k, (seed, tau, v_end)) in got.iter().enumerate() {
+            assert_eq!(*seed, k as u64);
+            let p = lane_test_params(&sys, *seed);
+            assert_eq!(*tau, p[0]);
+            assert!(v_end.is_finite());
+        }
     }
 
     #[test]

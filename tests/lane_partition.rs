@@ -1,0 +1,129 @@
+//! Lane-group partitioning suite: laned ensembles must be bit-identical to
+//! the scalar path for *every* ensemble size — full groups, the `N % L`
+//! scalar tail, and N < L (no full group at all) — at every saved
+//! timestep, for both supported widths and across worker counts.
+//!
+//! CI's lane-matrix job additionally re-runs the golden suites with
+//! `ARK_LANES` forced to 1/4/8; this file pins the partitioning logic
+//! itself with explicit widths, independent of the environment.
+
+use ark::core::CompiledSystem;
+use ark::paradigms::tln::{
+    gmc_tln_language, tline_mismatch_ensemble, tln_language, MismatchKind, TlineConfig,
+};
+use ark::sim::{seed_range, Ensemble, Solver};
+use proptest::prelude::*;
+
+/// A small parametric decay design (one compile, params = tau + y0) so the
+/// property runs hundreds of ensembles quickly.
+fn decay_system() -> (ark::core::lang::Language, CompiledSystem) {
+    use ark::core::func::GraphBuilder;
+    use ark::core::lang::{EdgeType, LanguageBuilder, NodeType, ProdRule, Reduction};
+    use ark::core::types::SigType;
+    use ark::expr::parse_expr;
+    let lang = LanguageBuilder::new("rc")
+        .node_type(
+            NodeType::new("V", 1, Reduction::Sum)
+                .attr("tau", SigType::real(0.0, 100.0))
+                .init_default(SigType::real(-100.0, 100.0), 1.0),
+        )
+        .edge_type(EdgeType::new("E"))
+        .prod(ProdRule::new(
+            ("e", "E"),
+            ("s", "V"),
+            ("s", "V"),
+            "s",
+            parse_expr("-var(s)/s.tau").unwrap(),
+        ))
+        .finish()
+        .unwrap();
+    let mut b = GraphBuilder::new_parametric(&lang);
+    b.node("v", "V").unwrap();
+    b.set_attr_param("v", "tau", 1.0).unwrap();
+    b.set_init_param("v", 0, 1.0).unwrap();
+    b.edge("self", "E", "v", "v").unwrap();
+    let pg = b.finish_parametric().unwrap();
+    let sys = CompiledSystem::compile_parametric(&lang, &pg).unwrap();
+    (lang, sys)
+}
+
+fn params_for(sys: &CompiledSystem, seed: u64) -> Vec<f64> {
+    let mut p = sys.nominal_params();
+    p[sys.param_index("v", "tau").unwrap()] = 0.25 + 0.0625 * (seed % 31) as f64;
+    p[sys.param_index_init("v", 0).unwrap()] = 1.0 + 0.5 * (seed % 7) as f64;
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For random ensemble sizes (deliberately biased to N % L != 0 and
+    /// N < L), random strides, and both lane widths, the laned ensemble
+    /// equals the scalar ensemble bit for bit at every saved timestep —
+    /// `Trajectory` equality covers every sample value and the stats.
+    #[test]
+    fn laned_ensembles_match_serial_bit_for_bit(
+        n in 1usize..14,
+        base in 0u64..512,
+        stride in 1usize..8,
+    ) {
+        let (_lang, sys) = decay_system();
+        let seeds = seed_range(base, n);
+        let solver = Solver::Rk4 { dt: 2e-2 };
+        let scalar = Ensemble::serial()
+            .with_lanes(1)
+            .integrate_params(&sys, &solver, &seeds, |s| params_for(&sys, s), 0.0, 1.0, stride)
+            .unwrap();
+        for lanes in [4usize, 8] {
+            for workers in [1usize, 2] {
+                let laned = Ensemble::new(workers)
+                    .with_lanes(lanes)
+                    .integrate_params(&sys, &solver, &seeds, |s| params_for(&sys, s), 0.0, 1.0, stride)
+                    .unwrap();
+                prop_assert_eq!(&scalar, &laned, "n={} lanes={} workers={}", n, lanes, workers);
+            }
+        }
+    }
+}
+
+/// The real §2.4 TLN Monte Carlo through the public ensemble entry point:
+/// sizes straddling the group boundary (N < L, N = L, N % L != 0) are
+/// bit-identical across explicit lane widths and worker counts.
+#[test]
+fn tline_ensemble_tail_sizes_match_scalar() {
+    let base = tln_language();
+    let gmc = gmc_tln_language(&base);
+    let cfg = TlineConfig {
+        mismatch: MismatchKind::Both,
+        ..TlineConfig::default()
+    };
+    let (segments, t_end, dt, stride) = (4, 1.0e-8, 1e-10, 8);
+    for n in [1usize, 3, 4, 5, 9] {
+        let seeds = seed_range(0, n);
+        let scalar = tline_mismatch_ensemble(
+            &gmc,
+            segments,
+            &cfg,
+            t_end,
+            dt,
+            stride,
+            &seeds,
+            &Ensemble::serial().with_lanes(1),
+        )
+        .unwrap();
+        for lanes in [4usize, 8] {
+            let laned = tline_mismatch_ensemble(
+                &gmc,
+                segments,
+                &cfg,
+                t_end,
+                dt,
+                stride,
+                &seeds,
+                &Ensemble::new(2).with_lanes(lanes),
+            )
+            .unwrap();
+            assert_eq!(scalar, laned, "n={n} lanes={lanes}");
+        }
+    }
+}
