@@ -16,9 +16,10 @@
 //! timed RHS evaluations, `ARK_RHS_ENSEMBLE_N` the ensemble instance count.
 
 use ark_core::CompiledSystem;
-use ark_ode::Rk4;
+use ark_ode::{DormandPrince, Rk4};
 use ark_paradigms::cnn::{
-    build_cnn, cnn_language, hw_cnn_language, run_cnn, run_cnn_ensemble, NonIdeality, EDGE_TEMPLATE,
+    build_cnn, build_cnn_parametric, cnn_language, hw_cnn_language, run_cnn, run_cnn_ensemble,
+    run_cnn_ensemble_scalar_readout, NonIdeality, EDGE_TEMPLATE,
 };
 use ark_paradigms::image::Image;
 use ark_paradigms::maxcut::{solve, table1_cell_with, CouplingKind, MaxCutProblem};
@@ -91,6 +92,19 @@ struct EnsembleReport {
     parametric_ms: f64,
     /// Same compile-once pipeline with 4-lane integration (single worker).
     laned4_ms: f64,
+    /// 4-lane integration with the readout forced scalar-per-instance —
+    /// the pre-laned-readout pipeline (CNN only, where readout dominates
+    /// the tail).
+    laned4_scalar_readout_ms: Option<f64>,
+}
+
+/// The lane-voting adaptive solver vs the scalar PI controller on a
+/// Dormand–Prince ensemble (integration only, no readout).
+struct VotingReport {
+    name: &'static str,
+    instances: usize,
+    scalar_dp_ms: f64,
+    voting_dp4_ms: f64,
 }
 
 fn workloads() -> Vec<Workload> {
@@ -141,7 +155,8 @@ fn measure_ensembles(n: usize) -> Vec<EnsembleReport> {
     let laned = Ensemble::serial().with_lanes(4);
 
     // CNN: recompile-per-instance vs compile-once parametric (scalar and
-    // 4-lane integration).
+    // 4-lane integration), with the 4-lane pipeline measured both with the
+    // historical scalar-per-instance readout and the laned group readout.
     let base = cnn_language();
     let hw = hw_cnn_language(&base);
     let input = Image::from_ascii(&["....", ".##.", ".##.", "...."]);
@@ -169,12 +184,28 @@ fn measure_ensembles(n: usize) -> Vec<EnsembleReport> {
         );
         cnn_ms[slot] = t.elapsed().as_secs_f64() * 1e3;
     }
+    let t = Instant::now();
+    black_box(
+        run_cnn_ensemble_scalar_readout(
+            &hw,
+            &input,
+            &EDGE_TEMPLATE,
+            NonIdeality::GMismatch,
+            1.0,
+            &[],
+            &seeds,
+            &laned,
+        )
+        .unwrap(),
+    );
+    let cnn_laned_scalar_readout_ms = t.elapsed().as_secs_f64() * 1e3;
     out.push(EnsembleReport {
         name: "cnn_fig11",
         instances: n,
         recompile_ms,
         parametric_ms: cnn_ms[0],
         laned4_ms: cnn_ms[1],
+        laned4_scalar_readout_ms: Some(cnn_laned_scalar_readout_ms),
     });
 
     // TLN: recompile-per-instance vs compile-once parametric.
@@ -210,15 +241,22 @@ fn measure_ensembles(n: usize) -> Vec<EnsembleReport> {
         recompile_ms,
         parametric_ms: tln_ms[0],
         laned4_ms: tln_ms[1],
+        laned4_scalar_readout_ms: None,
     });
 
     // OBC Table 1 cell: per-trial solve (rebuild + recompile) vs the
-    // compile-once K_n template.
+    // memoized per-topology-class sparse templates. Run at a multiple of
+    // the base instance count — class memoization (and per-class lane
+    // grouping) only amortizes once trials outnumber the distinct
+    // topologies, which is the regime every real Table 1 cell runs in
+    // (1000 trials vs ≤ 63 classes at n = 4).
     let obase = obc_language();
     let ofs = ofs_obc_language(&obase);
     let d = 0.1 * PI;
+    let obc_trials = 32 * n;
+    let obc_seeds = seed_range(0, obc_trials);
     let t = Instant::now();
-    for &seed in &seeds {
+    for &seed in &obc_seeds {
         let problem = MaxCutProblem::random(4, seed);
         black_box(solve(&ofs, &problem, CouplingKind::Offset, d, seed).unwrap());
     }
@@ -226,18 +264,61 @@ fn measure_ensembles(n: usize) -> Vec<EnsembleReport> {
     let mut obc_ms = [0.0f64; 2];
     for (slot, ens) in [(0usize, &scalar), (1usize, &laned)] {
         let t = Instant::now();
-        black_box(table1_cell_with(&ofs, CouplingKind::Offset, d, 4, n, 0, ens).unwrap());
+        black_box(table1_cell_with(&ofs, CouplingKind::Offset, d, 4, obc_trials, 0, ens).unwrap());
         obc_ms[slot] = t.elapsed().as_secs_f64() * 1e3;
     }
     out.push(EnsembleReport {
         name: "obc_table1",
-        instances: n,
+        instances: obc_trials,
         recompile_ms,
         parametric_ms: obc_ms[0],
         laned4_ms: obc_ms[1],
+        laned4_scalar_readout_ms: None,
     });
 
     out
+}
+
+/// The lane-voting Dormand–Prince ensemble vs the scalar PI path on the
+/// CNN workload (integration only — final state readout).
+fn measure_voting(n: usize) -> Vec<VotingReport> {
+    let seeds = seed_range(0, n);
+    let base = cnn_language();
+    let hw = hw_cnn_language(&base);
+    let input = Image::from_ascii(&["....", ".##.", ".##.", "...."]);
+    let pcnn = build_cnn_parametric(&hw, &input, &EDGE_TEMPLATE, NonIdeality::GMismatch).unwrap();
+    let sys = CompiledSystem::compile_parametric(&hw, &pcnn.pgraph).unwrap();
+    let dp = DormandPrince::new(1e-6, 1e-9);
+    let run = |ens: &Ensemble, voting: bool| {
+        let t = Instant::now();
+        if voting {
+            black_box(
+                ens.integrate_params(
+                    &sys,
+                    &dp.voting(),
+                    &seeds,
+                    |s| sys.sample_params(s),
+                    0.0,
+                    1.0,
+                    5,
+                )
+                .unwrap(),
+            );
+        } else {
+            black_box(
+                ens.integrate_params(&sys, &dp, &seeds, |s| sys.sample_params(s), 0.0, 1.0, 5)
+                    .unwrap(),
+            );
+        }
+        t.elapsed().as_secs_f64() * 1e3
+    };
+    let serial4 = Ensemble::serial().with_lanes(4);
+    vec![VotingReport {
+        name: "cnn_fig11",
+        instances: n,
+        scalar_dp_ms: run(&serial4, false),
+        voting_dp4_ms: run(&serial4, true),
+    }]
 }
 
 /// The first unsigned integer following `key` in `text` (tiny scan over
@@ -284,7 +365,13 @@ fn report_path(root: &str, smoke: bool, evals: usize, instances: usize) -> Strin
     committed
 }
 
-fn write_json(reports: &[WorkloadReport], ensembles: &[EnsembleReport], evals: usize, smoke: bool) {
+fn write_json(
+    reports: &[WorkloadReport],
+    ensembles: &[EnsembleReport],
+    voting: &[VotingReport],
+    evals: usize,
+    smoke: bool,
+) {
     let mut j = String::from("{\n");
     let _ = writeln!(
         j,
@@ -326,18 +413,47 @@ fn write_json(reports: &[WorkloadReport], ensembles: &[EnsembleReport], evals: u
     let _ = writeln!(j, "  \"ensembles\": {{");
     for (i, e) in ensembles.iter().enumerate() {
         let comma = if i + 1 < ensembles.len() { "," } else { "" };
+        // The CNN row carries the laned-readout A/B: `laned4_ms` is the
+        // full laned pipeline (laned integration + laned group readout),
+        // `laned4_scalar_readout_ms` the historical scalar-readout form.
+        let readout = match e.laned4_scalar_readout_ms {
+            Some(ms) => format!(
+                "\n      \"laned4_scalar_readout_ms\": {:.1},\n      \
+                 \"laned_readout_speedup\": {:.2},",
+                ms,
+                ms / e.laned4_ms.max(1e-9)
+            ),
+            None => String::new(),
+        };
         let _ = writeln!(
             j,
             "    \"{}\": {{\n      \"instances\": {},\n      \"recompile_per_instance_ms\": {:.1},\n      \
-             \"compile_once_parametric_ms\": {:.1},\n      \"ensemble_speedup\": {:.2},\n      \
+             \"compile_once_parametric_ms\": {:.1},\n      \"ensemble_speedup\": {:.2},{}\n      \
              \"laned4_ms\": {:.1},\n      \"laned_speedup\": {:.2}\n    }}{}",
             e.name,
             e.instances,
             e.recompile_ms,
             e.parametric_ms,
             e.recompile_ms / e.parametric_ms.max(1e-9),
+            readout,
             e.laned4_ms,
             e.parametric_ms / e.laned4_ms.max(1e-9),
+            comma
+        );
+    }
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"voting_dp\": {{");
+    for (i, v) in voting.iter().enumerate() {
+        let comma = if i + 1 < voting.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    \"{}\": {{\n      \"instances\": {},\n      \"scalar_dp_ms\": {:.1},\n      \
+             \"voting_dp4_ms\": {:.1},\n      \"voting_speedup\": {:.2}\n    }}{}",
+            v.name,
+            v.instances,
+            v.scalar_dp_ms,
+            v.voting_dp4_ms,
+            v.scalar_dp_ms / v.voting_dp4_ms.max(1e-9),
             comma
         );
     }
@@ -425,8 +541,28 @@ fn bench_rhs(c: &mut Criterion) {
             e.laned4_ms,
             e.parametric_ms / e.laned4_ms.max(1e-9),
         );
+        if let Some(ms) = e.laned4_scalar_readout_ms {
+            println!(
+                "{} laned readout: scalar-readout {:.1} ms -> laned {:.1} ms ({:.2}x)",
+                e.name,
+                ms,
+                e.laned4_ms,
+                ms / e.laned4_ms.max(1e-9),
+            );
+        }
     }
-    write_json(&reports, &ensembles, evals, smoke);
+    let voting = measure_voting(ensemble_n);
+    for v in &voting {
+        println!(
+            "{} voting-DP x{}: scalar {:.1} ms, 4-lane voting {:.1} ms ({:.2}x)",
+            v.name,
+            v.instances,
+            v.scalar_dp_ms,
+            v.voting_dp4_ms,
+            v.scalar_dp_ms / v.voting_dp4_ms.max(1e-9),
+        );
+    }
+    write_json(&reports, &ensembles, &voting, evals, smoke);
 }
 
 criterion_group!(benches, bench_rhs);

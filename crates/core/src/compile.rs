@@ -238,6 +238,11 @@ impl OdeSystem for BoundSystem<'_> {
         self.sys
             .rhs_bound(t, y, dydt, &mut self.scratch.borrow_mut());
     }
+
+    fn stage_hint(&self, hint: ark_ode::StageHint) {
+        self.sys
+            .rhs_stage_hint(hint, &mut self.scratch.borrow_mut());
+    }
 }
 
 /// A borrowing sibling of [`BoundSystem`] for hot ensemble loops: the
@@ -259,6 +264,11 @@ impl OdeSystem for BoundSystemRef<'_> {
         // of the scratch guarantees no interleaved rebinding.
         self.sys
             .rhs_bound(t, y, dydt, &mut self.scratch.borrow_mut());
+    }
+
+    fn stage_hint(&self, hint: ark_ode::StageHint) {
+        self.sys
+            .rhs_stage_hint(hint, &mut self.scratch.borrow_mut());
     }
 }
 
@@ -291,6 +301,12 @@ impl<const L: usize> ark_ode::LanedOdeSystem<L> for LanedBoundSystem<'_, L> {
         self.sys
             .rhs_prog
             .eval_lanes_bound(&mut self.scratch.borrow_mut(), y, t, dydt);
+    }
+
+    fn stage_hint(&self, hint: ark_ode::StageHint) {
+        match hint {
+            ark_ode::StageHint::SameTimeNext => self.scratch.borrow_mut().hint_same_time(),
+        }
     }
 }
 
@@ -611,6 +627,16 @@ impl CompiledSystem {
         self.rhs_prog.eval_bound(ps, y, t, dydt);
     }
 
+    /// Forward a solver stage hint to the fused right-hand-side program's
+    /// scratch: a promised same-`t` stage lets the next evaluation skip the
+    /// time-prologue revalidation (see
+    /// [`ark_expr::program::ProgScratch::hint_same_time`]).
+    fn rhs_stage_hint(&self, hint: ark_ode::StageHint, s: &mut EvalScratch) {
+        match hint {
+            ark_ode::StageHint::SameTimeNext => s.prog_state(self.rhs_prog.id()).hint_same_time(),
+        }
+    }
+
     /// Evaluate the right-hand side through the *legacy per-node tape*
     /// evaluator — the reference semantics the fused program is tested
     /// against (and the baseline the `rhs` microbenchmark measures).
@@ -705,6 +731,38 @@ impl CompiledSystem {
             &mut scratch.buf[..n_algs],
         );
         &scratch.buf[..n_algs]
+    }
+
+    /// Lane-parallel observation: evaluate *all* algebraic (order-0) nodes
+    /// for `L` instances at once — one parameter vector per lane, state
+    /// struct-of-arrays (`y[i][l]`), outputs struct-of-arrays
+    /// (`out[slot][l]`, indexed by [`CompiledSystem::algebraic_index`]).
+    ///
+    /// This is the readout sibling of [`CompiledSystem::bind_lanes`]: one
+    /// interpreted instruction of the fused observation program serves all
+    /// `L` lanes, and lane `l`'s outputs are bit-identical to a scalar
+    /// [`CompiledSystem::eval_algebraics_with_params`] of that lane alone.
+    /// Use a scratch *dedicated to observation* (separate from the RHS
+    /// one), so both programs keep their constant pools primed across
+    /// calls; parameter rebinding is a bitwise no-op check when unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y`, `params`, or `out` has the wrong shape.
+    pub fn eval_algebraics_lanes<const L: usize>(
+        &self,
+        t: f64,
+        y: &[[f64; L]],
+        params: &[&[f64]],
+        scratch: &mut LaneScratch<L>,
+        out: &mut [[f64; L]],
+    ) {
+        let n = self.num_states();
+        let n_algs = self.alg_of_node.len();
+        assert_eq!(y.len(), n, "state vector length mismatch");
+        assert!(out.len() >= n_algs, "output buffer too short");
+        self.obs_prog.set_params_lanes(scratch, params);
+        self.obs_prog.eval_lanes_bound(scratch, y, t, out);
     }
 
     /// Evaluate all algebraic nodes through the *legacy per-node tape*

@@ -618,12 +618,27 @@ pub struct ProgScratch {
     pprologue_run: bool,
     has_time: bool,
     last_time: u64,
+    /// Caller promise: the next evaluation repeats the previous `time` bit
+    /// for bit, so the time-prologue cache needs no revalidation.
+    hint_same_time: bool,
 }
 
 impl ProgScratch {
     /// The program id this scratch is currently primed for, if any.
     pub fn program_id(&self) -> Option<u64> {
         self.ready_for
+    }
+
+    /// Promise that the next evaluation through this scratch uses the same
+    /// `time` (same bit pattern) as the previous one — the solver-side
+    /// stage hint (RK4 stages 2/3, Dormand–Prince stages 6/7). The next
+    /// evaluation then skips even the revalidation of the time-prologue
+    /// cache. Consumed by exactly one evaluation. A *broken* promise makes
+    /// that evaluation read stale time-prologue values (well-defined but
+    /// wrong numbers — debug builds assert the time matched), so only issue
+    /// it when the repeated `t` is computed bit-identically.
+    pub fn hint_same_time(&mut self) {
+        self.hint_same_time = true;
     }
 }
 
@@ -719,6 +734,7 @@ impl SystemProgram {
         scratch.params_set = false;
         scratch.pprologue_run = false;
         scratch.has_time = false;
+        scratch.hint_same_time = false;
     }
 
     /// Bind a parameter vector for subsequent evaluations through `scratch`.
@@ -747,6 +763,7 @@ impl SystemProgram {
             scratch.params_set = true;
             scratch.pprologue_run = false;
             scratch.has_time = false;
+            scratch.hint_same_time = false;
         }
     }
 
@@ -800,9 +817,20 @@ impl SystemProgram {
             }
             scratch.pprologue_run = true;
             scratch.has_time = false;
+            scratch.hint_same_time = false;
         }
         let regs = &mut scratch.regs[..];
-        if !(scratch.has_time && scratch.last_time == time.to_bits()) {
+        // A solver stage hint certifies the repeated time, skipping even
+        // the bit-pattern revalidation of the time-prologue cache.
+        let hinted = scratch.hint_same_time && scratch.has_time;
+        scratch.hint_same_time = false;
+        if hinted {
+            debug_assert_eq!(
+                scratch.last_time,
+                time.to_bits(),
+                "stage hint promised an identical time"
+            );
+        } else if !(scratch.has_time && scratch.last_time == time.to_bits()) {
             for instr in &self.tprologue {
                 regs[instr.dest as usize] = exec(&instr.op, regs, slots, time);
             }
@@ -842,6 +870,8 @@ pub struct LaneScratch<const L: usize> {
     pprologue_run: bool,
     has_time: bool,
     last_time: u64,
+    /// See [`ProgScratch::hint_same_time`].
+    hint_same_time: bool,
 }
 
 impl<const L: usize> Default for LaneScratch<L> {
@@ -853,6 +883,7 @@ impl<const L: usize> Default for LaneScratch<L> {
             pprologue_run: false,
             has_time: false,
             last_time: 0,
+            hint_same_time: false,
         }
     }
 }
@@ -861,6 +892,12 @@ impl<const L: usize> LaneScratch<L> {
     /// The program id this scratch is currently primed for, if any.
     pub fn program_id(&self) -> Option<u64> {
         self.ready_for
+    }
+
+    /// Laned twin of [`ProgScratch::hint_same_time`]: the next laned
+    /// evaluation repeats the previous `time` bit for bit.
+    pub fn hint_same_time(&mut self) {
+        self.hint_same_time = true;
     }
 }
 
@@ -881,6 +918,7 @@ impl SystemProgram {
         scratch.params_set = false;
         scratch.pprologue_run = false;
         scratch.has_time = false;
+        scratch.hint_same_time = false;
     }
 
     /// Bind one parameter vector per lane for subsequent laned evaluations.
@@ -923,6 +961,7 @@ impl SystemProgram {
             scratch.params_set = true;
             scratch.pprologue_run = false;
             scratch.has_time = false;
+            scratch.hint_same_time = false;
         }
     }
 
@@ -965,9 +1004,20 @@ impl SystemProgram {
             }
             scratch.pprologue_run = true;
             scratch.has_time = false;
+            scratch.hint_same_time = false;
         }
         let regs = &mut scratch.regs[..];
-        if !(scratch.has_time && scratch.last_time == time.to_bits()) {
+        // A solver stage hint certifies the repeated time, skipping even
+        // the bit-pattern revalidation of the time-prologue cache.
+        let hinted = scratch.hint_same_time && scratch.has_time;
+        scratch.hint_same_time = false;
+        if hinted {
+            debug_assert_eq!(
+                scratch.last_time,
+                time.to_bits(),
+                "stage hint promised an identical time"
+            );
+        } else if !(scratch.has_time && scratch.last_time == time.to_bits()) {
             // Static, time-dependent values: one pass serves all lanes.
             for instr in &self.tprologue {
                 regs[instr.dest as usize] = exec_lanes(&instr.op, regs, slots, time);

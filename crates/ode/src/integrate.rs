@@ -1,23 +1,36 @@
-//! Fixed-step and adaptive integrators.
+//! The solver configurations: fixed-step and adaptive integrators.
 //!
-//! The Ark compiler produces an [`OdeSystem`]; these integrators run the
-//! transient simulations behind every figure in the paper. Two families:
+//! The Ark compiler produces an [`OdeSystem`]; these solvers run the
+//! transient simulations behind every figure in the paper. Since the
+//! solver/observer redesign they are thin configurations of the unified
+//! [`Solver`] trait — a [`Stepper`](crate::Stepper) composed with a
+//! [`StepControl`] policy (see [`crate::solver`]):
 //!
-//! * [`Rk4`] (and [`Euler`]) — fixed-step explicit methods, predictable cost,
-//!   used for the TLN/OBC simulations where the step is set by the signal
-//!   bandwidth;
+//! * [`Rk4`] (and [`Euler`]) — fixed-step explicit methods
+//!   ([`Fixed`] control), predictable cost, used for the TLN/OBC
+//!   simulations where the step is set by the signal bandwidth;
 //! * [`DormandPrince`] — adaptive 5(4) embedded Runge–Kutta with PI step
-//!   control, used when stiffness varies across a run (CNN mismatch studies).
+//!   control ([`Adaptive`]), used when stiffness varies across a run (CNN
+//!   mismatch studies);
+//! * [`VotingDormandPrince`] — the lane-batched adaptive mode
+//!   ([`VotingAdaptive`] control): min-over-lanes step voting with
+//!   per-lane early-exit masks, opt-in because the voted step grid trades
+//!   bit-identity across lane widths for ensemble throughput.
 //!
-//! Every solver has two entry points: `integrate`, which allocates its work
-//! buffers internally (the historical API), and `integrate_with`, which
-//! steps through a caller-provided [`OdeWorkspace`] so the hot loop performs
-//! **zero per-step allocations** — the form the `ark-sim` ensemble engine
-//! uses to reuse buffers across thousands of fabricated instances. Both
-//! produce bit-identical trajectories.
+//! Every solver keeps its historical inherent entry points — `integrate`
+//! (allocating), `integrate_with` (caller-provided [`OdeWorkspace`], zero
+//! per-step allocations), and `integrate_lanes_with` (lockstep lanes) —
+//! as wrappers pairing [`Solver::solve`] with a
+//! [`Strided`] trajectory recorder. All of them produce
+//! trajectories bit-identical to the pre-redesign implementations.
 
-use crate::system::OdeSystem;
-use crate::trajectory::{SolveStats, Trajectory};
+use crate::observe::Strided;
+use crate::solver::{
+    Adaptive, Dp45Stages, Elem, EulerStages, Fixed, LaneWorkspace, OdeWorkspace, Rk4Stages, Solver,
+    StepControl, SystemOver, VotingAdaptive, Workspace,
+};
+use crate::system::{LanedOdeSystem, OdeSystem};
+use crate::trajectory::Trajectory;
 use std::fmt;
 
 /// An error produced during integration.
@@ -49,164 +62,19 @@ impl fmt::Display for SolveError {
 
 impl std::error::Error for SolveError {}
 
-fn check_finite(t: f64, y: &[f64]) -> Result<(), SolveError> {
-    if y.iter().all(|x| x.is_finite()) {
-        Ok(())
-    } else {
-        Err(SolveError::NonFinite { t })
-    }
-}
-
-/// Reusable work buffers for the integrators: the current state, a stage
-/// scratch vector, and up to seven stage-derivative vectors (the
-/// Dormand–Prince tableau needs all seven; Euler uses one, RK4 four).
-///
-/// Create one per worker/thread, then pass it to any number of
-/// `integrate_with` calls — buffers are resized on demand, so one workspace
-/// serves systems of different dimensions. Contents are fully overwritten
-/// by each call; nothing leaks between runs.
-#[derive(Debug, Clone, Default)]
-pub struct OdeWorkspace {
-    y: Vec<f64>,
-    tmp: Vec<f64>,
-    k: Vec<Vec<f64>>,
-}
-
-impl OdeWorkspace {
-    /// A workspace pre-sized for systems of dimension `dim`.
-    pub fn new(dim: usize) -> Self {
-        let mut ws = OdeWorkspace::default();
-        ws.ensure(dim);
-        ws
-    }
-
-    /// Resize all buffers to dimension `dim` (no-op when already sized).
-    fn ensure(&mut self, dim: usize) {
-        self.y.resize(dim, 0.0);
-        self.tmp.resize(dim, 0.0);
-        if self.k.len() < 7 {
-            self.k.resize_with(7, Vec::new);
-        }
-        for k in &mut self.k {
-            k.resize(dim, 0.0);
-        }
-    }
-}
-
-/// Reusable work buffers for the lane-batched integrators: the
-/// struct-of-arrays twin of [`OdeWorkspace`], holding `[f64; L]` per state
-/// component plus an AoS staging row for trajectory recording.
-///
-/// Create one per worker, then pass it to any number of
-/// `integrate_lanes_with` calls; buffers grow on demand and are fully
-/// overwritten by each call.
-#[derive(Debug, Clone)]
-pub struct LaneWorkspace<const L: usize> {
-    y: Vec<[f64; L]>,
-    tmp: Vec<[f64; L]>,
-    k: Vec<Vec<[f64; L]>>,
-    /// AoS staging buffer for pushing one lane's state into its trajectory.
-    row: Vec<f64>,
-}
-
-impl<const L: usize> Default for LaneWorkspace<L> {
-    fn default() -> Self {
-        LaneWorkspace {
-            y: Vec::new(),
-            tmp: Vec::new(),
-            k: Vec::new(),
-            row: Vec::new(),
-        }
-    }
-}
-
-impl<const L: usize> LaneWorkspace<L> {
-    /// A workspace pre-sized for systems of dimension `dim`.
-    pub fn new(dim: usize) -> Self {
-        let mut ws = LaneWorkspace::default();
-        ws.ensure(dim);
-        ws
-    }
-
-    /// Resize all buffers to dimension `dim` (no-op when already sized).
-    fn ensure(&mut self, dim: usize) {
-        self.y.resize(dim, [0.0; L]);
-        self.tmp.resize(dim, [0.0; L]);
-        if self.k.len() < 4 {
-            self.k.resize_with(4, Vec::new);
-        }
-        for k in &mut self.k {
-            k.resize(dim, [0.0; L]);
-        }
-        self.row.resize(dim, 0.0);
-    }
-}
-
-/// Book-keeping for the lane-batched steppers: per-lane trajectories plus
-/// per-lane first-failure masks (a failed lane keeps stepping — its NaNs
-/// stay in its own lane — but stops recording, and its error is reported
-/// with the same `t` the scalar path would have detected it at).
-struct LaneRun<const L: usize> {
-    trs: Vec<Trajectory>,
-    failed: [Option<SolveError>; L],
-}
-
-impl<const L: usize> LaneRun<L> {
-    fn start(n: usize, capacity: usize, t0: f64, y: &[[f64; L]], row: &mut [f64]) -> Self {
-        let mut trs = Vec::with_capacity(L);
-        for l in 0..L {
-            let mut tr = Trajectory::with_capacity(n, capacity);
-            for (r, yi) in row.iter_mut().zip(y) {
-                *r = yi[l];
-            }
-            tr.push_slice(t0, &row[..n]);
-            trs.push(tr);
-        }
-        LaneRun {
-            trs,
-            failed: std::array::from_fn(|_| None),
-        }
-    }
-
-    /// Check finiteness per live lane, record `y` into live lanes'
-    /// trajectories when `record` is set. Returns `false` once every lane
-    /// has failed (nothing left to step for).
-    fn check_and_record(&mut self, t: f64, y: &[[f64; L]], row: &mut [f64], record: bool) -> bool {
-        let n = row.len();
-        let mut live = false;
-        for l in 0..L {
-            if self.failed[l].is_some() {
-                continue;
-            }
-            if !y.iter().all(|yi| yi[l].is_finite()) {
-                self.failed[l] = Some(SolveError::NonFinite { t });
-                continue;
-            }
-            live = true;
-            if record {
-                for (r, yi) in row.iter_mut().zip(y) {
-                    *r = yi[l];
-                }
-                self.trs[l].push_slice(t, &row[..n]);
-            }
-        }
-        live
-    }
-
-    /// Finish the run: the lowest failed lane's error (matching the
-    /// lowest-seed-order error the scalar ensemble path reports), or all
-    /// lanes' trajectories.
-    fn finish(mut self, stats: SolveStats) -> Result<Vec<Trajectory>, SolveError> {
-        for f in &mut self.failed {
-            if let Some(e) = f.take() {
-                return Err(e);
-            }
-        }
-        for tr in &mut self.trs {
-            tr.set_stats(stats);
-        }
-        Ok(self.trs)
-    }
+/// Shared wrapper: run `solver` with a [`Strided`] recorder, one lane.
+fn record<V: Solver, E: Elem, S: SystemOver<E> + ?Sized>(
+    solver: &V,
+    sys: &S,
+    t0: f64,
+    y0: &[E],
+    t1: f64,
+    stride: usize,
+    ws: &mut Workspace<E>,
+) -> Result<Vec<Trajectory>, SolveError> {
+    let mut rec = Strided::every(stride);
+    solver.solve(sys, t0, y0, t1, &mut rec, ws)?;
+    Ok(rec.into_trajectories())
 }
 
 /// Forward Euler with a fixed step. Mostly a baseline for convergence tests.
@@ -214,6 +82,20 @@ impl<const L: usize> LaneRun<L> {
 pub struct Euler {
     /// Step size.
     pub dt: f64,
+}
+
+impl Solver for Euler {
+    fn solve<E: Elem, S: SystemOver<E> + ?Sized, O: crate::Observer<E>>(
+        &self,
+        sys: &S,
+        t0: f64,
+        y0: &[E],
+        t1: f64,
+        obs: &mut O,
+        ws: &mut Workspace<E>,
+    ) -> Result<crate::SolveStats, SolveError> {
+        Fixed { dt: self.dt }.drive(&EulerStages, sys, t0, y0, t1, obs, ws)
+    }
 }
 
 impl Euler {
@@ -253,36 +135,9 @@ impl Euler {
         stride: usize,
         ws: &mut OdeWorkspace,
     ) -> Result<Trajectory, SolveError> {
-        validate_fixed(self.dt, t0, t1, y0.len(), sys.dim())?;
-        let stride = stride.max(1);
-        let n = y0.len();
-        ws.ensure(n);
-        let OdeWorkspace { y, k, .. } = ws;
-        let y = &mut y[..n];
-        y.copy_from_slice(y0);
-        let dydt = &mut k[0][..];
-        let steps = ((t1 - t0) / self.dt).ceil() as usize;
-        let mut tr = Trajectory::with_capacity(n, steps / stride + 2);
-        tr.push_slice(t0, y);
-        let dt = (t1 - t0) / steps as f64;
-        let mut t = t0;
-        for k in 0..steps {
-            sys.rhs(t, y, dydt);
-            for (yi, di) in y.iter_mut().zip(dydt.iter()) {
-                *yi += dt * di;
-            }
-            t = t0 + (k + 1) as f64 * dt;
-            check_finite(t, y)?;
-            if (k + 1) % stride == 0 || k + 1 == steps {
-                tr.push_slice(t, y);
-            }
-        }
-        tr.set_stats(SolveStats {
-            accepted: steps,
-            rejected: 0,
-            rhs_evals: steps,
-        });
-        Ok(tr)
+        Ok(record(self, sys, t0, y0, t1, stride, ws)?
+            .pop()
+            .expect("one lane"))
     }
 
     /// Lane-batched [`Euler::integrate_with`]: steps `L` independent
@@ -301,43 +156,14 @@ impl Euler {
     /// fails, so the reported lane and time match the scalar path).
     pub fn integrate_lanes_with<const L: usize>(
         &self,
-        sys: &impl crate::system::LanedOdeSystem<L>,
+        sys: &impl LanedOdeSystem<L>,
         t0: f64,
         y0: &[[f64; L]],
         t1: f64,
         stride: usize,
         ws: &mut LaneWorkspace<L>,
     ) -> Result<Vec<Trajectory>, SolveError> {
-        validate_fixed(self.dt, t0, t1, y0.len(), sys.dim())?;
-        let stride = stride.max(1);
-        let n = y0.len();
-        ws.ensure(n);
-        let LaneWorkspace { y, k, row, .. } = ws;
-        let y = &mut y[..n];
-        y.copy_from_slice(y0);
-        let dydt = &mut k[0][..];
-        let steps = ((t1 - t0) / self.dt).ceil() as usize;
-        let mut run = LaneRun::start(n, steps / stride + 2, t0, y, row);
-        let dt = (t1 - t0) / steps as f64;
-        let mut t = t0;
-        for step in 0..steps {
-            sys.rhs(t, y, dydt);
-            for (yi, di) in y.iter_mut().zip(dydt.iter()) {
-                for l in 0..L {
-                    yi[l] += dt * di[l];
-                }
-            }
-            t = t0 + (step + 1) as f64 * dt;
-            let record = (step + 1) % stride == 0 || step + 1 == steps;
-            if !run.check_and_record(t, y, row, record) {
-                break;
-            }
-        }
-        run.finish(SolveStats {
-            accepted: steps,
-            rejected: 0,
-            rhs_evals: steps,
-        })
+        record(self, sys, t0, y0, t1, stride, ws)
     }
 }
 
@@ -346,6 +172,20 @@ impl Euler {
 pub struct Rk4 {
     /// Step size.
     pub dt: f64,
+}
+
+impl Solver for Rk4 {
+    fn solve<E: Elem, S: SystemOver<E> + ?Sized, O: crate::Observer<E>>(
+        &self,
+        sys: &S,
+        t0: f64,
+        y0: &[E],
+        t1: f64,
+        obs: &mut O,
+        ws: &mut Workspace<E>,
+    ) -> Result<crate::SolveStats, SolveError> {
+        Fixed { dt: self.dt }.drive(&Rk4Stages, sys, t0, y0, t1, obs, ws)
+    }
 }
 
 impl Rk4 {
@@ -384,56 +224,9 @@ impl Rk4 {
         stride: usize,
         ws: &mut OdeWorkspace,
     ) -> Result<Trajectory, SolveError> {
-        validate_fixed(self.dt, t0, t1, y0.len(), sys.dim())?;
-        let stride = stride.max(1);
-        let n = y0.len();
-        ws.ensure(n);
-        let OdeWorkspace { y, tmp, k } = ws;
-        let y = &mut y[..n];
-        y.copy_from_slice(y0);
-        let (ka, rest) = k.split_at_mut(1);
-        let (kb, rest) = rest.split_at_mut(1);
-        let (kc, rest) = rest.split_at_mut(1);
-        let (k1, k2, k3, k4) = (
-            &mut ka[0][..],
-            &mut kb[0][..],
-            &mut kc[0][..],
-            &mut rest[0][..],
-        );
-        let steps = ((t1 - t0) / self.dt).ceil() as usize;
-        let mut tr = Trajectory::with_capacity(n, steps / stride + 2);
-        tr.push_slice(t0, y);
-        let dt = (t1 - t0) / steps as f64;
-        let mut t = t0;
-        for step in 0..steps {
-            sys.rhs(t, y, k1);
-            for i in 0..n {
-                tmp[i] = y[i] + 0.5 * dt * k1[i];
-            }
-            sys.rhs(t + 0.5 * dt, tmp, k2);
-            for i in 0..n {
-                tmp[i] = y[i] + 0.5 * dt * k2[i];
-            }
-            sys.rhs(t + 0.5 * dt, tmp, k3);
-            for i in 0..n {
-                tmp[i] = y[i] + dt * k3[i];
-            }
-            sys.rhs(t + dt, tmp, k4);
-            for i in 0..n {
-                y[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
-            }
-            t = t0 + (step + 1) as f64 * dt;
-            check_finite(t, y)?;
-            if (step + 1) % stride == 0 || step + 1 == steps {
-                tr.push_slice(t, y);
-            }
-        }
-        tr.set_stats(SolveStats {
-            accepted: steps,
-            rejected: 0,
-            rhs_evals: 4 * steps,
-        });
-        Ok(tr)
+        Ok(record(self, sys, t0, y0, t1, stride, ws)?
+            .pop()
+            .expect("one lane"))
     }
 
     /// Lane-batched [`Rk4::integrate_with`]: steps `L` independent
@@ -444,9 +237,10 @@ impl Rk4 {
     /// fixed-step lockstep means all lanes share the exact `t` grid (which
     /// also keeps the laned interpreter's time-prologue cache shared).
     ///
-    /// This is the workhorse of the `ark-sim` laned ensembles. The adaptive
-    /// [`DormandPrince`] deliberately has **no** laned form — see its type
-    /// docs for the lockstep-fixed-step-only policy.
+    /// This is the workhorse of the `ark-sim` laned ensembles. The
+    /// PI-adaptive [`DormandPrince`] deliberately has **no** laned form —
+    /// see its type docs; [`VotingDormandPrince`] is the opt-in laned
+    /// adaptive mode.
     ///
     /// `y0` is struct-of-arrays: `y0[i][l]` is state component `i` of lane
     /// `l`.
@@ -458,106 +252,34 @@ impl Rk4 {
     /// fails, so the reported lane and time match the scalar path).
     pub fn integrate_lanes_with<const L: usize>(
         &self,
-        sys: &impl crate::system::LanedOdeSystem<L>,
+        sys: &impl LanedOdeSystem<L>,
         t0: f64,
         y0: &[[f64; L]],
         t1: f64,
         stride: usize,
         ws: &mut LaneWorkspace<L>,
     ) -> Result<Vec<Trajectory>, SolveError> {
-        validate_fixed(self.dt, t0, t1, y0.len(), sys.dim())?;
-        let stride = stride.max(1);
-        let n = y0.len();
-        ws.ensure(n);
-        let LaneWorkspace { y, tmp, k, row } = ws;
-        let y = &mut y[..n];
-        y.copy_from_slice(y0);
-        let (ka, rest) = k.split_at_mut(1);
-        let (kb, rest) = rest.split_at_mut(1);
-        let (kc, rest) = rest.split_at_mut(1);
-        let (k1, k2, k3, k4) = (
-            &mut ka[0][..],
-            &mut kb[0][..],
-            &mut kc[0][..],
-            &mut rest[0][..],
-        );
-        let steps = ((t1 - t0) / self.dt).ceil() as usize;
-        let mut run = LaneRun::start(n, steps / stride + 2, t0, y, row);
-        let dt = (t1 - t0) / steps as f64;
-        let mut t = t0;
-        for step in 0..steps {
-            sys.rhs(t, y, k1);
-            for i in 0..n {
-                for l in 0..L {
-                    tmp[i][l] = y[i][l] + 0.5 * dt * k1[i][l];
-                }
-            }
-            sys.rhs(t + 0.5 * dt, tmp, k2);
-            for i in 0..n {
-                for l in 0..L {
-                    tmp[i][l] = y[i][l] + 0.5 * dt * k2[i][l];
-                }
-            }
-            sys.rhs(t + 0.5 * dt, tmp, k3);
-            for i in 0..n {
-                for l in 0..L {
-                    tmp[i][l] = y[i][l] + dt * k3[i][l];
-                }
-            }
-            sys.rhs(t + dt, tmp, k4);
-            for i in 0..n {
-                for l in 0..L {
-                    y[i][l] += dt / 6.0 * (k1[i][l] + 2.0 * k2[i][l] + 2.0 * k3[i][l] + k4[i][l]);
-                }
-            }
-            t = t0 + (step + 1) as f64 * dt;
-            let record = (step + 1) % stride == 0 || step + 1 == steps;
-            if !run.check_and_record(t, y, row, record) {
-                break;
-            }
-        }
-        run.finish(SolveStats {
-            accepted: steps,
-            rejected: 0,
-            rhs_evals: 4 * steps,
-        })
+        record(self, sys, t0, y0, t1, stride, ws)
     }
-}
-
-fn validate_fixed(dt: f64, t0: f64, t1: f64, y_len: usize, dim: usize) -> Result<(), SolveError> {
-    if dt.is_nan() || dt <= 0.0 {
-        return Err(SolveError::BadConfig(format!(
-            "step dt={dt} must be positive"
-        )));
-    }
-    if t0.is_nan() || t1.is_nan() || t1 <= t0 {
-        return Err(SolveError::BadConfig(format!(
-            "empty interval [{t0}, {t1}]"
-        )));
-    }
-    if y_len != dim {
-        return Err(SolveError::BadConfig(format!(
-            "initial state has {y_len} entries but the system dimension is {dim}"
-        )));
-    }
-    Ok(())
 }
 
 /// Adaptive Dormand–Prince 5(4) embedded Runge–Kutta pair.
 ///
-/// # No laned form (lockstep fixed-step-only policy)
+/// # No laned form by default (lockstep fixed-step-only policy)
 ///
-/// The lane-batched ensemble path ([`Rk4::integrate_lanes_with`] /
-/// [`Euler::integrate_lanes_with`]) deliberately does **not** extend to
-/// this solver. Lockstep lanes must share one step sequence, but the PI
+/// The default lane-batched ensemble path deliberately does **not** extend
+/// to this solver. Lockstep lanes must share one step sequence, but the PI
 /// controller derives each step from the error norm of *one* instance:
 /// any shared policy (min/vote across lanes) changes the accepted-step grid
 /// and therefore breaks the bit-identity guarantee against the scalar
 /// path, while per-lane step sequences are no longer lanes at all.
-/// Adaptive ensembles in `ark-sim` simply fall back to the scalar path per
-/// instance; a step-size *voting* mode with per-lane early-exit masks is
-/// recorded as a ROADMAP follow-on for workloads that can trade
-/// bit-identity for throughput.
+/// Adaptive ensembles in `ark-sim` fall back to the scalar path per
+/// instance ([`Solver::supports_lanes`] returns `false` here).
+///
+/// Workloads willing to trade bit-identity for throughput can opt into
+/// step-size **voting** — [`DormandPrince::voting`] /
+/// [`VotingDormandPrince`] — which lanes the adaptive solver with a shared
+/// min-over-lanes step and per-lane early-exit masks.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DormandPrince {
     /// Relative error tolerance.
@@ -584,6 +306,24 @@ impl Default for DormandPrince {
     }
 }
 
+impl Solver for DormandPrince {
+    fn solve<E: Elem, S: SystemOver<E> + ?Sized, O: crate::Observer<E>>(
+        &self,
+        sys: &S,
+        t0: f64,
+        y0: &[E],
+        t1: f64,
+        obs: &mut O,
+        ws: &mut Workspace<E>,
+    ) -> Result<crate::SolveStats, SolveError> {
+        self.control().drive(&Dp45Stages, sys, t0, y0, t1, obs, ws)
+    }
+
+    fn supports_lanes(&self) -> bool {
+        false
+    }
+}
+
 impl DormandPrince {
     /// Construct with tolerances and defaults for the step bounds.
     pub fn new(rtol: f64, atol: f64) -> Self {
@@ -594,6 +334,23 @@ impl DormandPrince {
         }
     }
 
+    /// This configuration as an [`Adaptive`] step-control policy.
+    pub fn control(&self) -> Adaptive {
+        Adaptive {
+            rtol: self.rtol,
+            atol: self.atol,
+            h0: self.h0,
+            h_min: self.h_min,
+            h_max: self.h_max,
+        }
+    }
+
+    /// The step-size-voting form of this solver: lane-batched adaptive
+    /// stepping (see [`VotingDormandPrince`]).
+    pub fn voting(self) -> VotingDormandPrince {
+        VotingDormandPrince(self)
+    }
+
     /// Integrate from `t0` to `t1`, recording every accepted step. Allocates
     /// work buffers internally; see [`DormandPrince::integrate_with`] for
     /// the reusable-buffer form.
@@ -602,7 +359,7 @@ impl DormandPrince {
     /// interpolate the result densely, bound `h_max` so linear interpolation
     /// between samples stays accurate.
     ///
-    /// The returned trajectory's [`SolveStats`] report
+    /// The returned trajectory's [`SolveStats`](crate::SolveStats) report
     /// accepted *and* rejected step counts — rejections are where the PI
     /// controller earned its keep.
     ///
@@ -636,152 +393,58 @@ impl DormandPrince {
         t1: f64,
         ws: &mut OdeWorkspace,
     ) -> Result<Trajectory, SolveError> {
-        if t0.is_nan() || t1.is_nan() || t1 <= t0 {
-            return Err(SolveError::BadConfig(format!(
-                "empty interval [{t0}, {t1}]"
-            )));
-        }
-        if y0.len() != sys.dim() {
-            return Err(SolveError::BadConfig(format!(
-                "initial state has {} entries but the system dimension is {}",
-                y0.len(),
-                sys.dim()
-            )));
-        }
-        if self.rtol.is_nan() || self.rtol <= 0.0 || self.atol.is_nan() || self.atol < 0.0 {
-            return Err(SolveError::BadConfig("tolerances must be positive".into()));
-        }
+        Ok(record(self, sys, t0, y0, t1, 1, ws)?
+            .pop()
+            .expect("one lane"))
+    }
+}
 
-        // Dormand–Prince coefficients.
-        const C: [f64; 7] = [0.0, 1.0 / 5.0, 3.0 / 10.0, 4.0 / 5.0, 8.0 / 9.0, 1.0, 1.0];
-        const A: [[f64; 6]; 7] = [
-            [0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
-            [1.0 / 5.0, 0.0, 0.0, 0.0, 0.0, 0.0],
-            [3.0 / 40.0, 9.0 / 40.0, 0.0, 0.0, 0.0, 0.0],
-            [44.0 / 45.0, -56.0 / 15.0, 32.0 / 9.0, 0.0, 0.0, 0.0],
-            [
-                19372.0 / 6561.0,
-                -25360.0 / 2187.0,
-                64448.0 / 6561.0,
-                -212.0 / 729.0,
-                0.0,
-                0.0,
-            ],
-            [
-                9017.0 / 3168.0,
-                -355.0 / 33.0,
-                46732.0 / 5247.0,
-                49.0 / 176.0,
-                -5103.0 / 18656.0,
-                0.0,
-            ],
-            [
-                35.0 / 384.0,
-                0.0,
-                500.0 / 1113.0,
-                125.0 / 192.0,
-                -2187.0 / 6784.0,
-                11.0 / 84.0,
-            ],
-        ];
-        // 5th-order solution weights (same as A[6]).
-        const B5: [f64; 7] = [
-            35.0 / 384.0,
-            0.0,
-            500.0 / 1113.0,
-            125.0 / 192.0,
-            -2187.0 / 6784.0,
-            11.0 / 84.0,
-            0.0,
-        ];
-        // 4th-order embedded weights.
-        const B4: [f64; 7] = [
-            5179.0 / 57600.0,
-            0.0,
-            7571.0 / 16695.0,
-            393.0 / 640.0,
-            -92097.0 / 339200.0,
-            187.0 / 2100.0,
-            1.0 / 40.0,
-        ];
+/// The lane-batched adaptive solver: [`DormandPrince`] stages under
+/// [`VotingAdaptive`] step control.
+///
+/// All lanes share one accepted-step grid chosen by the worst live lane's
+/// error norm (equivalently: each lane votes for a step, the minimum
+/// wins), and a lane whose state leaves ℝ is masked out of the vote and
+/// the recording while the others continue. Results depend only on the
+/// seeds **and the lane width** — never on the worker count — which is the
+/// documented trade: unlike every default path, different lane widths
+/// produce different (all individually valid) step grids. At width 1 this
+/// solver is bit-identical to [`DormandPrince`].
+///
+/// # Examples
+///
+/// ```
+/// use ark_ode::{DormandPrince, FnLanedSystem, LaneWorkspace, Solver, Strided};
+///
+/// // Four decays with different rates, one shared adaptive step sequence.
+/// let sys = FnLanedSystem::new(1, |_t, y: &[[f64; 4]], d: &mut [[f64; 4]]| {
+///     for l in 0..4 {
+///         d[0][l] = -(1.0 + l as f64) * y[0][l];
+///     }
+/// });
+/// let solver = DormandPrince::new(1e-9, 1e-12).voting();
+/// let mut rec = Strided::every(1);
+/// solver.solve(&sys, 0.0, &[[1.0; 4]], 1.0, &mut rec, &mut LaneWorkspace::new(1))?;
+/// for (l, tr) in rec.into_trajectories().iter().enumerate() {
+///     let expect = (-(1.0 + l as f64)).exp();
+///     assert!((tr.last().unwrap().1[0] - expect).abs() < 1e-7, "lane {l}");
+/// }
+/// # Ok::<(), ark_ode::SolveError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VotingDormandPrince(pub DormandPrince);
 
-        let n = y0.len();
-        ws.ensure(n);
-        let OdeWorkspace { y, tmp, k } = ws;
-        let y = &mut y[..n];
-        y.copy_from_slice(y0);
-        let ytmp = &mut tmp[..n];
-        let mut t = t0;
-        let mut h = self.h0.unwrap_or((t1 - t0) / 100.0).min(self.h_max);
-        let mut tr = Trajectory::with_capacity(n, 128);
-        tr.push_slice(t0, y);
-        let mut stats = SolveStats::default();
-
-        // FSAL: k[0] of the next step reuses k[6] of the accepted step.
-        sys.rhs(t, y, &mut k[0]);
-        stats.rhs_evals += 1;
-        let mut err_prev: f64 = 1.0;
-
-        while t < t1 {
-            if h < self.h_min {
-                return Err(SolveError::StepSizeUnderflow { t });
-            }
-            if t + h > t1 {
-                h = t1 - t;
-            }
-            for s in 1..7 {
-                for i in 0..n {
-                    let mut acc = 0.0;
-                    for (j, kj) in k.iter().enumerate().take(s) {
-                        let a = A[s][j];
-                        if a != 0.0 {
-                            acc += a * kj[i];
-                        }
-                    }
-                    ytmp[i] = y[i] + h * acc;
-                }
-                let (head, tail) = k.split_at_mut(s);
-                let _ = head;
-                sys.rhs(t + C[s] * h, ytmp, &mut tail[0]);
-                stats.rhs_evals += 1;
-            }
-            // 5th-order candidate and embedded error estimate.
-            let mut err: f64 = 0.0;
-            for i in 0..n {
-                let mut y5 = y[i];
-                let mut e = 0.0;
-                for s in 0..7 {
-                    y5 += h * B5[s] * k[s][i];
-                    e += h * (B5[s] - B4[s]) * k[s][i];
-                }
-                ytmp[i] = y5;
-                let scale = self.atol + self.rtol * y[i].abs().max(y5.abs());
-                let r = e / scale;
-                err += r * r;
-            }
-            err = (err / n as f64).sqrt();
-
-            if err <= 1.0 || h <= self.h_min * 2.0 {
-                // Accept.
-                t += h;
-                y.copy_from_slice(ytmp);
-                check_finite(t, y)?;
-                tr.push_slice(t, y);
-                stats.accepted += 1;
-                // FSAL: last stage evaluated at (t+h, y_new).
-                k.swap(0, 6);
-                // PI step controller.
-                let e = err.max(1e-10);
-                let fac = 0.9 * e.powf(-0.7 / 5.0) * err_prev.powf(0.4 / 5.0);
-                h = (h * fac.clamp(0.2, 5.0)).min(self.h_max);
-                err_prev = e;
-            } else {
-                stats.rejected += 1;
-                h *= (0.9 * err.powf(-0.2)).clamp(0.1, 1.0);
-            }
-        }
-        tr.set_stats(stats);
-        Ok(tr)
+impl Solver for VotingDormandPrince {
+    fn solve<E: Elem, S: SystemOver<E> + ?Sized, O: crate::Observer<E>>(
+        &self,
+        sys: &S,
+        t0: f64,
+        y0: &[E],
+        t1: f64,
+        obs: &mut O,
+        ws: &mut Workspace<E>,
+    ) -> Result<crate::SolveStats, SolveError> {
+        VotingAdaptive(self.0.control()).drive(&Dp45Stages, sys, t0, y0, t1, obs, ws)
     }
 }
 
@@ -789,6 +452,7 @@ impl DormandPrince {
 mod tests {
     use super::*;
     use crate::system::FnSystem;
+    use crate::LaneWorkspace;
 
     fn decay() -> FnSystem<impl Fn(f64, &[f64], &mut [f64])> {
         FnSystem::new(1, |_t, y: &[f64], d: &mut [f64]| d[0] = -y[0])
@@ -1135,6 +799,105 @@ mod tests {
         // Endpoint recorded in both.
         assert_eq!(dense.last().unwrap().0, sparse.last().unwrap().0);
     }
+
+    #[test]
+    fn voting_width_one_is_bit_identical_to_scalar_dp() {
+        // At WIDTH == 1 the vote degenerates to the PI controller exactly.
+        let sys = FnSystem::new(1, |t: f64, y: &[f64], d: &mut [f64]| {
+            d[0] = -3.0 * y[0] + (5.0 * t).sin()
+        });
+        let dp = DormandPrince::new(1e-8, 1e-11);
+        let scalar = dp.integrate(&sys, 0.0, &[1.0], 2.0).unwrap();
+        let mut rec = Strided::every(1);
+        dp.voting()
+            .solve(&sys, 0.0, &[1.0], 2.0, &mut rec, &mut OdeWorkspace::new(1))
+            .unwrap();
+        assert_eq!(scalar, rec.into_trajectory());
+    }
+
+    #[test]
+    fn voting_masks_a_poisoned_lane_but_keeps_stepping() {
+        // Lane 1's derivative turns NaN past t = 0.5; lane 0 is a benign
+        // decay. The poisoned lane is masked out of the vote (early exit)
+        // so lane 0 keeps stepping all the way to t1, and the group then
+        // reports lane 1's failure — the fixed-step laned error semantics.
+        const L: usize = 2;
+        let sys = crate::system::FnLanedSystem::new(1, |t, y: &[[f64; L]], d: &mut [[f64; L]]| {
+            d[0][0] = -y[0][0];
+            d[0][1] = if t > 0.5 { f64::NAN } else { -y[0][1] };
+        });
+        let solver = DormandPrince::new(1e-8, 1e-11).voting();
+        let mut t_seen = 0.0f64;
+        let mut probe = crate::Probe::new(|t: f64, _y: &[[f64; L]], _info, _alive: &[bool]| {
+            t_seen = t;
+            true
+        });
+        let err = solver
+            .solve(
+                &sys,
+                0.0,
+                &[[1.0, 1.0]],
+                2.0,
+                &mut probe,
+                &mut LaneWorkspace::new(1),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SolveError::NonFinite { .. }), "{err}");
+        // The surviving lane carried the run to the end of the interval.
+        assert!(t_seen >= 2.0, "run stopped early at t={t_seen}");
+    }
+
+    #[test]
+    fn voting_underflows_like_scalar_on_a_finite_blowup() {
+        // dy/dt = y² keeps its error estimate finite while diverging, so
+        // the vote shrinks the shared step into underflow — the same
+        // failure mode the scalar controller hits.
+        const L: usize = 2;
+        let sys = crate::system::FnLanedSystem::new(1, |_t, y: &[[f64; L]], d: &mut [[f64; L]]| {
+            d[0][0] = -y[0][0];
+            d[0][1] = y[0][1] * y[0][1];
+        });
+        let solver = DormandPrince::new(1e-8, 1e-11).voting();
+        let mut rec = Strided::every(1);
+        let err = solver
+            .solve(
+                &sys,
+                0.0,
+                &[[1.0, 1.0]],
+                2.0,
+                &mut rec,
+                &mut LaneWorkspace::new(1),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SolveError::StepSizeUnderflow { .. } | SolveError::NonFinite { .. }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn plain_adaptive_rejects_lanes() {
+        const L: usize = 2;
+        let sys = laned_decay([1.0, 2.0]);
+        let mut rec = Strided::every(1);
+        let err = DormandPrince::default()
+            .solve(
+                &sys,
+                0.0,
+                &[[1.0; L]],
+                1.0,
+                &mut rec,
+                &mut LaneWorkspace::new(1),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SolveError::BadConfig(_)), "{err}");
+        assert!(!DormandPrince::default().supports_lanes());
+        assert!(DormandPrince::default().voting().supports_lanes());
+        assert!(Rk4 { dt: 1.0 }.supports_lanes());
+    }
 }
 
 #[cfg(test)]
@@ -1252,6 +1015,32 @@ mod proptests {
             let legacy = dp.integrate(&sys, 0.0, &y0, 1.0);
             let inplace = dp.integrate_with(&sys, 0.0, &y0, 1.0, &mut ws);
             prop_assert_eq!(legacy, inplace);
+        }
+
+        /// Step-size voting at width 4: every lane's result meets the
+        /// tolerance (the vote can only *tighten* any individual lane's
+        /// grid), and the run is reproducible.
+        #[test]
+        fn voting_lanes_meet_tolerance(rates in proptest::collection::vec(0.2..4.0f64, 4)) {
+            const L: usize = 4;
+            let rs: [f64; L] = [rates[0], rates[1], rates[2], rates[3]];
+            let sys = crate::system::FnLanedSystem::new(1, move |_t, y: &[[f64; L]], d: &mut [[f64; L]]| {
+                for l in 0..L {
+                    d[0][l] = -rs[l] * y[0][l];
+                }
+            });
+            let solver = DormandPrince::new(1e-9, 1e-12).voting();
+            let mut rec = Strided::every(1);
+            solver.solve(&sys, 0.0, &[[1.0; L]], 1.0, &mut rec, &mut LaneWorkspace::new(1)).unwrap();
+            let trs = rec.into_trajectories();
+            let mut rec2 = Strided::every(1);
+            solver.solve(&sys, 0.0, &[[1.0; L]], 1.0, &mut rec2, &mut LaneWorkspace::new(1)).unwrap();
+            prop_assert_eq!(&trs, &rec2.into_trajectories());
+            for l in 0..L {
+                let expect = (-rs[l]).exp();
+                let got = trs[l].last().unwrap().1[0];
+                prop_assert!((got - expect).abs() < 1e-7, "lane {} got {} want {}", l, got, expect);
+            }
         }
     }
 }

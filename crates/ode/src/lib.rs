@@ -4,18 +4,28 @@
 //! a system of differential equations; this crate integrates those systems.
 //! It provides:
 //!
+//! * [`Solver`] — the unified solver trait: one `solve` entry point over
+//!   scalar (`f64`) and lane-batched (`[f64; L]`) integration, assembled
+//!   from a [`Stepper`] (Butcher-stage arithmetic written once over both
+//!   widths) and a [`StepControl`] policy ([`Fixed`], [`Adaptive`] PI
+//!   control, lane-voting [`VotingAdaptive`]) — see [`solver`];
+//! * [`Observer`] — streaming readout of a run: [`Strided`] /
+//!   [`DenseRecorder`] trajectory recording (bit-identical to the
+//!   pre-redesign paths), allocation-free [`FinalState`], and in-loop
+//!   [`Probe`]s — see [`observe`];
 //! * [`OdeSystem`] — the system interface ([`FnSystem`] and [`LinearSystem`]
 //!   adapters included);
-//! * [`Rk4`], [`Euler`] — fixed-step explicit integrators;
+//! * [`Rk4`], [`Euler`] — fixed-step explicit solver configurations;
 //! * [`DormandPrince`] — adaptive 5(4) embedded pair with PI step control
 //!   and rejected-step accounting ([`SolveStats`]);
+//!   [`VotingDormandPrince`] — its opt-in lane-batched voting form;
 //! * [`OdeWorkspace`] — reusable integration buffers: every solver offers an
 //!   `integrate_with` variant whose hot loop performs zero per-step
 //!   allocations, the form the `ark-sim` ensemble engine runs per worker;
 //! * [`LanedOdeSystem`] / [`LaneWorkspace`] — the lane-batched
 //!   (struct-of-arrays) siblings: [`Rk4::integrate_lanes_with`] and
 //!   [`Euler::integrate_lanes_with`] step `L` ensemble instances in
-//!   lockstep, bit-identical per lane to the scalar path (the adaptive
+//!   lockstep, bit-identical per lane to the scalar path (the PI-adaptive
 //!   solver deliberately has no laned form — see [`DormandPrince`]);
 //! * [`Trajectory`] — recorded solutions (flat sample storage) with
 //!   interpolation, windows, and resampling (observation windows for PUF
@@ -41,6 +51,8 @@
 
 pub mod analysis;
 pub mod integrate;
+pub mod observe;
+pub mod solver;
 pub mod system;
 pub mod trajectory;
 
@@ -48,6 +60,12 @@ pub use analysis::{
     convergence_time, convergence_time_all, ensemble_stats, is_steady, phase_distance, wrap_phase,
     EnsembleStats,
 };
-pub use integrate::{DormandPrince, Euler, LaneWorkspace, OdeWorkspace, Rk4, SolveError};
-pub use system::{FnLanedSystem, FnSystem, LanedOdeSystem, LinearSystem, OdeSystem};
+pub use integrate::{DormandPrince, Euler, Rk4, SolveError, VotingDormandPrince};
+pub use observe::{DenseRecorder, FinalState, Observer, Probe, StepInfo, Strided};
+pub use solver::{
+    Adaptive, Dp45Stages, Elem, EmbeddedStepper, EulerStages, Fixed, LaneWorkspace, Method,
+    OdeWorkspace, Rk4Stages, Session, Solver, StepControl, Stepper, SystemOver, VotingAdaptive,
+    Workspace,
+};
+pub use system::{FnLanedSystem, FnSystem, LanedOdeSystem, LinearSystem, OdeSystem, StageHint};
 pub use trajectory::{relative_rmse, SolveStats, Trajectory};

@@ -1,6 +1,22 @@
 //! The [`OdeSystem`] trait: what the Ark dynamical-system compiler produces
 //! and what the integrators consume.
 
+/// A scheduling hint issued by a stepper to the system it integrates.
+///
+/// Hints are pure optimizations: a system may ignore them entirely (the
+/// default), and honoring one must never change any computed value. They
+/// exist because the fused interpreter in `ark-core` caches time-dependent
+/// prologue values keyed by the bit pattern of `t`; a solver that *knows*
+/// the next stage reuses the current `t` (RK4 stages 2/3, Dormand–Prince
+/// stages 6/7) can say so and let the system skip even the cache
+/// revalidation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageHint {
+    /// The next `rhs` call will be evaluated at exactly the same `t` (same
+    /// bit pattern) as the previous `rhs` call on this system.
+    SameTimeNext,
+}
+
 /// A first-order system of ordinary differential equations
 /// `dy/dt = f(t, y)` with `y ∈ R^dim`.
 ///
@@ -15,6 +31,13 @@ pub trait OdeSystem {
     ///
     /// Implementations must write every element of `dydt`.
     fn rhs(&self, t: f64, y: &[f64], dydt: &mut [f64]);
+
+    /// Receive a scheduling hint from the stepper (see [`StageHint`]).
+    /// Default: ignored. Implementations that honor hints must stay
+    /// bit-identical to ignoring them.
+    fn stage_hint(&self, hint: StageHint) {
+        let _ = hint;
+    }
 }
 
 /// A lane-batched first-order ODE system: `L` independent instances of one
@@ -35,6 +58,12 @@ pub trait LanedOdeSystem<const L: usize> {
     ///
     /// Implementations must write every element of `dydt`.
     fn rhs(&self, t: f64, y: &[[f64; L]], dydt: &mut [[f64; L]]);
+
+    /// Receive a scheduling hint from the stepper (see [`StageHint`]).
+    /// Default: ignored.
+    fn stage_hint(&self, hint: StageHint) {
+        let _ = hint;
+    }
 }
 
 impl<const L: usize, S: LanedOdeSystem<L> + ?Sized> LanedOdeSystem<L> for &S {
@@ -44,6 +73,10 @@ impl<const L: usize, S: LanedOdeSystem<L> + ?Sized> LanedOdeSystem<L> for &S {
 
     fn rhs(&self, t: f64, y: &[[f64; L]], dydt: &mut [[f64; L]]) {
         (**self).rhs(t, y, dydt)
+    }
+
+    fn stage_hint(&self, hint: StageHint) {
+        (**self).stage_hint(hint)
     }
 }
 
@@ -113,6 +146,10 @@ impl<S: OdeSystem + ?Sized> OdeSystem for &S {
 
     fn rhs(&self, t: f64, y: &[f64], dydt: &mut [f64]) {
         (**self).rhs(t, y, dydt)
+    }
+
+    fn stage_hint(&self, hint: StageHint) {
+        (**self).stage_hint(hint)
     }
 }
 

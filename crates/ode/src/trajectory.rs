@@ -140,27 +140,45 @@ impl Trajectory {
     ///
     /// Panics on an empty trajectory.
     pub fn at(&self, t: f64) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim];
+        self.at_into(t, &mut out);
+        out
+    }
+
+    /// [`Trajectory::at`] into a caller-provided buffer — the
+    /// allocation-free form used by hot readout loops (e.g. the laned CNN
+    /// convergence scan, which probes hundreds of points per lane group).
+    /// Produces bit-identical values to [`Trajectory::at`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty trajectory or an undersized buffer.
+    pub fn at_into(&self, t: f64, out: &mut [f64]) {
         assert!(!self.is_empty(), "cannot sample an empty trajectory");
+        let out = &mut out[..self.dim];
         if t <= self.times[0] {
-            return self.state(0).to_vec();
+            out.copy_from_slice(self.state(0));
+            return;
         }
         if t >= *self.times.last().expect("nonempty") {
-            return self.state(self.len() - 1).to_vec();
+            out.copy_from_slice(self.state(self.len() - 1));
+            return;
         }
         let idx = match self
             .times
             .binary_search_by(|x| x.partial_cmp(&t).expect("finite"))
         {
-            Ok(i) => return self.state(i).to_vec(),
+            Ok(i) => {
+                out.copy_from_slice(self.state(i));
+                return;
+            }
             Err(i) => i,
         };
         let (t0, t1) = (self.times[idx - 1], self.times[idx]);
         let w = (t - t0) / (t1 - t0);
-        self.state(idx - 1)
-            .iter()
-            .zip(self.state(idx))
-            .map(|(a, b)| a + w * (b - a))
-            .collect()
+        for ((o, a), b) in out.iter_mut().zip(self.state(idx - 1)).zip(self.state(idx)) {
+            *o = a + w * (b - a);
+        }
     }
 
     /// Linearly interpolated value of component `var` at time `t`.

@@ -27,9 +27,10 @@ use ark_core::lang::{
 };
 use ark_core::types::SigType;
 use ark_core::validate::ExternRegistry;
-use ark_core::{CompiledSystem, EvalScratch, FuncError, Graph, LangError};
+use ark_core::{CompiledSystem, EvalScratch, FuncError, Graph, LaneScratch, LangError};
 use ark_expr::parse_expr;
-use ark_ode::OdeWorkspace;
+use ark_ode::{OdeWorkspace, Trajectory};
+use ark_sim::LaneReadout;
 
 /// A 3×3 CNN template: feedback matrix `A`, control matrix `B`, bias `z`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -628,17 +629,15 @@ fn read_cnn_run(
     let final_output = read_output_dims(sys, width, height, t_end, &tr.at(t_end), params, scratch);
     // Analog convergence: first probe time from which every cell's output
     // stays within EPS of its final value.
-    const EPS: f64 = 0.02;
     let mut convergence_time = None;
-    let probes = 400;
-    for k in (0..=probes).rev() {
-        let t = t_end * k as f64 / probes as f64;
+    for k in (0..=CONV_PROBES).rev() {
+        let t = t_end * k as f64 / CONV_PROBES as f64;
         let img = read_output_dims(sys, width, height, t, &tr.at(t), params, scratch);
         let worst = img
             .iter()
             .map(|(r, c, v)| (v - final_output.get(r, c)).abs())
             .fold(0.0f64, f64::max);
-        if worst > EPS {
+        if worst > CONV_EPS {
             break;
         }
         convergence_time = Some(t);
@@ -648,6 +647,180 @@ fn read_cnn_run(
         final_output,
         convergence_time,
     })
+}
+
+/// Convergence tolerance of the analog probe (shared by the scalar and
+/// laned readout paths so they agree bit for bit).
+const CONV_EPS: f64 = 0.02;
+/// Probe-grid resolution of the convergence scan.
+const CONV_PROBES: usize = 400;
+
+/// The group-aware CNN readout: snapshots, final image, and the analog
+/// convergence probe, with full lane groups evaluated through the **laned
+/// observation interpreter** — one interpreted instruction of the fused
+/// `Out`-node program serves all `L` lanes, which lifts the per-instance
+/// readout tail that kept the laned CNN ensemble well under the laned
+/// integration speedup.
+///
+/// Per-lane results are bit-identical to the scalar [`read_cnn_run`] path:
+/// trajectory interpolation uses the same arithmetic on the same shared
+/// time grid (lockstep fixed-step lanes), and the laned interpreter runs
+/// the identical operation sequence per lane.
+struct CnnReadout<'a> {
+    sys: &'a CompiledSystem,
+    width: usize,
+    height: usize,
+    t_end: f64,
+    snap_times: &'a [f64],
+    /// Algebraic slot of each `Out` cell, row-major — looked up once per
+    /// ensemble instead of once per cell per probe.
+    out_idx: Vec<usize>,
+}
+
+impl<'a> CnnReadout<'a> {
+    fn new(
+        sys: &'a CompiledSystem,
+        width: usize,
+        height: usize,
+        t_end: f64,
+        snap_times: &'a [f64],
+    ) -> Self {
+        let out_idx = (0..height * width)
+            .map(|i| {
+                sys.algebraic_index(&out_name(i / width, i % width))
+                    .expect("Out node is algebraic")
+            })
+            .collect();
+        CnnReadout {
+            sys,
+            width,
+            height,
+            t_end,
+            snap_times,
+            out_idx,
+        }
+    }
+}
+
+/// Reused struct-of-arrays buffers of one laned readout pass.
+struct LaneReadBufs<const L: usize> {
+    /// Interpolated state, `y[i][l]`.
+    y: Vec<[f64; L]>,
+    /// Laned observation outputs, `algs[slot][l]`.
+    algs: Vec<[f64; L]>,
+    /// One lane's interpolated state (AoS staging).
+    row: Vec<f64>,
+}
+
+impl<'a> CnnReadout<'a> {
+    /// Evaluate the output image of every lane at time `t`.
+    fn images_at<const L: usize>(
+        &self,
+        t: f64,
+        trs: &[Trajectory],
+        params: &[&[f64]],
+        lscratch: &mut LaneScratch<L>,
+        bufs: &mut LaneReadBufs<L>,
+    ) -> Vec<Image> {
+        for (l, tr) in trs.iter().enumerate() {
+            tr.at_into(t, &mut bufs.row);
+            for (yi, &v) in bufs.y.iter_mut().zip(&bufs.row) {
+                yi[l] = v;
+            }
+        }
+        self.sys
+            .eval_algebraics_lanes(t, &bufs.y, params, lscratch, &mut bufs.algs);
+        (0..L)
+            .map(|l| {
+                Image::from_fn(self.width, self.height, |r, c| {
+                    bufs.algs[self.out_idx[r * self.width + c]][l]
+                })
+            })
+            .collect()
+    }
+}
+
+impl LaneReadout<CnnRun, crate::DynError> for CnnReadout<'_> {
+    fn finish(
+        &self,
+        _seed: u64,
+        params: &[f64],
+        tr: Trajectory,
+        scratch: &mut EvalScratch,
+    ) -> Result<CnnRun, crate::DynError> {
+        read_cnn_run(
+            self.sys,
+            self.width,
+            self.height,
+            params,
+            self.t_end,
+            self.snap_times,
+            &tr,
+            scratch,
+        )
+    }
+
+    fn finish_group<const L: usize>(
+        &self,
+        _seeds: &[u64],
+        params: &[&[f64]],
+        trs: Vec<Trajectory>,
+        lscratch: &mut LaneScratch<L>,
+        _scratch: &mut EvalScratch,
+        out: &mut Vec<CnnRun>,
+    ) -> Result<(), crate::DynError> {
+        let n = self.sys.num_states();
+        let mut bufs = LaneReadBufs {
+            y: vec![[0.0; L]; n],
+            algs: vec![[0.0; L]; self.sys.num_algebraics()],
+            row: vec![0.0; n],
+        };
+        // Snapshots and final image, all lanes per probe.
+        let mut snapshots: Vec<Vec<(f64, Image)>> = (0..L).map(|_| Vec::new()).collect();
+        for &t in self.snap_times {
+            let imgs = self.images_at(t, &trs, params, lscratch, &mut bufs);
+            for (l, img) in imgs.into_iter().enumerate() {
+                snapshots[l].push((t, img));
+            }
+        }
+        let finals = self.images_at(self.t_end, &trs, params, lscratch, &mut bufs);
+        // Convergence scan: walk the probe grid backwards once, all lanes
+        // riding the same laned evaluation; a lane whose output leaves the
+        // CONV_EPS envelope stops updating — exactly the scalar per-lane
+        // break.
+        let mut active = [true; L];
+        let mut convergence: Vec<Option<f64>> = vec![None; L];
+        for k in (0..=CONV_PROBES).rev() {
+            if !active.iter().any(|&a| a) {
+                break;
+            }
+            let t = self.t_end * k as f64 / CONV_PROBES as f64;
+            let imgs = self.images_at(t, &trs, params, lscratch, &mut bufs);
+            for (l, img) in imgs.into_iter().enumerate() {
+                if !active[l] {
+                    continue;
+                }
+                let worst = img
+                    .iter()
+                    .map(|(r, c, v)| (v - finals[l].get(r, c)).abs())
+                    .fold(0.0f64, f64::max);
+                if worst > CONV_EPS {
+                    active[l] = false;
+                } else {
+                    convergence[l] = Some(t);
+                }
+            }
+        }
+        for (l, (final_output, convergence_time)) in finals.into_iter().zip(convergence).enumerate()
+        {
+            out.push(CnnRun {
+                snapshots: std::mem::take(&mut snapshots[l]),
+                final_output,
+                convergence_time,
+            });
+        }
+        Ok(())
+    }
 }
 
 /// The Figure 11 / §7.1 Monte Carlo entry point on the `ark-sim` engine,
@@ -678,13 +851,49 @@ pub fn run_cnn_ensemble(
 ) -> Result<Vec<CnnRun>, crate::DynError> {
     let pcnn = build_cnn_parametric(lang, input, template, nonideality)?;
     let sys = CompiledSystem::compile_parametric(lang, &pcnn.pgraph)?;
-    let (width, height) = (pcnn.width, pcnn.height);
     // Integration runs lane-batched (groups of `ens.lanes()` instances per
-    // interpreted instruction); the snapshot/convergence readout runs
-    // scalar per lane on the recorded trajectory.
+    // interpreted instruction), and so does the readout: full lane groups
+    // evaluate the snapshot/convergence observation program through the
+    // laned interpreter (see `CnnReadout`), bit-identical per lane to the
+    // scalar path.
+    let readout = CnnReadout::new(&sys, pcnn.width, pcnn.height, t_end, snap_times);
+    ens.map_readout(
+        &sys,
+        &ark_ode::Rk4 { dt: CNN_SOLVER_DT },
+        seeds,
+        |seed| sys.sample_params(seed),
+        0.0,
+        t_end,
+        CNN_SOLVER_STRIDE,
+        &readout,
+    )
+}
+
+/// [`run_cnn_ensemble`] with the readout forced to run scalar, once per
+/// instance — the pre-laned-readout pipeline. Results are bit-identical to
+/// [`run_cnn_ensemble`]; this entry point exists so the laned readout has
+/// an in-tree A/B baseline (the `rhs` bench records both).
+///
+/// # Errors
+///
+/// As [`run_cnn_ensemble`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_cnn_ensemble_scalar_readout(
+    lang: &Language,
+    input: &Image,
+    template: &Template,
+    nonideality: NonIdeality,
+    t_end: f64,
+    snap_times: &[f64],
+    seeds: &[u64],
+    ens: &ark_sim::Ensemble,
+) -> Result<Vec<CnnRun>, crate::DynError> {
+    let pcnn = build_cnn_parametric(lang, input, template, nonideality)?;
+    let sys = CompiledSystem::compile_parametric(lang, &pcnn.pgraph)?;
+    let (width, height) = (pcnn.width, pcnn.height);
     ens.map_integrated(
         &sys,
-        &ark_sim::Solver::Rk4 { dt: CNN_SOLVER_DT },
+        &ark_ode::Rk4 { dt: CNN_SOLVER_DT },
         seeds,
         |seed| sys.sample_params(seed),
         0.0,
@@ -883,6 +1092,63 @@ mod tests {
             }
             assert_eq!(serial.convergence_time, run.convergence_time);
             assert_eq!(serial.snapshots.len(), run.snapshots.len());
+        }
+    }
+
+    /// The laned group readout is bit-identical to the scalar per-instance
+    /// readout it replaced, across lane widths and tail sizes.
+    #[test]
+    fn laned_readout_matches_scalar_readout_bit_for_bit() {
+        let base = cnn_language();
+        let hw = hw_cnn_language(&base);
+        let input = Image::from_ascii(&["....", ".##.", ".##.", "...."]);
+        for n in [3usize, 4, 7] {
+            let seeds: Vec<u64> = (0..n as u64).collect();
+            for lanes in [1usize, 4, 8] {
+                let ens = ark_sim::Ensemble::new(2).with_lanes(lanes);
+                let laned = run_cnn_ensemble(
+                    &hw,
+                    &input,
+                    &EDGE_TEMPLATE,
+                    NonIdeality::GMismatch,
+                    1.0,
+                    &[0.25, 0.75],
+                    &seeds,
+                    &ens,
+                )
+                .unwrap();
+                let scalar = run_cnn_ensemble_scalar_readout(
+                    &hw,
+                    &input,
+                    &EDGE_TEMPLATE,
+                    NonIdeality::GMismatch,
+                    1.0,
+                    &[0.25, 0.75],
+                    &seeds,
+                    &ens,
+                )
+                .unwrap();
+                for (k, (a, b)) in laned.iter().zip(&scalar).enumerate() {
+                    assert_eq!(
+                        a.convergence_time, b.convergence_time,
+                        "n={n} lanes={lanes} seed {k}"
+                    );
+                    for (r, c, v) in a.final_output.iter() {
+                        assert_eq!(
+                            v.to_bits(),
+                            b.final_output.get(r, c).to_bits(),
+                            "n={n} lanes={lanes} seed {k} cell ({r},{c})"
+                        );
+                    }
+                    assert_eq!(a.snapshots.len(), b.snapshots.len());
+                    for ((ta, ia), (tb, ib)) in a.snapshots.iter().zip(&b.snapshots) {
+                        assert_eq!(ta, tb);
+                        for (r, c, v) in ia.iter() {
+                            assert_eq!(v.to_bits(), ib.get(r, c).to_bits());
+                        }
+                    }
+                }
+            }
         }
     }
 

@@ -122,14 +122,19 @@ pub fn build_maxcut_network(
     b.finish()
 }
 
-/// Build the *parametric solver template* for `n`-vertex max-cut instances:
-/// the complete graph `K_n` with every candidate coupling weight `k` and
-/// every initial phase left as an explicit parameter slot (plus the
+/// Build the dense *parametric solver template* for `n`-vertex max-cut
+/// instances: the complete graph `K_n` with every candidate coupling weight
+/// `k` and every initial phase left as an explicit parameter slot (plus the
 /// mismatch slots of `Cpl_ofs` offsets, when the offset coupling is
-/// selected). Compile it **once** with
-/// [`CompiledSystem::compile_parametric`]; any `n`-vertex problem instance
-/// is then just a parameter vector — `k = -1` on its edges, `k = 0` on the
-/// rest — so a whole Table 1 Monte Carlo performs exactly one compile.
+/// selected). One compile serves any `n`-vertex instance as a parameter
+/// vector — `k = -1` on its edges, `k = 0` on the rest.
+///
+/// The Monte Carlo entry points no longer use this: absent edges still cost
+/// instructions at `k = 0`, which made the dense template *slower* per step
+/// than a rebuilt sparse instance (the `obc_table1` 0.74× gap in
+/// `BENCH_rhs.json`). [`build_maxcut_sparse_template`] + per-topology-class
+/// memoization replaced it; the dense form remains for workloads that
+/// genuinely sweep over *all* topologies with one compile.
 ///
 /// # Errors
 ///
@@ -149,7 +154,7 @@ pub fn build_maxcut_template(
     }
     for u in 0..n {
         for v in (u + 1)..n {
-            let ename = cand_edge_name(u, v);
+            let ename = format!("cpl_{u}_{v}");
             b.edge(
                 &ename,
                 coupling.edge_ty(),
@@ -162,32 +167,55 @@ pub fn build_maxcut_template(
     b.finish_parametric()
 }
 
-fn cand_edge_name(u: usize, v: usize) -> String {
-    format!("cpl_{u}_{v}")
+/// Build the *sparse* parametric solver template for one **topology
+/// class** — a fixed edge set over `n` oscillators. Only the class's edges
+/// exist (couplings baked in at `k = -1`, so they constant-fold like a
+/// seeded build); the per-instance parameters are the `n` initial phases
+/// plus the `Cpl_ofs` offset mismatch slots. Statement order matches
+/// [`build_maxcut_network`] exactly, so
+/// [`CompiledSystem::sample_params`]`(seed)` replays the same offset draws
+/// and the compiled system reproduces the rebuild-per-seed solver **bit
+/// for bit** — absent edges cost nothing.
+///
+/// # Errors
+///
+/// Propagates construction errors (e.g. `Cpl_ofs` without the ofs-obc
+/// language).
+pub fn build_maxcut_sparse_template(
+    lang: &Language,
+    n: usize,
+    edges: &[(usize, usize)],
+    coupling: CouplingKind,
+) -> Result<ParametricGraph, FuncError> {
+    let mut b = GraphBuilder::new_parametric(lang);
+    for i in 0..n {
+        let name = format!("osc{i}");
+        b.node(&name, "Osc")?;
+        b.set_init_param(&name, 0, 0.0)?;
+        b.edge(&format!("shil{i}"), "Cpl", &name, &name)?;
+    }
+    for (idx, (u, v)) in edges.iter().enumerate() {
+        let ename = format!("cpl{idx}");
+        b.edge(
+            &ename,
+            coupling.edge_ty(),
+            &format!("osc{u}"),
+            &format!("osc{v}"),
+        )?;
+        b.set_attr(&ename, "k", -1.0)?;
+    }
+    b.finish_parametric()
 }
 
-/// One instance's parameter vector on the `K_n` template: the seed's
-/// mismatch draws with the explicit slots overwritten — seeded random
-/// initial phases (identical draws to `build_maxcut_network`: same rng,
-/// same oscillator order) and the problem's edge weights.
-fn template_params(
-    sys: &CompiledSystem,
-    init_slots: &[usize],
-    cand_slots: &[(usize, usize, usize)],
-    problem: &MaxCutProblem,
-    seed: u64,
-) -> Vec<f64> {
+/// One instance's parameter vector on a sparse class template: the seed's
+/// mismatch (offset) draws with the initial-phase slots overwritten by the
+/// same seeded rng stream [`build_maxcut_network`] uses — identical draws,
+/// identical instance.
+fn sparse_template_params(sys: &CompiledSystem, init_slots: &[usize], seed: u64) -> Vec<f64> {
     let mut params = sys.sample_params(seed);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
-    for &slot in init_slots.iter().take(problem.n) {
+    for &slot in init_slots {
         params[slot] = rng.gen_range(0.0..(2.0 * PI));
-    }
-    for &(u, v, slot) in cand_slots {
-        params[slot] = if problem.edges.contains(&(u, v)) {
-            -1.0
-        } else {
-            0.0
-        };
     }
     params
 }
@@ -341,17 +369,92 @@ pub fn table1_cell(
     )
 }
 
-/// The Table 1 Monte Carlo on the `ark-sim` engine, compile-once edition:
-/// the `K_n` solver template ([`build_maxcut_template`]) is compiled exactly
-/// **once** per cell; each trial (one random graph, one fabricated solver
-/// instance) then runs as an independent seeded job supplying only a
-/// parameter vector, so the cell's probabilities are bit-identical for any
-/// worker count.
+/// The full per-trial outcomes behind a Table 1 cell, on the `ark-sim`
+/// engine with **per-topology-class sparse templates**: trials are grouped
+/// by their random graph's edge set, one sparse solver template
+/// ([`build_maxcut_sparse_template`]) is compiled and memoized per distinct
+/// class (at most `min(trials, 2^(n(n-1)/2))` compiles for a whole Monte
+/// Carlo), and each class's trials run as a lane-batched compile-once
+/// sub-ensemble. Absent edges therefore cost no instructions — closing the
+/// dense-`K_n` 0.74× gap — and every trial is **bit-identical to the
+/// rebuild-per-seed [`solve`] path** (same mismatch draws, same initial
+/// phases, same folded couplings).
+///
+/// Outcomes come back in trial (seed) order, independent of the worker
+/// count and lane width.
 ///
 /// # Errors
 ///
-/// The template build/compile failure, or the first (by trial order) solve
-/// failure.
+/// A template build/compile failure, or the first solve failure (by trial
+/// order within the first failing topology class; classes are processed in
+/// deterministic edge-set order).
+pub fn table1_outcomes(
+    lang: &Language,
+    coupling: CouplingKind,
+    d: f64,
+    n: usize,
+    trials: usize,
+    base_seed: u64,
+    ens: &ark_sim::Ensemble,
+) -> Result<Vec<MaxCutOutcome>, crate::DynError> {
+    let seeds = ark_sim::seed_range(base_seed, trials);
+    let problems: Vec<MaxCutProblem> = seeds
+        .iter()
+        .map(|&seed| MaxCutProblem::random(n, seed))
+        .collect();
+    // Topology classes: trials keyed by their edge set. BTreeMap gives a
+    // deterministic class order for compilation and error reporting.
+    let mut classes: std::collections::BTreeMap<&[(usize, usize)], Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for (i, p) in problems.iter().enumerate() {
+        classes.entry(&p.edges).or_default().push(i);
+    }
+    let mut results: Vec<Option<MaxCutOutcome>> = (0..trials).map(|_| None).collect();
+    for (edges, trial_idxs) in &classes {
+        // Compile once per class, reused by every trial in it.
+        let pg = build_maxcut_sparse_template(lang, n, edges, coupling)?;
+        let sys = CompiledSystem::compile_parametric(lang, &pg)?;
+        let init_slots: Vec<usize> = (0..n)
+            .map(|i| {
+                sys.param_index_init(&format!("osc{i}"), 0)
+                    .expect("template records an init slot per oscillator")
+            })
+            .collect();
+        let class_problem = MaxCutProblem {
+            n,
+            edges: edges.to_vec(),
+        };
+        let class_seeds: Vec<u64> = trial_idxs.iter().map(|&i| seeds[i]).collect();
+        let outcomes = ens.map_integrated(
+            &sys,
+            &Rk4 { dt: SOLVE_DT },
+            &class_seeds,
+            |seed| sparse_template_params(&sys, &init_slots, seed),
+            0.0,
+            SOLVE_TIME,
+            50,
+            |_seed, _params, tr, _scratch| {
+                Ok::<_, crate::DynError>(read_outcome(&sys, &class_problem, d, &tr))
+            },
+        )?;
+        for (&i, outcome) in trial_idxs.iter().zip(outcomes) {
+            results[i] = Some(outcome);
+        }
+    }
+    Ok(results
+        .into_iter()
+        .map(|o| o.expect("every trial belongs to exactly one class"))
+        .collect())
+}
+
+/// The Table 1 Monte Carlo on the `ark-sim` engine: aggregate
+/// synchronization/solve probabilities over [`table1_outcomes`] (see there
+/// for the per-topology-class compile memoization). Bit-identical for any
+/// worker count and lane width.
+///
+/// # Errors
+///
+/// As [`table1_outcomes`].
 pub fn table1_cell_with(
     lang: &Language,
     coupling: CouplingKind,
@@ -361,46 +464,9 @@ pub fn table1_cell_with(
     base_seed: u64,
     ens: &ark_sim::Ensemble,
 ) -> Result<Table1Row, crate::DynError> {
-    let pg = build_maxcut_template(lang, n, coupling)?;
-    let sys = CompiledSystem::compile_parametric(lang, &pg)?;
-    let init_slots: Vec<usize> = (0..n)
-        .map(|i| {
-            sys.param_index_init(&format!("osc{i}"), 0)
-                .expect("template records an init slot per oscillator")
-        })
-        .collect();
-    let mut cand_slots = Vec::with_capacity(n * (n - 1) / 2);
-    for u in 0..n {
-        for v in (u + 1)..n {
-            let slot = sys
-                .param_index(&cand_edge_name(u, v), "k")
-                .expect("template records a k slot per candidate edge");
-            cand_slots.push((u, v, slot));
-        }
-    }
-    let seeds = ark_sim::seed_range(base_seed, trials);
-    // Integration is lane-batched (`ens.lanes()` trials per interpreted
-    // instruction); the problem instance is regenerated from the seed in
-    // the readout closure — cheap next to the transient solve.
-    let outcomes = ens.map_integrated(
-        &sys,
-        &ark_sim::Solver::Rk4 { dt: SOLVE_DT },
-        &seeds,
-        |seed| {
-            let problem = MaxCutProblem::random(n, seed);
-            template_params(&sys, &init_slots, &cand_slots, &problem, seed)
-        },
-        0.0,
-        SOLVE_TIME,
-        50,
-        |seed, _params, tr, _scratch| {
-            let problem = MaxCutProblem::random(n, seed);
-            let outcome = read_outcome(&sys, &problem, d, &tr);
-            Ok::<_, crate::DynError>((outcome.synchronized(), outcome.solved()))
-        },
-    )?;
-    let synced = outcomes.iter().filter(|(s, _)| *s).count();
-    let solved = outcomes.iter().filter(|(_, s)| *s).count();
+    let outcomes = table1_outcomes(lang, coupling, d, n, trials, base_seed, ens)?;
+    let synced = outcomes.iter().filter(|o| o.synchronized()).count();
+    let solved = outcomes.iter().filter(|o| o.solved()).count();
     Ok(Table1Row {
         sync_pct: 100.0 * synced as f64 / trials as f64,
         solved_pct: 100.0 * solved as f64 / trials as f64,
@@ -501,6 +567,26 @@ mod tests {
             tight_ofs.sync_pct,
             loose_ofs.sync_pct
         );
+    }
+
+    /// The sparse per-class templates reproduce the rebuild-per-seed
+    /// [`solve`] path bit for bit: same mismatch draws, same initial
+    /// phases, same folded couplings — for both coupling kinds.
+    #[test]
+    fn sparse_class_templates_match_rebuild_path_exactly() {
+        let base = obc_language();
+        let ofs = ofs_obc_language(&base);
+        let d = 0.1 * PI;
+        for coupling in [CouplingKind::Ideal, CouplingKind::Offset] {
+            let outcomes =
+                table1_outcomes(&ofs, coupling, d, 4, 10, 300, &ark_sim::Ensemble::new(2)).unwrap();
+            for (k, outcome) in outcomes.iter().enumerate() {
+                let seed = 300 + k as u64;
+                let problem = MaxCutProblem::random(4, seed);
+                let reference = solve(&ofs, &problem, coupling, d, seed).unwrap();
+                assert_eq!(outcome, &reference, "{coupling:?} seed {seed}");
+            }
+        }
     }
 
     #[test]

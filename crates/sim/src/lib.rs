@@ -12,11 +12,17 @@
 //! * [`Ensemble::integrate_states`] — the compile-once/simulate-many fast
 //!   path: one [`CompiledSystem`] (which is `Send + Sync`) shared by
 //!   reference across the pool, with each worker reusing its own
-//!   [`EvalScratch`] and
-//!   [`OdeWorkspace`], so the hot loop allocates
+//!   [`EvalScratch`] and [`OdeWorkspace`], so the hot loop allocates
 //!   nothing per step;
-//! * [`Solver`] — a value-level solver choice (Euler / RK4 /
-//!   Dormand–Prince) for ensemble configuration.
+//! * any [`ark_ode::Solver`] drives the integration — `Rk4`, `Euler`,
+//!   `DormandPrince`, or the lane-voting `VotingDormandPrince`. Solvers
+//!   whose policy is scalar-only ([`ark_ode::Solver::supports_lanes`] is
+//!   false, i.e. the PI-adaptive `DormandPrince`) automatically dispatch
+//!   through the scalar path;
+//! * [`LaneReadout`] / [`Ensemble::map_readout`] — readout that sees a
+//!   whole *lane group* at once, so observation programs (CNN snapshot
+//!   images, convergence probes) evaluate through the laned interpreter
+//!   instead of once per instance.
 //!
 //! # Determinism guarantee
 //!
@@ -25,7 +31,9 @@
 //! only pick *which* job to run next from a shared counter, and results are
 //! written back by job index. Running the same ensemble with 1, 2, or 64
 //! workers produces bit-identical output — the property the determinism
-//! suite in `tests/ensemble_determinism.rs` locks in.
+//! suite in `tests/ensemble_determinism.rs` locks in. (The lane-voting
+//! adaptive solver additionally keys results on the lane width — see
+//! [`ark_ode::VotingAdaptive`] — but never on the worker count.)
 //!
 //! # Examples
 //!
@@ -48,7 +56,8 @@
 //! use ark_core::types::SigType;
 //! use ark_core::CompiledSystem;
 //! use ark_expr::parse_expr;
-//! use ark_sim::{Ensemble, Solver};
+//! use ark_ode::Rk4;
+//! use ark_sim::Ensemble;
 //!
 //! // dV/dt = -V/tau, compiled once...
 //! let lang = LanguageBuilder::new("rc")
@@ -71,7 +80,7 @@
 //! // ...then shared by reference across the pool for many initial states.
 //! let inits: Vec<Vec<f64>> = (1..=8).map(|i| vec![i as f64]).collect();
 //! let ens = Ensemble::new(4);
-//! let runs = ens.integrate_states(&sys, &Solver::Rk4 { dt: 1e-3 }, &inits, 0.0, 1.0, 10)?;
+//! let runs = ens.integrate_states(&sys, &Rk4 { dt: 1e-3 }, &inits, 0.0, 1.0, 10)?;
 //! for (y0, tr) in inits.iter().zip(&runs) {
 //!     let expect = y0[0] * (-1.0f64).exp();
 //!     assert!((tr.last().unwrap().1[0] - expect).abs() < 1e-8);
@@ -82,102 +91,128 @@
 #![warn(missing_docs)]
 
 use ark_core::{CompiledSystem, EvalScratch, LaneScratch};
-use ark_ode::{
-    DormandPrince, Euler, LaneWorkspace, LanedOdeSystem, OdeWorkspace, Rk4, SolveError, Trajectory,
-};
+use ark_ode::{OdeWorkspace, SolveError, Solver, Strided, Trajectory, Workspace};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Default lane width of the laned ensemble fast path (see
 /// [`Ensemble::with_lanes`]).
 pub const DEFAULT_LANES: usize = 4;
 
-/// Lane width from the `ARK_LANES` environment override: `1` (scalar), `4`,
-/// or `8`; unset falls back to [`DEFAULT_LANES`]. Read at [`Ensemble`]
-/// construction. Any *other* set value panics — silently coercing a typo'd
-/// width to the default would make e.g. a CI lane-matrix entry pass while
-/// testing a width it never ran, the same reason
+/// The lane widths the engine supports — **the** authoritative set, checked
+/// by every input path ([`Ensemble::with_lanes`],
+/// [`Ensemble::try_with_lanes`], and the `ARK_LANES` environment variable):
+/// `1` (scalar dispatch) plus the widths the laned interpreter is
+/// monomorphized for.
+pub const SUPPORTED_LANES: [usize; 3] = [1, 4, 8];
+
+/// Validate a lane width against [`SUPPORTED_LANES`].
+///
+/// # Errors
+///
+/// A human-readable message naming the supported set.
+fn check_lanes(lanes: usize) -> Result<usize, String> {
+    if SUPPORTED_LANES.contains(&lanes) {
+        Ok(lanes)
+    } else {
+        Err(format!(
+            "unsupported lane width {lanes}: the laned interpreter is compiled for \
+             widths {SUPPORTED_LANES:?}"
+        ))
+    }
+}
+
+/// Lane width from the `ARK_LANES` environment override; unset falls back
+/// to [`DEFAULT_LANES`]. Read at [`Ensemble`] construction. Any
+/// unsupported value panics with a clear message — silently coercing a
+/// typo'd width to the default would make e.g. a CI lane-matrix entry pass
+/// while testing a width it never ran, the same reason
 /// [`Ensemble::with_lanes`] rejects unsupported widths.
 fn lanes_from_env() -> usize {
     match std::env::var("ARK_LANES") {
         Err(_) => DEFAULT_LANES,
-        Ok(v) => match v.parse::<usize>() {
-            Ok(l @ (1 | 4 | 8)) => l,
-            _ => panic!("ARK_LANES must be 1, 4, or 8 (got {v:?})"),
+        Ok(v) => match v
+            .parse::<usize>()
+            .map_err(|e| e.to_string())
+            .and_then(check_lanes)
+        {
+            Ok(l) => l,
+            Err(e) => panic!("ARK_LANES={v:?}: {e}"),
         },
     }
 }
 
-/// Value-level solver selection for ensemble runs.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Solver {
-    /// Forward Euler with a fixed step.
-    Euler {
-        /// Step size.
-        dt: f64,
-    },
-    /// Classical fixed-step RK4.
-    Rk4 {
-        /// Step size.
-        dt: f64,
-    },
-    /// Adaptive Dormand–Prince 5(4).
-    DormandPrince(DormandPrince),
+/// Group-aware ensemble readout: how integrated trajectories become
+/// results.
+///
+/// The engine integrates instances in lane groups; a `LaneReadout` decides
+/// what happens *after* a group finishes. The scalar [`LaneReadout::finish`]
+/// is required (it also serves the `N % L` tail and lane-incapable
+/// solvers); [`LaneReadout::finish_group`] defaults to calling `finish` per
+/// lane, and implementations override it to evaluate their observation
+/// programs through the laned interpreter — `L` instances per interpreted
+/// instruction — which is what lifts the per-instance readout tail off
+/// ensembles like the CNN Monte Carlo. Group trajectories come from
+/// lockstep fixed-step (or voting-adaptive) runs, so all lanes share one
+/// time grid.
+///
+/// Overrides must keep per-lane results bit-identical to `finish` — the
+/// engine's "results never depend on worker count or lane width" guarantee
+/// extends through the readout.
+pub trait LaneReadout<T, E>: Sync {
+    /// Readout for one instance integrated on the scalar path.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined.
+    fn finish(
+        &self,
+        seed: u64,
+        params: &[f64],
+        tr: Trajectory,
+        scratch: &mut EvalScratch,
+    ) -> Result<T, E>;
+
+    /// Readout for a full lane group: `trs[l]` is lane `l`'s trajectory,
+    /// `params[l]` its parameter vector. Push one result per lane (in lane
+    /// order) onto `out`. `lscratch` is a worker-private lane scratch
+    /// dedicated to observation programs.
+    ///
+    /// # Errors
+    ///
+    /// The first (by lane order) readout error.
+    fn finish_group<const L: usize>(
+        &self,
+        seeds: &[u64],
+        params: &[&[f64]],
+        trs: Vec<Trajectory>,
+        lscratch: &mut LaneScratch<L>,
+        scratch: &mut EvalScratch,
+        out: &mut Vec<T>,
+    ) -> Result<(), E> {
+        let _ = lscratch;
+        for ((&seed, p), tr) in seeds.iter().zip(params).zip(trs) {
+            out.push(self.finish(seed, p, tr, scratch)?);
+        }
+        Ok(())
+    }
 }
 
-impl Solver {
-    /// Integrate `sys` from `y0` over `[t0, t1]` through the given
-    /// workspace. `stride` applies to the fixed-step methods only (the
-    /// adaptive method records every accepted step).
-    ///
-    /// # Errors
-    ///
-    /// Propagates the underlying solver error.
-    pub fn integrate_with(
-        &self,
-        sys: &impl ark_ode::OdeSystem,
-        t0: f64,
-        y0: &[f64],
-        t1: f64,
-        stride: usize,
-        ws: &mut OdeWorkspace,
-    ) -> Result<Trajectory, SolveError> {
-        match self {
-            Solver::Euler { dt } => Euler { dt: *dt }.integrate_with(sys, t0, y0, t1, stride, ws),
-            Solver::Rk4 { dt } => Rk4 { dt: *dt }.integrate_with(sys, t0, y0, t1, stride, ws),
-            Solver::DormandPrince(dp) => dp.integrate_with(sys, t0, y0, t1, ws),
-        }
-    }
+/// A [`LaneReadout`] from a plain per-instance closure (scalar readout on
+/// every path) — the adapter behind [`Ensemble::map_integrated`].
+struct ClosureReadout<G>(G);
 
-    /// Lane-batched form of [`Solver::integrate_with`] for the fixed-step
-    /// methods: `L` instances stepped in lockstep, one trajectory per lane,
-    /// each bit-identical to the scalar path.
-    ///
-    /// # Errors
-    ///
-    /// The underlying solver error; [`SolveError::BadConfig`] for the
-    /// adaptive solver, which has no laned form (see
-    /// [`DormandPrince`] — the engine falls back to
-    /// the scalar path instead of calling this).
-    pub fn integrate_lanes_with<const L: usize>(
+impl<T, E, G> LaneReadout<T, E> for ClosureReadout<G>
+where
+    G: Fn(u64, &[f64], Trajectory, &mut EvalScratch) -> Result<T, E> + Sync,
+{
+    fn finish(
         &self,
-        sys: &impl LanedOdeSystem<L>,
-        t0: f64,
-        y0: &[[f64; L]],
-        t1: f64,
-        stride: usize,
-        ws: &mut LaneWorkspace<L>,
-    ) -> Result<Vec<Trajectory>, SolveError> {
-        match self {
-            Solver::Euler { dt } => {
-                Euler { dt: *dt }.integrate_lanes_with(sys, t0, y0, t1, stride, ws)
-            }
-            Solver::Rk4 { dt } => Rk4 { dt: *dt }.integrate_lanes_with(sys, t0, y0, t1, stride, ws),
-            Solver::DormandPrince(_) => Err(SolveError::BadConfig(
-                "the adaptive Dormand-Prince solver has no laned form (lockstep \
-                 fixed-step-only policy); integrate instances through the scalar path"
-                    .into(),
-            )),
-        }
+        seed: u64,
+        params: &[f64],
+        tr: Trajectory,
+        scratch: &mut EvalScratch,
+    ) -> Result<T, E> {
+        (self.0)(seed, params, tr, scratch)
     }
 }
 
@@ -191,18 +226,19 @@ impl Solver {
 /// # Lane width
 ///
 /// The compile-once integration entry points ([`Ensemble::integrate_params`]
-/// and friends) batch instances into *lane groups* of `lanes` (1, 4, or 8)
-/// and step each group through the lane-parallel interpreter
-/// ([`CompiledSystem::bind_lanes`]): one interpreted instruction advances
-/// the whole group, which is a single-core ensemble speedup on top of the
-/// worker-pool parallelism. Per-instance results are **bit-identical for
-/// every lane width** (each lane performs exactly the scalar operation
-/// sequence), so the width is purely a throughput knob; CI's lane-matrix
-/// job pins this. The default is [`DEFAULT_LANES`], overridable with the
-/// `ARK_LANES` environment variable (`1`/`4`/`8`) or explicitly with
-/// [`Ensemble::with_lanes`]. Adaptive (Dormand–Prince) ensembles always
-/// run the scalar path — see
-/// [`DormandPrince`] for the policy.
+/// and friends) batch instances into *lane groups* of `lanes` (one of
+/// [`SUPPORTED_LANES`]) and step each group through the lane-parallel
+/// interpreter ([`CompiledSystem::bind_lanes`]): one interpreted
+/// instruction advances the whole group, which is a single-core ensemble
+/// speedup on top of the worker-pool parallelism. On the default solvers,
+/// per-instance results are **bit-identical for every lane width** (each
+/// lane performs exactly the scalar operation sequence), so the width is
+/// purely a throughput knob; CI's lane-matrix job pins this. The default is
+/// [`DEFAULT_LANES`], overridable with the `ARK_LANES` environment variable
+/// or explicitly with [`Ensemble::with_lanes`]. Solvers without a laned
+/// form (the PI-adaptive `DormandPrince`) always run the scalar path; the
+/// lane-voting `VotingDormandPrince` runs laned but keys its step grid on
+/// the lane width (see [`ark_ode::VotingAdaptive`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Ensemble {
     workers: usize,
@@ -245,20 +281,28 @@ impl Ensemble {
     }
 
     /// This engine with an explicit lane width for the integration entry
-    /// points: `1` (scalar), `4`, or `8` lanes. Results are bit-identical
-    /// across widths; wider lanes amortize interpreter dispatch over more
-    /// instances per instruction.
+    /// points (one of [`SUPPORTED_LANES`]). On the default solvers,
+    /// results are bit-identical across widths; wider lanes amortize
+    /// interpreter dispatch over more instances per instruction.
     ///
     /// # Panics
     ///
-    /// Panics on any other width (the laned interpreter is compiled for
-    /// widths 4 and 8 only).
+    /// Panics on an unsupported width ([`Ensemble::try_with_lanes`] is the
+    /// non-panicking form).
     pub fn with_lanes(self, lanes: usize) -> Self {
-        assert!(
-            matches!(lanes, 1 | 4 | 8),
-            "lane width must be 1, 4, or 8 (got {lanes})"
-        );
-        Ensemble { lanes, ..self }
+        match self.try_with_lanes(lanes) {
+            Ok(ens) => ens,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`Ensemble::with_lanes`].
+    ///
+    /// # Errors
+    ///
+    /// A descriptive message when `lanes` is not in [`SUPPORTED_LANES`].
+    pub fn try_with_lanes(self, lanes: usize) -> Result<Self, String> {
+        check_lanes(lanes).map(|lanes| Ensemble { lanes, ..self })
     }
 
     /// The configured worker count.
@@ -390,13 +434,16 @@ impl Ensemble {
     }
 
     /// The compile-once/simulate-many fast path: integrate one shared
-    /// [`CompiledSystem`] from each initial state in `inits`, reusing one
-    /// [`EvalScratch`] and one [`OdeWorkspace`] per
+    /// [`CompiledSystem`] from each initial state in `inits` under any
+    /// [`Solver`], reusing one [`EvalScratch`] and one [`OdeWorkspace`] per
     /// worker so the integration loop performs zero per-step allocations.
-    /// Fixed-step runs are lane-batched (see [`Ensemble::with_lanes`]).
+    /// Lane-capable solvers are lane-batched (see [`Ensemble::with_lanes`]).
+    ///
+    /// `stride` records every `stride`-th accepted step (plus the initial
+    /// and final states).
     ///
     /// Trajectories come back in `inits` order, bit-identical for any
-    /// worker count and lane width.
+    /// worker count.
     ///
     /// # Errors
     ///
@@ -405,10 +452,10 @@ impl Ensemble {
     /// # Panics
     ///
     /// Panics on a parametric system — use [`Ensemble::integrate_params`].
-    pub fn integrate_states(
+    pub fn integrate_states<S: Solver + Sync>(
         &self,
         sys: &CompiledSystem,
-        solver: &Solver,
+        solver: &S,
         inits: &[Vec<f64>],
         t0: f64,
         t1: f64,
@@ -420,6 +467,14 @@ impl Ensemble {
             "parametric system: integrate_params must supply parameter vectors"
         );
         let idx: Vec<u64> = (0..inits.len() as u64).collect();
+        fn keep(
+            _seed: u64,
+            _params: &[f64],
+            tr: Trajectory,
+            _scratch: &mut EvalScratch,
+        ) -> Result<Trajectory, SolveError> {
+            Ok(tr)
+        }
         self.dispatch_lanes(
             sys,
             solver,
@@ -428,7 +483,7 @@ impl Ensemble {
             t0,
             t1,
             stride,
-            &|_, _, tr, _| Ok::<_, SolveError>(tr),
+            &ClosureReadout(keep),
         )
     }
 
@@ -438,14 +493,13 @@ impl Ensemble {
     /// each instance supplying the parameter vector returned by
     /// `params_for(seed)` — no per-instance rebuild or recompile anywhere.
     /// Per worker, one [`EvalScratch`] and one
-    /// [`OdeWorkspace`] are reused across instances, and fixed-step runs
-    /// are lane-batched into groups of [`Ensemble::lanes`] instances that
-    /// advance together through the laned interpreter (scalar fallback for
-    /// the `N % lanes` tail and for the adaptive solver).
+    /// [`OdeWorkspace`] are reused across instances, and lane-capable
+    /// solvers are lane-batched into groups of [`Ensemble::lanes`] instances
+    /// that advance together through the laned interpreter (scalar fallback
+    /// for the `N % lanes` tail and for lane-incapable solvers).
     ///
     /// Trajectories come back in seed order, bit-identical for any worker
-    /// count and lane width (results depend only on the seed through
-    /// `params_for`).
+    /// count (results depend only on the seed through `params_for`).
     ///
     /// # Errors
     ///
@@ -456,10 +510,10 @@ impl Ensemble {
     /// Panics (inside the jobs) if `params_for` returns a vector of the
     /// wrong length.
     #[allow(clippy::too_many_arguments)]
-    pub fn integrate_params<F>(
+    pub fn integrate_params<S: Solver + Sync, F>(
         &self,
         sys: &CompiledSystem,
-        solver: &Solver,
+        solver: &S,
         seeds: &[u64],
         params_for: F,
         t0: f64,
@@ -481,9 +535,8 @@ impl Ensemble {
         )
     }
 
-    /// The general laned-ensemble primitive behind
-    /// [`Ensemble::integrate_params`] and the paradigm entry points
-    /// (CNN Monte Carlo, max-cut cells): integrate one instance per seed —
+    /// The per-instance laned-ensemble primitive behind
+    /// [`Ensemble::integrate_params`]: integrate one instance per seed —
     /// lane-batched like [`Ensemble::integrate_params`] — then map each
     /// trajectory through `finish` (readout, metrics) on the same worker.
     ///
@@ -491,7 +544,9 @@ impl Ensemble {
     /// order within a group, with a worker-private
     /// [`EvalScratch`] for observation-program
     /// evaluation. Results come back in seed order, bit-identical for any
-    /// worker count and lane width.
+    /// worker count and lane width. For readout that can exploit the whole
+    /// lane group (laned observation programs), implement [`LaneReadout`]
+    /// and use [`Ensemble::map_readout`] instead.
     ///
     /// # Errors
     ///
@@ -501,10 +556,10 @@ impl Ensemble {
     /// integration error wins — `finish` never runs for a group whose
     /// integration failed.)
     #[allow(clippy::too_many_arguments)]
-    pub fn map_integrated<T, E, F, G>(
+    pub fn map_integrated<S: Solver + Sync, T, E, F, G>(
         &self,
         sys: &CompiledSystem,
-        solver: &Solver,
+        solver: &S,
         seeds: &[u64],
         params_for: F,
         t0: f64,
@@ -518,6 +573,49 @@ impl Ensemble {
         F: Fn(u64) -> Vec<f64> + Sync,
         G: Fn(u64, &[f64], Trajectory, &mut EvalScratch) -> Result<T, E> + Sync,
     {
+        self.map_readout(
+            sys,
+            solver,
+            seeds,
+            params_for,
+            t0,
+            t1,
+            stride,
+            &ClosureReadout(finish),
+        )
+    }
+
+    /// The general group-aware ensemble primitive: integrate one instance
+    /// per seed (lane-batched), then hand each finished **lane group** to
+    /// `readout` — whose [`LaneReadout::finish_group`] can evaluate
+    /// observation programs through the laned interpreter, amortizing
+    /// readout the same way integration already is. Scalar tails,
+    /// lane-incapable solvers, and `lanes = 1` engines go through
+    /// [`LaneReadout::finish`].
+    ///
+    /// Results come back in seed order.
+    ///
+    /// # Errors
+    ///
+    /// The first (by seed order) integration or readout error.
+    #[allow(clippy::too_many_arguments)]
+    pub fn map_readout<S: Solver + Sync, T, E, F, R>(
+        &self,
+        sys: &CompiledSystem,
+        solver: &S,
+        seeds: &[u64],
+        params_for: F,
+        t0: f64,
+        t1: f64,
+        stride: usize,
+        readout: &R,
+    ) -> Result<Vec<T>, E>
+    where
+        T: Send,
+        E: Send + From<SolveError>,
+        F: Fn(u64) -> Vec<f64> + Sync,
+        R: LaneReadout<T, E>,
+    {
         self.dispatch_lanes(
             sys,
             solver,
@@ -530,40 +628,43 @@ impl Ensemble {
             t0,
             t1,
             stride,
-            &finish,
+            readout,
         )
     }
 
-    /// Pick the lane width (adaptive solvers force the scalar path) and
-    /// monomorphize the group runner.
+    /// Pick the lane width (lane-incapable solvers force the scalar path)
+    /// and monomorphize the group runner.
     #[allow(clippy::too_many_arguments)]
-    fn dispatch_lanes<T, E, P, G>(
+    fn dispatch_lanes<S, T, E, P, R>(
         &self,
         sys: &CompiledSystem,
-        solver: &Solver,
+        solver: &S,
         seeds: &[u64],
         prep: &P,
         t0: f64,
         t1: f64,
         stride: usize,
-        finish: &G,
+        readout: &R,
     ) -> Result<Vec<T>, E>
     where
+        S: Solver + Sync,
         T: Send,
         E: Send + From<SolveError>,
         P: Fn(u64) -> (Vec<f64>, Vec<f64>) + Sync,
-        G: Fn(u64, &[f64], Trajectory, &mut EvalScratch) -> Result<T, E> + Sync,
+        R: LaneReadout<T, E>,
     {
-        let lanes = if matches!(solver, Solver::DormandPrince(_)) {
-            1
-        } else {
+        let lanes = if solver.supports_lanes() {
             self.lanes
+        } else {
+            1
         };
         match lanes {
-            4 => self
-                .run_lane_groups::<4, _, _, _, _>(sys, solver, seeds, prep, t0, t1, stride, finish),
-            8 => self
-                .run_lane_groups::<8, _, _, _, _>(sys, solver, seeds, prep, t0, t1, stride, finish),
+            4 => self.run_lane_groups::<4, _, _, _, _, _>(
+                sys, solver, seeds, prep, t0, t1, stride, readout,
+            ),
+            8 => self.run_lane_groups::<8, _, _, _, _, _>(
+                sys, solver, seeds, prep, t0, t1, stride, readout,
+            ),
             _ => self.try_map_init(
                 seeds,
                 || (sys.scratch(), OdeWorkspace::new(sys.num_states())),
@@ -571,10 +672,13 @@ impl Ensemble {
                     let (params, y0) = prep(seed);
                     let tr = {
                         let bound = sys.bind_ref(&params, scratch);
-                        solver.integrate_with(&bound, t0, &y0, t1, stride, ws)
+                        let mut rec = Strided::every(stride);
+                        solver
+                            .solve(&bound, t0, &y0, t1, &mut rec, ws)
+                            .map(|_| rec.into_trajectory())
                     }
                     .map_err(E::from)?;
-                    finish(seed, &params, tr, scratch)
+                    readout.finish(seed, &params, tr, scratch)
                 },
             ),
         }
@@ -586,22 +690,23 @@ impl Ensemble {
     /// through the laned interpreter, and run the `N % L` tail — and any
     /// group whose initial states are malformed — through the scalar path.
     #[allow(clippy::too_many_arguments)]
-    fn run_lane_groups<const L: usize, T, E, P, G>(
+    fn run_lane_groups<const L: usize, S, T, E, P, R>(
         &self,
         sys: &CompiledSystem,
-        solver: &Solver,
+        solver: &S,
         seeds: &[u64],
         prep: &P,
         t0: f64,
         t1: f64,
         stride: usize,
-        finish: &G,
+        readout: &R,
     ) -> Result<Vec<T>, E>
     where
+        S: Solver + Sync,
         T: Send,
         E: Send + From<SolveError>,
         P: Fn(u64) -> (Vec<f64>, Vec<f64>) + Sync,
-        G: Fn(u64, &[f64], Trajectory, &mut EvalScratch) -> Result<T, E> + Sync,
+        R: LaneReadout<T, E>,
     {
         let n = sys.num_states();
         let groups: Vec<&[u64]> = seeds.chunks(L).collect();
@@ -622,21 +727,32 @@ impl Ensemble {
                 let params: Vec<&[f64]> = prepped.iter().map(|(p, _)| p.as_slice()).collect();
                 let trs = {
                     let bound = sys.bind_lanes::<L>(&params, &mut bufs.lscratch);
-                    solver.integrate_lanes_with(&bound, t0, &bufs.y0, t1, stride, &mut bufs.lws)
+                    let mut rec = Strided::every(stride);
+                    solver
+                        .solve(&bound, t0, &bufs.y0[..n], t1, &mut rec, &mut bufs.lws)
+                        .map(|_| rec.into_trajectories())
                 }
                 .map_err(E::from)?;
-                for ((&seed, (params, _)), tr) in group.iter().zip(&prepped).zip(trs) {
-                    out.push(finish(seed, params, tr, &mut bufs.scratch)?);
-                }
+                readout.finish_group::<L>(
+                    group,
+                    &params,
+                    trs,
+                    &mut bufs.obs_lscratch,
+                    &mut bufs.scratch,
+                    &mut out,
+                )?;
             } else {
                 // Scalar tail (N % L != 0, including N < L).
                 for (&seed, (params, y0)) in group.iter().zip(&prepped) {
                     let tr = {
                         let bound = sys.bind_ref(params, &mut bufs.scratch);
-                        solver.integrate_with(&bound, t0, y0, t1, stride, &mut bufs.ws)
+                        let mut rec = Strided::every(stride);
+                        solver
+                            .solve(&bound, t0, y0, t1, &mut rec, &mut bufs.ws)
+                            .map(|_| rec.into_trajectory())
                     }
                     .map_err(E::from)?;
-                    out.push(finish(seed, params, tr, &mut bufs.scratch)?);
+                    out.push(readout.finish(seed, params, tr, &mut bufs.scratch)?);
                 }
             }
             Ok(out)
@@ -654,10 +770,10 @@ impl Ensemble {
     /// # Errors
     ///
     /// The first (by seed order) solver error.
-    pub fn integrate_sampled(
+    pub fn integrate_sampled<S: Solver + Sync>(
         &self,
         sys: &CompiledSystem,
-        solver: &Solver,
+        solver: &S,
         seeds: &[u64],
         t0: f64,
         t1: f64,
@@ -669,12 +785,15 @@ impl Ensemble {
 
 /// Per-worker buffers of the laned group runner: scalar scratches for the
 /// tail/readout paths plus the lane scratch and workspace for full groups.
-/// All grow on demand and are reused across a worker's groups.
+/// The observation programs get a lane scratch of their own
+/// (`obs_lscratch`) so the RHS and observation constant pools both stay
+/// primed across a worker's groups. All grow on demand.
 struct LaneBufs<const L: usize> {
     scratch: EvalScratch,
     ws: OdeWorkspace,
     lscratch: LaneScratch<L>,
-    lws: LaneWorkspace<L>,
+    obs_lscratch: LaneScratch<L>,
+    lws: Workspace<[f64; L]>,
     /// Struct-of-arrays staging for the group's initial states.
     y0: Vec<[f64; L]>,
 }
@@ -685,7 +804,8 @@ impl<const L: usize> Default for LaneBufs<L> {
             scratch: EvalScratch::default(),
             ws: OdeWorkspace::default(),
             lscratch: LaneScratch::default(),
-            lws: LaneWorkspace::default(),
+            obs_lscratch: LaneScratch::default(),
+            lws: Workspace::default(),
             y0: Vec::new(),
         }
     }
@@ -704,6 +824,7 @@ pub fn seed_range(base: u64, n: usize) -> Vec<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ark_ode::{DormandPrince, Rk4};
     use std::sync::atomic::AtomicUsize;
 
     #[test]
@@ -806,13 +927,20 @@ mod tests {
     fn with_lanes_configures_width() {
         assert_eq!(Ensemble::serial().with_lanes(8).lanes(), 8);
         assert_eq!(Ensemble::new(2).with_lanes(1).lanes(), 1);
-        assert!(matches!(Ensemble::serial().lanes(), 1 | 4 | 8));
+        assert!(SUPPORTED_LANES.contains(&Ensemble::serial().lanes()));
     }
 
     #[test]
-    #[should_panic(expected = "lane width must be 1, 4, or 8")]
+    #[should_panic(expected = "unsupported lane width 3")]
     fn with_lanes_rejects_unsupported_widths() {
         let _ = Ensemble::serial().with_lanes(3);
+    }
+
+    #[test]
+    fn try_with_lanes_reports_the_supported_set() {
+        let err = Ensemble::serial().try_with_lanes(5).unwrap_err();
+        assert!(err.contains("[1, 4, 8]"), "{err}");
+        assert_eq!(Ensemble::serial().try_with_lanes(8).unwrap().lanes(), 8);
     }
 
     /// One small parametric design for the lane tests below.
@@ -860,7 +988,7 @@ mod tests {
     #[test]
     fn lane_widths_are_bit_identical() {
         let (_lang, sys) = decay_parametric();
-        let solver = Solver::Rk4 { dt: 1e-3 };
+        let solver = Rk4 { dt: 1e-3 };
         for n in [1usize, 3, 4, 5, 8, 11] {
             let seeds = seed_range(0, n);
             let reference = Ensemble::serial()
@@ -895,12 +1023,12 @@ mod tests {
         }
     }
 
-    /// The adaptive solver has no laned form: the engine silently runs the
-    /// scalar path, still bit-identical across lane settings.
+    /// The PI-adaptive solver has no laned form: the engine silently runs
+    /// the scalar path, still bit-identical across lane settings.
     #[test]
     fn adaptive_solver_falls_back_to_scalar() {
         let (_lang, sys) = decay_parametric();
-        let solver = Solver::DormandPrince(DormandPrince::new(1e-8, 1e-11));
+        let solver = DormandPrince::new(1e-8, 1e-11);
         let seeds = seed_range(0, 5);
         let scalar = Ensemble::serial()
             .with_lanes(1)
@@ -929,12 +1057,54 @@ mod tests {
         assert_eq!(scalar, laned);
     }
 
+    /// The lane-voting adaptive solver goes through the laned path and
+    /// stays worker-count independent (its lane-width dependence is pinned
+    /// by tests/voting_determinism.rs).
+    #[test]
+    fn voting_adaptive_runs_laned_and_worker_independent() {
+        let (_lang, sys) = decay_parametric();
+        let solver = DormandPrince::new(1e-8, 1e-11).voting();
+        let seeds = seed_range(0, 9);
+        let reference = Ensemble::serial()
+            .with_lanes(4)
+            .integrate_params(
+                &sys,
+                &solver,
+                &seeds,
+                |s| lane_test_params(&sys, s),
+                0.0,
+                1.0,
+                1,
+            )
+            .unwrap();
+        for workers in [2usize, 8] {
+            let got = Ensemble::new(workers)
+                .with_lanes(4)
+                .integrate_params(
+                    &sys,
+                    &solver,
+                    &seeds,
+                    |s| lane_test_params(&sys, s),
+                    0.0,
+                    1.0,
+                    1,
+                )
+                .unwrap();
+            assert_eq!(reference, got, "workers {workers}");
+        }
+        // Full groups really share one (voted) time grid; the tail is
+        // scalar-adaptive per instance.
+        for l in 1..4 {
+            assert_eq!(reference[0].times(), reference[l].times(), "lane {l}");
+        }
+    }
+
     /// `map_integrated` runs the readout (`finish`) per lane with results
     /// in seed order.
     #[test]
     fn map_integrated_preserves_seed_order_and_params() {
         let (_lang, sys) = decay_parametric();
-        let solver = Solver::Rk4 { dt: 1e-2 };
+        let solver = Rk4 { dt: 1e-2 };
         let seeds = seed_range(0, 7);
         let got: Vec<(u64, f64, f64)> = Ensemble::new(2)
             .with_lanes(4)
@@ -957,6 +1127,70 @@ mod tests {
             assert_eq!(*tau, p[0]);
             assert!(v_end.is_finite());
         }
+    }
+
+    /// A group-aware readout sees full groups as groups and the tail as
+    /// scalars, and produces the same results as the per-instance path.
+    #[test]
+    fn map_readout_group_override_matches_scalar_readout() {
+        struct EndState;
+        impl LaneReadout<f64, SolveError> for EndState {
+            fn finish(
+                &self,
+                _seed: u64,
+                _params: &[f64],
+                tr: Trajectory,
+                _scratch: &mut EvalScratch,
+            ) -> Result<f64, SolveError> {
+                Ok(tr.last().unwrap().1[0])
+            }
+
+            fn finish_group<const L: usize>(
+                &self,
+                _seeds: &[u64],
+                _params: &[&[f64]],
+                trs: Vec<Trajectory>,
+                _lscratch: &mut LaneScratch<L>,
+                _scratch: &mut EvalScratch,
+                out: &mut Vec<f64>,
+            ) -> Result<(), SolveError> {
+                // Group trajectories share one grid; read all lanes at once.
+                for tr in &trs {
+                    out.push(tr.last().unwrap().1[0]);
+                }
+                Ok(())
+            }
+        }
+        let (_lang, sys) = decay_parametric();
+        let solver = Rk4 { dt: 1e-2 };
+        let seeds = seed_range(0, 11); // 2 full groups + tail of 3
+        let grouped = Ensemble::new(2)
+            .with_lanes(4)
+            .map_readout(
+                &sys,
+                &solver,
+                &seeds,
+                |s| lane_test_params(&sys, s),
+                0.0,
+                1.0,
+                10,
+                &EndState,
+            )
+            .unwrap();
+        let scalar = Ensemble::serial()
+            .with_lanes(1)
+            .map_integrated(
+                &sys,
+                &solver,
+                &seeds,
+                |s| lane_test_params(&sys, s),
+                0.0,
+                1.0,
+                10,
+                |_, _, tr, _| Ok::<_, SolveError>(tr.last().unwrap().1[0]),
+            )
+            .unwrap();
+        assert_eq!(grouped, scalar);
     }
 
     #[test]

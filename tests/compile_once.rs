@@ -62,16 +62,35 @@ fn ensemble_entry_points_compile_once_per_design() {
         "tline_mismatch_ensemble must compile exactly once per design"
     );
 
-    // Table 1 max-cut Monte Carlo: 6 trials (6 random problem graphs, 6
-    // fabricated solvers), 1 compile of the K_n template.
+    // Table 1 max-cut Monte Carlo: 32 trials (32 random problem graphs, 32
+    // fabricated solvers), one compile per *distinct topology class* (the
+    // sparse-template memoization) — never one per trial.
     let obase = obc_language();
     let ofs = ofs_obc_language(&obase);
+    let trials = 32u64;
+    let classes: std::collections::BTreeSet<Vec<(usize, usize)>> = (0..trials)
+        .map(|s| ark::paradigms::maxcut::MaxCutProblem::random(4, 100 + s).edges)
+        .collect();
+    assert!(
+        (classes.len() as u64) < trials,
+        "trials should share at least one topology ({} classes)",
+        classes.len()
+    );
     let before = CompiledSystem::compile_count();
-    table1_cell_with(&ofs, CouplingKind::Offset, 0.1 * PI, 4, 6, 100, &ens).unwrap();
+    table1_cell_with(
+        &ofs,
+        CouplingKind::Offset,
+        0.1 * PI,
+        4,
+        trials as usize,
+        100,
+        &ens,
+    )
+    .unwrap();
     assert_eq!(
         CompiledSystem::compile_count() - before,
-        1,
-        "table1_cell_with must compile exactly once per cell"
+        classes.len() as u64,
+        "table1_cell_with must compile exactly once per topology class"
     );
 
     // TLN PUF evaluation: instances × challenges × (1 + remeasures)

@@ -3,12 +3,13 @@
 //! in-place-buffer refactor of the integrator core.
 
 use ark::core::CompiledSystem;
+use ark::ode::{DormandPrince, Rk4};
 use ark::paradigms::cnn::{
     build_cnn, cnn_language, hw_cnn_language, run_cnn, run_cnn_ensemble, CnnRun, NonIdeality,
     EDGE_TEMPLATE,
 };
 use ark::paradigms::image::Image;
-use ark::sim::{seed_range, Ensemble, Solver};
+use ark::sim::{seed_range, Ensemble};
 
 /// The engine's foundational compile-time guarantee: one compiled system is
 /// shareable by reference across the worker pool.
@@ -95,7 +96,7 @@ fn shared_system_integration_matches_serial() {
             y
         })
         .collect();
-    let solver = Solver::Rk4 { dt: 5e-3 };
+    let solver = Rk4 { dt: 5e-3 };
     let serial = Ensemble::serial()
         .integrate_states(&sys, &solver, &inits, 0.0, 1.0, 10)
         .unwrap();
@@ -115,10 +116,10 @@ fn adaptive_cnn_ensemble_reports_rejections_deterministically() {
     let lang = cnn_language();
     let inst = build_cnn(&lang, &cnn_input(), &EDGE_TEMPLATE, NonIdeality::Ideal, 0).unwrap();
     let sys = CompiledSystem::compile(&lang, &inst.graph).unwrap();
-    let solver = Solver::DormandPrince(ark::ode::DormandPrince {
+    let solver = DormandPrince {
         h0: Some(2.0),
-        ..ark::ode::DormandPrince::new(1e-8, 1e-10)
-    });
+        ..DormandPrince::new(1e-8, 1e-10)
+    };
     let inits = vec![sys.initial_state(); 4];
     let serial = Ensemble::serial()
         .integrate_states(&sys, &solver, &inits, 0.0, 3.0, 1)

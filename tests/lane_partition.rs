@@ -8,10 +8,11 @@
 //! itself with explicit widths, independent of the environment.
 
 use ark::core::CompiledSystem;
+use ark::ode::Rk4;
 use ark::paradigms::tln::{
     gmc_tln_language, tline_mismatch_ensemble, tln_language, MismatchKind, TlineConfig,
 };
-use ark::sim::{seed_range, Ensemble, Solver};
+use ark::sim::{seed_range, Ensemble};
 use proptest::prelude::*;
 
 /// A small parametric decay design (one compile, params = tau + y0) so the
@@ -69,7 +70,7 @@ proptest! {
     ) {
         let (_lang, sys) = decay_system();
         let seeds = seed_range(base, n);
-        let solver = Solver::Rk4 { dt: 2e-2 };
+        let solver = Rk4 { dt: 2e-2 };
         let scalar = Ensemble::serial()
             .with_lanes(1)
             .integrate_params(&sys, &solver, &seeds, |s| params_for(&sys, s), 0.0, 1.0, stride)

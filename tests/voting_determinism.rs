@@ -1,0 +1,138 @@
+//! Determinism suite for the lane-voting adaptive solver
+//! (`VotingDormandPrince` / `VotingAdaptive`): ensemble results depend
+//! **only on the seeds and the lane width** — never on the worker count.
+//! The lane-width dependence is the documented trade of step-size voting
+//! (the voted grid is a property of the lane group); the worker-count
+//! independence is the engine's hard guarantee, and CI's lane-matrix job
+//! re-runs this suite at `ARK_LANES=1/4/8`.
+
+use ark::core::CompiledSystem;
+use ark::ode::DormandPrince;
+use ark::sim::{seed_range, Ensemble};
+
+/// A small parametric design with genuinely different per-seed stiffness so
+/// the voted step grid is exercised (not just a shared smooth decay).
+fn stiffness_spread() -> (ark::core::lang::Language, CompiledSystem) {
+    use ark::core::func::GraphBuilder;
+    use ark::core::lang::{EdgeType, LanguageBuilder, NodeType, ProdRule, Reduction};
+    use ark::core::types::SigType;
+    use ark::expr::parse_expr;
+    let lang = LanguageBuilder::new("rc")
+        .node_type(
+            NodeType::new("V", 1, Reduction::Sum)
+                .attr("tau", SigType::real(0.0, 1000.0))
+                .init_default(SigType::real(-1000.0, 1000.0), 1.0),
+        )
+        .edge_type(EdgeType::new("E"))
+        .prod(ProdRule::new(
+            ("e", "E"),
+            ("s", "V"),
+            ("s", "V"),
+            "s",
+            parse_expr("-var(s)/s.tau").unwrap(),
+        ))
+        .finish()
+        .unwrap();
+    let mut b = GraphBuilder::new_parametric(&lang);
+    b.node("v", "V").unwrap();
+    b.set_attr_param("v", "tau", 1.0).unwrap();
+    b.set_init_param("v", 0, 1.0).unwrap();
+    b.edge("self", "E", "v", "v").unwrap();
+    let pg = b.finish_parametric().unwrap();
+    let sys = CompiledSystem::compile_parametric(&lang, &pg).unwrap();
+    (lang, sys)
+}
+
+fn params_for(sys: &CompiledSystem, seed: u64) -> Vec<f64> {
+    let mut p = sys.nominal_params();
+    // Decay rates spanning two orders of magnitude across one lane group.
+    p[sys.param_index("v", "tau").unwrap()] = 0.02 + 0.21 * (seed % 5) as f64;
+    p[sys.param_index_init("v", 0).unwrap()] = 1.0 + 0.5 * (seed % 3) as f64;
+    p
+}
+
+/// Voting-DP ensembles are bit-identical across worker counts at the
+/// engine's configured lane width (whatever `ARK_LANES` says — the
+/// lane-matrix CI job runs this at 1, 4, and 8), for ensemble sizes
+/// exercising full groups, tails, and N < L.
+#[test]
+fn voting_dp_independent_of_worker_count() {
+    let (_lang, sys) = stiffness_spread();
+    let solver = DormandPrince::new(1e-8, 1e-11).voting();
+    for n in [1usize, 3, 5, 8, 13] {
+        let seeds = seed_range(0, n);
+        let reference = Ensemble::serial()
+            .integrate_params(&sys, &solver, &seeds, |s| params_for(&sys, s), 0.0, 1.0, 1)
+            .unwrap();
+        for workers in [2usize, 3, 8] {
+            let got = Ensemble::new(workers)
+                .integrate_params(&sys, &solver, &seeds, |s| params_for(&sys, s), 0.0, 1.0, 1)
+                .unwrap();
+            assert_eq!(reference, got, "n={n} workers={workers}");
+        }
+        for tr in &reference {
+            assert!(tr.stats().accepted >= 1);
+            // Every lane's endpoint meets the tolerance: voting only ever
+            // tightens an individual lane's grid.
+            let (t_end, y_end) = tr.last().unwrap();
+            assert!((t_end - 1.0).abs() < 1e-12);
+            assert!(y_end[0].is_finite());
+        }
+    }
+}
+
+/// At lane width 1 the vote degenerates exactly: a voting-DP ensemble is
+/// bit-identical to the scalar PI-adaptive ensemble.
+#[test]
+fn voting_dp_width_one_equals_scalar_dp() {
+    let (_lang, sys) = stiffness_spread();
+    let dp = DormandPrince::new(1e-8, 1e-11);
+    let seeds = seed_range(0, 7);
+    let scalar = Ensemble::new(2)
+        .with_lanes(1)
+        .integrate_params(&sys, &dp, &seeds, |s| params_for(&sys, s), 0.0, 1.0, 1)
+        .unwrap();
+    let voting = Ensemble::new(2)
+        .with_lanes(1)
+        .integrate_params(
+            &sys,
+            &dp.voting(),
+            &seeds,
+            |s| params_for(&sys, s),
+            0.0,
+            1.0,
+            1,
+        )
+        .unwrap();
+    assert_eq!(scalar, voting);
+}
+
+/// The documented trade, pinned: at width > 1 a full voting group shares
+/// one accepted-step grid (the minimum of its lanes' individual choices),
+/// so a lane integrated in a group generally records more steps than the
+/// same seed alone — results are keyed on the lane width.
+#[test]
+fn voting_dp_groups_share_one_voted_grid() {
+    let (_lang, sys) = stiffness_spread();
+    let solver = DormandPrince::new(1e-8, 1e-11).voting();
+    let seeds = seed_range(0, 4);
+    let grouped = Ensemble::serial()
+        .with_lanes(4)
+        .integrate_params(&sys, &solver, &seeds, |s| params_for(&sys, s), 0.0, 1.0, 1)
+        .unwrap();
+    // One shared grid across the group...
+    for l in 1..4 {
+        assert_eq!(grouped[0].times(), grouped[l].times(), "lane {l}");
+    }
+    // ...and at least as many accepted steps as any lane needs alone.
+    let alone = Ensemble::serial()
+        .with_lanes(1)
+        .integrate_params(&sys, &solver, &seeds, |s| params_for(&sys, s), 0.0, 1.0, 1)
+        .unwrap();
+    let worst_alone = alone.iter().map(ark::ode::Trajectory::len).max().unwrap();
+    assert!(
+        grouped[0].len() >= worst_alone,
+        "voted grid ({} samples) cannot be coarser than the stiffest lane alone ({worst_alone})",
+        grouped[0].len()
+    );
+}
