@@ -13,7 +13,8 @@
 //! — so CI's tiny smoke numbers can never clobber the paper-scale file.
 //!
 //! Smoke-mode knobs (used by CI): `ARK_RHS_EVALS` overrides the number of
-//! timed RHS evaluations, `ARK_RHS_ENSEMBLE_N` the ensemble instance count.
+//! timed RHS evaluations, `ARK_RHS_ENSEMBLE_N` the ensemble instance count,
+//! and `ARK_RHS_STREAM_N` the streaming-reduction instance count.
 
 use ark_core::CompiledSystem;
 use ark_ode::{DormandPrince, Rk4};
@@ -105,6 +106,22 @@ struct VotingReport {
     instances: usize,
     scalar_dp_ms: f64,
     voting_dp4_ms: f64,
+}
+
+/// The streaming reduction path (`EnsembleRun::reduce`) vs materializing
+/// every trajectory and reducing afterwards, on the CNN workload.
+struct StreamingReport {
+    name: &'static str,
+    instances: usize,
+    streaming_ms: f64,
+    materialized_ms: f64,
+    /// Fixed per-worker accumulator footprint of the streaming path —
+    /// deterministic and scale-independent, gated by `bench_check`.
+    accumulator_bytes: usize,
+    /// Bytes of trajectory sample storage the materializing path holds
+    /// live at once for the same ensemble — the peak-RSS proxy (grows
+    /// linearly with the instance count; the streaming path does not).
+    materialized_bytes: usize,
 }
 
 fn workloads() -> Vec<Workload> {
@@ -293,20 +310,16 @@ fn measure_voting(n: usize) -> Vec<VotingReport> {
         let t = Instant::now();
         if voting {
             black_box(
-                ens.integrate_params(
-                    &sys,
-                    &dp.voting(),
-                    &seeds,
-                    |s| sys.sample_params(s),
-                    0.0,
-                    1.0,
-                    5,
-                )
-                .unwrap(),
+                ens.run(&sys, &dp.voting(), &seeds, 0.0, 1.0)
+                    .stride(5)
+                    .trajectories()
+                    .unwrap(),
             );
         } else {
             black_box(
-                ens.integrate_params(&sys, &dp, &seeds, |s| sys.sample_params(s), 0.0, 1.0, 5)
+                ens.run(&sys, &dp, &seeds, 0.0, 1.0)
+                    .stride(5)
+                    .trajectories()
                     .unwrap(),
             );
         }
@@ -318,6 +331,70 @@ fn measure_voting(n: usize) -> Vec<VotingReport> {
         instances: n,
         scalar_dp_ms: run(&serial4, false),
         voting_dp4_ms: run(&serial4, true),
+    }]
+}
+
+/// Streaming reduction vs materialize-then-reduce on the CNN workload:
+/// same integrations, same online statistics, but the streaming path holds
+/// only one fixed-size accumulator per worker while the materializing path
+/// keeps every trajectory alive until the reduction.
+fn measure_streaming(n: usize) -> Vec<StreamingReport> {
+    use ark_ode::SolveError;
+    use ark_sim::reduce::{
+        premap, reduce_materialized, Histogram, MomentStats, Moments, Quantiles, Yield,
+        YieldCounter,
+    };
+    let seeds = seed_range(0, n);
+    let base = cnn_language();
+    let hw = hw_cnn_language(&base);
+    let input = Image::from_ascii(&["....", ".##.", ".##.", "...."]);
+    let pcnn = build_cnn_parametric(&hw, &input, &EDGE_TEMPLATE, NonIdeality::GMismatch).unwrap();
+    let sys = CompiledSystem::compile_parametric(&hw, &pcnn.pgraph).unwrap();
+    let solver = Rk4 { dt: 2e-3 };
+    let bins = 64usize;
+    let reducer = (
+        Moments,
+        Quantiles::new(-2.0, 2.0, bins),
+        premap(|v: f64| v > 0.0, YieldCounter),
+    );
+    // The fixed per-worker streaming state: one accumulator tuple, with
+    // the histogram's bin payload counted explicitly.
+    let accumulator_bytes = std::mem::size_of::<MomentStats>()
+        + std::mem::size_of::<Histogram>()
+        + bins * std::mem::size_of::<u64>()
+        + std::mem::size_of::<Yield>();
+    let ens = Ensemble::serial().with_lanes(4);
+    let t = Instant::now();
+    black_box(
+        ens.run(&sys, &solver, &seeds, 0.0, 1.0)
+            .reduce(
+                |snap, _scratch| Ok::<_, SolveError>(snap.state[0]),
+                &reducer,
+            )
+            .unwrap(),
+    );
+    let streaming_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let trajectories = ens
+        .run(&sys, &solver, &seeds, 0.0, 1.0)
+        .stride(5)
+        .trajectories()
+        .unwrap();
+    let endpoints: Vec<f64> = trajectories
+        .iter()
+        .map(|tr| tr.last().unwrap().1[0])
+        .collect();
+    black_box(reduce_materialized(&reducer, &endpoints));
+    let materialized_ms = t.elapsed().as_secs_f64() * 1e3;
+    let per_sample = (sys.num_states() + 1) * std::mem::size_of::<f64>();
+    let materialized_bytes: usize = trajectories.iter().map(|tr| tr.len() * per_sample).sum();
+    vec![StreamingReport {
+        name: "cnn_fig11",
+        instances: n,
+        streaming_ms,
+        materialized_ms,
+        accumulator_bytes,
+        materialized_bytes,
     }]
 }
 
@@ -369,6 +446,7 @@ fn write_json(
     reports: &[WorkloadReport],
     ensembles: &[EnsembleReport],
     voting: &[VotingReport],
+    streaming: &[StreamingReport],
     evals: usize,
     smoke: bool,
 ) {
@@ -457,6 +535,29 @@ fn write_json(
             comma
         );
     }
+    let _ = writeln!(j, "  }},");
+    // `accumulator_bytes` is the streaming path's fixed per-worker state —
+    // deterministic and machine-independent, so bench_check gates it. The
+    // timings and the materialized-bytes proxy scale with the instance
+    // count and stay ungated.
+    let _ = writeln!(j, "  \"streaming_ensemble\": {{");
+    for (i, s) in streaming.iter().enumerate() {
+        let comma = if i + 1 < streaming.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    \"{}\": {{\n      \"instances\": {},\n      \"accumulator_bytes\": {},\n      \
+             \"ns_per_instance\": {:.0},\n      \"streaming_ms\": {:.1},\n      \
+             \"materialized_ms\": {:.1},\n      \"materialized_bytes\": {}\n    }}{}",
+            s.name,
+            s.instances,
+            s.accumulator_bytes,
+            s.streaming_ms * 1e6 / s.instances.max(1) as f64,
+            s.streaming_ms,
+            s.materialized_ms,
+            s.materialized_bytes,
+            comma
+        );
+    }
     let _ = writeln!(j, "  }}\n}}");
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let path = report_path(root, smoke, evals, instances);
@@ -470,10 +571,12 @@ fn write_json(
 fn bench_rhs(c: &mut Criterion) {
     // Smoke mode = any scale override present in the environment; the
     // report then goes to target/ instead of the committed baseline.
-    let smoke =
-        std::env::var("ARK_RHS_EVALS").is_ok() || std::env::var("ARK_RHS_ENSEMBLE_N").is_ok();
+    let smoke = std::env::var("ARK_RHS_EVALS").is_ok()
+        || std::env::var("ARK_RHS_ENSEMBLE_N").is_ok()
+        || std::env::var("ARK_RHS_STREAM_N").is_ok();
     let evals = env_usize("ARK_RHS_EVALS", 20_000);
     let ensemble_n = env_usize("ARK_RHS_ENSEMBLE_N", 8);
+    let stream_n = env_usize("ARK_RHS_STREAM_N", 1024);
 
     let mut reports = Vec::new();
     for w in workloads() {
@@ -562,7 +665,20 @@ fn bench_rhs(c: &mut Criterion) {
             v.scalar_dp_ms / v.voting_dp4_ms.max(1e-9),
         );
     }
-    write_json(&reports, &ensembles, &voting, evals, smoke);
+    let streaming = measure_streaming(stream_n);
+    for s in &streaming {
+        println!(
+            "{} streaming x{}: reduce {:.1} ms ({} accumulator bytes/worker) vs \
+             materialize-then-reduce {:.1} ms ({} trajectory bytes)",
+            s.name,
+            s.instances,
+            s.streaming_ms,
+            s.accumulator_bytes,
+            s.materialized_ms,
+            s.materialized_bytes,
+        );
+    }
+    write_json(&reports, &ensembles, &voting, &streaming, evals, smoke);
 }
 
 criterion_group!(benches, bench_rhs);

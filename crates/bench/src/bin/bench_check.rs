@@ -1,11 +1,18 @@
 //! Bench-regression gate: compare a fresh `BENCH_rhs.json` against the
-//! committed baseline and fail if any fused program's instruction count
-//! grew more than the allowed percentage.
+//! committed baseline and fail if any gated deterministic metric grew more
+//! than the allowed percentage.
 //!
-//! Instruction counts are *deterministic* compiler outputs (unlike ns/RHS
-//! timings, which depend on the host), so this check is flake-free and can
-//! run on every push — it catches optimizer regressions (lost CSE, broken
-//! fusion, prologue hoisting failures) the moment they land.
+//! Gated metrics are *deterministic* outputs (unlike ns timings, which
+//! depend on the host), so this check is flake-free and can run on every
+//! push:
+//!
+//! * `workloads/*/{fused,legacy}_instructions_per_rhs` — interpreted
+//!   instruction counts; catches optimizer regressions (lost CSE, broken
+//!   fusion, prologue hoisting failures) the moment they land;
+//! * `streaming_ensemble/*/accumulator_bytes` — the streaming reduction
+//!   path's fixed per-worker state; catches the O(accumulators) memory
+//!   contract quietly growing (e.g. an accumulator gaining a per-instance
+//!   buffer).
 //!
 //! ```text
 //! bench_check <baseline.json> <candidate.json> [max-growth-pct]
@@ -16,45 +23,68 @@
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-/// Instruction-count keys checked for growth (all deterministic).
-const CHECKED_KEYS: [&str; 2] = ["fused_instructions_per_rhs", "legacy_instructions_per_rhs"];
+/// Gated `(section, field)` pairs (all deterministic machine-independent
+/// counts).
+const CHECKED_KEYS: [(&str, &str); 3] = [
+    ("workloads", "fused_instructions_per_rhs"),
+    ("workloads", "legacy_instructions_per_rhs"),
+    ("streaming_ensemble", "accumulator_bytes"),
+];
 
-/// Parse the `"workloads"` section of a `BENCH_rhs.json`: workload name →
-/// (field → integer value). A tiny line scanner over our own generated
-/// format, not a general JSON parser.
-fn parse_workloads(text: &str) -> BTreeMap<String, BTreeMap<String, u64>> {
-    let mut out = BTreeMap::new();
-    let mut in_section = false;
-    let mut current: Option<String> = None;
+/// One parsed report: section → entry name → (field → integer value).
+type Sections = BTreeMap<String, BTreeMap<String, BTreeMap<String, u64>>>;
+
+/// Quoted key opening an object on this line (`"name": {`), if any.
+fn object_open(trimmed: &str) -> Option<&str> {
+    trimmed
+        .strip_suffix('{')
+        .and_then(|s| s.trim().strip_suffix(':'))
+        .and_then(|s| s.trim().strip_prefix('"'))
+        .and_then(|s| s.strip_suffix('"'))
+}
+
+/// Parse every two-level section of a `BENCH_rhs.json` (`"section": {
+/// "entry": { fields } }`). A tiny line scanner over our own generated
+/// format, not a general JSON parser; integer fields only, everything else
+/// is ignored.
+fn parse_sections(text: &str) -> Sections {
+    let mut out = Sections::new();
+    let mut section: Option<String> = None;
+    let mut entry: Option<String> = None;
     for line in text.lines() {
         let trimmed = line.trim();
-        if !in_section {
-            in_section = trimmed.starts_with("\"workloads\"");
-            continue;
-        }
-        if let Some(name) = trimmed
-            .strip_suffix('{')
-            .and_then(|s| s.trim().strip_suffix(':'))
-            .and_then(|s| s.trim().strip_prefix('"'))
-            .and_then(|s| s.strip_suffix('"'))
-        {
-            current = Some(name.to_string());
-            out.entry(name.to_string()).or_insert_with(BTreeMap::new);
-            continue;
-        }
-        if trimmed.starts_with('}') {
-            match current.take() {
-                Some(_) => continue,        // end of one workload object
-                None => in_section = false, // end of the workloads section
+        if let Some(name) = object_open(trimmed) {
+            match (&section, &entry) {
+                (None, _) => {
+                    out.entry(name.to_string()).or_default();
+                    section = Some(name.to_string());
+                }
+                (Some(s), None) => {
+                    out.get_mut(s)
+                        .expect("section inserted on open")
+                        .entry(name.to_string())
+                        .or_default();
+                    entry = Some(name.to_string());
+                }
+                (Some(_), Some(_)) => {}
             }
             continue;
         }
-        if let (Some(name), Some((key, value))) = (&current, trimmed.split_once(':')) {
+        if trimmed.starts_with('}') {
+            if entry.take().is_none() {
+                section = None;
+            }
+            continue;
+        }
+        if let (Some(s), Some(e), Some((key, value))) = (&section, &entry, trimmed.split_once(':'))
+        {
             let key = key.trim().trim_matches('"').to_string();
             let value = value.trim().trim_end_matches(',');
             if let Ok(v) = value.parse::<u64>() {
-                out.get_mut(name)
-                    .expect("entry inserted above")
+                out.get_mut(s)
+                    .expect("section inserted on open")
+                    .get_mut(e)
+                    .expect("entry inserted on open")
                     .insert(key, v);
             }
         }
@@ -79,22 +109,27 @@ fn main() -> ExitCode {
     let (Some(baseline), Some(candidate)) = (read(baseline_path), read(candidate_path)) else {
         return ExitCode::FAILURE;
     };
-    let base = parse_workloads(&baseline);
-    let cand = parse_workloads(&candidate);
-    if base.is_empty() {
+    let base = parse_sections(&baseline);
+    let cand = parse_sections(&candidate);
+    if !base.get("workloads").is_some_and(|w| !w.is_empty()) {
         eprintln!("bench_check: no workloads found in baseline {baseline_path}");
         return ExitCode::FAILURE;
     }
     let mut failures = 0usize;
     let mut checked = 0usize;
-    for (name, base_fields) in &base {
-        let Some(cand_fields) = cand.get(name) else {
-            eprintln!("FAIL {name}: workload missing from candidate report");
-            failures += 1;
-            continue;
+    for (section, key) in CHECKED_KEYS {
+        let Some(base_entries) = base.get(section) else {
+            continue; // older baseline without this section: nothing to gate
         };
-        for key in CHECKED_KEYS {
-            let (Some(&b), Some(&c)) = (base_fields.get(key), cand_fields.get(key)) else {
+        let empty = BTreeMap::new();
+        let cand_entries = cand.get(section).unwrap_or(&empty);
+        for (name, base_fields) in base_entries {
+            let Some(&b) = base_fields.get(key) else {
+                continue;
+            };
+            let Some(&c) = cand_entries.get(name).and_then(|f| f.get(key)) else {
+                eprintln!("FAIL {section}/{name}/{key}: missing from candidate report");
+                failures += 1;
                 continue;
             };
             checked += 1;
@@ -102,22 +137,22 @@ fn main() -> ExitCode {
             let growth = 100.0 * (c as f64 - b as f64) / (b as f64).max(1.0);
             if c > allowed {
                 eprintln!(
-                    "FAIL {name}/{key}: {b} -> {c} ({growth:+.1}%, allowed +{max_growth_pct}%)"
+                    "FAIL {section}/{name}/{key}: {b} -> {c} ({growth:+.1}%, allowed +{max_growth_pct}%)"
                 );
                 failures += 1;
             } else {
-                println!("ok   {name}/{key}: {b} -> {c} ({growth:+.1}%)");
+                println!("ok   {section}/{name}/{key}: {b} -> {c} ({growth:+.1}%)");
             }
         }
     }
     if checked == 0 {
-        eprintln!("bench_check: no comparable instruction counts found");
+        eprintln!("bench_check: no comparable gated metrics found");
         return ExitCode::FAILURE;
     }
     if failures > 0 {
         eprintln!("bench_check: {failures} regression(s) beyond +{max_growth_pct}%");
         return ExitCode::FAILURE;
     }
-    println!("bench_check: {checked} instruction counts within +{max_growth_pct}% of baseline");
+    println!("bench_check: {checked} gated metrics within +{max_growth_pct}% of baseline");
     ExitCode::SUCCESS
 }

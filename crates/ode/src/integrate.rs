@@ -33,6 +33,58 @@ use crate::system::{LanedOdeSystem, OdeSystem};
 use crate::trajectory::Trajectory;
 use std::fmt;
 
+/// A lane-width validation error: the requested SIMD-style lane width is
+/// not one the engine (or the selected step-control policy) can run.
+///
+/// Produced by `ark-sim`'s width checks (`Ensemble::try_with_lanes`, the
+/// `ARK_LANES` environment override) and by scalar-only step-control
+/// policies driven at `WIDTH > 1`; convertible into [`SolveError`] via
+/// `From` so solver entry points can propagate it with `?`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaneError {
+    /// The width is not in the engine's supported set (the laned
+    /// interpreter is only monomorphized for `supported`).
+    UnsupportedWidth {
+        /// The rejected lane width.
+        requested: usize,
+        /// The authoritative supported set (owned by the caller — for the
+        /// ensemble engine, `ark_sim::SUPPORTED_LANES`).
+        supported: &'static [usize],
+    },
+    /// The step-control policy has no laned form but was driven at a lane
+    /// width above 1 (the PI-adaptive controller is lockstep
+    /// fixed-step-only; see `VotingAdaptive` for the laned alternative).
+    ScalarOnlyPolicy {
+        /// Name of the scalar-only policy.
+        policy: &'static str,
+        /// The lane width it was driven at.
+        width: usize,
+    },
+}
+
+impl fmt::Display for LaneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaneError::UnsupportedWidth {
+                requested,
+                supported,
+            } => write!(
+                f,
+                "unsupported lane width {requested}: the laned interpreter is \
+                 compiled for widths {supported:?}"
+            ),
+            LaneError::ScalarOnlyPolicy { policy, width } => write!(
+                f,
+                "the {policy} has no laned form but was driven at lane width \
+                 {width}; use VotingAdaptive to trade bit-identity for laned \
+                 adaptive stepping"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LaneError {}
+
 /// An error produced during integration.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SolveError {
@@ -48,6 +100,8 @@ pub enum SolveError {
     },
     /// Invalid solver configuration.
     BadConfig(String),
+    /// A lane-width validation failure (see [`LaneError`]).
+    UnsupportedLanes(LaneError),
 }
 
 impl fmt::Display for SolveError {
@@ -56,11 +110,25 @@ impl fmt::Display for SolveError {
             SolveError::NonFinite { t } => write!(f, "non-finite state at t={t}"),
             SolveError::StepSizeUnderflow { t } => write!(f, "step size underflow at t={t}"),
             SolveError::BadConfig(m) => write!(f, "bad solver configuration: {m}"),
+            SolveError::UnsupportedLanes(e) => write!(f, "bad solver configuration: {e}"),
         }
     }
 }
 
-impl std::error::Error for SolveError {}
+impl std::error::Error for SolveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SolveError::UnsupportedLanes(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LaneError> for SolveError {
+    fn from(e: LaneError) -> Self {
+        SolveError::UnsupportedLanes(e)
+    }
+}
 
 /// Shared wrapper: run `solver` with a [`Strided`] recorder, one lane.
 fn record<V: Solver, E: Elem, S: SystemOver<E> + ?Sized>(
@@ -893,7 +961,13 @@ mod tests {
                 &mut LaneWorkspace::new(1),
             )
             .unwrap_err();
-        assert!(matches!(err, SolveError::BadConfig(_)), "{err}");
+        assert!(
+            matches!(
+                err,
+                SolveError::UnsupportedLanes(LaneError::ScalarOnlyPolicy { width: L, .. })
+            ),
+            "{err}"
+        );
         assert!(!DormandPrince::default().supports_lanes());
         assert!(DormandPrince::default().voting().supports_lanes());
         assert!(Rk4 { dt: 1.0 }.supports_lanes());

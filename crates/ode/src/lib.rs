@@ -60,7 +60,7 @@ pub use analysis::{
     convergence_time, convergence_time_all, ensemble_stats, is_steady, phase_distance, wrap_phase,
     EnsembleStats,
 };
-pub use integrate::{DormandPrince, Euler, Rk4, SolveError, VotingDormandPrince};
+pub use integrate::{DormandPrince, Euler, LaneError, Rk4, SolveError, VotingDormandPrince};
 pub use observe::{DenseRecorder, FinalState, Observer, Probe, StepInfo, Strided};
 pub use solver::{
     Adaptive, Dp45Stages, Elem, EmbeddedStepper, EulerStages, Fixed, LaneWorkspace, Method,

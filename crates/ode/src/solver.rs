@@ -540,6 +540,8 @@ pub trait StepControl<St> {
     /// # Errors
     ///
     /// [`SolveError::BadConfig`] for invalid configuration,
+    /// [`SolveError::UnsupportedLanes`] when a scalar-only policy is driven
+    /// at `E::WIDTH > 1`,
     /// [`SolveError::NonFinite`] when a lane's state leaves ℝ (for laned
     /// runs, the lowest failed lane is reported), and
     /// [`SolveError::StepSizeUnderflow`] from the adaptive controllers.
@@ -730,12 +732,11 @@ impl<St: EmbeddedStepper> StepControl<St> for Adaptive {
         ws: &mut Workspace<E>,
     ) -> Result<SolveStats, SolveError> {
         if E::WIDTH > 1 {
-            return Err(SolveError::BadConfig(
-                "the adaptive PI controller has no laned form (lockstep \
-                 fixed-step-only policy); use VotingAdaptive to trade \
-                 bit-identity for laned adaptive stepping"
-                    .into(),
-            ));
+            return Err(crate::integrate::LaneError::ScalarOnlyPolicy {
+                policy: "adaptive PI controller (lockstep fixed-step-only policy)",
+                width: E::WIDTH,
+            }
+            .into());
         }
         // One PI-controller implementation: at WIDTH == 1 the voting loop
         // degenerates to the scalar controller exactly — the vote is a
@@ -898,8 +899,8 @@ pub trait Solver {
     /// # Errors
     ///
     /// See [`StepControl::drive`]. Solvers whose policy is scalar-only
-    /// (PI-adaptive) return [`SolveError::BadConfig`] when `E::WIDTH > 1`;
-    /// probe with [`Solver::supports_lanes`].
+    /// (PI-adaptive) return [`SolveError::UnsupportedLanes`] when
+    /// `E::WIDTH > 1`; probe with [`Solver::supports_lanes`].
     fn solve<E: Elem, S: SystemOver<E> + ?Sized, O: Observer<E>>(
         &self,
         sys: &S,

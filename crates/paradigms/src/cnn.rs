@@ -141,21 +141,37 @@ fn try_cnn_language() -> Result<Language, LangError> {
 ///
 /// Panics only on an internal definition error (covered by tests).
 pub fn hw_cnn_language(base: &Language) -> Language {
-    try_hw_cnn_language(base).expect("hw-cnn language definition is valid")
+    try_hw_cnn_language(base, 0.1).expect("hw-cnn language definition is valid")
 }
 
-fn try_hw_cnn_language(base: &Language) -> Result<Language, LangError> {
+/// [`hw_cnn_language`] with the mismatch standard deviation `sigma` as a
+/// parameter instead of the paper's 0.1 — the knob the Figure 11 yield
+/// sweep turns: every fabrication-variation attribute (`Vm` bias `z`,
+/// `fEm` template weight `g`) carries `N(0, sigma)` mismatch.
+///
+/// # Panics
+///
+/// Panics only on an internal definition error (covered by tests).
+pub fn hw_cnn_language_sigma(base: &Language, sigma: f64) -> Language {
+    try_hw_cnn_language(base, sigma).expect("hw-cnn language definition is valid")
+}
+
+fn try_hw_cnn_language(base: &Language, sigma: f64) -> Result<Language, LangError> {
     LanguageBuilder::derive("hw_cnn", base)
         .node_type(
             NodeType::new("Vm", 1, Reduction::Sum)
                 .inherit("V")
-                .attr_default("z", SigType::real(-10.0, 10.0).with_mismatch(0.0, 0.1), 0.0),
+                .attr_default(
+                    "z",
+                    SigType::real(-10.0, 10.0).with_mismatch(0.0, sigma),
+                    0.0,
+                ),
         )
         .node_type(NodeType::new("OutNL", 0, Reduction::Sum).inherit("Out"))
         .edge_type(
             EdgeType::new("fEm")
                 .inherit("fE")
-                .attr("g", SigType::real(-10.0, 10.0).with_mismatch(0.0, 0.1)),
+                .attr("g", SigType::real(-10.0, 10.0).with_mismatch(0.0, sigma)),
         )
         // Non-ideal MOS-differential-pair saturation for OutNL.
         .prod(ProdRule::new(
@@ -857,16 +873,9 @@ pub fn run_cnn_ensemble(
     // laned interpreter (see `CnnReadout`), bit-identical per lane to the
     // scalar path.
     let readout = CnnReadout::new(&sys, pcnn.width, pcnn.height, t_end, snap_times);
-    ens.map_readout(
-        &sys,
-        &ark_ode::Rk4 { dt: CNN_SOLVER_DT },
-        seeds,
-        |seed| sys.sample_params(seed),
-        0.0,
-        t_end,
-        CNN_SOLVER_STRIDE,
-        &readout,
-    )
+    ens.run(&sys, &ark_ode::Rk4 { dt: CNN_SOLVER_DT }, seeds, 0.0, t_end)
+        .stride(CNN_SOLVER_STRIDE)
+        .map_grouped(&readout)
 }
 
 /// [`run_cnn_ensemble`] with the readout forced to run scalar, once per
@@ -891,18 +900,87 @@ pub fn run_cnn_ensemble_scalar_readout(
     let pcnn = build_cnn_parametric(lang, input, template, nonideality)?;
     let sys = CompiledSystem::compile_parametric(lang, &pcnn.pgraph)?;
     let (width, height) = (pcnn.width, pcnn.height);
-    ens.map_integrated(
-        &sys,
-        &ark_ode::Rk4 { dt: CNN_SOLVER_DT },
-        seeds,
-        |seed| sys.sample_params(seed),
-        0.0,
-        t_end,
-        CNN_SOLVER_STRIDE,
-        |_seed, params, tr, scratch| {
+    ens.run(&sys, &ark_ode::Rk4 { dt: CNN_SOLVER_DT }, seeds, 0.0, t_end)
+        .stride(CNN_SOLVER_STRIDE)
+        .map(|_seed, params, tr, scratch| {
             read_cnn_run(&sys, width, height, params, t_end, snap_times, &tr, scratch)
-        },
-    )
+        })
+}
+
+/// Population statistics of CNN edge detection under fabrication mismatch,
+/// produced by the streaming ensemble path of [`run_cnn_yield`]. The
+/// quality measure per fabricated instance is its wrong-pixel count against
+/// the digital reference edge map; an instance *passes* when that count is
+/// zero.
+#[derive(Debug, Clone)]
+pub struct CnnYield {
+    /// Online mean/variance of the wrong-pixel count.
+    pub wrong_pixels: ark_sim::reduce::MomentStats,
+    /// Exact integer-resolution distribution of the wrong-pixel count
+    /// (one bin per possible count).
+    pub wrong_histogram: ark_sim::reduce::Histogram,
+    /// Pass/fail yield (pass = zero wrong pixels).
+    pub counts: ark_sim::reduce::Yield,
+}
+
+/// The Figure 11 yield sweep kernel: Monte Carlo over fabricated CNN
+/// instances on the **streaming** ensemble path. Each instance integrates
+/// under the allocation-free final-state observer, its output image is
+/// evaluated once at `t_end` and compared against the input's digital
+/// reference edge map, and the wrong-pixel count folds straight into
+/// online accumulators — no trajectory, image, or per-instance result is
+/// ever materialized, so memory stays O(workers · histogram) at any
+/// ensemble size (the 10⁵⁺-instance sweeps of `fig11_yield` run through
+/// here). Results are bit-identical for any worker count and lane width.
+///
+/// # Errors
+///
+/// The build/compile failure of the design, or the first (by seed order)
+/// integration failure.
+pub fn run_cnn_yield(
+    lang: &Language,
+    input: &Image,
+    template: &Template,
+    nonideality: NonIdeality,
+    t_end: f64,
+    seeds: &[u64],
+    ens: &ark_sim::Ensemble,
+) -> Result<CnnYield, crate::DynError> {
+    use ark_sim::reduce::{premap, Moments, Quantiles, YieldCounter};
+    let pcnn = build_cnn_parametric(lang, input, template, nonideality)?;
+    let sys = CompiledSystem::compile_parametric(lang, &pcnn.pgraph)?;
+    let (width, height) = (pcnn.width, pcnn.height);
+    let expected = input.digital_edge_map();
+    let pixels = width * height;
+    // Bins centered on the integers 0..=pixels, so quantiles of the
+    // integer-valued wrong-pixel count come back exact.
+    let reducer = (
+        Moments,
+        Quantiles::new(-0.5, pixels as f64 + 0.5, pixels + 1),
+        premap(|wrong: f64| wrong == 0.0, YieldCounter),
+    );
+    let (wrong_pixels, wrong_histogram, counts) = ens
+        .run(&sys, &ark_ode::Rk4 { dt: CNN_SOLVER_DT }, seeds, 0.0, t_end)
+        .reduce(
+            |snap, scratch| {
+                let out = read_output_dims(
+                    &sys,
+                    width,
+                    height,
+                    snap.t,
+                    snap.state,
+                    snap.params,
+                    scratch,
+                );
+                Ok::<_, crate::DynError>(out.diff_count(&expected) as f64)
+            },
+            &reducer,
+        )?;
+    Ok(CnnYield {
+        wrong_pixels,
+        wrong_histogram,
+        counts,
+    })
 }
 
 #[cfg(test)]
@@ -1093,6 +1171,81 @@ mod tests {
             assert_eq!(serial.convergence_time, run.convergence_time);
             assert_eq!(serial.snapshots.len(), run.snapshots.len());
         }
+    }
+
+    /// The streaming yield kernel agrees with the materialized ensemble on
+    /// every statistic it reports, across lane widths — and a wider
+    /// mismatch sigma degrades (or at least never improves) the yield.
+    #[test]
+    fn streaming_yield_matches_materialized_ensemble() {
+        let base = cnn_language();
+        let hw = hw_cnn_language_sigma(&base, 0.1);
+        let input = Image::from_ascii(&["....", ".##.", ".##.", "...."]);
+        let expected = input.digital_edge_map();
+        let seeds: Vec<u64> = (0..9).collect();
+        let runs = run_cnn_ensemble(
+            &hw,
+            &input,
+            &EDGE_TEMPLATE,
+            NonIdeality::ZMismatch,
+            2.0,
+            &[],
+            &seeds,
+            &ark_sim::Ensemble::serial(),
+        )
+        .unwrap();
+        let wrong: Vec<f64> = runs
+            .iter()
+            .map(|r| r.final_output.diff_count(&expected) as f64)
+            .collect();
+        let pass = wrong.iter().filter(|&&w| w == 0.0).count() as u64;
+        for lanes in [1usize, 4, 8] {
+            let ens = ark_sim::Ensemble::new(2).with_lanes(lanes);
+            let y = run_cnn_yield(
+                &hw,
+                &input,
+                &EDGE_TEMPLATE,
+                NonIdeality::ZMismatch,
+                2.0,
+                &seeds,
+                &ens,
+            )
+            .unwrap();
+            assert_eq!(y.counts.total, seeds.len() as u64, "lanes={lanes}");
+            assert_eq!(y.counts.pass, pass, "lanes={lanes}");
+            assert_eq!(y.wrong_histogram.total(), seeds.len() as u64);
+            let mean = wrong.iter().sum::<f64>() / wrong.len() as f64;
+            assert!(
+                (y.wrong_pixels.mean - mean).abs() < 1e-12,
+                "lanes={lanes}: {} vs {mean}",
+                y.wrong_pixels.mean
+            );
+        }
+    }
+
+    /// The sigma knob actually reaches the mismatch attributes: sampled
+    /// parameter spread scales with it.
+    #[test]
+    fn sigma_knob_scales_the_sampled_spread() {
+        let base = cnn_language();
+        let input = Image::from_ascii(&["....", ".##.", ".##.", "...."]);
+        let spread_for = |sigma: f64| {
+            let hw = hw_cnn_language_sigma(&base, sigma);
+            let pcnn =
+                build_cnn_parametric(&hw, &input, &EDGE_TEMPLATE, NonIdeality::ZMismatch).unwrap();
+            let sys = CompiledSystem::compile_parametric(&hw, &pcnn.pgraph).unwrap();
+            let nominal = sys.nominal_params();
+            let sampled = sys.sample_params(7);
+            sampled
+                .iter()
+                .zip(&nominal)
+                .map(|(s, n)| (s - n).abs())
+                .fold(0.0f64, f64::max)
+        };
+        let narrow = spread_for(0.01);
+        let wide = spread_for(0.2);
+        assert!(narrow > 0.0, "sigma 0.01 must perturb parameters");
+        assert!(wide > narrow * 5.0, "narrow {narrow} wide {wide}");
     }
 
     /// The laned group readout is bit-identical to the scalar per-instance

@@ -425,18 +425,13 @@ pub fn table1_outcomes(
             edges: edges.to_vec(),
         };
         let class_seeds: Vec<u64> = trial_idxs.iter().map(|&i| seeds[i]).collect();
-        let outcomes = ens.map_integrated(
-            &sys,
-            &Rk4 { dt: SOLVE_DT },
-            &class_seeds,
-            |seed| sparse_template_params(&sys, &init_slots, seed),
-            0.0,
-            SOLVE_TIME,
-            50,
-            |_seed, _params, tr, _scratch| {
+        let outcomes = ens
+            .run(&sys, &Rk4 { dt: SOLVE_DT }, &class_seeds, 0.0, SOLVE_TIME)
+            .stride(50)
+            .params(|seed| sparse_template_params(&sys, &init_slots, seed))
+            .map(|_seed, _params, tr, _scratch| {
                 Ok::<_, crate::DynError>(read_outcome(&sys, &class_problem, d, &tr))
-            },
-        )?;
+            })?;
         for (&i, outcome) in trial_idxs.iter().zip(outcomes) {
             results[i] = Some(outcome);
         }

@@ -500,7 +500,10 @@ pub fn tline_mismatch_ensemble(
 ) -> Result<Vec<ark_ode::Trajectory>, crate::DynError> {
     let pg = linear_tline_parametric(lang, segments, cfg)?;
     let sys = ark_core::CompiledSystem::compile_parametric(lang, &pg)?;
-    Ok(ens.integrate_sampled(&sys, &ark_ode::Rk4 { dt }, seeds, 0.0, t_end, stride)?)
+    Ok(ens
+        .run(&sys, &ark_ode::Rk4 { dt }, seeds, 0.0, t_end)
+        .stride(stride)
+        .trajectories()?)
 }
 
 /// The paper's `br_func` (Figure 8) expressed in Ark source text: a

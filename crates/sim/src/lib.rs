@@ -9,17 +9,27 @@
 //! * [`Ensemble`] — a `std::thread` worker pool that fans seeded jobs out
 //!   and returns results **in seed order**, so the output is deterministic
 //!   and *independent of the worker count*;
-//! * [`Ensemble::integrate_states`] — the compile-once/simulate-many fast
-//!   path: one [`CompiledSystem`] (which is `Send + Sync`) shared by
-//!   reference across the pool, with each worker reusing its own
-//!   [`EvalScratch`] and [`OdeWorkspace`], so the hot loop allocates
-//!   nothing per step;
+//! * [`Ensemble::run`] / [`EnsembleRun`] — the one ensemble entry point:
+//!   compile once, share the [`CompiledSystem`] (which is `Send + Sync`) by
+//!   reference across the pool, each worker reusing its own
+//!   [`EvalScratch`] and [`OdeWorkspace`] so the hot loop allocates
+//!   nothing per step. Terminal methods either *materialize*
+//!   ([`EnsembleRun::trajectories`], [`EnsembleRun::map`],
+//!   [`EnsembleRun::map_grouped`]) or *stream*
+//!   ([`EnsembleRun::reduce`], [`EnsembleRun::reduce_observed`]) — the
+//!   streaming path folds one item per instance into a [`reduce::Reducer`]
+//!   as instances finish, so a 10⁵–10⁶-instance Monte Carlo costs
+//!   O(accumulator) memory instead of O(N · trajectory);
+//! * [`reduce`] — the online accumulators: [`reduce::Moments`],
+//!   [`reduce::MinMax`], the deterministic [`reduce::Quantiles`] sketch,
+//!   and [`reduce::YieldCounter`], all merging block partials in fixed
+//!   seed order (see the module docs for the determinism contract);
 //! * any [`ark_ode::Solver`] drives the integration — `Rk4`, `Euler`,
 //!   `DormandPrince`, or the lane-voting `VotingDormandPrince`. Solvers
 //!   whose policy is scalar-only ([`ark_ode::Solver::supports_lanes`] is
 //!   false, i.e. the PI-adaptive `DormandPrince`) automatically dispatch
 //!   through the scalar path;
-//! * [`LaneReadout`] / [`Ensemble::map_readout`] — readout that sees a
+//! * [`LaneReadout`] / [`EnsembleRun::map_grouped`] — readout that sees a
 //!   whole *lane group* at once, so observation programs (CNN snapshot
 //!   images, convergence probes) evaluate through the laned interpreter
 //!   instead of once per instance.
@@ -80,15 +90,38 @@
 //! // ...then shared by reference across the pool for many initial states.
 //! let inits: Vec<Vec<f64>> = (1..=8).map(|i| vec![i as f64]).collect();
 //! let ens = Ensemble::new(4);
-//! let runs = ens.integrate_states(&sys, &Rk4 { dt: 1e-3 }, &inits, 0.0, 1.0, 10)?;
+//! let idx: Vec<u64> = (0..inits.len() as u64).collect();
+//! let runs = ens
+//!     .run(&sys, &Rk4 { dt: 1e-3 }, &idx, 0.0, 1.0)
+//!     .stride(10)
+//!     .prep(|i| (Vec::new(), inits[i as usize].clone()))
+//!     .trajectories()?;
 //! for (y0, tr) in inits.iter().zip(&runs) {
 //!     let expect = y0[0] * (-1.0f64).exp();
 //!     assert!((tr.last().unwrap().1[0] - expect).abs() < 1e-8);
 //! }
+//!
+//! // Population-scale runs stream instead: one item per instance folds
+//! // into an online reducer as instances finish — no Vec<Trajectory>,
+//! // memory stays O(accumulator) no matter how many seeds.
+//! use ark_sim::reduce::Moments;
+//! use ark_sim::seed_range;
+//! let stats = ens
+//!     .run(&sys, &Rk4 { dt: 1e-3 }, &seed_range(0, 100), 0.0, 1.0)
+//!     .prep(|seed| (Vec::new(), vec![1.0 + 0.01 * seed as f64]))
+//!     .reduce(|snap, _scratch| Ok::<_, ark_ode::SolveError>(snap.state[0]), &Moments)?;
+//! assert_eq!(stats.count, 100);
+//! assert!(stats.mean > 0.0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![warn(missing_docs)]
+
+pub mod reduce;
+mod run;
+
+pub use ark_ode::LaneError;
+pub use run::{EnsembleObserver, EnsembleRun, FinalSnapshot, Observed};
 
 use ark_core::{CompiledSystem, EvalScratch, LaneScratch};
 use ark_ode::{OdeWorkspace, SolveError, Solver, Strided, Trajectory, Workspace};
@@ -109,15 +142,15 @@ pub const SUPPORTED_LANES: [usize; 3] = [1, 4, 8];
 ///
 /// # Errors
 ///
-/// A human-readable message naming the supported set.
-fn check_lanes(lanes: usize) -> Result<usize, String> {
+/// [`LaneError::UnsupportedWidth`] naming the supported set.
+fn check_lanes(lanes: usize) -> Result<usize, LaneError> {
     if SUPPORTED_LANES.contains(&lanes) {
         Ok(lanes)
     } else {
-        Err(format!(
-            "unsupported lane width {lanes}: the laned interpreter is compiled for \
-             widths {SUPPORTED_LANES:?}"
-        ))
+        Err(LaneError::UnsupportedWidth {
+            requested: lanes,
+            supported: &SUPPORTED_LANES,
+        })
     }
 }
 
@@ -130,13 +163,12 @@ fn check_lanes(lanes: usize) -> Result<usize, String> {
 fn lanes_from_env() -> usize {
     match std::env::var("ARK_LANES") {
         Err(_) => DEFAULT_LANES,
-        Ok(v) => match v
-            .parse::<usize>()
-            .map_err(|e| e.to_string())
-            .and_then(check_lanes)
-        {
-            Ok(l) => l,
+        Ok(v) => match v.parse::<usize>() {
             Err(e) => panic!("ARK_LANES={v:?}: {e}"),
+            Ok(l) => match check_lanes(l) {
+                Ok(l) => l,
+                Err(e) => panic!("ARK_LANES={v:?}: {e}"),
+            },
         },
     }
 }
@@ -300,8 +332,9 @@ impl Ensemble {
     ///
     /// # Errors
     ///
-    /// A descriptive message when `lanes` is not in [`SUPPORTED_LANES`].
-    pub fn try_with_lanes(self, lanes: usize) -> Result<Self, String> {
+    /// [`LaneError::UnsupportedWidth`] when `lanes` is not in
+    /// [`SUPPORTED_LANES`].
+    pub fn try_with_lanes(self, lanes: usize) -> Result<Self, LaneError> {
         check_lanes(lanes).map(|lanes| Ensemble { lanes, ..self })
     }
 
@@ -433,17 +466,13 @@ impl Ensemble {
         Ok(out)
     }
 
-    /// The compile-once/simulate-many fast path: integrate one shared
-    /// [`CompiledSystem`] from each initial state in `inits` under any
-    /// [`Solver`], reusing one [`EvalScratch`] and one [`OdeWorkspace`] per
-    /// worker so the integration loop performs zero per-step allocations.
-    /// Lane-capable solvers are lane-batched (see [`Ensemble::with_lanes`]).
+    /// Deprecated wrapper over [`Ensemble::run`] with a per-index
+    /// initial-state prep — integrate one shared non-parametric
+    /// [`CompiledSystem`] from each initial state in `inits`.
     ///
-    /// `stride` records every `stride`-th accepted step (plus the initial
-    /// and final states).
-    ///
-    /// Trajectories come back in `inits` order, bit-identical for any
-    /// worker count.
+    /// Routes through the exact same dispatch core as the [`EnsembleRun`]
+    /// it delegates to, so its output is pinned bit-identical to the new
+    /// path.
     ///
     /// # Errors
     ///
@@ -451,7 +480,12 @@ impl Ensemble {
     ///
     /// # Panics
     ///
-    /// Panics on a parametric system — use [`Ensemble::integrate_params`].
+    /// Panics on a parametric system — supply parameters via
+    /// [`EnsembleRun::params`].
+    #[deprecated(
+        note = "use Ensemble::run(..).prep(|i| (vec![], inits\\[i\\].clone())).trajectories(); \
+                see README § Streaming ensembles"
+    )]
     pub fn integrate_states<S: Solver + Sync>(
         &self,
         sys: &CompiledSystem,
@@ -464,51 +498,27 @@ impl Ensemble {
         assert_eq!(
             sys.num_params(),
             0,
-            "parametric system: integrate_params must supply parameter vectors"
+            "parametric system: supply parameter vectors (EnsembleRun::params)"
         );
         let idx: Vec<u64> = (0..inits.len() as u64).collect();
-        fn keep(
-            _seed: u64,
-            _params: &[f64],
-            tr: Trajectory,
-            _scratch: &mut EvalScratch,
-        ) -> Result<Trajectory, SolveError> {
-            Ok(tr)
-        }
-        self.dispatch_lanes(
-            sys,
-            solver,
-            &idx,
-            &|i| (Vec::new(), inits[i as usize].clone()),
-            t0,
-            t1,
-            stride,
-            &ClosureReadout(keep),
-        )
+        self.run(sys, solver, &idx, t0, t1)
+            .stride(stride)
+            .prep(|i| (Vec::new(), inits[i as usize].clone()))
+            .trajectories()
     }
 
-    /// The compile-once *parametric* ensemble: one shared
-    /// [`CompiledSystem`] (from
-    /// [`CompiledSystem::compile_parametric`](ark_core::CompiledSystem::compile_parametric)),
-    /// each instance supplying the parameter vector returned by
-    /// `params_for(seed)` — no per-instance rebuild or recompile anywhere.
-    /// Per worker, one [`EvalScratch`] and one
-    /// [`OdeWorkspace`] are reused across instances, and lane-capable
-    /// solvers are lane-batched into groups of [`Ensemble::lanes`] instances
-    /// that advance together through the laned interpreter (scalar fallback
-    /// for the `N % lanes` tail and for lane-incapable solvers).
+    /// Deprecated wrapper over [`Ensemble::run`] +
+    /// [`EnsembleRun::params`] + [`EnsembleRun::trajectories`].
     ///
-    /// Trajectories come back in seed order, bit-identical for any worker
-    /// count (results depend only on the seed through `params_for`).
+    /// Routes through the exact same dispatch core as the [`EnsembleRun`]
+    /// it delegates to, so its output is pinned bit-identical to the new
+    /// path.
     ///
     /// # Errors
     ///
     /// The first (by seed order) solver error.
-    ///
-    /// # Panics
-    ///
-    /// Panics (inside the jobs) if `params_for` returns a vector of the
-    /// wrong length.
+    #[deprecated(note = "use Ensemble::run(..).params(..).trajectories(); \
+                see README § Streaming ensembles")]
     #[allow(clippy::too_many_arguments)]
     pub fn integrate_params<S: Solver + Sync, F>(
         &self,
@@ -523,38 +533,24 @@ impl Ensemble {
     where
         F: Fn(u64) -> Vec<f64> + Sync,
     {
-        self.map_integrated(
-            sys,
-            solver,
-            seeds,
-            params_for,
-            t0,
-            t1,
-            stride,
-            |_, _, tr, _| Ok(tr),
-        )
+        self.run(sys, solver, seeds, t0, t1)
+            .stride(stride)
+            .params(params_for)
+            .trajectories()
     }
 
-    /// The per-instance laned-ensemble primitive behind
-    /// [`Ensemble::integrate_params`]: integrate one instance per seed —
-    /// lane-batched like [`Ensemble::integrate_params`] — then map each
-    /// trajectory through `finish` (readout, metrics) on the same worker.
+    /// Deprecated wrapper over [`Ensemble::run`] +
+    /// [`EnsembleRun::params`] + [`EnsembleRun::map`].
     ///
-    /// `finish(seed, params, trajectory, scratch)` runs scalar, in lane
-    /// order within a group, with a worker-private
-    /// [`EvalScratch`] for observation-program
-    /// evaluation. Results come back in seed order, bit-identical for any
-    /// worker count and lane width. For readout that can exploit the whole
-    /// lane group (laned observation programs), implement [`LaneReadout`]
-    /// and use [`Ensemble::map_readout`] instead.
+    /// Routes through the exact same dispatch core as the [`EnsembleRun`]
+    /// it delegates to, so its output is pinned bit-identical to the new
+    /// path.
     ///
     /// # Errors
     ///
-    /// The first (by seed order) integration or `finish` error. (In the
-    /// rare case where one lane group contains both a later-lane
-    /// integration failure and an earlier-lane `finish` failure, the
-    /// integration error wins — `finish` never runs for a group whose
-    /// integration failed.)
+    /// The first (by seed order) integration or `finish` error.
+    #[deprecated(note = "use Ensemble::run(..).params(..).map(finish); \
+                see README § Streaming ensembles")]
     #[allow(clippy::too_many_arguments)]
     pub fn map_integrated<S: Solver + Sync, T, E, F, G>(
         &self,
@@ -573,31 +569,24 @@ impl Ensemble {
         F: Fn(u64) -> Vec<f64> + Sync,
         G: Fn(u64, &[f64], Trajectory, &mut EvalScratch) -> Result<T, E> + Sync,
     {
-        self.map_readout(
-            sys,
-            solver,
-            seeds,
-            params_for,
-            t0,
-            t1,
-            stride,
-            &ClosureReadout(finish),
-        )
+        self.run(sys, solver, seeds, t0, t1)
+            .stride(stride)
+            .params(params_for)
+            .map(finish)
     }
 
-    /// The general group-aware ensemble primitive: integrate one instance
-    /// per seed (lane-batched), then hand each finished **lane group** to
-    /// `readout` — whose [`LaneReadout::finish_group`] can evaluate
-    /// observation programs through the laned interpreter, amortizing
-    /// readout the same way integration already is. Scalar tails,
-    /// lane-incapable solvers, and `lanes = 1` engines go through
-    /// [`LaneReadout::finish`].
+    /// Deprecated wrapper over [`Ensemble::run`] +
+    /// [`EnsembleRun::params`] + [`EnsembleRun::map_grouped`].
     ///
-    /// Results come back in seed order.
+    /// Routes through the exact same dispatch core as the [`EnsembleRun`]
+    /// it delegates to, so its output is pinned bit-identical to the new
+    /// path.
     ///
     /// # Errors
     ///
     /// The first (by seed order) integration or readout error.
+    #[deprecated(note = "use Ensemble::run(..).params(..).map_grouped(&readout); \
+                see README § Streaming ensembles")]
     #[allow(clippy::too_many_arguments)]
     pub fn map_readout<S: Solver + Sync, T, E, F, R>(
         &self,
@@ -616,20 +605,10 @@ impl Ensemble {
         F: Fn(u64) -> Vec<f64> + Sync,
         R: LaneReadout<T, E>,
     {
-        self.dispatch_lanes(
-            sys,
-            solver,
-            seeds,
-            &|seed| {
-                let params = params_for(seed);
-                let y0 = sys.initial_state_for(&params);
-                (params, y0)
-            },
-            t0,
-            t1,
-            stride,
-            readout,
-        )
+        self.run(sys, solver, seeds, t0, t1)
+            .stride(stride)
+            .params(params_for)
+            .map_grouped(readout)
     }
 
     /// Pick the lane width (lane-incapable solvers force the scalar path)
@@ -761,15 +740,22 @@ impl Ensemble {
         Ok(nested.into_iter().flatten().collect())
     }
 
-    /// [`Ensemble::integrate_params`] with the canonical mismatch sampler:
-    /// instance `seed` runs with
-    /// [`CompiledSystem::sample_params`](ark_core::CompiledSystem::sample_params)`(seed)`,
-    /// reproducing exactly what rebuilding the graph with that seed would
-    /// have produced.
+    /// Deprecated wrapper over [`Ensemble::run`] +
+    /// [`EnsembleRun::trajectories`] (the canonical
+    /// [`CompiledSystem::sample_params`](ark_core::CompiledSystem::sample_params)
+    /// mismatch sampler is [`EnsembleRun`]'s default prep).
+    ///
+    /// Routes through the exact same dispatch core as the [`EnsembleRun`]
+    /// it delegates to, so its output is pinned bit-identical to the new
+    /// path.
     ///
     /// # Errors
     ///
     /// The first (by seed order) solver error.
+    #[deprecated(
+        note = "use Ensemble::run(..).trajectories() — sampled params are the default prep; \
+                see README § Streaming ensembles"
+    )]
     pub fn integrate_sampled<S: Solver + Sync>(
         &self,
         sys: &CompiledSystem,
@@ -779,7 +765,9 @@ impl Ensemble {
         t1: f64,
         stride: usize,
     ) -> Result<Vec<Trajectory>, SolveError> {
-        self.integrate_params(sys, solver, seeds, |s| sys.sample_params(s), t0, t1, stride)
+        self.run(sys, solver, seeds, t0, t1)
+            .stride(stride)
+            .trajectories()
     }
 }
 
@@ -815,10 +803,32 @@ impl<const L: usize> Default for LaneBufs<L> {
 /// reuse the fallible plumbing without an error branch at runtime.
 enum Unreachable {}
 
-/// Consecutive seeds `base..base + n` — the conventional way the paper's
-/// experiments enumerate fabricated instances.
+/// Consecutive seeds `base, base + 1, …, base + n − 1` — the conventional
+/// way the paper's experiments enumerate fabricated instances.
+///
+/// # Seed-ordering contract
+///
+/// The returned seeds are strictly increasing by exactly 1, with no wrap
+/// and no duplicates. Every ensemble entry point treats **seed order as
+/// result order** (materializing paths return results in this order;
+/// streaming paths push items into their accumulators in this order), so
+/// two runs over the same `seed_range` are directly comparable element by
+/// element — and extending a study is as simple as running
+/// `seed_range(base + n, more)` next.
+///
+/// # Panics
+///
+/// Panics if `base + n - 1` exceeds `u64::MAX` — checked arithmetic in
+/// debug *and* release builds, so a near-`u64::MAX` base fails loudly
+/// instead of silently wrapping to low seeds already used by another
+/// study.
 pub fn seed_range(base: u64, n: usize) -> Vec<u64> {
-    (0..n as u64).map(|k| base + k).collect()
+    (0..n as u64)
+        .map(|k| {
+            base.checked_add(k)
+                .expect("seed_range overflows u64::MAX: pick a lower base or fewer seeds")
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -939,8 +949,27 @@ mod tests {
     #[test]
     fn try_with_lanes_reports_the_supported_set() {
         let err = Ensemble::serial().try_with_lanes(5).unwrap_err();
-        assert!(err.contains("[1, 4, 8]"), "{err}");
+        assert!(
+            matches!(err, LaneError::UnsupportedWidth { requested: 5, .. }),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("[1, 4, 8]"), "{err}");
         assert_eq!(Ensemble::serial().try_with_lanes(8).unwrap().lanes(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed_range overflows u64::MAX")]
+    fn seed_range_panics_instead_of_wrapping() {
+        let _ = seed_range(u64::MAX - 2, 8);
+    }
+
+    #[test]
+    fn seed_range_allows_the_top_of_the_space() {
+        let seeds = seed_range(u64::MAX - 3, 4);
+        assert_eq!(
+            seeds,
+            vec![u64::MAX - 3, u64::MAX - 2, u64::MAX - 1, u64::MAX]
+        );
     }
 
     /// One small parametric design for the lane tests below.
@@ -993,29 +1022,19 @@ mod tests {
             let seeds = seed_range(0, n);
             let reference = Ensemble::serial()
                 .with_lanes(1)
-                .integrate_params(
-                    &sys,
-                    &solver,
-                    &seeds,
-                    |s| lane_test_params(&sys, s),
-                    0.0,
-                    1.0,
-                    10,
-                )
+                .run(&sys, &solver, &seeds, 0.0, 1.0)
+                .stride(10)
+                .params(|s| lane_test_params(&sys, s))
+                .trajectories()
                 .unwrap();
             for lanes in [4usize, 8] {
                 for workers in [1usize, 3] {
                     let got = Ensemble::new(workers)
                         .with_lanes(lanes)
-                        .integrate_params(
-                            &sys,
-                            &solver,
-                            &seeds,
-                            |s| lane_test_params(&sys, s),
-                            0.0,
-                            1.0,
-                            10,
-                        )
+                        .run(&sys, &solver, &seeds, 0.0, 1.0)
+                        .stride(10)
+                        .params(|s| lane_test_params(&sys, s))
+                        .trajectories()
                         .unwrap();
                     assert_eq!(reference, got, "n={n} lanes={lanes} workers={workers}");
                 }
@@ -1032,27 +1051,15 @@ mod tests {
         let seeds = seed_range(0, 5);
         let scalar = Ensemble::serial()
             .with_lanes(1)
-            .integrate_params(
-                &sys,
-                &solver,
-                &seeds,
-                |s| lane_test_params(&sys, s),
-                0.0,
-                1.0,
-                1,
-            )
+            .run(&sys, &solver, &seeds, 0.0, 1.0)
+            .params(|s| lane_test_params(&sys, s))
+            .trajectories()
             .unwrap();
         let laned = Ensemble::serial()
             .with_lanes(4)
-            .integrate_params(
-                &sys,
-                &solver,
-                &seeds,
-                |s| lane_test_params(&sys, s),
-                0.0,
-                1.0,
-                1,
-            )
+            .run(&sys, &solver, &seeds, 0.0, 1.0)
+            .params(|s| lane_test_params(&sys, s))
+            .trajectories()
             .unwrap();
         assert_eq!(scalar, laned);
     }
@@ -1067,28 +1074,16 @@ mod tests {
         let seeds = seed_range(0, 9);
         let reference = Ensemble::serial()
             .with_lanes(4)
-            .integrate_params(
-                &sys,
-                &solver,
-                &seeds,
-                |s| lane_test_params(&sys, s),
-                0.0,
-                1.0,
-                1,
-            )
+            .run(&sys, &solver, &seeds, 0.0, 1.0)
+            .params(|s| lane_test_params(&sys, s))
+            .trajectories()
             .unwrap();
         for workers in [2usize, 8] {
             let got = Ensemble::new(workers)
                 .with_lanes(4)
-                .integrate_params(
-                    &sys,
-                    &solver,
-                    &seeds,
-                    |s| lane_test_params(&sys, s),
-                    0.0,
-                    1.0,
-                    1,
-                )
+                .run(&sys, &solver, &seeds, 0.0, 1.0)
+                .params(|s| lane_test_params(&sys, s))
+                .trajectories()
                 .unwrap();
             assert_eq!(reference, got, "workers {workers}");
         }
@@ -1099,27 +1094,21 @@ mod tests {
         }
     }
 
-    /// `map_integrated` runs the readout (`finish`) per lane with results
-    /// in seed order.
+    /// `map` runs the readout (`finish`) per lane with results in seed
+    /// order.
     #[test]
-    fn map_integrated_preserves_seed_order_and_params() {
+    fn map_preserves_seed_order_and_params() {
         let (_lang, sys) = decay_parametric();
         let solver = Rk4 { dt: 1e-2 };
         let seeds = seed_range(0, 7);
         let got: Vec<(u64, f64, f64)> = Ensemble::new(2)
             .with_lanes(4)
-            .map_integrated(
-                &sys,
-                &solver,
-                &seeds,
-                |s| lane_test_params(&sys, s),
-                0.0,
-                1.0,
-                10,
-                |seed, params, tr, _scratch| {
-                    Ok::<_, SolveError>((seed, params[0], tr.last().unwrap().1[0]))
-                },
-            )
+            .run(&sys, &solver, &seeds, 0.0, 1.0)
+            .stride(10)
+            .params(|s| lane_test_params(&sys, s))
+            .map(|seed, params, tr, _scratch| {
+                Ok::<_, SolveError>((seed, params[0], tr.last().unwrap().1[0]))
+            })
             .unwrap();
         for (k, (seed, tau, v_end)) in got.iter().enumerate() {
             assert_eq!(*seed, k as u64);
@@ -1166,31 +1155,136 @@ mod tests {
         let seeds = seed_range(0, 11); // 2 full groups + tail of 3
         let grouped = Ensemble::new(2)
             .with_lanes(4)
-            .map_readout(
-                &sys,
-                &solver,
-                &seeds,
-                |s| lane_test_params(&sys, s),
-                0.0,
-                1.0,
-                10,
-                &EndState,
-            )
+            .run(&sys, &solver, &seeds, 0.0, 1.0)
+            .stride(10)
+            .params(|s| lane_test_params(&sys, s))
+            .map_grouped(&EndState)
             .unwrap();
         let scalar = Ensemble::serial()
             .with_lanes(1)
-            .map_integrated(
+            .run(&sys, &solver, &seeds, 0.0, 1.0)
+            .stride(10)
+            .params(|s| lane_test_params(&sys, s))
+            .map(|_, _, tr, _| Ok::<_, SolveError>(tr.last().unwrap().1[0]))
+            .unwrap();
+        assert_eq!(grouped, scalar);
+    }
+
+    /// The deprecated entry points are thin wrappers over the same
+    /// dispatch core — pinned bit-identical to the builder API.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_are_bit_identical_to_run() {
+        let (_lang, sys) = decay_parametric();
+        let solver = Rk4 { dt: 1e-2 };
+        let seeds = seed_range(0, 7);
+        let ens = Ensemble::new(2).with_lanes(4);
+        let old = ens
+            .integrate_params(
                 &sys,
                 &solver,
                 &seeds,
                 |s| lane_test_params(&sys, s),
                 0.0,
                 1.0,
-                10,
-                |_, _, tr, _| Ok::<_, SolveError>(tr.last().unwrap().1[0]),
+                5,
             )
             .unwrap();
-        assert_eq!(grouped, scalar);
+        let new = ens
+            .run(&sys, &solver, &seeds, 0.0, 1.0)
+            .stride(5)
+            .params(|s| lane_test_params(&sys, s))
+            .trajectories()
+            .unwrap();
+        assert_eq!(old, new);
+        let old_sampled = ens
+            .integrate_sampled(&sys, &solver, &seeds, 0.0, 1.0, 5)
+            .unwrap();
+        let new_sampled = ens
+            .run(&sys, &solver, &seeds, 0.0, 1.0)
+            .stride(5)
+            .trajectories()
+            .unwrap();
+        assert_eq!(old_sampled, new_sampled);
+    }
+
+    /// Streaming reduction matches the materialize-then-reduce path
+    /// bit-for-bit, across worker counts and lane widths.
+    #[test]
+    fn reduce_matches_materialized_reference() {
+        use crate::reduce::{reduce_materialized, MinMax, Moments};
+        let (_lang, sys) = decay_parametric();
+        let solver = Rk4 { dt: 1e-2 };
+        let seeds = seed_range(0, 37);
+        let items: Vec<f64> = Ensemble::serial()
+            .with_lanes(1)
+            .run(&sys, &solver, &seeds, 0.0, 1.0)
+            .params(|s| lane_test_params(&sys, s))
+            .map(|_, _, tr, _| Ok::<_, SolveError>(tr.last().unwrap().1[0]))
+            .unwrap();
+        let want = reduce_materialized(&(Moments, MinMax), &items);
+        for workers in [1usize, 2, 8] {
+            for lanes in [1usize, 4, 8] {
+                let (stats, extrema) = Ensemble::new(workers)
+                    .with_lanes(lanes)
+                    .run(&sys, &solver, &seeds, 0.0, 1.0)
+                    .params(|s| lane_test_params(&sys, s))
+                    .reduce(
+                        |snap, _scratch| Ok::<_, SolveError>(snap.state[0]),
+                        &(Moments, MinMax),
+                    )
+                    .unwrap();
+                assert_eq!(stats.count, want.0.count, "w={workers} l={lanes}");
+                assert_eq!(
+                    stats.mean.to_bits(),
+                    want.0.mean.to_bits(),
+                    "w={workers} l={lanes}"
+                );
+                assert_eq!(
+                    stats.m2.to_bits(),
+                    want.0.m2.to_bits(),
+                    "w={workers} l={lanes}"
+                );
+                assert_eq!(extrema.min.to_bits(), want.1.min.to_bits());
+                assert_eq!(extrema.max.to_bits(), want.1.max.to_bits());
+            }
+        }
+    }
+
+    /// The streaming path surfaces the first error by seed order, like the
+    /// materializing path.
+    #[test]
+    fn reduce_reports_first_error_by_seed_order() {
+        use crate::reduce::YieldCounter;
+        #[derive(Debug, PartialEq)]
+        enum TestErr {
+            Solve(SolveError),
+            Seed(u64),
+        }
+        impl From<SolveError> for TestErr {
+            fn from(e: SolveError) -> Self {
+                TestErr::Solve(e)
+            }
+        }
+        let (_lang, sys) = decay_parametric();
+        let solver = Rk4 { dt: 1e-2 };
+        let seeds = seed_range(0, 12);
+        let err = Ensemble::new(3)
+            .with_lanes(4)
+            .run(&sys, &solver, &seeds, 0.0, 1.0)
+            .params(|s| lane_test_params(&sys, s))
+            .reduce(
+                |snap, _scratch| {
+                    if snap.seed >= 5 {
+                        Err(TestErr::Seed(snap.seed))
+                    } else {
+                        Ok(true)
+                    }
+                },
+                &YieldCounter,
+            )
+            .unwrap_err();
+        assert_eq!(err, TestErr::Seed(5));
     }
 
     #[test]

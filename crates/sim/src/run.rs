@@ -1,0 +1,470 @@
+//! The builder-style ensemble entry point: [`Ensemble::run`] returns an
+//! [`EnsembleRun`] whose terminal methods either materialize results in
+//! seed order or stream them through an online [`Reducer`].
+
+use crate::reduce::{Reducer, STREAM_BLOCK};
+use crate::{ClosureReadout, Ensemble, LaneBufs, LaneReadout};
+use ark_core::{CompiledSystem, EvalScratch};
+use ark_ode::{FinalState, Observer, OdeWorkspace, SolveError, SolveStats, Solver, Trajectory};
+
+/// An observer usable on every ensemble dispatch width: scalar plus each
+/// laned interpreter width in [`crate::SUPPORTED_LANES`]. Blanket-implemented,
+/// so any observer generic over `ark_ode`'s element type (like
+/// [`FinalState`]) qualifies automatically; closure-based
+/// [`Probe`](ark_ode::Probe)s do **not** (a closure has one concrete
+/// argument type) — wrap bespoke per-step readout in a small struct
+/// implementing [`Observer`] over `E: Elem` instead.
+pub trait EnsembleObserver: Observer<f64> + Observer<[f64; 4]> + Observer<[f64; 8]> {}
+
+impl<O: Observer<f64> + Observer<[f64; 4]> + Observer<[f64; 8]>> EnsembleObserver for O {}
+
+/// One finished instance as seen by an [`EnsembleRun::reduce_observed`]
+/// extractor: which lane of which observer holds it, plus the instance's
+/// identity.
+#[derive(Debug)]
+pub struct Observed<'r, O> {
+    /// Lane index of this instance within `obs` (0 on the scalar path).
+    pub lane: usize,
+    /// The instance's seed.
+    pub seed: u64,
+    /// The instance's parameter vector.
+    pub params: &'r [f64],
+    /// The observer that watched the run (shared by the whole lane group).
+    pub obs: &'r O,
+}
+
+/// One finished instance as seen by an [`EnsembleRun::reduce`] extractor:
+/// the final state captured by the built-in [`FinalState`] observer,
+/// already sliced down to this instance's lane.
+#[derive(Debug)]
+pub struct FinalSnapshot<'r> {
+    /// The instance's seed.
+    pub seed: u64,
+    /// The instance's parameter vector.
+    pub params: &'r [f64],
+    /// Time of the final state (the run's `t1` on success).
+    pub t: f64,
+    /// The instance's final state vector.
+    pub state: &'r [f64],
+    /// Solver statistics of the run (shared by the whole lane group).
+    pub stats: SolveStats,
+}
+
+/// A configured ensemble integration, created by [`Ensemble::run`] —
+/// compile-once/simulate-many over one shared [`CompiledSystem`], every
+/// instance keyed by its seed.
+///
+/// Builder methods refine the run ([`EnsembleRun::stride`],
+/// [`EnsembleRun::params`], [`EnsembleRun::prep`]); terminal methods
+/// execute it. **Materializing** terminals return one value per seed, in
+/// seed order:
+///
+/// * [`EnsembleRun::trajectories`] — recorded [`Trajectory`] per instance;
+/// * [`EnsembleRun::map`] — per-instance readout of the trajectory;
+/// * [`EnsembleRun::map_grouped`] — group-aware [`LaneReadout`], for
+///   observation programs that evaluate through the laned interpreter.
+///
+/// **Streaming** terminals never materialize per-instance results: each
+/// instance runs under an allocation-free observer and folds one item into
+/// an online [`Reducer`] — memory stays O(accumulator) at any N:
+///
+/// * [`EnsembleRun::reduce`] — observe final states ([`FinalState`]);
+/// * [`EnsembleRun::reduce_observed`] — bring your own observer factory.
+///
+/// Every terminal inherits the engine's determinism guarantee: results
+/// depend only on the seeds, never on the worker count (see
+/// [`Ensemble`]); on the default solvers they are also bit-identical
+/// across lane widths.
+#[derive(Debug, Clone, Copy)]
+pub struct EnsembleRun<'a, S, P> {
+    ens: Ensemble,
+    sys: &'a CompiledSystem,
+    solver: &'a S,
+    seeds: &'a [u64],
+    prep: P,
+    t0: f64,
+    t1: f64,
+    stride: usize,
+}
+
+impl Ensemble {
+    /// Configure an ensemble run of `sys` under `solver` over `[t0, t1]`,
+    /// one instance per seed. Defaults: the canonical mismatch sampler
+    /// ([`CompiledSystem::sample_params`] per seed, initial state derived
+    /// from the sampled parameters) and stride 1; refine with the builder
+    /// methods, then execute with a terminal method.
+    pub fn run<'a, S: Solver + Sync>(
+        &self,
+        sys: &'a CompiledSystem,
+        solver: &'a S,
+        seeds: &'a [u64],
+        t0: f64,
+        t1: f64,
+    ) -> EnsembleRun<'a, S, impl Fn(u64) -> (Vec<f64>, Vec<f64>) + Sync + 'a> {
+        EnsembleRun {
+            ens: *self,
+            sys,
+            solver,
+            seeds,
+            prep: move |seed| {
+                let params = sys.sample_params(seed);
+                let y0 = sys.initial_state_for(&params);
+                (params, y0)
+            },
+            t0,
+            t1,
+            stride: 1,
+        }
+    }
+}
+
+impl<'a, S, P> EnsembleRun<'a, S, P>
+where
+    S: Solver + Sync,
+    P: Fn(u64) -> (Vec<f64>, Vec<f64>) + Sync,
+{
+    /// Record every `stride`-th accepted step (plus the initial and final
+    /// states) on the materializing terminals. Streaming terminals ignore
+    /// the stride — their observers see every accepted step.
+    pub fn stride(mut self, stride: usize) -> Self {
+        self.stride = stride;
+        self
+    }
+
+    /// Supply each instance's parameter vector explicitly; the initial
+    /// state is derived from it
+    /// ([`CompiledSystem::initial_state_for`]). Replaces the default
+    /// sampled-mismatch prep.
+    pub fn params<F>(
+        self,
+        params_for: F,
+    ) -> EnsembleRun<'a, S, impl Fn(u64) -> (Vec<f64>, Vec<f64>) + Sync + 'a>
+    where
+        F: Fn(u64) -> Vec<f64> + Sync + 'a,
+    {
+        let sys = self.sys;
+        self.prep(move |seed| {
+            let params = params_for(seed);
+            let y0 = sys.initial_state_for(&params);
+            (params, y0)
+        })
+    }
+
+    /// Full control over per-instance setup: `prep(seed)` returns the
+    /// `(params, y0)` pair the instance integrates with (`params` empty
+    /// for non-parametric systems). Replaces the default sampled-mismatch
+    /// prep. The engine's determinism guarantee assumes the result depends
+    /// only on the seed.
+    pub fn prep<Q>(self, prep: Q) -> EnsembleRun<'a, S, Q>
+    where
+        Q: Fn(u64) -> (Vec<f64>, Vec<f64>) + Sync,
+    {
+        EnsembleRun {
+            ens: self.ens,
+            sys: self.sys,
+            solver: self.solver,
+            seeds: self.seeds,
+            prep,
+            t0: self.t0,
+            t1: self.t1,
+            stride: self.stride,
+        }
+    }
+
+    /// Materialize one recorded [`Trajectory`] per instance, in seed
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// The first (by seed order) solver error.
+    pub fn trajectories(self) -> Result<Vec<Trajectory>, SolveError> {
+        fn keep(
+            _seed: u64,
+            _params: &[f64],
+            tr: Trajectory,
+            _scratch: &mut EvalScratch,
+        ) -> Result<Trajectory, SolveError> {
+            Ok(tr)
+        }
+        self.map(keep)
+    }
+
+    /// Materialize one readout per instance, in seed order:
+    /// `finish(seed, params, trajectory, scratch)` runs scalar on the
+    /// worker that integrated the instance, with a worker-private
+    /// [`EvalScratch`] for observation-program evaluation.
+    ///
+    /// # Errors
+    ///
+    /// The first (by seed order) integration or `finish` error. (When one
+    /// lane group contains both a later-lane integration failure and an
+    /// earlier-lane `finish` failure, the integration error wins —
+    /// `finish` never runs for a group whose integration failed.)
+    pub fn map<T, E, G>(self, finish: G) -> Result<Vec<T>, E>
+    where
+        T: Send,
+        E: Send + From<SolveError>,
+        G: Fn(u64, &[f64], Trajectory, &mut EvalScratch) -> Result<T, E> + Sync,
+    {
+        self.map_grouped(&ClosureReadout(finish))
+    }
+
+    /// Materialize through a group-aware [`LaneReadout`], in seed order:
+    /// full lane groups are handed to [`LaneReadout::finish_group`], which
+    /// can evaluate observation programs through the laned interpreter —
+    /// amortizing readout the same way integration already is. Scalar
+    /// tails, lane-incapable solvers, and `lanes = 1` engines go through
+    /// [`LaneReadout::finish`].
+    ///
+    /// # Errors
+    ///
+    /// The first (by seed order) integration or readout error.
+    pub fn map_grouped<T, E, R>(self, readout: &R) -> Result<Vec<T>, E>
+    where
+        T: Send,
+        E: Send + From<SolveError>,
+        R: LaneReadout<T, E>,
+    {
+        self.ens.dispatch_lanes(
+            self.sys,
+            self.solver,
+            self.seeds,
+            &self.prep,
+            self.t0,
+            self.t1,
+            self.stride,
+            readout,
+        )
+    }
+
+    /// Stream final states through an online [`Reducer`]: each instance
+    /// runs under the allocation-free [`FinalState`] observer,
+    /// `extract(snapshot, scratch)` turns its endpoint into one item
+    /// (evaluate observation programs via
+    /// [`CompiledSystem::eval_algebraics_with_params`] with the provided
+    /// worker-private scratch), and the items fold into `reducer`.
+    ///
+    /// No trajectory is ever materialized: memory is
+    /// O(workers · accumulator), independent of the seed count — the
+    /// 10⁵⁺-instance yield sweeps run through here. Results are
+    /// bit-identical for any worker count and lane width (see
+    /// [`crate::reduce`] for the merge-order contract).
+    ///
+    /// # Errors
+    ///
+    /// The first (by seed order) integration or `extract` error.
+    pub fn reduce<I, E, X, R>(self, extract: X, reducer: &R) -> Result<R::Output, E>
+    where
+        E: Send + From<SolveError>,
+        X: Fn(&FinalSnapshot<'_>, &mut EvalScratch) -> Result<I, E> + Sync,
+        R: Reducer<I>,
+    {
+        self.reduce_observed(
+            FinalState::new,
+            move |inst: &Observed<'_, FinalState>, scratch| {
+                extract(
+                    &FinalSnapshot {
+                        seed: inst.seed,
+                        params: inst.params,
+                        t: inst.obs.time(),
+                        state: inst.obs.lane_state(inst.lane),
+                        stats: inst.obs.stats(),
+                    },
+                    scratch,
+                )
+            },
+            reducer,
+        )
+    }
+
+    /// Stream through an online [`Reducer`] with a caller-supplied
+    /// observer: `make_obs()` builds one fresh observer per lane group
+    /// (per instance on the scalar path), the solver streams every
+    /// accepted step into it, and `extract` turns each lane of the
+    /// finished observer into one item for `reducer` — in seed order
+    /// within the group.
+    ///
+    /// The observer must implement [`EnsembleObserver`] (i.e. be generic
+    /// over the element width); [`FinalState`] qualifies, as does any
+    /// custom struct implementing [`Observer`] over `E: Elem`.
+    ///
+    /// # Errors
+    ///
+    /// The first (by seed order) integration or `extract` error.
+    pub fn reduce_observed<O, OF, I, E, X, R>(
+        self,
+        make_obs: OF,
+        extract: X,
+        reducer: &R,
+    ) -> Result<R::Output, E>
+    where
+        O: EnsembleObserver,
+        OF: Fn() -> O + Sync,
+        E: Send + From<SolveError>,
+        X: Fn(&Observed<'_, O>, &mut EvalScratch) -> Result<I, E> + Sync,
+        R: Reducer<I>,
+    {
+        // Lane width selection mirrors the materializing dispatch: the
+        // match arms must cover crate::SUPPORTED_LANES.
+        let lanes = if self.solver.supports_lanes() {
+            self.ens.lanes()
+        } else {
+            1
+        };
+        match lanes {
+            4 => self.reduce_lane_blocks::<4, _, _, _, _, _, _>(&make_obs, &extract, reducer),
+            8 => self.reduce_lane_blocks::<8, _, _, _, _, _, _>(&make_obs, &extract, reducer),
+            _ => self.reduce_scalar_blocks(&make_obs, &extract, reducer),
+        }
+    }
+
+    /// Streaming runner, laned: fixed blocks of [`STREAM_BLOCK`] seeds are
+    /// the unit of work *and* of merging — one accumulator per block,
+    /// partials merged serially in block order, so the merge tree is
+    /// independent of the worker count. Within a block, lane groups of `L`
+    /// integrate through the laned interpreter (scalar fallback for the
+    /// tail) and items push in seed order.
+    fn reduce_lane_blocks<const L: usize, O, OF, I, E, X, R>(
+        &self,
+        make_obs: &OF,
+        extract: &X,
+        reducer: &R,
+    ) -> Result<R::Output, E>
+    where
+        O: Observer<f64> + Observer<[f64; L]>,
+        OF: Fn() -> O + Sync,
+        E: Send + From<SolveError>,
+        X: Fn(&Observed<'_, O>, &mut EvalScratch) -> Result<I, E> + Sync,
+        R: Reducer<I>,
+    {
+        let n = self.sys.num_states();
+        let blocks: Vec<&[u64]> = self.seeds.chunks(STREAM_BLOCK).collect();
+        let idx: Vec<u64> = (0..blocks.len() as u64).collect();
+        let job = |bufs: &mut LaneBufs<L>, bi: u64| -> Result<R::Acc, E> {
+            let mut acc = reducer.new_acc();
+            for group in blocks[bi as usize].chunks(L) {
+                let prepped: Vec<(Vec<f64>, Vec<f64>)> =
+                    group.iter().map(|&s| (self.prep)(s)).collect();
+                if group.len() == L && prepped.iter().all(|(_, y0)| y0.len() == n) {
+                    // Full group: struct-of-arrays initial state, laned bind.
+                    bufs.y0.clear();
+                    bufs.y0.resize(n, [0.0; L]);
+                    for (l, (_, y0)) in prepped.iter().enumerate() {
+                        for (i, &v) in y0.iter().enumerate() {
+                            bufs.y0[i][l] = v;
+                        }
+                    }
+                    let params: Vec<&[f64]> = prepped.iter().map(|(p, _)| p.as_slice()).collect();
+                    let mut obs = make_obs();
+                    {
+                        let bound = self.sys.bind_lanes::<L>(&params, &mut bufs.lscratch);
+                        self.solver
+                            .solve(
+                                &bound,
+                                self.t0,
+                                &bufs.y0[..n],
+                                self.t1,
+                                &mut obs,
+                                &mut bufs.lws,
+                            )
+                            .map_err(E::from)?;
+                    }
+                    for (l, &seed) in group.iter().enumerate() {
+                        let item = extract(
+                            &Observed {
+                                lane: l,
+                                seed,
+                                params: params[l],
+                                obs: &obs,
+                            },
+                            &mut bufs.scratch,
+                        )?;
+                        reducer.push(&mut acc, item);
+                    }
+                } else {
+                    // Scalar tail (block length % L != 0).
+                    for (&seed, (params, y0)) in group.iter().zip(&prepped) {
+                        let mut obs = make_obs();
+                        {
+                            let bound = self.sys.bind_ref(params, &mut bufs.scratch);
+                            self.solver
+                                .solve(&bound, self.t0, y0, self.t1, &mut obs, &mut bufs.ws)
+                                .map_err(E::from)?;
+                        }
+                        let item = extract(
+                            &Observed {
+                                lane: 0,
+                                seed,
+                                params,
+                                obs: &obs,
+                            },
+                            &mut bufs.scratch,
+                        )?;
+                        reducer.push(&mut acc, item);
+                    }
+                }
+            }
+            Ok(acc)
+        };
+        let partials: Vec<R::Acc> = self.ens.try_map_init(&idx, LaneBufs::<L>::default, job)?;
+        let mut total = reducer.new_acc();
+        for partial in partials {
+            reducer.merge(&mut total, partial);
+        }
+        Ok(reducer.finish(total))
+    }
+
+    /// Streaming runner, scalar path (lane width 1 or a lane-incapable
+    /// solver): same block structure and merge order as the laned runner,
+    /// every instance integrated individually.
+    fn reduce_scalar_blocks<O, OF, I, E, X, R>(
+        &self,
+        make_obs: &OF,
+        extract: &X,
+        reducer: &R,
+    ) -> Result<R::Output, E>
+    where
+        O: Observer<f64>,
+        OF: Fn() -> O + Sync,
+        E: Send + From<SolveError>,
+        X: Fn(&Observed<'_, O>, &mut EvalScratch) -> Result<I, E> + Sync,
+        R: Reducer<I>,
+    {
+        let blocks: Vec<&[u64]> = self.seeds.chunks(STREAM_BLOCK).collect();
+        let idx: Vec<u64> = (0..blocks.len() as u64).collect();
+        let job = |(scratch, ws): &mut (EvalScratch, OdeWorkspace), bi: u64| -> Result<R::Acc, E> {
+            let mut acc = reducer.new_acc();
+            for &seed in blocks[bi as usize] {
+                let (params, y0) = (self.prep)(seed);
+                let mut obs = make_obs();
+                {
+                    let bound = self.sys.bind_ref(&params, scratch);
+                    self.solver
+                        .solve(&bound, self.t0, &y0, self.t1, &mut obs, ws)
+                        .map_err(E::from)?;
+                }
+                let item = extract(
+                    &Observed {
+                        lane: 0,
+                        seed,
+                        params: &params,
+                        obs: &obs,
+                    },
+                    scratch,
+                )?;
+                reducer.push(&mut acc, item);
+            }
+            Ok(acc)
+        };
+        let partials: Vec<R::Acc> = self.ens.try_map_init(
+            &idx,
+            || (self.sys.scratch(), OdeWorkspace::new(self.sys.num_states())),
+            job,
+        )?;
+        let mut total = reducer.new_acc();
+        for partial in partials {
+            reducer.merge(&mut total, partial);
+        }
+        Ok(reducer.finish(total))
+    }
+}

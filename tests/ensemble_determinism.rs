@@ -97,12 +97,19 @@ fn shared_system_integration_matches_serial() {
         })
         .collect();
     let solver = Rk4 { dt: 5e-3 };
+    let idx: Vec<u64> = (0..inits.len() as u64).collect();
     let serial = Ensemble::serial()
-        .integrate_states(&sys, &solver, &inits, 0.0, 1.0, 10)
+        .run(&sys, &solver, &idx, 0.0, 1.0)
+        .stride(10)
+        .prep(|i| (Vec::new(), inits[i as usize].clone()))
+        .trajectories()
         .unwrap();
     for workers in [2usize, 8] {
         let parallel = Ensemble::new(workers)
-            .integrate_states(&sys, &solver, &inits, 0.0, 1.0, 10)
+            .run(&sys, &solver, &idx, 0.0, 1.0)
+            .stride(10)
+            .prep(|i| (Vec::new(), inits[i as usize].clone()))
+            .trajectories()
             .unwrap();
         assert_eq!(serial, parallel, "workers {workers}");
     }
@@ -121,11 +128,16 @@ fn adaptive_cnn_ensemble_reports_rejections_deterministically() {
         ..DormandPrince::new(1e-8, 1e-10)
     };
     let inits = vec![sys.initial_state(); 4];
+    let idx: Vec<u64> = (0..inits.len() as u64).collect();
     let serial = Ensemble::serial()
-        .integrate_states(&sys, &solver, &inits, 0.0, 3.0, 1)
+        .run(&sys, &solver, &idx, 0.0, 3.0)
+        .prep(|i| (Vec::new(), inits[i as usize].clone()))
+        .trajectories()
         .unwrap();
     let parallel = Ensemble::new(4)
-        .integrate_states(&sys, &solver, &inits, 0.0, 3.0, 1)
+        .run(&sys, &solver, &idx, 0.0, 3.0)
+        .prep(|i| (Vec::new(), inits[i as usize].clone()))
+        .trajectories()
         .unwrap();
     assert_eq!(serial, parallel);
     for tr in &serial {

@@ -73,13 +73,19 @@ proptest! {
         let solver = Rk4 { dt: 2e-2 };
         let scalar = Ensemble::serial()
             .with_lanes(1)
-            .integrate_params(&sys, &solver, &seeds, |s| params_for(&sys, s), 0.0, 1.0, stride)
+            .run(&sys, &solver, &seeds, 0.0, 1.0)
+            .stride(stride)
+            .params(|s| params_for(&sys, s))
+            .trajectories()
             .unwrap();
         for lanes in [4usize, 8] {
             for workers in [1usize, 2] {
                 let laned = Ensemble::new(workers)
                     .with_lanes(lanes)
-                    .integrate_params(&sys, &solver, &seeds, |s| params_for(&sys, s), 0.0, 1.0, stride)
+                    .run(&sys, &solver, &seeds, 0.0, 1.0)
+                    .stride(stride)
+                    .params(|s| params_for(&sys, s))
+                    .trajectories()
                     .unwrap();
                 prop_assert_eq!(&scalar, &laned, "n={} lanes={} workers={}", n, lanes, workers);
             }

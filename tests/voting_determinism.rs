@@ -62,11 +62,15 @@ fn voting_dp_independent_of_worker_count() {
     for n in [1usize, 3, 5, 8, 13] {
         let seeds = seed_range(0, n);
         let reference = Ensemble::serial()
-            .integrate_params(&sys, &solver, &seeds, |s| params_for(&sys, s), 0.0, 1.0, 1)
+            .run(&sys, &solver, &seeds, 0.0, 1.0)
+            .params(|s| params_for(&sys, s))
+            .trajectories()
             .unwrap();
         for workers in [2usize, 3, 8] {
             let got = Ensemble::new(workers)
-                .integrate_params(&sys, &solver, &seeds, |s| params_for(&sys, s), 0.0, 1.0, 1)
+                .run(&sys, &solver, &seeds, 0.0, 1.0)
+                .params(|s| params_for(&sys, s))
+                .trajectories()
                 .unwrap();
             assert_eq!(reference, got, "n={n} workers={workers}");
         }
@@ -90,19 +94,15 @@ fn voting_dp_width_one_equals_scalar_dp() {
     let seeds = seed_range(0, 7);
     let scalar = Ensemble::new(2)
         .with_lanes(1)
-        .integrate_params(&sys, &dp, &seeds, |s| params_for(&sys, s), 0.0, 1.0, 1)
+        .run(&sys, &dp, &seeds, 0.0, 1.0)
+        .params(|s| params_for(&sys, s))
+        .trajectories()
         .unwrap();
     let voting = Ensemble::new(2)
         .with_lanes(1)
-        .integrate_params(
-            &sys,
-            &dp.voting(),
-            &seeds,
-            |s| params_for(&sys, s),
-            0.0,
-            1.0,
-            1,
-        )
+        .run(&sys, &dp.voting(), &seeds, 0.0, 1.0)
+        .params(|s| params_for(&sys, s))
+        .trajectories()
         .unwrap();
     assert_eq!(scalar, voting);
 }
@@ -118,7 +118,9 @@ fn voting_dp_groups_share_one_voted_grid() {
     let seeds = seed_range(0, 4);
     let grouped = Ensemble::serial()
         .with_lanes(4)
-        .integrate_params(&sys, &solver, &seeds, |s| params_for(&sys, s), 0.0, 1.0, 1)
+        .run(&sys, &solver, &seeds, 0.0, 1.0)
+        .params(|s| params_for(&sys, s))
+        .trajectories()
         .unwrap();
     // One shared grid across the group...
     for l in 1..4 {
@@ -127,7 +129,9 @@ fn voting_dp_groups_share_one_voted_grid() {
     // ...and at least as many accepted steps as any lane needs alone.
     let alone = Ensemble::serial()
         .with_lanes(1)
-        .integrate_params(&sys, &solver, &seeds, |s| params_for(&sys, s), 0.0, 1.0, 1)
+        .run(&sys, &solver, &seeds, 0.0, 1.0)
+        .params(|s| params_for(&sys, s))
+        .trajectories()
         .unwrap();
     let worst_alone = alone.iter().map(ark::ode::Trajectory::len).max().unwrap();
     assert!(
