@@ -17,7 +17,7 @@
 //! and `ARK_RHS_STREAM_N` the streaming-reduction instance count.
 
 use ark_core::CompiledSystem;
-use ark_ode::{DormandPrince, Rk4};
+use ark_ode::{DormandPrince, Rk4, TrBdf2};
 use ark_paradigms::cnn::{
     build_cnn, build_cnn_parametric, cnn_language, hw_cnn_language, run_cnn, run_cnn_ensemble,
     run_cnn_ensemble_scalar_readout, NonIdeality, EDGE_TEMPLATE,
@@ -398,6 +398,73 @@ fn measure_streaming(n: usize) -> Vec<StreamingReport> {
     }]
 }
 
+/// The implicit-vs-explicit comparison on the stiff Van der Pol benchmark
+/// (μ = 1000, t ∈ [0, 3]): compiled-Jacobian program size, step and Newton
+/// counts (all deterministic and machine-independent — `bench_check` gates
+/// them), plus wall-clock ns/accepted-step for both solvers.
+struct StiffReport {
+    name: &'static str,
+    states: usize,
+    rhs_instrs: usize,
+    jacobian_instrs: usize,
+    jacobian_nnz: usize,
+    trbdf2_accepted: usize,
+    trbdf2_rejected: usize,
+    trbdf2_newton_iters: usize,
+    trbdf2_rhs_evals: usize,
+    dp45_accepted: usize,
+    dp45_rejected: usize,
+    dp45_rhs_evals: usize,
+    trbdf2_ms: f64,
+    dp45_ms: f64,
+}
+
+/// Van der Pol at μ = 1000 over t ∈ [0, 3] at rtol 1e-6 / atol 1e-9, same
+/// compiled system for both solvers. The workload is tiny (two states, ~90
+/// implicit steps) so it runs at full span even in smoke mode — which is
+/// what keeps the gated counts identical between CI smoke runs and the
+/// committed paper-scale baseline.
+fn measure_stiff() -> Vec<StiffReport> {
+    use ark_paradigms::stiff::{vdp_language, vdp_oscillator};
+    let lang = vdp_language();
+    let g = vdp_oscillator(&lang, 1000.0).unwrap();
+    let sys = CompiledSystem::compile(&lang, &g).unwrap();
+    let jac = sys.jacobian();
+    let (jacobian_instrs, jacobian_nnz) = (jac.instrs(), jac.nnz());
+    let y0 = sys.initial_state();
+    let bound = sys.bind();
+    let (t0, t1) = (0.0, 3.0);
+
+    let implicit = TrBdf2::new(1e-6, 1e-9);
+    black_box(implicit.integrate(&bound, t0, &y0, t1, usize::MAX).unwrap());
+    let t = Instant::now();
+    let tr = implicit.integrate(&bound, t0, &y0, t1, usize::MAX).unwrap();
+    let trbdf2_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let explicit = DormandPrince::new(1e-6, 1e-9);
+    black_box(explicit.integrate(&bound, t0, &y0, t1).unwrap());
+    let t = Instant::now();
+    let dp = explicit.integrate(&bound, t0, &y0, t1).unwrap();
+    let dp45_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    vec![StiffReport {
+        name: "vdp_mu1000",
+        states: sys.num_states(),
+        rhs_instrs: sys.rhs_instruction_count(),
+        jacobian_instrs,
+        jacobian_nnz,
+        trbdf2_accepted: tr.stats().accepted,
+        trbdf2_rejected: tr.stats().rejected,
+        trbdf2_newton_iters: tr.stats().newton_iters,
+        trbdf2_rhs_evals: tr.stats().rhs_evals,
+        dp45_accepted: dp.stats().accepted,
+        dp45_rejected: dp.stats().rejected,
+        dp45_rhs_evals: dp.stats().rhs_evals,
+        trbdf2_ms,
+        dp45_ms,
+    }]
+}
+
 /// The first unsigned integer following `key` in `text` (tiny scan over
 /// our own generated JSON; no parser needed).
 fn scan_u64(text: &str, key: &str) -> Option<u64> {
@@ -447,6 +514,7 @@ fn write_json(
     ensembles: &[EnsembleReport],
     voting: &[VotingReport],
     streaming: &[StreamingReport],
+    stiff: &[StiffReport],
     evals: usize,
     smoke: bool,
 ) {
@@ -555,6 +623,42 @@ fn write_json(
             s.streaming_ms,
             s.materialized_ms,
             s.materialized_bytes,
+            comma
+        );
+    }
+    let _ = writeln!(j, "  }},");
+    // The stiff section's counts are deterministic (fixed-point float
+    // arithmetic, no threading) and scale-independent, so bench_check
+    // gates them even from smoke runs; only the ms timings float.
+    let _ = writeln!(j, "  \"stiff_vdp\": {{");
+    for (i, s) in stiff.iter().enumerate() {
+        let comma = if i + 1 < stiff.len() { "," } else { "" };
+        let implicit_steps = s.trbdf2_accepted + s.trbdf2_rejected;
+        let explicit_steps = s.dp45_accepted + s.dp45_rejected;
+        let _ = writeln!(
+            j,
+            "    \"{}\": {{\n      \"states\": {},\n      \"rhs_instructions\": {},\n      \
+             \"jacobian_instructions\": {},\n      \"jacobian_nnz\": {},\n      \
+             \"trbdf2_accepted_steps\": {},\n      \"trbdf2_rejected_steps\": {},\n      \
+             \"trbdf2_newton_iters\": {},\n      \"trbdf2_rhs_evals\": {},\n      \
+             \"dp45_accepted_steps\": {},\n      \"dp45_rejected_steps\": {},\n      \
+             \"dp45_rhs_evals\": {},\n      \"step_advantage\": {:.1},\n      \
+             \"trbdf2_ns_per_step\": {:.0},\n      \"dp45_ns_per_step\": {:.0}\n    }}{}",
+            s.name,
+            s.states,
+            s.rhs_instrs,
+            s.jacobian_instrs,
+            s.jacobian_nnz,
+            s.trbdf2_accepted,
+            s.trbdf2_rejected,
+            s.trbdf2_newton_iters,
+            s.trbdf2_rhs_evals,
+            s.dp45_accepted,
+            s.dp45_rejected,
+            s.dp45_rhs_evals,
+            explicit_steps as f64 / implicit_steps.max(1) as f64,
+            s.trbdf2_ms * 1e6 / implicit_steps.max(1) as f64,
+            s.dp45_ms * 1e6 / explicit_steps.max(1) as f64,
             comma
         );
     }
@@ -678,7 +782,30 @@ fn bench_rhs(c: &mut Criterion) {
             s.materialized_bytes,
         );
     }
-    write_json(&reports, &ensembles, &voting, &streaming, evals, smoke);
+    let stiff = measure_stiff();
+    for s in &stiff {
+        let implicit_steps = s.trbdf2_accepted + s.trbdf2_rejected;
+        let explicit_steps = s.dp45_accepted + s.dp45_rejected;
+        println!(
+            "{} stiff: trbdf2 {} steps / {} newton iters / {} rhs evals ({:.1} ms) vs \
+             dp45 {} steps / {} rhs evals ({:.1} ms) — {:.1}x fewer steps; \
+             jacobian program {} instrs, {} nonzeros",
+            s.name,
+            implicit_steps,
+            s.trbdf2_newton_iters,
+            s.trbdf2_rhs_evals,
+            s.trbdf2_ms,
+            explicit_steps,
+            s.dp45_rhs_evals,
+            s.dp45_ms,
+            explicit_steps as f64 / implicit_steps.max(1) as f64,
+            s.jacobian_instrs,
+            s.jacobian_nnz,
+        );
+    }
+    write_json(
+        &reports, &ensembles, &voting, &streaming, &stiff, evals, smoke,
+    );
 }
 
 criterion_group!(benches, bench_rhs);

@@ -12,7 +12,11 @@
 //! * `streaming_ensemble/*/accumulator_bytes` — the streaming reduction
 //!   path's fixed per-worker state; catches the O(accumulators) memory
 //!   contract quietly growing (e.g. an accumulator gaining a per-instance
-//!   buffer).
+//!   buffer);
+//! * `stiff_vdp/*/{jacobian_instructions,trbdf2_*}` — the forward-mode
+//!   Jacobian program's size and the implicit solver's step/Newton/RHS
+//!   counts on the stiff Van der Pol benchmark; catches AD lowering bloat
+//!   and step-controller regressions.
 //!
 //! ```text
 //! bench_check <baseline.json> <candidate.json> [max-growth-pct]
@@ -25,10 +29,18 @@ use std::process::ExitCode;
 
 /// Gated `(section, field)` pairs (all deterministic machine-independent
 /// counts).
-const CHECKED_KEYS: [(&str, &str); 3] = [
+const CHECKED_KEYS: [(&str, &str); 7] = [
     ("workloads", "fused_instructions_per_rhs"),
     ("workloads", "legacy_instructions_per_rhs"),
     ("streaming_ensemble", "accumulator_bytes"),
+    // Stiff solver path: the derived Jacobian program's size and the
+    // TR-BDF2 work counts on the Van der Pol μ=1000 benchmark. All four
+    // are bit-deterministic (scalar float arithmetic, fixed controller),
+    // so any AD lowering or step-controller regression trips the gate.
+    ("stiff_vdp", "jacobian_instructions"),
+    ("stiff_vdp", "trbdf2_accepted_steps"),
+    ("stiff_vdp", "trbdf2_newton_iters"),
+    ("stiff_vdp", "trbdf2_rhs_evals"),
 ];
 
 /// One parsed report: section → entry name → (field → integer value).

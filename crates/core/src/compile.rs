@@ -28,12 +28,13 @@ use crate::types::Value;
 use ark_expr::program::{
     LaneScratch, ProgScratch, ProgramBuilder, ProgramResolver, SystemProgram, VarRef,
 };
-use ark_expr::{Expr, Tape, TapeError};
+use ark_expr::{Differentiator, Expr, Tape, TapeError};
 use ark_ode::OdeSystem;
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// An error raised during compilation.
 #[derive(Debug, Clone, PartialEq)]
@@ -168,6 +169,9 @@ pub struct EvalScratch {
     /// Register files for fused [`SystemProgram`]s, keyed by program id
     /// (one per program so constant pools stay primed).
     progs: Vec<ProgScratch>,
+    /// Nonzero-entry output buffer for the Jacobian program
+    /// ([`CompiledSystem::eval_jacobian_with`]).
+    jvals: Vec<f64>,
 }
 
 impl EvalScratch {
@@ -243,6 +247,14 @@ impl OdeSystem for BoundSystem<'_> {
         self.sys
             .rhs_stage_hint(hint, &mut self.scratch.borrow_mut());
     }
+
+    /// Analytic Jacobian through the derivative program — always available
+    /// for compiled systems (see [`CompiledSystem::jacobian`]).
+    fn jacobian(&self, t: f64, y: &[f64], jac: &mut [f64]) -> bool {
+        self.sys
+            .eval_jacobian_with(t, y, &self.params, jac, &mut self.scratch.borrow_mut());
+        true
+    }
 }
 
 /// A borrowing sibling of [`BoundSystem`] for hot ensemble loops: the
@@ -251,6 +263,7 @@ impl OdeSystem for BoundSystem<'_> {
 /// [`CompiledSystem::bind_ref`].
 pub struct BoundSystemRef<'a> {
     sys: &'a CompiledSystem,
+    params: &'a [f64],
     scratch: RefCell<&'a mut EvalScratch>,
 }
 
@@ -269,6 +282,14 @@ impl OdeSystem for BoundSystemRef<'_> {
     fn stage_hint(&self, hint: ark_ode::StageHint) {
         self.sys
             .rhs_stage_hint(hint, &mut self.scratch.borrow_mut());
+    }
+
+    /// Analytic Jacobian through the derivative program — always available
+    /// for compiled systems (see [`CompiledSystem::jacobian`]).
+    fn jacobian(&self, t: f64, y: &[f64], jac: &mut [f64]) -> bool {
+        self.sys
+            .eval_jacobian_with(t, y, self.params, jac, &mut self.scratch.borrow_mut());
+        true
     }
 }
 
@@ -355,6 +376,58 @@ pub struct CompiledSystem {
     legacy: Option<LegacyTapes>,
     init: Vec<f64>,
     equations: Vec<String>,
+    /// The value DAG the fused programs were lowered from, retained so the
+    /// Jacobian program can be derived from the *same* hash-consed nodes
+    /// (sharing subexpressions with the primal RHS).
+    builder: ProgramBuilder,
+    /// The RHS output values inside `builder`, in state order.
+    rhs_outputs: Vec<ark_expr::program::ValueId>,
+    /// Lazily derived Jacobian program (compile-once, like the system).
+    jac: OnceLock<JacobianProgram>,
+}
+
+/// The derivative program of a [`CompiledSystem`]: a second fused
+/// [`SystemProgram`] computing every structurally nonzero entry of the ODE
+/// Jacobian `∂fᵢ/∂yⱼ`, built by forward-mode differentiation of the value
+/// DAG ([`ark_expr::Differentiator`]).
+///
+/// Obtained from [`CompiledSystem::jacobian`]; evaluated through
+/// [`CompiledSystem::eval_jacobian_with`] (or implicitly by the
+/// [`ark_ode::OdeSystem::jacobian`] impls of [`BoundSystem`] /
+/// [`BoundSystemRef`], which is how [`ark_ode::TrBdf2`] consumes it).
+/// Parameter slots line up with the primal program: the same parameter
+/// vector drives both.
+#[derive(Debug)]
+pub struct JacobianProgram {
+    prog: SystemProgram,
+    /// `(row, col)` of each program output: `∂f_row/∂y_col`.
+    entries: Vec<(usize, usize)>,
+    dim: usize,
+}
+
+impl JacobianProgram {
+    /// The `(row, col)` coordinates of the computed (structurally nonzero
+    /// after pruning) Jacobian entries, one per program output.
+    pub fn entries(&self) -> &[(usize, usize)] {
+        &self.entries
+    }
+
+    /// Number of computed Jacobian entries (`≤ dim²`; dense entries not
+    /// listed are exact zeros).
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// State dimension `n` of the `n × n` Jacobian.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Fused instruction count of the derivative program (the cost metric
+    /// benchmarked alongside the primal RHS instruction count).
+    pub fn instrs(&self) -> usize {
+        self.prog.len()
+    }
 }
 
 impl fmt::Debug for CompiledSystem {
@@ -422,6 +495,93 @@ impl CompiledSystem {
         let legacy_regs = self.legacy.as_ref().map_or(1, |l| l.max_regs);
         s.ensure(self.num_states() + self.alg_of_node.len(), legacy_regs);
         s
+    }
+
+    /// The ODE sparsity pattern: for each state `i`, the sorted state
+    /// indices `j` such that `fᵢ` structurally depends on `yⱼ` (a cheap
+    /// walk of the value DAG — no evaluation, no differentiation).
+    ///
+    /// The pattern is a superset of the numerically nonzero Jacobian
+    /// entries at every `(t, y, params)`: an index absent here is an exact
+    /// zero of `∂fᵢ/∂yⱼ`.
+    pub fn sparsity(&self) -> Vec<Vec<usize>> {
+        self.builder.sparsity(&self.rhs_outputs, self.num_states())
+    }
+
+    /// The derivative program computing the ODE Jacobian `∂f/∂y`, built on
+    /// first use by forward-mode differentiation of the retained value DAG
+    /// and cached for the lifetime of the system (compile-once, matching
+    /// the primal program's parameter slots).
+    pub fn jacobian(&self) -> &JacobianProgram {
+        self.jac.get_or_init(|| {
+            let n = self.num_states();
+            let pattern = self.builder.sparsity(&self.rhs_outputs, n);
+            let mut pb = self.builder.clone();
+            let mut entries = Vec::new();
+            let mut outs = Vec::new();
+            {
+                let mut d = Differentiator::new(&mut pb);
+                for (i, cols) in pattern.iter().enumerate() {
+                    for &j in cols {
+                        // The walk is structural; differentiation can still
+                        // prune an entry to an exact zero (e.g. `y - y`).
+                        if let Some(v) = d.derive(self.rhs_outputs[i], j) {
+                            entries.push((i, j));
+                            outs.push(v);
+                        }
+                    }
+                }
+            }
+            let prog = pb.finish(&outs, self.param_sites.len());
+            JacobianProgram {
+                prog,
+                entries,
+                dim: n,
+            }
+        })
+    }
+
+    /// Evaluate the Jacobian `∂f/∂y` at `(t, y)` into the row-major dense
+    /// `jac` (`n × n`, `jac[i*n + j] = ∂fᵢ/∂yⱼ`) through the given scratch.
+    /// Entries outside the sparsity pattern are written as `0.0`. Derives
+    /// the Jacobian program on first call ([`CompiledSystem::jacobian`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y`, `jac`, or `params` has the wrong length.
+    pub fn eval_jacobian_with(
+        &self,
+        t: f64,
+        y: &[f64],
+        params: &[f64],
+        jac: &mut [f64],
+        scratch: &mut EvalScratch,
+    ) {
+        let n = self.num_states();
+        assert_eq!(y.len(), n, "state vector length mismatch");
+        assert_eq!(jac.len(), n * n, "jacobian buffer length mismatch");
+        assert_eq!(params.len(), self.num_params(), "parameter length");
+        let jp = self.jacobian();
+        jac.fill(0.0);
+        if jp.entries.is_empty() {
+            return;
+        }
+        let idx = scratch.prog_state_index(jp.prog.id());
+        if scratch.jvals.len() < jp.entries.len() {
+            scratch.jvals.resize(jp.entries.len(), 0.0);
+        }
+        // Disjoint field borrows: the program state and the output buffer.
+        let EvalScratch { progs, jvals, .. } = scratch;
+        jp.prog.eval_into(
+            &mut progs[idx],
+            y,
+            t,
+            params,
+            &mut jvals[..jp.entries.len()],
+        );
+        for (k, &(i, j)) in jp.entries.iter().enumerate() {
+            jac[i * n + j] = jvals[k];
+        }
     }
 
     /// Number of parameter slots (zero for non-parametric compiles).
@@ -537,6 +697,7 @@ impl CompiledSystem {
         self.prebind(params, scratch);
         BoundSystemRef {
             sys: self,
+            params,
             scratch: RefCell::new(scratch),
         }
     }
@@ -1133,6 +1294,9 @@ impl CompiledSystem {
             legacy,
             init,
             equations,
+            builder: pb,
+            rhs_outputs,
+            jac: OnceLock::new(),
         })
     }
 }
@@ -1345,6 +1509,132 @@ mod tests {
             ))
             .finish()
             .unwrap()
+    }
+
+    /// Coupling language for Jacobian tests: an edge feeds `e.w * var(s)`
+    /// into its target alongside a `-var(t)*var(t)` self term.
+    fn coupled_lang() -> Language {
+        LanguageBuilder::new("coupled")
+            .node_type(
+                NodeType::new("N", 1, Reduction::Sum).init_default(SigType::real(-10.0, 10.0), 0.0),
+            )
+            .edge_type(EdgeType::new("E").attr("w", SigType::real(-10.0, 10.0)))
+            .prod(ProdRule::new(
+                ("e", "E"),
+                ("s", "N"),
+                ("t", "N"),
+                "t",
+                parse_expr("e.w*var(s) - var(t)*var(t)").unwrap(),
+            ))
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn jacobian_entries_match_hand_derivatives() {
+        let lang = coupled_lang();
+        let mut b = GraphBuilder::new(&lang, 0);
+        b.node("a", "N").unwrap();
+        b.node("bb", "N").unwrap();
+        b.edge("c", "E", "a", "bb").unwrap();
+        b.set_attr("c", "w", 3.0).unwrap();
+        let g = b.finish().unwrap();
+        let sys = CompiledSystem::compile(&lang, &g).unwrap();
+        let (ia, ib) = (
+            sys.state_index("a").unwrap(),
+            sys.state_index("bb").unwrap(),
+        );
+        let n = sys.num_states();
+
+        // d a/dt = 0 (no incoming edges), d bb/dt = 3 a − bb².
+        let pattern = sys.sparsity();
+        assert!(pattern[ia].is_empty(), "a has no dependencies");
+        let mut want = vec![ia, ib];
+        want.sort_unstable();
+        assert_eq!(pattern[ib], want);
+
+        let y = [0.7, -1.3];
+        let mut jac = vec![f64::NAN; n * n];
+        let mut scratch = sys.scratch();
+        sys.eval_jacobian_with(0.5, &y, &[], &mut jac, &mut scratch);
+        assert_eq!(jac[ia * n + ia], 0.0);
+        assert_eq!(jac[ia * n + ib], 0.0);
+        assert!((jac[ib * n + ia] - 3.0).abs() < 1e-14);
+        assert!((jac[ib * n + ib] - (-2.0 * y[ib])).abs() < 1e-14);
+
+        // The derivative program prunes the structurally absent entries.
+        let jp = sys.jacobian();
+        assert_eq!(jp.dim(), n);
+        assert_eq!(jp.nnz(), 2);
+        assert!(jp.instrs() > 0);
+    }
+
+    #[test]
+    fn bound_systems_expose_the_analytic_jacobian() {
+        let lang = rc_lang();
+        let mut b = GraphBuilder::new(&lang, 0);
+        b.node("v0", "V").unwrap();
+        b.set_attr("v0", "c", 1.0).unwrap();
+        b.set_attr("v0", "r", 0.5).unwrap();
+        b.set_init("v0", 0, 1.0).unwrap();
+        b.edge("self", "E", "v0", "v0").unwrap();
+        let g = b.finish().unwrap();
+        let sys = CompiledSystem::compile(&lang, &g).unwrap();
+        // dV/dt = -V/(r c) → J = [[-2.0]].
+        let bound = sys.bind();
+        let mut jac = [f64::NAN];
+        assert!(bound.jacobian(0.0, &[1.0], &mut jac));
+        assert!((jac[0] + 2.0).abs() < 1e-14);
+        // The borrowing bind agrees.
+        let mut scratch = sys.scratch();
+        let by_ref = sys.bind_ref(&[], &mut scratch);
+        let mut jac2 = [f64::NAN];
+        assert!(by_ref.jacobian(0.0, &[1.0], &mut jac2));
+        assert_eq!(jac2[0], jac[0]);
+    }
+
+    #[test]
+    fn parametric_jacobian_tracks_the_parameter_vector() {
+        let lang = rc_lang();
+        let mut b = GraphBuilder::new_parametric(&lang);
+        b.node("v0", "V").unwrap();
+        b.set_attr_param("v0", "c", 1.0).unwrap();
+        b.set_attr("v0", "r", 0.5).unwrap();
+        b.set_init("v0", 0, 1.0).unwrap();
+        b.edge("self", "E", "v0", "v0").unwrap();
+        let pg = b.finish_parametric().unwrap();
+        let sys = CompiledSystem::compile_parametric(&lang, &pg).unwrap();
+        let slot = sys.param_index("v0", "c").unwrap();
+        let mut scratch = sys.scratch();
+        for c in [0.5, 2.0] {
+            let mut params = sys.nominal_params();
+            params[slot] = c;
+            let mut jac = [f64::NAN];
+            sys.eval_jacobian_with(0.0, &[1.0], &params, &mut jac, &mut scratch);
+            assert!(
+                (jac[0] - (-1.0 / (0.5 * c))).abs() < 1e-14,
+                "c={c}: {}",
+                jac[0]
+            );
+        }
+    }
+
+    /// The Jacobian program derives once and is cached — no recompilation
+    /// per evaluation (the compile-once contract of the ensemble engine).
+    #[test]
+    fn jacobian_program_is_derived_once() {
+        let lang = rc_lang();
+        let mut b = GraphBuilder::new(&lang, 0);
+        b.node("v0", "V").unwrap();
+        b.set_attr("v0", "c", 1.0).unwrap();
+        b.set_attr("v0", "r", 0.5).unwrap();
+        b.set_init("v0", 0, 1.0).unwrap();
+        b.edge("self", "E", "v0", "v0").unwrap();
+        let g = b.finish().unwrap();
+        let sys = CompiledSystem::compile(&lang, &g).unwrap();
+        let first = sys.jacobian() as *const JacobianProgram;
+        let second = sys.jacobian() as *const JacobianProgram;
+        assert_eq!(first, second, "OnceLock-cached derivative program");
     }
 
     /// Compile-time guarantee behind the `ark-sim` ensemble engine: a

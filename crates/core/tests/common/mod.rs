@@ -1,0 +1,180 @@
+//! Shared randomized-graph generators for the integration property tests:
+//! a fixed test language exercising every structural feature (mixed node
+//! orders, sum and product reductions, algebraic chains, switched-off
+//! edges) and proptest strategies producing random graphs over it, in both
+//! non-parametric and parametric (attribute-slot) forms.
+
+// Each integration-test binary compiles its own copy of this module and
+// uses a different subset of it.
+#![allow(dead_code)]
+
+use ark_core::func::GraphBuilder;
+use ark_core::lang::{EdgeType, LanguageBuilder, NodeType, ProdRule, Reduction};
+use ark_core::types::SigType;
+use ark_core::{CompiledSystem, Language};
+use ark_expr::parse_expr;
+use proptest::prelude::*;
+
+/// Node-type menu: index 0..4 → (name, order, reduction).
+pub const TYPES: [&str; 4] = ["S1", "S2", "A", "M"];
+
+pub fn is_algebraic(ty: usize) -> bool {
+    TYPES[ty] == "A"
+}
+
+/// A language with one production rule per (src type, dst type, target),
+/// crafted so algebraic (`A`) nodes only ever depend on their edge
+/// *sources* — making forward-directed `A → A` edges an acyclic chain.
+pub fn ptest_language() -> Language {
+    let e = |src: &str| parse_expr(src).expect("static test rule");
+    let mut lb = LanguageBuilder::new("ptest")
+        .node_type(
+            NodeType::new("S1", 1, Reduction::Sum).init_default(SigType::real(-10.0, 10.0), 0.5),
+        )
+        .node_type(
+            NodeType::new("S2", 2, Reduction::Sum)
+                .init_default(SigType::real(-10.0, 10.0), 1.0)
+                .init_default(SigType::real(-10.0, 10.0), -0.25),
+        )
+        .node_type(NodeType::new("A", 0, Reduction::Sum))
+        .node_type(
+            NodeType::new("M", 1, Reduction::Mul).init_default(SigType::real(-10.0, 10.0), 0.75),
+        )
+        .edge_type(EdgeType::new("E").attr_default("w", SigType::real(-2.0, 2.0), 1.0));
+    for src in TYPES {
+        for dst in TYPES {
+            let src_alg = src == "A";
+            let dst_alg = dst == "A";
+            // Source-target rule: must not self-reference when the source is
+            // algebraic (that would be an algebraic loop by construction).
+            let s_rule = match (src_alg, dst_alg) {
+                (false, _) => "e.w*sin(var(s)) - 0.25*var(t)",
+                (true, false) => "0.5*cos(var(t))*e.w",
+                (true, true) => "e.w*0.125",
+            };
+            // Dest-target rule: the destination depends on the source only.
+            let t_rule = if dst_alg {
+                "e.w*tanh(var(s)) + 0.25"
+            } else {
+                "e.w*tanh(var(s)) - 0.125*var(t)"
+            };
+            // Off rule (switched-off nonideality) on the source.
+            let off_rule = if src_alg {
+                "0.0625*e.w"
+            } else {
+                "-0.0625*var(s)"
+            };
+            lb = lb
+                .prod(ProdRule::new(
+                    ("e", "E"),
+                    ("s", src),
+                    ("t", dst),
+                    "s",
+                    e(s_rule),
+                ))
+                .prod(ProdRule::new(
+                    ("e", "E"),
+                    ("s", src),
+                    ("t", dst),
+                    "t",
+                    e(t_rule),
+                ))
+                .prod(ProdRule::new(("e", "E"), ("s", src), ("t", dst), "s", e(off_rule)).off());
+        }
+        if src != "A" {
+            lb = lb.prod(ProdRule::new(
+                ("e", "E"),
+                ("s", src),
+                ("s", src),
+                "s",
+                e("-0.5*var(s) + 0.1*sin(time)"),
+            ));
+        }
+    }
+    lb.finish().expect("ptest language is valid")
+}
+
+#[derive(Debug, Clone)]
+pub struct GraphSpec {
+    /// Node type indices into [`TYPES`].
+    pub types: Vec<usize>,
+    /// Candidate edges `(u, v, on, w)`; invalid combinations are skipped.
+    pub edges: Vec<(usize, usize, bool, f64)>,
+}
+
+pub fn arb_spec() -> impl Strategy<Value = GraphSpec> {
+    (2..7usize).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0..TYPES.len(), n),
+            proptest::collection::vec((0..n, 0..n, 0..2usize, -2.0..2.0f64), 1..12usize),
+        )
+            .prop_map(|(types, edges)| GraphSpec {
+                types,
+                edges: edges
+                    .into_iter()
+                    .map(|(u, v, on, w)| (u, v, on == 1, w))
+                    .collect(),
+            })
+    })
+}
+
+/// Add the spec's nodes and edges to a builder (skipping self-pairs and
+/// orienting `A → A` edges forward so the algebraic dependencies stay
+/// acyclic). `set_weight` customizes how each edge's `w` attribute is
+/// recorded — constant for plain graphs, a parameter slot for parametric
+/// ones.
+fn build_spec(
+    b: &mut GraphBuilder<'_>,
+    spec: &GraphSpec,
+    set_weight: impl Fn(&mut GraphBuilder<'_>, &str, f64),
+) {
+    for (i, &ty) in spec.types.iter().enumerate() {
+        b.node(&format!("n{i}"), TYPES[ty]).unwrap();
+        if !is_algebraic(ty) {
+            b.edge(&format!("self{i}"), "E", &format!("n{i}"), &format!("n{i}"))
+                .unwrap();
+        }
+    }
+    for (k, &(u, v, on, w)) in spec.edges.iter().enumerate() {
+        if u == v {
+            continue;
+        }
+        let (u, v) = if is_algebraic(spec.types[u]) && is_algebraic(spec.types[v]) && u > v {
+            (v, u)
+        } else {
+            (u, v)
+        };
+        let name = format!("e{k}");
+        b.edge(&name, "E", &format!("n{u}"), &format!("n{v}"))
+            .unwrap();
+        set_weight(b, &name, w);
+        b.set_switch(&name, on).unwrap();
+    }
+}
+
+/// Build the spec's graph with constant attributes and compile it.
+pub fn compile_spec(lang: &Language, spec: &GraphSpec) -> CompiledSystem {
+    let mut b = GraphBuilder::new(lang, 0);
+    build_spec(&mut b, spec, |b, name, w| b.set_attr(name, "w", w).unwrap());
+    let graph = b.finish().unwrap();
+    CompiledSystem::compile(lang, &graph).unwrap()
+}
+
+/// Build the spec's graph with every edge weight as an explicit *parameter
+/// slot* (nominal = the spec's weight) and compile it parametrically: one
+/// compile, per-instance parameter vectors.
+pub fn compile_spec_parametric(lang: &Language, spec: &GraphSpec) -> CompiledSystem {
+    let mut b = GraphBuilder::new_parametric(lang);
+    build_spec(&mut b, spec, |b, name, w| {
+        b.set_attr_param(name, "w", w).unwrap()
+    });
+    let graph = b.finish_parametric().unwrap();
+    CompiledSystem::compile_parametric(lang, &graph).unwrap()
+}
+
+/// A deterministic pseudo-random state vector for evaluation points.
+pub fn state_vector(n: usize, scale: f64, phase: f64) -> Vec<f64> {
+    (0..n)
+        .map(|k| scale * (phase + 0.37 * k as f64).sin())
+        .collect()
+}

@@ -4,146 +4,14 @@
 //! algebraic dependency chains, switched-off edges with `off` rules — the
 //! fused right-hand side and observation program agree *bit for bit* with
 //! the legacy per-node tape evaluator at arbitrary states and times.
+//!
+//! The graph generators live in [`common`] and are shared with the
+//! Jacobian differential tests (`jacobian_differential.rs`).
 
-use ark_core::func::GraphBuilder;
-use ark_core::lang::{EdgeType, LanguageBuilder, NodeType, ProdRule, Reduction};
-use ark_core::types::SigType;
-use ark_core::{CompiledSystem, Language};
-use ark_expr::parse_expr;
+mod common;
+
+use common::{arb_spec, compile_spec, ptest_language};
 use proptest::prelude::*;
-
-/// Node-type menu: index 0..4 → (name, order, reduction).
-const TYPES: [&str; 4] = ["S1", "S2", "A", "M"];
-
-fn is_algebraic(ty: usize) -> bool {
-    TYPES[ty] == "A"
-}
-
-/// A language with one production rule per (src type, dst type, target),
-/// crafted so algebraic (`A`) nodes only ever depend on their edge
-/// *sources* — making forward-directed `A → A` edges an acyclic chain.
-fn ptest_language() -> Language {
-    let e = |src: &str| parse_expr(src).expect("static test rule");
-    let mut lb = LanguageBuilder::new("ptest")
-        .node_type(
-            NodeType::new("S1", 1, Reduction::Sum).init_default(SigType::real(-10.0, 10.0), 0.5),
-        )
-        .node_type(
-            NodeType::new("S2", 2, Reduction::Sum)
-                .init_default(SigType::real(-10.0, 10.0), 1.0)
-                .init_default(SigType::real(-10.0, 10.0), -0.25),
-        )
-        .node_type(NodeType::new("A", 0, Reduction::Sum))
-        .node_type(
-            NodeType::new("M", 1, Reduction::Mul).init_default(SigType::real(-10.0, 10.0), 0.75),
-        )
-        .edge_type(EdgeType::new("E").attr_default("w", SigType::real(-2.0, 2.0), 1.0));
-    for src in TYPES {
-        for dst in TYPES {
-            let src_alg = src == "A";
-            let dst_alg = dst == "A";
-            // Source-target rule: must not self-reference when the source is
-            // algebraic (that would be an algebraic loop by construction).
-            let s_rule = match (src_alg, dst_alg) {
-                (false, _) => "e.w*sin(var(s)) - 0.25*var(t)",
-                (true, false) => "0.5*cos(var(t))*e.w",
-                (true, true) => "e.w*0.125",
-            };
-            // Dest-target rule: the destination depends on the source only.
-            let t_rule = if dst_alg {
-                "e.w*tanh(var(s)) + 0.25"
-            } else {
-                "e.w*tanh(var(s)) - 0.125*var(t)"
-            };
-            // Off rule (switched-off nonideality) on the source.
-            let off_rule = if src_alg {
-                "0.0625*e.w"
-            } else {
-                "-0.0625*var(s)"
-            };
-            lb = lb
-                .prod(ProdRule::new(
-                    ("e", "E"),
-                    ("s", src),
-                    ("t", dst),
-                    "s",
-                    e(s_rule),
-                ))
-                .prod(ProdRule::new(
-                    ("e", "E"),
-                    ("s", src),
-                    ("t", dst),
-                    "t",
-                    e(t_rule),
-                ))
-                .prod(ProdRule::new(("e", "E"), ("s", src), ("t", dst), "s", e(off_rule)).off());
-        }
-        if src != "A" {
-            lb = lb.prod(ProdRule::new(
-                ("e", "E"),
-                ("s", src),
-                ("s", src),
-                "s",
-                e("-0.5*var(s) + 0.1*sin(time)"),
-            ));
-        }
-    }
-    lb.finish().expect("ptest language is valid")
-}
-
-#[derive(Debug, Clone)]
-struct GraphSpec {
-    /// Node type indices into [`TYPES`].
-    types: Vec<usize>,
-    /// Candidate edges `(u, v, on, w)`; invalid combinations are skipped.
-    edges: Vec<(usize, usize, bool, f64)>,
-}
-
-fn arb_spec() -> impl Strategy<Value = GraphSpec> {
-    (2..7usize).prop_flat_map(|n| {
-        (
-            proptest::collection::vec(0..TYPES.len(), n),
-            proptest::collection::vec((0..n, 0..n, 0..2usize, -2.0..2.0f64), 1..12usize),
-        )
-            .prop_map(|(types, edges)| GraphSpec {
-                types,
-                edges: edges
-                    .into_iter()
-                    .map(|(u, v, on, w)| (u, v, on == 1, w))
-                    .collect(),
-            })
-    })
-}
-
-/// Build the spec's graph (skipping self-pairs and orienting `A → A` edges
-/// forward so the algebraic dependencies stay acyclic) and compile it.
-fn compile_spec(lang: &Language, spec: &GraphSpec) -> CompiledSystem {
-    let mut b = GraphBuilder::new(lang, 0);
-    for (i, &ty) in spec.types.iter().enumerate() {
-        b.node(&format!("n{i}"), TYPES[ty]).unwrap();
-        if !is_algebraic(ty) {
-            b.edge(&format!("self{i}"), "E", &format!("n{i}"), &format!("n{i}"))
-                .unwrap();
-        }
-    }
-    for (k, &(u, v, on, w)) in spec.edges.iter().enumerate() {
-        if u == v {
-            continue;
-        }
-        let (u, v) = if is_algebraic(spec.types[u]) && is_algebraic(spec.types[v]) && u > v {
-            (v, u)
-        } else {
-            (u, v)
-        };
-        let name = format!("e{k}");
-        b.edge(&name, "E", &format!("n{u}"), &format!("n{v}"))
-            .unwrap();
-        b.set_attr(&name, "w", w).unwrap();
-        b.set_switch(&name, on).unwrap();
-    }
-    let graph = b.finish().unwrap();
-    CompiledSystem::compile(lang, &graph).unwrap()
-}
 
 proptest! {
     /// Fused rhs == legacy per-tape rhs, bit for bit.

@@ -33,6 +33,7 @@
 
 pub mod ast;
 pub mod builtins;
+pub mod deriv;
 pub mod error;
 pub mod eval;
 pub mod lexer;
@@ -41,6 +42,7 @@ pub mod program;
 pub mod tape;
 
 pub use ast::{BinaryOp, BoolExpr, CmpOp, Expr, Lambda, UnaryOp};
+pub use deriv::Differentiator;
 pub use error::{EvalError, ParseError};
 pub use eval::{eval, eval_bool, EvalContext, MapContext};
 pub use parse::{parse_bool_expr, parse_expr, parse_lambda};

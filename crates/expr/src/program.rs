@@ -45,6 +45,18 @@ use std::sync::atomic::{AtomicU64, Ordering};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ValueId(u32);
 
+impl ValueId {
+    /// Raw index into the builder's node table.
+    pub(crate) fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Wrap a raw node-table index.
+    pub(crate) fn from_index(i: u32) -> Self {
+        ValueId(i)
+    }
+}
+
 /// What a `var(.)` reference resolves to inside a fused program.
 #[derive(Debug, Clone, Copy)]
 pub enum VarRef {
@@ -72,7 +84,7 @@ pub trait ProgramResolver {
 /// Hash-consed DAG node. Constants are stored as raw bits so `-0.0`, NaN
 /// payloads, etc. dedupe exactly (value semantics must be bit-faithful).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum VNode {
+pub(crate) enum VNode {
     Const(u64),
     Time,
     Load(u32),
@@ -89,7 +101,7 @@ enum VNode {
 
 impl VNode {
     /// Operand value ids (up to 3).
-    fn operands(&self) -> ([u32; 3], usize) {
+    pub(crate) fn operands(&self) -> ([u32; 3], usize) {
         match *self {
             VNode::Const(_) | VNode::Time | VNode::Load(_) | VNode::Param(_) => ([0; 3], 0),
             VNode::Un(_, a) | VNode::Not(a) => ([a, 0, 0], 1),
@@ -121,7 +133,7 @@ impl VNode {
 /// ```
 #[derive(Debug, Default, Clone)]
 pub struct ProgramBuilder {
-    nodes: Vec<VNode>,
+    pub(crate) nodes: Vec<VNode>,
     dedup: HashMap<VNode, u32>,
     /// Per-value: state-independent (no `Load` in its dependency cone)?
     is_static: Vec<bool>,
@@ -160,7 +172,7 @@ impl ProgramBuilder {
         self.intern(VNode::Param(slot as u32))
     }
 
-    fn intern(&mut self, node: VNode) -> ValueId {
+    pub(crate) fn intern(&mut self, node: VNode) -> ValueId {
         // Constant folding at intern time uses the *same* f64 operations the
         // interpreter would run, so folded results are bit-identical.
         let node = match node {

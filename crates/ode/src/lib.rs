@@ -19,6 +19,11 @@
 //! * [`DormandPrince`] — adaptive 5(4) embedded pair with PI step control
 //!   and rejected-step accounting ([`SolveStats`]);
 //!   [`VotingDormandPrince`] — its opt-in lane-batched voting form;
+//! * [`TrBdf2`] — L-stable implicit TR-BDF2 with a damped-Newton inner loop
+//!   over a factor-once LU ([`linalg`]), adaptive via its embedded error
+//!   estimate or fixed-grid, consuming analytic Jacobians through
+//!   [`OdeSystem::jacobian`] (finite-difference fallback) — the stepper for
+//!   stiff designs where explicit methods need `h ≲ 1/λ` — see [`implicit`];
 //! * [`OdeWorkspace`] — reusable integration buffers: every solver offers an
 //!   `integrate_with` variant whose hot loop performs zero per-step
 //!   allocations, the form the `ark-sim` ensemble engine runs per worker;
@@ -50,7 +55,9 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod implicit;
 pub mod integrate;
+pub mod linalg;
 pub mod observe;
 pub mod solver;
 pub mod system;
@@ -60,6 +67,7 @@ pub use analysis::{
     convergence_time, convergence_time_all, ensemble_stats, is_steady, phase_distance, wrap_phase,
     EnsembleStats,
 };
+pub use implicit::{NewtonCfg, TrBdf2};
 pub use integrate::{DormandPrince, Euler, LaneError, Rk4, SolveError, VotingDormandPrince};
 pub use observe::{DenseRecorder, FinalState, Observer, Probe, StepInfo, Strided};
 pub use solver::{

@@ -124,6 +124,17 @@ pub trait SystemOver<E: Elem> {
 
     /// Receive a stepper scheduling hint (see [`StageHint`]).
     fn stage_hint(&self, hint: StageHint);
+
+    /// Scalar analytic Jacobian at `(t, y)` into row-major `jac`
+    /// (see [`OdeSystem::jacobian`]); `false` when unavailable.
+    ///
+    /// The signature is plain `f64` regardless of `E` because the implicit
+    /// steppers run scalar-only (width 1); the laned blanket impl keeps the
+    /// default `false`.
+    fn jacobian_scalar(&self, t: f64, y: &[f64], jac: &mut [f64]) -> bool {
+        let _ = (t, y, jac);
+        false
+    }
 }
 
 impl<S: OdeSystem + ?Sized> SystemOver<f64> for S {
@@ -137,6 +148,10 @@ impl<S: OdeSystem + ?Sized> SystemOver<f64> for S {
 
     fn stage_hint(&self, hint: StageHint) {
         OdeSystem::stage_hint(self, hint)
+    }
+
+    fn jacobian_scalar(&self, t: f64, y: &[f64], jac: &mut [f64]) -> bool {
+        OdeSystem::jacobian(self, t, y, jac)
     }
 }
 
@@ -605,7 +620,7 @@ pub struct Adaptive {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VotingAdaptive(pub Adaptive);
 
-fn validate_span(t0: f64, t1: f64) -> Result<(), SolveError> {
+pub(crate) fn validate_span(t0: f64, t1: f64) -> Result<(), SolveError> {
     if t0.is_nan() || t1.is_nan() || t1 <= t0 {
         return Err(SolveError::BadConfig(format!(
             "empty interval [{t0}, {t1}]"
@@ -614,7 +629,7 @@ fn validate_span(t0: f64, t1: f64) -> Result<(), SolveError> {
     Ok(())
 }
 
-fn validate_dim(y_len: usize, dim: usize) -> Result<(), SolveError> {
+pub(crate) fn validate_dim(y_len: usize, dim: usize) -> Result<(), SolveError> {
     if y_len != dim {
         return Err(SolveError::BadConfig(format!(
             "initial state has {y_len} entries but the system dimension is {dim}"
@@ -699,6 +714,7 @@ impl<St: Stepper> StepControl<St> for Fixed {
             accepted: done,
             rejected: 0,
             rhs_evals: St::RHS_EVALS * done,
+            newton_iters: 0,
         };
         obs.finish(stats);
         Ok(stats)
@@ -706,7 +722,13 @@ impl<St: Stepper> StepControl<St> for Fixed {
 }
 
 impl Adaptive {
-    fn validate(&self, t0: f64, t1: f64, y_len: usize, dim: usize) -> Result<(), SolveError> {
+    pub(crate) fn validate(
+        &self,
+        t0: f64,
+        t1: f64,
+        y_len: usize,
+        dim: usize,
+    ) -> Result<(), SolveError> {
         validate_span(t0, t1)?;
         validate_dim(y_len, dim)?;
         if self.rtol.is_nan() || self.rtol <= 0.0 || self.atol.is_nan() || self.atol < 0.0 {

@@ -38,6 +38,23 @@ pub trait OdeSystem {
     fn stage_hint(&self, hint: StageHint) {
         let _ = hint;
     }
+
+    /// Evaluate the Jacobian `∂f/∂y` at `(t, y)` into `jac` (row-major
+    /// `dim × dim`, `jac[i*dim + j] = ∂fᵢ/∂yⱼ`) and return `true`, or
+    /// return `false` when no analytic Jacobian is available (the default).
+    ///
+    /// Implicit steppers such as [`crate::TrBdf2`] call this once per step
+    /// attempt and fall back to internal finite differences on `false`, so
+    /// implementing it is purely an accuracy/perf upgrade — `ark-core`'s
+    /// compiled systems implement it with a derivative program built by
+    /// forward-mode differentiation of the value DAG.
+    ///
+    /// Implementations returning `true` must write every element of `jac`
+    /// (structural zeros included).
+    fn jacobian(&self, t: f64, y: &[f64], jac: &mut [f64]) -> bool {
+        let _ = (t, y, jac);
+        false
+    }
 }
 
 /// A lane-batched first-order ODE system: `L` independent instances of one
@@ -151,6 +168,10 @@ impl<S: OdeSystem + ?Sized> OdeSystem for &S {
     fn stage_hint(&self, hint: StageHint) {
         (**self).stage_hint(hint)
     }
+
+    fn jacobian(&self, t: f64, y: &[f64], jac: &mut [f64]) -> bool {
+        (**self).jacobian(t, y, jac)
+    }
 }
 
 /// A linear time-invariant system `dy/dt = A·y + b(t)` stored densely.
@@ -198,6 +219,12 @@ impl<B: Fn(f64, &mut [f64])> OdeSystem for LinearSystem<B> {
             *d += acc;
         }
     }
+
+    /// The Jacobian of a linear system is the (constant) state matrix.
+    fn jacobian(&self, _t: f64, _y: &[f64], jac: &mut [f64]) -> bool {
+        jac.copy_from_slice(&self.a);
+        true
+    }
 }
 
 #[cfg(test)]
@@ -234,6 +261,23 @@ mod tests {
     #[should_panic(expected = "matrix must be dim*dim")]
     fn linear_system_checks_shape() {
         let _ = LinearSystem::new(2, vec![1.0; 3], |_t, _b: &mut [f64]| {});
+    }
+
+    #[test]
+    fn linear_system_exposes_constant_jacobian() {
+        let a = vec![0.0, 1.0, -2.0, -0.5];
+        let sys = LinearSystem::new(2, a.clone(), |_t, b: &mut [f64]| b.fill(0.0));
+        let mut jac = [f64::NAN; 4];
+        assert!(sys.jacobian(7.0, &[1.0, 2.0], &mut jac));
+        assert_eq!(jac.as_slice(), a.as_slice());
+        // The &S forwarding impl must pass the override through.
+        let r = &sys;
+        let mut jac2 = [f64::NAN; 4];
+        assert!(OdeSystem::jacobian(&r, 0.0, &[0.0, 0.0], &mut jac2));
+        assert_eq!(jac2, jac);
+        // Default impl reports "no analytic Jacobian".
+        let f = FnSystem::new(1, |_t, y: &[f64], d: &mut [f64]| d[0] = y[0]);
+        assert!(!f.jacobian(0.0, &[1.0], &mut [0.0]));
     }
 
     #[test]

@@ -14,6 +14,10 @@ pub struct SolveStats {
     pub rejected: usize,
     /// Number of right-hand-side evaluations performed.
     pub rhs_evals: usize,
+    /// Number of Newton iterations performed across all step attempts —
+    /// always 0 for the explicit methods, the dominant cost knob for
+    /// implicit ones ([`TrBdf2`](crate::TrBdf2)).
+    pub newton_iters: usize,
 }
 
 /// A time-indexed record of the state vector produced by an integrator.
@@ -312,6 +316,7 @@ mod tests {
             accepted: 3,
             rejected: 1,
             rhs_evals: 12,
+            newton_iters: 0,
         });
         assert_eq!(tr.stats().rejected, 1);
     }

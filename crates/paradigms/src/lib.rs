@@ -14,6 +14,11 @@
 //!   (`intercon_obc`) extensions, and [`maxcut`] — the Table 1 max-cut
 //!   workload with its brute-force baseline.
 //!
+//! Beyond the paper's case studies, [`stiff`] encodes the classic stiff
+//! benchmarks (Van der Pol at large μ, Robertson kinetics) as dynamical
+//! graphs, exercising the implicit `TrBdf2` solver and the compiled
+//! Jacobian path.
+//!
 //! # Examples
 //!
 //! Build and validate the paper's 53-node linear t-line:
@@ -41,4 +46,5 @@ pub mod coloring;
 pub mod image;
 pub mod maxcut;
 pub mod obc;
+pub mod stiff;
 pub mod tln;

@@ -1,265 +1,9 @@
 //! Dense linear algebra for circuit simulation: LU decomposition with
 //! partial pivoting, the workhorse behind the trapezoidal transient solver.
+//!
+//! The implementation lives in [`ark_ode::linalg`] so the implicit ODE
+//! steppers (which `ark-spice` depends on, not the other way round) can
+//! share the same factor-once/solve-many kernel; this module re-exports it
+//! under the historical `ark_spice::linalg` paths.
 
-use std::fmt;
-
-/// A dense row-major matrix.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Matrix {
-    n: usize,
-    data: Vec<f64>,
-}
-
-impl Matrix {
-    /// An `n × n` zero matrix.
-    pub fn zeros(n: usize) -> Self {
-        Matrix {
-            n,
-            data: vec![0.0; n * n],
-        }
-    }
-
-    /// The identity matrix.
-    pub fn identity(n: usize) -> Self {
-        let mut m = Matrix::zeros(n);
-        for i in 0..n {
-            m[(i, i)] = 1.0;
-        }
-        m
-    }
-
-    /// Matrix dimension.
-    pub fn dim(&self) -> usize {
-        self.n
-    }
-
-    /// Matrix–vector product `A·x`.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `x.len() != dim()`.
-    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.n, "dimension mismatch");
-        let mut y = vec![0.0; self.n];
-        for (i, yi) in y.iter_mut().enumerate() {
-            let row = &self.data[i * self.n..(i + 1) * self.n];
-            *yi = row.iter().zip(x).map(|(a, b)| a * b).sum();
-        }
-        y
-    }
-
-    /// `self + alpha * other`.
-    ///
-    /// # Panics
-    ///
-    /// Panics on dimension mismatch.
-    pub fn add_scaled(&self, other: &Matrix, alpha: f64) -> Matrix {
-        assert_eq!(self.n, other.n, "dimension mismatch");
-        Matrix {
-            n: self.n,
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(a, b)| a + alpha * b)
-                .collect(),
-        }
-    }
-}
-
-impl std::ops::Index<(usize, usize)> for Matrix {
-    type Output = f64;
-
-    fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        &self.data[i * self.n + j]
-    }
-}
-
-impl std::ops::IndexMut<(usize, usize)> for Matrix {
-    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        &mut self.data[i * self.n + j]
-    }
-}
-
-/// An error from LU factorization.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SingularMatrix {
-    /// Pivot column at which factorization failed.
-    pub column: usize,
-}
-
-impl fmt::Display for SingularMatrix {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "matrix is singular at column {}", self.column)
-    }
-}
-
-impl std::error::Error for SingularMatrix {}
-
-/// LU factorization with partial pivoting (`PA = LU`).
-#[derive(Debug, Clone)]
-pub struct Lu {
-    n: usize,
-    lu: Vec<f64>,
-    perm: Vec<usize>,
-}
-
-impl Lu {
-    /// Factor a matrix.
-    ///
-    /// # Errors
-    ///
-    /// [`SingularMatrix`] when a pivot vanishes.
-    pub fn factor(m: &Matrix) -> Result<Lu, SingularMatrix> {
-        let n = m.n;
-        let mut lu = m.data.clone();
-        let mut perm: Vec<usize> = (0..n).collect();
-        for k in 0..n {
-            // Partial pivot.
-            let mut p = k;
-            let mut best = lu[k * n + k].abs();
-            for i in (k + 1)..n {
-                let v = lu[i * n + k].abs();
-                if v > best {
-                    best = v;
-                    p = i;
-                }
-            }
-            if best < 1e-300 {
-                return Err(SingularMatrix { column: k });
-            }
-            if p != k {
-                for j in 0..n {
-                    lu.swap(k * n + j, p * n + j);
-                }
-                perm.swap(k, p);
-            }
-            let pivot = lu[k * n + k];
-            for i in (k + 1)..n {
-                let f = lu[i * n + k] / pivot;
-                lu[i * n + k] = f;
-                for j in (k + 1)..n {
-                    lu[i * n + j] -= f * lu[k * n + j];
-                }
-            }
-        }
-        Ok(Lu { n, lu, perm })
-    }
-
-    /// Solve `A·x = b`.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `b.len()` does not match the dimension.
-    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
-        assert_eq!(b.len(), self.n, "dimension mismatch");
-        let n = self.n;
-        // Apply permutation, then forward/back substitution.
-        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
-        for i in 1..n {
-            let dot: f64 = self.lu[i * n..i * n + i]
-                .iter()
-                .zip(&x)
-                .map(|(l, xj)| l * xj)
-                .sum();
-            x[i] -= dot;
-        }
-        for i in (0..n).rev() {
-            let dot: f64 = self.lu[i * n + i + 1..(i + 1) * n]
-                .iter()
-                .zip(&x[i + 1..])
-                .map(|(l, xj)| l * xj)
-                .sum();
-            x[i] = (x[i] - dot) / self.lu[i * n + i];
-        }
-        x
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn identity_solve() {
-        let m = Matrix::identity(3);
-        let lu = Lu::factor(&m).unwrap();
-        assert_eq!(lu.solve(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
-    }
-
-    #[test]
-    fn known_system() {
-        // [[2,1],[1,3]] x = [3,5] → x = [0.8, 1.4]
-        let mut m = Matrix::zeros(2);
-        m[(0, 0)] = 2.0;
-        m[(0, 1)] = 1.0;
-        m[(1, 0)] = 1.0;
-        m[(1, 1)] = 3.0;
-        let lu = Lu::factor(&m).unwrap();
-        let x = lu.solve(&[3.0, 5.0]);
-        assert!((x[0] - 0.8).abs() < 1e-12);
-        assert!((x[1] - 1.4).abs() < 1e-12);
-    }
-
-    #[test]
-    fn pivoting_handles_zero_diagonal() {
-        // [[0,1],[1,0]] requires a row swap.
-        let mut m = Matrix::zeros(2);
-        m[(0, 1)] = 1.0;
-        m[(1, 0)] = 1.0;
-        let lu = Lu::factor(&m).unwrap();
-        let x = lu.solve(&[7.0, 9.0]);
-        assert!((x[0] - 9.0).abs() < 1e-12);
-        assert!((x[1] - 7.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn singular_detected() {
-        let mut m = Matrix::zeros(2);
-        m[(0, 0)] = 1.0;
-        m[(0, 1)] = 2.0;
-        m[(1, 0)] = 2.0;
-        m[(1, 1)] = 4.0;
-        assert!(Lu::factor(&m).is_err());
-    }
-
-    #[test]
-    fn matvec_and_add_scaled() {
-        let mut m = Matrix::zeros(2);
-        m[(0, 0)] = 1.0;
-        m[(0, 1)] = 2.0;
-        m[(1, 1)] = 3.0;
-        assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 3.0]);
-        let s = m.add_scaled(&Matrix::identity(2), 10.0);
-        assert_eq!(s[(0, 0)], 11.0);
-        assert_eq!(s[(1, 1)], 13.0);
-        assert_eq!(s[(0, 1)], 2.0);
-    }
-
-    #[test]
-    fn random_roundtrip() {
-        // Deterministic pseudo-random matrix; verify A·solve(b) == b.
-        let n = 12;
-        let mut m = Matrix::zeros(n);
-        let mut state = 0x1234_5678_u64;
-        let mut next = move || {
-            state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
-        };
-        for i in 0..n {
-            for j in 0..n {
-                m[(i, j)] = next();
-            }
-            m[(i, i)] += 4.0; // diagonally dominant → nonsingular
-        }
-        let b: Vec<f64> = (0..n).map(|i| i as f64).collect();
-        let lu = Lu::factor(&m).unwrap();
-        let x = lu.solve(&b);
-        let back = m.matvec(&x);
-        for (u, v) in back.iter().zip(&b) {
-            assert!((u - v).abs() < 1e-9, "{u} vs {v}");
-        }
-    }
-}
+pub use ark_ode::linalg::{DimensionMismatch, Lu, Matrix, SingularMatrix};

@@ -295,7 +295,7 @@ impl Netlist {
             for i in 0..n {
                 b[i] += 0.5 * (i_now[i] + i_next[i]);
             }
-            v = lu.solve(&b);
+            lu.solve_into(&b, &mut v).expect("b sized by assemble");
             std::mem::swap(&mut i_now, &mut i_next);
             if (k + 1) % stride == 0 || k + 1 == steps {
                 tr.push(t_next, v.clone());

@@ -65,6 +65,7 @@ fn reference_rk4(
         accepted: steps,
         rejected: 0,
         rhs_evals: 4 * steps,
+        newton_iters: 0,
     });
     tr
 }
@@ -101,6 +102,7 @@ fn reference_euler(
         accepted: steps,
         rejected: 0,
         rhs_evals: steps,
+        newton_iters: 0,
     });
     tr
 }
