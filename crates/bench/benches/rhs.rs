@@ -465,6 +465,110 @@ fn measure_stiff() -> Vec<StiffReport> {
     }]
 }
 
+/// Fault-tolerance accounting on seeded-fault ensembles. Outcome counts
+/// are pure functions of the seeds and the fault plans, so `bench_check`
+/// gates them: `failed` growing means instances the recovery chain used to
+/// absorb now abort, `recovered`/`retry_attempts` growing means the primary
+/// solver started failing on instances it used to handle.
+struct FaultRecoveryReport {
+    name: &'static str,
+    instances: usize,
+    completed: u64,
+    recovered: u64,
+    failed: u64,
+    retry_attempts: u64,
+    ms: f64,
+}
+
+/// Two seeded-fault ensembles at a **fixed** 256-seed scale — deliberately
+/// independent of the smoke-mode env knobs, so the gated outcome counts
+/// are identical between CI smoke runs and the committed paper-scale
+/// baseline (mirroring `measure_stiff`).
+fn measure_fault_recovery() -> Vec<FaultRecoveryReport> {
+    use ark_ode::SolveError;
+    use ark_paradigms::cnn::{hw_cnn_language_sigma, run_cnn_yield_with};
+    use ark_paradigms::tln::linear_tline_parametric;
+    use ark_sim::reduce::Moments;
+    use ark_sim::{FaultMode, FaultPlan, RecoveryPolicy};
+    let mut out = Vec::new();
+
+    // Fig11-style CNN yield with NaN-blowup faults: unrecoverable by
+    // construction, so `failed` pins the plan's hit count exactly and
+    // every faulty group exercises lane demotion.
+    let base = cnn_language();
+    let hw = hw_cnn_language_sigma(&base, 0.05);
+    let input = Image::test_blob(6, 6);
+    let seeds = seed_range(11, 256);
+    let plans = [FaultPlan::one_in(16, FaultMode::Blowup)];
+    let ens = Ensemble::serial().with_lanes(4);
+    let t = Instant::now();
+    let y = run_cnn_yield_with(
+        &hw,
+        &input,
+        &EDGE_TEMPLATE,
+        NonIdeality::GMismatch,
+        2.0,
+        &seeds,
+        &ens,
+        &RecoveryPolicy::default(),
+        &plans,
+    )
+    .unwrap();
+    out.push(FaultRecoveryReport {
+        name: "cnn_blowup",
+        instances: seeds.len(),
+        completed: y.recovery.completed,
+        recovered: y.recovery.recovered,
+        failed: y.recovery.failed,
+        retry_attempts: y.recovery.retry_attempts,
+        ms: t.elapsed().as_secs_f64() * 1e3,
+    });
+
+    // GmC t-line with stiffened (finite) faulty instances: the fixed-step
+    // primary blows up, the adaptive fallback chain rescues every hit —
+    // `recovered` and `retry_attempts` gate the chain itself. `min_dt` is
+    // scaled to the line's ~30 ns span (see the `RecoveryPolicy` docs).
+    let gmc = gmc_tln_language(&tln_language());
+    let cfg = TlineConfig {
+        mismatch: MismatchKind::Cint,
+        ..TlineConfig::default()
+    };
+    let pg = linear_tline_parametric(&gmc, 6, &cfg).unwrap();
+    let sys = CompiledSystem::compile_parametric(&gmc, &pg).unwrap();
+    let seeds = seed_range(0, 256);
+    let plans = [FaultPlan::one_in(16, FaultMode::Stiffen { factor: 1e-2 })];
+    let policy = RecoveryPolicy {
+        min_dt: 1e-16,
+        ..RecoveryPolicy::default()
+    };
+    let t = Instant::now();
+    let (_, report) = Ensemble::serial()
+        .with_lanes(4)
+        .run(&sys, &Rk4 { dt: 5e-11 }, &seeds, 0.0, 3e-8)
+        .prep(|seed| {
+            let mut params = sys.sample_params(seed);
+            ark_sim::faultpoint::corrupt_all(&plans, seed, &mut params, &mut []);
+            let y0 = sys.initial_state_for(&params);
+            (params, y0)
+        })
+        .with_recovery(&policy)
+        .reduce(
+            |snap, _scratch| Ok::<_, SolveError>(snap.state[0]),
+            &Moments,
+        )
+        .unwrap();
+    out.push(FaultRecoveryReport {
+        name: "tln_stiffen",
+        instances: seeds.len(),
+        completed: report.completed,
+        recovered: report.recovered,
+        failed: report.failed,
+        retry_attempts: report.retry_attempts,
+        ms: t.elapsed().as_secs_f64() * 1e3,
+    });
+    out
+}
+
 /// The first unsigned integer following `key` in `text` (tiny scan over
 /// our own generated JSON; no parser needed).
 fn scan_u64(text: &str, key: &str) -> Option<u64> {
@@ -509,12 +613,14 @@ fn report_path(root: &str, smoke: bool, evals: usize, instances: usize) -> Strin
     committed
 }
 
+#[allow(clippy::too_many_arguments)]
 fn write_json(
     reports: &[WorkloadReport],
     ensembles: &[EnsembleReport],
     voting: &[VotingReport],
     streaming: &[StreamingReport],
     stiff: &[StiffReport],
+    fault: &[FaultRecoveryReport],
     evals: usize,
     smoke: bool,
 ) {
@@ -662,6 +768,21 @@ fn write_json(
             comma
         );
     }
+    let _ = writeln!(j, "  }},");
+    // Seeded-fault outcome counts: deterministic (fixed seeds, fixed
+    // plans, fixed 256-instance scale even in smoke mode), so bench_check
+    // gates all four counters; only the ms timing floats.
+    let _ = writeln!(j, "  \"fault_recovery\": {{");
+    for (i, f) in fault.iter().enumerate() {
+        let comma = if i + 1 < fault.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    \"{}\": {{\n      \"instances\": {},\n      \"completed\": {},\n      \
+             \"recovered\": {},\n      \"failed\": {},\n      \"retry_attempts\": {},\n      \
+             \"ms\": {:.1}\n    }}{}",
+            f.name, f.instances, f.completed, f.recovered, f.failed, f.retry_attempts, f.ms, comma
+        );
+    }
     let _ = writeln!(j, "  }}\n}}");
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let path = report_path(root, smoke, evals, instances);
@@ -803,8 +924,16 @@ fn bench_rhs(c: &mut Criterion) {
             s.jacobian_nnz,
         );
     }
+    let fault = measure_fault_recovery();
+    for f in &fault {
+        println!(
+            "{} fault recovery x{}: {} completed / {} recovered ({} retries) / {} failed \
+             ({:.1} ms)",
+            f.name, f.instances, f.completed, f.recovered, f.retry_attempts, f.failed, f.ms,
+        );
+    }
     write_json(
-        &reports, &ensembles, &voting, &streaming, &stiff, evals, smoke,
+        &reports, &ensembles, &voting, &streaming, &stiff, &fault, evals, smoke,
     );
 }
 

@@ -16,7 +16,11 @@
 //! * `stiff_vdp/*/{jacobian_instructions,trbdf2_*}` — the forward-mode
 //!   Jacobian program's size and the implicit solver's step/Newton/RHS
 //!   counts on the stiff Van der Pol benchmark; catches AD lowering bloat
-//!   and step-controller regressions.
+//!   and step-controller regressions;
+//! * `fault_recovery/*/{completed,recovered,failed,retry_attempts}` —
+//!   per-instance outcome counts on the seeded-fault ensembles; catches
+//!   the recovery chain losing instances it used to rescue, or the
+//!   primary solver starting to fail on instances it used to complete.
 //!
 //! ```text
 //! bench_check <baseline.json> <candidate.json> [max-growth-pct]
@@ -29,7 +33,7 @@ use std::process::ExitCode;
 
 /// Gated `(section, field)` pairs (all deterministic machine-independent
 /// counts).
-const CHECKED_KEYS: [(&str, &str); 7] = [
+const CHECKED_KEYS: [(&str, &str); 11] = [
     ("workloads", "fused_instructions_per_rhs"),
     ("workloads", "legacy_instructions_per_rhs"),
     ("streaming_ensemble", "accumulator_bytes"),
@@ -41,6 +45,16 @@ const CHECKED_KEYS: [(&str, &str); 7] = [
     ("stiff_vdp", "trbdf2_accepted_steps"),
     ("stiff_vdp", "trbdf2_newton_iters"),
     ("stiff_vdp", "trbdf2_rhs_evals"),
+    // Fault-tolerance path: outcome counts on the seeded-fault ensembles
+    // (fixed seeds, fixed plans, fixed scale — deterministic for any
+    // worker count and lane width). `failed` growing means faults the
+    // recovery chain used to absorb now abort; `recovered` or
+    // `retry_attempts` growing means the primary solver started failing
+    // on instances it used to handle first-try.
+    ("fault_recovery", "completed"),
+    ("fault_recovery", "recovered"),
+    ("fault_recovery", "failed"),
+    ("fault_recovery", "retry_attempts"),
 ];
 
 /// One parsed report: section → entry name → (field → integer value).

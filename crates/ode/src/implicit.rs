@@ -127,6 +127,7 @@ impl TrBdf2<Adaptive> {
                 h0: None,
                 h_min: 1e-14,
                 h_max: f64::INFINITY,
+                max_steps: 0,
             },
             newton: NewtonCfg::default(),
         }
@@ -141,7 +142,7 @@ impl TrBdf2<Fixed> {
     /// scaled with rtol `1e-6` / atol `1e-9`.
     pub fn fixed(dt: f64) -> Self {
         TrBdf2 {
-            control: Fixed { dt },
+            control: Fixed::new(dt),
             newton: NewtonCfg::default(),
         }
     }
@@ -557,6 +558,14 @@ impl Solver for TrBdf2<Adaptive> {
             if h < cfg.h_min {
                 return Err(SolveError::StepSizeUnderflow { t });
             }
+            // Same attempt-counting budget as the explicit adaptive loop
+            // (`VotingAdaptive::drive`): rejected steps burn it too.
+            if cfg.max_steps > 0 && (stats.accepted + stats.rejected) as u64 >= cfg.max_steps {
+                return Err(SolveError::MaxStepsExceeded {
+                    t,
+                    budget: cfg.max_steps,
+                });
+            }
             if t + h > t1 {
                 h = t1 - t;
             }
@@ -630,6 +639,12 @@ impl Solver for TrBdf2<Fixed> {
         // Fixed control has no user tolerances; scale Newton with defaults.
         let mut core = Core::new(sys, n, self.newton, 1e-9, 1e-6);
         let steps = ((t1 - t0) / dt).ceil() as usize;
+        if self.control.max_steps > 0 && steps as u64 > self.control.max_steps {
+            return Err(SolveError::MaxStepsExceeded {
+                t: t0,
+                budget: self.control.max_steps,
+            });
+        }
         obs.start(t0, y0, Some(steps));
         let dt = (t1 - t0) / steps as f64;
         let mut t = t0;

@@ -111,6 +111,48 @@ pub enum SolveError {
         /// Time of the failed step attempt.
         t: f64,
     },
+    /// The solver's step budget (`max_steps` on [`Fixed`] /
+    /// [`Adaptive`]) was exhausted before reaching `t1`.
+    /// The adaptive controllers count step *attempts* (accepted +
+    /// rejected), so a pathological system can neither spin the PI loop
+    /// unbounded nor dodge the budget by rejecting forever.
+    MaxStepsExceeded {
+        /// Time reached when the budget ran out.
+        t: f64,
+        /// The configured budget.
+        budget: u64,
+    },
+}
+
+impl SolveError {
+    /// A stable machine-readable name for this error's variant (without
+    /// its payload): `"non_finite"`, `"step_size_underflow"`,
+    /// `"bad_config"`, `"unsupported_lanes"`, `"newton_divergence"`, or
+    /// `"max_steps_exceeded"`. Failure accounting (the `FailureLog`
+    /// reducer in `ark-sim`) keys its per-kind counts on this.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SolveError::NonFinite { .. } => "non_finite",
+            SolveError::StepSizeUnderflow { .. } => "step_size_underflow",
+            SolveError::BadConfig(_) => "bad_config",
+            SolveError::UnsupportedLanes(_) => "unsupported_lanes",
+            SolveError::NewtonDivergence { .. } => "newton_divergence",
+            SolveError::MaxStepsExceeded { .. } => "max_steps_exceeded",
+        }
+    }
+
+    /// The time at which the failure was detected, when the variant
+    /// carries one (`BadConfig`/`UnsupportedLanes` are pre-flight checks
+    /// and do not).
+    pub fn time(&self) -> Option<f64> {
+        match self {
+            SolveError::NonFinite { t }
+            | SolveError::StepSizeUnderflow { t }
+            | SolveError::NewtonDivergence { t }
+            | SolveError::MaxStepsExceeded { t, .. } => Some(*t),
+            SolveError::BadConfig(_) | SolveError::UnsupportedLanes(_) => None,
+        }
+    }
 }
 
 impl fmt::Display for SolveError {
@@ -122,6 +164,9 @@ impl fmt::Display for SolveError {
             SolveError::UnsupportedLanes(e) => write!(f, "bad solver configuration: {e}"),
             SolveError::NewtonDivergence { t } => {
                 write!(f, "Newton iteration failed to converge at t={t}")
+            }
+            SolveError::MaxStepsExceeded { t, budget } => {
+                write!(f, "step budget of {budget} exhausted at t={t}")
             }
         }
     }
@@ -174,7 +219,7 @@ impl Solver for Euler {
         obs: &mut O,
         ws: &mut Workspace<E>,
     ) -> Result<crate::SolveStats, SolveError> {
-        Fixed { dt: self.dt }.drive(&EulerStages, sys, t0, y0, t1, obs, ws)
+        Fixed::new(self.dt).drive(&EulerStages, sys, t0, y0, t1, obs, ws)
     }
 }
 
@@ -264,7 +309,7 @@ impl Solver for Rk4 {
         obs: &mut O,
         ws: &mut Workspace<E>,
     ) -> Result<crate::SolveStats, SolveError> {
-        Fixed { dt: self.dt }.drive(&Rk4Stages, sys, t0, y0, t1, obs, ws)
+        Fixed::new(self.dt).drive(&Rk4Stages, sys, t0, y0, t1, obs, ws)
     }
 }
 
@@ -372,6 +417,9 @@ pub struct DormandPrince {
     pub h_min: f64,
     /// Largest allowed step.
     pub h_max: f64,
+    /// Hard budget on step attempts (accepted + rejected); `0` means
+    /// unlimited. See [`Adaptive`]'s `max_steps`.
+    pub max_steps: u64,
 }
 
 impl Default for DormandPrince {
@@ -382,6 +430,7 @@ impl Default for DormandPrince {
             h0: None,
             h_min: 1e-14,
             h_max: f64::INFINITY,
+            max_steps: 0,
         }
     }
 }
@@ -422,6 +471,7 @@ impl DormandPrince {
             h0: self.h0,
             h_min: self.h_min,
             h_max: self.h_max,
+            max_steps: self.max_steps,
         }
     }
 
@@ -741,6 +791,78 @@ mod tests {
         let sys = FnSystem::new(1, |_t, y: &[f64], d: &mut [f64]| d[0] = y[0] * y[0]);
         let res = Rk4 { dt: 1e-3 }.integrate(&sys, 0.0, &[1.0], 2.0, 1);
         assert!(matches!(res, Err(SolveError::NonFinite { .. })));
+    }
+
+    #[test]
+    fn fixed_step_budget_is_preflight() {
+        use crate::observe::FinalState;
+        use crate::solver::{Method, OdeWorkspace, Rk4Stages};
+        let sys = decay();
+        // 1000 planned steps against a budget of 10: fail before stepping.
+        let control = Fixed {
+            dt: 1e-3,
+            max_steps: 10,
+        };
+        let solver = Method {
+            stepper: Rk4Stages,
+            control,
+        };
+        let mut obs = FinalState::new();
+        let res = solver.solve(&sys, 0.0, &[1.0], 1.0, &mut obs, &mut OdeWorkspace::new(1));
+        assert_eq!(
+            res,
+            Err(SolveError::MaxStepsExceeded { t: 0.0, budget: 10 })
+        );
+        // A sufficient budget is untouched by the check.
+        let solver = Method {
+            stepper: Rk4Stages,
+            control: Fixed {
+                dt: 1e-3,
+                max_steps: 1000,
+            },
+        };
+        let stats = solver
+            .solve(&sys, 0.0, &[1.0], 1.0, &mut obs, &mut OdeWorkspace::new(1))
+            .unwrap();
+        assert_eq!(stats.accepted, 1000);
+    }
+
+    #[test]
+    fn adaptive_step_budget_counts_attempts() {
+        let sys = decay();
+        let tight = DormandPrince {
+            max_steps: 3,
+            ..DormandPrince::new(1e-12, 1e-14)
+        };
+        let res = tight.integrate(&sys, 0.0, &[1.0], 1.0);
+        let Err(SolveError::MaxStepsExceeded { t, budget: 3 }) = res else {
+            panic!("expected MaxStepsExceeded, got {res:?}");
+        };
+        assert!(t < 1.0);
+        // The same run with an ample budget is bit-identical to the
+        // unbudgeted solver: the budget check reads counters only.
+        let ample = DormandPrince {
+            max_steps: 100_000,
+            ..DormandPrince::new(1e-12, 1e-14)
+        };
+        let a = ample.integrate(&sys, 0.0, &[1.0], 1.0).unwrap();
+        let b = DormandPrince::new(1e-12, 1e-14)
+            .integrate(&sys, 0.0, &[1.0], 1.0)
+            .unwrap();
+        assert_eq!(a.last(), b.last());
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn error_kinds_are_stable_names() {
+        assert_eq!(SolveError::NonFinite { t: 0.0 }.kind(), "non_finite");
+        assert_eq!(
+            SolveError::MaxStepsExceeded { t: 0.5, budget: 9 }.kind(),
+            "max_steps_exceeded"
+        );
+        assert_eq!(SolveError::BadConfig("x".into()).kind(), "bad_config");
+        assert_eq!(SolveError::NonFinite { t: 2.0 }.time(), Some(2.0));
+        assert_eq!(SolveError::BadConfig("x".into()).time(), None);
     }
 
     /// A laned wrapper around independent per-lane scalar closures.

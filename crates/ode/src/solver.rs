@@ -240,6 +240,18 @@ impl<E: Elem> Workspace<E> {
         self.failed.clear();
         self.failed.resize(E::WIDTH, None);
     }
+
+    /// Lane index of the lowest lane that failed in the last run — the
+    /// lane whose error the drive loop returned. `None` when every lane
+    /// survived. Only meaningful right after a failed [`Solver::solve`]
+    /// whose error carries a time ([`SolveError::time`] is `Some`):
+    /// pre-flight errors (`BadConfig`/`UnsupportedLanes`) return before
+    /// the masks are reset, so the masks still describe the *previous*
+    /// run. Ensemble engines use this to attribute a lane-group failure
+    /// to the instance (seed) that caused it.
+    pub fn first_failed_lane(&self) -> Option<usize> {
+        self.alive.iter().position(|a| !a)
+    }
 }
 
 /// The stage arithmetic of one explicit Runge–Kutta method, written once
@@ -537,8 +549,15 @@ impl EmbeddedStepper for Dp45Stages {
 /// let sys = FnSystem::new(1, |_t, y, dydt| dydt[0] = -y[0]);
 /// let mut ws = OdeWorkspace::new(1);
 /// let mut fixed = Strided::every(1);
-/// Fixed { dt: 1e-3 }.drive(&Rk4Stages, &sys, 0.0, &[1.0], 1.0, &mut fixed, &mut ws)?;
-/// let adaptive = Adaptive { rtol: 1e-9, atol: 1e-12, h0: None, h_min: 1e-14, h_max: f64::INFINITY };
+/// Fixed::new(1e-3).drive(&Rk4Stages, &sys, 0.0, &[1.0], 1.0, &mut fixed, &mut ws)?;
+/// let adaptive = Adaptive {
+///     rtol: 1e-9,
+///     atol: 1e-12,
+///     h0: None,
+///     h_min: 1e-14,
+///     h_max: f64::INFINITY,
+///     max_steps: 0,
+/// };
 /// let mut voted = Strided::every(1);
 /// VotingAdaptive(adaptive).drive(&Dp45Stages, &sys, 0.0, &[1.0], 1.0, &mut voted, &mut ws)?;
 /// let (f, v) = (fixed.into_trajectory(), voted.into_trajectory());
@@ -579,6 +598,17 @@ pub trait StepControl<St> {
 pub struct Fixed {
     /// Step size (the effective step is shrunk so the grid lands on `t1`).
     pub dt: f64,
+    /// Hard step budget; `0` means unlimited. The grid size is known up
+    /// front, so a plan exceeding the budget fails with
+    /// [`SolveError::MaxStepsExceeded`] before the first step.
+    pub max_steps: u64,
+}
+
+impl Fixed {
+    /// Fixed-step control with an unlimited step budget.
+    pub fn new(dt: f64) -> Self {
+        Fixed { dt, max_steps: 0 }
+    }
 }
 
 /// Adaptive PI step control — the policy of the historical
@@ -601,6 +631,12 @@ pub struct Adaptive {
     pub h_min: f64,
     /// Largest allowed step.
     pub h_max: f64,
+    /// Hard budget on step *attempts* (accepted + rejected); `0` means
+    /// unlimited. Exceeding it fails the run with
+    /// [`SolveError::MaxStepsExceeded`] — the third terminal condition of
+    /// the adaptive loop, next to `NonFinite` and `StepSizeUnderflow`, so
+    /// a pathological system cannot spin the controller forever.
+    pub max_steps: u64,
 }
 
 /// Step-size *voting* control: the laned adaptive mode.
@@ -665,6 +701,15 @@ impl<St: Stepper> StepControl<St> for Fixed {
         ws.ensure(n, St::STAGES);
         ws.reset_masks();
         let steps = ((t1 - t0) / self.dt).ceil() as usize;
+        // The grid is fully known here, so the budget check is pre-flight:
+        // an over-budget plan fails before any work (and before the
+        // observer sees a start).
+        if self.max_steps > 0 && steps as u64 > self.max_steps {
+            return Err(SolveError::MaxStepsExceeded {
+                t: t0,
+                budget: self.max_steps,
+            });
+        }
         obs.start(t0, y0, Some(steps));
         let Workspace {
             y,
@@ -812,6 +857,14 @@ impl<St: EmbeddedStepper> StepControl<St> for VotingAdaptive {
             if h < cfg.h_min {
                 return Err(SolveError::StepSizeUnderflow { t });
             }
+            // Budget counts attempts, so rejected steps burn it too — a
+            // system that keeps rejecting cannot dodge the budget.
+            if cfg.max_steps > 0 && (stats.accepted + stats.rejected) as u64 >= cfg.max_steps {
+                return Err(SolveError::MaxStepsExceeded {
+                    t,
+                    budget: cfg.max_steps,
+                });
+            }
             if t + h > t1 {
                 h = t1 - t;
             }
@@ -952,7 +1005,7 @@ pub trait Solver {
 /// use ark_ode::{Fixed, FnSystem, Method, OdeWorkspace, Rk4Stages, Solver, Strided};
 ///
 /// // Identical to `Rk4 { dt: 1e-2 }`, assembled from its parts.
-/// let solver = Method { stepper: Rk4Stages, control: Fixed { dt: 1e-2 } };
+/// let solver = Method { stepper: Rk4Stages, control: Fixed::new(1e-2) };
 /// let sys = FnSystem::new(1, |_t, y, dydt| dydt[0] = -y[0]);
 /// let mut rec = Strided::every(1);
 /// solver.solve(&sys, 0.0, &[1.0], 1.0, &mut rec, &mut OdeWorkspace::new(1))?;

@@ -921,6 +921,11 @@ pub struct CnnYield {
     pub wrong_histogram: ark_sim::reduce::Histogram,
     /// Pass/fail yield (pass = zero wrong pixels).
     pub counts: ark_sim::reduce::Yield,
+    /// Per-instance fault-tolerance accounting: completed/recovered/failed
+    /// counts and per-error-kind first-failure provenance. Failed
+    /// instances contribute no wrong-pixel sample — count them against
+    /// yield via `counts.pass / recovery.total()`.
+    pub recovery: ark_sim::RecoveryReport,
 }
 
 /// The Figure 11 yield sweep kernel: Monte Carlo over fabricated CNN
@@ -935,8 +940,10 @@ pub struct CnnYield {
 ///
 /// # Errors
 ///
-/// The build/compile failure of the design, or the first (by seed order)
-/// integration failure.
+/// The build/compile failure of the design. Per-instance integration
+/// failures no longer abort the sweep: they are retried under the default
+/// [`ark_sim::RecoveryPolicy`] and accounted for in
+/// [`CnnYield::recovery`].
 pub fn run_cnn_yield(
     lang: &Language,
     input: &Image,
@@ -945,6 +952,42 @@ pub fn run_cnn_yield(
     t_end: f64,
     seeds: &[u64],
     ens: &ark_sim::Ensemble,
+) -> Result<CnnYield, crate::DynError> {
+    run_cnn_yield_with(
+        lang,
+        input,
+        template,
+        nonideality,
+        t_end,
+        seeds,
+        ens,
+        &ark_sim::RecoveryPolicy::default(),
+        &[],
+    )
+}
+
+/// [`run_cnn_yield`] with an explicit [`ark_sim::RecoveryPolicy`] and a
+/// set of seeded [`ark_sim::FaultPlan`]s. The plans corrupt the sampled
+/// parameter vectors of their selected seeds *before* the initial state is
+/// derived, so injected faults flow through the same prep path as real
+/// mismatch — which instances are hit is a pure function of the seed, and
+/// the injected run keeps the engine's bit-identity across worker counts
+/// and lane widths. Pass an empty slice for a fault-free sweep.
+///
+/// # Errors
+///
+/// The build/compile failure of the design.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cnn_yield_with(
+    lang: &Language,
+    input: &Image,
+    template: &Template,
+    nonideality: NonIdeality,
+    t_end: f64,
+    seeds: &[u64],
+    ens: &ark_sim::Ensemble,
+    policy: &ark_sim::RecoveryPolicy,
+    faults: &[ark_sim::FaultPlan],
 ) -> Result<CnnYield, crate::DynError> {
     use ark_sim::reduce::{premap, Moments, Quantiles, YieldCounter};
     let pcnn = build_cnn_parametric(lang, input, template, nonideality)?;
@@ -959,8 +1002,15 @@ pub fn run_cnn_yield(
         Quantiles::new(-0.5, pixels as f64 + 0.5, pixels + 1),
         premap(|wrong: f64| wrong == 0.0, YieldCounter),
     );
-    let (wrong_pixels, wrong_histogram, counts) = ens
+    let ((wrong_pixels, wrong_histogram, counts), recovery) = ens
         .run(&sys, &ark_ode::Rk4 { dt: CNN_SOLVER_DT }, seeds, 0.0, t_end)
+        .prep(|seed| {
+            let mut params = sys.sample_params(seed);
+            ark_sim::faultpoint::corrupt_all(faults, seed, &mut params, &mut []);
+            let y0 = sys.initial_state_for(&params);
+            (params, y0)
+        })
+        .with_recovery(policy)
         .reduce(
             |snap, scratch| {
                 let out = read_output_dims(
@@ -980,6 +1030,7 @@ pub fn run_cnn_yield(
         wrong_pixels,
         wrong_histogram,
         counts,
+        recovery,
     })
 }
 

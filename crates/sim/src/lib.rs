@@ -117,11 +117,17 @@
 
 #![warn(missing_docs)]
 
+pub mod faultpoint;
 pub mod reduce;
+pub mod resilience;
 mod run;
 
 pub use ark_ode::LaneError;
-pub use run::{EnsembleObserver, EnsembleRun, FinalSnapshot, Observed};
+pub use faultpoint::{FaultMode, FaultPlan, FaultSystem, RhsFault};
+pub use resilience::{
+    EnsembleError, FailureLog, FallbackSolver, InstanceOutcome, RecoveryPolicy, RecoveryReport,
+};
+pub use run::{EnsembleObserver, EnsembleRun, FinalSnapshot, Observed, RecoveringRun};
 
 use ark_core::{CompiledSystem, EvalScratch, LaneScratch};
 use ark_ode::{OdeWorkspace, SolveError, Solver, Strided, Trajectory, Workspace};
@@ -565,7 +571,7 @@ impl Ensemble {
     ) -> Result<Vec<T>, E>
     where
         T: Send,
-        E: Send + From<SolveError>,
+        E: Send + From<EnsembleError>,
         F: Fn(u64) -> Vec<f64> + Sync,
         G: Fn(u64, &[f64], Trajectory, &mut EvalScratch) -> Result<T, E> + Sync,
     {
@@ -601,7 +607,7 @@ impl Ensemble {
     ) -> Result<Vec<T>, E>
     where
         T: Send,
-        E: Send + From<SolveError>,
+        E: Send + From<EnsembleError>,
         F: Fn(u64) -> Vec<f64> + Sync,
         R: LaneReadout<T, E>,
     {
@@ -628,7 +634,7 @@ impl Ensemble {
     where
         S: Solver + Sync,
         T: Send,
-        E: Send + From<SolveError>,
+        E: Send + From<EnsembleError>,
         P: Fn(u64) -> (Vec<f64>, Vec<f64>) + Sync,
         R: LaneReadout<T, E>,
     {
@@ -656,7 +662,7 @@ impl Ensemble {
                             .solve(&bound, t0, &y0, t1, &mut rec, ws)
                             .map(|_| rec.into_trajectory())
                     }
-                    .map_err(E::from)?;
+                    .map_err(|e| E::from(EnsembleError { seed, source: e }))?;
                     readout.finish(seed, &params, tr, scratch)
                 },
             ),
@@ -683,7 +689,7 @@ impl Ensemble {
     where
         S: Solver + Sync,
         T: Send,
-        E: Send + From<SolveError>,
+        E: Send + From<EnsembleError>,
         P: Fn(u64) -> (Vec<f64>, Vec<f64>) + Sync,
         R: LaneReadout<T, E>,
     {
@@ -711,7 +717,21 @@ impl Ensemble {
                         .solve(&bound, t0, &bufs.y0[..n], t1, &mut rec, &mut bufs.lws)
                         .map(|_| rec.into_trajectories())
                 }
-                .map_err(E::from)?;
+                .map_err(|e| {
+                    // Attribute to the lowest failed lane (the instance
+                    // whose error the drive loop reported); pre-flight
+                    // errors carry no time and leave the lane masks
+                    // stale, so they attribute to the group's first seed.
+                    let lane = if e.time().is_some() {
+                        bufs.lws.first_failed_lane().unwrap_or(0)
+                    } else {
+                        0
+                    };
+                    E::from(EnsembleError {
+                        seed: group[lane.min(group.len() - 1)],
+                        source: e,
+                    })
+                })?;
                 readout.finish_group::<L>(
                     group,
                     &params,
@@ -730,7 +750,7 @@ impl Ensemble {
                             .solve(&bound, t0, y0, t1, &mut rec, &mut bufs.ws)
                             .map(|_| rec.into_trajectory())
                     }
-                    .map_err(E::from)?;
+                    .map_err(|e| E::from(EnsembleError { seed, source: e }))?;
                     out.push(readout.finish(seed, params, tr, &mut bufs.scratch)?);
                 }
             }
@@ -1261,9 +1281,9 @@ mod tests {
             Solve(SolveError),
             Seed(u64),
         }
-        impl From<SolveError> for TestErr {
-            fn from(e: SolveError) -> Self {
-                TestErr::Solve(e)
+        impl From<EnsembleError> for TestErr {
+            fn from(e: EnsembleError) -> Self {
+                TestErr::Solve(e.source)
             }
         }
         let (_lang, sys) = decay_parametric();

@@ -3,6 +3,7 @@
 //! seed order or stream them through an online [`Reducer`].
 
 use crate::reduce::{Reducer, STREAM_BLOCK};
+use crate::resilience::{EnsembleError, InstanceOutcome, RecoveryPolicy, RecoveryReport};
 use crate::{ClosureReadout, Ensemble, LaneBufs, LaneReadout};
 use ark_core::{CompiledSystem, EvalScratch};
 use ark_ode::{FinalState, Observer, OdeWorkspace, SolveError, SolveStats, Solver, Trajectory};
@@ -171,6 +172,15 @@ where
         }
     }
 
+    /// Turn solver failures into per-instance *data* instead of aborts:
+    /// the returned [`RecoveringRun`]'s terminal isolates each failing
+    /// instance, retries it under `policy`'s deterministic fallback chain,
+    /// and accounts for every instance in a [`RecoveryReport`] — see
+    /// [`RecoveringRun::reduce`].
+    pub fn with_recovery(self, policy: &'a RecoveryPolicy) -> RecoveringRun<'a, S, P> {
+        RecoveringRun { run: self, policy }
+    }
+
     /// Materialize one recorded [`Trajectory`] per instance, in seed
     /// order.
     ///
@@ -203,7 +213,7 @@ where
     pub fn map<T, E, G>(self, finish: G) -> Result<Vec<T>, E>
     where
         T: Send,
-        E: Send + From<SolveError>,
+        E: Send + From<EnsembleError>,
         G: Fn(u64, &[f64], Trajectory, &mut EvalScratch) -> Result<T, E> + Sync,
     {
         self.map_grouped(&ClosureReadout(finish))
@@ -222,7 +232,7 @@ where
     pub fn map_grouped<T, E, R>(self, readout: &R) -> Result<Vec<T>, E>
     where
         T: Send,
-        E: Send + From<SolveError>,
+        E: Send + From<EnsembleError>,
         R: LaneReadout<T, E>,
     {
         self.ens.dispatch_lanes(
@@ -255,7 +265,7 @@ where
     /// The first (by seed order) integration or `extract` error.
     pub fn reduce<I, E, X, R>(self, extract: X, reducer: &R) -> Result<R::Output, E>
     where
-        E: Send + From<SolveError>,
+        E: Send + From<EnsembleError>,
         X: Fn(&FinalSnapshot<'_>, &mut EvalScratch) -> Result<I, E> + Sync,
         R: Reducer<I>,
     {
@@ -300,7 +310,7 @@ where
     where
         O: EnsembleObserver,
         OF: Fn() -> O + Sync,
-        E: Send + From<SolveError>,
+        E: Send + From<EnsembleError>,
         X: Fn(&Observed<'_, O>, &mut EvalScratch) -> Result<I, E> + Sync,
         R: Reducer<I>,
     {
@@ -333,7 +343,7 @@ where
     where
         O: Observer<f64> + Observer<[f64; L]>,
         OF: Fn() -> O + Sync,
-        E: Send + From<SolveError>,
+        E: Send + From<EnsembleError>,
         X: Fn(&Observed<'_, O>, &mut EvalScratch) -> Result<I, E> + Sync,
         R: Reducer<I>,
     {
@@ -367,7 +377,22 @@ where
                                 &mut obs,
                                 &mut bufs.lws,
                             )
-                            .map_err(E::from)?;
+                            .map_err(|e| {
+                                // Attribute to the lowest failed lane — the
+                                // instance whose error the drive loop
+                                // reported. Pre-flight errors (no time)
+                                // leave the lane masks stale: attribute to
+                                // the group's first seed.
+                                let lane = if e.time().is_some() {
+                                    bufs.lws.first_failed_lane().unwrap_or(0)
+                                } else {
+                                    0
+                                };
+                                E::from(EnsembleError {
+                                    seed: group[lane.min(group.len() - 1)],
+                                    source: e,
+                                })
+                            })?;
                     }
                     for (l, &seed) in group.iter().enumerate() {
                         let item = extract(
@@ -389,7 +414,7 @@ where
                             let bound = self.sys.bind_ref(params, &mut bufs.scratch);
                             self.solver
                                 .solve(&bound, self.t0, y0, self.t1, &mut obs, &mut bufs.ws)
-                                .map_err(E::from)?;
+                                .map_err(|e| E::from(EnsembleError { seed, source: e }))?;
                         }
                         let item = extract(
                             &Observed {
@@ -426,7 +451,7 @@ where
     where
         O: Observer<f64>,
         OF: Fn() -> O + Sync,
-        E: Send + From<SolveError>,
+        E: Send + From<EnsembleError>,
         X: Fn(&Observed<'_, O>, &mut EvalScratch) -> Result<I, E> + Sync,
         R: Reducer<I>,
     {
@@ -441,7 +466,7 @@ where
                     let bound = self.sys.bind_ref(&params, scratch);
                     self.solver
                         .solve(&bound, self.t0, &y0, self.t1, &mut obs, ws)
-                        .map_err(E::from)?;
+                        .map_err(|e| E::from(EnsembleError { seed, source: e }))?;
                 }
                 let item = extract(
                     &Observed {
@@ -466,5 +491,280 @@ where
             reducer.merge(&mut total, partial);
         }
         Ok(reducer.finish(total))
+    }
+}
+
+/// A fault-tolerant ensemble run, created by
+/// [`EnsembleRun::with_recovery`]: per-instance failure isolation plus
+/// deterministic recovery under a [`RecoveryPolicy`].
+///
+/// Where the plain streaming terminals abort the whole run on the first
+/// solver error, the recovering terminal gives every instance a verdict
+/// ([`InstanceOutcome`]): `Completed` on a clean primary solve,
+/// `Recovered` when a retry under the policy's fallback chain succeeds,
+/// `Failed` when the chain is exhausted — failed instances contribute no
+/// item to the reducer but are counted (with first-failure provenance per
+/// error kind) in the returned [`RecoveryReport`].
+///
+/// # Determinism
+///
+/// Retries run inside the streaming block that owns the instance, so the
+/// block merge order — and every accumulator bit — is unchanged by
+/// failures for any worker count. When one lane of an `L`-wide group
+/// fails, the whole group is *demoted*: each of its instances re-runs
+/// scalar under the primary solver first (exactly what a `lanes = 1`
+/// engine runs), then walks the fallback chain if still failing — so
+/// outcomes and accumulators are bit-identical across lane widths on the
+/// default solvers. The lane-voting solvers keep their documented
+/// exception (their step grid is keyed on the lane width).
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveringRun<'a, S, P> {
+    run: EnsembleRun<'a, S, P>,
+    policy: &'a RecoveryPolicy,
+}
+
+impl<'a, S, P> RecoveringRun<'a, S, P>
+where
+    S: Solver + Sync,
+    P: Fn(u64) -> (Vec<f64>, Vec<f64>) + Sync,
+{
+    /// Stream final states through an online [`Reducer`] with failure
+    /// isolation: like [`EnsembleRun::reduce`], but a failing instance is
+    /// retried under the policy instead of aborting the run, and the
+    /// output is paired with the run's [`RecoveryReport`].
+    ///
+    /// `extract` sees only instances that produced a final state
+    /// (`Completed` or `Recovered`); failed instances are accounted for in
+    /// the report alone, so yield-style reducers should take their
+    /// denominator from [`RecoveryReport::total`] (or add
+    /// [`RecoveryReport::failed`] to the reduced count).
+    ///
+    /// # Errors
+    ///
+    /// Only `extract` errors abort (first in seed order) — solver errors
+    /// are recovery work, not run failures. `E` therefore only needs
+    /// `Send`.
+    pub fn reduce<I, E, X, R>(
+        self,
+        extract: X,
+        reducer: &R,
+    ) -> Result<(R::Output, RecoveryReport), E>
+    where
+        E: Send,
+        X: Fn(&FinalSnapshot<'_>, &mut EvalScratch) -> Result<I, E> + Sync,
+        R: Reducer<I>,
+    {
+        let lanes = if self.run.solver.supports_lanes() {
+            self.run.ens.lanes()
+        } else {
+            1
+        };
+        match lanes {
+            4 => self.recover_lane_blocks::<4, _, _, _, _>(&extract, reducer),
+            8 => self.recover_lane_blocks::<8, _, _, _, _>(&extract, reducer),
+            _ => self.recover_scalar_blocks(&extract, reducer),
+        }
+    }
+
+    /// Recovering streaming runner, laned: the block/merge structure of
+    /// [`EnsembleRun::reduce_observed`]'s laned runner, with lane-group
+    /// demotion on failure.
+    fn recover_lane_blocks<const L: usize, I, E, X, R>(
+        &self,
+        extract: &X,
+        reducer: &R,
+    ) -> Result<(R::Output, RecoveryReport), E>
+    where
+        FinalState: Observer<[f64; L]>,
+        E: Send,
+        X: Fn(&FinalSnapshot<'_>, &mut EvalScratch) -> Result<I, E> + Sync,
+        R: Reducer<I>,
+    {
+        let run = &self.run;
+        let n = run.sys.num_states();
+        let blocks: Vec<&[u64]> = run.seeds.chunks(STREAM_BLOCK).collect();
+        let idx: Vec<u64> = (0..blocks.len() as u64).collect();
+        let job = |bufs: &mut LaneBufs<L>, bi: u64| -> Result<(R::Acc, RecoveryReport), E> {
+            let mut acc = reducer.new_acc();
+            let mut report = RecoveryReport::default();
+            for group in blocks[bi as usize].chunks(L) {
+                let prepped: Vec<(Vec<f64>, Vec<f64>)> =
+                    group.iter().map(|&s| (run.prep)(s)).collect();
+                let mut laned_ok = false;
+                if group.len() == L && prepped.iter().all(|(_, y0)| y0.len() == n) {
+                    bufs.y0.clear();
+                    bufs.y0.resize(n, [0.0; L]);
+                    for (l, (_, y0)) in prepped.iter().enumerate() {
+                        for (i, &v) in y0.iter().enumerate() {
+                            bufs.y0[i][l] = v;
+                        }
+                    }
+                    let params: Vec<&[f64]> = prepped.iter().map(|(p, _)| p.as_slice()).collect();
+                    let mut obs = FinalState::new();
+                    let solved = {
+                        let bound = run.sys.bind_lanes::<L>(&params, &mut bufs.lscratch);
+                        run.solver.solve(
+                            &bound,
+                            run.t0,
+                            &bufs.y0[..n],
+                            run.t1,
+                            &mut obs,
+                            &mut bufs.lws,
+                        )
+                    };
+                    if solved.is_ok() {
+                        laned_ok = true;
+                        for (l, &seed) in group.iter().enumerate() {
+                            let item = extract(
+                                &FinalSnapshot {
+                                    seed,
+                                    params: params[l],
+                                    t: obs.time(),
+                                    state: obs.lane_state(l),
+                                    stats: obs.stats(),
+                                },
+                                &mut bufs.scratch,
+                            )?;
+                            reducer.push(&mut acc, item);
+                            report.push(&InstanceOutcome::Completed);
+                        }
+                    }
+                    // On Err the whole group demotes below: every lane
+                    // re-runs scalar, so the healthy lanes produce exactly
+                    // the items a lanes = 1 engine would have.
+                }
+                if !laned_ok {
+                    for (&seed, (params, y0)) in group.iter().zip(&prepped) {
+                        let (outcome, obs) =
+                            self.recover_one(seed, params, y0, &mut bufs.scratch, &mut bufs.ws);
+                        if let Some(obs) = obs {
+                            let item = extract(
+                                &FinalSnapshot {
+                                    seed,
+                                    params,
+                                    t: obs.time(),
+                                    state: obs.lane_state(0),
+                                    stats: obs.stats(),
+                                },
+                                &mut bufs.scratch,
+                            )?;
+                            reducer.push(&mut acc, item);
+                        }
+                        report.push(&outcome);
+                    }
+                }
+            }
+            Ok((acc, report))
+        };
+        let partials: Vec<(R::Acc, RecoveryReport)> =
+            run.ens.try_map_init(&idx, LaneBufs::<L>::default, job)?;
+        let mut total = reducer.new_acc();
+        let mut report = RecoveryReport::default();
+        for (partial, rep) in partials {
+            reducer.merge(&mut total, partial);
+            report.merge(rep);
+        }
+        Ok((reducer.finish(total), report))
+    }
+
+    /// Recovering streaming runner, scalar path (lane width 1 or a
+    /// lane-incapable solver).
+    fn recover_scalar_blocks<I, E, X, R>(
+        &self,
+        extract: &X,
+        reducer: &R,
+    ) -> Result<(R::Output, RecoveryReport), E>
+    where
+        E: Send,
+        X: Fn(&FinalSnapshot<'_>, &mut EvalScratch) -> Result<I, E> + Sync,
+        R: Reducer<I>,
+    {
+        let run = &self.run;
+        let blocks: Vec<&[u64]> = run.seeds.chunks(STREAM_BLOCK).collect();
+        let idx: Vec<u64> = (0..blocks.len() as u64).collect();
+        let job = |(scratch, ws): &mut (EvalScratch, OdeWorkspace),
+                   bi: u64|
+         -> Result<(R::Acc, RecoveryReport), E> {
+            let mut acc = reducer.new_acc();
+            let mut report = RecoveryReport::default();
+            for &seed in blocks[bi as usize] {
+                let (params, y0) = (run.prep)(seed);
+                let (outcome, obs) = self.recover_one(seed, &params, &y0, scratch, ws);
+                if let Some(obs) = obs {
+                    let item = extract(
+                        &FinalSnapshot {
+                            seed,
+                            params: &params,
+                            t: obs.time(),
+                            state: obs.lane_state(0),
+                            stats: obs.stats(),
+                        },
+                        scratch,
+                    )?;
+                    reducer.push(&mut acc, item);
+                }
+                report.push(&outcome);
+            }
+            Ok((acc, report))
+        };
+        let partials: Vec<(R::Acc, RecoveryReport)> = run.ens.try_map_init(
+            &idx,
+            || (run.sys.scratch(), OdeWorkspace::new(run.sys.num_states())),
+            job,
+        )?;
+        let mut total = reducer.new_acc();
+        let mut report = RecoveryReport::default();
+        for (partial, rep) in partials {
+            reducer.merge(&mut total, partial);
+            report.merge(rep);
+        }
+        Ok((reducer.finish(total), report))
+    }
+
+    /// Run one instance scalar under the recovery ladder: primary solver
+    /// first (attempt 0), then the policy's fallback chain. Returns the
+    /// verdict plus the observer of the successful attempt (if any).
+    fn recover_one(
+        &self,
+        seed: u64,
+        params: &[f64],
+        y0: &[f64],
+        scratch: &mut EvalScratch,
+        ws: &mut OdeWorkspace,
+    ) -> (InstanceOutcome, Option<FinalState>) {
+        let run = &self.run;
+        let bound = run.sys.bind_ref(params, scratch);
+        let mut obs = FinalState::new();
+        let mut last = match run.solver.solve(&bound, run.t0, y0, run.t1, &mut obs, ws) {
+            Ok(_) => return (InstanceOutcome::Completed, Some(obs)),
+            Err(e) => e,
+        };
+        for attempt in 1..=self.policy.max_retries {
+            let mut obs = FinalState::new();
+            match self
+                .policy
+                .run_attempt(attempt, &bound, run.t0, y0, run.t1, &mut obs, ws)
+            {
+                Ok((_, final_solver)) => {
+                    return (
+                        InstanceOutcome::Recovered {
+                            attempts: attempt,
+                            final_solver,
+                        },
+                        Some(obs),
+                    )
+                }
+                Err(e) => last = e,
+            }
+        }
+        let t = last.time().unwrap_or(-1.0);
+        (
+            InstanceOutcome::Failed {
+                error: last,
+                t,
+                seed,
+            },
+            None,
+        )
     }
 }
