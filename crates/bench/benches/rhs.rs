@@ -16,7 +16,7 @@
 //! timed RHS evaluations, `ARK_RHS_ENSEMBLE_N` the ensemble instance count,
 //! and `ARK_RHS_STREAM_N` the streaming-reduction instance count.
 
-use ark_core::CompiledSystem;
+use ark_core::{Backend, CompiledSystem};
 use ark_ode::{DormandPrince, Rk4, TrBdf2};
 use ark_paradigms::cnn::{
     build_cnn, build_cnn_parametric, cnn_language, hw_cnn_language, run_cnn, run_cnn_ensemble,
@@ -84,6 +84,14 @@ struct WorkloadReport {
     fused_consts: usize,
     legacy_ns: f64,
     fused_ns: f64,
+    /// Instruction count of the natively-compiled program — must equal
+    /// `fused_instrs` (codegen lowers the same stream); `bench_check`
+    /// enforces the parity.
+    native_instrs: usize,
+    native_ns: f64,
+    /// Whether a generated kernel actually ran (false = interpreter
+    /// fallback, e.g. no `rustc` on the host).
+    native_active: bool,
 }
 
 struct EnsembleReport {
@@ -106,6 +114,17 @@ struct VotingReport {
     instances: usize,
     scalar_dp_ms: f64,
     voting_dp4_ms: f64,
+}
+
+/// The native-codegen backend vs the interpreter on a 4-lane parametric
+/// ensemble (same fused program, same lane grouping — only the instruction
+/// loops differ).
+struct NativeEnsembleReport {
+    name: &'static str,
+    instances: usize,
+    laned4_interp_ms: f64,
+    laned4_native_ms: f64,
+    native_active: bool,
 }
 
 /// The streaming reduction path (`EnsembleRun::reduce`) vs materializing
@@ -331,6 +350,53 @@ fn measure_voting(n: usize) -> Vec<VotingReport> {
         instances: n,
         scalar_dp_ms: run(&serial4, false),
         voting_dp4_ms: run(&serial4, true),
+    }]
+}
+
+/// Interpreter vs native codegen on the 4-lane parametric CNN ensemble.
+/// Two independently compiled systems over the same parametric graph, one
+/// per backend, so each carries its own dispatch choice end to end.
+fn measure_native(n: usize) -> Vec<NativeEnsembleReport> {
+    let seeds = seed_range(0, n);
+    let base = cnn_language();
+    let hw = hw_cnn_language(&base);
+    let input = Image::from_ascii(&["....", ".##.", ".##.", "...."]);
+    let pcnn = build_cnn_parametric(&hw, &input, &EDGE_TEMPLATE, NonIdeality::GMismatch).unwrap();
+    let interp = CompiledSystem::compile_parametric(&hw, &pcnn.pgraph)
+        .unwrap()
+        .with_backend(Backend::Interp);
+    let native = CompiledSystem::compile_parametric(&hw, &pcnn.pgraph)
+        .unwrap()
+        .with_backend(Backend::Native);
+    let solver = Rk4 { dt: 2e-3 };
+    let ens = Ensemble::serial().with_lanes(4);
+    let run = |sys: &CompiledSystem| {
+        let t = Instant::now();
+        black_box(
+            ens.run(sys, &solver, &seeds, 0.0, 1.0)
+                .stride(5)
+                .trajectories()
+                .unwrap(),
+        );
+        t.elapsed().as_secs_f64() * 1e3
+    };
+    // Warm both paths once so the native row never times the one-off
+    // kernel compilation (cached on disk afterwards anyway).
+    let warm = seed_range(0, 4.min(n));
+    for sys in [&interp, &native] {
+        black_box(
+            ens.run(sys, &solver, &warm, 0.0, 0.01)
+                .stride(5)
+                .trajectories()
+                .unwrap(),
+        );
+    }
+    vec![NativeEnsembleReport {
+        name: "cnn_fig11",
+        instances: n,
+        laned4_interp_ms: run(&interp),
+        laned4_native_ms: run(&native),
+        native_active: native.native_active(),
     }]
 }
 
@@ -617,6 +683,7 @@ fn report_path(root: &str, smoke: bool, evals: usize, instances: usize) -> Strin
 fn write_json(
     reports: &[WorkloadReport],
     ensembles: &[EnsembleReport],
+    native_ens: &[NativeEnsembleReport],
     voting: &[VotingReport],
     streaming: &[StreamingReport],
     stiff: &[StiffReport],
@@ -645,7 +712,9 @@ fn write_json(
              \"fused_prologue_instructions\": {},\n      \"instruction_reduction\": {:.2},\n      \
              \"fused_registers\": {},\n      \"fused_pooled_consts\": {},\n      \
              \"legacy_ns_per_rhs\": {:.1},\n      \"fused_ns_per_rhs\": {:.1},\n      \
-             \"rhs_speedup\": {:.2}\n    }}{}",
+             \"rhs_speedup\": {:.2},\n      \"native_instructions_per_rhs\": {},\n      \
+             \"native_ns_per_rhs\": {:.1},\n      \"native_speedup\": {:.2},\n      \
+             \"native_speedup_x1000\": {},\n      \"native_active\": {}\n    }}{}",
             r.name,
             r.states,
             r.algebraics,
@@ -658,6 +727,11 @@ fn write_json(
             r.legacy_ns,
             r.fused_ns,
             r.legacy_ns / r.fused_ns.max(1e-9),
+            r.native_instrs,
+            r.native_ns,
+            r.fused_ns / r.native_ns.max(1e-9),
+            (1000.0 * r.fused_ns / r.native_ns.max(1e-9)).round() as u64,
+            u8::from(r.native_active),
             comma
         );
     }
@@ -690,6 +764,28 @@ fn write_json(
             readout,
             e.laned4_ms,
             e.parametric_ms / e.laned4_ms.max(1e-9),
+            comma
+        );
+    }
+    let _ = writeln!(j, "  }},");
+    // Native-codegen A/B on the laned ensemble path. `native_active` (0/1)
+    // records whether a generated kernel ran or the row silently measured
+    // the interpreter fallback — timings from a fallback run are honest
+    // but the speedup is then ~1.0 by construction.
+    let _ = writeln!(j, "  \"native_ensemble\": {{");
+    for (i, ne) in native_ens.iter().enumerate() {
+        let comma = if i + 1 < native_ens.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    \"{}\": {{\n      \"instances\": {},\n      \"laned4_interp_ms\": {:.1},\n      \
+             \"laned4_native_ms\": {:.1},\n      \"native_ensemble_speedup\": {:.2},\n      \
+             \"native_active\": {}\n    }}{}",
+            ne.name,
+            ne.instances,
+            ne.laned4_interp_ms,
+            ne.laned4_native_ms,
+            ne.laned4_interp_ms / ne.laned4_native_ms.max(1e-9),
+            u8::from(ne.native_active),
             comma
         );
     }
@@ -803,22 +899,38 @@ fn bench_rhs(c: &mut Criterion) {
     let ensemble_n = env_usize("ARK_RHS_ENSEMBLE_N", 8);
     let stream_n = env_usize("ARK_RHS_STREAM_N", 1024);
 
+    // Second, independently compiled copy of each workload carrying the
+    // native-codegen backend (`CompiledSystem` deliberately isn't `Clone`;
+    // the builders are deterministic, so the programs are identical).
+    let native_systems: Vec<CompiledSystem> = workloads()
+        .into_iter()
+        .map(|w| w.sys.with_backend(Backend::Native))
+        .collect();
+
     let mut reports = Vec::new();
-    for w in workloads() {
+    for (w, native) in workloads().into_iter().zip(&native_systems) {
         let legacy_instrs = w
             .sys
             .legacy_rhs_instruction_count()
             .expect("non-parametric workload");
         let legacy_ns = time_rhs(&w.sys, true, evals);
         let fused_ns = time_rhs(&w.sys, false, evals);
+        let native_ns = time_rhs(native, false, evals);
         println!(
-            "{}: {} legacy instrs -> {} fused ({} prologue), {:.0} ns -> {:.0} ns per rhs",
+            "{}: {} legacy instrs -> {} fused ({} prologue), \
+             {:.0} ns -> {:.0} ns -> {:.0} ns native per rhs ({})",
             w.name,
             legacy_instrs,
             w.sys.rhs_instruction_count(),
             w.sys.rhs_prologue_len(),
             legacy_ns,
             fused_ns,
+            native_ns,
+            if native.native_active() {
+                "compiled kernel"
+            } else {
+                "interpreter fallback"
+            },
         );
         reports.push(WorkloadReport {
             name: w.name,
@@ -831,6 +943,9 @@ fn bench_rhs(c: &mut Criterion) {
             fused_consts: w.sys.rhs_const_count(),
             legacy_ns,
             fused_ns,
+            native_instrs: native.rhs_instruction_count(),
+            native_ns,
+            native_active: native.native_active(),
         });
         let mut group = c.benchmark_group(format!("rhs/{}", w.name));
         let sys = &w.sys;
@@ -851,6 +966,16 @@ fn bench_rhs(c: &mut Criterion) {
             let mut scratch = sys.scratch();
             b.iter(|| {
                 sys.rhs_with(black_box(0.5), &y, &mut dydt, &mut scratch);
+                black_box(dydt[0])
+            })
+        });
+        group.bench_function("native", |b| {
+            let n = native.num_states();
+            let y = native.initial_state();
+            let mut dydt = vec![0.0; n];
+            let mut scratch = native.scratch();
+            b.iter(|| {
+                native.rhs_with(black_box(0.5), &y, &mut dydt, &mut scratch);
                 black_box(dydt[0])
             })
         });
@@ -878,6 +1003,22 @@ fn bench_rhs(c: &mut Criterion) {
                 ms / e.laned4_ms.max(1e-9),
             );
         }
+    }
+    let native_ens = measure_native(ensemble_n);
+    for ne in &native_ens {
+        println!(
+            "{} native ensemble x{}: 4-lane interp {:.1} ms, 4-lane native {:.1} ms ({:.2}x, {})",
+            ne.name,
+            ne.instances,
+            ne.laned4_interp_ms,
+            ne.laned4_native_ms,
+            ne.laned4_interp_ms / ne.laned4_native_ms.max(1e-9),
+            if ne.native_active {
+                "compiled kernel"
+            } else {
+                "interpreter fallback"
+            },
+        );
     }
     let voting = measure_voting(ensemble_n);
     for v in &voting {
@@ -933,7 +1074,15 @@ fn bench_rhs(c: &mut Criterion) {
         );
     }
     write_json(
-        &reports, &ensembles, &voting, &streaming, &stiff, &fault, evals, smoke,
+        &reports,
+        &ensembles,
+        &native_ens,
+        &voting,
+        &streaming,
+        &stiff,
+        &fault,
+        evals,
+        smoke,
     );
 }
 

@@ -20,22 +20,36 @@
 //! * `fault_recovery/*/{completed,recovered,failed,retry_attempts}` —
 //!   per-instance outcome counts on the seeded-fault ensembles; catches
 //!   the recovery chain losing instances it used to rescue, or the
-//!   primary solver starting to fail on instances it used to complete.
+//!   primary solver starting to fail on instances it used to complete;
+//! * `workloads/*/native_instructions_per_rhs` — the native-codegen
+//!   backend must lower exactly the fused instruction stream (growth gate
+//!   *and* a per-entry equality check against
+//!   `fused_instructions_per_rhs`);
+//! * `workloads/cnn_fig11/native_speedup_x1000` — a **floor** gate (≥
+//!   1000, i.e. native no slower than the interpreter); a drop below the
+//!   floor means codegen silently fell back or regressed to parity.
 //!
 //! ```text
 //! bench_check <baseline.json> <candidate.json> [max-growth-pct]
 //! ```
 //!
 //! Default allowance is 5%. Exit code 1 on regression or malformed input.
+//! Every ok/FAIL/skipped line is also written to `bench_check_report.txt`
+//! next to the candidate report, so CI can upload the verdict as an
+//! artifact; baseline sections or keys that could not be gated are listed
+//! explicitly instead of being skipped silently.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 /// Gated `(section, field)` pairs (all deterministic machine-independent
 /// counts).
-const CHECKED_KEYS: [(&str, &str); 11] = [
+const CHECKED_KEYS: [(&str, &str); 12] = [
     ("workloads", "fused_instructions_per_rhs"),
     ("workloads", "legacy_instructions_per_rhs"),
+    // Native codegen lowers the same fused stream: the count may never
+    // drift from the interpreter's (also pinned by PARITY_KEYS below).
+    ("workloads", "native_instructions_per_rhs"),
     ("streaming_ensemble", "accumulator_bytes"),
     // Stiff solver path: the derived Jacobian program's size and the
     // TR-BDF2 work counts on the Van der Pol μ=1000 benchmark. All four
@@ -56,6 +70,20 @@ const CHECKED_KEYS: [(&str, &str); 11] = [
     ("fault_recovery", "failed"),
     ("fault_recovery", "retry_attempts"),
 ];
+
+/// Per-entry equality constraints on the **candidate**: `(section, key,
+/// must_equal_key)`. A mismatch is reported as a named-key diff.
+const PARITY_KEYS: [(&str, &str, &str); 1] = [(
+    "workloads",
+    "native_instructions_per_rhs",
+    "fused_instructions_per_rhs",
+)];
+
+/// Floor gates on the **candidate**: `(section, entry, key, floor)` — the
+/// value must be present and at least `floor`. Missing is a FAIL (a silent
+/// interpreter fallback would otherwise sail through).
+const FLOOR_KEYS: [(&str, &str, &str, u64); 1] =
+    [("workloads", "cnn_fig11", "native_speedup_x1000", 1000)];
 
 /// One parsed report: section → entry name → (field → integer value).
 type Sections = BTreeMap<String, BTreeMap<String, BTreeMap<String, u64>>>;
@@ -143,42 +171,143 @@ fn main() -> ExitCode {
     }
     let mut failures = 0usize;
     let mut checked = 0usize;
+    // Everything the gate prints also lands in this transcript, written
+    // next to the candidate so CI can upload it as an artifact.
+    let mut report: Vec<String> = Vec::new();
+    // Baseline material the growth gate could NOT compare — reported
+    // explicitly instead of silently skipped.
+    let mut skipped: Vec<String> = Vec::new();
+    let fail = |report: &mut Vec<String>, failures: &mut usize, line: String| {
+        eprintln!("{line}");
+        report.push(line);
+        *failures += 1;
+    };
+    let ok = |report: &mut Vec<String>, line: String| {
+        println!("{line}");
+        report.push(line);
+    };
     for (section, key) in CHECKED_KEYS {
         let Some(base_entries) = base.get(section) else {
-            continue; // older baseline without this section: nothing to gate
+            skipped.push(format!("{section}/*/{key}: section absent from baseline"));
+            continue;
         };
         let empty = BTreeMap::new();
         let cand_entries = cand.get(section).unwrap_or(&empty);
         for (name, base_fields) in base_entries {
             let Some(&b) = base_fields.get(key) else {
+                skipped.push(format!("{section}/{name}/{key}: key absent from baseline"));
                 continue;
             };
             let Some(&c) = cand_entries.get(name).and_then(|f| f.get(key)) else {
-                eprintln!("FAIL {section}/{name}/{key}: missing from candidate report");
-                failures += 1;
+                fail(
+                    &mut report,
+                    &mut failures,
+                    format!("FAIL {section}/{name}/{key}: missing from candidate report"),
+                );
                 continue;
             };
             checked += 1;
             let allowed = (b as f64 * (1.0 + max_growth_pct / 100.0)).floor() as u64;
             let growth = 100.0 * (c as f64 - b as f64) / (b as f64).max(1.0);
             if c > allowed {
-                eprintln!(
-                    "FAIL {section}/{name}/{key}: {b} -> {c} ({growth:+.1}%, allowed +{max_growth_pct}%)"
+                fail(
+                    &mut report,
+                    &mut failures,
+                    format!(
+                        "FAIL {section}/{name}/{key}: {b} -> {c} \
+                         ({growth:+.1}%, allowed +{max_growth_pct}%)"
+                    ),
                 );
-                failures += 1;
             } else {
-                println!("ok   {section}/{name}/{key}: {b} -> {c} ({growth:+.1}%)");
+                ok(
+                    &mut report,
+                    format!("ok   {section}/{name}/{key}: {b} -> {c} ({growth:+.1}%)"),
+                );
             }
         }
     }
-    if checked == 0 {
-        eprintln!("bench_check: no comparable gated metrics found");
+    // Equality constraints within the candidate (named-key diff on
+    // mismatch): every entry that carries the left key must carry the
+    // right key with the identical value.
+    for (section, key, must_equal) in PARITY_KEYS {
+        for (name, fields) in cand.get(section).into_iter().flatten() {
+            let Some(&a) = fields.get(key) else { continue };
+            match fields.get(must_equal) {
+                Some(&b) if a == b => {
+                    checked += 1;
+                    ok(
+                        &mut report,
+                        format!("ok   {section}/{name}: {key} == {must_equal} ({a})"),
+                    );
+                }
+                Some(&b) => fail(
+                    &mut report,
+                    &mut failures,
+                    format!("FAIL {section}/{name}: {key} = {a} != {must_equal} = {b}"),
+                ),
+                None => fail(
+                    &mut report,
+                    &mut failures,
+                    format!("FAIL {section}/{name}: {key} present but {must_equal} missing"),
+                ),
+            }
+        }
+    }
+    // Floor gates on the candidate. Missing is a FAIL: the one way a
+    // silent interpreter fallback could otherwise pass the perf gate.
+    for (section, entry, key, floor) in FLOOR_KEYS {
+        match cand
+            .get(section)
+            .and_then(|s| s.get(entry))
+            .and_then(|f| f.get(key))
+        {
+            Some(&v) if v >= floor => {
+                checked += 1;
+                ok(
+                    &mut report,
+                    format!("ok   {section}/{entry}/{key}: {v} >= floor {floor}"),
+                );
+            }
+            Some(&v) => fail(
+                &mut report,
+                &mut failures,
+                format!("FAIL {section}/{entry}/{key}: {v} below floor {floor}"),
+            ),
+            None => fail(
+                &mut report,
+                &mut failures,
+                format!("FAIL {section}/{entry}/{key}: missing from candidate report"),
+            ),
+        }
+    }
+    for line in &skipped {
+        eprintln!("skip {line}");
+        report.push(format!("skip {line}"));
+    }
+    let verdict = if checked == 0 {
+        "bench_check: no comparable gated metrics found".to_string()
+    } else if failures > 0 {
+        format!("bench_check: {failures} regression(s) beyond +{max_growth_pct}%")
+    } else {
+        format!("bench_check: {checked} gated metrics within +{max_growth_pct}% of baseline")
+    };
+    report.push(verdict.clone());
+    let report_path = std::path::Path::new(candidate_path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .map_or_else(
+            || "bench_check_report.txt".into(),
+            |p| p.join("bench_check_report.txt"),
+        );
+    if let Err(e) = std::fs::write(&report_path, report.join("\n") + "\n") {
+        eprintln!("bench_check: cannot write {}: {e}", report_path.display());
+    } else {
+        println!("bench_check: report written to {}", report_path.display());
+    }
+    if checked == 0 || failures > 0 {
+        eprintln!("{verdict}");
         return ExitCode::FAILURE;
     }
-    if failures > 0 {
-        eprintln!("bench_check: {failures} regression(s) beyond +{max_growth_pct}%");
-        return ExitCode::FAILURE;
-    }
-    println!("bench_check: {checked} gated metrics within +{max_growth_pct}% of baseline");
+    println!("{verdict}");
     ExitCode::SUCCESS
 }

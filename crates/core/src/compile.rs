@@ -28,7 +28,7 @@ use crate::types::Value;
 use ark_expr::program::{
     LaneScratch, ProgScratch, ProgramBuilder, ProgramResolver, SystemProgram, VarRef,
 };
-use ark_expr::{Differentiator, Expr, Tape, TapeError};
+use ark_expr::{Backend, Differentiator, Expr, Tape, TapeError};
 use ark_ode::OdeSystem;
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -532,13 +532,45 @@ impl CompiledSystem {
                     }
                 }
             }
-            let prog = pb.finish(&outs, self.param_sites.len());
+            let mut prog = pb.finish(&outs, self.param_sites.len());
+            // The derivative program runs whatever engine the primal runs:
+            // one dispatch choice per system, never a mixed configuration.
+            prog.set_backend(self.rhs_prog.backend());
             JacobianProgram {
                 prog,
                 entries,
                 dim: n,
             }
         })
+    }
+
+    /// The execution backend of this system's fused programs (RHS,
+    /// observables, and the derived Jacobian program all share it).
+    pub fn backend(&self) -> Backend {
+        self.rhs_prog.backend()
+    }
+
+    /// Request an execution backend for every fused program of this system
+    /// (RHS, observables, and the Jacobian program derived after this
+    /// call). Results are bit-identical across backends —
+    /// [`Backend::Native`] falls back to the interpreter silently when
+    /// codegen is unavailable, so this is a performance knob, never a
+    /// semantics knob. The process-wide default comes from `ARK_BACKEND`
+    /// ([`Backend::from_env`]).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.rhs_prog.set_backend(backend);
+        self.obs_prog.set_backend(backend);
+        // A previously derived Jacobian program carries the old choice;
+        // drop it so the next `jacobian()` call rebuilds with the new one.
+        self.jac = OnceLock::new();
+        self
+    }
+
+    /// Whether RHS evaluations actually run generated native code (the
+    /// backend is [`Backend::Native`] *and* a kernel was prepared — see
+    /// [`SystemProgram::native_active`](ark_expr::SystemProgram::native_active)).
+    pub fn native_active(&self) -> bool {
+        self.rhs_prog.native_active()
     }
 
     /// Evaluate the Jacobian `∂f/∂y` at `(t, y)` into the row-major dense

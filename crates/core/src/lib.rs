@@ -79,6 +79,9 @@ pub use compile::{
 // Re-exported so `CompiledSystem::bind_lanes` callers (notably `ark-sim`)
 // can name the lane scratch without depending on `ark-expr` directly.
 pub use ark_expr::LaneScratch;
+// Re-exported so `CompiledSystem::with_backend` callers can pick the
+// execution engine without depending on `ark-expr` directly.
+pub use ark_expr::Backend;
 pub use dg::{Edge, EdgeId, Graph, GraphError, Node, NodeId};
 pub use func::{FuncError, GraphBuilder, ParametricGraph};
 pub use lang::{

@@ -33,6 +33,7 @@
 
 pub mod ast;
 pub mod builtins;
+pub mod codegen;
 pub mod deriv;
 pub mod error;
 pub mod eval;
@@ -42,6 +43,7 @@ pub mod program;
 pub mod tape;
 
 pub use ast::{BinaryOp, BoolExpr, CmpOp, Expr, Lambda, UnaryOp};
+pub use codegen::{Backend, CodegenCache, CodegenError, Provenance};
 pub use deriv::Differentiator;
 pub use error::{EvalError, ParseError};
 pub use eval::{eval, eval_bool, EvalContext, MapContext};

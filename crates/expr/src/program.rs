@@ -37,9 +37,11 @@
 //! tests in `ark-core` pin this down against the legacy per-tape path.
 
 use crate::ast::{BinaryOp, BoolExpr, CmpOp, Expr, UnaryOp};
+use crate::codegen::{Backend, CodegenCache, NativeKernel, NATIVE_LANE_WIDTHS};
 use crate::tape::{Builtin3, TapeError};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// A value in the program builder's hash-consed DAG.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -575,6 +577,8 @@ impl ProgramBuilder {
             outputs: outputs.iter().map(|v| reg_of[v.0 as usize]).collect(),
             n_regs: next_reg,
             id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            backend: Backend::from_env(),
+            native: OnceLock::new(),
         }
     }
 }
@@ -591,13 +595,13 @@ impl<F: Fn(&str) -> Option<usize>> ProgramResolver for SlotResolver<F> {
 
 /// A fused-program instruction: compute `op`, store into register `dest`.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct PInstr {
-    dest: u32,
-    op: POp,
+pub(crate) struct PInstr {
+    pub(crate) dest: u32,
+    pub(crate) op: POp,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum POp {
+pub(crate) enum POp {
     Time,
     Load(u32),
     NegLoad(u32),
@@ -665,15 +669,22 @@ pub struct SystemProgram {
     consts: Vec<f64>,
     n_params: u32,
     /// Static, time-free instructions: run once per parameter binding.
-    pprologue: Vec<PInstr>,
+    pub(crate) pprologue: Vec<PInstr>,
     /// Static, time-dependent instructions: run when `time` changes.
-    tprologue: Vec<PInstr>,
-    body: Vec<PInstr>,
+    pub(crate) tprologue: Vec<PInstr>,
+    pub(crate) body: Vec<PInstr>,
     /// Register of each output, in output order.
     outputs: Vec<u32>,
     n_regs: u32,
     /// Unique id used to key scratch priming.
     id: u64,
+    /// Which engine runs the instruction stream ([`Backend::Native`] falls
+    /// back to the interpreter when codegen is unavailable).
+    backend: Backend,
+    /// Lazily prepared native kernel: `None` until first requested, then
+    /// `Some(None)` (codegen failed — interpret forever) or
+    /// `Some(Some(kernel))`. Clones share the prepared kernel.
+    native: OnceLock<Option<Arc<NativeKernel>>>,
 }
 
 impl SystemProgram {
@@ -731,6 +742,57 @@ impl SystemProgram {
     /// reused body registers).
     pub fn register_count(&self) -> usize {
         self.n_regs as usize
+    }
+
+    /// The requested execution backend for this program (defaulted from
+    /// `ARK_BACKEND` at build time; see [`Backend::from_env`]).
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Request an execution backend. Evaluation semantics are unchanged —
+    /// [`Backend::Native`] is bit-identical to the interpreter and falls
+    /// back to it silently when codegen is unavailable.
+    pub fn set_backend(&mut self, backend: Backend) {
+        if self.backend != backend {
+            self.backend = backend;
+            self.native = OnceLock::new();
+        }
+    }
+
+    /// Whether evaluations actually run native code: the backend is
+    /// [`Backend::Native`] *and* a kernel could be prepared. Triggers
+    /// (and waits for) the one-time kernel preparation if needed.
+    pub fn native_active(&self) -> bool {
+        self.native_kernel().is_some()
+    }
+
+    /// The native kernel to use, if the backend requests one and codegen
+    /// succeeded. Prepared at most once per program (failure is cached as
+    /// "interpret forever", so a missing toolchain costs one probe).
+    fn native_kernel(&self) -> Option<&NativeKernel> {
+        if self.backend != Backend::Native {
+            return None;
+        }
+        self.native
+            .get_or_init(|| CodegenCache::shared().prepare(self).ok().map(|(k, _)| k))
+            .as_deref()
+    }
+
+    /// [`SystemProgram::native_kernel`] guarded for the scalar path:
+    /// the kernel must not read input slots past `slots.len()`.
+    fn native_for(&self, n_slots: usize) -> Option<&NativeKernel> {
+        self.native_kernel().filter(|k| n_slots >= k.min_slots())
+    }
+
+    /// [`SystemProgram::native_kernel`] guarded for the laned path: only
+    /// widths with generated kernels ([`NATIVE_LANE_WIDTHS`]) qualify;
+    /// other widths interpret (still bit-identical — that is the spec).
+    fn native_for_lanes<const L: usize>(&self, n_slots: usize) -> Option<&NativeKernel> {
+        if !NATIVE_LANE_WIDTHS.contains(&L) {
+            return None;
+        }
+        self.native_for(n_slots)
     }
 
     /// Prime `scratch` for this program if it is not already.
@@ -821,11 +883,20 @@ impl SystemProgram {
         } else {
             self.ensure(scratch);
         }
+        // Bit-identical either way: the generated code mirrors `exec`
+        // operation for operation, so which engine runs is unobservable in
+        // the results (only in the ns).
+        let native = self.native_for(slots.len());
         let regs = &mut scratch.regs[..];
         if !scratch.pprologue_run {
             // Parameter-dependent, time-free values: once per instance.
-            for instr in &self.pprologue {
-                regs[instr.dest as usize] = exec(&instr.op, regs, slots, time);
+            match native {
+                Some(k) => k.run_pp(regs, slots, time),
+                None => {
+                    for instr in &self.pprologue {
+                        regs[instr.dest as usize] = exec(&instr.op, regs, slots, time);
+                    }
+                }
             }
             scratch.pprologue_run = true;
             scratch.has_time = false;
@@ -843,16 +914,26 @@ impl SystemProgram {
                 "stage hint promised an identical time"
             );
         } else if !(scratch.has_time && scratch.last_time == time.to_bits()) {
-            for instr in &self.tprologue {
-                regs[instr.dest as usize] = exec(&instr.op, regs, slots, time);
+            match native {
+                Some(k) => k.run_tp(regs, slots, time),
+                None => {
+                    for instr in &self.tprologue {
+                        regs[instr.dest as usize] = exec(&instr.op, regs, slots, time);
+                    }
+                }
             }
             scratch.last_time = time.to_bits();
             scratch.has_time = true;
         }
         assert!(out.len() >= self.outputs.len(), "output buffer too short");
         let regs = &mut scratch.regs[..];
-        for instr in &self.body {
-            regs[instr.dest as usize] = exec(&instr.op, regs, slots, time);
+        match native {
+            Some(k) => k.run_body(regs, slots, time),
+            None => {
+                for instr in &self.body {
+                    regs[instr.dest as usize] = exec(&instr.op, regs, slots, time);
+                }
+            }
         }
         for (o, &r) in out.iter_mut().zip(&self.outputs) {
             *o = regs[r as usize];
@@ -1008,11 +1089,19 @@ impl SystemProgram {
         } else {
             self.ensure_lanes(scratch);
         }
+        // Bit-identical either way: the laned kernels perform the scalar
+        // operation sequence per lane, exactly like `exec_lanes`.
+        let native = self.native_for_lanes::<L>(slots.len());
         let regs = &mut scratch.regs[..];
         if !scratch.pprologue_run {
             // Parameter-dependent, time-free values: once per lane group.
-            for instr in &self.pprologue {
-                regs[instr.dest as usize] = exec_lanes(&instr.op, regs, slots, time);
+            match native {
+                Some(k) => k.run_pp_lanes::<L>(regs, slots, time),
+                None => {
+                    for instr in &self.pprologue {
+                        regs[instr.dest as usize] = exec_lanes(&instr.op, regs, slots, time);
+                    }
+                }
             }
             scratch.pprologue_run = true;
             scratch.has_time = false;
@@ -1031,16 +1120,26 @@ impl SystemProgram {
             );
         } else if !(scratch.has_time && scratch.last_time == time.to_bits()) {
             // Static, time-dependent values: one pass serves all lanes.
-            for instr in &self.tprologue {
-                regs[instr.dest as usize] = exec_lanes(&instr.op, regs, slots, time);
+            match native {
+                Some(k) => k.run_tp_lanes::<L>(regs, slots, time),
+                None => {
+                    for instr in &self.tprologue {
+                        regs[instr.dest as usize] = exec_lanes(&instr.op, regs, slots, time);
+                    }
+                }
             }
             scratch.last_time = time.to_bits();
             scratch.has_time = true;
         }
         assert!(out.len() >= self.outputs.len(), "output buffer too short");
         let regs = &mut scratch.regs[..];
-        for instr in &self.body {
-            regs[instr.dest as usize] = exec_lanes(&instr.op, regs, slots, time);
+        match native {
+            Some(k) => k.run_body_lanes::<L>(regs, slots, time),
+            None => {
+                for instr in &self.body {
+                    regs[instr.dest as usize] = exec_lanes(&instr.op, regs, slots, time);
+                }
+            }
         }
         for (o, &r) in out.iter_mut().zip(&self.outputs) {
             *o = regs[r as usize];

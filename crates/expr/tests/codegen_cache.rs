@@ -1,0 +1,177 @@
+//! Cache-behavior contract for [`CodegenCache`]: provenance over repeated
+//! lookups, corrupt/stale entry recovery (rebuild, never crash or trust),
+//! and single-compile under concurrent builders racing on one directory.
+//!
+//! Every test uses an explicit throwaway cache directory, never the shared
+//! `ARK_CODEGEN_DIR` cache (that path has its own single-test binaries:
+//! `codegen_env.rs` / `codegen_env_bad.rs`).
+
+use ark_expr::{parse_expr, CodegenCache, ProgramBuilder, Provenance, SlotResolver, SystemProgram};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// A fresh (not yet created) per-test directory under the system tempdir.
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ark-codegen-cachetest-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn program(src: &str) -> SystemProgram {
+    let mut pb = ProgramBuilder::new();
+    let resolve = SlotResolver(|n: &str| (n == "x").then_some(0));
+    let v = pb.add_expr(&parse_expr(src).unwrap(), &resolve).unwrap();
+    pb.finish(&[v], 0)
+}
+
+fn so_files(dir: &std::path::Path) -> Vec<PathBuf> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut v: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "so"))
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn provenance_compiled_then_memory_then_disk() {
+    let dir = tempdir("prov");
+    let cache = CodegenCache::new(&dir);
+    let prog = program("sin(var(x)) + 1.25");
+    let (_, p1) = cache.prepare(&prog).expect("first prepare compiles");
+    assert_eq!(p1, Provenance::Compiled);
+    // Same handle: served from the in-memory registry, no file I/O.
+    let (_, p2) = cache.prepare(&prog).expect("second prepare");
+    assert_eq!(p2, Provenance::MemoryCache);
+    // Fresh handle over the same directory: the on-disk artifact is found
+    // and loaded, not recompiled.
+    let cache2 = CodegenCache::new(&dir);
+    let (_, p3) = cache2.prepare(&prog).expect("fresh handle prepare");
+    assert_eq!(p3, Provenance::DiskCache);
+    assert_eq!(so_files(&dir).len(), 1, "exactly one artifact");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_entry_is_rebuilt_not_trusted() {
+    let dir = tempdir("corrupt");
+    let prog = program("tanh(var(x)) * 2.0");
+    let (_, p1) = CodegenCache::new(&dir).prepare(&prog).expect("compile");
+    assert_eq!(p1, Provenance::Compiled);
+    let so = so_files(&dir);
+    assert_eq!(so.len(), 1);
+    // Replace the artifact with garbage (remove first — scribbling over a
+    // file the process has mapped would corrupt the running kernel, which
+    // is not what on-disk cache corruption looks like): dlopen must fail,
+    // and the cache must rebuild instead of crashing or trusting it.
+    std::fs::remove_file(&so[0]).unwrap();
+    std::fs::write(&so[0], b"not an ELF shared object").unwrap();
+    let (_, p2) = CodegenCache::new(&dir)
+        .prepare(&prog)
+        .expect("corrupt entry rebuilds");
+    assert_eq!(p2, Provenance::Compiled);
+    assert_eq!(so_files(&dir).len(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn foreign_entry_with_wrong_signature_is_rebuilt() {
+    let dir_a = tempdir("foreign-a");
+    let dir_b = tempdir("foreign-b");
+    let prog_a = program("sqrt(abs(var(x)) + 0.5)");
+    let prog_b = program("exp(var(x)) - 3.0");
+    CodegenCache::new(&dir_a)
+        .prepare(&prog_a)
+        .expect("compile a");
+    CodegenCache::new(&dir_b)
+        .prepare(&prog_b)
+        .expect("compile b");
+    let (so_a, so_b) = (so_files(&dir_a), so_files(&dir_b));
+    assert_eq!((so_a.len(), so_b.len()), (1, 1));
+    // Plant b's (valid, loadable) library under a's expected filename: a
+    // stale or foreign entry whose embedded ARK_SIG cannot match. The
+    // loader must detect the mismatch and rebuild.
+    std::fs::remove_file(&so_a[0]).unwrap();
+    std::fs::copy(&so_b[0], &so_a[0]).unwrap();
+    let (_, p) = CodegenCache::new(&dir_a)
+        .prepare(&prog_a)
+        .expect("foreign entry rebuilds");
+    assert_eq!(p, Provenance::Compiled);
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn concurrent_builders_compile_once() {
+    let dir = tempdir("race");
+    let threads = 4;
+    let provenances: Vec<Provenance> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let dir = dir.clone();
+                s.spawn(move || {
+                    // Each thread gets its own handle (own registry), like
+                    // separate processes sharing one cache directory.
+                    let cache = CodegenCache::new(dir);
+                    let prog = program("cos(var(x)) * var(x) + 0.125");
+                    cache.prepare(&prog).expect("concurrent prepare").1
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let compiled = provenances
+        .iter()
+        .filter(|p| **p == Provenance::Compiled)
+        .count();
+    assert_eq!(compiled, 1, "exactly one builder compiles: {provenances:?}");
+    assert!(provenances
+        .iter()
+        .all(|p| matches!(p, Provenance::Compiled | Provenance::DiskCache)));
+    assert_eq!(so_files(&dir).len(), 1, "single artifact after the race");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_lock_from_crashed_builder_is_stolen() {
+    let dir = tempdir("stale-lock");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prog = program("min(var(x), 4.0) + 0.0625");
+    // Simulate a builder that died holding every possible lock: the cache
+    // must steal it after the (shortened) wait instead of hanging forever.
+    let cache = CodegenCache::new(&dir).with_lock_timeout_for_tests();
+    // Plant stale locks for all hashes by pre-creating the lock the cache
+    // will want: easiest is to run prepare once, find the lock name from
+    // the artifact name, remove the artifact, and leave a lock behind.
+    let (_, p0) = cache.prepare(&prog).expect("initial compile");
+    assert_eq!(p0, Provenance::Compiled);
+    let so = so_files(&dir);
+    assert_eq!(so.len(), 1);
+    let lock = so[0].with_extension("lock");
+    std::fs::remove_file(&so[0]).unwrap();
+    std::fs::write(&lock, b"").unwrap();
+    // Fresh handle (empty registry), artifact gone, stale lock present.
+    let cache2 = CodegenCache::new(&dir).with_lock_timeout_for_tests();
+    let (_, p) = cache2.prepare(&prog).expect("steals the stale lock");
+    assert_eq!(p, Provenance::Compiled);
+    assert!(!lock.exists(), "stolen lock cleaned up after the rebuild");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Test-only sugar for a short lock wait.
+trait ShortWait {
+    fn with_lock_timeout_for_tests(self) -> Self;
+}
+
+impl ShortWait for CodegenCache {
+    fn with_lock_timeout_for_tests(self) -> Self {
+        self.with_lock_wait(Duration::from_millis(200))
+    }
+}
