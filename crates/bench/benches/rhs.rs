@@ -143,6 +143,40 @@ struct StreamingReport {
     materialized_bytes: usize,
 }
 
+/// Static-analysis summary of one workload's emitted programs (RHS,
+/// observables, and Jacobian combined). `dead_instrs` and
+/// `verifier_errors` are structural invariants — zero for every program
+/// the builder emits — and `bench_check` gates them at zero; the warning
+/// counts are informational.
+struct AnalysisReport {
+    name: &'static str,
+    dead_instrs: usize,
+    verifier_errors: usize,
+    domain_warnings: usize,
+    determinism_errors: usize,
+}
+
+fn measure_analysis() -> Vec<AnalysisReport> {
+    workloads()
+        .into_iter()
+        .map(|w| {
+            let jac = w.sys.jacobian();
+            let reports = [
+                ark_expr::analyze(w.sys.rhs_program()),
+                ark_expr::analyze(w.sys.obs_program()),
+                ark_expr::analyze(jac.program()),
+            ];
+            AnalysisReport {
+                name: w.name,
+                dead_instrs: reports.iter().map(|r| r.dead_instrs()).sum(),
+                verifier_errors: reports.iter().map(|r| r.hard_errors()).sum(),
+                domain_warnings: reports.iter().map(|r| r.domain.len()).sum(),
+                determinism_errors: reports.iter().map(|r| r.determinism_errors()).sum(),
+            }
+        })
+        .collect()
+}
+
 fn workloads() -> Vec<Workload> {
     let base = cnn_language();
     let hw = hw_cnn_language(&base);
@@ -688,6 +722,7 @@ fn write_json(
     streaming: &[StreamingReport],
     stiff: &[StiffReport],
     fault: &[FaultRecoveryReport],
+    analysis: &[AnalysisReport],
     evals: usize,
     smoke: bool,
 ) {
@@ -877,6 +912,26 @@ fn write_json(
              \"recovered\": {},\n      \"failed\": {},\n      \"retry_attempts\": {},\n      \
              \"ms\": {:.1}\n    }}{}",
             f.name, f.instances, f.completed, f.recovered, f.failed, f.retry_attempts, f.ms, comma
+        );
+    }
+    let _ = writeln!(j, "  }},");
+    // Static-analysis invariants over every emitted program (RHS +
+    // observables + Jacobian per workload). All four counts are
+    // deterministic; `bench_check` gates `dead_instrs` and
+    // `verifier_errors` at zero.
+    let _ = writeln!(j, "  \"analysis\": {{");
+    for (i, a) in analysis.iter().enumerate() {
+        let comma = if i + 1 < analysis.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    \"{}\": {{\n      \"dead_instrs\": {},\n      \"verifier_errors\": {},\n      \
+             \"domain_warnings\": {},\n      \"determinism_errors\": {}\n    }}{}",
+            a.name,
+            a.dead_instrs,
+            a.verifier_errors,
+            a.domain_warnings,
+            a.determinism_errors,
+            comma
         );
     }
     let _ = writeln!(j, "  }}\n}}");
@@ -1073,6 +1128,14 @@ fn bench_rhs(c: &mut Criterion) {
             f.name, f.instances, f.completed, f.recovered, f.retry_attempts, f.failed, f.ms,
         );
     }
+    let analysis = measure_analysis();
+    for a in &analysis {
+        println!(
+            "{} analysis: {} dead instrs / {} verifier errors / {} domain warnings / \
+             {} determinism errors",
+            a.name, a.dead_instrs, a.verifier_errors, a.domain_warnings, a.determinism_errors,
+        );
+    }
     write_json(
         &reports,
         &ensembles,
@@ -1081,6 +1144,7 @@ fn bench_rhs(c: &mut Criterion) {
         &streaming,
         &stiff,
         &fault,
+        &analysis,
         evals,
         smoke,
     );

@@ -1,0 +1,192 @@
+//! `ark-lint`: static analysis over the paper-figure designs.
+//!
+//! Compiles each paper design (Figures 2, 4, 11, Table 1, the §4.5 SPICE
+//! validation generator, the §7.2 interconnect study) plus the stiff
+//! benchmark systems, then runs the `ark_expr::analysis` suite — the
+//! structural verifier, the interval/domain analysis, and the determinism
+//! lint — over every emitted program: the fused RHS, the observables
+//! program, and the forward-mode Jacobian.
+//!
+//! Exit status is nonzero if any program has a structural violation, a
+//! dead instruction, or a determinism-lint error. Domain warnings and
+//! `note:` lines are informational: they flag *guaranteed*-undefined
+//! operations and chain shapes worth a look, not necessarily bugs, and
+//! are printed (CI uploads them as an artifact) without failing the run.
+//!
+//! Run: `cargo run --release -p ark-bench --bin ark_lint`
+
+use ark_core::func::GraphBuilder;
+use ark_core::{CompiledSystem, Graph, Language};
+use ark_expr::{analyze, ProgramReport};
+use ark_paradigms::cnn::{build_cnn, cnn_language, hw_cnn_language, NonIdeality, EDGE_TEMPLATE};
+use ark_paradigms::image::Image;
+use ark_paradigms::maxcut::{build_maxcut_network, CouplingKind, MaxCutProblem};
+use ark_paradigms::obc::{intercon_obc_language, obc_language, ofs_obc_language};
+use ark_paradigms::stiff::{robertson_language, robertson_network, vdp_language, vdp_oscillator};
+use ark_paradigms::tln::{
+    branched_tline, gmc_tln_language, linear_tline, tln_language, MismatchKind, TlineConfig,
+};
+use ark_spice::validate::random_gmc_tline;
+
+/// One design under analysis: a name and its compiled system.
+struct Design {
+    name: &'static str,
+    sys: CompiledSystem,
+}
+
+fn compile(name: &'static str, lang: &Language, graph: &Graph) -> Design {
+    let sys = CompiledSystem::compile(lang, graph)
+        .unwrap_or_else(|e| panic!("{name}: compile failed: {e}"));
+    Design { name, sys }
+}
+
+/// The §7.2 all-to-all interconnect network at `n` oscillators (the
+/// grouped-local variant lowers to the same dynamics, so one topology
+/// suffices for program analysis).
+fn intercon_all_to_all(lang: &Language, n: usize) -> Graph {
+    let mut b = GraphBuilder::new(lang, 0);
+    for i in 0..n {
+        let g = if i < n / 2 { "Osc_G0" } else { "Osc_G1" };
+        b.node(&format!("o{i}"), g).unwrap();
+        b.edge(
+            &format!("s{i}"),
+            "Cpl_l",
+            &format!("o{i}"),
+            &format!("o{i}"),
+        )
+        .unwrap();
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.edge(
+                &format!("g{i}_{j}"),
+                "Cpl_g",
+                &format!("o{i}"),
+                &format!("o{j}"),
+            )
+            .unwrap();
+        }
+    }
+    b.finish().unwrap()
+}
+
+fn designs() -> Vec<Design> {
+    let mut out = Vec::new();
+
+    // Figure 11: CNN edge detection with g-mismatch (one fabricated
+    // instance; mismatch exercises the sampled-attribute path).
+    let base = cnn_language();
+    let hw = hw_cnn_language(&base);
+    let input = Image::test_blob(8, 6);
+    let cnn = build_cnn(&hw, &input, &EDGE_TEMPLATE, NonIdeality::GMismatch, 1).unwrap();
+    out.push(compile("cnn_fig11", &hw, &cnn.graph));
+
+    // Figure 4: the 26-segment linear t-line with Gm mismatch, and
+    // Figure 2-i: the branched line (ideal).
+    let tbase = tln_language();
+    let gmc = gmc_tln_language(&tbase);
+    let cfg = TlineConfig {
+        mismatch: MismatchKind::Gm,
+        ..TlineConfig::default()
+    };
+    let tln = linear_tline(&gmc, 26, &cfg, 1).unwrap();
+    out.push(compile("tln_fig4_linear", &gmc, &tln));
+    let branched = branched_tline(&tbase, 8, 10, 8, &TlineConfig::default(), 0).unwrap();
+    out.push(compile("tln_fig2_branched", &tbase, &branched));
+
+    // Table 1: the offset-coupling OBC max-cut network.
+    let obase = obc_language();
+    let ofs = ofs_obc_language(&obase);
+    let problem = MaxCutProblem::random(6, 3);
+    let obc = build_maxcut_network(&ofs, &problem, CouplingKind::Offset, 3).unwrap();
+    out.push(compile("obc_table1", &ofs, &obc));
+
+    // §4.5: a generator-produced random GmC-TLN design (the family the
+    // SPICE cross-validation sweeps over).
+    let rnd = random_gmc_tline(&gmc, 0).unwrap();
+    out.push(compile("spice_s45_gmc", &gmc, &rnd));
+
+    // §7.2: the all-to-all interconnect study network.
+    let ic = intercon_obc_language(&obase);
+    let icg = intercon_all_to_all(&ic, 8);
+    out.push(compile("intercon_s72", &ic, &icg));
+
+    // Stiff benchmark systems: Van der Pol at mu = 1000 and Robertson
+    // kinetics — the implicit-solver path compiles Jacobian programs
+    // worth linting.
+    let vlang = vdp_language();
+    let vdp = vdp_oscillator(&vlang, 1000.0).unwrap();
+    out.push(compile("stiff_vdp", &vlang, &vdp));
+    let rlang = robertson_language();
+    let rob = robertson_network(&rlang).unwrap();
+    out.push(compile("stiff_robertson", &rlang, &rob));
+
+    out
+}
+
+/// Print one program's report; returns `(hard_errors + dead + determinism
+/// errors, domain warnings)` for the run summary.
+fn report(design: &str, program: &str, r: &ProgramReport) -> (usize, usize) {
+    println!(
+        "  {program}: {} pprologue + {} tprologue + {} body instrs, \
+         {} regs ({} consts, {} params), {} outputs",
+        r.segments.pprologue,
+        r.segments.tprologue,
+        r.segments.body,
+        r.regs,
+        r.consts,
+        r.params,
+        r.outputs,
+    );
+    for e in &r.errors {
+        println!("    error[{design}/{program}]: {e}");
+    }
+    for w in &r.domain {
+        println!("    warning[{design}/{program}]: {w}");
+    }
+    for l in &r.determinism {
+        if l.starts_with("note:") {
+            println!("    {l}");
+        } else {
+            println!("    error[{design}/{program}]: determinism: {l}");
+        }
+    }
+    (
+        r.hard_errors() + r.dead_instrs() + r.determinism_errors(),
+        r.domain.len(),
+    )
+}
+
+fn main() {
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut programs = 0usize;
+
+    println!("== ark-lint: static analysis over the paper-figure designs ==\n");
+    for d in designs() {
+        println!(
+            "{} ({} states, {} algebraics)",
+            d.name,
+            d.sys.num_states(),
+            d.sys.num_algebraics(),
+        );
+        let jac = d.sys.jacobian();
+        let sections = [
+            ("rhs", analyze(d.sys.rhs_program())),
+            ("observables", analyze(d.sys.obs_program())),
+            ("jacobian", analyze(jac.program())),
+        ];
+        for (program, r) in &sections {
+            let (e, w) = report(d.name, program, r);
+            errors += e;
+            warnings += w;
+            programs += 1;
+        }
+        println!();
+    }
+
+    println!("{programs} programs linted: {errors} errors, {warnings} domain warnings");
+    if errors > 0 {
+        std::process::exit(1);
+    }
+}

@@ -44,7 +44,7 @@ use std::process::ExitCode;
 
 /// Gated `(section, field)` pairs (all deterministic machine-independent
 /// counts).
-const CHECKED_KEYS: [(&str, &str); 12] = [
+const CHECKED_KEYS: [(&str, &str); 14] = [
     ("workloads", "fused_instructions_per_rhs"),
     ("workloads", "legacy_instructions_per_rhs"),
     // Native codegen lowers the same fused stream: the count may never
@@ -69,6 +69,12 @@ const CHECKED_KEYS: [(&str, &str); 12] = [
     ("fault_recovery", "recovered"),
     ("fault_recovery", "failed"),
     ("fault_recovery", "retry_attempts"),
+    // Static-analysis invariants: every emitted program (RHS, observables,
+    // Jacobian) must verify with zero structural errors and zero dead
+    // instructions. Both baselines are 0, so the growth gate means "must
+    // stay 0" — any liveness or verifier regression trips it.
+    ("analysis", "dead_instrs"),
+    ("analysis", "verifier_errors"),
 ];
 
 /// Per-entry equality constraints on the **candidate**: `(section, key,

@@ -17,6 +17,8 @@
 //! Criterion performance benchmarks live under `benches/`.
 
 #![warn(missing_docs)]
+// Unsafe code lives only in ark-expr's codegen dlopen path.
+#![forbid(unsafe_code)]
 
 use ark_ode::Trajectory;
 

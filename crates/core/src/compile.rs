@@ -28,7 +28,7 @@ use crate::types::Value;
 use ark_expr::program::{
     LaneScratch, ProgScratch, ProgramBuilder, ProgramResolver, SystemProgram, VarRef,
 };
-use ark_expr::{Backend, Differentiator, Expr, Tape, TapeError};
+use ark_expr::{Backend, Differentiator, Expr, NativeStatus, Tape, TapeError};
 use ark_ode::OdeSystem;
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -428,6 +428,13 @@ impl JacobianProgram {
     pub fn instrs(&self) -> usize {
         self.prog.len()
     }
+
+    /// The fused derivative program itself, for the static-analysis suite
+    /// ([`SystemProgram::verify`](ark_expr::SystemProgram::verify) and
+    /// friends run on it exactly as on the primal program).
+    pub fn program(&self) -> &SystemProgram {
+        &self.prog
+    }
 }
 
 impl fmt::Debug for CompiledSystem {
@@ -536,6 +543,15 @@ impl CompiledSystem {
             // The derivative program runs whatever engine the primal runs:
             // one dispatch choice per system, never a mixed configuration.
             prog.set_backend(self.rhs_prog.backend());
+            // Differentiation is a full compiler pass: in debug builds the
+            // derived program re-passes the structural verifier here (the
+            // builder already verified at `finish`; this pins the contract
+            // at the derivation boundary explicitly).
+            debug_assert!(
+                prog.verify().is_ok(),
+                "Differentiator emitted an invalid Jacobian program: {:?}",
+                prog.verify()
+            );
             JacobianProgram {
                 prog,
                 entries,
@@ -571,6 +587,46 @@ impl CompiledSystem {
     /// [`SystemProgram::native_active`](ark_expr::SystemProgram::native_active)).
     pub fn native_active(&self) -> bool {
         self.rhs_prog.native_active()
+    }
+
+    /// Observable state of the RHS program's native-kernel slot: not
+    /// requested, active, or fallen back to the interpreter together with
+    /// the cached [`FallbackReason`](ark_expr::FallbackReason). The
+    /// fallback itself is silent by design (results are bit-identical);
+    /// this makes it diagnosable without setting `ARK_REQUIRE_NATIVE`.
+    pub fn native_status(&self) -> NativeStatus {
+        self.rhs_prog.native_status()
+    }
+
+    /// The fused RHS program, for the static-analysis suite
+    /// ([`SystemProgram::verify`](ark_expr::SystemProgram::verify),
+    /// [`ark_expr::analyze`], [`ark_expr::domain_analysis`]).
+    pub fn rhs_program(&self) -> &SystemProgram {
+        &self.rhs_prog
+    }
+
+    /// The fused observables program, for the static-analysis suite.
+    pub fn obs_program(&self) -> &SystemProgram {
+        &self.obs_prog
+    }
+
+    /// Guaranteed-undefined operations found by interval/domain analysis
+    /// over the RHS and observables programs, formatted one per line
+    /// (`rhs: ...` / `obs: ...`). Conservative: a warning holds for
+    /// *every* reachable input, and an empty result proves nothing.
+    /// Ensemble recovery reports carry these lines as provenance
+    /// (`RecoveryReport::domain_warnings` in `ark-sim`), so a design whose
+    /// failures stem from a statically-doomed operation is recognizable
+    /// from the report alone.
+    pub fn domain_warnings(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for w in ark_expr::domain_analysis(&self.rhs_prog) {
+            out.push(format!("rhs: {w}"));
+        }
+        for w in ark_expr::domain_analysis(&self.obs_prog) {
+            out.push(format!("obs: {w}"));
+        }
+        out
     }
 
     /// Evaluate the Jacobian `∂f/∂y` at `(t, y)` into the row-major dense

@@ -118,6 +118,53 @@ impl fmt::Display for CodegenError {
 
 impl std::error::Error for CodegenError {}
 
+/// Why a program that requested [`Backend::Native`] runs on the
+/// interpreter instead. The first preparation failure is cached in the
+/// program's kernel slot, so the reason survives for later diagnosis.
+pub type FallbackReason = CodegenError;
+
+/// Observable state of a program's native-kernel slot, from
+/// [`SystemProgram::native_status`](crate::SystemProgram::native_status).
+///
+/// The fallback to the interpreter is *silent* by design (results are
+/// bit-identical either way); this makes it diagnosable without setting
+/// `ARK_REQUIRE_NATIVE`.
+#[derive(Debug, Clone)]
+pub enum NativeStatus {
+    /// The backend is [`Backend::Interp`]: no native kernel was requested.
+    NotRequested,
+    /// A native kernel is prepared and runs the evaluations.
+    Active,
+    /// [`Backend::Native`] was requested but preparation failed; every
+    /// evaluation interprets. The cached reason explains why.
+    Fallback(FallbackReason),
+}
+
+impl NativeStatus {
+    /// True when evaluations actually run native code.
+    pub fn is_active(&self) -> bool {
+        matches!(self, NativeStatus::Active)
+    }
+
+    /// The cached failure, when the program fell back to the interpreter.
+    pub fn fallback_reason(&self) -> Option<&FallbackReason> {
+        match self {
+            NativeStatus::Fallback(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for NativeStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NativeStatus::NotRequested => f.write_str("interpreter (native not requested)"),
+            NativeStatus::Active => f.write_str("native kernel active"),
+            NativeStatus::Fallback(e) => write!(f, "interpreter fallback: {e}"),
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Source emission
 // ---------------------------------------------------------------------------
@@ -128,8 +175,8 @@ pub const NATIVE_LANE_WIDTHS: [usize; 2] = [4, 8];
 
 /// Generated source plus the bounds the kernel may touch, used for the
 /// safety checks before handing it raw pointers.
-struct Emitted {
-    source: String,
+pub(crate) struct Emitted {
+    pub(crate) source: String,
     /// Exclusive upper bound on register indices read or written.
     min_regs: usize,
     /// Exclusive upper bound on input-slot indices read.
@@ -340,7 +387,7 @@ fn ark_smoothstep(t: f64, t0: f64, tau: f64) -> f64 {
 /// Rust source. Only the instruction stream matters: the constant pool,
 /// parameter segment, and output map stay on the interpreter side, so two
 /// programs with identical streams share one kernel.
-fn emit(prog: &SystemProgram) -> Emitted {
+pub(crate) fn emit(prog: &SystemProgram) -> Emitted {
     let mut source = String::from(PRELUDE);
     let segs: [(&str, &[PInstr]); 3] = [
         ("ark_pp", &prog.pprologue),
@@ -444,6 +491,10 @@ mod dl {
     const RTLD_NOW: c_int = 2;
 
     fn last_error(context: &str) -> String {
+        // SAFETY: `dlerror` takes no arguments and returns either null or a
+        // pointer to a NUL-terminated string owned by the loader; it is read
+        // immediately (before any other dl* call from this thread could
+        // invalidate it) and copied into an owned String.
         let msg = unsafe {
             let e = dlerror();
             if e.is_null() {
@@ -461,6 +512,10 @@ mod dl {
     pub fn open(path: &Path) -> Result<*mut c_void, String> {
         let c = CString::new(path.as_os_str().as_encoded_bytes())
             .map_err(|_| "path contains NUL".to_string())?;
+        // SAFETY: `c` is a valid NUL-terminated path that outlives the call;
+        // RTLD_NOW is a valid flag. Library constructors are trusted because
+        // only kernels this process generated (and signature-verified) are
+        // opened.
         let h = unsafe { dlopen(c.as_ptr(), RTLD_NOW) };
         if h.is_null() {
             Err(last_error("dlopen"))
@@ -471,6 +526,9 @@ mod dl {
 
     pub fn sym(handle: *mut c_void, name: &str) -> Result<*mut c_void, String> {
         let c = CString::new(name).expect("static symbol names");
+        // SAFETY: `handle` came from a successful `dlopen` (never closed, so
+        // it stays valid for the process lifetime) and `c` is a valid
+        // NUL-terminated symbol name that outlives the call.
         let p = unsafe { dlsym(handle, c.as_ptr()) };
         if p.is_null() {
             Err(last_error(name))
@@ -512,6 +570,8 @@ pub struct NativeKernel {
 // live for the whole process (handles are never dlclosed); calling them from
 // any thread is as safe as calling them from the loading thread.
 unsafe impl Send for NativeKernel {}
+// SAFETY: same argument as `Send` — the kernel holds only immortal,
+// immutable function pointers, so shared references are thread-safe.
 unsafe impl Sync for NativeKernel {}
 
 impl fmt::Debug for NativeKernel {

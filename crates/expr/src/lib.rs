@@ -30,7 +30,11 @@
 //! ```
 
 #![warn(missing_docs)]
+// This crate hosts the project's only unsafe code (the codegen dlopen
+// path); every unsafe block must carry a `// SAFETY:` justification.
+#![deny(clippy::undocumented_unsafe_blocks)]
 
+pub mod analysis;
 pub mod ast;
 pub mod builtins;
 pub mod codegen;
@@ -42,8 +46,12 @@ pub mod parse;
 pub mod program;
 pub mod tape;
 
+pub use analysis::{
+    analyze, determinism_lint, domain_analysis, DomainWarning, DomainWarningKind, Interval,
+    ProgramReport, Segment, SegmentStats, VerifyError,
+};
 pub use ast::{BinaryOp, BoolExpr, CmpOp, Expr, Lambda, UnaryOp};
-pub use codegen::{Backend, CodegenCache, CodegenError, Provenance};
+pub use codegen::{Backend, CodegenCache, CodegenError, FallbackReason, NativeStatus, Provenance};
 pub use deriv::Differentiator;
 pub use error::{EvalError, ParseError};
 pub use eval::{eval, eval_bool, EvalContext, MapContext};

@@ -37,7 +37,9 @@
 //! tests in `ark-core` pin this down against the legacy per-tape path.
 
 use crate::ast::{BinaryOp, BoolExpr, CmpOp, Expr, UnaryOp};
-use crate::codegen::{Backend, CodegenCache, NativeKernel, NATIVE_LANE_WIDTHS};
+use crate::codegen::{
+    Backend, CodegenCache, CodegenError, NativeKernel, NativeStatus, NATIVE_LANE_WIDTHS,
+};
 use crate::tape::{Builtin3, TapeError};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -568,7 +570,7 @@ impl ProgramBuilder {
         let tprologue: Vec<PInstr> = schedule[n_pprologue..n_prologue].iter().map(emit).collect();
         let body: Vec<PInstr> = schedule[n_prologue..].iter().map(emit).collect();
         static NEXT_ID: AtomicU64 = AtomicU64::new(1);
-        SystemProgram {
+        let prog = SystemProgram {
             consts,
             n_params: n_params as u32,
             pprologue,
@@ -579,7 +581,17 @@ impl ProgramBuilder {
             id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
             backend: Backend::from_env(),
             native: OnceLock::new(),
+        };
+        // Every builder-emitted program must satisfy the structural
+        // invariants the downstream passes (interpreter caching, codegen,
+        // differentiation) rely on. Debug builds pay for the check on
+        // every compile; release builds keep `verify()` available but
+        // opt-in.
+        #[cfg(debug_assertions)]
+        if let Err(e) = prog.verify() {
+            panic!("ProgramBuilder::finish emitted an invalid program: {e}");
         }
+        prog
     }
 }
 
@@ -681,10 +693,11 @@ pub struct SystemProgram {
     /// Which engine runs the instruction stream ([`Backend::Native`] falls
     /// back to the interpreter when codegen is unavailable).
     backend: Backend,
-    /// Lazily prepared native kernel: `None` until first requested, then
-    /// `Some(None)` (codegen failed — interpret forever) or
-    /// `Some(Some(kernel))`. Clones share the prepared kernel.
-    native: OnceLock<Option<Arc<NativeKernel>>>,
+    /// Lazily prepared native kernel: unset until first requested, then
+    /// `Ok(kernel)` or `Err(reason)` (codegen failed — interpret forever,
+    /// with the cached reason observable via
+    /// [`SystemProgram::native_status`]). Clones share the prepared slot.
+    native: OnceLock<Result<Arc<NativeKernel>, CodegenError>>,
 }
 
 impl SystemProgram {
@@ -744,6 +757,17 @@ impl SystemProgram {
         self.n_regs as usize
     }
 
+    /// The constant pool, for the analysis passes (registers `[0, n)` are
+    /// primed with these values).
+    pub(crate) fn const_pool(&self) -> &[f64] {
+        &self.consts
+    }
+
+    /// The output register map, for the analysis passes.
+    pub(crate) fn output_regs(&self) -> &[u32] {
+        &self.outputs
+    }
+
     /// The requested execution backend for this program (defaulted from
     /// `ARK_BACKEND` at build time; see [`Backend::from_env`]).
     pub fn backend(&self) -> Backend {
@@ -767,16 +791,36 @@ impl SystemProgram {
         self.native_kernel().is_some()
     }
 
+    /// Observable state of the native-kernel slot: not requested, active,
+    /// or fallen back to the interpreter with the cached
+    /// [`FallbackReason`](crate::FallbackReason). Triggers (and waits for)
+    /// the one-time kernel preparation if needed, like
+    /// [`SystemProgram::native_active`].
+    pub fn native_status(&self) -> NativeStatus {
+        if self.backend != Backend::Native {
+            return NativeStatus::NotRequested;
+        }
+        match self.prepared() {
+            Ok(_) => NativeStatus::Active,
+            Err(e) => NativeStatus::Fallback(e.clone()),
+        }
+    }
+
+    /// The kernel slot, prepared at most once per program (failure is
+    /// cached as "interpret forever" together with its reason, so a
+    /// missing toolchain costs one probe).
+    fn prepared(&self) -> &Result<Arc<NativeKernel>, CodegenError> {
+        self.native
+            .get_or_init(|| CodegenCache::shared().prepare(self).map(|(k, _)| k))
+    }
+
     /// The native kernel to use, if the backend requests one and codegen
-    /// succeeded. Prepared at most once per program (failure is cached as
-    /// "interpret forever", so a missing toolchain costs one probe).
+    /// succeeded.
     fn native_kernel(&self) -> Option<&NativeKernel> {
         if self.backend != Backend::Native {
             return None;
         }
-        self.native
-            .get_or_init(|| CodegenCache::shared().prepare(self).ok().map(|(k, _)| k))
-            .as_deref()
+        self.prepared().as_ref().ok().map(|k| &**k)
     }
 
     /// [`SystemProgram::native_kernel`] guarded for the scalar path:

@@ -28,6 +28,8 @@
 //! ```
 
 #![warn(missing_docs)]
+// Unsafe code lives only in ark-expr's codegen dlopen path.
+#![forbid(unsafe_code)]
 
 use std::fmt;
 

@@ -35,6 +35,8 @@
 //! ```
 
 #![warn(missing_docs)]
+// Unsafe code lives only in ark-expr's codegen dlopen path.
+#![forbid(unsafe_code)]
 
 /// Thread-safe boxed error used by the workload entry points, so whole runs
 /// can fan out across the `ark-sim` ensemble engine (whose jobs must be

@@ -30,6 +30,8 @@
 //! ```
 
 #![warn(missing_docs)]
+// Unsafe code lives only in ark-expr's codegen dlopen path.
+#![forbid(unsafe_code)]
 
 pub mod design;
 pub mod metrics;

@@ -332,6 +332,14 @@ pub struct RecoveryReport {
     /// Unrecovered failures grouped by [`SolveError::kind`], with the
     /// first failing seed/time of each kind.
     pub by_kind: BTreeMap<&'static str, KindStats>,
+    /// Static domain warnings for the system this report describes
+    /// (`CompiledSystem::domain_warnings`): operations the interval
+    /// analysis proves undefined for every input, one line each. Attached
+    /// by the recovering terminals so a design whose failures stem from a
+    /// statically-doomed operation (a guaranteed division by zero, a
+    /// provably-negative `sqrt` argument) is recognizable from the report
+    /// alone, before blaming solvers or tolerances.
+    pub domain_warnings: Vec<String>,
 }
 
 impl RecoveryReport {
@@ -374,6 +382,13 @@ impl RecoveryReport {
                 .entry(kind)
                 .and_modify(|k| k.count += stats.count)
                 .or_insert(stats);
+        }
+        // Domain warnings are per-system, not per-block: deduplicate so
+        // merging reports of the same system never repeats a line.
+        for w in later.domain_warnings {
+            if !self.domain_warnings.contains(&w) {
+                self.domain_warnings.push(w);
+            }
         }
     }
 }

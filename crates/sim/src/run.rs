@@ -664,6 +664,10 @@ where
             reducer.merge(&mut total, partial);
             report.merge(rep);
         }
+        // Static provenance rides along with the dynamic counts: if the
+        // interval analysis proves an operation undefined for every input,
+        // the report says so next to the failures it likely caused.
+        report.domain_warnings = self.run.sys.domain_warnings();
         Ok((reducer.finish(total), report))
     }
 
@@ -718,6 +722,10 @@ where
             reducer.merge(&mut total, partial);
             report.merge(rep);
         }
+        // Static provenance rides along with the dynamic counts: if the
+        // interval analysis proves an operation undefined for every input,
+        // the report says so next to the failures it likely caused.
+        report.domain_warnings = self.run.sys.domain_warnings();
         Ok((reducer.finish(total), report))
     }
 

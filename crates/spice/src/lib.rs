@@ -29,6 +29,8 @@
 //! ```
 
 #![warn(missing_docs)]
+// Unsafe code lives only in ark-expr's codegen dlopen path.
+#![forbid(unsafe_code)]
 
 pub mod linalg;
 pub mod netlist;

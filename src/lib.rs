@@ -27,6 +27,8 @@
 //! ```
 
 #![warn(missing_docs)]
+// Unsafe code lives only in ark-expr's codegen dlopen path.
+#![forbid(unsafe_code)]
 
 pub use ark_core as core;
 pub use ark_expr as expr;
